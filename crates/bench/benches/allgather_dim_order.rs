@@ -1,0 +1,57 @@
+//! Criterion bench / ablation: allgather tree dimension order (§3.4).
+//!
+//! The allgather volume depends on the order in which the tree expands the
+//! dimensions (Figure 2). This ablation builds the tree in the paper's
+//! increasing-C_k order, the given order, and the adversarial decreasing
+//! order, over neighborhoods with skewed per-dimension coordinate counts,
+//! and benchmarks construction time; it also prints the volumes each order
+//! produces so the heuristic's effect is visible.
+
+use cartcomm::schedule::{allgather_plan_with_order, DimOrder};
+use cartcomm_topo::RelNeighborhood;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A skewed neighborhood: many distinct coordinates in dimension 0, a
+/// single one elsewhere (the Figure 2 situation scaled up).
+fn skewed(d: usize, width: i64) -> RelNeighborhood {
+    let mut offsets = Vec::new();
+    for c in -width..=width {
+        if c == 0 {
+            continue;
+        }
+        let mut off = vec![1i64; d];
+        off[0] = c;
+        offsets.push(off);
+    }
+    RelNeighborhood::new(d, offsets).unwrap()
+}
+
+fn bench_dim_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_dim_order");
+    for (label, nb) in [
+        ("figure2_like_d3", skewed(3, 2)),
+        ("skewed_d4_w4", skewed(4, 4)),
+        (
+            "moore_d3",
+            RelNeighborhood::stencil_family(3, 3, -1).unwrap(),
+        ),
+    ] {
+        for order in [DimOrder::IncreasingCk, DimOrder::Given, DimOrder::DecreasingCk] {
+            let plan = allgather_plan_with_order(&nb, order);
+            println!(
+                "{label} / {order:?}: volume {} blocks over {} rounds",
+                plan.volume_blocks, plan.rounds
+            );
+            g.bench_with_input(
+                BenchmarkId::new(label, format!("{order:?}")),
+                &(&nb, order),
+                |b, (nb, order)| b.iter(|| black_box(allgather_plan_with_order(nb, *order))),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dim_order);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: real collective latency on the threads-as-ranks
+//! runtime.
+//!
+//! Runs the three alltoall implementations on a 4×4 torus of OS threads
+//! with the 9-point (Moore) neighborhood at two block sizes, measuring
+//! whole-collective wall time. The expected ordering at m=1 mirrors the
+//! paper: combining (4 rounds) beats trivial/direct (8 rounds).
+
+use cartcomm::neighbor::DistGraphComm;
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::{Duration, Instant};
+
+/// Measure `iters` executions of one collective inside a universe; the
+/// per-iteration time is the max across ranks (collective completion).
+fn run_collective(variant: &'static str, m: usize, iters: u64) -> Duration {
+    let dims = [4usize, 4];
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let topo = CartTopology::torus(&dims).unwrap();
+    let totals = Universe::run(16, |comm| {
+        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+        let graph =
+            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let g = DistGraphComm::create_adjacent(comm, graph);
+        let send = vec![1i32; t * m];
+        let mut recv = vec![0i32; t * m];
+        comm.barrier().unwrap();
+        let start = Instant::now();
+        for _ in 0..iters {
+            match variant {
+                "combining" => cart.alltoall(&send, &mut recv).unwrap(),
+                "trivial" => cart.alltoall_trivial(&send, &mut recv).unwrap(),
+                "neighbor" => g.neighbor_alltoall(&send, &mut recv).unwrap(),
+                _ => unreachable!(),
+            }
+        }
+        start.elapsed()
+    });
+    totals.into_iter().max().unwrap()
+}
+
+fn bench_threaded_alltoall(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_alltoall_4x4_moore");
+    g.sample_size(10);
+    for m in [1usize, 256] {
+        for variant in ["combining", "trivial", "neighbor"] {
+            g.bench_with_input(
+                BenchmarkId::new(variant, m),
+                &m,
+                |b, &m| b.iter_custom(|iters| run_collective(variant, m, iters)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_threaded_alltoall);
+criterion_main!(benches);

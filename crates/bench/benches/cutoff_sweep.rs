@@ -1,0 +1,55 @@
+//! Criterion bench / ablation: the combining-vs-trivial cut-off sweep.
+//!
+//! Prices both alltoall algorithms across a geometric sweep of block sizes
+//! on the Titan profile and reports the modeled times as custom
+//! measurements, making the crossover position visible in the Criterion
+//! report. The cut-off formula m* = (α/β)·(t−C)/(V−t) (§3.1) predicts
+//! where the two curves cross.
+
+use cartcomm::cost::CostSummary;
+use cartcomm_sim::MachineProfile;
+use cartcomm_topo::RelNeighborhood;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_cutoff_sweep(c: &mut Criterion) {
+    let profile = MachineProfile::titan_cray();
+    let nb = RelNeighborhood::stencil_family(3, 5, -1).unwrap();
+    let cs = CostSummary::of(&nb);
+    let cutoff = cs
+        .cutoff_bytes(profile.net.alpha, profile.net.beta)
+        .expect("this family has volume inflation");
+
+    let mut g = c.benchmark_group(format!(
+        "cutoff_sweep_d3_n5 (predicted crossover {:.0} B)",
+        cutoff
+    ));
+    g.sample_size(10);
+    g.measurement_time(Duration::from_millis(200));
+    g.warm_up_time(Duration::from_millis(50));
+    for exp in 0..8 {
+        let m_bytes = 16usize << (2 * exp); // 16 B .. 256 KiB
+        let trivial = cs.trivial_time(profile.net.alpha, profile.net.beta, m_bytes);
+        let combining = cs.combining_alltoall_time(profile.net.alpha, profile.net.beta, m_bytes);
+        // Report the *modeled* times through iter_custom so the report
+        // plots the curves.
+        g.bench_with_input(BenchmarkId::new("trivial", m_bytes), &trivial, |b, &t| {
+            b.iter_custom(|iters| Duration::from_secs_f64(t * iters as f64))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("combining", m_bytes),
+            &combining,
+            |b, &t| b.iter_custom(|iters| Duration::from_secs_f64(t * iters as f64)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // The modeled durations are exact (zero variance), which the plotting
+    // backend cannot autoscale; plots are disabled for this ablation.
+    config = Criterion::default().without_plots();
+    targets = bench_cutoff_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion bench: datatype gather/scatter throughput.
+//!
+//! The zero-copy execution of Listing 5 stands on exactly one gather per
+//! send and one scatter per receive. This bench measures the byte
+//! throughput of the gather/scatter engine for the layouts stencil codes
+//! use: contiguous rows, strided columns, and subarray halos.
+
+use cartcomm_types::{gather_into, scatter, Datatype, PackBuf};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_gather(c: &mut Criterion) {
+    let n = 512usize; // 512x512 f64 grid
+    let grid = vec![1.0f64; n * n];
+    let bytes = cartcomm_types::cast_slice(&grid);
+
+    let row = Datatype::contiguous(n, &Datatype::double()).commit().unwrap();
+    let col = Datatype::vector(n, 1, n as i64, &Datatype::double())
+        .commit()
+        .unwrap();
+    let halo = Datatype::subarray(&[n, n], &[n - 2, n - 2], &[1, 1], &Datatype::double())
+        .unwrap()
+        .commit()
+        .unwrap();
+
+    let mut g = c.benchmark_group("gather");
+    for (name, ty) in [("row", &row), ("column", &col), ("interior_subarray", &halo)] {
+        g.throughput(Throughput::Bytes(ty.size() as u64));
+        let mut buf = PackBuf::with_capacity(ty.size());
+        g.bench_with_input(BenchmarkId::from_parameter(name), ty, |b, ty| {
+            b.iter(|| {
+                gather_into(black_box(bytes), 0, ty, &mut buf).unwrap();
+                black_box(buf.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_scatter(c: &mut Criterion) {
+    let n = 512usize;
+    let mut grid = vec![0.0f64; n * n];
+
+    let col = Datatype::vector(n, 1, n as i64, &Datatype::double())
+        .commit()
+        .unwrap();
+    let wire = vec![7u8; col.size()];
+
+    let mut g = c.benchmark_group("scatter");
+    g.throughput(Throughput::Bytes(col.size() as u64));
+    g.bench_function("column", |b| {
+        b.iter(|| {
+            let out = cartcomm_types::cast_slice_mut(&mut grid);
+            scatter(black_box(&wire), out, 0, &col).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather, bench_scatter);
+criterion_main!(benches);

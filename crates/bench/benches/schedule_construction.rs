@@ -1,0 +1,42 @@
+//! Criterion bench: schedule-construction cost.
+//!
+//! Proposition 3.1 claims both message-combining schedules are computable
+//! in O(td) time. This bench sweeps the (d, n) stencil families (t = n^d−1)
+//! and reports throughput in neighbors/second; time per neighbor should
+//! stay roughly flat as t grows by orders of magnitude.
+
+use cartcomm::schedule::{allgather_plan, alltoall_plan};
+use cartcomm_topo::RelNeighborhood;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_alltoall_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("alltoall_schedule");
+    for (d, n) in [(2usize, 3usize), (3, 3), (4, 3), (5, 3), (5, 5), (6, 5)] {
+        let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
+        g.throughput(Throughput::Elements(nb.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}_t{}", nb.len())),
+            &nb,
+            |b, nb| b.iter(|| black_box(alltoall_plan(black_box(nb)))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_allgather_schedule(c: &mut Criterion) {
+    let mut g = c.benchmark_group("allgather_schedule");
+    for (d, n) in [(2usize, 3usize), (3, 3), (4, 3), (5, 3), (5, 5), (6, 5)] {
+        let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
+        g.throughput(Throughput::Elements(nb.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("d{d}_n{n}_t{}", nb.len())),
+            &nb,
+            |b, nb| b.iter(|| black_box(allgather_plan(black_box(nb)))),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_alltoall_schedule, bench_allgather_schedule);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Regenerates Figure 4: relative performance of trivial and
+//! message-combining `Cart_alltoall` vs `MPI_Neighbor_alltoall`,
+//! 32 × 32 processes, Intel MPI 2018 on Hydra.
+//!
+//! Flag `--quirks` enables the Intel MPI rendezvous-cliff emulation that
+//! reproduces the paper's factor-250 blocking-baseline blow-up at m = 100.
+
+use cartcomm_bench::harness::run_alltoall_figure;
+use cartcomm_sim::MachineProfile;
+
+fn main() {
+    let quirks = std::env::args().any(|a| a == "--quirks");
+    run_alltoall_figure(&MachineProfile::hydra_intelmpi(), quirks, 0x416);
+}

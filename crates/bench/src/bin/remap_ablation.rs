@@ -1,0 +1,70 @@
+//! Ablation: what the `reorder` flag is worth.
+//!
+//! For several torus shapes, node sizes, and stencil families, compare the
+//! inter-node traffic fraction of the identity (row-major) placement
+//! against the brick remapping `CartComm::create_reordered` applies, and
+//! the resulting modeled time assuming inter-node messages cost the full
+//! network α/β while intra-node messages run ~10x cheaper.
+
+use cartcomm_sim::MachineProfile;
+use cartcomm_topo::{brick_permutation, traffic_summary, CartTopology, RelNeighborhood};
+
+fn main() {
+    let profile = MachineProfile::hydra_openmpi();
+    let intra_discount = 0.1; // shared-memory neighbors ~10x cheaper
+    println!("Reordering ablation: inter-node traffic under identity vs brick mapping.");
+    println!(
+        "Model: inter-node message = alpha + beta*m; intra-node = {}x that.",
+        intra_discount
+    );
+    println!();
+    println!(
+        "{:<12} {:<6} {:<16} {:>10} {:>10} {:>12}",
+        "torus", "node", "stencil", "id inter%", "brick in%", "time ratio"
+    );
+    for (dims, cores) in [
+        (vec![4usize, 16], 16usize),
+        (vec![8, 8], 16),
+        (vec![16, 16], 16),
+        (vec![8, 8, 8], 16),
+        (vec![32, 32], 32),
+    ] {
+        for (label, nb) in [
+            ("moore r=1", RelNeighborhood::moore(dims.len(), 1).unwrap()),
+            ("von-neumann", RelNeighborhood::von_neumann(dims.len(), 1).unwrap()),
+            (
+                "family n=5",
+                RelNeighborhood::stencil_family(dims.len(), 5, -1).unwrap(),
+            ),
+        ] {
+            let identity = CartTopology::torus(&dims).unwrap();
+            let before = traffic_summary(&identity, &nb, None, cores).unwrap();
+            let perm = match brick_permutation(&dims, cores) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            let remapped = CartTopology::torus(&dims)
+                .unwrap()
+                .with_permutation(perm)
+                .unwrap();
+            let after = traffic_summary(&remapped, &nb, None, cores).unwrap();
+            // model: per-message time proportional to 1 (inter) or discount (intra)
+            let m = 4096usize;
+            let msg = profile.net.message(m);
+            let cost = |t: &cartcomm_topo::TrafficSummary| {
+                t.inter_node as f64 * msg + t.intra_node as f64 * msg * intra_discount
+            };
+            println!(
+                "{:<12} {:<6} {:<16} {:>9.1}% {:>9.1}% {:>12.3}",
+                format!("{dims:?}"),
+                cores,
+                label,
+                before.inter_fraction() * 100.0,
+                after.inter_fraction() * 100.0,
+                cost(&after) / cost(&before),
+            );
+        }
+    }
+    println!();
+    println!("time ratio < 1.0 means the brick placement wins under the locality model.");
+}

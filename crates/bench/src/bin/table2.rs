@@ -1,0 +1,43 @@
+//! Regenerates Table 2: the systems used in the experiments, as encoded in
+//! this reproduction's machine profiles (with the calibrated model
+//! parameters shown alongside).
+
+use cartcomm_sim::MachineProfile;
+
+fn main() {
+    println!("Table 2: systems used in the experiments (as machine profiles).");
+    println!();
+    for p in MachineProfile::all() {
+        println!("Name       : {}", p.name);
+        println!("Hardware   : {}", p.hardware);
+        println!("MPI library: {}", p.library);
+        println!("Compiler   : {}", p.compiler);
+        println!("Processes  : {}", p.processes);
+        println!(
+            "Model      : alpha = {:.2} us, beta = {:.3} ns/B (alpha/beta = {:.1} kB), o = {:.2} us",
+            p.net.alpha * 1e6,
+            p.net.beta * 1e9,
+            p.net.alpha_beta_bytes() / 1e3,
+            p.injection_overhead * 1e6,
+        );
+        let q = &p.quirks;
+        if q == &cartcomm_sim::BaselineQuirks::NONE {
+            println!("Quirks     : none (clean neighborhood-collective implementation)");
+        } else {
+            println!(
+                "Quirks     : count cliff at t>={} (+{:.0} us/req); rendezvous cliff at {} B (+{:.0} us/msg); nonblocking shares: count={}, rendezvous={}",
+                q.count_threshold,
+                q.per_request_overhead * 1e6,
+                if q.rendezvous_threshold == usize::MAX {
+                    "-".to_string()
+                } else {
+                    q.rendezvous_threshold.to_string()
+                },
+                q.rendezvous_overhead * 1e6,
+                q.nonblocking_shares_count_cliff,
+                q.nonblocking_shares_rendezvous,
+            );
+        }
+        println!();
+    }
+}

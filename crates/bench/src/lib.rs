@@ -1,0 +1,30 @@
+//! # cartcomm-bench — the evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (§4):
+//!
+//! | binary   | reproduces |
+//! |----------|------------|
+//! | `table1` | Table 1 — rounds, volumes, cut-off ratios per `(d, n)` stencil |
+//! | `table2` | Table 2 — the systems (as machine profiles) |
+//! | `fig3`   | Figure 3 — `Cart_alltoall` vs `MPI_Neighbor_alltoall`, Hydra / Open MPI |
+//! | `fig4`   | Figure 4 — same, Hydra / Intel MPI |
+//! | `fig5`   | Figure 5 — same, Titan / Cray MPI |
+//! | `fig6`   | Figure 6 — `Cart_allgather` (Hydra) and `Cart_alltoallv` (Titan) |
+//! | `fig7`   | Figure 7 — run-time histograms at 128×16 vs 1024×16 ranks |
+//!
+//! Each figure binary prices the four measured series (blocking baseline,
+//! non-blocking baseline, trivial, message-combining) on the calibrated
+//! machine profile, repeats the measurement with noise injection, applies
+//! the paper's Appendix-A filtering, and prints the same normalized bars
+//! the figure shows. Pass `--quirks` to enable the per-library defect
+//! emulation that reproduces the pathological baseline numbers of
+//! Figures 3–4, and `--threads` to additionally run a laptop-scale
+//! cross-check on the real threads-as-ranks runtime.
+
+pub mod harness;
+pub mod threaded;
+
+pub use harness::{
+    simulate_allgather_series, simulate_alltoall_series, simulate_alltoallv_series,
+    v_block_sizes, FigureRow, SeriesKind,
+};

@@ -1,0 +1,152 @@
+//! Laptop-scale cross-checks on the real threads-as-ranks runtime.
+//!
+//! The simulator prices schedules under the α-β model; these helpers run
+//! the *actual* implementations on a small torus of OS threads and measure
+//! wall-clock time, confirming that the relative ordering of the series
+//! (combining < trivial ≈ baseline for small blocks) holds on a real
+//! execution too, where "latency" is channel/wakeup overhead.
+
+use std::time::Instant;
+
+use cartcomm::neighbor::DistGraphComm;
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_stats::{FilterPolicy, Summary};
+use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
+
+use crate::harness::SeriesKind;
+
+/// Measured wall-clock series for an alltoall on a `dims` torus of
+/// threads, `m` i32 elements per block, `reps` repetitions. Returns the
+/// per-series retained-mean summaries (Hydra filtering), in the figure's
+/// series order.
+pub fn measure_alltoall(
+    dims: &[usize],
+    nb: &RelNeighborhood,
+    m: usize,
+    reps: usize,
+) -> Vec<(SeriesKind, Summary)> {
+    let p: usize = dims.iter().product();
+    let t = nb.len();
+    let topo = CartTopology::torus(dims).expect("valid dims");
+    let dims = dims.to_vec();
+    let nb = nb.clone();
+    let per_rank = Universe::run(p, move |comm| {
+        let periods = vec![true; dims.len()];
+        let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+        let graph =
+            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let g = DistGraphComm::create_adjacent(comm, graph);
+        let send: Vec<i32> = (0..t * m).map(|x| x as i32).collect();
+        let mut recv = vec![0i32; t * m];
+
+        let mut out: Vec<(SeriesKind, Vec<f64>)> = Vec::new();
+        let mut bench = |kind: SeriesKind, f: &mut dyn FnMut(&[i32], &mut [i32])| {
+            let mut times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                f(&send, &mut recv);
+                times.push(start.elapsed().as_secs_f64());
+            }
+            out.push((kind, times));
+        };
+        bench(SeriesKind::NeighborBlocking, &mut |s, r| {
+            g.neighbor_alltoall(s, r).unwrap()
+        });
+        bench(SeriesKind::NeighborNonblocking, &mut |s, r| {
+            g.ineighbor_alltoall(s, r).unwrap()
+        });
+        bench(SeriesKind::CartTrivial, &mut |s, r| {
+            cart.alltoall_trivial(s, r).unwrap()
+        });
+        bench(SeriesKind::CartCombining, &mut |s, r| {
+            cart.alltoall(s, r).unwrap()
+        });
+        out
+    });
+    aggregate(per_rank)
+}
+
+/// Measured wall-clock series for an allgather (same protocol).
+pub fn measure_allgather(
+    dims: &[usize],
+    nb: &RelNeighborhood,
+    m: usize,
+    reps: usize,
+) -> Vec<(SeriesKind, Summary)> {
+    let p: usize = dims.iter().product();
+    let t = nb.len();
+    let topo = CartTopology::torus(dims).expect("valid dims");
+    let dims = dims.to_vec();
+    let nb = nb.clone();
+    let per_rank = Universe::run(p, move |comm| {
+        let periods = vec![true; dims.len()];
+        let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+        let graph =
+            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let g = DistGraphComm::create_adjacent(comm, graph);
+        let send: Vec<i32> = (0..m).map(|x| x as i32).collect();
+        let mut recv = vec![0i32; t * m];
+
+        let mut out: Vec<(SeriesKind, Vec<f64>)> = Vec::new();
+        let mut bench = |kind: SeriesKind, f: &mut dyn FnMut(&[i32], &mut [i32])| {
+            let mut times = Vec::with_capacity(reps);
+            for _ in 0..reps {
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                f(&send, &mut recv);
+                times.push(start.elapsed().as_secs_f64());
+            }
+            out.push((kind, times));
+        };
+        bench(SeriesKind::NeighborBlocking, &mut |s, r| {
+            g.neighbor_allgather(s, r).unwrap()
+        });
+        bench(SeriesKind::NeighborNonblocking, &mut |s, r| {
+            g.ineighbor_allgather(s, r).unwrap()
+        });
+        bench(SeriesKind::CartTrivial, &mut |s, r| {
+            cart.allgather_trivial(s, r).unwrap()
+        });
+        bench(SeriesKind::CartCombining, &mut |s, r| {
+            cart.allgather(s, r).unwrap()
+        });
+        out
+    });
+    aggregate(per_rank)
+}
+
+/// Per collective call, the completion time is the slowest rank's; then
+/// apply the Hydra retention policy across repetitions.
+fn aggregate(per_rank: Vec<Vec<(SeriesKind, Vec<f64>)>>) -> Vec<(SeriesKind, Summary)> {
+    let series_count = per_rank[0].len();
+    let reps = per_rank[0][0].1.len();
+    (0..series_count)
+        .map(|s| {
+            let kind = per_rank[0][s].0;
+            let maxima: Vec<f64> = (0..reps)
+                .map(|i| {
+                    per_rank
+                        .iter()
+                        .map(|r| r[s].1[i])
+                        .fold(0.0f64, f64::max)
+                })
+                .collect();
+            (kind, Summary::of(&FilterPolicy::HYDRA.apply(&maxima)))
+        })
+        .collect()
+}
+
+/// Print a measured threaded cross-check in the figure layout.
+pub fn print_threaded(op: &str, rows: &[(SeriesKind, Summary)]) {
+    let baseline = rows[0].1.mean;
+    for (kind, s) in rows {
+        println!(
+            "  {:<38} abs {:>10.1} us   rel {:>7.3}",
+            kind.label(op),
+            s.mean * 1e6,
+            s.mean / baseline
+        );
+    }
+}

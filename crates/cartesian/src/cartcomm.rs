@@ -1,0 +1,243 @@
+//! The Cartesian neighborhood communicator (`Cart_neighborhood_create`,
+//! Listing 1) and the relative-coordinate helper functions (Listing 2).
+
+use std::cell::OnceCell;
+use std::sync::Arc;
+
+use cartcomm_comm::Comm;
+use cartcomm_topo::{CartTopology, DistGraphTopology, Offset, RelNeighborhood, TopoError};
+
+use crate::error::{CartError, CartResult};
+use crate::plan::Plan;
+use crate::schedule::{allgather_plan, alltoall_plan};
+
+/// A communicator with a Cartesian topology and an isomorphic
+/// t-neighborhood attached — the object the paper's single new function
+/// `Cart_neighborhood_create` returns.
+///
+/// Creation is collective: all ranks must pass the same dimensions,
+/// periodicity, and relative neighborhood, and the constructor *verifies*
+/// the isomorphism requirement with the cheap O(t) check of §2.2 (broadcast
+/// of the sorted root neighborhood plus an AND-reduction). Schedules for
+/// the message-combining collectives are computed locally on first use and
+/// cached (the `_init` persistent operations share them).
+pub struct CartComm {
+    comm: Comm,
+    topo: CartTopology,
+    nb: RelNeighborhood,
+    weights: Option<Vec<u32>>,
+    reorder: bool,
+    alltoall_plan: OnceCell<Arc<Plan>>,
+    allgather_plan: OnceCell<Arc<Plan>>,
+}
+
+impl CartComm {
+    /// Create a Cartesian neighborhood communicator
+    /// (`Cart_neighborhood_create` with `MPI_UNWEIGHTED` and no
+    /// reordering). Collective over all ranks of `comm`.
+    pub fn create(
+        comm: &Comm,
+        dims: &[usize],
+        periods: &[bool],
+        neighborhood: RelNeighborhood,
+    ) -> CartResult<Self> {
+        Self::create_weighted(comm, dims, periods, neighborhood, None, false)
+    }
+
+    /// Creation with machine-aware reordering: places logical grid
+    /// positions onto physical ranks in node-sized bricks
+    /// ([`cartcomm_topo::remap`]), so that stencil neighbors stay on-node
+    /// as often as possible — the optimization the paper's `reorder` flag
+    /// was meant to enable and that "current MPI libraries do not exploit"
+    /// \[6\]. `cores_per_node` must divide the process count with a
+    /// compatible brick factorization; all collectives and helpers work
+    /// transparently through the permutation.
+    pub fn create_reordered(
+        comm: &Comm,
+        dims: &[usize],
+        periods: &[bool],
+        neighborhood: RelNeighborhood,
+        weights: Option<Vec<u32>>,
+        cores_per_node: usize,
+    ) -> CartResult<Self> {
+        let mut cc = Self::create_weighted(comm, dims, periods, neighborhood, weights, true)?;
+        let perm = cartcomm_topo::remap::brick_permutation(dims, cores_per_node)?;
+        cc.topo = cc.topo.with_permutation(perm)?;
+        Ok(cc)
+    }
+
+    /// Full-argument creation: optional per-neighbor weights (for future
+    /// process remapping) and the `reorder` flag. Reordering is accepted
+    /// and recorded but the identity mapping is used unless
+    /// [`CartComm::create_reordered`] is called with machine information,
+    /// matching the behavior of current MPI libraries (see \[6\] in the
+    /// paper).
+    pub fn create_weighted(
+        comm: &Comm,
+        dims: &[usize],
+        periods: &[bool],
+        neighborhood: RelNeighborhood,
+        weights: Option<Vec<u32>>,
+        reorder: bool,
+    ) -> CartResult<Self> {
+        let topo = CartTopology::new(dims, periods)?;
+        if topo.size() != comm.size() {
+            return Err(CartError::Topo(TopoError::SizeMismatch {
+                product: topo.size(),
+                processes: comm.size(),
+            }));
+        }
+        if neighborhood.ndims() != topo.ndims() {
+            return Err(CartError::Topo(TopoError::DimensionMismatch {
+                expected: topo.ndims(),
+                actual: neighborhood.ndims(),
+            }));
+        }
+        if let Some(w) = &weights {
+            if w.len() != neighborhood.len() {
+                return Err(CartError::Topo(TopoError::WeightMismatch {
+                    expected: neighborhood.len(),
+                    actual: w.len(),
+                }));
+            }
+        }
+        // §2.2 isomorphism verification: all processes must have supplied
+        // the same relative neighborhood. O(t) data broadcast + AND-reduce.
+        // (The *exact list* must agree, including order, per Listing 1; we
+        // compare the flat encoding directly.)
+        let flat = neighborhood.to_flat();
+        let mut encoded = Vec::with_capacity(8 + flat.len() * 8);
+        encoded.extend_from_slice(&(neighborhood.ndims() as u64).to_le_bytes());
+        for v in &flat {
+            encoded.extend_from_slice(&v.to_le_bytes());
+        }
+        if !comm.all_same(&encoded)? {
+            return Err(CartError::NotIsomorphic);
+        }
+        Ok(CartComm {
+            comm: comm.dup(),
+            topo,
+            nb: neighborhood,
+            weights,
+            reorder,
+            alltoall_plan: OnceCell::new(),
+            allgather_plan: OnceCell::new(),
+        })
+    }
+
+    // ----- accessors --------------------------------------------------------
+
+    /// This process's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of processes.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    /// The underlying communicator (duplicated context private to this
+    /// Cartesian communicator).
+    #[inline]
+    pub fn comm(&self) -> &Comm {
+        &self.comm
+    }
+
+    /// The Cartesian topology.
+    #[inline]
+    pub fn topology(&self) -> &CartTopology {
+        &self.topo
+    }
+
+    /// The t-neighborhood.
+    #[inline]
+    pub fn neighborhood(&self) -> &RelNeighborhood {
+        &self.nb
+    }
+
+    /// The per-neighbor weights, if any were supplied.
+    pub fn weights(&self) -> Option<&[u32]> {
+        self.weights.as_deref()
+    }
+
+    /// Whether reordering was requested at creation.
+    pub fn reorder_requested(&self) -> bool {
+        self.reorder
+    }
+
+    /// This process's coordinates.
+    pub fn coords(&self) -> Vec<usize> {
+        self.topo.coords_of(self.rank())
+    }
+
+    // ----- Listing 2 helpers -------------------------------------------------
+
+    /// `Cart_relative_rank`: the rank at `self + relative`, if it exists.
+    pub fn relative_rank(&self, relative: &[i64]) -> CartResult<Option<usize>> {
+        Ok(self.topo.rank_of_offset(self.rank(), relative)?)
+    }
+
+    /// `Cart_relative_shift`: `(source, target)` ranks for a relative
+    /// offset — target is `self + relative`, source `self − relative`.
+    pub fn relative_shift(&self, relative: &[i64]) -> CartResult<(Option<usize>, Option<usize>)> {
+        Ok(self.topo.relative_shift(self.rank(), relative)?)
+    }
+
+    /// `Cart_relative_coord`: the normalized relative coordinates of
+    /// another rank.
+    pub fn relative_coord(&self, rank: usize) -> Vec<i64> {
+        self.topo.relative_coord(self.rank(), rank)
+    }
+
+    /// `Cart_neighbor_count`: the number of neighbors, `t`.
+    pub fn neighbor_count(&self) -> usize {
+        self.nb.len()
+    }
+
+    /// `Cart_neighbor_get`: the source and target rank lists of this
+    /// process, in neighborhood order (the format
+    /// `MPI_Dist_graph_create_adjacent` expects). On non-periodic meshes,
+    /// offsets leaving the mesh are omitted.
+    pub fn neighbor_get(&self) -> CartResult<DistGraphTopology> {
+        Ok(DistGraphTopology::from_cart_neighborhood(
+            &self.topo,
+            &self.nb,
+            self.rank(),
+        )?)
+    }
+
+    // ----- cached schedules ---------------------------------------------------
+
+    /// The message-combining alltoall schedule (computed once, shared).
+    pub fn alltoall_schedule(&self) -> Arc<Plan> {
+        Arc::clone(
+            self.alltoall_plan
+                .get_or_init(|| Arc::new(alltoall_plan(&self.nb))),
+        )
+    }
+
+    /// The message-combining allgather schedule (computed once, shared).
+    pub fn allgather_schedule(&self) -> Arc<Plan> {
+        Arc::clone(
+            self.allgather_plan
+                .get_or_init(|| Arc::new(allgather_plan(&self.nb))),
+        )
+    }
+
+    /// True if every dimension the neighborhood moves in is periodic —
+    /// the condition under which the message-combining schedules may route
+    /// through intermediate processes for every rank.
+    pub fn combining_applicable(&self) -> bool {
+        (0..self.topo.ndims()).all(|k| {
+            self.topo.periods()[k] || self.nb.offsets().iter().all(|o| o[k] == 0)
+        })
+    }
+
+    /// The offsets, as a convenience for iteration.
+    pub fn offsets(&self) -> &[Offset] {
+        self.nb.offsets()
+    }
+}

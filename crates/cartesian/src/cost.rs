@@ -1,0 +1,258 @@
+//! Round/volume accounting and the latency/bandwidth cut-off analysis
+//! (§3.1, §3.2 and Table 1).
+
+use cartcomm_topo::RelNeighborhood;
+
+use crate::schedule::{allgather_plan, alltoall_plan};
+
+/// The analytic quantities of one neighborhood, as reported in Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostSummary {
+    /// Number of neighbors, `t` (= trivial algorithm rounds and volume).
+    pub t: usize,
+    /// Message-combining rounds, `C = Σ_k C_k`.
+    pub rounds: usize,
+    /// Message-combining alltoall volume in blocks, `V = Σ_i z_i`.
+    pub alltoall_volume: usize,
+    /// Message-combining allgather volume (edges of the routing tree built
+    /// in increasing `C_k` order).
+    pub allgather_volume: usize,
+    /// The cut-off ratio `(t−C)/(V−t)` for the alltoall: combining wins for
+    /// block sizes `m < (α/β)·ratio`. `None` when `V == t` (combining never
+    /// moves extra data, so it wins whenever it saves rounds).
+    pub cutoff: Option<f64>,
+}
+
+impl CostSummary {
+    /// Compute all Table 1 quantities for a neighborhood.
+    pub fn of(nb: &RelNeighborhood) -> CostSummary {
+        let t = nb.len();
+        let rounds = nb.combining_rounds();
+        let alltoall_volume = nb.alltoall_volume();
+        let allgather_volume = allgather_plan(nb).volume_blocks;
+        CostSummary {
+            t,
+            rounds,
+            alltoall_volume,
+            allgather_volume,
+            cutoff: cutoff_ratio(t, rounds, alltoall_volume),
+        }
+    }
+
+    /// Predicted trivial alltoall time under the linear cost model:
+    /// `t·(α + β·m)` with `m` in bytes.
+    pub fn trivial_time(&self, alpha: f64, beta: f64, m_bytes: usize) -> f64 {
+        self.t as f64 * (alpha + beta * m_bytes as f64)
+    }
+
+    /// Predicted message-combining alltoall time: `C·α + β·V·m`.
+    pub fn combining_alltoall_time(&self, alpha: f64, beta: f64, m_bytes: usize) -> f64 {
+        self.rounds as f64 * alpha + beta * (self.alltoall_volume * m_bytes) as f64
+    }
+
+    /// Predicted message-combining allgather time: `C·α + β·V_ag·m`.
+    pub fn combining_allgather_time(&self, alpha: f64, beta: f64, m_bytes: usize) -> f64 {
+        self.rounds as f64 * alpha + beta * (self.allgather_volume * m_bytes) as f64
+    }
+
+    /// The block size in bytes below which combining alltoall beats trivial
+    /// for a machine with latency `alpha` (seconds) and inverse bandwidth
+    /// `beta` (seconds/byte).
+    pub fn cutoff_bytes(&self, alpha: f64, beta: f64) -> Option<f64> {
+        self.cutoff.map(|r| (alpha / beta) * r)
+    }
+}
+
+/// The paper's cut-off ratio `(t−C)/(V−t)` (§3.1): message-combining
+/// alltoall is preferable when `m < (α/β)·ratio`. Returns `None` when
+/// `V ≤ t` (no volume inflation — combining is then never worse in volume).
+pub fn cutoff_ratio(t: usize, rounds: usize, volume: usize) -> Option<f64> {
+    if volume > t {
+        Some((t as f64 - rounds as f64) / (volume as f64 - t as f64))
+    } else {
+        None
+    }
+}
+
+/// Closed-form Table 1 quantities for the `(d, n)` stencil families
+/// (offsets `{f, …, f+n−1}` per dimension, zero vector excluded): useful as
+/// an independent check of the schedule computation.
+pub mod closed_form {
+    /// `t = n^d − 1`.
+    pub fn t(d: u32, n: u64) -> u64 {
+        n.pow(d) - 1
+    }
+
+    /// `C = d (n − 1)` (assuming `0 ∈ {f..f+n−1}`, as with `f = −1`).
+    pub fn rounds(d: u64, n: u64) -> u64 {
+        d * (n - 1)
+    }
+
+    /// Alltoall volume `V = Σ_j j·C(d,j)·(n−1)^j` (§3.1's example).
+    pub fn alltoall_volume(d: u64, n: u64) -> u64 {
+        (1..=d)
+            .map(|j| j * binom(d, j) * (n - 1).pow(j as u32))
+            .sum()
+    }
+
+    /// Allgather volume `V = Σ_j C(d,j)·(n−1)^j = n^d − 1` (§3.2's example).
+    pub fn allgather_volume(d: u32, n: u64) -> u64 {
+        n.pow(d) - 1
+    }
+
+    fn binom(n: u64, k: u64) -> u64 {
+        if k > n {
+            return 0;
+        }
+        let k = k.min(n - k);
+        let mut num = 1u64;
+        let mut den = 1u64;
+        for i in 0..k {
+            num *= n - i;
+            den *= i + 1;
+        }
+        num / den
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn binomials() {
+            assert_eq!(binom(5, 0), 1);
+            assert_eq!(binom(5, 2), 10);
+            assert_eq!(binom(5, 5), 1);
+            assert_eq!(binom(3, 4), 0);
+        }
+
+        #[test]
+        fn moore_identities() {
+            // Σ_j C(d,j)(n−1)^j = n^d − 1 (binomial theorem)
+            for d in 1..=5u32 {
+                for n in 2..=5u64 {
+                    let sum: u64 = (1..=d as u64)
+                        .map(|j| binom(d as u64, j) * (n - 1).pow(j as u32))
+                        .sum();
+                    assert_eq!(sum, n.pow(d) - 1);
+                }
+            }
+        }
+    }
+}
+
+/// Verify that the trivial algorithm's volume is exactly `t` (stated in
+/// §3.1) — provided for symmetry with the combining summaries.
+pub fn trivial_volume(nb: &RelNeighborhood) -> usize {
+    nb.len()
+}
+
+/// Extract per-round wire byte counts from the combining plans, for the
+/// simulator: `(alltoall rounds, allgather rounds)` with uniform block size
+/// `m_bytes`.
+pub fn round_bytes_uniform(nb: &RelNeighborhood, m_bytes: usize) -> (Vec<usize>, Vec<usize>) {
+    let a2a = alltoall_plan(nb);
+    let ag = allgather_plan(nb);
+    (
+        a2a.round_bytes(&|_| m_bytes),
+        ag.round_bytes(&|_| m_bytes),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_closed_forms_match_schedules() {
+        for d in 2..=5usize {
+            for n in 3..=5usize {
+                let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
+                let cs = CostSummary::of(&nb);
+                assert_eq!(cs.t as u64, closed_form::t(d as u32, n as u64));
+                assert_eq!(cs.rounds as u64, closed_form::rounds(d as u64, n as u64));
+                assert_eq!(
+                    cs.alltoall_volume as u64,
+                    closed_form::alltoall_volume(d as u64, n as u64)
+                );
+                assert_eq!(
+                    cs.allgather_volume as u64,
+                    closed_form::allgather_volume(d as u32, n as u64),
+                    "allgather volume = t for Moore-style stencils (d={d}, n={n})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table1_cutoff_ratios() {
+        // The cells that are unambiguous in the published table.
+        let cases = [
+            (4usize, 5usize, 0.443),
+            (5, 4, 0.358),
+            (5, 5, 0.331),
+        ];
+        for (d, n, expected) in cases {
+            let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
+            let cs = CostSummary::of(&nb);
+            let r = cs.cutoff.unwrap();
+            assert!(
+                (r - expected).abs() < 5e-3,
+                "d={d} n={n}: ratio {r:.3} vs published {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn cutoff_none_when_no_volume_inflation() {
+        assert_eq!(cutoff_ratio(8, 4, 8), None);
+        assert!(cutoff_ratio(8, 4, 12).is_some());
+        assert!((cutoff_ratio(8, 4, 12).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn model_crossover_behaviour() {
+        let nb = RelNeighborhood::stencil_family(3, 5, -1).unwrap();
+        let cs = CostSummary::of(&nb);
+        let (alpha, beta) = (2e-6, 0.08e-9);
+        // Small blocks: combining wins.
+        assert!(cs.combining_alltoall_time(alpha, beta, 4) < cs.trivial_time(alpha, beta, 4));
+        // Far past the cut-off: trivial wins.
+        let huge = (cs.cutoff_bytes(alpha, beta).unwrap() * 10.0) as usize;
+        assert!(cs.combining_alltoall_time(alpha, beta, huge) > cs.trivial_time(alpha, beta, huge));
+        // Exactly at the cut-off the two are equal (within fp error).
+        let at = cs.cutoff_bytes(alpha, beta).unwrap();
+        let m = at as usize;
+        let diff = (cs.combining_alltoall_time(alpha, beta, m)
+            - cs.trivial_time(alpha, beta, m))
+        .abs();
+        assert!(diff < alpha, "near-equality at the cut-off");
+    }
+
+    #[test]
+    fn allgather_combining_always_wins_for_moore() {
+        // §3.2: allgather combining volume equals trivial volume, rounds are
+        // exponentially fewer => combining never loses in the model.
+        let nb = RelNeighborhood::stencil_family(4, 3, -1).unwrap();
+        let cs = CostSummary::of(&nb);
+        assert_eq!(cs.allgather_volume, cs.t);
+        for m in [1usize, 100, 10_000, 1_000_000] {
+            assert!(
+                cs.combining_allgather_time(2e-6, 0.08e-9, m)
+                    <= cs.trivial_time(2e-6, 0.08e-9, m)
+            );
+        }
+    }
+
+    #[test]
+    fn round_bytes_totals_match_volume() {
+        let nb = RelNeighborhood::stencil_family(3, 3, -1).unwrap();
+        let (a2a, ag) = round_bytes_uniform(&nb, 10);
+        let cs = CostSummary::of(&nb);
+        assert_eq!(a2a.iter().sum::<usize>(), cs.alltoall_volume * 10);
+        assert_eq!(ag.iter().sum::<usize>(), cs.allgather_volume * 10);
+        assert_eq!(a2a.len(), cs.rounds);
+        assert_eq!(ag.len(), cs.rounds);
+        assert_eq!(trivial_volume(&nb), cs.t);
+    }
+}

@@ -1,0 +1,337 @@
+//! Zero-copy schedule execution (Listing 5).
+//!
+//! A [`Plan`] is rank-independent; executing it requires resolving every
+//! [`BlockRef`] to concrete bytes. [`ExecLayouts`] carries the per-block
+//! displacements and committed datatypes of the user's send and receive
+//! buffers (built once per operation, or once per `_init` handle), and
+//! [`execute_plan`] runs the phases: per phase, all outgoing messages are
+//! gathered and posted, all incoming messages are received and scattered —
+//! the `Irecv`/`Isend`/`Waitall` pattern — with exactly one gather per send
+//! and one scatter per receive and no intermediate packing.
+
+use cartcomm_comm::{Comm, RecvSpec, Tag};
+use cartcomm_topo::CartTopology;
+use cartcomm_types::{gather_append, scatter, FlatType};
+
+use crate::error::{CartError, CartResult};
+use crate::plan::{BlockRef, Loc, Plan};
+
+/// Tag space reserved for Cartesian collective rounds. User point-to-point
+/// traffic on the same communicator must avoid `CART_TAG_BASE ..
+/// CART_TAG_BASE + rounds` (the library documents this reservation; the
+/// `CartComm` wrapper runs on a duplicated context anyway, making collisions
+/// impossible in practice).
+pub const CART_TAG_BASE: Tag = 0x7A00_0000;
+
+/// The placement of one data block in a user buffer: a byte displacement
+/// plus a committed datatype.
+#[derive(Debug, Clone)]
+pub struct BlockLayout {
+    /// Byte displacement the datatype is applied at.
+    pub disp: i64,
+    /// Committed layout of the block.
+    pub ty: FlatType,
+}
+
+impl BlockLayout {
+    /// A contiguous block of `len` bytes at byte offset `disp`.
+    pub fn contiguous(disp: i64, len: usize) -> Self {
+        BlockLayout {
+            disp,
+            ty: cartcomm_types::Datatype::bytes(len)
+                .commit()
+                .expect("contiguous byte types always commit"),
+        }
+    }
+
+    /// Data bytes of the block.
+    pub fn size(&self) -> usize {
+        self.ty.size()
+    }
+}
+
+/// Resolved buffer layouts for one collective invocation.
+#[derive(Debug, Clone)]
+pub struct ExecLayouts {
+    /// Per-send-slot layouts: one per neighbor for alltoall, a single entry
+    /// for allgather (the process's one contributed block).
+    pub send: Vec<BlockLayout>,
+    /// Per-receive-slot layouts, one per neighbor.
+    pub recv: Vec<BlockLayout>,
+    /// Bytes of each neighbor-indexed block (wire sizing; equals the
+    /// send/recv block sizes, which must agree).
+    pub block_bytes: Vec<usize>,
+    /// Byte offset of every temp slot in the temp buffer.
+    pub temp_offsets: Vec<usize>,
+    /// Byte size of every temp slot.
+    pub temp_sizes: Vec<usize>,
+}
+
+impl ExecLayouts {
+    /// Total temp-buffer bytes the executor needs.
+    pub fn temp_len(&self) -> usize {
+        self.temp_offsets
+            .last()
+            .map_or(0, |&o| o + self.temp_sizes.last().copied().unwrap_or(0))
+    }
+
+    /// Build temp slot offsets from sizes (prefix sums).
+    pub fn with_temp_sizes(mut self, sizes: Vec<usize>) -> Self {
+        let mut offsets = Vec::with_capacity(sizes.len());
+        let mut acc = 0usize;
+        for &s in &sizes {
+            offsets.push(acc);
+            acc += s;
+        }
+        self.temp_offsets = offsets;
+        self.temp_sizes = sizes;
+        self
+    }
+
+    pub(crate) fn gather_block(
+        &self,
+        br: BlockRef,
+        sendbuf: &[u8],
+        recvbuf: &[u8],
+        temp: &[u8],
+        wire: &mut Vec<u8>,
+    ) -> CartResult<()> {
+        match br.loc {
+            Loc::Send => {
+                let l = &self.send[br.slot];
+                gather_append(sendbuf, l.disp, &l.ty, wire)?;
+            }
+            Loc::Recv => {
+                let l = &self.recv[br.slot];
+                gather_append(recvbuf, l.disp, &l.ty, wire)?;
+            }
+            Loc::Temp => {
+                let off = self.temp_offsets[br.slot];
+                wire.extend_from_slice(&temp[off..off + self.temp_sizes[br.slot]]);
+            }
+        }
+        Ok(())
+    }
+
+    pub(crate) fn scatter_block(
+        &self,
+        br: BlockRef,
+        bytes: &[u8],
+        recvbuf: &mut [u8],
+        temp: &mut [u8],
+    ) -> CartResult<()> {
+        match br.loc {
+            Loc::Send => unreachable!("plans never write the send buffer"),
+            Loc::Recv => {
+                let l = &self.recv[br.slot];
+                scatter(bytes, recvbuf, l.disp, &l.ty)?;
+            }
+            Loc::Temp => {
+                let off = self.temp_offsets[br.slot];
+                temp[off..off + bytes.len()].copy_from_slice(bytes);
+            }
+        }
+        Ok(())
+    }
+
+    /// The wire size of the block a [`BlockRef`] denotes, given its
+    /// neighbor-index `block_id`.
+    fn block_size(&self, block_id: usize) -> usize {
+        self.block_bytes[block_id]
+    }
+}
+
+/// Execute a schedule for the calling `rank`. `temp` must hold at least
+/// [`ExecLayouts::temp_len`] bytes; `tag_base` distinguishes concurrent
+/// collectives (rounds use `tag_base + round_index`, identical on all ranks
+/// because plans are identical).
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan(
+    comm: &Comm,
+    topo: &CartTopology,
+    plan: &Plan,
+    lay: &ExecLayouts,
+    sendbuf: &[u8],
+    recvbuf: &mut [u8],
+    temp: &mut [u8],
+    tag_base: Tag,
+) -> CartResult<()> {
+    let rank = comm.rank();
+    let mut round_idx: Tag = 0;
+    for phase in &plan.phases {
+        // Local copies become valid at the start of their phase.
+        for copy in &phase.copies {
+            let mut bytes = Vec::new();
+            lay.gather_block(copy.from, sendbuf, recvbuf, temp, &mut bytes)?;
+            lay.scatter_block(copy.to, &bytes, recvbuf, temp)?;
+        }
+        if phase.rounds.is_empty() {
+            continue;
+        }
+        // Gather and post all sends of the phase, then complete all
+        // receives (Listing 5's Irecv/Isend/Waitall with eager sends).
+        let mut sends = Vec::with_capacity(phase.rounds.len());
+        let mut specs = Vec::with_capacity(phase.rounds.len());
+        for round in &phase.rounds {
+            let target = topo
+                .rank_of_offset(rank, &round.offset)?
+                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+            let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
+            let source = topo
+                .rank_of_offset(rank, &neg)?
+                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+            let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
+            let mut wire = Vec::with_capacity(total);
+            for (j, _) in round.block_ids.iter().enumerate() {
+                lay.gather_block(round.sends[j], sendbuf, recvbuf, temp, &mut wire)?;
+            }
+            debug_assert_eq!(wire.len(), total, "gathered bytes match block sizes");
+            let tag = tag_base + round_idx;
+            round_idx += 1;
+            sends.push((target, tag, wire));
+            specs.push(RecvSpec::from_rank(source, tag));
+        }
+        let results = comm.exchange(sends, &specs)?;
+        for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
+            let mut pos = 0usize;
+            for (j, &b) in round.block_ids.iter().enumerate() {
+                let n = lay.block_size(b);
+                if pos + n > wire.len() {
+                    return Err(CartError::BadBufferSize {
+                        what: "incoming round message",
+                        expected: pos + n,
+                        actual: wire.len(),
+                    });
+                }
+                lay.scatter_block(round.recvs[j], &wire[pos..pos + n], recvbuf, temp)?;
+                pos += n;
+            }
+            if pos != wire.len() {
+                return Err(CartError::BadBufferSize {
+                    what: "incoming round message",
+                    expected: pos,
+                    actual: wire.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Like [`execute_plan`] but sending and receiving in the *same* buffer —
+/// the natural mode for halo exchanges where the send slabs (interior) and
+/// receive regions (halo) are disjoint parts of one tile. Safe even with
+/// overlapping layouts because each phase gathers all outgoing bytes
+/// before scattering any incoming ones.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_plan_in_place(
+    comm: &Comm,
+    topo: &CartTopology,
+    plan: &Plan,
+    lay: &ExecLayouts,
+    buf: &mut [u8],
+    temp: &mut [u8],
+    tag_base: Tag,
+) -> CartResult<()> {
+    let rank = comm.rank();
+    let mut round_idx: Tag = 0;
+    for phase in &plan.phases {
+        for copy in &phase.copies {
+            let mut bytes = Vec::new();
+            lay.gather_block(copy.from, buf, buf, temp, &mut bytes)?;
+            lay.scatter_block(copy.to, &bytes, buf, temp)?;
+        }
+        if phase.rounds.is_empty() {
+            continue;
+        }
+        let mut sends = Vec::with_capacity(phase.rounds.len());
+        let mut specs = Vec::with_capacity(phase.rounds.len());
+        for round in &phase.rounds {
+            let target = topo
+                .rank_of_offset(rank, &round.offset)?
+                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+            let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
+            let source = topo
+                .rank_of_offset(rank, &neg)?
+                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+            let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
+            let mut wire = Vec::with_capacity(total);
+            for (j, _) in round.block_ids.iter().enumerate() {
+                lay.gather_block(round.sends[j], buf, buf, temp, &mut wire)?;
+            }
+            let tag = tag_base + round_idx;
+            round_idx += 1;
+            sends.push((target, tag, wire));
+            specs.push(RecvSpec::from_rank(source, tag));
+        }
+        let results = comm.exchange(sends, &specs)?;
+        for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
+            let mut pos = 0usize;
+            for (j, &b) in round.block_ids.iter().enumerate() {
+                let n = lay.block_size(b);
+                if pos + n > wire.len() {
+                    return Err(CartError::BadBufferSize {
+                        what: "incoming round message",
+                        expected: pos + n,
+                        actual: wire.len(),
+                    });
+                }
+                lay.scatter_block(round.recvs[j], &wire[pos..pos + n], buf, temp)?;
+                pos += n;
+            }
+            if pos != wire.len() {
+                return Err(CartError::BadBufferSize {
+                    what: "incoming round message",
+                    expected: pos,
+                    actual: wire.len(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn nonperiodic_dim(topo: &CartTopology, offset: &[i64]) -> CartError {
+    let dim = offset
+        .iter()
+        .enumerate()
+        .find(|(k, &c)| c != 0 && !topo.periods()[*k])
+        .map(|(k, _)| k)
+        .unwrap_or(0);
+    CartError::CombiningNeedsTorus { dim }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contiguous_layout_helper() {
+        let l = BlockLayout::contiguous(16, 8);
+        assert_eq!(l.disp, 16);
+        assert_eq!(l.size(), 8);
+    }
+
+    #[test]
+    fn temp_prefix_sums() {
+        let lay = ExecLayouts {
+            send: vec![],
+            recv: vec![],
+            block_bytes: vec![],
+            temp_offsets: vec![],
+            temp_sizes: vec![],
+        }
+        .with_temp_sizes(vec![4, 0, 12]);
+        assert_eq!(lay.temp_offsets, vec![0, 4, 4]);
+        assert_eq!(lay.temp_len(), 16);
+        let empty = ExecLayouts {
+            send: vec![],
+            recv: vec![],
+            block_bytes: vec![],
+            temp_offsets: vec![],
+            temp_sizes: vec![],
+        }
+        .with_temp_sizes(vec![]);
+        assert_eq!(empty.temp_len(), 0);
+    }
+}

@@ -1,0 +1,228 @@
+//! `Cart_alltoall{,v,w}`: personalized sparse exchange in trivial and
+//! message-combining variants.
+
+use cartcomm_comm::{RecvSpec, Tag};
+use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
+
+use crate::cartcomm::CartComm;
+use crate::error::{CartError, CartResult};
+use crate::exec::{execute_plan, ExecLayouts, CART_TAG_BASE};
+use crate::ops::{
+    check_buffer, check_combining, regular_layouts, size_temp, v_layouts, w_layouts, WBlock,
+};
+use crate::plan::PlanKind;
+
+/// Tag base for the trivial algorithm's sendrecv rounds.
+pub const TRIVIAL_TAG_BASE: Tag = 0x7B00_0000;
+
+impl CartComm {
+    // ----- regular -----------------------------------------------------------
+
+    /// Message-combining `Cart_alltoall`: send block `i` of `send` to
+    /// neighbor `N[i]`, receive block `i` of `recv` from the corresponding
+    /// source neighbor. Block size is `send.len() / t` elements.
+    pub fn alltoall<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
+        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Alltoall)?;
+        self.run_combining_alltoall(lay, cast_slice(send), cast_slice_mut(recv))
+    }
+
+    /// Trivial t-round `Cart_alltoall` (Listing 4).
+    pub fn alltoall_trivial<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
+        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Alltoall)?;
+        self.run_trivial_alltoall(&lay, cast_slice(send), cast_slice_mut(recv))
+    }
+
+    // ----- irregular counts (v) ------------------------------------------------
+
+    /// Message-combining `Cart_alltoallv`: per-neighbor element counts and
+    /// displacements (in elements). The combining schedule requires the
+    /// same counts arrays on all processes (which the Cartesian isomorphism
+    /// requirement implies, §3.3) and `sendcounts[i] == recvcounts[i]`.
+    pub fn alltoallv<T: Pod>(
+        &self,
+        send: &[T],
+        sendcounts: &[usize],
+        senddispls: &[usize],
+        recv: &mut [T],
+        recvcounts: &[usize],
+        recvdispls: &[usize],
+    ) -> CartResult<()> {
+        let lay = self.v_lay::<T>(sendcounts, senddispls, recvcounts, recvdispls)?;
+        self.run_combining_alltoall(lay, cast_slice(send), cast_slice_mut(recv))
+    }
+
+    /// Trivial `Cart_alltoallv`.
+    pub fn alltoallv_trivial<T: Pod>(
+        &self,
+        send: &[T],
+        sendcounts: &[usize],
+        senddispls: &[usize],
+        recv: &mut [T],
+        recvcounts: &[usize],
+        recvdispls: &[usize],
+    ) -> CartResult<()> {
+        let lay = self.v_lay::<T>(sendcounts, senddispls, recvcounts, recvdispls)?;
+        self.run_trivial_alltoall(&lay, cast_slice(send), cast_slice_mut(recv))
+    }
+
+    // ----- fully typed (w) -------------------------------------------------------
+
+    /// Message-combining `Cart_alltoallw`: per-neighbor datatypes and byte
+    /// displacements — the operation the Listing 3 stencil example needs so
+    /// each halo face/corner is described in place.
+    pub fn alltoallw(
+        &self,
+        send: &[u8],
+        sendspec: &[WBlock],
+        recv: &mut [u8],
+        recvspec: &[WBlock],
+    ) -> CartResult<()> {
+        let lay = self.w_lay(sendspec, recvspec)?;
+        self.run_combining_alltoall(lay, send, recv)
+    }
+
+    /// Trivial `Cart_alltoallw`.
+    pub fn alltoallw_trivial(
+        &self,
+        send: &[u8],
+        sendspec: &[WBlock],
+        recv: &mut [u8],
+        recvspec: &[WBlock],
+    ) -> CartResult<()> {
+        let lay = self.w_lay(sendspec, recvspec)?;
+        self.run_trivial_alltoall(&lay, send, recv)
+    }
+
+    // ----- engines ----------------------------------------------------------------
+
+    pub(crate) fn regular_lay<T: Pod>(
+        &self,
+        send_len: usize,
+        recv_len: usize,
+        kind: PlanKind,
+    ) -> CartResult<ExecLayouts> {
+        let t = self.neighbor_count();
+        let sz = std::mem::size_of::<T>();
+        match kind {
+            PlanKind::Alltoall => {
+                if t == 0 {
+                    check_buffer("send", 0, send_len * sz)?;
+                    check_buffer("receive", 0, recv_len * sz)?;
+                    return Ok(regular_layouts(0, 0, kind));
+                }
+                if !send_len.is_multiple_of(t) {
+                    return Err(CartError::BadBufferSize {
+                        what: "send",
+                        expected: (send_len / t) * t * sz,
+                        actual: send_len * sz,
+                    });
+                }
+                let m = send_len / t;
+                check_buffer("receive", t * m * sz, recv_len * sz)?;
+                Ok(regular_layouts(t, m * sz, kind))
+            }
+            PlanKind::Allgather => {
+                let m = send_len;
+                check_buffer("receive", t * m * sz, recv_len * sz)?;
+                Ok(regular_layouts(t, m * sz, kind))
+            }
+        }
+    }
+
+    fn v_lay<T: Pod>(
+        &self,
+        sendcounts: &[usize],
+        senddispls: &[usize],
+        recvcounts: &[usize],
+        recvdispls: &[usize],
+    ) -> CartResult<ExecLayouts> {
+        crate::ops::check_len("recvcounts", self.neighbor_count(), recvcounts.len())?;
+        v_layouts(
+            std::mem::size_of::<T>(),
+            sendcounts,
+            senddispls,
+            recvcounts,
+            recvdispls,
+            PlanKind::Alltoall,
+        )
+    }
+
+    fn w_lay(&self, sendspec: &[WBlock], recvspec: &[WBlock]) -> CartResult<ExecLayouts> {
+        crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
+        w_layouts(sendspec, recvspec, PlanKind::Alltoall)
+    }
+
+    pub(crate) fn run_combining_alltoall(
+        &self,
+        lay: ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+    ) -> CartResult<()> {
+        let plan = self.alltoall_schedule();
+        let lay = size_temp(lay, PlanKind::Alltoall, plan.temp_slots)?;
+        let mut temp = vec![0u8; lay.temp_len()];
+        if check_combining(self).is_ok() {
+            execute_plan(
+                self.comm(),
+                self.topology(),
+                &plan,
+                &lay,
+                send,
+                recv,
+                &mut temp,
+                CART_TAG_BASE,
+            )
+        } else {
+            // Non-periodic mesh: same schedule with per-rank live-block
+            // filtering at the boundaries (see `exec_mesh`).
+            crate::exec_mesh::execute_alltoall_mesh(
+                self.comm(),
+                self.topology(),
+                self.neighborhood(),
+                &plan,
+                &lay,
+                send,
+                recv,
+                &mut temp,
+                CART_TAG_BASE,
+            )
+        }
+    }
+
+    /// The trivial t-round algorithm over resolved layouts: one blocking
+    /// sendrecv per neighbor (Listing 4), block `i` delivered directly.
+    /// Works on meshes: neighbors cut off by a boundary are skipped.
+    pub(crate) fn run_trivial_alltoall(
+        &self,
+        lay: &ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+    ) -> CartResult<()> {
+        for (i, off) in self.neighborhood().offsets().iter().enumerate() {
+            let tag = TRIVIAL_TAG_BASE + i as Tag;
+            if off.iter().all(|&c| c == 0) {
+                // Self block: plain local copy.
+                let mut bytes = Vec::with_capacity(lay.send[i].size());
+                gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut bytes)?;
+                scatter(&bytes, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
+                continue;
+            }
+            let (source, target) = self.relative_shift(off)?;
+            let mut sends = Vec::with_capacity(1);
+            if let Some(dst) = target {
+                let mut wire = Vec::with_capacity(lay.send[i].size());
+                gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut wire)?;
+                sends.push((dst, tag, wire));
+            }
+            let mut specs = Vec::with_capacity(1);
+            if let Some(src) = source {
+                specs.push(RecvSpec::from_rank(src, tag));
+            }
+            let results = self.comm().exchange(sends, &specs)?;
+            if let Some((wire, _)) = results.into_iter().next() {
+                scatter(&wire, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,327 @@
+//! The Cartesian collective operations.
+//!
+//! Every operation of §2 is provided in both algorithmic variants:
+//!
+//! | paper name            | combining                  | trivial (Listing 4)           |
+//! |-----------------------|----------------------------|-------------------------------|
+//! | `Cart_alltoall`       | [`CartComm::alltoall`]     | [`CartComm::alltoall_trivial`] |
+//! | `Cart_alltoallv`      | [`CartComm::alltoallv`]    | [`CartComm::alltoallv_trivial`] |
+//! | `Cart_alltoallw`      | [`CartComm::alltoallw`]    | [`CartComm::alltoallw_trivial`] |
+//! | `Cart_allgather`      | [`CartComm::allgather`]    | [`CartComm::allgather_trivial`] |
+//! | `Cart_allgatherv`     | [`CartComm::allgatherv`]   | [`CartComm::allgatherv_trivial`] |
+//! | `Cart_allgatherw`     | [`CartComm::allgatherw`]   | [`CartComm::allgatherw_trivial`] |
+//! | `Cart_*_init`         | [`persistent`] handles     | [`persistent`] handles        |
+//!
+//! The `w` variants take per-neighbor datatypes ([`WBlock`]), eliminating
+//! intermediate buffers for stencil halos (Listing 3); `Cart_allgatherw`
+//! is the operation the paper proposes *adding* to MPI.
+
+pub mod allgather;
+pub mod alltoall;
+pub mod persistent;
+
+pub use persistent::{Algorithm, PersistentCollective};
+
+use cartcomm_types::{Datatype, FlatType};
+
+use crate::cartcomm::CartComm;
+use crate::error::{CartError, CartResult};
+use crate::exec::{BlockLayout, ExecLayouts};
+use crate::plan::PlanKind;
+
+/// One block of an irregular-with-types (`w`) operation: `count` copies of
+/// `ty` at byte displacement `disp` — the `(displacement, count, datatype)`
+/// triple of `MPI_Neighbor_alltoallw`.
+#[derive(Debug, Clone)]
+pub struct WBlock {
+    /// Byte displacement into the buffer.
+    pub disp: i64,
+    /// Number of `ty` elements.
+    pub count: usize,
+    /// Element datatype.
+    pub ty: Datatype,
+}
+
+impl WBlock {
+    /// Convenience constructor.
+    pub fn new(disp: i64, count: usize, ty: &Datatype) -> Self {
+        WBlock {
+            disp,
+            count,
+            ty: ty.clone(),
+        }
+    }
+
+    /// Commit to a block layout.
+    pub fn commit(&self) -> CartResult<BlockLayout> {
+        let ty: FlatType = if self.count == 1 {
+            self.ty.commit()?
+        } else {
+            Datatype::contiguous(self.count, &self.ty).commit()?
+        };
+        Ok(BlockLayout { disp: self.disp, ty })
+    }
+}
+
+// ----- layout builders --------------------------------------------------------
+
+/// Regular layouts: `t` equal contiguous blocks of `block_bytes` each, in
+/// neighbor order, for both send and receive buffers.
+pub(crate) fn regular_layouts(t: usize, block_bytes: usize, kind: PlanKind) -> ExecLayouts {
+    let blocks: Vec<BlockLayout> = (0..t)
+        .map(|i| BlockLayout::contiguous((i * block_bytes) as i64, block_bytes))
+        .collect();
+    let send = match kind {
+        PlanKind::Alltoall => blocks.clone(),
+        PlanKind::Allgather => vec![BlockLayout::contiguous(0, block_bytes)],
+    };
+    ExecLayouts {
+        send,
+        recv: blocks,
+        block_bytes: vec![block_bytes; t],
+        temp_offsets: Vec::new(),
+        temp_sizes: Vec::new(),
+    }
+}
+
+/// Irregular (`v`) layouts from element counts and displacements.
+pub(crate) fn v_layouts(
+    elem_size: usize,
+    sendcounts: &[usize],
+    senddispls: &[usize],
+    recvcounts: &[usize],
+    recvdispls: &[usize],
+    kind: PlanKind,
+) -> CartResult<ExecLayouts> {
+    let t = recvcounts.len();
+    check_len("recvdispls", t, recvdispls.len())?;
+    let recv: Vec<BlockLayout> = (0..t)
+        .map(|i| BlockLayout::contiguous((recvdispls[i] * elem_size) as i64, recvcounts[i] * elem_size))
+        .collect();
+    let send: Vec<BlockLayout> = match kind {
+        PlanKind::Alltoall => {
+            check_len("sendcounts", t, sendcounts.len())?;
+            check_len("senddispls", t, senddispls.len())?;
+            (0..t)
+                .map(|i| {
+                    BlockLayout::contiguous(
+                        (senddispls[i] * elem_size) as i64,
+                        sendcounts[i] * elem_size,
+                    )
+                })
+                .collect()
+        }
+        PlanKind::Allgather => {
+            check_len("sendcounts", 1, sendcounts.len())?;
+            check_len("senddispls", 1, senddispls.len())?;
+            vec![BlockLayout::contiguous(
+                (senddispls[0] * elem_size) as i64,
+                sendcounts[0] * elem_size,
+            )]
+        }
+    };
+    layouts_from_blocks(send, recv, kind)
+}
+
+/// Fully typed (`w`) layouts from per-neighbor datatype blocks.
+pub(crate) fn w_layouts(
+    sendspec: &[WBlock],
+    recvspec: &[WBlock],
+    kind: PlanKind,
+) -> CartResult<ExecLayouts> {
+    let t = recvspec.len();
+    match kind {
+        PlanKind::Alltoall => check_len("sendspec", t, sendspec.len())?,
+        PlanKind::Allgather => check_len("sendspec", 1, sendspec.len())?,
+    }
+    let send = sendspec
+        .iter()
+        .map(|w| w.commit())
+        .collect::<CartResult<Vec<_>>>()?;
+    let recv = recvspec
+        .iter()
+        .map(|w| w.commit())
+        .collect::<CartResult<Vec<_>>>()?;
+    layouts_from_blocks(send, recv, kind)
+}
+
+/// Validate per-index block size agreement and fill in wire sizing.
+pub(crate) fn layouts_from_blocks(
+    send: Vec<BlockLayout>,
+    recv: Vec<BlockLayout>,
+    kind: PlanKind,
+) -> CartResult<ExecLayouts> {
+    let block_bytes: Vec<usize> = recv.iter().map(|b| b.size()).collect();
+    match kind {
+        PlanKind::Alltoall => {
+            for (i, (s, r)) in send.iter().zip(recv.iter()).enumerate() {
+                if s.size() != r.size() {
+                    return Err(CartError::BlockSizeMismatch {
+                        block: i,
+                        send: s.size(),
+                        recv: r.size(),
+                    });
+                }
+            }
+        }
+        PlanKind::Allgather => {
+            let m = send.first().map_or(0, |b| b.size());
+            for (i, r) in recv.iter().enumerate() {
+                if r.size() != m {
+                    return Err(CartError::BlockSizeMismatch {
+                        block: i,
+                        send: m,
+                        recv: r.size(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(ExecLayouts {
+        send,
+        recv,
+        block_bytes,
+        temp_offsets: Vec::new(),
+        temp_sizes: Vec::new(),
+    })
+}
+
+/// Attach the temp-slot sizing a plan needs to its layouts.
+pub(crate) fn size_temp(
+    lay: ExecLayouts,
+    plan_kind: PlanKind,
+    temp_slots: usize,
+) -> CartResult<ExecLayouts> {
+    match plan_kind {
+        PlanKind::Alltoall => {
+            // temp slot i mirrors block i
+            let sizes = lay.block_bytes.clone();
+            debug_assert_eq!(sizes.len(), temp_slots);
+            Ok(lay.with_temp_sizes(sizes))
+        }
+        PlanKind::Allgather => {
+            // temp slots hold forwarded copies of the uniform block
+            let m = lay.send.first().map_or(0, |b| b.size());
+            if lay.block_bytes.iter().any(|&b| b != m) {
+                return Err(CartError::NonUniformAllgatherCounts);
+            }
+            Ok(lay.with_temp_sizes(vec![m; temp_slots]))
+        }
+    }
+}
+
+pub(crate) fn check_len(what: &'static str, expected: usize, actual: usize) -> CartResult<()> {
+    if expected != actual {
+        Err(CartError::BadCounts {
+            what,
+            expected,
+            actual,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Validate a regular typed buffer length.
+pub(crate) fn check_buffer(
+    what: &'static str,
+    expected_bytes: usize,
+    actual_bytes: usize,
+) -> CartResult<()> {
+    if expected_bytes != actual_bytes {
+        Err(CartError::BadBufferSize {
+            what,
+            expected: expected_bytes,
+            actual: actual_bytes,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Guard: message-combining requires a torus in every moving dimension.
+pub(crate) fn check_combining(cart: &CartComm) -> CartResult<()> {
+    if cart.combining_applicable() {
+        Ok(())
+    } else {
+        let dim = (0..cart.topology().ndims())
+            .find(|&k| {
+                !cart.topology().periods()[k]
+                    && cart.neighborhood().offsets().iter().any(|o| o[k] != 0)
+            })
+            .unwrap_or(0);
+        Err(CartError::CombiningNeedsTorus { dim })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cartcomm_types::Primitive;
+
+    #[test]
+    fn regular_layout_offsets() {
+        let lay = regular_layouts(3, 8, PlanKind::Alltoall);
+        assert_eq!(lay.send.len(), 3);
+        assert_eq!(lay.recv[2].disp, 16);
+        assert_eq!(lay.block_bytes, vec![8, 8, 8]);
+        let ag = regular_layouts(3, 8, PlanKind::Allgather);
+        assert_eq!(ag.send.len(), 1);
+        assert_eq!(ag.recv.len(), 3);
+    }
+
+    #[test]
+    fn v_layout_block_sizes() {
+        let lay = v_layouts(4, &[1, 2], &[0, 1], &[1, 2], &[3, 4], PlanKind::Alltoall).unwrap();
+        assert_eq!(lay.block_bytes, vec![4, 8]);
+        assert_eq!(lay.send[1].disp, 4);
+        assert_eq!(lay.recv[1].disp, 16);
+    }
+
+    #[test]
+    fn v_layout_size_mismatch_caught() {
+        let err = v_layouts(4, &[1, 1], &[0, 1], &[1, 2], &[0, 1], PlanKind::Alltoall).unwrap_err();
+        assert!(matches!(err, CartError::BlockSizeMismatch { block: 1, .. }));
+    }
+
+    #[test]
+    fn v_layout_length_checks() {
+        assert!(matches!(
+            v_layouts(4, &[1], &[0, 1], &[1, 1], &[0, 1], PlanKind::Alltoall),
+            Err(CartError::BadCounts { what: "sendcounts", .. })
+        ));
+        assert!(matches!(
+            v_layouts(4, &[1, 1], &[0, 1], &[1, 1], &[0], PlanKind::Alltoall),
+            Err(CartError::BadCounts { what: "recvdispls", .. })
+        ));
+    }
+
+    #[test]
+    fn w_blocks_commit_with_types() {
+        let col = Datatype::vector(3, 1, 4, &Datatype::primitive(Primitive::F64));
+        let w = WBlock::new(8, 1, &col);
+        let bl = w.commit().unwrap();
+        assert_eq!(bl.size(), 24);
+        assert_eq!(bl.disp, 8);
+        let w2 = WBlock::new(0, 2, &Datatype::int());
+        assert_eq!(w2.commit().unwrap().size(), 8);
+    }
+
+    #[test]
+    fn allgather_uniformity_enforced_in_temp_sizing() {
+        let send = vec![BlockLayout::contiguous(0, 4)];
+        let recv = vec![
+            BlockLayout::contiguous(0, 4),
+            BlockLayout::contiguous(4, 4),
+        ];
+        let lay = layouts_from_blocks(send, recv, PlanKind::Allgather).unwrap();
+        assert!(size_temp(lay, PlanKind::Allgather, 2).is_ok());
+
+        let send = vec![BlockLayout::contiguous(0, 4)];
+        let recv = vec![BlockLayout::contiguous(0, 8)];
+        assert!(matches!(
+            layouts_from_blocks(send, recv, PlanKind::Allgather),
+            Err(CartError::BlockSizeMismatch { .. })
+        ));
+    }
+}

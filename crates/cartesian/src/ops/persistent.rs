@@ -1,0 +1,248 @@
+//! Persistent collective handles — the paper's `Cart_*_init` operations.
+//!
+//! An `_init` call takes exactly the same arguments as the collective and
+//! precomputes everything reusable: the communication schedule (shared with
+//! the communicator's cache), the committed per-block datatypes, and the
+//! temporary buffer. Repeated `execute` calls then pay only the gathers,
+//! sends, receives, and scatters — the intended usage pattern of iterative
+//! stencil codes (Listing 3) and the paper's nod to the MPI Forum's
+//! persistent-collectives proposal.
+
+use std::sync::Arc;
+
+use cartcomm_types::{cast_slice, cast_slice_mut, Pod};
+
+use crate::cartcomm::CartComm;
+use crate::error::CartResult;
+use crate::exec::{execute_plan, ExecLayouts, CART_TAG_BASE};
+use crate::ops::{size_temp, v_layouts, w_layouts, WBlock};
+use crate::plan::{Plan, PlanKind};
+
+/// Which algorithm a persistent handle executes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Always the t-round trivial algorithm (Listing 4).
+    Trivial,
+    /// Always the message-combining schedule (§3).
+    Combining,
+    /// Choose per the paper's cut-off: combining iff the average block size
+    /// `m` (bytes) satisfies `m < ratio · (t−C)/(V−t)` where `ratio = α/β`
+    /// is the machine's latency/bandwidth ratio in bytes.
+    Auto {
+        /// α/β in bytes (e.g. ~2 µs / (0.08 ns/B) ≈ 25000).
+        alpha_beta_bytes: f64,
+    },
+}
+
+/// A precomputed persistent collective (the paper's `Cart_*_init` result).
+pub struct PersistentCollective {
+    plan: Arc<Plan>,
+    lay: ExecLayouts,
+    temp: Vec<u8>,
+    use_combining: bool,
+}
+
+impl PersistentCollective {
+    fn build(
+        cart: &CartComm,
+        kind: PlanKind,
+        lay: ExecLayouts,
+        algorithm: Algorithm,
+    ) -> CartResult<Self> {
+        let plan = match kind {
+            PlanKind::Alltoall => cart.alltoall_schedule(),
+            PlanKind::Allgather => cart.allgather_schedule(),
+        };
+        let use_combining = match algorithm {
+            Algorithm::Trivial => false,
+            Algorithm::Combining => true,
+            Algorithm::Auto { alpha_beta_bytes } => {
+                let t = plan.t;
+                let c = plan.rounds;
+                let v = plan.volume_blocks;
+                let m_avg = if t == 0 {
+                    0.0
+                } else {
+                    lay.block_bytes.iter().sum::<usize>() as f64 / t as f64
+                };
+                match crate::cost::cutoff_ratio(t, c, v) {
+                    Some(ratio) => m_avg < alpha_beta_bytes * ratio,
+                    // V == t: combining moves no extra data; prefer it when
+                    // it also saves rounds.
+                    None => c < t,
+                }
+            }
+        };
+        if use_combining {
+            crate::ops::check_combining(cart)?;
+        }
+        let lay = size_temp(lay, kind, plan.temp_slots)?;
+        let temp = vec![0u8; lay.temp_len()];
+        Ok(PersistentCollective {
+            plan,
+            lay,
+            temp,
+            use_combining,
+        })
+    }
+
+    /// Whether this handle resolved to the message-combining schedule.
+    pub fn is_combining(&self) -> bool {
+        self.use_combining
+    }
+
+    /// The plan this handle executes.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// Execute over raw byte buffers (layouts fixed at init time).
+    pub fn execute(&mut self, cart: &CartComm, send: &[u8], recv: &mut [u8]) -> CartResult<()> {
+        if self.use_combining {
+            execute_plan(
+                cart.comm(),
+                cart.topology(),
+                &self.plan,
+                &self.lay,
+                send,
+                recv,
+                &mut self.temp,
+                CART_TAG_BASE,
+            )
+        } else {
+            match self.plan.kind {
+                PlanKind::Alltoall => cart.run_trivial_alltoall(&self.lay, send, recv),
+                PlanKind::Allgather => cart.run_trivial_allgather(&self.lay, send, recv),
+            }
+        }
+    }
+
+    /// Execute sending and receiving in the same buffer (halo-exchange
+    /// mode: interior slabs out, halo regions in). Only available for the
+    /// combining schedule; phase-wise gather-before-scatter makes the
+    /// aliasing safe.
+    pub fn execute_in_place(&mut self, cart: &CartComm, buf: &mut [u8]) -> CartResult<()> {
+        if self.use_combining {
+            crate::exec::execute_plan_in_place(
+                cart.comm(),
+                cart.topology(),
+                &self.plan,
+                &self.lay,
+                buf,
+                &mut self.temp,
+                CART_TAG_BASE,
+            )
+        } else {
+            // The trivial path interleaves sends and receives round by
+            // round; snapshot the buffer to keep in-place semantics exact.
+            let snapshot = buf.to_vec();
+            match self.plan.kind {
+                PlanKind::Alltoall => cart.run_trivial_alltoall(&self.lay, &snapshot, buf),
+                PlanKind::Allgather => cart.run_trivial_allgather(&self.lay, &snapshot, buf),
+            }
+        }
+    }
+
+    /// Execute over typed buffers.
+    pub fn execute_typed<T: Pod>(
+        &mut self,
+        cart: &CartComm,
+        send: &[T],
+        recv: &mut [T],
+    ) -> CartResult<()> {
+        self.execute(cart, cast_slice(send), cast_slice_mut(recv))
+    }
+}
+
+impl CartComm {
+    /// `Cart_alltoall_init`: persistent regular alltoall with `m` elements
+    /// of `T` per block.
+    pub fn alltoall_init<T: Pod>(
+        &self,
+        m: usize,
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        let t = self.neighbor_count();
+        let lay = self.regular_lay::<T>(t * m, t * m, PlanKind::Alltoall)?;
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+    }
+
+    /// `Cart_alltoallv_init`.
+    pub fn alltoallv_init<T: Pod>(
+        &self,
+        sendcounts: &[usize],
+        senddispls: &[usize],
+        recvcounts: &[usize],
+        recvdispls: &[usize],
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        crate::ops::check_len("recvcounts", self.neighbor_count(), recvcounts.len())?;
+        let lay = v_layouts(
+            std::mem::size_of::<T>(),
+            sendcounts,
+            senddispls,
+            recvcounts,
+            recvdispls,
+            PlanKind::Alltoall,
+        )?;
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+    }
+
+    /// `Cart_alltoallw_init` (the Listing 3 pattern: commit the halo
+    /// datatypes once, exchange every iteration).
+    pub fn alltoallw_init(
+        &self,
+        sendspec: &[WBlock],
+        recvspec: &[WBlock],
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
+        let lay = w_layouts(sendspec, recvspec, PlanKind::Alltoall)?;
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+    }
+
+    /// `Cart_allgather_init`: persistent regular allgather with `m`
+    /// elements of `T` per block.
+    pub fn allgather_init<T: Pod>(
+        &self,
+        m: usize,
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        let t = self.neighbor_count();
+        let lay = self.regular_lay::<T>(m, t * m, PlanKind::Allgather)?;
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+    }
+
+    /// `Cart_allgatherv_init`.
+    pub fn allgatherv_init<T: Pod>(
+        &self,
+        sendcount: usize,
+        recvdispls: &[usize],
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        let t = self.neighbor_count();
+        crate::ops::check_len("recvdispls", t, recvdispls.len())?;
+        let recvcounts = vec![sendcount; t];
+        let lay = v_layouts(
+            std::mem::size_of::<T>(),
+            &[sendcount],
+            &[0],
+            &recvcounts,
+            recvdispls,
+            PlanKind::Allgather,
+        )?;
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+    }
+
+    /// `Cart_allgatherw_init`.
+    pub fn allgatherw_init(
+        &self,
+        sendblock: &WBlock,
+        recvspec: &[WBlock],
+        algorithm: Algorithm,
+    ) -> CartResult<PersistentCollective> {
+        crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
+        let lay = w_layouts(std::slice::from_ref(sendblock), recvspec, PlanKind::Allgather)?;
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+    }
+}

@@ -1,0 +1,401 @@
+//! The communication-schedule representation shared by the trivial and
+//! message-combining algorithms.
+//!
+//! A [`Plan`] is rank-independent: it is expressed entirely in *relative*
+//! offset vectors and block indices, because every process in a Cartesian
+//! collective executes the exact same sequence of send-receive rounds (§3).
+//! The executor instantiates it for a concrete rank by resolving each
+//! round's offset to `(send rank, receive rank)` with the relative shift of
+//! Listing 2, and each [`BlockRef`] to a `(buffer, displacement, datatype)`
+//! triple.
+
+use cartcomm_topo::Offset;
+
+/// Which buffer a block reference addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Loc {
+    /// The user's send buffer (block indexed by neighbor for alltoall; the
+    /// single contributed block for allgather).
+    Send,
+    /// The user's receive buffer, block indexed by neighbor.
+    Recv,
+    /// The internal temporary buffer, slot indexed by the plan.
+    Temp,
+}
+
+/// A reference to one data block in one of the three buffers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRef {
+    /// Which buffer.
+    pub loc: Loc,
+    /// Slot within the buffer: the neighbor index for [`Loc::Send`] /
+    /// [`Loc::Recv`] (alltoall), the receive-block index for [`Loc::Recv`]
+    /// (allgather), or the temp-slot id for [`Loc::Temp`].
+    pub slot: usize,
+}
+
+impl BlockRef {
+    /// Shorthand constructor.
+    pub const fn new(loc: Loc, slot: usize) -> Self {
+        BlockRef { loc, slot }
+    }
+}
+
+/// A local block movement that needs no communication (the "possibly one
+/// non-communication phase" of Proposition 3.1: self-blocks, and
+/// zero-coordinate tree edges of the allgather schedule).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalCopy {
+    /// Source block.
+    pub from: BlockRef,
+    /// Destination block.
+    pub to: BlockRef,
+}
+
+/// One send-receive round: all blocks with the same k-th coordinate travel
+/// together to the relative process `offset` (and arrive from `-offset`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanRound {
+    /// The relative offset vector of this round (non-zero in exactly one
+    /// dimension: the paper's `N[i']ₖ⁰`).
+    pub offset: Offset,
+    /// Blocks gathered into the outgoing message, in wire order.
+    pub sends: Vec<BlockRef>,
+    /// Blocks the incoming message scatters into, in wire order.
+    pub recvs: Vec<BlockRef>,
+    /// The neighbor indices whose data volume travels in this round (for
+    /// sizing the wire; `sends[i]` carries the bytes of block
+    /// `block_ids[i]`).
+    pub block_ids: Vec<usize>,
+}
+
+/// One communication phase (one dimension): its rounds are independent and
+/// may execute concurrently (non-blocking, Listing 5), preceded by any
+/// local copies that become possible at this phase.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlanPhase {
+    /// Local copies executed at the start of the phase.
+    pub copies: Vec<LocalCopy>,
+    /// The phase's communication rounds.
+    pub rounds: Vec<PlanRound>,
+}
+
+/// Which collective a plan implements (affects how block sizes resolve).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Personalized blocks: send slot `i` and receive slot `i` hold block
+    /// `i`'s bytes; temp slot `i` matches block `i`'s size.
+    Alltoall,
+    /// One replicated block: every wire block has the size of the single
+    /// send block; temp slots are forwarding nodes of the routing tree.
+    Allgather,
+}
+
+/// A complete, rank-independent communication schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Alltoall or allgather semantics.
+    pub kind: PlanKind,
+    /// The number of dimensions `d` of the underlying topology.
+    pub ndims: usize,
+    /// The number of neighbors `t`.
+    pub t: usize,
+    /// The communication phases in execution order.
+    pub phases: Vec<PlanPhase>,
+    /// Number of temporary-buffer slots the executor must provide.
+    pub temp_slots: usize,
+    /// Total communication rounds `C` (Props. 3.2/3.3).
+    pub rounds: usize,
+    /// Per-process communication volume in blocks `V` (Props. 3.2/3.3):
+    /// the number of block-sends the schedule performs.
+    pub volume_blocks: usize,
+}
+
+impl Plan {
+    /// Recompute `rounds` from the phases (used as an internal invariant
+    /// check; equals the stored value for well-formed plans).
+    pub fn count_rounds(&self) -> usize {
+        self.phases.iter().map(|p| p.rounds.len()).sum()
+    }
+
+    /// Recompute the block volume from the phases.
+    pub fn count_volume(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.rounds)
+            .map(|r| r.sends.len())
+            .sum()
+    }
+
+    /// All local copies across phases.
+    pub fn all_copies(&self) -> impl Iterator<Item = &LocalCopy> {
+        self.phases.iter().flat_map(|p| &p.copies)
+    }
+
+    /// Internal consistency checks used by tests and debug builds:
+    /// * every round's `sends`, `recvs`, `block_ids` have equal length,
+    /// * every round offset is non-zero in exactly one dimension,
+    /// * stored counters match the recomputed ones,
+    /// * temp slot ids are in range.
+    pub fn validate(&self) -> Result<(), String> {
+        for (pi, phase) in self.phases.iter().enumerate() {
+            for (ri, round) in phase.rounds.iter().enumerate() {
+                if round.sends.len() != round.recvs.len()
+                    || round.sends.len() != round.block_ids.len()
+                {
+                    return Err(format!(
+                        "phase {pi} round {ri}: mismatched send/recv/block lists"
+                    ));
+                }
+                if round.sends.is_empty() {
+                    return Err(format!("phase {pi} round {ri}: empty round"));
+                }
+                let nz = round.offset.iter().filter(|&&c| c != 0).count();
+                if nz != 1 {
+                    return Err(format!(
+                        "phase {pi} round {ri}: offset {:?} must be non-zero in exactly one dimension",
+                        round.offset
+                    ));
+                }
+                for br in round.sends.iter().chain(round.recvs.iter()) {
+                    if br.loc == Loc::Temp && br.slot >= self.temp_slots {
+                        return Err(format!(
+                            "phase {pi} round {ri}: temp slot {} out of range {}",
+                            br.slot, self.temp_slots
+                        ));
+                    }
+                }
+            }
+            for c in &phase.copies {
+                for br in [c.from, c.to] {
+                    if br.loc == Loc::Temp && br.slot >= self.temp_slots {
+                        return Err(format!("phase {pi}: copy temp slot out of range"));
+                    }
+                }
+            }
+        }
+        if self.count_rounds() != self.rounds {
+            return Err(format!(
+                "stored rounds {} != actual {}",
+                self.rounds,
+                self.count_rounds()
+            ));
+        }
+        if self.count_volume() != self.volume_blocks {
+            return Err(format!(
+                "stored volume {} != actual {}",
+                self.volume_blocks,
+                self.count_volume()
+            ));
+        }
+        Ok(())
+    }
+
+    /// Bytes on the wire per round, given per-neighbor block sizes
+    /// (alltoall) or the uniform block size replicated per wire slot
+    /// (allgather). Used by the simulator.
+    pub fn round_bytes(&self, block_bytes: &dyn Fn(usize) -> usize) -> Vec<usize> {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.rounds)
+            .map(|r| r.block_ids.iter().map(|&b| block_bytes(b)).sum())
+            .collect()
+    }
+}
+
+impl Plan {
+    /// Render the schedule's dataflow as a Graphviz digraph: one node per
+    /// buffer slot touched, one edge per block movement (labeled with the
+    /// phase and relative offset), local copies dashed. Pipe into `dot
+    /// -Tsvg` to visualize routing trees and the alltoall's buffer
+    /// alternation.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph schedule {\n  rankdir=LR;\n");
+        let name = |br: &BlockRef| -> String {
+            match br.loc {
+                Loc::Send => format!("send_{}", br.slot),
+                Loc::Recv => format!("recv_{}", br.slot),
+                Loc::Temp => format!("temp_{}", br.slot),
+            }
+        };
+        let mut declared = std::collections::BTreeSet::new();
+        let mut declare = |out: &mut String, br: &BlockRef| {
+            let n = name(br);
+            if declared.insert(n.clone()) {
+                let (shape, color) = match br.loc {
+                    Loc::Send => ("box", "lightblue"),
+                    Loc::Recv => ("box", "lightgreen"),
+                    Loc::Temp => ("ellipse", "lightgray"),
+                };
+                let _ = writeln!(
+                    out,
+                    "  {n} [shape={shape}, style=filled, fillcolor={color}];"
+                );
+            }
+        };
+        for (k, phase) in self.phases.iter().enumerate() {
+            for copy in &phase.copies {
+                declare(&mut out, &copy.from);
+                declare(&mut out, &copy.to);
+                let _ = writeln!(
+                    out,
+                    "  {} -> {} [style=dashed, label=\"p{k} copy\"];",
+                    name(&copy.from),
+                    name(&copy.to)
+                );
+            }
+            for round in &phase.rounds {
+                for j in 0..round.block_ids.len() {
+                    declare(&mut out, &round.sends[j]);
+                    declare(&mut out, &round.recvs[j]);
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {} [label=\"p{k} {:?} b{}\"];",
+                        name(&round.sends[j]),
+                        name(&round.recvs[j]),
+                        round.offset,
+                        round.block_ids[j]
+                    );
+                }
+            }
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+impl std::fmt::Display for Plan {
+    /// Human-readable schedule dump: one line per round with the relative
+    /// offset, partner directions, and the blocks on the wire — the
+    /// "arrays of datatypes and ranks" view of §3.4.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:?} schedule: d={}, t={}, C={} rounds, V={} blocks, {} temp slots",
+            self.kind, self.ndims, self.t, self.rounds, self.volume_blocks, self.temp_slots
+        )?;
+        for (k, phase) in self.phases.iter().enumerate() {
+            writeln!(f, "phase {k}:")?;
+            for copy in &phase.copies {
+                writeln!(
+                    f,
+                    "  copy  {:?}[{}] -> {:?}[{}]",
+                    copy.from.loc, copy.from.slot, copy.to.loc, copy.to.slot
+                )?;
+            }
+            for round in &phase.rounds {
+                write!(f, "  round offset {:?}:", round.offset)?;
+                for (j, &b) in round.block_ids.iter().enumerate() {
+                    write!(
+                        f,
+                        " [{}:{:?}[{}]->{:?}[{}]]",
+                        b,
+                        round.sends[j].loc,
+                        round.sends[j].slot,
+                        round.recvs[j].loc,
+                        round.recvs[j].slot
+                    )?;
+                }
+                writeln!(f)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> Plan {
+        Plan {
+            kind: PlanKind::Alltoall,
+            ndims: 2,
+            t: 2,
+            phases: vec![PlanPhase {
+                copies: vec![],
+                rounds: vec![PlanRound {
+                    offset: vec![1, 0],
+                    sends: vec![BlockRef::new(Loc::Send, 0)],
+                    recvs: vec![BlockRef::new(Loc::Recv, 0)],
+                    block_ids: vec![0],
+                }],
+            }],
+            temp_slots: 0,
+            rounds: 1,
+            volume_blocks: 1,
+        }
+    }
+
+    #[test]
+    fn valid_plan_passes() {
+        assert!(tiny_plan().validate().is_ok());
+    }
+
+    #[test]
+    fn counter_mismatch_detected() {
+        let mut p = tiny_plan();
+        p.rounds = 7;
+        assert!(p.validate().unwrap_err().contains("rounds"));
+        let mut p = tiny_plan();
+        p.volume_blocks = 9;
+        assert!(p.validate().unwrap_err().contains("volume"));
+    }
+
+    #[test]
+    fn multi_axis_offset_rejected() {
+        let mut p = tiny_plan();
+        p.phases[0].rounds[0].offset = vec![1, 1];
+        assert!(p.validate().is_err());
+        p.phases[0].rounds[0].offset = vec![0, 0];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn temp_slot_bounds_checked() {
+        let mut p = tiny_plan();
+        p.phases[0].rounds[0].sends = vec![BlockRef::new(Loc::Temp, 3)];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn mismatched_lists_rejected() {
+        let mut p = tiny_plan();
+        p.phases[0].rounds[0].block_ids = vec![0, 1];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn round_bytes_sums_block_sizes() {
+        let p = tiny_plan();
+        let sizes = p.round_bytes(&|_b| 40);
+        assert_eq!(sizes, vec![40]);
+    }
+
+    #[test]
+    fn display_shows_rounds_and_counters() {
+        let p = tiny_plan();
+        let s = p.to_string();
+        assert!(s.contains("C=1 rounds"));
+        assert!(s.contains("V=1 blocks"));
+        assert!(s.contains("offset [1, 0]"));
+    }
+
+    #[test]
+    fn dot_export_is_wellformed() {
+        let mut p = tiny_plan();
+        p.phases[0].copies.push(LocalCopy {
+            from: BlockRef::new(Loc::Send, 1),
+            to: BlockRef::new(Loc::Recv, 1),
+        });
+        let dot = p.to_dot();
+        assert!(dot.starts_with("digraph schedule {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("send_0 -> recv_0"));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("fillcolor=lightblue"));
+        // nodes declared once even if reused
+        assert_eq!(dot.matches("send_1 [").count(), 1);
+    }
+}

@@ -1,0 +1,298 @@
+//! Cartesian neighborhood reductions — the extension §2.2 floats
+//! ("Cartesian reduction operations could also be considered, as discussed
+//! in \[16\]").
+//!
+//! `Cart_neighbor_reduce` combines, at every process, the data blocks of
+//! all its `t` *source* neighbors (and optionally its own contribution)
+//! with an element-wise associative, commutative operator — the sparse
+//! counterpart of `MPI_Reduce` restricted to a stencil, e.g. accumulating
+//! flux contributions from all surrounding subdomains.
+//!
+//! Two algorithms are provided, mirroring the alltoall/allgather pair:
+//!
+//! * **trivial**: `t` sendrecv rounds, reducing each arriving block into
+//!   the accumulator (Listing 4 shape, volume `t`).
+//! * **tree-combining**: the message-combining *allgather* schedule run in
+//!   reverse. Allgather routes one block from each process *outward* along
+//!   a tree to all its targets; reversing every round (swap send/receive
+//!   partners, walk phases backwards) routes one partial sum from each
+//!   *source* inward, reducing partial blocks at every join — volume =
+//!   tree edges, `C` rounds, by the same argument as Proposition 3.3.
+//!
+//! The reduction operator must be associative and commutative: the tree
+//! reassociates sums in an order that depends on the neighborhood, and
+//! with repeated offsets even the trivial algorithm's order is unspecified.
+
+use cartcomm_comm::{RecvSpec, Tag};
+use cartcomm_types::{cast_slice, Pod};
+
+use crate::cartcomm::CartComm;
+use crate::error::{CartError, CartResult};
+use crate::ops::check_combining;
+use crate::plan::{Loc, PlanKind};
+
+/// Tag base for reduction rounds.
+pub const REDUCE_TAG_BASE: Tag = 0x7E00_0000;
+
+impl CartComm {
+    /// Trivial neighborhood reduction: element-wise reduce the blocks of
+    /// all `t` source neighbors (`self − N[i]`) into `acc`, which starts
+    /// from the caller's own contribution. `op` must be associative and
+    /// commutative. Each process *sends* its block toward every target
+    /// neighbor, as in the allgather.
+    pub fn neighbor_reduce_trivial<T, F>(&self, acc: &mut [T], op: F) -> CartResult<()>
+    where
+        T: Pod,
+        F: Fn(T, T) -> T,
+    {
+        let contribution = cast_slice(acc).to_vec();
+        for (i, off) in self.neighborhood().offsets().iter().enumerate() {
+            let tag = REDUCE_TAG_BASE + i as Tag;
+            if off.iter().all(|&c| c == 0) {
+                // self neighbor: reduce own contribution once more
+                reduce_wire_into::<T, F>(&contribution, acc, &op)?;
+                continue;
+            }
+            let (source, target) = self.relative_shift(off)?;
+            let mut sends = Vec::with_capacity(1);
+            if let Some(dst) = target {
+                sends.push((dst, tag, contribution.clone()));
+            }
+            let mut specs = Vec::with_capacity(1);
+            if let Some(src) = source {
+                specs.push(RecvSpec::from_rank(src, tag));
+            }
+            let results = self.comm().exchange(sends, &specs)?;
+            if let Some((wire, _)) = results.into_iter().next() {
+                reduce_wire_into::<T, F>(&wire, acc, &op)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Tree-combining neighborhood reduction: the allgather schedule run in
+    /// reverse, reducing partial blocks at every intermediate hop. `C`
+    /// rounds and volume = allgather tree edges (≤ `t`); for the Table 1
+    /// stencil families it therefore beats the trivial algorithm at every
+    /// block size, just like the combining allgather.
+    pub fn neighbor_reduce<T, F>(&self, acc: &mut [T], op: F) -> CartResult<()>
+    where
+        T: Pod,
+        F: Fn(T, T) -> T,
+    {
+        check_combining(self)?;
+        // The allgather tree on the *negated* neighborhood routes each
+        // process's block to its SOURCE neighbors r − N[j]; reversing that
+        // flow funnels exactly the source contributions back to r, matching
+        // the trivial algorithm's semantics. (Rounds and volume are the
+        // same as the forward tree by sign symmetry of the C_k counts.)
+        let plan = crate::schedule::allgather_plan(&self.neighborhood().negated());
+        debug_assert_eq!(plan.kind, PlanKind::Allgather);
+        let m = acc.len();
+        let t = plan.t;
+        if t == 0 {
+            return Ok(());
+        }
+
+        // Reversal of the allgather dataflow: for every forward round
+        // "send slot_from -> recv slot_to over +offset", the reduction
+        // sends the accumulated value of slot_to over -offset and reduces
+        // it into slot_from; phases run backwards. A slot is complete
+        // before its reversed send because the forward plan wrote slot_to
+        // at phase k and read it only at phases > k — reversed, everything
+        // reducing INTO slot_to happens strictly before the round that
+        // ships it. The root slot's accumulator is the result.
+        let mut slots: Vec<Option<Vec<u8>>> = Vec::new();
+        let own = cast_slice(acc).to_vec();
+        let n_temp = plan.temp_slots;
+        // slot indexing: 0 => the root/result accumulator (allgather's
+        // Send slot); 1..=t => Recv blocks; t+1.. => temp slots.
+        let total_slots = 1 + t + n_temp;
+        slots.resize(total_slots, None);
+        let slot_index = |loc: Loc, s: usize| -> usize {
+            match loc {
+                Loc::Send => 0,
+                Loc::Recv => 1 + s,
+                Loc::Temp => 1 + t + s,
+            }
+        };
+
+        // Injection rule: in the forward allgather, every Recv slot is a
+        // *delivery* of one neighbor's copy; reversed, every Recv slot is
+        // an injection point of the own contribution (one per neighbor
+        // index, preserving multiplicities of repeated offsets), and the
+        // root (the forward send buffer) injects the own contribution as
+        // the result's starting value. Temp slots are pure join points and
+        // start empty.
+        slots[0] = Some(own.clone());
+        for j in 0..t {
+            slots[1 + j] = Some(own.clone());
+        }
+
+        // Execute reversed: phases backwards; within a phase, rounds are
+        // independent (disjoint slots), so their order is irrelevant —
+        // keep plan order, with reversed roles. Tags mirror the forward
+        // numbering so all ranks agree.
+        let rounds_per_phase: Vec<usize> = plan.phases.iter().map(|p| p.rounds.len()).collect();
+        let phase_base: Vec<usize> = rounds_per_phase
+            .iter()
+            .scan(0usize, |acc, &n| {
+                let b = *acc;
+                *acc += n;
+                Some(b)
+            })
+            .collect();
+        for (k, phase) in plan.phases.iter().enumerate().rev() {
+            // Reversed communication first, then reversed copies (the
+            // forward plan did copies first).
+            if !phase.rounds.is_empty() {
+                let mut sends = Vec::with_capacity(phase.rounds.len());
+                let mut specs = Vec::with_capacity(phase.rounds.len());
+                for (ri, round) in phase.rounds.iter().enumerate() {
+                    // forward: send to +offset, receive from -offset.
+                    // reversed: send to -offset, receive from +offset.
+                    let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
+                    let dst = self
+                        .topology()
+                        .rank_of_offset(self.rank(), &neg)?
+                        .ok_or(CartError::CombiningNeedsTorus { dim: 0 })?;
+                    let src = self
+                        .topology()
+                        .rank_of_offset(self.rank(), &round.offset)?
+                        .ok_or(CartError::CombiningNeedsTorus { dim: 0 })?;
+                    let tag = REDUCE_TAG_BASE + (phase_base[k] + ri) as Tag;
+                    // wire carries the accumulated value of every forward
+                    // recv slot, in wire order
+                    let mut wire = Vec::with_capacity(round.recvs.len() * m * 4);
+                    for br in &round.recvs {
+                        let idx = slot_index(br.loc, br.slot);
+                        let slot = slots[idx]
+                            .as_deref()
+                            .expect("reversed send of an incomplete slot");
+                        wire.extend_from_slice(slot);
+                    }
+                    sends.push((dst, tag, wire));
+                    specs.push(RecvSpec::from_rank(src, tag));
+                }
+                let results = self.comm().exchange(sends, &specs)?;
+                for (round, (wire, _)) in phase.rounds.iter().zip(results) {
+                    let block_bytes = own.len();
+                    let mut pos = 0usize;
+                    for br in &round.sends {
+                        let idx = slot_index(br.loc, br.slot);
+                        let piece = &wire[pos..pos + block_bytes];
+                        pos += block_bytes;
+                        match slots[idx].take() {
+                            None => slots[idx] = Some(piece.to_vec()),
+                            Some(mut current) => {
+                                reduce_bytes_into::<T, F>(piece, &mut current, &op)?;
+                                slots[idx] = Some(current);
+                            }
+                        }
+                    }
+                    if pos != wire.len() {
+                        return Err(CartError::BadBufferSize {
+                            what: "reversed reduction message",
+                            expected: pos,
+                            actual: wire.len(),
+                        });
+                    }
+                }
+            }
+            for copy in phase.copies.iter().rev() {
+                // forward copy from -> to becomes reversed reduce to -> from
+                let from_idx = slot_index(copy.to.loc, copy.to.slot);
+                let to_idx = slot_index(copy.from.loc, copy.from.slot);
+                let piece = slots[from_idx]
+                    .clone()
+                    .expect("reversed copy of an incomplete slot");
+                match slots[to_idx].take() {
+                    None => slots[to_idx] = Some(piece),
+                    Some(mut current) => {
+                        reduce_bytes_into::<T, F>(&piece, &mut current, &op)?;
+                        slots[to_idx] = Some(current);
+                    }
+                }
+            }
+        }
+
+        // Slot 0 holds own + contributions of all source neighbors.
+        let out = slots[0].take().expect("root accumulator present");
+        reduce_assign::<T>(acc, &out)?;
+        Ok(())
+    }
+}
+
+/// acc := wire-reduced-into-acc, element-wise.
+fn reduce_wire_into<T, F>(wire: &[u8], acc: &mut [T], op: &F) -> CartResult<()>
+where
+    T: Pod,
+    F: Fn(T, T) -> T,
+{
+    if wire.len() != std::mem::size_of_val(acc) {
+        return Err(CartError::BadBufferSize {
+            what: "reduction block",
+            expected: std::mem::size_of_val(acc),
+            actual: wire.len(),
+        });
+    }
+    let incoming: Vec<T> = wire
+        .chunks_exact(std::mem::size_of::<T>())
+        .map(read_pod::<T>)
+        .collect();
+    for (a, b) in acc.iter_mut().zip(incoming) {
+        *a = op(*a, b);
+    }
+    Ok(())
+}
+
+/// current := op(current, piece), both as raw bytes of T.
+fn reduce_bytes_into<T, F>(piece: &[u8], current: &mut [u8], op: &F) -> CartResult<()>
+where
+    T: Pod,
+    F: Fn(T, T) -> T,
+{
+    if piece.len() != current.len() {
+        return Err(CartError::BadBufferSize {
+            what: "reduction partial",
+            expected: current.len(),
+            actual: piece.len(),
+        });
+    }
+    let sz = std::mem::size_of::<T>();
+    for (c, p) in current.chunks_exact_mut(sz).zip(piece.chunks_exact(sz)) {
+        let v = op(read_pod::<T>(c), read_pod::<T>(p));
+        write_pod(c, v);
+    }
+    Ok(())
+}
+
+/// acc := bytes (overwrite).
+fn reduce_assign<T: Pod>(acc: &mut [T], bytes: &[u8]) -> CartResult<()> {
+    if bytes.len() != std::mem::size_of_val(acc) {
+        return Err(CartError::BadBufferSize {
+            what: "reduction result",
+            expected: std::mem::size_of_val(acc),
+            actual: bytes.len(),
+        });
+    }
+    for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(std::mem::size_of::<T>())) {
+        *a = read_pod::<T>(c);
+    }
+    Ok(())
+}
+
+#[inline]
+fn read_pod<T: Pod>(bytes: &[u8]) -> T {
+    debug_assert_eq!(bytes.len(), std::mem::size_of::<T>());
+    // SAFETY: T is Pod (any bit pattern valid); read_unaligned avoids
+    // alignment requirements on the byte buffer.
+    unsafe { std::ptr::read_unaligned(bytes.as_ptr().cast::<T>()) }
+}
+
+#[inline]
+fn write_pod<T: Pod>(bytes: &mut [u8], v: T) {
+    debug_assert_eq!(bytes.len(), std::mem::size_of::<T>());
+    // SAFETY: as above.
+    unsafe { std::ptr::write_unaligned(bytes.as_mut_ptr().cast::<T>(), v) }
+}

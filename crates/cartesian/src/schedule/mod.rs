@@ -1,0 +1,17 @@
+//! Schedule computation for the message-combining Cartesian collectives.
+//!
+//! Both algorithms route data blocks by straightforward, coordinate-wise
+//! path expansion: a block for relative neighbor `N[i] = (n₀, …, n_{d−1})`
+//! travels via the intermediate relative processes `(n₀, 0, …, 0)`,
+//! `(n₀, n₁, 0, …, 0)`, …, moving once per non-zero coordinate. The
+//! schedules run in `d` communication phases; phase `k` has one round per
+//! distinct non-zero k-th coordinate in the neighborhood, and each round
+//! combines all blocks sharing that coordinate into one message
+//! (Proposition 3.1: computable in O(td) time, locally, with no
+//! communication).
+
+pub mod allgather;
+pub mod alltoall;
+
+pub use allgather::{allgather_plan, allgather_plan_with_order, DimOrder};
+pub use alltoall::alltoall_plan;

@@ -1,0 +1,157 @@
+//! Stress tests for the mesh extension: message-combining alltoall with
+//! per-rank live-block filtering must match the trivial algorithm on
+//! arbitrary non-periodic and mixed-periodicity topologies.
+
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::{CartTopology, RelNeighborhood};
+
+fn check(dims: &[usize], periods: &[bool], nb: RelNeighborhood, m: usize) {
+    let p: usize = dims.iter().product();
+    let topo = CartTopology::new(dims, periods).unwrap();
+    let t = nb.len();
+    let payload = |rank: usize, block: usize, e: usize| (rank * 10_000 + block * 10 + e) as i32;
+    Universe::run(p, |comm| {
+        let cart = CartComm::create(comm, dims, periods, nb.clone()).unwrap();
+        let rank = cart.rank();
+        let send: Vec<i32> = (0..t * m)
+            .map(|x| payload(rank, x / m.max(1), x % m.max(1)))
+            .collect();
+        let mut combining = vec![-1i32; t * m];
+        let mut trivial = vec![-1i32; t * m];
+        cart.alltoall(&send, &mut combining).unwrap();
+        cart.alltoall_trivial(&send, &mut trivial).unwrap();
+        // trivial leaves missing-neighbor blocks untouched; the mesh
+        // combining path must behave identically
+        assert_eq!(combining, trivial, "rank {rank}");
+        // and both match the direct expectation
+        for (i, off) in nb.offsets().iter().enumerate() {
+            let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
+            match topo.rank_of_offset(rank, &neg).unwrap() {
+                Some(src) => {
+                    for e in 0..m {
+                        assert_eq!(combining[i * m + e], payload(src, i, e));
+                    }
+                }
+                None => {
+                    for e in 0..m {
+                        assert_eq!(combining[i * m + e], -1, "missing block {i} written");
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn moore_2d_full_mesh() {
+    check(&[3, 3], &[false, false], RelNeighborhood::moore(2, 1).unwrap(), 2);
+    check(&[4, 4], &[false, false], RelNeighborhood::moore(2, 1).unwrap(), 1);
+}
+
+#[test]
+fn moore_3d_mesh() {
+    check(
+        &[3, 3, 3],
+        &[false; 3],
+        RelNeighborhood::moore(3, 1).unwrap(),
+        1,
+    );
+}
+
+#[test]
+fn asymmetric_family_on_mesh() {
+    // offsets up to +2: corner processes miss many neighbors
+    check(
+        &[4, 4],
+        &[false, false],
+        RelNeighborhood::stencil_family(2, 4, -1).unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn mixed_periodicity_partial_wrap() {
+    // dim 0 periodic (wraps), dim 1 mesh (prunes) — blocks must route
+    // through the wrap while dying at the dim-1 boundary.
+    check(
+        &[3, 4],
+        &[true, false],
+        RelNeighborhood::moore(2, 1).unwrap(),
+        2,
+    );
+    check(
+        &[4, 3],
+        &[false, true],
+        RelNeighborhood::stencil_family(2, 3, -1).unwrap(),
+        1,
+    );
+}
+
+#[test]
+fn long_offsets_on_narrow_mesh() {
+    // offsets larger than the mesh: many processes have no such neighbor
+    // at all; a few in the middle do (|offset| < size).
+    let nb = RelNeighborhood::new(2, vec![vec![2, 0], vec![-2, 1], vec![1, -2]]).unwrap();
+    check(&[4, 4], &[false, false], nb, 2);
+}
+
+#[test]
+fn offsets_that_never_fit() {
+    // |offset| >= size in a mesh dimension: no process has this neighbor;
+    // the operation must still complete (all blocks dead).
+    let nb = RelNeighborhood::new(1, vec![vec![5], vec![-5], vec![1]]).unwrap();
+    check(&[4], &[false], nb, 3);
+}
+
+#[test]
+fn with_self_blocks_on_mesh() {
+    let nb = RelNeighborhood::stencil_family_with_self(2, 3, -1, true).unwrap();
+    check(&[3, 3], &[false, false], nb, 2);
+}
+
+#[test]
+fn random_neighborhoods_on_random_meshes() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(4242);
+    for _ in 0..10 {
+        let d = rng.gen_range(1..4);
+        let dims: Vec<usize> = (0..d).map(|_| rng.gen_range(2..5)).collect();
+        let periods: Vec<bool> = (0..d).map(|_| rng.gen_bool(0.4)).collect();
+        let t = rng.gen_range(1..7);
+        let offsets: Vec<Vec<i64>> = (0..t)
+            .map(|_| (0..d).map(|_| rng.gen_range(-3i64..4)).collect())
+            .collect();
+        let nb = RelNeighborhood::new(d, offsets).unwrap();
+        let m = rng.gen_range(1..4);
+        check(&dims, &periods, nb, m);
+    }
+}
+
+#[test]
+fn irregular_v_on_mesh() {
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let counts: Vec<usize> = (0..t).map(|i| i % 3 + 1).collect();
+    let displs: Vec<usize> = counts
+        .iter()
+        .scan(0usize, |a, &c| {
+            let v = *a;
+            *a += c;
+            Some(v)
+        })
+        .collect();
+    let total: usize = counts.iter().sum();
+    Universe::run(9, |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[false, false], nb.clone()).unwrap();
+        let rank = cart.rank();
+        let send: Vec<i32> = (0..total).map(|x| (rank * 100 + x) as i32).collect();
+        let mut a = vec![-1i32; total];
+        let mut b = vec![-1i32; total];
+        cart.alltoallv(&send, &counts, &displs, &mut a, &counts, &displs)
+            .unwrap();
+        cart.alltoallv_trivial(&send, &counts, &displs, &mut b, &counts, &displs)
+            .unwrap();
+        assert_eq!(a, b, "rank {rank}");
+    });
+}

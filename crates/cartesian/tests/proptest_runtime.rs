@@ -1,0 +1,113 @@
+//! Property-based *runtime* tests: random neighborhoods executed on real
+//! thread universes, with proptest shrinking any failure down to a minimal
+//! counterexample. Case counts are kept small — each case spins up a
+//! universe — but shrinkage makes these far more informative than fixed
+//! random sweeps when something breaks.
+
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::RelNeighborhood;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    dims: Vec<usize>,
+    periods: Vec<bool>,
+    offsets: Vec<Vec<i64>>,
+    m: usize,
+}
+
+fn arb_case() -> impl Strategy<Value = Case> {
+    (1usize..3)
+        .prop_flat_map(|d| {
+            (
+                proptest::collection::vec(2usize..4, d..=d),
+                proptest::collection::vec(any::<bool>(), d..=d),
+                proptest::collection::vec(
+                    proptest::collection::vec(-2i64..3, d..=d),
+                    1..5,
+                ),
+                1usize..3,
+            )
+        })
+        .prop_map(|(dims, periods, offsets, m)| Case {
+            dims,
+            periods,
+            offsets,
+            m,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 64,
+        .. ProptestConfig::default()
+    })]
+
+    /// Combining and trivial alltoall agree bit-for-bit on arbitrary
+    /// topologies (tori, meshes, mixed) and neighborhoods.
+    #[test]
+    fn combining_equals_trivial_alltoall(case in arb_case()) {
+        let Case { dims, periods, offsets, m } = case;
+        let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
+        let t = nb.len();
+        let p: usize = dims.iter().product();
+        let results = Universe::run(p, |comm| {
+            let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+            let mut a = vec![-5i32; t * m];
+            let mut b = vec![-5i32; t * m];
+            cart.alltoall(&send, &mut a).unwrap();
+            cart.alltoall_trivial(&send, &mut b).unwrap();
+            (a, b)
+        });
+        for (rank, (a, b)) in results.into_iter().enumerate() {
+            prop_assert_eq!(a, b, "divergence at rank {}", rank);
+        }
+    }
+
+    /// Combining and trivial allgather agree on arbitrary topologies.
+    #[test]
+    fn combining_equals_trivial_allgather(case in arb_case()) {
+        let Case { dims, periods, offsets, m } = case;
+        let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
+        let t = nb.len();
+        let p: usize = dims.iter().product();
+        let results = Universe::run(p, |comm| {
+            let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+            let mut a = vec![-5i32; t * m];
+            let mut b = vec![-5i32; t * m];
+            cart.allgather(&send, &mut a).unwrap();
+            cart.allgather_trivial(&send, &mut b).unwrap();
+            (a, b)
+        });
+        for (rank, (a, b)) in results.into_iter().enumerate() {
+            prop_assert_eq!(a, b, "divergence at rank {}", rank);
+        }
+    }
+
+    /// Tree and trivial reductions agree on arbitrary tori.
+    #[test]
+    fn combining_equals_trivial_reduce(case in arb_case()) {
+        let Case { dims, offsets, m, .. } = case;
+        let periods = vec![true; dims.len()]; // tree reduce is torus-only
+        let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
+        let p: usize = dims.iter().product();
+        let results = Universe::run(p, |comm| {
+            let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let mut a: Vec<i64> = (0..m).map(|e| (rank * 7 + e) as i64).collect();
+            let mut b = a.clone();
+            cart.neighbor_reduce(&mut a, |x, y| x + y).unwrap();
+            cart.neighbor_reduce_trivial(&mut b, |x, y| x + y).unwrap();
+            (a, b)
+        });
+        for (rank, (a, b)) in results.into_iter().enumerate() {
+            prop_assert_eq!(a, b, "divergence at rank {}", rank);
+        }
+    }
+}

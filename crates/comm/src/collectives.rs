@@ -1,0 +1,298 @@
+//! Global collective operations over the whole universe.
+//!
+//! The Cartesian library needs only a few of these at setup time — the
+//! isomorphism check of §2.2 broadcasts the neighbor count and the sorted
+//! root neighborhood — but tests and benchmarks use the rest. All of them
+//! run in the reserved internal context so they can never intercept user
+//! point-to-point traffic, and each collective call consumes one tag from
+//! the reserved space so back-to-back collectives cannot interfere either
+//! (all ranks must call collectives in the same order, as in MPI).
+
+use cartcomm_types::{cast_slice, Pod};
+
+use crate::comm::Comm;
+use crate::envelope::{RESERVED_TAG_BASE, Tag};
+use crate::error::{CommError, CommResult};
+
+/// Rounds reserved per collective call in the tag space (no collective here
+/// uses more than `usize::BITS` rounds).
+const ROUNDS_PER_CALL: u32 = 64;
+
+impl Comm {
+    /// Base tag for the next collective call. Every rank advances its own
+    /// per-rank sequence counter; because collectives must be called in the
+    /// same order on every rank (as in MPI), the sequences — and hence the
+    /// tags — agree across ranks, and distinct calls use disjoint tag
+    /// ranges so wildcard receives of one call can never steal messages of
+    /// the next.
+    fn coll_tag(&self) -> Tag {
+        let seq = self.next_coll_seq();
+        RESERVED_TAG_BASE + (seq % ((u32::MAX - RESERVED_TAG_BASE) / ROUNDS_PER_CALL)) * ROUNDS_PER_CALL
+    }
+
+    /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
+    pub fn barrier(&self) -> CommResult<()> {
+        let ic = self.internal();
+        let p = ic.size();
+        let r = ic.rank();
+        let tag = self.coll_tag();
+        let mut k = 1usize;
+        let mut round: Tag = 0;
+        while k < p {
+            let dst = (r + k) % p;
+            let src = (r + p - k) % p;
+            ic.send_bytes(dst, tag + round, Vec::new())?;
+            let _ = ic.recv_bytes(src, tag + round)?;
+            k <<= 1;
+            round += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast `data` (resized on non-roots) from `root` to all ranks
+    /// along a binomial tree, ⌈log₂ p⌉ rounds.
+    pub fn bcast_bytes(&self, root: usize, data: &mut Vec<u8>) -> CommResult<()> {
+        let ic = self.internal();
+        let p = ic.size();
+        if root >= p {
+            return Err(CommError::InvalidRank { rank: root, size: p });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        let tag = self.coll_tag();
+        let vrank = (ic.rank() + p - root) % p;
+        // Receive from parent (unless root).
+        if vrank != 0 {
+            // parent clears lowest set bit
+            let parent_v = vrank & (vrank - 1);
+            let parent = (parent_v + root) % p;
+            let (wire, _) = ic.recv_bytes(parent, tag)?;
+            *data = wire;
+        }
+        // Send to children: vrank + 2^k for each k above our lowest set bit.
+        let low = if vrank == 0 {
+            usize::BITS
+        } else {
+            vrank.trailing_zeros()
+        };
+        let mut k = 0u32;
+        while (1usize << k) < p {
+            if k < low {
+                let child_v = vrank | (1 << k);
+                if child_v != vrank && child_v < p {
+                    let child = (child_v + root) % p;
+                    ic.send_bytes(child, tag, data.clone())?;
+                }
+            }
+            k += 1;
+        }
+        Ok(())
+    }
+
+    /// Broadcast a typed value from `root`.
+    pub fn bcast_slice<T: Pod>(&self, root: usize, data: &mut [T]) -> CommResult<()> {
+        let mut wire = if self.rank() == root {
+            cast_slice(data).to_vec()
+        } else {
+            Vec::new()
+        };
+        self.bcast_bytes(root, &mut wire)?;
+        let dst = cartcomm_types::cast_slice_mut(data);
+        if wire.len() != dst.len() {
+            return Err(CommError::Truncation {
+                received: wire.len(),
+                capacity: dst.len(),
+            });
+        }
+        dst.copy_from_slice(&wire);
+        Ok(())
+    }
+
+    /// Gather equal-size byte blocks from all ranks to `root`. Returns
+    /// `Some(blocks)` (indexed by rank) on the root, `None` elsewhere.
+    pub fn gather_bytes(&self, root: usize, mine: Vec<u8>) -> CommResult<Option<Vec<Vec<u8>>>> {
+        let ic = self.internal();
+        let p = ic.size();
+        if root >= p {
+            return Err(CommError::InvalidRank { rank: root, size: p });
+        }
+        let tag = self.coll_tag();
+        if ic.rank() == root {
+            let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+            out[root] = mine;
+            for _ in 0..p - 1 {
+                let (wire, st) = ic.recv_bytes(crate::envelope::ANY_SOURCE, tag)?;
+                out[st.src] = wire;
+            }
+            Ok(Some(out))
+        } else {
+            ic.send_bytes(root, tag, mine)?;
+            Ok(None)
+        }
+    }
+
+    /// Allgather equal-size byte blocks using the Bruck algorithm
+    /// (⌈log₂ p⌉ rounds). Returns blocks indexed by rank.
+    pub fn allgather_bytes(&self, mine: Vec<u8>) -> CommResult<Vec<Vec<u8>>> {
+        let ic = self.internal();
+        let p = ic.size();
+        let r = ic.rank();
+        let tag = self.coll_tag();
+        // collected[j] = block of rank (r + j) mod p
+        let mut collected: Vec<Vec<u8>> = Vec::with_capacity(p);
+        collected.push(mine);
+        let mut k = 1usize;
+        let mut round: Tag = 0;
+        while k < p {
+            let send_n = k.min(p - k).min(collected.len());
+            let dst = (r + p - k) % p;
+            let src = (r + k) % p;
+            let wire = encode_blocks(&collected[0..send_n]);
+            let (reply, _) = ic.sendrecv_bytes(dst, tag + round, wire, src, tag + round)?;
+            let blocks = decode_blocks(&reply)?;
+            for b in blocks {
+                if collected.len() < p {
+                    collected.push(b);
+                }
+            }
+            k <<= 1;
+            round += 1;
+        }
+        debug_assert_eq!(collected.len(), p);
+        // Un-rotate: collected[j] holds rank (r + j) mod p; produce rank order.
+        let mut out: Vec<Vec<u8>> = vec![Vec::new(); p];
+        for (j, b) in collected.into_iter().enumerate() {
+            out[(r + j) % p] = b;
+        }
+        Ok(out)
+    }
+
+    /// Element-wise all-reduce of a typed slice with an arbitrary
+    /// associative, commutative operator. Implemented as a binomial-tree
+    /// reduction to rank 0 followed by a broadcast.
+    pub fn allreduce<T, F>(&self, data: &mut [T], op: F) -> CommResult<()>
+    where
+        T: Pod,
+        F: Fn(T, T) -> T,
+    {
+        self.reduce(0, data, op)?;
+        self.bcast_slice(0, data)
+    }
+
+    /// Element-wise reduction of a typed slice to `root` with an arbitrary
+    /// associative, commutative operator. The result is valid only on the
+    /// root; other ranks' buffers hold partial reductions afterwards.
+    pub fn reduce<T, F>(&self, root: usize, data: &mut [T], op: F) -> CommResult<()>
+    where
+        T: Pod,
+        F: Fn(T, T) -> T,
+    {
+        let ic = self.internal();
+        let p = ic.size();
+        if root >= p {
+            return Err(CommError::InvalidRank { rank: root, size: p });
+        }
+        if p == 1 {
+            return Ok(());
+        }
+        let tag = self.coll_tag();
+        let vrank = (ic.rank() + p - root) % p;
+        let mut k = 1usize;
+        while k < p {
+            if vrank & k != 0 {
+                // send partial to parent and stop
+                let parent = ((vrank - k) + root) % p;
+                ic.send_bytes(parent, tag, cast_slice(data).to_vec())?;
+                break;
+            } else if vrank + k < p {
+                let child = ((vrank + k) + root) % p;
+                let mut partial = vec![data[0]; data.len()];
+                ic.recv_slice(child, tag, &mut partial)?;
+                for (d, s) in data.iter_mut().zip(partial.iter()) {
+                    *d = op(*d, *s);
+                }
+            }
+            k <<= 1;
+        }
+        Ok(())
+    }
+
+    /// True on every rank iff `value` is byte-identical on all ranks — the
+    /// building block of the §2.2 isomorphism check (broadcast the root's
+    /// value, compare locally, AND-reduce the verdicts).
+    pub fn all_same(&self, value: &[u8]) -> CommResult<bool> {
+        let mut root_val = value.to_vec();
+        self.bcast_bytes(0, &mut root_val)?;
+        let same = root_val[..] == value[..];
+        let mut flag = [u8::from(same)];
+        self.allreduce(&mut flag, |a, b| a & b)?;
+        Ok(flag[0] == 1)
+    }
+}
+
+fn encode_blocks(blocks: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = blocks.iter().map(|b| b.len() + 8).sum();
+    let mut out = Vec::with_capacity(total + 8);
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    for b in blocks {
+        out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+        out.extend_from_slice(b);
+    }
+    out
+}
+
+fn decode_blocks(wire: &[u8]) -> CommResult<Vec<Vec<u8>>> {
+    let bad = || CommError::InvalidExchange("malformed block encoding".into());
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> CommResult<usize> {
+        let start = *pos;
+        *pos += n;
+        if *pos > wire.len() {
+            Err(bad())
+        } else {
+            Ok(start)
+        }
+    };
+    let s = take(&mut pos, 8)?;
+    let count = u64::from_le_bytes(wire[s..s + 8].try_into().expect("8 bytes")) as usize;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let s = take(&mut pos, 8)?;
+        let len = u64::from_le_bytes(wire[s..s + 8].try_into().expect("8 bytes")) as usize;
+        let s = take(&mut pos, len)?;
+        out.push(wire[s..s + len].to_vec());
+    }
+    if pos != wire.len() {
+        return Err(bad());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_encoding_roundtrip() {
+        let blocks = vec![vec![1u8, 2], vec![], vec![9u8; 5]];
+        let wire = encode_blocks(&blocks);
+        let back = decode_blocks(&wire).unwrap();
+        assert_eq!(back, blocks);
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let blocks = vec![vec![1u8, 2, 3]];
+        let wire = encode_blocks(&blocks);
+        assert!(decode_blocks(&wire[..wire.len() - 1]).is_err());
+        assert!(decode_blocks(&[1, 2, 3]).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage() {
+        let mut wire = encode_blocks(&[vec![5u8]]);
+        wire.push(0);
+        assert!(decode_blocks(&wire).is_err());
+    }
+}

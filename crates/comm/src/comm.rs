@@ -1,0 +1,434 @@
+//! The per-rank communicator: point-to-point operations and phase exchanges.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+use crossbeam_channel::Receiver;
+use parking_lot::Mutex;
+
+use cartcomm_types::{cast_slice, cast_slice_mut, gather, scatter_prefix, FlatType, Pod};
+
+use crate::envelope::{Envelope, SrcSel, Tag, TagSel};
+use crate::error::{CommError, CommResult};
+use crate::fabric::Fabric;
+
+/// Completion information of a receive (`MPI_Status`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Status {
+    /// Rank the message came from.
+    pub src: usize,
+    /// Tag the message carried.
+    pub tag: Tag,
+    /// Payload size in bytes.
+    pub bytes: usize,
+}
+
+/// A receive slot of an [`Comm::exchange`] batch.
+#[derive(Debug, Clone, Copy)]
+pub struct RecvSpec {
+    /// Source selector.
+    pub src: SrcSel,
+    /// Tag selector.
+    pub tag: TagSel,
+}
+
+impl RecvSpec {
+    /// Receive from a specific rank with a specific tag — the common case in
+    /// schedule execution.
+    pub fn from_rank(src: usize, tag: Tag) -> Self {
+        RecvSpec {
+            src: SrcSel::Rank(src),
+            tag: TagSel::Is(tag),
+        }
+    }
+}
+
+/// Per-rank state shared between a communicator and its duplicates.
+struct RankCore {
+    rx: Receiver<Envelope>,
+    /// Unexpected-message queue, in arrival order.
+    pending: Mutex<VecDeque<Envelope>>,
+    /// Next context id for `dup` (kept identical across ranks because dup is
+    /// collective and deterministic).
+    next_ctx: AtomicU32,
+    /// Per-rank collective sequence counter (see `collectives`).
+    coll_seq: AtomicU32,
+}
+
+/// A communicator handle owned by one rank's thread.
+///
+/// Cheap to clone contexts from via [`Comm::dup`]; all duplicates of one rank
+/// share the underlying channel but match messages in disjoint contexts.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    ctx: u32,
+    fabric: Arc<Fabric>,
+    core: Arc<RankCore>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, rx: Receiver<Envelope>) -> Self {
+        let size = fabric.size();
+        Comm {
+            rank,
+            size,
+            ctx: 0,
+            fabric,
+            core: Arc::new(RankCore {
+                rx,
+                pending: Mutex::new(VecDeque::new()),
+                next_ctx: AtomicU32::new(2), // 0 = user p2p, 1 = internal collectives
+                coll_seq: AtomicU32::new(0),
+            }),
+        }
+    }
+
+    /// Advance and return this rank's collective sequence number.
+    pub(crate) fn next_coll_seq(&self) -> u32 {
+        self.core.coll_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// This rank's id, `0 <= rank < size`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the universe.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The context id of this communicator handle.
+    #[inline]
+    pub fn context(&self) -> u32 {
+        self.ctx
+    }
+
+    /// Duplicate the communicator into a fresh context (like `MPI_Comm_dup`).
+    /// Must be called collectively (in the same order on all ranks) so the
+    /// resulting context ids agree.
+    pub fn dup(&self) -> Comm {
+        let ctx = self.core.next_ctx.fetch_add(1, Ordering::Relaxed);
+        Comm {
+            rank: self.rank,
+            size: self.size,
+            ctx,
+            fabric: Arc::clone(&self.fabric),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Handle on the same rank in the reserved internal-collectives context.
+    pub(crate) fn internal(&self) -> Comm {
+        Comm {
+            rank: self.rank,
+            size: self.size,
+            ctx: 1,
+            fabric: Arc::clone(&self.fabric),
+            core: Arc::clone(&self.core),
+        }
+    }
+
+    /// Wall-clock seconds since an unspecified epoch (`MPI_Wtime`).
+    pub fn wtime() -> f64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .unwrap_or_default()
+            .as_secs_f64()
+    }
+
+    /// Interconnect telemetry: `(messages, payload bytes)` deposited by all
+    /// ranks so far.
+    pub fn fabric_telemetry(&self) -> (u64, u64) {
+        (self.fabric.message_count(), self.fabric.byte_volume())
+    }
+
+    fn check_rank(&self, rank: usize) -> CommResult<()> {
+        if rank >= self.size {
+            Err(CommError::InvalidRank {
+                rank,
+                size: self.size,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    // ----- raw byte operations --------------------------------------------
+
+    /// Eager buffered send of a byte payload. Completes locally; never
+    /// blocks or deadlocks.
+    pub fn send_bytes(&self, dst: usize, tag: Tag, data: Vec<u8>) -> CommResult<()> {
+        self.check_rank(dst)?;
+        self.fabric.deposit(
+            dst,
+            Envelope {
+                ctx: self.ctx,
+                src: self.rank,
+                tag,
+                data,
+            },
+        );
+        Ok(())
+    }
+
+    /// Blocking receive of a byte payload matching the selectors. Returns
+    /// the payload and its [`Status`].
+    pub fn recv_bytes(
+        &self,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> CommResult<(Vec<u8>, Status)> {
+        let env = self.match_one(self.ctx, src.into(), tag.into())?;
+        let status = Status {
+            src: env.src,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        Ok((env.data, status))
+    }
+
+    /// Simultaneous send and receive (`MPI_Sendrecv`) — the primitive of the
+    /// paper's trivial algorithm (Listing 4). Deadlock-free because the send
+    /// is eager.
+    pub fn sendrecv_bytes(
+        &self,
+        dst: usize,
+        send_tag: Tag,
+        data: Vec<u8>,
+        src: impl Into<SrcSel>,
+        recv_tag: impl Into<TagSel>,
+    ) -> CommResult<(Vec<u8>, Status)> {
+        self.send_bytes(dst, send_tag, data)?;
+        self.recv_bytes(src, recv_tag)
+    }
+
+    /// Pull one envelope matching (ctx, src, tag): first from the
+    /// unexpected queue in arrival order, then from the channel.
+    fn match_one(&self, ctx: u32, src: SrcSel, tag: TagSel) -> CommResult<Envelope> {
+        let mut pending = self.core.pending.lock();
+        if let Some(pos) = pending
+            .iter()
+            .position(|e| e.ctx == ctx && src.matches(e.src) && tag.matches(e.tag))
+        {
+            return Ok(pending.remove(pos).expect("position just found"));
+        }
+        loop {
+            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
+                peer: "fabric".into(),
+            })?;
+            if env.ctx == ctx && src.matches(env.src) && tag.matches(env.tag) {
+                return Ok(env);
+            }
+            pending.push_back(env);
+        }
+    }
+
+    /// Blocking probe (`MPI_Probe`): wait until a message matching the
+    /// selectors is available and return its status without consuming it.
+    /// A subsequent matching receive returns (at least) this message.
+    pub fn probe(&self, src: impl Into<SrcSel>, tag: impl Into<TagSel>) -> CommResult<Status> {
+        let src = src.into();
+        let tag = tag.into();
+        let mut pending = self.core.pending.lock();
+        loop {
+            if let Some(env) = pending
+                .iter()
+                .find(|e| e.ctx == self.ctx && src.matches(e.src) && tag.matches(e.tag))
+            {
+                return Ok(Status {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: env.data.len(),
+                });
+            }
+            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
+                peer: "fabric".into(),
+            })?;
+            pending.push_back(env);
+        }
+    }
+
+    /// Non-blocking probe (`MPI_Iprobe`): `Some(status)` if a matching
+    /// message has already arrived, `None` otherwise.
+    pub fn iprobe(
+        &self,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+    ) -> CommResult<Option<Status>> {
+        let src = src.into();
+        let tag = tag.into();
+        let mut pending = self.core.pending.lock();
+        // drain whatever has arrived so far
+        while let Ok(env) = self.core.rx.try_recv() {
+            pending.push_back(env);
+        }
+        Ok(pending
+            .iter()
+            .find(|e| e.ctx == self.ctx && src.matches(e.src) && tag.matches(e.tag))
+            .map(|env| Status {
+                src: env.src,
+                tag: env.tag,
+                bytes: env.data.len(),
+            }))
+    }
+
+    // ----- datatype operations --------------------------------------------
+
+    /// Send the bytes described by `(disp, ty)` gathered out of `buf`.
+    pub fn send_typed(
+        &self,
+        dst: usize,
+        tag: Tag,
+        buf: &[u8],
+        disp: i64,
+        ty: &FlatType,
+    ) -> CommResult<()> {
+        let wire = gather(buf, disp, ty)?;
+        self.send_bytes(dst, tag, wire)
+    }
+
+    /// Receive into the layout `(disp, ty)` of `buf`. A message longer than
+    /// the layout is a [`CommError::Truncation`] error; a shorter one fills a
+    /// prefix, as in MPI.
+    pub fn recv_typed(
+        &self,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+        buf: &mut [u8],
+        disp: i64,
+        ty: &FlatType,
+    ) -> CommResult<Status> {
+        let (wire, status) = self.recv_bytes(src, tag)?;
+        if wire.len() > ty.size() {
+            return Err(CommError::Truncation {
+                received: wire.len(),
+                capacity: ty.size(),
+            });
+        }
+        scatter_prefix(&wire, buf, disp, ty)?;
+        Ok(status)
+    }
+
+    /// Typed convenience send of a whole slice of plain-old-data elements.
+    pub fn send_slice<T: Pod>(&self, dst: usize, tag: Tag, data: &[T]) -> CommResult<()> {
+        self.send_bytes(dst, tag, cast_slice(data).to_vec())
+    }
+
+    /// Typed convenience receive filling an entire slice. The message must
+    /// be exactly `data.len()` elements.
+    pub fn recv_slice<T: Pod>(
+        &self,
+        src: impl Into<SrcSel>,
+        tag: impl Into<TagSel>,
+        data: &mut [T],
+    ) -> CommResult<Status> {
+        let (wire, status) = self.recv_bytes(src, tag)?;
+        let dst = cast_slice_mut(data);
+        if wire.len() != dst.len() {
+            return Err(CommError::Truncation {
+                received: wire.len(),
+                capacity: dst.len(),
+            });
+        }
+        dst.copy_from_slice(&wire);
+        Ok(status)
+    }
+
+    // ----- phase exchange (Listing 5) ---------------------------------------
+
+    /// Execute one *phase* of a communication schedule: post all receives,
+    /// issue all sends, and complete everything (the
+    /// `Irecv`/`Isend`/`Waitall` pattern of Listing 5).
+    ///
+    /// Matching follows MPI semantics: each incoming message is delivered to
+    /// the **earliest-posted** still-open receive slot it matches, so
+    /// several slots with the same `(src, tag)` complete in posting order
+    /// against the sender's posting order (non-overtaking).
+    ///
+    /// Returns the received payloads in *slot order*.
+    pub fn exchange(
+        &self,
+        sends: Vec<(usize, Tag, Vec<u8>)>,
+        recvs: &[RecvSpec],
+    ) -> CommResult<Vec<(Vec<u8>, Status)>> {
+        for &(dst, _, _) in &sends {
+            self.check_rank(dst)?;
+        }
+        // Issue all sends eagerly (Isend with buffered completion).
+        for (dst, tag, data) in sends {
+            self.fabric.deposit(
+                dst,
+                Envelope {
+                    ctx: self.ctx,
+                    src: self.rank,
+                    tag,
+                    data,
+                },
+            );
+        }
+        // Complete receives with FIFO slot matching: an incoming message
+        // goes to the earliest-posted open slot it satisfies.
+        let mut results: Vec<Option<(Vec<u8>, Status)>> = (0..recvs.len()).map(|_| None).collect();
+        let mut open = recvs.len();
+
+        fn find_slot(
+            ctx: u32,
+            env: &Envelope,
+            recvs: &[RecvSpec],
+            results: &[Option<(Vec<u8>, Status)>],
+        ) -> Option<usize> {
+            if env.ctx != ctx {
+                return None;
+            }
+            recvs.iter().enumerate().position(|(i, spec)| {
+                results[i].is_none() && spec.src.matches(env.src) && spec.tag.matches(env.tag)
+            })
+        }
+
+        let mut pending = self.core.pending.lock();
+        // Drain already-arrived messages first, in arrival order.
+        let mut i = 0;
+        while i < pending.len() && open > 0 {
+            if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, &results) {
+                let env = pending.remove(i).expect("index in range");
+                let status = Status {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: env.data.len(),
+                };
+                results[slot] = Some((env.data, status));
+                open -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        while open > 0 {
+            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
+                peer: "fabric".into(),
+            })?;
+            if let Some(slot) = find_slot(self.ctx, &env, recvs, &results) {
+                let status = Status {
+                    src: env.src,
+                    tag: env.tag,
+                    bytes: env.data.len(),
+                };
+                results[slot] = Some((env.data, status));
+                open -= 1;
+            } else {
+                pending.push_back(env);
+            }
+        }
+        drop(pending);
+
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
+    }
+}

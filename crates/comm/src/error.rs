@@ -1,0 +1,84 @@
+//! Errors for the message-passing runtime.
+
+use std::fmt;
+
+use cartcomm_types::TypeError;
+
+/// Errors raised by communication operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// A rank index was out of range for the communicator.
+    InvalidRank { rank: usize, size: usize },
+    /// A message arrived whose payload does not fit the posted receive
+    /// datatype (truncation is an error, as in MPI).
+    Truncation { received: usize, capacity: usize },
+    /// The peer rank terminated and its channel closed while a receive was
+    /// outstanding.
+    Disconnected { peer: String },
+    /// Datatype-level failure (bounds, size mismatch) during gather/scatter.
+    Type(TypeError),
+    /// Type signatures of sender and receiver disagree.
+    SignatureMismatch,
+    /// An exchange batch was malformed (e.g. duplicate receive slots).
+    InvalidExchange(String),
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::InvalidRank { rank, size } => {
+                write!(f, "rank {rank} out of range for communicator of size {size}")
+            }
+            CommError::Truncation { received, capacity } => write!(
+                f,
+                "message truncated: {received} bytes arrived for a {capacity}-byte receive"
+            ),
+            CommError::Disconnected { peer } => write!(f, "peer {peer} disconnected"),
+            CommError::Type(e) => write!(f, "datatype error: {e}"),
+            CommError::SignatureMismatch => write!(f, "send/receive type signature mismatch"),
+            CommError::InvalidExchange(msg) => write!(f, "invalid exchange batch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Type(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TypeError> for CommError {
+    fn from(e: TypeError) -> Self {
+        CommError::Type(e)
+    }
+}
+
+/// Result alias for communication operations.
+pub type CommResult<T> = Result<T, CommError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CommError::InvalidRank { rank: 9, size: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = CommError::Truncation {
+            received: 100,
+            capacity: 10,
+        };
+        assert!(e.to_string().contains("100"));
+        let e: CommError = TypeError::SizeMismatch {
+            expected: 1,
+            actual: 2,
+        }
+        .into();
+        assert!(matches!(e, CommError::Type(_)));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&CommError::SignatureMismatch).is_none());
+    }
+}

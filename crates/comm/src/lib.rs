@@ -1,0 +1,39 @@
+//! # cartcomm-comm — a threads-as-ranks message-passing substrate
+//!
+//! The Cartesian collective algorithms of Träff & Hunold (ICPP 2019) are
+//! specified on top of MPI point-to-point primitives: matched, tagged,
+//! non-overtaking sends and receives, non-blocking operation batches
+//! completed with `Waitall` (Listing 5), and a handful of collectives used
+//! for setup-time checks. This crate is that substrate, built from scratch:
+//!
+//! * [`Universe::run`] — SPMD launcher: spawns `p` OS threads, each running
+//!   the same rank program with its own [`Comm`] handle.
+//! * [`Comm`] — per-rank communicator: `send`/`recv` (blocking, eager
+//!   buffered), [`Comm::sendrecv_bytes`], and [`Comm::exchange`] — the
+//!   Listing-5 phase primitive posting a batch of receives and sends and
+//!   completing them together, with MPI-conforming FIFO matching.
+//! * MPI-style matching semantics: messages between a (sender, context,
+//!   tag) triple are **non-overtaking**; receives match the earliest
+//!   arriving message; `AnySource`/`AnyTag` wildcards are supported.
+//! * [`collectives`] — barrier (dissemination), broadcast (binomial tree),
+//!   reduce/allreduce, gather, allgather (Bruck), used by topology setup
+//!   (§2.2 isomorphism check) and by tests/benchmarks.
+//!
+//! Sends are *eager and buffered*: the payload is captured at post time and
+//! the send completes locally, which is a conforming MPI implementation
+//! choice and makes every schedule in this workspace trivially
+//! deadlock-free to execute. Data moves as exactly one gather on the send
+//! side and one scatter on the receive side (see `cartcomm-types`), the
+//! in-process analogue of the paper's zero-copy datatype execution.
+
+pub mod collectives;
+pub mod comm;
+pub mod envelope;
+pub mod error;
+pub mod fabric;
+pub mod universe;
+
+pub use comm::{Comm, RecvSpec, Status};
+pub use envelope::{SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+pub use error::{CommError, CommResult};
+pub use universe::Universe;

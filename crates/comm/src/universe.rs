@@ -1,0 +1,138 @@
+//! SPMD launcher: run the same rank program on `p` threads.
+
+use std::sync::Arc;
+
+use crate::comm::Comm;
+use crate::fabric::Fabric;
+
+/// Entry point of the runtime: builds the fabric and runs rank programs.
+pub struct Universe;
+
+impl Universe {
+    /// Run `f` on `p` ranks, each on its own OS thread, and return the
+    /// per-rank results in rank order.
+    ///
+    /// `f` receives the rank's [`Comm`] handle. Panics in any rank program
+    /// propagate (the launcher re-panics after joining), so test assertions
+    /// inside rank programs work naturally.
+    ///
+    /// ```
+    /// use cartcomm_comm::Universe;
+    /// let sums = Universe::run(4, |comm| {
+    ///     let mut x = [comm.rank() as u64];
+    ///     comm.allreduce(&mut x, |a, b| a + b).unwrap();
+    ///     x[0]
+    /// });
+    /// assert_eq!(sums, vec![6, 6, 6, 6]);
+    /// ```
+    pub fn run<F, R>(p: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        let fabric = Arc::new(fabric);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let fabric = Arc::clone(&fabric);
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(rank, fabric, rx);
+                    f(&mut comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+
+    /// Like [`Universe::run`] but with a per-rank stack size in bytes, for
+    /// rank programs with large on-stack state.
+    pub fn run_with_stack<F, R>(p: usize, stack_bytes: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        let fabric = Arc::new(fabric);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let fabric = Arc::clone(&fabric);
+                let builder = std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .stack_size(stack_bytes);
+                let h = builder
+                    .spawn_scoped(scope, move || {
+                        let mut comm = Comm::new(rank, fabric, rx);
+                        f(&mut comm)
+                    })
+                    .expect("failed to spawn rank thread");
+                handles.push(h);
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::run(1, |comm| {
+            assert_eq!(comm.rank(), 0);
+            assert_eq!(comm.size(), 1);
+            comm.barrier().unwrap();
+            "done"
+        });
+        assert_eq!(out, vec!["done"]);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_ordered() {
+        let out = Universe::run(8, |comm| comm.rank() * 10);
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn run_with_stack_works() {
+        let out = Universe::run_with_stack(3, 4 << 20, |comm| {
+            let big = [0u8; 1 << 20]; // needs the larger stack
+            comm.rank() + big[0] as usize
+        });
+        assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_rejected() {
+        Universe::run(0, |_| ());
+    }
+
+    #[test]
+    #[should_panic(expected = "deliberate")]
+    fn rank_panics_propagate() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 1 {
+                panic!("deliberate");
+            }
+        });
+    }
+}

@@ -1,0 +1,34 @@
+//! # cartcomm-sim — network cost simulation for cluster-scale experiments
+//!
+//! The paper evaluates on 1152-process Hydra (Skylake + OmniPath) and
+//! 16384-process Titan (Cray XK7 + Gemini) installations. This crate is the
+//! substitute substrate: it prices communication schedules under the same
+//! linear cost model the paper's analysis uses — latency `α` plus transfer
+//! time `β` per byte, single-port full-duplex — so that the *shape* of
+//! every figure (who wins, by what factor, where the cut-over block size
+//! falls) is reproduced by construction, at any process count.
+//!
+//! Components:
+//!
+//! * [`model`] — the `α`-`β` [`model::LinearModel`] and schedule/direct
+//!   pricing.
+//! * [`machine`] — calibrated [`machine::MachineProfile`]s for the paper's
+//!   systems (Table 2), including per-MPI-library *quirk* models that
+//!   emulate the pathological `MPI_Neighbor_*` overheads the paper observed
+//!   (Figures 3–4) — disabled by default, because they are implementation
+//!   defects rather than algorithmic effects.
+//! * [`noise`] — system-noise injection for the run-time distribution study
+//!   (Figure 7): per-round maxima over `p` ranks of outlier delays.
+//! * [`des`] — a small discrete-event engine with per-rank full-duplex
+//!   ports, used to validate the closed-form model and to price irregular
+//!   (per-rank asymmetric) traffic.
+
+pub mod des;
+pub mod machine;
+pub mod model;
+pub mod noise;
+
+pub use des::EventSim;
+pub use machine::{BaselineQuirks, MachineProfile};
+pub use model::{CollectiveKind, LinearModel};
+pub use noise::NoiseModel;

@@ -1,0 +1,374 @@
+//! Machine profiles for the paper's systems (Table 2) and the baseline
+//! library quirk models.
+
+use crate::model::LinearModel;
+
+/// Emulation of the `MPI_Neighbor_*` implementation defects the paper
+/// measured (Figures 3–4): the baseline neighborhood collectives in Open
+/// MPI 3.1.0 and Intel MPI 2018 showed per-neighbor costs orders of
+/// magnitude above a plain point-to-point message, growing with both the
+/// neighbor count and the block size.
+///
+/// The quirks apply **only** to the library-baseline series of the
+/// benchmark harness, never to this library's own algorithms, and are off
+/// by default: with them disabled, the baseline is priced as ideal direct
+/// delivery, which is what Cray MPI approximately achieved (Figure 5).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BaselineQuirks {
+    /// Neighbor count at which the library's request management falls off a
+    /// cliff (between t = 243 and t = 3125 in the paper's data for both
+    /// Hydra libraries: d=5, n=5 took ~165 ms at every block size).
+    pub count_threshold: usize,
+    /// Extra per-posted-request cost past the count cliff, seconds
+    /// (~50 µs/request reproduces the 3124 × 53 µs ≈ 165 ms disaster).
+    pub per_request_overhead: f64,
+    /// Payload size (bytes) beyond which the blocking path enters a
+    /// pathological protocol (serialized rendezvous handshakes): d=5, n=3
+    /// jumped from 0.3 ms at m=10 to ~125 ms at m=100 on both Hydra
+    /// libraries. Only consulted below the count cliff.
+    pub rendezvous_threshold: usize,
+    /// The rendezvous pathology needs many outstanding peers to bite: in
+    /// the paper's data t = 242 fell off the cliff at m = 100 while
+    /// t = 26 and t = 124 stayed clean at the same block size.
+    pub rendezvous_count_threshold: usize,
+    /// Extra per-message cost past the rendezvous threshold, seconds
+    /// (~515 µs/message in the paper's data).
+    pub rendezvous_overhead: f64,
+    /// Whether `MPI_Ineighbor_*` shares the count cliff (true for both
+    /// Open MPI and Intel MPI in Figures 3-4).
+    pub nonblocking_shares_count_cliff: bool,
+    /// Whether `MPI_Ineighbor_*` shares the rendezvous cliff (true for
+    /// Intel MPI — 142 ms at d=5 n=3 m=100 — but not for Open MPI, whose
+    /// non-blocking path stayed at 0.47 ms there).
+    pub nonblocking_shares_rendezvous: bool,
+}
+
+impl BaselineQuirks {
+    /// No defects: the ideal baseline.
+    pub const NONE: BaselineQuirks = BaselineQuirks {
+        count_threshold: usize::MAX,
+        per_request_overhead: 0.0,
+        rendezvous_threshold: usize::MAX,
+        rendezvous_count_threshold: usize::MAX,
+        rendezvous_overhead: 0.0,
+        nonblocking_shares_count_cliff: false,
+        nonblocking_shares_rendezvous: false,
+    };
+
+    /// Price the blocking library baseline for `t` messages of `bytes`.
+    pub fn blocking_penalty(&self, t: usize, bytes: usize) -> f64 {
+        if t >= self.count_threshold {
+            t as f64 * self.per_request_overhead
+        } else if t >= self.rendezvous_count_threshold && bytes >= self.rendezvous_threshold {
+            t as f64 * self.rendezvous_overhead
+        } else {
+            0.0
+        }
+    }
+
+    /// Price the non-blocking library baseline.
+    pub fn nonblocking_penalty(&self, t: usize, bytes: usize) -> f64 {
+        if t >= self.count_threshold {
+            if self.nonblocking_shares_count_cliff {
+                t as f64 * self.per_request_overhead
+            } else {
+                0.0
+            }
+        } else if t >= self.rendezvous_count_threshold
+            && bytes >= self.rendezvous_threshold
+            && self.nonblocking_shares_rendezvous
+        {
+            t as f64 * self.rendezvous_overhead
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A named system + MPI library combination of the evaluation (Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Hardware line for Table 2.
+    pub hardware: &'static str,
+    /// MPI library line for Table 2.
+    pub library: &'static str,
+    /// Compiler line for Table 2.
+    pub compiler: &'static str,
+    /// Number of processes the paper ran on it (nodes × cores).
+    pub processes: usize,
+    /// Point-to-point cost model.
+    pub net: LinearModel,
+    /// Library-baseline quirks (only meaningful with `--quirks`).
+    pub quirks: BaselineQuirks,
+    /// Per-message injection overhead `o` for *overlapped* non-blocking
+    /// batches (the LogP `o`): a library posting `t` requests at once pays
+    /// `t·o + α + β·Σbytes`, while blocking round-by-round algorithms pay
+    /// the full `α` per round. The `o ≪ α` of OmniPath is why the paper's
+    /// blocking sendrecv loop ran 2–3× slower than the library baseline on
+    /// Hydra, while on Titan (`o ≈ α`) the two were on par.
+    pub injection_overhead: f64,
+}
+
+impl MachineProfile {
+    /// Hydra with Open MPI 3.1.0: 36 × 32 Skylake cores, OmniPath.
+    /// α/β calibrated so small-message combining times land near the
+    /// paper's absolute numbers (e.g. d=3 n=3 m=1 combining ≈ 27 µs over
+    /// C=6 rounds).
+    pub fn hydra_openmpi() -> MachineProfile {
+        MachineProfile {
+            name: "hydra-openmpi",
+            hardware: "36 x Dual Intel Xeon Gold 6130 (16 cores) @ 2.1 GHz, Intel OmniPath",
+            library: "Open MPI 3.1.0",
+            compiler: "gcc 6.3.0",
+            processes: 36 * 32,
+            net: LinearModel {
+                alpha: 2.5e-6,
+                beta: 0.085e-9, // ~11.75 GB/s effective per port
+            },
+            // Figure 3: Neighbor_alltoall at t=3124 took ~165 ms at every
+            // block size (count cliff, shared by the non-blocking path);
+            // d=5 n=3 fell off the rendezvous cliff at m=100 (124.75 ms,
+            // blocking only).
+            quirks: BaselineQuirks {
+                count_threshold: 3000,
+                per_request_overhead: 50e-6,
+                rendezvous_threshold: 400,
+                rendezvous_count_threshold: 128,
+                rendezvous_overhead: 515e-6,
+                nonblocking_shares_count_cliff: true,
+                nonblocking_shares_rendezvous: false,
+            },
+            injection_overhead: 0.7e-6,
+        }
+    }
+
+    /// Hydra with Intel MPI 2018 (32 × 32 processes in Figure 4).
+    pub fn hydra_intelmpi() -> MachineProfile {
+        MachineProfile {
+            name: "hydra-intelmpi",
+            hardware: "36 x Dual Intel Xeon Gold 6130 (16 cores) @ 2.1 GHz, Intel OmniPath",
+            library: "Intel MPI 2018",
+            compiler: "icc 18.0.5",
+            processes: 32 * 32,
+            net: LinearModel {
+                alpha: 2.5e-6,
+                beta: 0.085e-9,
+            },
+            // Figure 4: the same count cliff at t=3124 (163.98 ms at m=1),
+            // and the rendezvous cliff at m=100 — which for Intel MPI also
+            // hit the non-blocking path (142.5 ms).
+            quirks: BaselineQuirks {
+                count_threshold: 3000,
+                per_request_overhead: 50e-6,
+                rendezvous_threshold: 400,
+                rendezvous_count_threshold: 128,
+                rendezvous_overhead: 515e-6,
+                nonblocking_shares_count_cliff: true,
+                nonblocking_shares_rendezvous: true,
+            },
+            injection_overhead: 0.7e-6,
+        }
+    }
+
+    /// Titan: 1024 × 16 Opteron cores, Cray Gemini, Cray MPI — the paper's
+    /// "more in line with our expectations" system: no baseline defects.
+    pub fn titan_cray() -> MachineProfile {
+        MachineProfile {
+            name: "titan-cray",
+            hardware: "Cray XK7, Opteron 6274 (16 cores) @ 2.2 GHz, Cray Gemini",
+            library: "cray-mpich/7.6.3",
+            compiler: "PGI 18.4.0",
+            processes: 1024 * 16,
+            net: LinearModel {
+                alpha: 10.0e-6,
+                // Gemini: higher latency, and one NIC shared by 16 cores —
+                // an effective per-process bandwidth share of ~0.5 GB/s,
+                // which places the d=5 n=5 combining win at m=100 near the
+                // factor 3 the paper's text reports.
+                beta: 2.0e-9,
+            },
+            quirks: BaselineQuirks::NONE,
+            injection_overhead: 9.0e-6,
+        }
+    }
+
+    // ----- series pricing -----------------------------------------------
+    //
+    // Each method returns the *per-round base costs* of one series; the
+    // noise models add per-round delays on top (exposure-proportional), so
+    // the round decomposition matters: direct delivery is one overlapped
+    // bulk phase, the trivial algorithm is `t` blocking rounds, and the
+    // combining schedule is `C` rounds.
+
+    /// Library baseline (`MPI_Neighbor_*`): all `t` messages posted
+    /// non-blocking and completed together — one bulk phase costing
+    /// `t·o + α + β·Σbytes`, plus the library-defect penalty when quirk
+    /// emulation is enabled.
+    pub fn baseline_rounds(&self, sizes: &[usize], blocking: bool, quirks: bool) -> Vec<f64> {
+        let t = sizes.len();
+        if t == 0 {
+            return Vec::new();
+        }
+        let total: usize = sizes.iter().sum();
+        let avg = total / t;
+        let mut cost = t as f64 * self.injection_overhead
+            + self.net.alpha
+            + self.net.beta * total as f64;
+        if quirks {
+            cost += if blocking {
+                self.quirks.blocking_penalty(t, avg)
+            } else {
+                self.quirks.nonblocking_penalty(t, avg)
+            };
+        }
+        vec![cost]
+    }
+
+    /// The trivial Cartesian algorithm (Listing 4): `t` blocking sendrecv
+    /// rounds of `α + β·bytes` each.
+    pub fn trivial_rounds(&self, sizes: &[usize]) -> Vec<f64> {
+        sizes.iter().map(|&b| self.net.message(b)).collect()
+    }
+
+    /// The message-combining schedule: its per-round wire sizes priced at
+    /// `α + β·bytes` each.
+    pub fn combining_rounds(&self, round_bytes: &[usize]) -> Vec<f64> {
+        round_bytes.iter().map(|&b| self.net.message(b)).collect()
+    }
+
+    /// All profiles used in the evaluation.
+    pub fn all() -> Vec<MachineProfile> {
+        vec![
+            Self::hydra_openmpi(),
+            Self::hydra_intelmpi(),
+            Self::titan_cray(),
+        ]
+    }
+
+    /// This profile with quirks stripped (the ideal-baseline view).
+    pub fn without_quirks(mut self) -> MachineProfile {
+        self.quirks = BaselineQuirks::NONE;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_have_paper_process_counts() {
+        assert_eq!(MachineProfile::hydra_openmpi().processes, 1152);
+        assert_eq!(MachineProfile::hydra_intelmpi().processes, 1024);
+        assert_eq!(MachineProfile::titan_cray().processes, 16384);
+        assert_eq!(MachineProfile::all().len(), 3);
+    }
+
+    #[test]
+    fn openmpi_quirk_magnitude_matches_figure3() {
+        // t = 3124 neighbors (d=5, n=5), m=1 int: the paper measured
+        // ~165 ms for MPI_Neighbor_alltoall. Our quirk model should land in
+        // the same decade.
+        let p = MachineProfile::hydra_openmpi();
+        let t = 3124usize;
+        let base = p.net.direct(t, 4);
+        let quirked = base + p.quirks.blocking_penalty(t, 4);
+        assert!(quirked > 100e-3 && quirked < 300e-3, "got {quirked}");
+        // non-blocking equally bad for Open MPI (count cliff shared)...
+        assert!(p.quirks.nonblocking_penalty(t, 4) > 0.0);
+        // ...but its rendezvous cliff is blocking-only (0.47 ms at d=5 n=3
+        // m=100 in Figure 3).
+        assert!(p.quirks.blocking_penalty(242, 400) > 100e-3);
+        assert_eq!(p.quirks.nonblocking_penalty(242, 400), 0.0);
+        // small neighborhoods are clean, even past the size threshold
+        // (Figure 3: d=3 n=3 and d=3 n=5 stayed fast at m=100)
+        assert_eq!(p.quirks.blocking_penalty(26, 4), 0.0);
+        assert_eq!(p.quirks.blocking_penalty(26, 400), 0.0);
+        assert_eq!(p.quirks.blocking_penalty(124, 400), 0.0);
+    }
+
+    #[test]
+    fn intelmpi_cliff_only_past_threshold() {
+        let p = MachineProfile::hydra_intelmpi();
+        let t = 242usize; // d=5, n=3
+        assert_eq!(p.quirks.blocking_penalty(t, 40), 0.0); // m=10 ints fine
+        let at_m100 = p.quirks.blocking_penalty(t, 400); // m=100 ints
+        assert!(at_m100 > 100e-3, "cliff should dominate: {at_m100}");
+        // Intel MPI's non-blocking path shares the rendezvous cliff
+        // (142.5 ms in Figure 4).
+        assert!(p.quirks.nonblocking_penalty(t, 400) > 100e-3);
+        // and both libraries share the count cliff at t = 3124
+        assert!(p.quirks.nonblocking_penalty(3124, 4) > 100e-3);
+    }
+
+    #[test]
+    fn cray_baseline_is_clean() {
+        let p = MachineProfile::titan_cray();
+        assert_eq!(p.quirks, BaselineQuirks::NONE);
+        assert_eq!(p.quirks.blocking_penalty(3124, 400), 0.0);
+    }
+
+    #[test]
+    fn without_quirks_strips_defects() {
+        let p = MachineProfile::hydra_openmpi().without_quirks();
+        assert_eq!(p.quirks, BaselineQuirks::NONE);
+        assert_eq!(p.name, "hydra-openmpi");
+    }
+}
+
+#[cfg(test)]
+mod pricing_tests {
+    use super::*;
+
+    #[test]
+    fn baseline_is_one_overlapped_bulk_phase() {
+        let p = MachineProfile::titan_cray();
+        let rounds = p.baseline_rounds(&[40; 26], true, false);
+        assert_eq!(rounds.len(), 1, "direct delivery is one phase");
+        let expect = 26.0 * p.injection_overhead + p.net.alpha + p.net.beta * (26.0 * 40.0);
+        assert!((rounds[0] - expect).abs() < 1e-15);
+        // empty neighborhood prices to nothing
+        assert!(p.baseline_rounds(&[], true, false).is_empty());
+    }
+
+    #[test]
+    fn trivial_is_t_blocking_rounds() {
+        let p = MachineProfile::titan_cray();
+        let rounds = p.trivial_rounds(&[40; 26]);
+        assert_eq!(rounds.len(), 26);
+        for r in &rounds {
+            assert!((r - p.net.message(40)).abs() < 1e-18);
+        }
+    }
+
+    #[test]
+    fn combining_prices_round_bytes() {
+        let p = MachineProfile::hydra_openmpi();
+        let rounds = p.combining_rounds(&[100, 0, 5000]);
+        assert_eq!(rounds.len(), 3);
+        assert!((rounds[1] - p.net.alpha).abs() < 1e-18, "empty round costs alpha");
+        assert!(rounds[2] > rounds[0]);
+    }
+
+    #[test]
+    fn quirks_apply_only_when_enabled() {
+        let p = MachineProfile::hydra_openmpi();
+        let t = 3124usize;
+        let clean = p.baseline_rounds(&vec![4; t], true, false)[0];
+        let quirked = p.baseline_rounds(&vec![4; t], true, true)[0];
+        assert!(quirked > clean + 0.1, "count cliff adds ~156 ms");
+        // nonblocking path with quirks shares the count cliff for Open MPI
+        let nb = p.baseline_rounds(&vec![4; t], false, true)[0];
+        assert!((nb - quirked).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hydra_injection_overhead_well_below_alpha() {
+        let h = MachineProfile::hydra_openmpi();
+        assert!(h.injection_overhead < h.net.alpha / 3.0);
+        let t = MachineProfile::titan_cray();
+        assert!(t.injection_overhead > t.net.alpha * 0.8);
+    }
+}

@@ -1,0 +1,109 @@
+//! The linear (α-β) communication cost model of §3.1.
+
+/// Which collective a priced schedule implements (used only for reporting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CollectiveKind {
+    /// Personalized exchange.
+    Alltoall,
+    /// Replicated exchange.
+    Allgather,
+}
+
+/// Linear point-to-point cost: a message of `b` bytes between any two
+/// processes costs `α + β·b` seconds, with sends and receives of one
+/// process serialized on a single full-duplex port — exactly the model in
+/// which the paper derives `t(α+βm)` for the trivial algorithm and
+/// `Cα + βVm` for message combining.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Start-up latency per message, seconds.
+    pub alpha: f64,
+    /// Transfer time per byte, seconds (1 / bandwidth).
+    pub beta: f64,
+}
+
+impl LinearModel {
+    /// Cost of a single message of `bytes`.
+    #[inline]
+    pub fn message(&self, bytes: usize) -> f64 {
+        self.alpha + self.beta * bytes as f64
+    }
+
+    /// Cost of a schedule given the wire bytes of each send-receive round:
+    /// rounds execute one after another (every process sends and receives
+    /// one message per round), `Σ (α + β·bytes_r)`.
+    pub fn schedule(&self, round_bytes: &[usize]) -> f64 {
+        round_bytes.iter().map(|&b| self.message(b)).sum()
+    }
+
+    /// Cost of direct delivery of `t` messages of `bytes` each from every
+    /// process (the trivial algorithm and the ideal neighborhood-collective
+    /// baseline): the single port serializes them, `t·(α + β·bytes)`.
+    pub fn direct(&self, t: usize, bytes: usize) -> f64 {
+        t as f64 * self.message(bytes)
+    }
+
+    /// Direct delivery with per-message sizes (irregular baseline).
+    pub fn direct_irregular(&self, sizes: &[usize]) -> f64 {
+        sizes.iter().map(|&b| self.message(b)).sum()
+    }
+
+    /// The α/β ratio in bytes — the machine constant the paper's cut-off
+    /// `m < (α/β)·(t−C)/(V−t)` multiplies.
+    pub fn alpha_beta_bytes(&self) -> f64 {
+        self.alpha / self.beta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M: LinearModel = LinearModel {
+        alpha: 2e-6,
+        beta: 1e-9,
+    };
+
+    #[test]
+    fn message_cost_is_affine() {
+        assert!((M.message(0) - 2e-6).abs() < 1e-18);
+        assert!((M.message(1000) - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn schedule_sums_rounds() {
+        let t = M.schedule(&[100, 200, 300]);
+        assert!((t - (3.0 * 2e-6 + 600.0 * 1e-9)).abs() < 1e-15);
+        assert_eq!(M.schedule(&[]), 0.0);
+    }
+
+    #[test]
+    fn direct_matches_trivial_formula() {
+        // t(α+βm)
+        let t = M.direct(26, 40);
+        assert!((t - 26.0 * (2e-6 + 40e-9)).abs() < 1e-15);
+        let ti = M.direct_irregular(&[40; 26]);
+        assert!((t - ti).abs() < 1e-18);
+    }
+
+    #[test]
+    fn combining_beats_trivial_below_cutoff() {
+        // d=3, n=5 family: t=124, C=12, V=300.
+        let (t, c, v) = (124usize, 12usize, 300usize);
+        let ratio = (t - c) as f64 / (v - t) as f64;
+        let cutoff_bytes = M.alpha_beta_bytes() * ratio;
+        let below = (cutoff_bytes * 0.5) as usize;
+        let above = (cutoff_bytes * 2.0) as usize;
+        let trivial_below = M.direct(t, below);
+        let comb_below = M.schedule(&vec![below * (v / c); c]); // approx: V spread over C rounds
+        assert!(comb_below < trivial_below);
+        let trivial_above = M.direct(t, above);
+        let comb_above = c as f64 * M.alpha + M.beta * (v * above) as f64;
+        assert!(comb_above > trivial_above);
+    }
+
+    #[test]
+    fn alpha_beta_ratio() {
+        assert!((M.alpha_beta_bytes() - 2000.0).abs() < 1e-9);
+    }
+}

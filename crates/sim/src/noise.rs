@@ -1,0 +1,281 @@
+//! System-noise models for the run-time distribution study (Figure 7 and
+//! Appendix A).
+//!
+//! The paper observed that on Titan the measured times of one collective
+//! were well concentrated at 128 × 16 processes but spread into a wide,
+//! sometimes bimodal distribution at 1024 × 16 — attributed to system
+//! noise, network congestion and cross-cabinet traffic rather than the
+//! algorithm ("our algorithm is sensitive to system noise when running on
+//! a larger number of compute nodes").
+//!
+//! We model noise *rate-based and run-coupled*: every rank is hit by
+//! preemption events at a fixed rate per second of exposure, and one
+//! execution of a schedule is delayed by the largest accumulated per-rank
+//! delay (ranks progress independently between their own communication
+//! partners, so a preemption delays the dependent chain once — it is *not*
+//! multiplied by the number of rounds). Exposure grows with the schedule's
+//! base time plus a small per-round synchronization window, so rare
+//! per-rank events become near-certain at scale and longer-running
+//! schedules absorb proportionally more noise.
+
+use rand::Rng;
+
+/// Fixed per-round exposure window added to the base cost (progress/sync
+/// overheads exist even for zero-byte rounds), seconds.
+const ROUND_WINDOW: f64 = 2e-6;
+
+/// A per-rank noise source.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NoiseModel {
+    /// No noise: deterministic model times.
+    Quiet,
+    /// Preemption outliers: each rank suffers events at
+    /// `events_per_rank_sec` over the run's exposure, each adding
+    /// `Exp(mean = scale)` seconds; the run is delayed by the largest.
+    HeavyTail {
+        /// Event rate per rank per second of exposure.
+        events_per_rank_sec: f64,
+        /// Mean outlier magnitude, seconds.
+        scale: f64,
+    },
+    /// Heavy tail plus a second mode: per run, each rank independently
+    /// lands on a slow path (cross-cabinet route, congested link) with
+    /// probability `mode_per_rank_run`; any hit delays the run by
+    /// `extra`. At small `p` this is a rare tail, at large `p` a second
+    /// mode — the Figure 7 contrast.
+    Bimodal {
+        /// Event rate per rank per second of exposure.
+        events_per_rank_sec: f64,
+        /// Mean outlier magnitude, seconds.
+        scale: f64,
+        /// Per-rank per-run slow-mode probability.
+        mode_per_rank_run: f64,
+        /// Slow-mode extra time, seconds.
+        extra: f64,
+    },
+}
+
+impl NoiseModel {
+    /// Sample the completion time of one execution of a schedule with the
+    /// given per-round base costs over `p` ranks.
+    pub fn sample_completion<R: Rng + ?Sized>(
+        &self,
+        round_costs: &[f64],
+        p: usize,
+        rng: &mut R,
+    ) -> f64 {
+        let base: f64 = round_costs.iter().sum();
+        let exposure = base + ROUND_WINDOW * round_costs.len() as f64;
+        base + self.run_delay(p, exposure, rng)
+    }
+
+    /// Draw the delay added to one run of total exposure `exposure`
+    /// seconds by the slowest of `p` ranks.
+    pub fn run_delay<R: Rng + ?Sized>(&self, p: usize, exposure: f64, rng: &mut R) -> f64 {
+        match *self {
+            NoiseModel::Quiet => 0.0,
+            NoiseModel::HeavyTail {
+                events_per_rank_sec,
+                scale,
+            } => max_outlier(p, events_per_rank_sec, exposure, scale, rng),
+            NoiseModel::Bimodal {
+                events_per_rank_sec,
+                scale,
+                mode_per_rank_run,
+                extra,
+            } => {
+                let mut d = max_outlier(p, events_per_rank_sec, exposure, scale, rng);
+                let any_slow = 1.0 - (1.0 - mode_per_rank_run.clamp(0.0, 1.0)).powi(p as i32);
+                if rng.gen_bool(any_slow.clamp(0.0, 1.0)) {
+                    d += extra;
+                }
+                d
+            }
+        }
+    }
+}
+
+/// Maximum of `Poisson(p · rate · exposure)` exponential outliers of the
+/// given mean — O(#outliers), not O(p).
+fn max_outlier<R: Rng + ?Sized>(
+    p: usize,
+    rate: f64,
+    exposure: f64,
+    scale: f64,
+    rng: &mut R,
+) -> f64 {
+    let lambda = p as f64 * rate * exposure;
+    let k = poisson(lambda, rng).min(p);
+    if k == 0 {
+        return 0.0;
+    }
+    let mut max = 0.0f64;
+    for _ in 0..k.min(4096) {
+        let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        max = max.max(-u.ln());
+    }
+    if k > 4096 {
+        // asymptotic shift for the truncated tail (absurdly noisy configs)
+        max += (k as f64 / 4096.0).ln();
+    }
+    scale * max
+}
+
+/// Knuth/inversion Poisson sampler for small λ with a normal-approximation
+/// fallback — adequate for the λ ranges noise models use.
+fn poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> usize {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0usize;
+        let mut prod: f64 = 1.0;
+        loop {
+            prod *= rng.gen_range(0.0f64..1.0);
+            if prod <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.gen_range(0.0f64..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn quiet_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = NoiseModel::Quiet;
+        assert_eq!(n.run_delay(10_000, 1e-3, &mut rng), 0.0);
+        let t = n.sample_completion(&[1e-6, 2e-6], 1 << 14, &mut rng);
+        assert!((t - 3e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn hit_probability_scales_with_p() {
+        let n = NoiseModel::HeavyTail {
+            events_per_rank_sec: 2.0,
+            scale: 100e-6,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let runs = 2000;
+        let exposure = 70e-6;
+        let count_hits = |p: usize, rng: &mut ChaCha8Rng| {
+            (0..runs)
+                .filter(|_| n.run_delay(p, exposure, rng) > 0.0)
+                .count()
+        };
+        let small = count_hits(2048, &mut rng);
+        let large = count_hits(16384, &mut rng);
+        // lambda: 0.29 at 2048, 2.3 at 16384
+        assert!(small < runs / 2, "small system too noisy: {small}");
+        assert!(large > runs * 3 / 4, "large system too quiet: {large}");
+        assert!(large > small * 2);
+    }
+
+    #[test]
+    fn hit_probability_scales_with_exposure() {
+        let n = NoiseModel::HeavyTail {
+            events_per_rank_sec: 2.0,
+            scale: 100e-6,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let runs = 2000;
+        let p = 4096;
+        let short = (0..runs)
+            .filter(|_| n.run_delay(p, 10e-6, &mut rng) > 0.0)
+            .count();
+        let long = (0..runs)
+            .filter(|_| n.run_delay(p, 1e-3, &mut rng) > 0.0)
+            .count();
+        assert!(
+            long > short * 2,
+            "longer exposure absorbs more noise: {short} vs {long}"
+        );
+    }
+
+    #[test]
+    fn run_coupling_preserves_series_ratios() {
+        // Two schedules with the same total base time but different round
+        // counts must receive statistically similar noise (the coupling is
+        // per run, not per round).
+        let n = NoiseModel::HeavyTail {
+            events_per_rank_sec: 2.0,
+            scale: 100e-6,
+        };
+        let many_rounds = vec![1e-6; 100]; // 100us in 100 rounds
+        let few_rounds = vec![50e-6; 2]; // 100us in 2 rounds
+        let p = 16384;
+        let mut rng = ChaCha8Rng::seed_from_u64(8);
+        let avg = |costs: &[f64], rng: &mut ChaCha8Rng| {
+            (0..2000)
+                .map(|_| n.sample_completion(costs, p, rng))
+                .sum::<f64>()
+                / 2000.0
+        };
+        let a = avg(&many_rounds, &mut rng);
+        let b = avg(&few_rounds, &mut rng);
+        // the many-round schedule has a larger sync window (100 * 2us vs
+        // 2 * 2us) so some extra noise is fine, but not a multiple
+        assert!(a / b < 2.0, "round count must not multiply noise: {a} vs {b}");
+        assert!(a >= b * 0.9);
+    }
+
+    #[test]
+    fn bimodal_adds_second_mode_at_scale() {
+        let n = NoiseModel::Bimodal {
+            events_per_rank_sec: 0.0,
+            scale: 0.0,
+            mode_per_rank_run: 3e-5,
+            extra: 1.5e-3,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let hits_at = |p: usize, rng: &mut ChaCha8Rng| {
+            (0..2000)
+                .filter(|_| n.run_delay(p, 10e-6, rng) > 0.5e-3)
+                .count()
+        };
+        let small = hits_at(2048, &mut rng); // ~6% per run
+        let large = hits_at(16384, &mut rng); // ~39% per run
+        assert!(small < 240, "small: {small}");
+        assert!(large > 600 && large < 960, "large: {large}");
+    }
+
+    #[test]
+    fn poisson_mean_is_lambda() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        for lambda in [0.5f64, 5.0, 60.0] {
+            let n = 4000;
+            let total: usize = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < lambda.max(1.0) * 0.15,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+        assert_eq!(poisson(0.0, &mut rng), 0);
+    }
+
+    #[test]
+    fn completion_never_below_base_cost() {
+        let n = NoiseModel::HeavyTail {
+            events_per_rank_sec: 10.0,
+            scale: 1e-4,
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let base = [5e-6, 5e-6, 5e-6];
+        for _ in 0..500 {
+            assert!(n.sample_completion(&base, 1024, &mut rng) >= 15e-6 - 1e-18);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Property-based validation of the discrete-event engine against the
+//! closed-form α-β model, and of the noise sampler's basic laws.
+
+use cartcomm_sim::{EventSim, LinearModel, NoiseModel};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// For symmetric (isomorphic) schedules the DES reproduces
+    /// Σ(α + β·bytes) exactly, at any process count and shift pattern.
+    #[test]
+    fn des_matches_formula_on_symmetric_schedules(
+        p in 2usize..40,
+        rounds in proptest::collection::vec((1usize..8, 0usize..10_000), 1..10),
+        alpha_us in 1u32..50,
+        beta_ps in 1u32..5000,
+    ) {
+        let model = LinearModel {
+            alpha: alpha_us as f64 * 1e-6,
+            beta: beta_ps as f64 * 1e-12,
+        };
+        let rounds: Vec<(usize, usize)> = rounds
+            .into_iter()
+            .map(|(s, b)| (s % p.max(1), b))
+            .map(|(s, b)| (if s == 0 { 1 } else { s }, b))
+            .collect();
+        let des = EventSim::run_symmetric_rounds(p, model, &rounds);
+        let bytes: Vec<usize> = rounds.iter().map(|&(_, b)| b).collect();
+        let formula = model.schedule(&bytes);
+        prop_assert!((des - formula).abs() < 1e-9 * formula.max(1e-9),
+            "DES {} vs formula {}", des, formula);
+    }
+
+    /// Asymmetric traffic can only be *slower* than the per-port lower
+    /// bound max(out_bytes-cost, in_bytes-cost) at any single rank.
+    #[test]
+    fn des_respects_port_lower_bounds(
+        msgs in proptest::collection::vec((0usize..6, 0usize..6, 0usize..5000), 1..12),
+    ) {
+        let p = 6;
+        let model = LinearModel { alpha: 1e-6, beta: 1e-9 };
+        let msgs: Vec<(usize, usize, usize)> = msgs
+            .into_iter()
+            .filter(|&(s, d, _)| s != d)
+            .collect();
+        if msgs.is_empty() { return Ok(()); }
+        let mut sim = EventSim::new(p, model);
+        sim.phase(&msgs);
+        let makespan = sim.makespan();
+        for r in 0..p {
+            let out: f64 = msgs.iter().filter(|&&(s, _, _)| s == r)
+                .map(|&(_, _, b)| model.message(b)).sum();
+            let inn: f64 = msgs.iter().filter(|&&(_, d, _)| d == r)
+                .map(|&(_, _, b)| model.message(b)).sum();
+            prop_assert!(makespan + 1e-15 >= out.max(inn),
+                "makespan {} below port bound {}", makespan, out.max(inn));
+        }
+    }
+
+    /// Noise sampling never goes below the base cost and is deterministic
+    /// for a fixed seed.
+    #[test]
+    fn noise_laws(
+        seed in any::<u64>(),
+        costs in proptest::collection::vec(0.0f64..1e-3, 1..6),
+        p_exp in 5u32..15,
+    ) {
+        let p = 1usize << p_exp;
+        let noise = NoiseModel::HeavyTail { events_per_rank_sec: 2.0, scale: 1e-4 };
+        let base: f64 = costs.iter().sum();
+        let mut rng1 = ChaCha8Rng::seed_from_u64(seed);
+        let mut rng2 = ChaCha8Rng::seed_from_u64(seed);
+        let a = noise.sample_completion(&costs, p, &mut rng1);
+        let b = noise.sample_completion(&costs, p, &mut rng2);
+        prop_assert!(a >= base - 1e-18);
+        prop_assert_eq!(a, b, "same seed, same sample");
+    }
+}

@@ -1,0 +1,94 @@
+//! Measurement-retention policies (Appendix A).
+
+/// Which subset of the raw measurements a system's reporting retains.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FilterPolicy {
+    /// Keep everything.
+    All,
+    /// Keep the smallest `fraction` of measurements:
+    /// `LowerFraction(0.5)` is the paper's Hydra rule (first and second
+    /// quartile), `LowerFraction(1.0/3.0)` its Titan rule (smallest third).
+    LowerFraction(f64),
+}
+
+impl FilterPolicy {
+    /// The paper's Hydra rule: first and second quartile.
+    pub const HYDRA: FilterPolicy = FilterPolicy::LowerFraction(0.5);
+    /// The paper's Titan rule: smallest third.
+    pub const TITAN: FilterPolicy = FilterPolicy::LowerFraction(1.0 / 3.0);
+
+    /// Apply the policy, returning the retained measurements in ascending
+    /// order.
+    pub fn apply(&self, xs: &[f64]) -> Vec<f64> {
+        match *self {
+            FilterPolicy::All => {
+                let mut v = xs.to_vec();
+                v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+                v
+            }
+            FilterPolicy::LowerFraction(f) => smallest_fraction(xs, f),
+        }
+    }
+}
+
+/// The smallest `fraction` (clamped to `[0, 1]`) of the measurements, in
+/// ascending order; always keeps at least one measurement when input is
+/// non-empty.
+pub fn smallest_fraction(xs: &[f64], fraction: f64) -> Vec<f64> {
+    if xs.is_empty() {
+        return Vec::new();
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
+    let keep = ((xs.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize)
+        .clamp(1, xs.len());
+    v.truncate(keep);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hydra_keeps_lower_half() {
+        let xs: Vec<f64> = (1..=8).map(|i| i as f64).collect();
+        let kept = FilterPolicy::HYDRA.apply(&xs);
+        assert_eq!(kept, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn titan_keeps_smallest_third() {
+        let xs: Vec<f64> = (1..=9).map(|i| i as f64).collect();
+        let kept = FilterPolicy::TITAN.apply(&xs);
+        assert_eq!(kept, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn all_just_sorts() {
+        let kept = FilterPolicy::All.apply(&[3.0, 1.0, 2.0]);
+        assert_eq!(kept, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn outliers_are_dropped() {
+        // The Appendix A motivation: one 1000x outlier must not survive.
+        let mut xs = vec![1.0; 99];
+        xs.push(1000.0);
+        let kept = FilterPolicy::HYDRA.apply(&xs);
+        assert_eq!(kept.len(), 50);
+        assert!(kept.iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn keeps_at_least_one() {
+        assert_eq!(smallest_fraction(&[5.0, 4.0], 0.0), vec![4.0]);
+        assert!(smallest_fraction(&[], 0.5).is_empty());
+        assert_eq!(smallest_fraction(&[2.0], 1.0), vec![2.0]);
+    }
+
+    #[test]
+    fn fraction_clamped() {
+        assert_eq!(smallest_fraction(&[1.0, 2.0], 7.0), vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,23 @@
+//! # cartcomm-stats — measurement processing from the paper's Appendix A
+//!
+//! The paper found raw collective timings unusable directly: huge outliers
+//! (1000× the minimum) destabilized the mean, and bimodal distributions
+//! made the median jump. Their remedy, which this crate reproduces:
+//!
+//! * On **Hydra**, report statistics over the first and second quartile of
+//!   the measurements only (the smaller half).
+//! * On **Titan**, report averages over the *smallest third* of the
+//!   measurements.
+//! * Report the **mean and 95% confidence interval** over the retained
+//!   subset, and normalize each variant to the default blocking
+//!   `MPI_Neighbor_*` baseline.
+//! * Figure 7 shows raw run-time **histograms**, which [`Histogram`]
+//!   regenerates.
+
+pub mod describe;
+pub mod filter;
+pub mod histogram;
+
+pub use describe::{mean, median, quantile, std_dev, Summary};
+pub use filter::{smallest_fraction, FilterPolicy};
+pub use histogram::Histogram;

@@ -1,0 +1,94 @@
+//! Balanced factorization of a process count into Cartesian dimension
+//! sizes — the `MPI_Dims_create` counterpart.
+
+/// Factor `p` into `d` dimension sizes that are as close to each other as
+/// possible, in non-increasing order (the `MPI_Dims_create` contract).
+///
+/// The algorithm repeatedly peels the largest prime factor and assigns it to
+/// the currently smallest dimension, then sorts non-increasing; this matches
+/// the balanced factorizations produced by common MPI implementations for
+/// practical `p`.
+pub fn dims_create(p: usize, d: usize) -> Vec<usize> {
+    assert!(p > 0, "process count must be positive");
+    assert!(d > 0, "dimension count must be positive");
+    let mut dims = vec![1usize; d];
+    let mut factors = prime_factors(p);
+    // Assign large factors first to the smallest current dimension.
+    factors.sort_unstable_by(|a, b| b.cmp(a));
+    for f in factors {
+        let (imin, _) = dims
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &v)| v)
+            .expect("d > 0");
+        dims[imin] *= f;
+    }
+    dims.sort_unstable_by(|a, b| b.cmp(a));
+    dims
+}
+
+/// Prime factorization with repetition, ascending.
+pub fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut f = 2usize;
+    while f * f <= n {
+        while n.is_multiple_of(f) {
+            out.push(f);
+            n /= f;
+        }
+        f += if f == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factorization_basics() {
+        assert_eq!(prime_factors(1), Vec::<usize>::new());
+        assert_eq!(prime_factors(2), vec![2]);
+        assert_eq!(prime_factors(12), vec![2, 2, 3]);
+        assert_eq!(prime_factors(97), vec![97]);
+        assert_eq!(prime_factors(1024), vec![2; 10]);
+    }
+
+    #[test]
+    fn dims_multiply_to_p() {
+        for p in [1, 2, 6, 12, 36, 64, 100, 97, 1152, 16384] {
+            for d in 1..=4 {
+                let dims = dims_create(p, d);
+                assert_eq!(dims.len(), d);
+                assert_eq!(dims.iter().product::<usize>(), p, "p={p} d={d}");
+                // non-increasing
+                assert!(dims.windows(2).all(|w| w[0] >= w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn dims_are_balanced() {
+        assert_eq!(dims_create(16, 2), vec![4, 4]);
+        assert_eq!(dims_create(12, 2), vec![4, 3]);
+        assert_eq!(dims_create(64, 3), vec![4, 4, 4]);
+        assert_eq!(dims_create(1024, 2), vec![32, 32]);
+        // The paper's Hydra setup: 36 nodes × 32 cores = 1152 processes.
+        let dims = dims_create(1152, 2);
+        assert_eq!(dims.iter().product::<usize>(), 1152);
+        assert!(dims[0] as f64 / dims[1] as f64 <= 2.0);
+    }
+
+    #[test]
+    fn prime_p_goes_to_one_dimension() {
+        assert_eq!(dims_create(7, 2), vec![7, 1]);
+    }
+
+    #[test]
+    fn one_process() {
+        assert_eq!(dims_create(1, 3), vec![1, 1, 1]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for topology invariants: rank/coordinate
+//! bijections (with and without permutations), shift antisymmetry, and
+//! relative-coordinate minimality.
+
+use cartcomm_topo::{brick_permutation, CartTopology, RelNeighborhood};
+use proptest::prelude::*;
+
+fn arb_dims() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(1usize..6, 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// rank -> coords -> rank is the identity on tori and meshes.
+    #[test]
+    fn rank_coord_bijection(dims in arb_dims(), periodic in any::<bool>()) {
+        let topo = if periodic {
+            CartTopology::torus(&dims).unwrap()
+        } else {
+            CartTopology::mesh(&dims).unwrap()
+        };
+        for r in topo.ranks() {
+            let c = topo.coords_of(r);
+            prop_assert_eq!(topo.rank_of(&c).unwrap(), r);
+            for (k, &ck) in c.iter().enumerate() {
+                prop_assert!(ck < dims[k]);
+            }
+        }
+    }
+
+    /// (R + N) − N == R for every rank and offset on a torus.
+    #[test]
+    fn shift_antisymmetry(
+        dims in arb_dims(),
+        offset_seed in proptest::collection::vec(-7i64..8, 3),
+    ) {
+        let topo = CartTopology::torus(&dims).unwrap();
+        let off: Vec<i64> = (0..dims.len()).map(|k| offset_seed[k % 3]).collect();
+        let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
+        for r in topo.ranks() {
+            let fwd = topo.rank_of_offset(r, &off).unwrap().unwrap();
+            prop_assert_eq!(topo.rank_of_offset(fwd, &neg).unwrap().unwrap(), r);
+        }
+    }
+
+    /// relative_coord returns the minimal-magnitude wrap representative
+    /// and is consistent with rank_of_offset.
+    #[test]
+    fn relative_coord_minimal_and_consistent(dims in arb_dims()) {
+        let topo = CartTopology::torus(&dims).unwrap();
+        for a in topo.ranks() {
+            for b in topo.ranks() {
+                let rel = topo.relative_coord(a, b);
+                // consistency: a + rel == b
+                prop_assert_eq!(topo.rank_of_offset(a, &rel).unwrap().unwrap(), b);
+                // minimality: |rel_k| <= dims_k / 2
+                for (k, &c) in rel.iter().enumerate() {
+                    prop_assert!(
+                        c.unsigned_abs() as usize * 2 <= dims[k],
+                        "rel {} not minimal for size {}", c, dims[k]
+                    );
+                }
+            }
+        }
+    }
+
+    /// Brick permutations (when they exist) preserve all topology algebra.
+    #[test]
+    fn permuted_topology_invariants(exp in 1u32..5, dims_choice in 0usize..3) {
+        let cores = 1usize << exp;
+        let dims = match dims_choice {
+            0 => vec![4usize, 4],
+            1 => vec![8, 4],
+            _ => vec![4, 2, 4],
+        };
+        let p: usize = dims.iter().product();
+        if p % cores != 0 {
+            return Ok(());
+        }
+        let Ok(perm) = brick_permutation(&dims, cores) else { return Ok(()); };
+        let topo = CartTopology::torus(&dims).unwrap().with_permutation(perm).unwrap();
+        for r in topo.ranks() {
+            let c = topo.coords_of(r);
+            prop_assert_eq!(topo.rank_of(&c).unwrap(), r);
+        }
+        // every grid position occupied exactly once
+        let mut seen = vec![false; p];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let r = topo.rank_of(&idx).unwrap();
+            prop_assert!(!seen[r]);
+            seen[r] = true;
+            // increment mixed radix
+            let mut k = dims.len();
+            loop {
+                if k == 0 {
+                    prop_assert!(seen.iter().all(|&s| s));
+                    return Ok(());
+                }
+                k -= 1;
+                idx[k] += 1;
+                if idx[k] < dims[k] { break; }
+                idx[k] = 0;
+            }
+        }
+    }
+
+    /// Stencil-family generators: t, C, and V always match the closed
+    /// forms for any (d, n, f) with 0 in the offset range.
+    #[test]
+    fn stencil_family_closed_forms(d in 1usize..5, n in 2usize..5) {
+        let f = -1i64; // keeps 0 in range for n >= 2
+        let nb = RelNeighborhood::stencil_family(d, n, f).unwrap();
+        prop_assert_eq!(nb.len(), n.pow(d as u32) - 1);
+        prop_assert_eq!(nb.combining_rounds(), d * (n - 1));
+        let v: usize = nb.hops().iter().sum();
+        prop_assert_eq!(v, nb.alltoall_volume());
+    }
+}

@@ -1,0 +1,165 @@
+//! Incremental datatype construction — the paper's `TypeApp` primitive.
+//!
+//! Algorithm 1 and the allgather schedule computation build one send and one
+//! receive datatype *per communication round* by appending block
+//! descriptions `(address, element count)` as the neighborhood is scanned in
+//! bucket-sorted order. [`TypeBuilder`] is that primitive: each `append`
+//! adds one block, and `build`/`commit` freezes the accumulated layout.
+
+use crate::datatype::{Datatype, StructField};
+use crate::flat::{FlatType, Span};
+use crate::signature::Signature;
+
+/// Builds a struct-like datatype by appending `(displacement, count, type)`
+/// entries, in order.
+#[derive(Default)]
+pub struct TypeBuilder {
+    fields: Vec<StructField>,
+}
+
+impl TypeBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TypeBuilder { fields: Vec::new() }
+    }
+
+    /// Append `count` copies of `ty` at byte displacement `disp`
+    /// (the paper's `TypeApp(type, (address, m))`).
+    pub fn append(&mut self, disp: i64, count: usize, ty: &Datatype) -> &mut Self {
+        self.fields.push(StructField {
+            count,
+            disp,
+            ty: ty.clone(),
+        });
+        self
+    }
+
+    /// Append a raw byte block.
+    pub fn append_bytes(&mut self, disp: i64, len: usize) -> &mut Self {
+        self.append(disp, 1, &Datatype::bytes(len))
+    }
+
+    /// Append an already-committed layout at an extra displacement, reusing
+    /// its spans (no re-flattening).
+    pub fn append_flat(&mut self, disp: i64, ft: &FlatType) -> &mut Self {
+        // Reconstruct as hindexed over bytes; cheap because FlatType spans
+        // are already coalesced.
+        for s in ft.spans() {
+            self.append_bytes(disp + s.offset, s.len);
+        }
+        self
+    }
+
+    /// Number of appended entries.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if nothing has been appended.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Freeze into a (struct) [`Datatype`].
+    pub fn build(self) -> Datatype {
+        Datatype::structured(self.fields)
+    }
+
+    /// Freeze and commit in one step; the common path during schedule
+    /// computation.
+    pub fn commit(self) -> FlatType {
+        // A builder-produced struct always flattens cleanly.
+        self.build()
+            .commit()
+            .expect("builder-produced struct types always commit")
+    }
+
+    /// Commit directly from span lists without materializing the tree —
+    /// fast path used by the schedule planner, which already works in spans.
+    pub fn commit_spans(spans: Vec<Span>, signature: Signature) -> FlatType {
+        FlatType::from_spans(spans, signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pack::gather;
+    use crate::primitive::Primitive;
+
+    #[test]
+    fn empty_builder_builds_empty_type() {
+        let b = TypeBuilder::new();
+        assert!(b.is_empty());
+        let ft = b.commit();
+        assert_eq!(ft.size(), 0);
+        assert!(ft.spans().is_empty());
+    }
+
+    #[test]
+    fn append_accumulates_in_order() {
+        let mut b = TypeBuilder::new();
+        b.append(8, 2, &Datatype::int()).append(0, 1, &Datatype::int());
+        assert_eq!(b.len(), 2);
+        let ft = b.commit();
+        // Order preserved: block at 8 first, then block at 0.
+        assert_eq!(ft.spans().len(), 2);
+        assert_eq!(ft.spans()[0].offset, 8);
+        assert_eq!(ft.spans()[1].offset, 0);
+        assert_eq!(ft.size(), 12);
+    }
+
+    #[test]
+    fn gather_order_matches_append_order() {
+        let buf: Vec<u8> = (0..16).collect();
+        let mut b = TypeBuilder::new();
+        b.append_bytes(12, 2).append_bytes(0, 2);
+        let ft = b.commit();
+        let wire = gather(&buf, 0, &ft).unwrap();
+        assert_eq!(wire, vec![12, 13, 0, 1]);
+    }
+
+    #[test]
+    fn adjacent_appends_coalesce() {
+        let mut b = TypeBuilder::new();
+        b.append_bytes(0, 4).append_bytes(4, 4);
+        let ft = b.commit();
+        assert_eq!(ft.spans().len(), 1);
+        assert_eq!(ft.size(), 8);
+    }
+
+    #[test]
+    fn append_flat_reuses_spans() {
+        let inner = Datatype::vector(2, 1, 2, &Datatype::int()).commit().unwrap();
+        let mut b = TypeBuilder::new();
+        b.append_flat(100, &inner);
+        let ft = b.commit();
+        assert_eq!(ft.spans().len(), 2);
+        assert_eq!(ft.spans()[0].offset, 100);
+        assert_eq!(ft.spans()[1].offset, 108);
+    }
+
+    #[test]
+    fn commit_spans_fast_path() {
+        let mut sig = Signature::new();
+        sig.push(Primitive::U8, 6);
+        let ft = TypeBuilder::commit_spans(
+            vec![Span { offset: 4, len: 2 }, Span { offset: 6, len: 4 }],
+            sig,
+        );
+        assert_eq!(ft.spans().len(), 1);
+        assert_eq!(ft.size(), 6);
+        assert_eq!(ft.signature().total_elements(), 6);
+    }
+
+    #[test]
+    fn typed_blocks_signature() {
+        let mut b = TypeBuilder::new();
+        b.append(0, 3, &Datatype::double());
+        b.append(24, 2, &Datatype::int());
+        let dt = b.build();
+        let sig = dt.signature();
+        assert_eq!(sig.total_elements(), 5);
+        assert_eq!(sig.total_bytes(), 32);
+    }
+}

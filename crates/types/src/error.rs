@@ -1,0 +1,104 @@
+//! Error type for datatype construction and use.
+
+use std::fmt;
+
+/// Errors raised while constructing or using derived datatypes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A count, block length, or size argument was invalid (e.g. negative
+    /// stride semantics that cannot be represented, or mismatched array
+    /// lengths in `indexed`/`structured` constructors).
+    InvalidArgument(String),
+    /// A span produced by flattening would fall outside the addressable
+    /// (non-negative) displacement range of a buffer.
+    NegativeDisplacement { offset: i64 },
+    /// A gather/scatter target buffer is too small for the flattened layout.
+    BufferTooSmall {
+        /// Bytes required by the furthest span (end offset).
+        required: usize,
+        /// Bytes actually available in the buffer.
+        available: usize,
+    },
+    /// The wire buffer size does not match the datatype's packed size.
+    SizeMismatch { expected: usize, actual: usize },
+    /// Two spans of one datatype overlap where overlap is illegal
+    /// (receive-side layouts must be non-overlapping).
+    OverlappingSpans { a: (i64, usize), b: (i64, usize) },
+    /// Subarray arguments were inconsistent (subsize+start exceeds size, or
+    /// dimension counts disagree).
+    InvalidSubarray(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::InvalidArgument(msg) => write!(f, "invalid datatype argument: {msg}"),
+            TypeError::NegativeDisplacement { offset } => {
+                write!(f, "datatype span has negative displacement {offset}")
+            }
+            TypeError::BufferTooSmall {
+                required,
+                available,
+            } => write!(
+                f,
+                "buffer too small for datatype: need {required} bytes, have {available}"
+            ),
+            TypeError::SizeMismatch { expected, actual } => {
+                write!(f, "packed size mismatch: expected {expected}, got {actual}")
+            }
+            TypeError::OverlappingSpans { a, b } => write!(
+                f,
+                "overlapping spans in receive datatype: ({}, {}) and ({}, {})",
+                a.0, a.1, b.0, b.1
+            ),
+            TypeError::InvalidSubarray(msg) => write!(f, "invalid subarray: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Result alias for datatype operations.
+pub type TypeResult<T> = Result<T, TypeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TypeError::BufferTooSmall {
+            required: 128,
+            available: 64,
+        };
+        let s = e.to_string();
+        assert!(s.contains("128") && s.contains("64"));
+
+        let e = TypeError::SizeMismatch {
+            expected: 8,
+            actual: 4,
+        };
+        assert!(e.to_string().contains("expected 8"));
+
+        let e = TypeError::NegativeDisplacement { offset: -3 };
+        assert!(e.to_string().contains("-3"));
+
+        let e = TypeError::InvalidArgument("bad".into());
+        assert!(e.to_string().contains("bad"));
+
+        let e = TypeError::OverlappingSpans {
+            a: (0, 8),
+            b: (4, 8),
+        };
+        assert!(e.to_string().contains("overlapping"));
+
+        let e = TypeError::InvalidSubarray("dim 1".into());
+        assert!(e.to_string().contains("dim 1"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&TypeError::InvalidArgument("x".into()));
+    }
+}

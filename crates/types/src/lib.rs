@@ -1,0 +1,40 @@
+//! # cartcomm-types — derived datatypes for zero-copy collective communication
+//!
+//! The Cartesian collective algorithms of Träff & Hunold (ICPP 2019) avoid
+//! explicit packing of data blocks by describing the blocks of every
+//! communication round with an MPI *derived datatype* and letting the
+//! communication layer gather/scatter directly between user buffers and the
+//! wire. This crate is a from-scratch reimplementation of the part of the
+//! MPI datatype machinery those algorithms need:
+//!
+//! * [`Datatype`] — an immutable, reference-counted layout tree built with
+//!   MPI-like constructors (`contiguous`, `vector`, `hvector`, `indexed`,
+//!   `hindexed`, `indexed_block`, `structured`, `subarray`, `resized`),
+//! * [`FlatType`] — a *committed* datatype: the layout flattened into a
+//!   coalesced list of byte [`Span`]s, ready for repeated use,
+//! * [`TypeBuilder`] — the paper's `TypeApp` primitive: incrementally append
+//!   `(displacement, count, datatype)` entries while computing a schedule,
+//! * [`pack`] — single-copy gather/scatter between buffers and wire
+//!   representation, the zero-copy execution primitive of Listing 5,
+//! * [`Signature`] — type signatures for send/receive matching checks.
+//!
+//! All displacements are byte displacements relative to the start of the
+//! buffer passed at communication time (the analogue of `MPI_BOTTOM` +
+//! absolute addresses in the paper's C library is not needed in safe Rust;
+//! buffer-relative displacements are equally expressive here).
+
+pub mod builder;
+pub mod datatype;
+pub mod error;
+pub mod flat;
+pub mod pack;
+pub mod primitive;
+pub mod signature;
+
+pub use builder::TypeBuilder;
+pub use datatype::Datatype;
+pub use error::{TypeError, TypeResult};
+pub use flat::{FlatType, Span};
+pub use pack::{gather, gather_append, gather_into, scatter, scatter_prefix, PackBuf};
+pub use primitive::{cast_slice, cast_slice_mut, Pod, Primitive};
+pub use signature::Signature;

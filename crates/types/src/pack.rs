@@ -1,0 +1,253 @@
+//! Single-copy gather/scatter between user buffers and wire representation.
+//!
+//! The message-combining schedules of the paper communicate each round's
+//! blocks "as a single unit, without any need for explicit packing or
+//! unpacking of blocks in contiguous buffers" (§3). On a real network with
+//! iovec support this is zero-copy; in this substrate, the wire is a `Vec<u8>`
+//! handed to the receiving rank, so the minimum possible is exactly one
+//! gather on the send side and one scatter on the receive side — which is
+//! what this module implements. No intermediate staging buffers are ever
+//! used.
+
+use crate::error::{TypeError, TypeResult};
+use crate::flat::FlatType;
+
+/// A reusable wire buffer. Reusing one `PackBuf` across rounds avoids
+/// per-round allocation in persistent (`_init`) operations.
+#[derive(Debug, Default, Clone)]
+pub struct PackBuf {
+    data: Vec<u8>,
+}
+
+impl PackBuf {
+    /// New empty wire buffer.
+    pub fn new() -> Self {
+        PackBuf { data: Vec::new() }
+    }
+
+    /// New wire buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        PackBuf {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// The packed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Clear contents, keep capacity.
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Consume into the underlying vector (to hand to the transport without
+    /// copying).
+    pub fn into_vec(self) -> Vec<u8> {
+        self.data
+    }
+}
+
+/// Gather the bytes described by `(disp, ty)` out of `buf` into a fresh wire
+/// vector.
+pub fn gather(buf: &[u8], disp: i64, ty: &FlatType) -> TypeResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(ty.size());
+    gather_append(buf, disp, ty, &mut out)?;
+    Ok(out)
+}
+
+/// Gather into a reusable [`PackBuf`] (cleared first).
+pub fn gather_into(buf: &[u8], disp: i64, ty: &FlatType, out: &mut PackBuf) -> TypeResult<()> {
+    out.clear();
+    gather_append(buf, disp, ty, &mut out.data)
+}
+
+/// Append the gathered bytes to `out` without clearing — used to combine the
+/// blocks of several [`FlatType`]s into one wire message.
+pub fn gather_append(buf: &[u8], disp: i64, ty: &FlatType, out: &mut Vec<u8>) -> TypeResult<()> {
+    ty.check_bounds(disp, buf.len())?;
+    for s in ty.spans() {
+        let start = (disp + s.offset) as usize;
+        out.extend_from_slice(&buf[start..start + s.len]);
+    }
+    Ok(())
+}
+
+/// Scatter `wire` into `buf` according to `(disp, ty)`. The wire length must
+/// equal the type's packed size.
+pub fn scatter(wire: &[u8], buf: &mut [u8], disp: i64, ty: &FlatType) -> TypeResult<()> {
+    if wire.len() != ty.size() {
+        return Err(TypeError::SizeMismatch {
+            expected: ty.size(),
+            actual: wire.len(),
+        });
+    }
+    scatter_prefix(wire, buf, disp, ty).map(|_| ())
+}
+
+/// Scatter a wire buffer that may be *shorter* than the type (MPI allows a
+/// received message to fill only a prefix of the receive type). Returns the
+/// number of bytes consumed.
+pub fn scatter_prefix(wire: &[u8], buf: &mut [u8], disp: i64, ty: &FlatType) -> TypeResult<usize> {
+    if wire.len() > ty.size() {
+        return Err(TypeError::SizeMismatch {
+            expected: ty.size(),
+            actual: wire.len(),
+        });
+    }
+    ty.check_bounds(disp, buf.len())?;
+    let mut taken = 0usize;
+    for s in ty.spans() {
+        if taken >= wire.len() {
+            break;
+        }
+        let n = s.len.min(wire.len() - taken);
+        let start = (disp + s.offset) as usize;
+        buf[start..start + n].copy_from_slice(&wire[taken..taken + n]);
+        taken += n;
+    }
+    Ok(taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::Datatype;
+    use crate::primitive::{cast_slice, cast_slice_mut};
+
+    #[test]
+    fn gather_contiguous_is_plain_copy() {
+        let src: Vec<i32> = (0..8).collect();
+        let ty = Datatype::contiguous(4, &Datatype::int()).commit().unwrap();
+        let wire = gather(cast_slice(&src), 8, &ty).unwrap();
+        assert_eq!(wire.len(), 16);
+        let vals: Vec<i32> = wire
+            .chunks_exact(4)
+            .map(|c| i32::from_ne_bytes(c.try_into().unwrap()))
+            .collect();
+        assert_eq!(vals, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn gather_column_scatter_back() {
+        // 4x4 matrix; gather column 1 (stride 4), scatter into column 2 of a
+        // zeroed matrix.
+        let mut m = [0i32; 16];
+        for (i, v) in m.iter_mut().enumerate() {
+            *v = i as i32;
+        }
+        let col = Datatype::vector(4, 1, 4, &Datatype::int()).commit().unwrap();
+        let wire = gather(cast_slice(&m), 4, &col).unwrap(); // column 1
+        let mut dst = [0i32; 16];
+        scatter(&wire, cast_slice_mut(&mut dst), 8, &col).unwrap(); // column 2
+        assert_eq!(dst[2], 1);
+        assert_eq!(dst[6], 5);
+        assert_eq!(dst[10], 9);
+        assert_eq!(dst[14], 13);
+        assert_eq!(dst.iter().filter(|&&v| v != 0).count(), 4);
+    }
+
+    #[test]
+    fn gather_append_combines_blocks() {
+        let buf = [1u8, 2, 3, 4, 5, 6, 7, 8];
+        let a = Datatype::bytes(2).commit().unwrap();
+        let b = Datatype::bytes(3).commit().unwrap();
+        let mut wire = Vec::new();
+        gather_append(&buf, 0, &a, &mut wire).unwrap();
+        gather_append(&buf, 5, &b, &mut wire).unwrap();
+        assert_eq!(wire, vec![1, 2, 6, 7, 8]);
+    }
+
+    #[test]
+    fn scatter_rejects_wrong_size() {
+        let ty = Datatype::bytes(4).commit().unwrap();
+        let mut buf = [0u8; 8];
+        let err = scatter(&[1, 2, 3], &mut buf, 0, &ty).unwrap_err();
+        assert!(matches!(err, TypeError::SizeMismatch { expected: 4, actual: 3 }));
+    }
+
+    #[test]
+    fn scatter_prefix_partial_fill() {
+        let ty = Datatype::vector(3, 1, 2, &Datatype::byte()).commit().unwrap();
+        let mut buf = [0u8; 8];
+        let n = scatter_prefix(&[9, 8], &mut buf, 0, &ty).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(buf, [9, 0, 8, 0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn scatter_prefix_rejects_oversize() {
+        let ty = Datatype::bytes(2).commit().unwrap();
+        let mut buf = [0u8; 4];
+        assert!(scatter_prefix(&[1, 2, 3], &mut buf, 0, &ty).is_err());
+    }
+
+    #[test]
+    fn gather_bounds_violation() {
+        let ty = Datatype::bytes(8).commit().unwrap();
+        let buf = [0u8; 7];
+        assert!(matches!(
+            gather(&buf, 0, &ty),
+            Err(TypeError::BufferTooSmall { .. })
+        ));
+    }
+
+    #[test]
+    fn packbuf_reuse_keeps_capacity() {
+        let src = [7u8; 64];
+        let ty = Datatype::bytes(64).commit().unwrap();
+        let mut pb = PackBuf::with_capacity(64);
+        gather_into(&src, 0, &ty, &mut pb).unwrap();
+        assert_eq!(pb.len(), 64);
+        let cap_before = pb.data.capacity();
+        gather_into(&src, 0, &ty, &mut pb).unwrap();
+        assert_eq!(pb.data.capacity(), cap_before);
+        assert!(!pb.is_empty());
+        let v = pb.into_vec();
+        assert_eq!(v.len(), 64);
+    }
+
+    #[test]
+    fn subarray_halo_roundtrip() {
+        // Interior 3x3 of a 5x5 f64 grid, gathered and scattered elsewhere.
+        let mut grid = [0f64; 25];
+        for (i, v) in grid.iter_mut().enumerate() {
+            *v = i as f64;
+        }
+        let interior = Datatype::subarray(&[5, 5], &[3, 3], &[1, 1], &Datatype::double())
+            .unwrap()
+            .commit()
+            .unwrap();
+        let wire = gather(cast_slice(&grid), 0, &interior).unwrap();
+        assert_eq!(wire.len(), 72);
+        let mut dst = [0f64; 25];
+        scatter(&wire, cast_slice_mut(&mut dst), 0, &interior).unwrap();
+        for r in 1..4 {
+            for c in 1..4 {
+                assert_eq!(dst[r * 5 + c], (r * 5 + c) as f64);
+            }
+        }
+        assert_eq!(dst[0], 0.0);
+        assert_eq!(dst[24], 0.0);
+    }
+
+    #[test]
+    fn empty_type_gathers_nothing() {
+        let ty = Datatype::bytes(0).commit().unwrap();
+        let wire = gather(&[], 0, &ty).unwrap();
+        assert!(wire.is_empty());
+        let mut buf: [u8; 0] = [];
+        scatter(&wire, &mut buf, 0, &ty).unwrap();
+    }
+}

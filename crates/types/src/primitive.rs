@@ -1,0 +1,218 @@
+//! Primitive element types and safe byte-level reinterpretation.
+//!
+//! The communication substrate moves raw bytes; applications work in typed
+//! element units (the benchmarks in the paper use `MPI_INT`). [`Primitive`]
+//! enumerates the supported element types (the analogue of MPI's named
+//! datatypes) and [`Pod`] provides checked slice casts for them.
+
+use std::fmt;
+
+/// A primitive (named) element type, the leaf of every datatype tree.
+///
+/// Mirrors the commonly used MPI named datatypes. Each has a fixed size and
+/// alignment equal to the corresponding Rust type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Primitive {
+    /// 1-byte unsigned integer (`MPI_BYTE` / `MPI_UINT8_T`).
+    U8,
+    /// 1-byte signed integer (`MPI_INT8_T`).
+    I8,
+    /// 2-byte unsigned integer (`MPI_UINT16_T`).
+    U16,
+    /// 2-byte signed integer (`MPI_INT16_T`).
+    I16,
+    /// 4-byte unsigned integer (`MPI_UINT32_T`).
+    U32,
+    /// 4-byte signed integer (`MPI_INT` on common ABIs).
+    I32,
+    /// 8-byte unsigned integer (`MPI_UINT64_T`).
+    U64,
+    /// 8-byte signed integer (`MPI_INT64_T`).
+    I64,
+    /// 4-byte IEEE-754 float (`MPI_FLOAT`).
+    F32,
+    /// 8-byte IEEE-754 float (`MPI_DOUBLE`).
+    F64,
+}
+
+impl Primitive {
+    /// Size of one element in bytes.
+    #[inline]
+    pub const fn size(self) -> usize {
+        match self {
+            Primitive::U8 | Primitive::I8 => 1,
+            Primitive::U16 | Primitive::I16 => 2,
+            Primitive::U32 | Primitive::I32 | Primitive::F32 => 4,
+            Primitive::U64 | Primitive::I64 | Primitive::F64 => 8,
+        }
+    }
+
+    /// Natural alignment of the type in bytes (equals its size for all
+    /// supported primitives).
+    #[inline]
+    pub const fn align(self) -> usize {
+        self.size()
+    }
+
+    /// Short, stable name used in `Display`/debug output.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Primitive::U8 => "u8",
+            Primitive::I8 => "i8",
+            Primitive::U16 => "u16",
+            Primitive::I16 => "i16",
+            Primitive::U32 => "u32",
+            Primitive::I32 => "i32",
+            Primitive::U64 => "u64",
+            Primitive::I64 => "i64",
+            Primitive::F32 => "f32",
+            Primitive::F64 => "f64",
+        }
+    }
+
+    /// All supported primitives, useful for exhaustive tests.
+    pub const ALL: [Primitive; 10] = [
+        Primitive::U8,
+        Primitive::I8,
+        Primitive::U16,
+        Primitive::I16,
+        Primitive::U32,
+        Primitive::I32,
+        Primitive::U64,
+        Primitive::I64,
+        Primitive::F32,
+        Primitive::F64,
+    ];
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Marker trait for element types that are plain-old-data: any bit pattern is
+/// valid and the type has no padding, so `&[T]` can be viewed as `&[u8]` and
+/// back (subject to alignment).
+///
+/// # Safety
+///
+/// Implementors must guarantee: no padding bytes, no invalid bit patterns,
+/// and `PRIM.size() == size_of::<Self>()`.
+pub unsafe trait Pod: Copy + Send + Sync + 'static {
+    /// The matching [`Primitive`] descriptor.
+    const PRIM: Primitive;
+}
+
+macro_rules! impl_pod {
+    ($($t:ty => $p:ident),* $(,)?) => {
+        $(unsafe impl Pod for $t { const PRIM: Primitive = Primitive::$p; })*
+    };
+}
+
+impl_pod! {
+    u8 => U8, i8 => I8, u16 => U16, i16 => I16,
+    u32 => U32, i32 => I32, u64 => U64, i64 => I64,
+    f32 => F32, f64 => F64,
+}
+
+/// View a typed slice as raw bytes.
+#[inline]
+pub fn cast_slice<T: Pod>(s: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding, any bit pattern valid); u8 has alignment 1.
+    unsafe { std::slice::from_raw_parts(s.as_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// View a typed mutable slice as raw bytes.
+#[inline]
+pub fn cast_slice_mut<T: Pod>(s: &mut [T]) -> &mut [u8] {
+    // SAFETY: as above; exclusive borrow is carried through.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr().cast::<u8>(), std::mem::size_of_val(s)) }
+}
+
+/// Reinterpret raw bytes as a typed slice.
+///
+/// # Panics
+///
+/// Panics if the byte slice is misaligned for `T` or its length is not a
+/// multiple of `size_of::<T>()`. Buffers allocated as `Vec<T>` and cast with
+/// [`cast_slice`] always round-trip.
+#[inline]
+pub fn cast_bytes<T: Pod>(bytes: &[u8]) -> &[T] {
+    let size = std::mem::size_of::<T>();
+    assert!(
+        bytes.len().is_multiple_of(size),
+        "byte length {} not a multiple of element size {}",
+        bytes.len(),
+        size
+    );
+    assert!(
+        (bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<T>()),
+        "byte buffer misaligned for element type"
+    );
+    // SAFETY: alignment and length checked above; T is Pod.
+    unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), bytes.len() / size) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_rust_types() {
+        assert_eq!(Primitive::U8.size(), std::mem::size_of::<u8>());
+        assert_eq!(Primitive::I32.size(), std::mem::size_of::<i32>());
+        assert_eq!(Primitive::F64.size(), std::mem::size_of::<f64>());
+        for p in Primitive::ALL {
+            assert_eq!(p.size(), p.align());
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn pod_prim_constants_agree() {
+        assert_eq!(<i32 as Pod>::PRIM, Primitive::I32);
+        assert_eq!(<f64 as Pod>::PRIM, Primitive::F64);
+        assert_eq!(<u8 as Pod>::PRIM.size(), 1);
+    }
+
+    #[test]
+    fn cast_roundtrip_i32() {
+        let v: Vec<i32> = vec![1, -2, 3, i32::MAX];
+        let bytes = cast_slice(&v);
+        assert_eq!(bytes.len(), 16);
+        let back: &[i32] = cast_bytes(bytes);
+        assert_eq!(back, &v[..]);
+    }
+
+    #[test]
+    fn cast_mut_allows_in_place_update() {
+        let mut v: Vec<u32> = vec![0xAABBCCDD, 0x11223344];
+        {
+            let b = cast_slice_mut(&mut v);
+            b[0] = 0xFF; // little-endian low byte of first element
+        }
+        assert_eq!(v[0] & 0xFF, 0xFF);
+    }
+
+    #[test]
+    fn cast_f64_preserves_bits() {
+        let v = vec![1.5f64, -0.0, f64::INFINITY];
+        let back: &[f64] = cast_bytes(cast_slice(&v));
+        assert_eq!(back[0], 1.5);
+        assert!(back[1] == 0.0 && back[1].is_sign_negative());
+        assert!(back[2].is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn cast_bytes_rejects_ragged_length() {
+        let bytes = [0u8; 7];
+        let _: &[u32] = cast_bytes(&bytes);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Primitive::F32.to_string(), "f32");
+    }
+}

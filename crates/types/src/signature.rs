@@ -1,0 +1,186 @@
+//! Type signatures for send/receive matching.
+//!
+//! MPI requires the *type signature* — the sequence of primitive element
+//! types, ignoring displacements — of a received message to match a prefix of
+//! the receive type's signature. We store signatures run-length encoded so
+//! that e.g. `contiguous(1_000_000, int)` costs two words, and compare them
+//! by streaming over runs.
+
+use crate::primitive::Primitive;
+
+/// A run-length-encoded sequence of primitive element kinds.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Signature {
+    runs: Vec<(Primitive, usize)>,
+}
+
+impl Signature {
+    /// Empty signature.
+    pub fn new() -> Self {
+        Signature { runs: Vec::new() }
+    }
+
+    /// Append `count` elements of primitive `p`, merging with the trailing
+    /// run when the kind matches.
+    pub fn push(&mut self, p: Primitive, count: usize) {
+        if count == 0 {
+            return;
+        }
+        if let Some(last) = self.runs.last_mut() {
+            if last.0 == p {
+                last.1 += count;
+                return;
+            }
+        }
+        self.runs.push((p, count));
+    }
+
+    /// Append another signature.
+    pub fn extend(&mut self, other: &Signature) {
+        for &(p, c) in &other.runs {
+            self.push(p, c);
+        }
+    }
+
+    /// Repeat this signature `n` times (the signature of `contiguous(n, T)`).
+    pub fn repeat(&self, n: usize) -> Signature {
+        let mut out = Signature::new();
+        for _ in 0..n {
+            out.extend(self);
+        }
+        out
+    }
+
+    /// Total number of primitive elements.
+    pub fn total_elements(&self) -> usize {
+        self.runs.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Total number of data bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.runs.iter().map(|&(p, c)| p.size() * c).sum()
+    }
+
+    /// Number of stored runs (compression diagnostic).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// True if `self` equals `other` element-for-element.
+    pub fn matches(&self, other: &Signature) -> bool {
+        self.runs == other.runs
+    }
+
+    /// True if `self` is an element-wise prefix of `other` (a sender may send
+    /// fewer elements than the receiver described, as in MPI).
+    pub fn is_prefix_of(&self, other: &Signature) -> bool {
+        let mut oi = 0usize;
+        let mut orem = 0usize; // remaining in other.runs[oi]
+        for &(p, mut c) in &self.runs {
+            while c > 0 {
+                if orem == 0 {
+                    if oi >= other.runs.len() {
+                        return false;
+                    }
+                    orem = other.runs[oi].1;
+                }
+                if other.runs[oi].0 != p {
+                    return false;
+                }
+                let take = c.min(orem);
+                c -= take;
+                orem -= take;
+                if orem == 0 {
+                    oi += 1;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_merges_adjacent_runs() {
+        let mut s = Signature::new();
+        s.push(Primitive::I32, 3);
+        s.push(Primitive::I32, 2);
+        s.push(Primitive::F64, 1);
+        assert_eq!(s.run_count(), 2);
+        assert_eq!(s.total_elements(), 6);
+        assert_eq!(s.total_bytes(), 3 * 4 + 2 * 4 + 8);
+    }
+
+    #[test]
+    fn zero_count_push_is_noop() {
+        let mut s = Signature::new();
+        s.push(Primitive::U8, 0);
+        assert_eq!(s.run_count(), 0);
+    }
+
+    #[test]
+    fn repeat_builds_contiguous_signature() {
+        let mut s = Signature::new();
+        s.push(Primitive::I16, 2);
+        let r = s.repeat(3);
+        assert_eq!(r.total_elements(), 6);
+        assert_eq!(r.run_count(), 1); // merged
+    }
+
+    #[test]
+    fn matches_is_exact() {
+        let mut a = Signature::new();
+        a.push(Primitive::I32, 4);
+        let mut b = Signature::new();
+        b.push(Primitive::I32, 2);
+        b.push(Primitive::I32, 2);
+        assert!(a.matches(&b)); // run-merging normalizes
+        b.push(Primitive::F32, 1);
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn prefix_across_run_boundaries() {
+        let mut small = Signature::new();
+        small.push(Primitive::I32, 3);
+        let mut big = Signature::new();
+        big.push(Primitive::I32, 2);
+        big.push(Primitive::I32, 2);
+        big.push(Primitive::F64, 1);
+        assert!(small.is_prefix_of(&big));
+        assert!(!big.is_prefix_of(&small));
+    }
+
+    #[test]
+    fn prefix_rejects_kind_mismatch() {
+        let mut a = Signature::new();
+        a.push(Primitive::I32, 1);
+        let mut b = Signature::new();
+        b.push(Primitive::U32, 5);
+        assert!(!a.is_prefix_of(&b));
+    }
+
+    #[test]
+    fn empty_signature_is_prefix_of_everything() {
+        let e = Signature::new();
+        let mut b = Signature::new();
+        b.push(Primitive::F64, 2);
+        assert!(e.is_prefix_of(&b));
+        assert!(e.is_prefix_of(&e.clone()));
+    }
+
+    #[test]
+    fn extend_concatenates() {
+        let mut a = Signature::new();
+        a.push(Primitive::U8, 1);
+        let mut b = Signature::new();
+        b.push(Primitive::U8, 2);
+        b.push(Primitive::I64, 1);
+        a.extend(&b);
+        assert_eq!(a.total_elements(), 4);
+        assert_eq!(a.run_count(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! 3-D cellular automaton on a rank-per-cell torus — the 27-point Moore
+//! neighborhood driven by the message-combining `Cart_allgather`.
+//!
+//! Run with: `cargo run --example life3d_moore`
+//!
+//! Each of the 4×3×3 ranks is one cell of a periodic 3-D world running a
+//! dense-soup rule (a live cell survives with exactly 8 live Moore
+//! neighbors, a dead cell is born with 10–14). Every generation each rank
+//! broadcasts its state to all 26 Moore neighbors with one
+//! `Cart_allgather`: volume 26 blocks (same as direct delivery) in only
+//! C = 6 communication rounds (Table 1, d=3 n=3).
+//!
+//! The run is verified against a single-process simulation of the same
+//! world.
+
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::{CartTopology, RelNeighborhood};
+
+const DIMS: [usize; 3] = [4, 3, 3];
+const GENERATIONS: usize = 12;
+
+fn rule(alive: bool, live_neighbors: usize) -> bool {
+    if alive {
+        live_neighbors == 8
+    } else {
+        (10..=14).contains(&live_neighbors)
+    }
+}
+
+fn seeded(rank: usize) -> bool {
+    // deterministic pseudo-random initial soup, ~50% fill
+    let mut x = rank as u64 ^ 0x9E3779B97F4A7C15;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+    x ^= x >> 33;
+    x & 1 == 1
+}
+
+/// Single-process reference simulation.
+fn reference() -> Vec<bool> {
+    let topo = CartTopology::torus(&DIMS).unwrap();
+    let nb = RelNeighborhood::moore(3, 1).unwrap();
+    let p = topo.size();
+    let mut cur: Vec<bool> = (0..p).map(seeded).collect();
+    let mut next = vec![false; p];
+    for _ in 0..GENERATIONS {
+        for r in 0..p {
+            let live = nb
+                .offsets()
+                .iter()
+                .filter(|off| {
+                    let nbr = topo.rank_of_offset(r, off).unwrap().unwrap();
+                    cur[nbr]
+                })
+                .count();
+            next[r] = rule(cur[r], live);
+        }
+        std::mem::swap(&mut cur, &mut next);
+    }
+    cur
+}
+
+fn main() {
+    let nb = RelNeighborhood::moore(3, 1).expect("valid neighborhood");
+    let t = nb.len();
+    let p: usize = DIMS.iter().product();
+
+    let final_states = Universe::run(p, |comm| {
+        let cart =
+            CartComm::create(comm, &DIMS, &[true, true, true], nb.clone()).unwrap();
+        let mut alive = seeded(cart.rank());
+        let mut neighbor_states = vec![0u8; t];
+        for _ in 0..GENERATIONS {
+            // One allgather: my state to all 26 neighbors, theirs to me.
+            let send = [u8::from(alive)];
+            cart.allgather(&send, &mut neighbor_states).unwrap();
+            // Block i arrived from source neighbor r - N[i]; for counting
+            // live Moore neighbors the direction does not matter.
+            let live = neighbor_states.iter().filter(|&&s| s == 1).count();
+            alive = rule(alive, live);
+        }
+        alive
+    });
+
+    let expect = reference();
+    let live_count = final_states.iter().filter(|&&a| a).count();
+    println!(
+        "life3d_moore: {}x{}x{} torus, {GENERATIONS} generations, survive 8 / born 10-14",
+        DIMS[0], DIMS[1], DIMS[2]
+    );
+    println!("  final live cells: {live_count}/{p}");
+    let plan_rounds = {
+        let nb2 = RelNeighborhood::moore(3, 1).unwrap();
+        cartcomm::schedule::allgather_plan(&nb2).rounds
+    };
+    println!("  per generation: 1 Cart_allgather, {plan_rounds} rounds for 26 neighbors");
+    for (r, (&got, &want)) in final_states.iter().zip(expect.iter()).enumerate() {
+        assert_eq!(got, want, "cell {r} diverged from the reference");
+    }
+    println!("  OK — distributed evolution matches the single-process reference.");
+}

@@ -1,0 +1,16 @@
+#!/bin/sh
+# Regenerate every saved experiment output in results/ (see results/README.md).
+set -e
+cd "$(dirname "$0")"
+cargo run -q -p cartcomm-bench --bin table1 > results/table1.txt
+cargo run -q -p cartcomm-bench --bin table2 > results/table2.txt
+cargo run -q -p cartcomm-bench --bin fig3 > results/fig3_clean.txt
+cargo run -q -p cartcomm-bench --bin fig3 -- --quirks > results/fig3_quirks.txt
+cargo run -q -p cartcomm-bench --bin fig4 -- --quirks > results/fig4_quirks.txt
+cargo run -q -p cartcomm-bench --bin fig5 > results/fig5.txt
+cargo run -q -p cartcomm-bench --bin fig6 > results/fig6.txt
+cargo run -q -p cartcomm-bench --bin fig6 -- --quirks > results/fig6_quirks.txt
+cargo run -q -p cartcomm-bench --bin fig7 > results/fig7.txt
+cargo run -q -p cartcomm-bench --bin schedule_dump -- 2 3 > results/schedule_2d_moore.txt
+cargo run -q -p cartcomm-bench --bin remap_ablation > results/remap_ablation.txt
+echo "results/ regenerated"
