@@ -37,7 +37,11 @@ fn bench_dim_order(c: &mut Criterion) {
             RelNeighborhood::stencil_family(3, 3, -1).unwrap(),
         ),
     ] {
-        for order in [DimOrder::IncreasingCk, DimOrder::Given, DimOrder::DecreasingCk] {
+        for order in [
+            DimOrder::IncreasingCk,
+            DimOrder::Given,
+            DimOrder::DecreasingCk,
+        ] {
             let plan = allgather_plan_with_order(&nb, order);
             println!(
                 "{label} / {order:?}: volume {} blocks over {} rounds",

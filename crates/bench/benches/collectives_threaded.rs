@@ -7,8 +7,9 @@
 //! paper: combining (4 rounds) beats trivial/direct (8 rounds).
 
 use cartcomm::neighbor::DistGraphComm;
+use cartcomm::ops::persistent::Algorithm;
 use cartcomm::CartComm;
-use cartcomm_comm::Universe;
+use cartcomm_comm::{RecvSpec, Universe};
 use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
@@ -22,8 +23,7 @@ fn run_collective(variant: &'static str, m: usize, iters: u64) -> Duration {
     let topo = CartTopology::torus(&dims).unwrap();
     let totals = Universe::run(16, |comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-        let graph =
-            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let send = vec![1i32; t * m];
         let mut recv = vec![0i32; t * m];
@@ -47,15 +47,113 @@ fn bench_threaded_alltoall(c: &mut Criterion) {
     g.sample_size(10);
     for m in [1usize, 256] {
         for variant in ["combining", "trivial", "neighbor"] {
-            g.bench_with_input(
-                BenchmarkId::new(variant, m),
-                &m,
-                |b, &m| b.iter_custom(|iters| run_collective(variant, m, iters)),
-            );
+            g.bench_with_input(BenchmarkId::new(variant, m), &m, |b, &m| {
+                b.iter_custom(|iters| run_collective(variant, m, iters))
+            });
         }
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_threaded_alltoall);
+/// Pooled-vs-malloc on the same t-round trivial algorithm: the persistent
+/// handle runs it over pooled wire buffers (pre-warmed at `_init`, 100%
+/// hit rate in steady state), while the "malloc" variant re-creates the
+/// pre-pool executor — a fresh `Vec::with_capacity` per wire message
+/// through the plain `exchange` API. Also times the combining persistent
+/// handle, the configuration the pool was built for.
+fn run_persistent(variant: &'static str, m: usize, iters: u64) -> Duration {
+    let dims = [4usize, 4];
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let totals = Universe::run(16, |comm| {
+        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+        let send = vec![1i32; t * m];
+        let mut recv = vec![0i32; t * m];
+        let elapsed;
+        match variant {
+            "pooled_trivial" | "pooled_combining" => {
+                let algo = if variant == "pooled_trivial" {
+                    Algorithm::Trivial
+                } else {
+                    Algorithm::Combining
+                };
+                let mut handle = cart.alltoall_init::<i32>(m, algo).unwrap();
+                // One warm-up execution, then scope the telemetry to the
+                // measured region: every take below must be a pool hit.
+                handle.execute_typed(&cart, &send, &mut recv).unwrap();
+                cart.comm().wire_pool().reset_stats();
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    handle.execute_typed(&cart, &send, &mut recv).unwrap();
+                }
+                elapsed = start.elapsed();
+                if iters > 10 && cart.rank() == 0 {
+                    let s = cart.comm().pool_telemetry();
+                    println!(
+                        "  [{variant} m={m}] rank-0 pool hit rate {:.1}% \
+                         ({} hits, {} misses, {} KiB recycled)",
+                        s.hit_rate() * 100.0,
+                        s.hits,
+                        s.misses,
+                        s.bytes_recycled / 1024
+                    );
+                }
+            }
+            "malloc_trivial" => {
+                // The pre-pool trivial algorithm: per neighbor, allocate a
+                // wire, copy the block, exchange over the Vec<u8> API.
+                let bs = m * std::mem::size_of::<i32>();
+                let sbytes = cartcomm_types::cast_slice(&send);
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    for i in 0..t {
+                        let off = cart.neighborhood().offset(i).to_vec();
+                        let (source, target) = cart.relative_shift(&off).unwrap();
+                        let tag = 0x6000_0000 + i as u32;
+                        let mut sends = Vec::with_capacity(1);
+                        if let Some(dst) = target {
+                            let mut wire = Vec::with_capacity(bs);
+                            wire.extend_from_slice(&sbytes[i * bs..(i + 1) * bs]);
+                            sends.push((dst, tag, wire));
+                        }
+                        let mut specs = Vec::with_capacity(1);
+                        if let Some(src) = source {
+                            specs.push(RecvSpec::from_rank(src, tag));
+                        }
+                        let results = cart.comm().exchange(sends, &specs).unwrap();
+                        if let Some((wire, _)) = results.into_iter().next() {
+                            let rbytes = cartcomm_types::cast_slice_mut(&mut recv);
+                            rbytes[i * bs..(i + 1) * bs].copy_from_slice(&wire);
+                        }
+                    }
+                }
+                elapsed = start.elapsed();
+            }
+            _ => unreachable!(),
+        }
+        elapsed
+    });
+    totals.into_iter().max().unwrap()
+}
+
+fn bench_persistent_pooled_vs_malloc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("persistent_alltoall_4x4_moore");
+    g.sample_size(10);
+    for m in [1usize, 256] {
+        for variant in ["pooled_trivial", "malloc_trivial", "pooled_combining"] {
+            g.bench_with_input(BenchmarkId::new(variant, m), &m, |b, &m| {
+                b.iter_custom(|iters| run_persistent(variant, m, iters))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_threaded_alltoall,
+    bench_persistent_pooled_vs_malloc
+);
 criterion_main!(benches);

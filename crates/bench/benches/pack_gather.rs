@@ -5,7 +5,10 @@
 //! throughput of the gather/scatter engine for the layouts stencil codes
 //! use: contiguous rows, strided columns, and subarray halos.
 
-use cartcomm_types::{gather_into, scatter, Datatype, PackBuf};
+use std::sync::Arc;
+
+use cartcomm_comm::WirePool;
+use cartcomm_types::{gather_append, gather_into, scatter, Datatype, PackBuf};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
@@ -14,7 +17,9 @@ fn bench_gather(c: &mut Criterion) {
     let grid = vec![1.0f64; n * n];
     let bytes = cartcomm_types::cast_slice(&grid);
 
-    let row = Datatype::contiguous(n, &Datatype::double()).commit().unwrap();
+    let row = Datatype::contiguous(n, &Datatype::double())
+        .commit()
+        .unwrap();
     let col = Datatype::vector(n, 1, n as i64, &Datatype::double())
         .commit()
         .unwrap();
@@ -24,7 +29,11 @@ fn bench_gather(c: &mut Criterion) {
         .unwrap();
 
     let mut g = c.benchmark_group("gather");
-    for (name, ty) in [("row", &row), ("column", &col), ("interior_subarray", &halo)] {
+    for (name, ty) in [
+        ("row", &row),
+        ("column", &col),
+        ("interior_subarray", &halo),
+    ] {
         g.throughput(Throughput::Bytes(ty.size() as u64));
         let mut buf = PackBuf::with_capacity(ty.size());
         g.bench_with_input(BenchmarkId::from_parameter(name), ty, |b, ty| {
@@ -57,5 +66,51 @@ fn bench_scatter(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gather, bench_scatter);
+/// Wire assembly for one schedule round — gather `blocks` strided column
+/// blocks into a fresh wire buffer, then release it — comparing a plain
+/// `Vec::with_capacity` per round (the pre-pool executor) against a
+/// [`WirePool`] take/recycle cycle (what `execute_plan` does now).
+fn bench_wire_packing(c: &mut Criterion) {
+    let n = 512usize;
+    let grid = vec![1.0f64; n * n];
+    let bytes = cartcomm_types::cast_slice(&grid);
+    let col = Datatype::vector(n, 1, n as i64, &Datatype::double())
+        .commit()
+        .unwrap();
+
+    let mut g = c.benchmark_group("wire_packing_round");
+    for blocks in [1usize, 8] {
+        let total = blocks * col.size();
+        g.throughput(Throughput::Bytes(total as u64));
+
+        g.bench_with_input(BenchmarkId::new("malloc", blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let mut wire = Vec::with_capacity(total);
+                for _ in 0..blocks {
+                    gather_append(black_box(bytes), 0, &col, &mut wire).unwrap();
+                }
+                black_box(wire.len())
+                // drop: free to the allocator
+            })
+        });
+
+        let pool = Arc::new(WirePool::new());
+        WirePool::prewarm(&pool, &[total]);
+        g.bench_with_input(BenchmarkId::new("pooled", blocks), &blocks, |b, &blocks| {
+            b.iter(|| {
+                let mut wire = WirePool::take(&pool, total);
+                for _ in 0..blocks {
+                    gather_append(black_box(bytes), 0, &col, &mut wire).unwrap();
+                }
+                black_box(wire.len())
+                // drop: recycle into the pool — the next take is a hit
+            })
+        });
+        let stats = pool.stats();
+        assert_eq!(stats.misses, 1, "only the prewarm take may allocate");
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gather, bench_scatter, bench_wire_packing);
 criterion_main!(benches);

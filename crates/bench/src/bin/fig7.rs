@@ -29,9 +29,15 @@ fn main() {
         .collect();
 
     println!("Figure 7: run-time distribution of Cart_alltoall, d=3 n=3 m=1, Titan (Cray MPI).");
-    println!("{} repetitions per panel (the paper's m=1 count for Titan).", 300);
+    println!(
+        "{} repetitions per panel (the paper's m=1 count for Titan).",
+        300
+    );
     println!();
-    for (label, p) in [("128 x 16 processes", 128 * 16), ("1024 x 16 processes", 1024 * 16)] {
+    for (label, p) in [
+        ("128 x 16 processes", 128 * 16),
+        ("1024 x 16 processes", 1024 * 16),
+    ] {
         let mut rng = ChaCha8Rng::seed_from_u64(p as u64);
         let samples: Vec<f64> = (0..300)
             .map(|_| noise.sample_completion(&costs, p, &mut rng) * 1e6)

@@ -31,7 +31,10 @@ fn main() {
     ] {
         for (label, nb) in [
             ("moore r=1", RelNeighborhood::moore(dims.len(), 1).unwrap()),
-            ("von-neumann", RelNeighborhood::von_neumann(dims.len(), 1).unwrap()),
+            (
+                "von-neumann",
+                RelNeighborhood::von_neumann(dims.len(), 1).unwrap(),
+            ),
             (
                 "family n=5",
                 RelNeighborhood::stencil_family(dims.len(), 5, -1).unwrap(),

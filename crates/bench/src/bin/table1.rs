@@ -6,7 +6,9 @@ use cartcomm::cost::CostSummary;
 use cartcomm_topo::RelNeighborhood;
 
 fn main() {
-    println!("Table 1: rounds, volumes and cut-off ratio for the (d, n) stencil families (f = -1).");
+    println!(
+        "Table 1: rounds, volumes and cut-off ratio for the (d, n) stencil families (f = -1)."
+    );
     println!("t = n^d - 1 neighbors; C = message-combining rounds; trivial algorithm uses t rounds, volume t.");
     println!();
     println!(
@@ -25,8 +27,7 @@ fn main() {
                 cs.rounds,
                 cs.allgather_volume,
                 cs.alltoall_volume,
-                cs.cutoff
-                    .map_or("-".to_string(), |c| format!("{c:.3}"))
+                cs.cutoff.map_or("-".to_string(), |c| format!("{c:.3}"))
             );
         }
     }

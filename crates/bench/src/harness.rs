@@ -330,9 +330,7 @@ mod tests {
         );
         // and for tiny blocks it wins
         let rows = simulate_alltoall_series(&titan(), &nb, 1, false, Quiet, 7);
-        assert!(
-            abs_ms(&rows, SeriesKind::CartCombining) < abs_ms(&rows, SeriesKind::CartTrivial)
-        );
+        assert!(abs_ms(&rows, SeriesKind::CartCombining) < abs_ms(&rows, SeriesKind::CartTrivial));
     }
 
     #[test]
@@ -346,12 +344,10 @@ mod tests {
         let rows_b = simulate_alltoall_series(&prof, &nb, below, false, Quiet, 3);
         let rows_a = simulate_alltoall_series(&prof, &nb, above, false, Quiet, 3);
         assert!(
-            abs_ms(&rows_b, SeriesKind::CartCombining)
-                < abs_ms(&rows_b, SeriesKind::CartTrivial)
+            abs_ms(&rows_b, SeriesKind::CartCombining) < abs_ms(&rows_b, SeriesKind::CartTrivial)
         );
         assert!(
-            abs_ms(&rows_a, SeriesKind::CartCombining)
-                > abs_ms(&rows_a, SeriesKind::CartTrivial)
+            abs_ms(&rows_a, SeriesKind::CartCombining) > abs_ms(&rows_a, SeriesKind::CartTrivial)
         );
     }
 
@@ -407,8 +403,7 @@ mod tests {
         for m in [1usize, 10, 100, 10_000] {
             let rows = simulate_allgather_series(&titan(), &nb, m, false, Quiet, 11);
             assert!(
-                abs_ms(&rows, SeriesKind::CartCombining)
-                    < abs_ms(&rows, SeriesKind::CartTrivial),
+                abs_ms(&rows, SeriesKind::CartCombining) < abs_ms(&rows, SeriesKind::CartTrivial),
                 "m={m}"
             );
         }
@@ -472,14 +467,8 @@ mod tests {
         // factor 2-3 over the library baseline on Hydra; Figure 5 showed
         // parity on Titan.
         let nb = RelNeighborhood::stencil_family(3, 3, -1).unwrap();
-        let hydra = simulate_alltoall_series(
-            &MachineProfile::hydra_openmpi(),
-            &nb,
-            1,
-            false,
-            Quiet,
-            1,
-        );
+        let hydra =
+            simulate_alltoall_series(&MachineProfile::hydra_openmpi(), &nb, 1, false, Quiet, 1);
         let titan_rows = simulate_alltoall_series(&titan(), &nb, 1, false, Quiet, 1);
         let h = rel(&hydra, SeriesKind::CartTrivial);
         let t = rel(&titan_rows, SeriesKind::CartTrivial);

@@ -25,6 +25,6 @@ pub mod harness;
 pub mod threaded;
 
 pub use harness::{
-    simulate_allgather_series, simulate_alltoall_series, simulate_alltoallv_series,
-    v_block_sizes, FigureRow, SeriesKind,
+    simulate_allgather_series, simulate_alltoall_series, simulate_alltoallv_series, v_block_sizes,
+    FigureRow, SeriesKind,
 };

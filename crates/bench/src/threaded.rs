@@ -34,8 +34,7 @@ pub fn measure_alltoall(
     let per_rank = Universe::run(p, move |comm| {
         let periods = vec![true; dims.len()];
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
-        let graph =
-            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let send: Vec<i32> = (0..t * m).map(|x| x as i32).collect();
         let mut recv = vec![0i32; t * m];
@@ -83,8 +82,7 @@ pub fn measure_allgather(
     let per_rank = Universe::run(p, move |comm| {
         let periods = vec![true; dims.len()];
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
-        let graph =
-            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let send: Vec<i32> = (0..m).map(|x| x as i32).collect();
         let mut recv = vec![0i32; t * m];
@@ -126,12 +124,7 @@ fn aggregate(per_rank: Vec<Vec<(SeriesKind, Vec<f64>)>>) -> Vec<(SeriesKind, Sum
         .map(|s| {
             let kind = per_rank[0][s].0;
             let maxima: Vec<f64> = (0..reps)
-                .map(|i| {
-                    per_rank
-                        .iter()
-                        .map(|r| r[s].1[i])
-                        .fold(0.0f64, f64::max)
-                })
+                .map(|i| per_rank.iter().map(|r| r[s].1[i]).fold(0.0f64, f64::max))
                 .collect();
             (kind, Summary::of(&FilterPolicy::HYDRA.apply(&maxima)))
         })

@@ -231,9 +231,8 @@ impl CartComm {
     /// the condition under which the message-combining schedules may route
     /// through intermediate processes for every rank.
     pub fn combining_applicable(&self) -> bool {
-        (0..self.topo.ndims()).all(|k| {
-            self.topo.periods()[k] || self.nb.offsets().iter().all(|o| o[k] == 0)
-        })
+        (0..self.topo.ndims())
+            .all(|k| self.topo.periods()[k] || self.nb.offsets().iter().all(|o| o[k] == 0))
     }
 
     /// The offsets, as a convenience for iteration.

@@ -153,10 +153,7 @@ pub fn trivial_volume(nb: &RelNeighborhood) -> usize {
 pub fn round_bytes_uniform(nb: &RelNeighborhood, m_bytes: usize) -> (Vec<usize>, Vec<usize>) {
     let a2a = alltoall_plan(nb);
     let ag = allgather_plan(nb);
-    (
-        a2a.round_bytes(&|_| m_bytes),
-        ag.round_bytes(&|_| m_bytes),
-    )
+    (a2a.round_bytes(&|_| m_bytes), ag.round_bytes(&|_| m_bytes))
 }
 
 #[cfg(test)]
@@ -187,11 +184,7 @@ mod tests {
     #[test]
     fn table1_cutoff_ratios() {
         // The cells that are unambiguous in the published table.
-        let cases = [
-            (4usize, 5usize, 0.443),
-            (5, 4, 0.358),
-            (5, 5, 0.331),
-        ];
+        let cases = [(4usize, 5usize, 0.443), (5, 4, 0.358), (5, 5, 0.331)];
         for (d, n, expected) in cases {
             let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
             let cs = CostSummary::of(&nb);
@@ -223,9 +216,8 @@ mod tests {
         // Exactly at the cut-off the two are equal (within fp error).
         let at = cs.cutoff_bytes(alpha, beta).unwrap();
         let m = at as usize;
-        let diff = (cs.combining_alltoall_time(alpha, beta, m)
-            - cs.trivial_time(alpha, beta, m))
-        .abs();
+        let diff =
+            (cs.combining_alltoall_time(alpha, beta, m) - cs.trivial_time(alpha, beta, m)).abs();
         assert!(diff < alpha, "near-equality at the cut-off");
     }
 
@@ -238,8 +230,7 @@ mod tests {
         assert_eq!(cs.allgather_volume, cs.t);
         for m in [1usize, 100, 10_000, 1_000_000] {
             assert!(
-                cs.combining_allgather_time(2e-6, 0.08e-9, m)
-                    <= cs.trivial_time(2e-6, 0.08e-9, m)
+                cs.combining_allgather_time(2e-6, 0.08e-9, m) <= cs.trivial_time(2e-6, 0.08e-9, m)
             );
         }
     }

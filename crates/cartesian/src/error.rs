@@ -135,7 +135,9 @@ mod tests {
         let e: CartError = TypeError::InvalidArgument("x".into()).into();
         assert!(e.to_string().contains("datatype"));
         assert!(CartError::NotIsomorphic.to_string().contains("Cartesian"));
-        assert!(CartError::CombiningNeedsTorus { dim: 2 }.to_string().contains("2"));
+        assert!(CartError::CombiningNeedsTorus { dim: 2 }
+            .to_string()
+            .contains("2"));
         let e = CartError::BadBufferSize {
             what: "send",
             expected: 10,

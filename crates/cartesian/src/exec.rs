@@ -9,7 +9,7 @@
 //! the `Irecv`/`Isend`/`Waitall` pattern — with exactly one gather per send
 //! and one scatter per receive and no intermediate packing.
 
-use cartcomm_comm::{Comm, RecvSpec, Tag};
+use cartcomm_comm::{Comm, PooledBuf, RecvSpec, Tag};
 use cartcomm_topo::CartTopology;
 use cartcomm_types::{gather_append, scatter, FlatType};
 
@@ -158,18 +158,26 @@ pub fn execute_plan(
 ) -> CartResult<()> {
     let rank = comm.rank();
     let mut round_idx: Tag = 0;
+    // One pooled scratch buffer serves every local copy of the whole
+    // execution (acquired lazily — plans without self blocks touch no
+    // scratch at all — cleared between uses, never reallocated once grown).
+    let mut copy_buf: Option<PooledBuf> = None;
     for phase in &plan.phases {
         // Local copies become valid at the start of their phase.
         for copy in &phase.copies {
-            let mut bytes = Vec::new();
-            lay.gather_block(copy.from, sendbuf, recvbuf, temp, &mut bytes)?;
-            lay.scatter_block(copy.to, &bytes, recvbuf, temp)?;
+            let buf = copy_buf.get_or_insert_with(|| comm.wire_buf(0));
+            buf.clear();
+            lay.gather_block(copy.from, sendbuf, recvbuf, temp, buf)?;
+            lay.scatter_block(copy.to, buf, recvbuf, temp)?;
         }
         if phase.rounds.is_empty() {
             continue;
         }
         // Gather and post all sends of the phase, then complete all
         // receives (Listing 5's Irecv/Isend/Waitall with eager sends).
+        // Wire buffers come from the rank's pool: after the first
+        // iteration of a repeated collective the pool is warm and no round
+        // allocates.
         let mut sends = Vec::with_capacity(phase.rounds.len());
         let mut specs = Vec::with_capacity(phase.rounds.len());
         for round in &phase.rounds {
@@ -181,7 +189,7 @@ pub fn execute_plan(
                 .rank_of_offset(rank, &neg)?
                 .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
             let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
-            let mut wire = Vec::with_capacity(total);
+            let mut wire = comm.wire_buf(total);
             for (j, _) in round.block_ids.iter().enumerate() {
                 lay.gather_block(round.sends[j], sendbuf, recvbuf, temp, &mut wire)?;
             }
@@ -191,7 +199,7 @@ pub fn execute_plan(
             sends.push((target, tag, wire));
             specs.push(RecvSpec::from_rank(source, tag));
         }
-        let results = comm.exchange(sends, &specs)?;
+        let results = comm.exchange_pooled(sends, &specs)?;
         for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
             let mut pos = 0usize;
             for (j, &b) in round.block_ids.iter().enumerate() {
@@ -235,11 +243,13 @@ pub fn execute_plan_in_place(
 ) -> CartResult<()> {
     let rank = comm.rank();
     let mut round_idx: Tag = 0;
+    let mut copy_buf: Option<PooledBuf> = None;
     for phase in &plan.phases {
         for copy in &phase.copies {
-            let mut bytes = Vec::new();
-            lay.gather_block(copy.from, buf, buf, temp, &mut bytes)?;
-            lay.scatter_block(copy.to, &bytes, buf, temp)?;
+            let cb = copy_buf.get_or_insert_with(|| comm.wire_buf(0));
+            cb.clear();
+            lay.gather_block(copy.from, buf, buf, temp, cb)?;
+            lay.scatter_block(copy.to, cb, buf, temp)?;
         }
         if phase.rounds.is_empty() {
             continue;
@@ -255,7 +265,7 @@ pub fn execute_plan_in_place(
                 .rank_of_offset(rank, &neg)?
                 .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
             let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
-            let mut wire = Vec::with_capacity(total);
+            let mut wire = comm.wire_buf(total);
             for (j, _) in round.block_ids.iter().enumerate() {
                 lay.gather_block(round.sends[j], buf, buf, temp, &mut wire)?;
             }
@@ -264,7 +274,7 @@ pub fn execute_plan_in_place(
             sends.push((target, tag, wire));
             specs.push(RecvSpec::from_rank(source, tag));
         }
-        let results = comm.exchange(sends, &specs)?;
+        let results = comm.exchange_pooled(sends, &specs)?;
         for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
             let mut pos = 0usize;
             for (j, &b) in round.block_ids.iter().enumerate() {

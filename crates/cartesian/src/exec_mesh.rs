@@ -92,12 +92,13 @@ pub fn execute_alltoall_mesh(
         .collect();
 
     let mut round_idx: Tag = 0;
+    let mut copy_buf = comm.wire_buf(0);
     for (k, phase) in plan.phases.iter().enumerate() {
         // Local copies (self blocks) always apply.
         for copy in &phase.copies {
-            let mut bytes = Vec::new();
-            lay.gather_block(copy.from, sendbuf, recvbuf, temp, &mut bytes)?;
-            lay.scatter_block(copy.to, &bytes, recvbuf, temp)?;
+            copy_buf.clear();
+            lay.gather_block(copy.from, sendbuf, recvbuf, temp, &mut copy_buf)?;
+            lay.scatter_block(copy.to, &copy_buf, recvbuf, temp)?;
         }
         if phase.rounds.is_empty() {
             continue;
@@ -114,7 +115,7 @@ pub fn execute_alltoall_mesh(
 
             if let Some(dst) = target {
                 // blocks this process still carries into this round
-                let mut wire = Vec::new();
+                let mut wire = comm.wire_buf(0);
                 let mut any = false;
                 for &b in round.block_ids.iter() {
                     if live(b, k)? {
@@ -141,7 +142,7 @@ pub fn execute_alltoall_mesh(
                 }
             }
         }
-        let results = comm.exchange(sends, &specs)?;
+        let results = comm.exchange_pooled(sends, &specs)?;
         for (expect, (wire, _)) in recv_rounds.iter().zip(results) {
             let mut pos = 0usize;
             for &b in expect {

@@ -93,9 +93,7 @@ impl HaloExchange {
                     inner[j]
                 };
             }
-            let base_starts: Vec<usize> = (0..d)
-                .map(|j| if j < k { 0 } else { depth })
-                .collect();
+            let base_starts: Vec<usize> = (0..d).map(|j| if j < k { 0 } else { depth }).collect();
             let sub = |start_k: usize| -> CartResult<Datatype> {
                 let mut starts = base_starts.clone();
                 starts[k] = start_k;

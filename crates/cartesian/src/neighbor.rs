@@ -59,10 +59,7 @@ impl DistGraphComm {
     /// count, then the root's sorted relative neighborhood (O(t) data), and
     /// compare locally. Returns the reconstructed neighborhood (in target
     /// order, wrap-normalized) when the graph is Cartesian.
-    pub fn detect_cartesian(
-        &self,
-        cart: &CartTopology,
-    ) -> CartResult<Option<RelNeighborhood>> {
+    pub fn detect_cartesian(&self, cart: &CartTopology) -> CartResult<Option<RelNeighborhood>> {
         let rec = self.graph.reconstruct_relative(cart, self.rank());
         // Degree check: broadcast the root's t and AND-compare.
         let my_t = rec.as_ref().map_or(u64::MAX, |r| r.len() as u64);
@@ -114,7 +111,11 @@ impl DistGraphComm {
     pub fn neighbor_allgather<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
         let _sz = std::mem::size_of::<T>();
         let m = std::mem::size_of_val(send);
-        crate::ops::check_buffer("receive", self.graph.indegree() * m, std::mem::size_of_val(recv))?;
+        crate::ops::check_buffer(
+            "receive",
+            self.graph.indegree() * m,
+            std::mem::size_of_val(recv),
+        )?;
         let slay: Vec<BlockLayout> = (0..self.graph.outdegree())
             .map(|_| BlockLayout::contiguous(0, m))
             .collect();
@@ -241,7 +242,7 @@ impl DistGraphComm {
     ) -> CartResult<()> {
         let mut sends = Vec::with_capacity(slay.len());
         for (i, &dst) in self.graph.targets().iter().enumerate() {
-            let mut wire = Vec::with_capacity(slay[i].size());
+            let mut wire = self.comm.wire_buf(slay[i].size());
             gather_append(send, slay[i].disp, &slay[i].ty, &mut wire)?;
             sends.push((dst, NEIGHBOR_TAG, wire));
         }
@@ -251,7 +252,7 @@ impl DistGraphComm {
             .iter()
             .map(|&src| RecvSpec::from_rank(src, NEIGHBOR_TAG))
             .collect();
-        let results = self.comm.exchange(sends, &specs)?;
+        let results = self.comm.exchange_pooled(sends, &specs)?;
         for (j, (wire, _)) in results.into_iter().enumerate() {
             scatter(&wire, recv, rlay[j].disp, &rlay[j].ty)?;
         }

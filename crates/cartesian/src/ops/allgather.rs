@@ -116,7 +116,11 @@ impl CartComm {
 
     fn wg_lay(&self, sendblock: &WBlock, recvspec: &[WBlock]) -> CartResult<ExecLayouts> {
         crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
-        w_layouts(std::slice::from_ref(sendblock), recvspec, PlanKind::Allgather)
+        w_layouts(
+            std::slice::from_ref(sendblock),
+            recvspec,
+            PlanKind::Allgather,
+        )
     }
 
     pub(crate) fn run_combining_allgather(
@@ -187,7 +191,7 @@ impl CartComm {
         for (i, off) in self.neighborhood().offsets().iter().enumerate() {
             let tag = TRIVIAL_AG_TAG_BASE + i as Tag;
             if off.iter().all(|&c| c == 0) {
-                let mut bytes = Vec::with_capacity(lay.send[0].size());
+                let mut bytes = self.comm().wire_buf(lay.send[0].size());
                 gather_append(send, lay.send[0].disp, &lay.send[0].ty, &mut bytes)?;
                 scatter(&bytes, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
                 continue;
@@ -195,7 +199,7 @@ impl CartComm {
             let (source, target) = self.relative_shift(off)?;
             let mut sends = Vec::with_capacity(1);
             if let Some(dst) = target {
-                let mut wire = Vec::with_capacity(lay.send[0].size());
+                let mut wire = self.comm().wire_buf(lay.send[0].size());
                 gather_append(send, lay.send[0].disp, &lay.send[0].ty, &mut wire)?;
                 sends.push((dst, tag, wire));
             }
@@ -203,7 +207,7 @@ impl CartComm {
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange(sends, &specs)?;
+            let results = self.comm().exchange_pooled(sends, &specs)?;
             if let Some((wire, _)) = results.into_iter().next() {
                 scatter(&wire, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
             }

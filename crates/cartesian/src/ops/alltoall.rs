@@ -201,8 +201,8 @@ impl CartComm {
         for (i, off) in self.neighborhood().offsets().iter().enumerate() {
             let tag = TRIVIAL_TAG_BASE + i as Tag;
             if off.iter().all(|&c| c == 0) {
-                // Self block: plain local copy.
-                let mut bytes = Vec::with_capacity(lay.send[i].size());
+                // Self block: plain local copy through a pooled scratch.
+                let mut bytes = self.comm().wire_buf(lay.send[i].size());
                 gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut bytes)?;
                 scatter(&bytes, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
                 continue;
@@ -210,7 +210,7 @@ impl CartComm {
             let (source, target) = self.relative_shift(off)?;
             let mut sends = Vec::with_capacity(1);
             if let Some(dst) = target {
-                let mut wire = Vec::with_capacity(lay.send[i].size());
+                let mut wire = self.comm().wire_buf(lay.send[i].size());
                 gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut wire)?;
                 sends.push((dst, tag, wire));
             }
@@ -218,7 +218,7 @@ impl CartComm {
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange(sends, &specs)?;
+            let results = self.comm().exchange_pooled(sends, &specs)?;
             if let Some((wire, _)) = results.into_iter().next() {
                 scatter(&wire, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
             }

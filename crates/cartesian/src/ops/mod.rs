@@ -59,7 +59,10 @@ impl WBlock {
         } else {
             Datatype::contiguous(self.count, &self.ty).commit()?
         };
-        Ok(BlockLayout { disp: self.disp, ty })
+        Ok(BlockLayout {
+            disp: self.disp,
+            ty,
+        })
     }
 }
 
@@ -96,7 +99,12 @@ pub(crate) fn v_layouts(
     let t = recvcounts.len();
     check_len("recvdispls", t, recvdispls.len())?;
     let recv: Vec<BlockLayout> = (0..t)
-        .map(|i| BlockLayout::contiguous((recvdispls[i] * elem_size) as i64, recvcounts[i] * elem_size))
+        .map(|i| {
+            BlockLayout::contiguous(
+                (recvdispls[i] * elem_size) as i64,
+                recvcounts[i] * elem_size,
+            )
+        })
         .collect();
     let send: Vec<BlockLayout> = match kind {
         PlanKind::Alltoall => {
@@ -288,11 +296,17 @@ mod tests {
     fn v_layout_length_checks() {
         assert!(matches!(
             v_layouts(4, &[1], &[0, 1], &[1, 1], &[0, 1], PlanKind::Alltoall),
-            Err(CartError::BadCounts { what: "sendcounts", .. })
+            Err(CartError::BadCounts {
+                what: "sendcounts",
+                ..
+            })
         ));
         assert!(matches!(
             v_layouts(4, &[1, 1], &[0, 1], &[1, 1], &[0], PlanKind::Alltoall),
-            Err(CartError::BadCounts { what: "recvdispls", .. })
+            Err(CartError::BadCounts {
+                what: "recvdispls",
+                ..
+            })
         ));
     }
 
@@ -310,10 +324,7 @@ mod tests {
     #[test]
     fn allgather_uniformity_enforced_in_temp_sizing() {
         let send = vec![BlockLayout::contiguous(0, 4)];
-        let recv = vec![
-            BlockLayout::contiguous(0, 4),
-            BlockLayout::contiguous(4, 4),
-        ];
+        let recv = vec![BlockLayout::contiguous(0, 4), BlockLayout::contiguous(4, 4)];
         let lay = layouts_from_blocks(send, recv, PlanKind::Allgather).unwrap();
         assert!(size_temp(lay, PlanKind::Allgather, 2).is_ok());
 

@@ -10,6 +10,7 @@
 
 use std::sync::Arc;
 
+use cartcomm_comm::WirePool;
 use cartcomm_types::{cast_slice, cast_slice_mut, Pod};
 
 use crate::cartcomm::CartComm;
@@ -78,12 +79,50 @@ impl PersistentCollective {
         }
         let lay = size_temp(lay, kind, plan.temp_slots)?;
         let temp = vec![0u8; lay.temp_len()];
-        Ok(PersistentCollective {
+        let handle = PersistentCollective {
             plan,
             lay,
             temp,
             use_combining,
-        })
+        };
+        handle.prime_pool(cart);
+        Ok(handle)
+    }
+
+    /// Pre-warm this rank's wire-buffer pool with one buffer per wire
+    /// message the resolved algorithm sends, sized from the plan. The
+    /// first `execute` then already runs at a 100% pool hit rate, and
+    /// steady-state iterations allocate nothing: received buffers recycle
+    /// into the pool and are re-acquired for the next round's sends.
+    fn prime_pool(&self, cart: &CartComm) {
+        let mut caps: Vec<usize> = Vec::new();
+        if self.use_combining {
+            for phase in &self.plan.phases {
+                for round in &phase.rounds {
+                    caps.push(
+                        round
+                            .block_ids
+                            .iter()
+                            .map(|&b| self.lay.block_bytes[b])
+                            .sum(),
+                    );
+                }
+            }
+            if self.plan.phases.iter().any(|p| !p.copies.is_empty()) {
+                // scratch buffer for local copies (grows to the largest block)
+                caps.push(self.lay.block_bytes.iter().copied().max().unwrap_or(0));
+            }
+        } else {
+            // Trivial algorithm: one wire per neighbor, sized per block.
+            match self.plan.kind {
+                PlanKind::Alltoall => caps.extend(self.lay.send.iter().map(|l| l.size())),
+                PlanKind::Allgather => {
+                    let m = self.lay.send.first().map_or(0, |l| l.size());
+                    caps.extend(std::iter::repeat_n(m, self.plan.t));
+                }
+            }
+        }
+        WirePool::prewarm(cart.comm().wire_pool(), &caps);
     }
 
     /// Whether this handle resolved to the message-combining schedule.
@@ -242,7 +281,11 @@ impl CartComm {
         algorithm: Algorithm,
     ) -> CartResult<PersistentCollective> {
         crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
-        let lay = w_layouts(std::slice::from_ref(sendblock), recvspec, PlanKind::Allgather)?;
+        let lay = w_layouts(
+            std::slice::from_ref(sendblock),
+            recvspec,
+            PlanKind::Allgather,
+        )?;
         PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
     }
 }

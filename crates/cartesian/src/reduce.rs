@@ -56,13 +56,17 @@ impl CartComm {
             let (source, target) = self.relative_shift(off)?;
             let mut sends = Vec::with_capacity(1);
             if let Some(dst) = target {
-                sends.push((dst, tag, contribution.clone()));
+                // Pooled copy of the contribution instead of a fresh clone
+                // per neighbor: recycles on the receiving rank.
+                let mut wire = self.comm().wire_buf(contribution.len());
+                wire.extend_from_slice(&contribution);
+                sends.push((dst, tag, wire));
             }
             let mut specs = Vec::with_capacity(1);
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange(sends, &specs)?;
+            let results = self.comm().exchange_pooled(sends, &specs)?;
             if let Some((wire, _)) = results.into_iter().next() {
                 reduce_wire_into::<T, F>(&wire, acc, &op)?;
             }
@@ -163,7 +167,7 @@ impl CartComm {
                     let tag = REDUCE_TAG_BASE + (phase_base[k] + ri) as Tag;
                     // wire carries the accumulated value of every forward
                     // recv slot, in wire order
-                    let mut wire = Vec::with_capacity(round.recvs.len() * m * 4);
+                    let mut wire = self.comm().wire_buf(round.recvs.len() * m * 4);
                     for br in &round.recvs {
                         let idx = slot_index(br.loc, br.slot);
                         let slot = slots[idx]
@@ -174,7 +178,7 @@ impl CartComm {
                     sends.push((dst, tag, wire));
                     specs.push(RecvSpec::from_rank(src, tag));
                 }
-                let results = self.comm().exchange(sends, &specs)?;
+                let results = self.comm().exchange_pooled(sends, &specs)?;
                 for (round, (wire, _)) in phase.rounds.iter().zip(results) {
                     let block_bytes = own.len();
                     let mut pos = 0usize;
@@ -276,7 +280,10 @@ fn reduce_assign<T: Pod>(acc: &mut [T], bytes: &[u8]) -> CartResult<()> {
             actual: bytes.len(),
         });
     }
-    for (a, c) in acc.iter_mut().zip(bytes.chunks_exact(std::mem::size_of::<T>())) {
+    for (a, c) in acc
+        .iter_mut()
+        .zip(bytes.chunks_exact(std::mem::size_of::<T>()))
+    {
         *a = read_pod::<T>(c);
     }
     Ok(())

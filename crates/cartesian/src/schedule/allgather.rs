@@ -372,12 +372,10 @@ mod tests {
     #[test]
     fn figure2_example_tree_volumes() {
         // N = [(-2,1,1), (-1,1,1), (1,1,1), (2,1,1)] (3 dimensions).
-        let nb = RelNeighborhood::new(3, vec![
-            vec![-2, 1, 1],
-            vec![-1, 1, 1],
-            vec![1, 1, 1],
-            vec![2, 1, 1],
-        ])
+        let nb = RelNeighborhood::new(
+            3,
+            vec![vec![-2, 1, 1], vec![-1, 1, 1], vec![1, 1, 1], vec![2, 1, 1]],
+        )
         .unwrap();
         // Given order (dim 0 first, Figure 2 left): V = 12.
         let left = allgather_plan_with_order(&nb, DimOrder::Given);
@@ -398,12 +396,10 @@ mod tests {
 
     #[test]
     fn decreasing_order_is_worst_for_figure2() {
-        let nb = RelNeighborhood::new(3, vec![
-            vec![-2, 1, 1],
-            vec![-1, 1, 1],
-            vec![1, 1, 1],
-            vec![2, 1, 1],
-        ])
+        let nb = RelNeighborhood::new(
+            3,
+            vec![vec![-2, 1, 1], vec![-1, 1, 1], vec![1, 1, 1], vec![2, 1, 1]],
+        )
         .unwrap();
         let worst = allgather_plan_with_order(&nb, DimOrder::DecreasingCk);
         assert_eq!(worst.volume_blocks, 12);
@@ -473,9 +469,14 @@ mod tests {
                 .map(|_| (0..d).map(|_| rng.gen_range(-2i64..3)).collect())
                 .collect();
             let nb = RelNeighborhood::new(d, offsets).unwrap();
-            for order in [DimOrder::IncreasingCk, DimOrder::Given, DimOrder::DecreasingCk] {
+            for order in [
+                DimOrder::IncreasingCk,
+                DimOrder::Given,
+                DimOrder::DecreasingCk,
+            ] {
                 let plan = allgather_plan_with_order(&nb, order);
-                plan.validate().unwrap_or_else(|e| panic!("case {case}: {e}"));
+                plan.validate()
+                    .unwrap_or_else(|e| panic!("case {case}: {e}"));
                 assert_eq!(plan.rounds, nb.combining_rounds());
                 check_allgather_routing(&nb, &plan);
             }

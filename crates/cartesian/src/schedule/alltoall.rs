@@ -96,8 +96,8 @@ pub fn alltoall_plan(nb: &RelNeighborhood) -> Plan {
 
     // Final non-communication phase: copy self-blocks send -> recv.
     let mut last = PlanPhase::default();
-    for i in 0..t {
-        if total_hops[i] == 0 {
+    for (i, &h) in total_hops.iter().enumerate() {
+        if h == 0 {
             last.copies.push(LocalCopy {
                 from: BlockRef::new(Loc::Send, i),
                 to: BlockRef::new(Loc::Recv, i),
@@ -156,10 +156,15 @@ mod tests {
         for i in 0..t {
             assert_eq!(hops_done[i], hops[i], "block {i} made all its hops");
             if hops[i] > 0 {
-                assert_eq!(loc[i], BlockRef::new(Loc::Recv, i), "block {i} ends in recv");
+                assert_eq!(
+                    loc[i],
+                    BlockRef::new(Loc::Recv, i),
+                    "block {i} ends in recv"
+                );
             }
             // visited exactly the non-zero dims, in increasing order
-            let expect: Vec<usize> = nb.offset(i)
+            let expect: Vec<usize> = nb
+                .offset(i)
                 .iter()
                 .enumerate()
                 .filter(|(_, &c)| c != 0)
@@ -230,8 +235,7 @@ mod tests {
         assert_eq!(plan.rounds, 2);
         assert_eq!(plan.volume_blocks, 3);
         // The round for +2 carries both blocks
-        let r2 = plan
-            .phases[0]
+        let r2 = plan.phases[0]
             .rounds
             .iter()
             .find(|r| r.offset[0] == 2)
@@ -278,15 +282,17 @@ mod tests {
     #[test]
     fn rounds_group_by_coordinate_value() {
         // coords {-1, 1, 2} in dim 0 => 3 rounds in phase 0
-        let nb = RelNeighborhood::new(2, vec![
-            vec![-1, 0], vec![1, 0], vec![2, 0], vec![1, 1],
-        ])
-        .unwrap();
+        let nb =
+            RelNeighborhood::new(2, vec![vec![-1, 0], vec![1, 0], vec![2, 0], vec![1, 1]]).unwrap();
         let plan = alltoall_plan(&nb);
         assert_eq!(plan.phases[0].rounds.len(), 3);
         assert_eq!(plan.phases[1].rounds.len(), 1);
         // the +1 round in phase 0 carries blocks 1 and 3
-        let r = plan.phases[0].rounds.iter().find(|r| r.offset[0] == 1).unwrap();
+        let r = plan.phases[0]
+            .rounds
+            .iter()
+            .find(|r| r.offset[0] == 1)
+            .unwrap();
         let mut ids = r.block_ids.clone();
         ids.sort_unstable();
         assert_eq!(ids, vec![1, 3]);

@@ -2,8 +2,8 @@
 //! exactly the same data as the trivial algorithm and the direct-delivery
 //! baseline, for every neighborhood shape we can throw at them.
 
-use cartcomm::ops::{Algorithm, WBlock};
 use cartcomm::neighbor::DistGraphComm;
+use cartcomm::ops::{Algorithm, WBlock};
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
@@ -54,9 +54,8 @@ fn check_alltoall_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhood
     let p: usize = dims.iter().product();
     let topo = CartTopology::new(dims, periods).unwrap();
     let t = nb.len();
-    let payload = |rank: usize, block: usize, e: usize| {
-        (rank * 1_000_000 + block * 1_000 + e) as i32
-    };
+    let payload =
+        |rank: usize, block: usize, e: usize| (rank * 1_000_000 + block * 1_000 + e) as i32;
     Universe::run(p, |comm| {
         let cart = CartComm::create(comm, dims, periods, nb.clone()).unwrap();
         let rank = cart.rank();
@@ -79,8 +78,7 @@ fn check_alltoall_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhood
         }
 
         // baseline direct delivery over the induced dist graph
-        let graph =
-            DistGraphTopology::from_cart_neighborhood(&topo, &nb, rank).unwrap();
+        let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, rank).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         // baseline only matches the full neighborhood on periodic topologies
         // (on meshes the adjacency lists shrink); test it there.
@@ -119,8 +117,7 @@ fn check_allgather_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhoo
         }
 
         if periods.iter().all(|&x| x) {
-            let graph =
-                DistGraphTopology::from_cart_neighborhood(&topo, &nb, rank).unwrap();
+            let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, rank).unwrap();
             let g = DistGraphComm::create_adjacent(comm, graph);
             let mut recv3 = vec![0i32; t * m];
             g.neighbor_allgather(&send, &mut recv3).unwrap();
@@ -167,13 +164,10 @@ fn offsets_larger_than_dimension_wrap() {
 
 #[test]
 fn duplicate_offsets_and_multi_hop() {
-    let nb = RelNeighborhood::new(2, vec![
-        vec![1, 1],
-        vec![1, 1],
-        vec![-1, 2],
-        vec![0, -1],
-        vec![0, 0],
-    ])
+    let nb = RelNeighborhood::new(
+        2,
+        vec![vec![1, 1], vec![1, 1], vec![-1, 2], vec![0, -1], vec![0, 0]],
+    )
     .unwrap();
     check_alltoall_all_ways(&[4, 5], &[true, true], nb.clone(), 2);
     check_allgather_all_ways(&[4, 5], &[true, true], nb, 2);
@@ -307,13 +301,13 @@ fn alltoallw_with_column_datatypes() {
         let rank = cart.rank() as i32;
         let matrix: Vec<i32> = (0..16).map(|x| rank * 100 + x).collect();
         let sendspec = vec![
-            WBlock::new(0, 1, &col),          // column 0 to the left
-            WBlock::new(3 * 4, 1, &col),      // column 3 to the right
+            WBlock::new(0, 1, &col),     // column 0 to the left
+            WBlock::new(3 * 4, 1, &col), // column 3 to the right
         ];
         let mut result = vec![-1i32; 16];
         let recvspec = vec![
-            WBlock::new(3 * 4, 1, &col),      // from the right into column 3
-            WBlock::new(0, 1, &col),          // from the left into column 0
+            WBlock::new(3 * 4, 1, &col), // from the right into column 3
+            WBlock::new(0, 1, &col),     // from the left into column 0
         ];
         let send_bytes = cartcomm_types::cast_slice(&matrix);
         {
@@ -369,7 +363,8 @@ fn allgatherv_with_scattered_placement() {
             assert_eq!(recv[displs[i] + m], -7);
         }
         let mut recv2 = vec![-7i32; total];
-        cart.allgatherv_trivial(&send, &mut recv2, m, &displs).unwrap();
+        cart.allgatherv_trivial(&send, &mut recv2, m, &displs)
+            .unwrap();
         assert_eq!(recv, recv2);
     });
 }
@@ -399,10 +394,7 @@ fn allgatherw_different_layout_per_source() {
         }
         let topo = CartTopology::torus(&[6]).unwrap();
         for (i, off) in nb.offsets().iter().enumerate() {
-            let src = topo
-                .rank_of_offset(rank, &[-off[0]])
-                .unwrap()
-                .unwrap();
+            let src = topo.rank_of_offset(rank, &[-off[0]]).unwrap().unwrap();
             for e in 0..m {
                 assert_eq!(recv[e * t + i], (src * 10 + e) as i32, "col {i} row {e}");
             }
@@ -424,8 +416,7 @@ fn persistent_alltoall_reuse_many_iterations() {
         let mut handle = cart.alltoall_init::<i32>(m, Algorithm::Combining).unwrap();
         assert!(handle.is_combining());
         for iter in 0..5 {
-            let payload =
-                |r: usize, b: usize, e: usize| (iter * 7 + r * 1000 + b * 10 + e) as i32;
+            let payload = |r: usize, b: usize, e: usize| (iter * 7 + r * 1000 + b * 10 + e) as i32;
             let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
             let mut recv = vec![0i32; t * m];
             handle.execute_typed(&cart, &send, &mut recv).unwrap();
@@ -442,11 +433,21 @@ fn persistent_auto_selects_by_cutoff() {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         // alpha/beta = 1000 bytes: m = 4 bytes -> combining; m = 1MB -> trivial.
         let small = cart
-            .alltoall_init::<i32>(1, Algorithm::Auto { alpha_beta_bytes: 1000.0 })
+            .alltoall_init::<i32>(
+                1,
+                Algorithm::Auto {
+                    alpha_beta_bytes: 1000.0,
+                },
+            )
             .unwrap();
         assert!(small.is_combining());
         let big = cart
-            .alltoall_init::<i32>(100_000, Algorithm::Auto { alpha_beta_bytes: 1000.0 })
+            .alltoall_init::<i32>(
+                100_000,
+                Algorithm::Auto {
+                    alpha_beta_bytes: 1000.0,
+                },
+            )
             .unwrap();
         assert!(!big.is_combining());
     });
@@ -532,11 +533,13 @@ fn dist_graph_promotion_detects_cartesian() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let topo = CartTopology::torus(&[3, 3]).unwrap();
     Universe::run(9, |comm| {
-        let graph =
-            DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
+        let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let detected = g.detect_cartesian(&topo).unwrap();
-        assert!(detected.is_some(), "Moore graph must be detected as Cartesian");
+        assert!(
+            detected.is_some(),
+            "Moore graph must be detected as Cartesian"
+        );
         let cart = g.try_promote(&topo).unwrap().expect("promotable");
         // The promoted communicator runs the combining algorithm correctly.
         let t = cart.neighbor_count();
@@ -559,10 +562,7 @@ fn dist_graph_detection_rejects_irregular_graph() {
         } else if comm.rank() == 2 {
             (vec![1, 0], vec![3, 0])
         } else {
-            (
-                vec![(comm.rank() + 3) % 4],
-                vec![(comm.rank() + 1) % 4],
-            )
+            (vec![(comm.rank() + 3) % 4], vec![(comm.rank() + 1) % 4])
         };
         let g = DistGraphComm::create_adjacent(
             comm,

@@ -47,6 +47,7 @@ fn check_halo(proc_dims: &[usize], inner: &[usize], depth: usize) {
         let mut tile = vec![0i64; tile_len];
         // fill interior with global values, halo with a sentinel
         let mut idx = vec![0usize; d];
+        #[allow(clippy::needless_range_loop)]
         for flat in 0..tile_len {
             // decode flat -> idx (row-major)
             let mut rem = flat;
@@ -69,6 +70,7 @@ fn check_halo(proc_dims: &[usize], inner: &[usize], depth: usize) {
 
         // verify every cell (interior unchanged, halo = owner's value)
         let mut bad = 0usize;
+        #[allow(clippy::needless_range_loop)]
         for flat in 0..tile_len {
             let mut rem = flat;
             for j in (0..d).rev() {
@@ -120,14 +122,7 @@ fn halo_4d() {
 fn volume_beats_naive_at_depth2() {
     // depth-2 corners are 2^d blocks the naive exchange duplicates.
     Universe::run(4, |comm| {
-        let halo = HaloExchange::new(
-            comm,
-            &[2, 2],
-            &[6, 6],
-            2,
-            &Datatype::double(),
-        )
-        .unwrap();
+        let halo = HaloExchange::new(comm, &[2, 2], &[6, 6], 2, &Datatype::double()).unwrap();
         assert!(
             halo.bytes_per_exchange() < halo.naive_bytes() + 1,
             "phased {} vs naive {}",
@@ -184,8 +179,7 @@ fn repeated_exchanges_converge_like_jacobi() {
     }
 
     let tiles = Universe::run(P * P, |comm| {
-        let mut halo =
-            HaloExchange::new(comm, &[P, P], &[N, N], 1, &Datatype::double()).unwrap();
+        let mut halo = HaloExchange::new(comm, &[P, P], &[N, N], 1, &Datatype::double()).unwrap();
         let coords = topo.coords_of(comm.rank());
         let w = N + 2;
         let mut tile = vec![0.0f64; w * w];

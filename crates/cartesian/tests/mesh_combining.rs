@@ -45,8 +45,18 @@ fn check(dims: &[usize], periods: &[bool], nb: RelNeighborhood, m: usize) {
 
 #[test]
 fn moore_2d_full_mesh() {
-    check(&[3, 3], &[false, false], RelNeighborhood::moore(2, 1).unwrap(), 2);
-    check(&[4, 4], &[false, false], RelNeighborhood::moore(2, 1).unwrap(), 1);
+    check(
+        &[3, 3],
+        &[false, false],
+        RelNeighborhood::moore(2, 1).unwrap(),
+        2,
+    );
+    check(
+        &[4, 4],
+        &[false, false],
+        RelNeighborhood::moore(2, 1).unwrap(),
+        1,
+    );
 }
 
 #[test]

@@ -23,10 +23,7 @@ fn arb_case() -> impl Strategy<Value = Case> {
             (
                 proptest::collection::vec(2usize..4, d..=d),
                 proptest::collection::vec(any::<bool>(), d..=d),
-                proptest::collection::vec(
-                    proptest::collection::vec(-2i64..3, d..=d),
-                    1..5,
-                ),
+                proptest::collection::vec(proptest::collection::vec(-2i64..3, d..=d), 1..5),
                 1usize..3,
             )
         })

@@ -10,14 +10,10 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn arb_neighborhood() -> impl Strategy<Value = RelNeighborhood> {
-    (1usize..5)
-        .prop_flat_map(|d| {
-            proptest::collection::vec(
-                proptest::collection::vec(-4i64..5, d..=d),
-                0..24,
-            )
+    (1usize..5).prop_flat_map(|d| {
+        proptest::collection::vec(proptest::collection::vec(-4i64..5, d..=d), 0..24)
             .prop_map(move |offsets| RelNeighborhood::new(d, offsets).expect("valid"))
-        })
+    })
 }
 
 proptest! {

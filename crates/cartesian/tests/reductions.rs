@@ -59,7 +59,11 @@ fn moore_3d_sum() {
 
 #[test]
 fn asymmetric_family() {
-    check_reduce(&[5, 4], RelNeighborhood::stencil_family(2, 4, -1).unwrap(), 4);
+    check_reduce(
+        &[5, 4],
+        RelNeighborhood::stencil_family(2, 4, -1).unwrap(),
+        4,
+    );
 }
 
 #[test]
@@ -91,13 +95,8 @@ fn wrapping_offsets() {
 #[test]
 fn forwarder_heavy_neighborhood() {
     // Shared (1,·) coordinates force temp forwarder joins in the tree.
-    let nb = RelNeighborhood::new(2, vec![
-        vec![-2, 1],
-        vec![-1, 1],
-        vec![1, 1],
-        vec![2, 1],
-    ])
-    .unwrap();
+    let nb =
+        RelNeighborhood::new(2, vec![vec![-2, 1], vec![-1, 1], vec![1, 1], vec![2, 1]]).unwrap();
     check_reduce(&[5, 5], nb, 3);
 }
 
@@ -159,7 +158,8 @@ fn empty_blocks() {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let mut acc: [i32; 0] = [];
         cart.neighbor_reduce(&mut acc, |a, b| a + b).unwrap();
-        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b).unwrap();
+        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b)
+            .unwrap();
     });
 }
 
@@ -175,6 +175,7 @@ fn mesh_falls_back_to_error_for_combining() {
         ));
         // trivial works on meshes, skipping pruned neighbors
         let mut acc = [1i32];
-        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b).unwrap();
+        cart.neighbor_reduce_trivial(&mut acc, |a, b| a + b)
+            .unwrap();
     });
 }

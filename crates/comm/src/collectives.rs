@@ -11,7 +11,7 @@
 use cartcomm_types::{cast_slice, Pod};
 
 use crate::comm::Comm;
-use crate::envelope::{RESERVED_TAG_BASE, Tag};
+use crate::envelope::{Tag, RESERVED_TAG_BASE};
 use crate::error::{CommError, CommResult};
 
 /// Rounds reserved per collective call in the tag space (no collective here
@@ -27,7 +27,8 @@ impl Comm {
     /// the next.
     fn coll_tag(&self) -> Tag {
         let seq = self.next_coll_seq();
-        RESERVED_TAG_BASE + (seq % ((u32::MAX - RESERVED_TAG_BASE) / ROUNDS_PER_CALL)) * ROUNDS_PER_CALL
+        RESERVED_TAG_BASE
+            + (seq % ((u32::MAX - RESERVED_TAG_BASE) / ROUNDS_PER_CALL)) * ROUNDS_PER_CALL
     }
 
     /// Synchronize all ranks (dissemination barrier, ⌈log₂ p⌉ rounds).
@@ -55,7 +56,10 @@ impl Comm {
         let ic = self.internal();
         let p = ic.size();
         if root >= p {
-            return Err(CommError::InvalidRank { rank: root, size: p });
+            return Err(CommError::InvalidRank {
+                rank: root,
+                size: p,
+            });
         }
         if p == 1 {
             return Ok(());
@@ -115,7 +119,10 @@ impl Comm {
         let ic = self.internal();
         let p = ic.size();
         if root >= p {
-            return Err(CommError::InvalidRank { rank: root, size: p });
+            return Err(CommError::InvalidRank {
+                rank: root,
+                size: p,
+            });
         }
         let tag = self.coll_tag();
         if ic.rank() == root {
@@ -191,7 +198,10 @@ impl Comm {
         let ic = self.internal();
         let p = ic.size();
         if root >= p {
-            return Err(CommError::InvalidRank { rank: root, size: p });
+            return Err(CommError::InvalidRank {
+                rank: root,
+                size: p,
+            });
         }
         if p == 1 {
             return Ok(());

@@ -12,6 +12,7 @@ use cartcomm_types::{cast_slice, cast_slice_mut, gather, scatter_prefix, FlatTyp
 use crate::envelope::{Envelope, SrcSel, Tag, TagSel};
 use crate::error::{CommError, CommResult};
 use crate::fabric::Fabric;
+use crate::pool::{PoolStats, PooledBuf, WirePool};
 
 /// Completion information of a receive (`MPI_Status`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,17 +66,22 @@ pub struct Comm {
     size: usize,
     ctx: u32,
     fabric: Arc<Fabric>,
+    /// This rank's wire-buffer pool (shared with the fabric, which
+    /// retargets inbound payloads to it).
+    pool: Arc<WirePool>,
     core: Arc<RankCore>,
 }
 
 impl Comm {
     pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, rx: Receiver<Envelope>) -> Self {
         let size = fabric.size();
+        let pool = Arc::clone(fabric.pool(rank));
         Comm {
             rank,
             size,
             ctx: 0,
             fabric,
+            pool,
             core: Arc::new(RankCore {
                 rx,
                 pending: Mutex::new(VecDeque::new()),
@@ -118,6 +124,7 @@ impl Comm {
             size: self.size,
             ctx,
             fabric: Arc::clone(&self.fabric),
+            pool: Arc::clone(&self.pool),
             core: Arc::clone(&self.core),
         }
     }
@@ -129,6 +136,7 @@ impl Comm {
             size: self.size,
             ctx: 1,
             fabric: Arc::clone(&self.fabric),
+            pool: Arc::clone(&self.pool),
             core: Arc::clone(&self.core),
         }
     }
@@ -148,6 +156,27 @@ impl Comm {
         (self.fabric.message_count(), self.fabric.byte_volume())
     }
 
+    // ----- wire-buffer pool ------------------------------------------------
+
+    /// Acquire an empty wire buffer with capacity at least `cap` from this
+    /// rank's pool. Dropping it (here or, after a send, on the receiving
+    /// rank) recycles the backing store.
+    pub fn wire_buf(&self, cap: usize) -> PooledBuf {
+        WirePool::take(&self.pool, cap)
+    }
+
+    /// This rank's wire-buffer pool handle (for pre-warming by persistent
+    /// collectives and for tests).
+    pub fn wire_pool(&self) -> &Arc<WirePool> {
+        &self.pool
+    }
+
+    /// Buffer-pool telemetry for this rank: hits, misses, recycled bytes,
+    /// and current residency. Sits next to [`Comm::fabric_telemetry`].
+    pub fn pool_telemetry(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     fn check_rank(&self, rank: usize) -> CommResult<()> {
         if rank >= self.size {
             Err(CommError::InvalidRank {
@@ -165,20 +194,15 @@ impl Comm {
     /// blocks or deadlocks.
     pub fn send_bytes(&self, dst: usize, tag: Tag, data: Vec<u8>) -> CommResult<()> {
         self.check_rank(dst)?;
-        self.fabric.deposit(
-            dst,
-            Envelope {
-                ctx: self.ctx,
-                src: self.rank,
-                tag,
-                data,
-            },
-        );
+        self.fabric
+            .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data));
         Ok(())
     }
 
     /// Blocking receive of a byte payload matching the selectors. Returns
-    /// the payload and its [`Status`].
+    /// the payload and its [`Status`]. The returned bytes are detached from
+    /// the wire pool (the caller keeps them); pooled receives happen through
+    /// [`Comm::exchange_pooled`].
     pub fn recv_bytes(
         &self,
         src: impl Into<SrcSel>,
@@ -190,7 +214,7 @@ impl Comm {
             tag: env.tag,
             bytes: env.data.len(),
         };
-        Ok((env.data, status))
+        Ok((env.data.into_vec(), status))
     }
 
     /// Simultaneous send and receive (`MPI_Sendrecv`) — the primitive of the
@@ -304,14 +328,21 @@ impl Comm {
         disp: i64,
         ty: &FlatType,
     ) -> CommResult<Status> {
-        let (wire, status) = self.recv_bytes(src, tag)?;
-        if wire.len() > ty.size() {
+        // Work on the envelope directly so the wire buffer recycles into
+        // this rank's pool once the payload has been scattered out.
+        let env = self.match_one(self.ctx, src.into(), tag.into())?;
+        let status = Status {
+            src: env.src,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        if env.data.len() > ty.size() {
             return Err(CommError::Truncation {
-                received: wire.len(),
+                received: env.data.len(),
                 capacity: ty.size(),
             });
         }
-        scatter_prefix(&wire, buf, disp, ty)?;
+        scatter_prefix(&env.data, buf, disp, ty)?;
         Ok(status)
     }
 
@@ -328,15 +359,22 @@ impl Comm {
         tag: impl Into<TagSel>,
         data: &mut [T],
     ) -> CommResult<Status> {
-        let (wire, status) = self.recv_bytes(src, tag)?;
+        // As in `recv_typed`: copy out of the envelope, then let the wire
+        // buffer recycle.
+        let env = self.match_one(self.ctx, src.into(), tag.into())?;
+        let status = Status {
+            src: env.src,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
         let dst = cast_slice_mut(data);
-        if wire.len() != dst.len() {
+        if env.data.len() != dst.len() {
             return Err(CommError::Truncation {
-                received: wire.len(),
+                received: env.data.len(),
                 capacity: dst.len(),
             });
         }
-        dst.copy_from_slice(&wire);
+        dst.copy_from_slice(&env.data);
         Ok(status)
     }
 
@@ -352,11 +390,42 @@ impl Comm {
     /// against the sender's posting order (non-overtaking).
     ///
     /// Returns the received payloads in *slot order*.
+    ///
+    /// Compatibility form over plain `Vec<u8>` payloads; schedule execution
+    /// uses [`Comm::exchange_pooled`], which is identical except that
+    /// buffers travel as [`PooledBuf`]s and recycle on drop.
     pub fn exchange(
         &self,
         sends: Vec<(usize, Tag, Vec<u8>)>,
         recvs: &[RecvSpec],
     ) -> CommResult<Vec<(Vec<u8>, Status)>> {
+        let sends = sends
+            .into_iter()
+            .map(|(dst, tag, data)| (dst, tag, PooledBuf::from(data)))
+            .collect();
+        Ok(self
+            .exchange_core(sends, recvs)?
+            .into_iter()
+            .map(|(buf, status)| (buf.into_vec(), status))
+            .collect())
+    }
+
+    /// [`Comm::exchange`] over pooled wire buffers: the schedule hot path.
+    /// Send buffers come from [`Comm::wire_buf`]; received buffers return
+    /// to this rank's pool when dropped after unpacking.
+    pub fn exchange_pooled(
+        &self,
+        sends: Vec<(usize, Tag, PooledBuf)>,
+        recvs: &[RecvSpec],
+    ) -> CommResult<Vec<(PooledBuf, Status)>> {
+        self.exchange_core(sends, recvs)
+    }
+
+    fn exchange_core(
+        &self,
+        sends: Vec<(usize, Tag, PooledBuf)>,
+        recvs: &[RecvSpec],
+    ) -> CommResult<Vec<(PooledBuf, Status)>> {
         for &(dst, _, _) in &sends {
             self.check_rank(dst)?;
         }
@@ -374,14 +443,15 @@ impl Comm {
         }
         // Complete receives with FIFO slot matching: an incoming message
         // goes to the earliest-posted open slot it satisfies.
-        let mut results: Vec<Option<(Vec<u8>, Status)>> = (0..recvs.len()).map(|_| None).collect();
+        let mut results: Vec<Option<(PooledBuf, Status)>> =
+            (0..recvs.len()).map(|_| None).collect();
         let mut open = recvs.len();
 
         fn find_slot(
             ctx: u32,
             env: &Envelope,
             recvs: &[RecvSpec],
-            results: &[Option<(Vec<u8>, Status)>],
+            results: &[Option<(PooledBuf, Status)>],
         ) -> Option<usize> {
             if env.ctx != ctx {
                 return None;

@@ -1,5 +1,7 @@
 //! Wire messages and matching selectors.
 
+use crate::pool::PooledBuf;
+
 /// Message tag. Tags below [`RESERVED_TAG_BASE`] are available to
 /// applications; higher values are reserved for internal collectives.
 pub type Tag = u32;
@@ -76,8 +78,22 @@ pub struct Envelope {
     pub src: usize,
     /// Message tag.
     pub tag: Tag,
-    /// Payload.
-    pub data: Vec<u8>,
+    /// Payload. A [`PooledBuf`] so that the receiver's drop (after
+    /// unpacking) recycles the bytes into its rank's wire pool; plain
+    /// `Vec<u8>` payloads convert via `.into()` and are simply freed.
+    pub data: PooledBuf,
+}
+
+impl Envelope {
+    /// Build an envelope from any payload convertible to a [`PooledBuf`].
+    pub fn new(ctx: u32, src: usize, tag: Tag, data: impl Into<PooledBuf>) -> Self {
+        Envelope {
+            ctx,
+            src,
+            tag,
+            data: data.into(),
+        }
+    }
 }
 
 #[cfg(test)]

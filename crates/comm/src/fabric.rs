@@ -6,13 +6,20 @@
 //! MPI *non-overtaking* guarantee per (source, context, tag) for free: a
 //! sender's messages to one destination are delivered in the order posted.
 
+use std::sync::Arc;
+
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::envelope::Envelope;
+use crate::pool::WirePool;
 
 /// Shared interconnect state for a universe of `p` ranks.
 pub struct Fabric {
     senders: Vec<Sender<Envelope>>,
+    /// Per-rank wire-buffer pools. `deposit` retargets each payload to the
+    /// destination's pool, so unpacked messages recycle where the next
+    /// receive happens.
+    pools: Vec<Arc<WirePool>>,
     /// Total messages deposited (telemetry for benchmarks).
     msg_count: std::sync::atomic::AtomicU64,
     /// Total payload bytes deposited (telemetry for benchmarks).
@@ -32,11 +39,18 @@ impl Fabric {
         (
             Fabric {
                 senders,
+                pools: (0..p).map(|_| Arc::new(WirePool::new())).collect(),
                 msg_count: std::sync::atomic::AtomicU64::new(0),
                 byte_count: std::sync::atomic::AtomicU64::new(0),
             },
             receivers,
         )
+    }
+
+    /// The wire-buffer pool owned by `rank`.
+    #[inline]
+    pub fn pool(&self, rank: usize) -> &Arc<WirePool> {
+        &self.pools[rank]
     }
 
     /// Number of ranks.
@@ -48,11 +62,14 @@ impl Fabric {
     /// Deposit an envelope into `dst`'s incoming queue. Panics on an invalid
     /// destination (callers validate ranks at the API boundary).
     #[inline]
-    pub fn deposit(&self, dst: usize, env: Envelope) {
+    pub fn deposit(&self, dst: usize, mut env: Envelope) {
         use std::sync::atomic::Ordering;
         self.msg_count.fetch_add(1, Ordering::Relaxed);
         self.byte_count
             .fetch_add(env.data.len() as u64, Ordering::Relaxed);
+        // From here the buffer belongs to the receiving side: when the
+        // receiver drops it after unpacking, the bytes land in *its* pool.
+        env.data.retarget(&self.pools[dst]);
         // A send to a terminated rank can only happen on program logic errors;
         // the unbounded channel otherwise never fails.
         self.senders[dst]
@@ -85,7 +102,7 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 7,
-                data: vec![1, 2, 3],
+                data: vec![1, 2, 3].into(),
             },
         );
         let env = rxs[2].try_recv().unwrap();
@@ -106,7 +123,7 @@ mod tests {
                     ctx: 0,
                     src: 0,
                     tag: 0,
-                    data: vec![i],
+                    data: vec![i].into(),
                 },
             );
         }
@@ -124,7 +141,7 @@ mod tests {
                 ctx: 0,
                 src: 1,
                 tag: 0,
-                data: vec![0; 100],
+                data: vec![0; 100].into(),
             },
         );
         fabric.deposit(
@@ -133,7 +150,7 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 0,
-                data: vec![0; 28],
+                data: vec![0; 28].into(),
             },
         );
         assert_eq!(fabric.message_count(), 2);
@@ -149,9 +166,21 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 1,
-                data: vec![42],
+                data: vec![42].into(),
             },
         );
         assert_eq!(rxs[0].try_recv().unwrap().data, vec![42]);
+    }
+
+    #[test]
+    fn deposit_retargets_payload_to_destination_pool() {
+        let (fabric, rxs) = Fabric::new(2);
+        fabric.deposit(1, Envelope::new(0, 0, 3, vec![0u8; 100]));
+        let env = rxs[1].try_recv().unwrap();
+        drop(env); // payload returns to rank 1's pool
+        assert_eq!(fabric.pool(0).stats().retained_bytes, 0);
+        // vec![0; 100] has capacity 100: binned round-down into the 64-byte
+        // class, retained at its true capacity.
+        assert_eq!(fabric.pool(1).stats().retained_bytes, 100);
     }
 }

@@ -18,14 +18,13 @@ struct Scenario {
 }
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
-    (2usize..5)
-        .prop_flat_map(|p| {
-            proptest::collection::vec(
-                proptest::collection::vec((0u32..3, any::<u8>()), 0..6),
-                p - 1,
-            )
-            .prop_map(move |sends| Scenario { p, sends })
-        })
+    (2usize..5).prop_flat_map(|p| {
+        proptest::collection::vec(
+            proptest::collection::vec((0u32..3, any::<u8>()), 0..6),
+            p - 1,
+        )
+        .prop_map(move |sends| Scenario { p, sends })
+    })
 }
 
 proptest! {
@@ -48,6 +47,7 @@ proptest! {
                 let mut cursors = vec![0usize; sc2.p - 1];
                 loop {
                     let mut progressed = false;
+                    #[allow(clippy::needless_range_loop)]
                     for s in 0..sc2.p - 1 {
                         if cursors[s] < sc2.sends[s].len() {
                             let (tag, val) = sc2.sends[s][cursors[s]];

@@ -108,7 +108,9 @@ fn invalid_rank_rejected() {
 #[test]
 fn typed_send_recv_with_datatype() {
     Universe::run(2, |comm| {
-        let col = Datatype::vector(3, 1, 3, &Datatype::int()).commit().unwrap();
+        let col = Datatype::vector(3, 1, 3, &Datatype::int())
+            .commit()
+            .unwrap();
         if comm.rank() == 0 {
             // 3x3 i32 matrix, send middle column
             let m: Vec<i32> = (0..9).collect();
@@ -138,7 +140,10 @@ fn recv_typed_truncation_error() {
             let err = comm.recv_typed(0, 0, &mut buf, 0, &ty).unwrap_err();
             assert!(matches!(
                 err,
-                CommError::Truncation { received: 100, capacity: 10 }
+                CommError::Truncation {
+                    received: 100,
+                    capacity: 10
+                }
             ));
         }
     });
@@ -164,11 +169,8 @@ fn exchange_fifo_matching_same_src_tag() {
     // with coinciding ranks correct).
     Universe::run(2, |comm| {
         if comm.rank() == 0 {
-            comm.exchange(
-                vec![(1, 5, vec![b'a']), (1, 5, vec![b'b'])],
-                &[],
-            )
-            .unwrap();
+            comm.exchange(vec![(1, 5, vec![b'a']), (1, 5, vec![b'b'])], &[])
+                .unwrap();
         } else {
             let rx = comm
                 .exchange(
@@ -210,8 +212,14 @@ fn exchange_with_wildcard_slots() {
                 .exchange(
                     vec![],
                     &[
-                        RecvSpec { src: SrcSel::Any, tag: TagSel::Is(1) },
-                        RecvSpec { src: SrcSel::Any, tag: TagSel::Is(1) },
+                        RecvSpec {
+                            src: SrcSel::Any,
+                            tag: TagSel::Is(1),
+                        },
+                        RecvSpec {
+                            src: SrcSel::Any,
+                            tag: TagSel::Is(1),
+                        },
                     ],
                 )
                 .unwrap();
@@ -231,9 +239,7 @@ fn exchange_leaves_unmatched_messages_pending() {
             comm.send_bytes(1, 77, vec![1]).unwrap(); // not part of exchange
             comm.send_bytes(1, 5, vec![2]).unwrap();
         } else {
-            let rx = comm
-                .exchange(vec![], &[RecvSpec::from_rank(0, 5)])
-                .unwrap();
+            let rx = comm.exchange(vec![], &[RecvSpec::from_rank(0, 5)]).unwrap();
             assert_eq!(rx[0].0, vec![2]);
             // The tag-77 message is still retrievable afterwards.
             let (d, _) = comm.recv_bytes(0, 77).unwrap();
@@ -293,7 +299,11 @@ fn bcast_from_all_roots() {
 #[test]
 fn bcast_slice_typed() {
     Universe::run(4, |comm| {
-        let mut v = if comm.rank() == 2 { [3i64, -4, 5] } else { [0; 3] };
+        let mut v = if comm.rank() == 2 {
+            [3i64, -4, 5]
+        } else {
+            [0; 3]
+        };
         comm.bcast_slice(2, &mut v).unwrap();
         assert_eq!(v, [3, -4, 5]);
     });
@@ -365,10 +375,16 @@ fn all_same_detects_agreement_and_disagreement() {
 fn back_to_back_collectives_do_not_cross_talk() {
     Universe::run(6, |comm| {
         for round in 0..10u8 {
-            let mut v = if comm.rank() == 0 { vec![round] } else { Vec::new() };
+            let mut v = if comm.rank() == 0 {
+                vec![round]
+            } else {
+                Vec::new()
+            };
             comm.bcast_bytes(0, &mut v).unwrap();
             assert_eq!(v, vec![round]);
-            let blocks = comm.allgather_bytes(vec![round, comm.rank() as u8]).unwrap();
+            let blocks = comm
+                .allgather_bytes(vec![round, comm.rank() as u8])
+                .unwrap();
             for (r, b) in blocks.iter().enumerate() {
                 assert_eq!(b, &vec![round, r as u8]);
             }

@@ -213,9 +213,8 @@ impl MachineProfile {
         }
         let total: usize = sizes.iter().sum();
         let avg = total / t;
-        let mut cost = t as f64 * self.injection_overhead
-            + self.net.alpha
-            + self.net.beta * total as f64;
+        let mut cost =
+            t as f64 * self.injection_overhead + self.net.alpha + self.net.beta * total as f64;
         if quirks {
             cost += if blocking {
                 self.quirks.blocking_penalty(t, avg)
@@ -348,7 +347,10 @@ mod pricing_tests {
         let p = MachineProfile::hydra_openmpi();
         let rounds = p.combining_rounds(&[100, 0, 5000]);
         assert_eq!(rounds.len(), 3);
-        assert!((rounds[1] - p.net.alpha).abs() < 1e-18, "empty round costs alpha");
+        assert!(
+            (rounds[1] - p.net.alpha).abs() < 1e-18,
+            "empty round costs alpha"
+        );
         assert!(rounds[2] > rounds[0]);
     }
 

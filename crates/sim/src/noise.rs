@@ -227,7 +227,10 @@ mod tests {
         let b = avg(&few_rounds, &mut rng);
         // the many-round schedule has a larger sync window (100 * 2us vs
         // 2 * 2us) so some extra noise is fine, but not a multiple
-        assert!(a / b < 2.0, "round count must not multiply noise: {a} vs {b}");
+        assert!(
+            a / b < 2.0,
+            "round count must not multiply noise: {a} vs {b}"
+        );
         assert!(a >= b * 0.9);
     }
 

@@ -40,8 +40,7 @@ pub fn smallest_fraction(xs: &[f64], fraction: f64) -> Vec<f64> {
     }
     let mut v = xs.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN measurements"));
-    let keep = ((xs.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize)
-        .clamp(1, xs.len());
+    let keep = ((xs.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize).clamp(1, xs.len());
     v.truncate(keep);
     v
 }

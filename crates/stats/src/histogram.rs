@@ -102,7 +102,12 @@ impl Histogram {
             .map(|i| {
                 let lo = i.saturating_sub(1);
                 let hi = (i + 1).min(n - 1);
-                mean(&self.counts[lo..=hi].iter().map(|&c| c as f64).collect::<Vec<_>>())
+                mean(
+                    &self.counts[lo..=hi]
+                        .iter()
+                        .map(|&c| c as f64)
+                        .collect::<Vec<_>>(),
+                )
             })
             .collect();
         let peak = sm.iter().copied().fold(0.0, f64::max);
@@ -136,7 +141,11 @@ impl Histogram {
         for (i, &c) in self.counts.iter().enumerate() {
             let lo = self.lo + w * i as f64;
             let bar_len = c * width / max;
-            let marker = if mean >= lo && mean < lo + w { " <- mean" } else { "" };
+            let marker = if mean >= lo && mean < lo + w {
+                " <- mean"
+            } else {
+                ""
+            };
             out.push_str(&format!(
                 "{:>10.2} {} | {:<width$} {}{}\n",
                 lo,
@@ -184,7 +193,9 @@ mod tests {
     #[test]
     fn unimodal_vs_bimodal_detection() {
         // unimodal: concentrated around 50
-        let uni: Vec<f64> = (0..500).map(|i| 50.0 + ((i * 7919) % 11) as f64 - 5.0).collect();
+        let uni: Vec<f64> = (0..500)
+            .map(|i| 50.0 + ((i * 7919) % 11) as f64 - 5.0)
+            .collect();
         let h1 = Histogram::from_samples(&uni, 30);
         assert_eq!(h1.mode_count(0.25), 1);
         // bimodal: two clusters at 10 and 90

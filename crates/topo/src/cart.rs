@@ -183,7 +183,11 @@ impl CartTopology {
     /// Apply a relative offset to `coords`. Periodic dimensions wrap; in a
     /// non-periodic dimension an out-of-range result yields `None` (the
     /// neighbor does not exist for this process).
-    pub fn offset_coords(&self, coords: &[usize], offset: &[i64]) -> TopoResult<Option<Vec<usize>>> {
+    pub fn offset_coords(
+        &self,
+        coords: &[usize],
+        offset: &[i64],
+    ) -> TopoResult<Option<Vec<usize>>> {
         if offset.len() != self.ndims() {
             return Err(TopoError::DimensionMismatch {
                 expected: self.ndims(),
@@ -287,7 +291,10 @@ mod tests {
         assert_eq!(t.rank_of_offset(0, &[-1, -1]).unwrap(), Some(15));
         // large offsets wrap fully
         assert_eq!(t.rank_of_offset(0, &[4, 8]).unwrap(), Some(0));
-        assert_eq!(t.rank_of_offset(5, &[-5, 2]).unwrap(), Some(t.rank_of(&[0, 3]).unwrap()));
+        assert_eq!(
+            t.rank_of_offset(5, &[-5, 2]).unwrap(),
+            Some(t.rank_of(&[0, 3]).unwrap())
+        );
     }
 
     #[test]
@@ -369,7 +376,10 @@ mod tests {
         let t = CartTopology::torus(&[2, 2]).unwrap();
         assert!(matches!(
             t.rank_of_offset(0, &[1]),
-            Err(TopoError::DimensionMismatch { expected: 2, actual: 1 })
+            Err(TopoError::DimensionMismatch {
+                expected: 2,
+                actual: 1
+            })
         ));
     }
 }

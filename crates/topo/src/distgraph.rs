@@ -176,8 +176,8 @@ mod tests {
     fn weights_validated() {
         assert!(DistGraphTopology::adjacent(vec![0, 1], vec![2], Some(vec![1]), None).is_err());
         assert!(DistGraphTopology::adjacent(vec![0], vec![2], None, Some(vec![1, 2])).is_err());
-        let g = DistGraphTopology::adjacent(vec![0], vec![2], Some(vec![5]), Some(vec![7]))
-            .unwrap();
+        let g =
+            DistGraphTopology::adjacent(vec![0], vec![2], Some(vec![5]), Some(vec![7])).unwrap();
         assert_eq!(g.source_weights(), Some(&[5u32][..]));
         assert_eq!(g.target_weights(), Some(&[7u32][..]));
     }

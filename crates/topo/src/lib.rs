@@ -57,7 +57,10 @@ impl std::fmt::Display for TopoError {
             ),
             TopoError::ZeroDimension { dim } => write!(f, "dimension {dim} has size zero"),
             TopoError::DimensionMismatch { expected, actual } => {
-                write!(f, "offset has {actual} coordinates, topology has {expected}")
+                write!(
+                    f,
+                    "offset has {actual} coordinates, topology has {expected}"
+                )
             }
             TopoError::EmptyNeighborhood => write!(f, "neighborhood is empty"),
             TopoError::OffsetOutsideMesh { dim, offset } => write!(

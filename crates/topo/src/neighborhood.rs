@@ -233,7 +233,12 @@ impl RelNeighborhood {
 
     /// Number of neighbors that are not the zero vector.
     pub fn nonzero_count(&self) -> usize {
-        self.offsets.len() - self.offsets.iter().filter(|o| o.iter().all(|&c| c == 0)).count()
+        self.offsets.len()
+            - self
+                .offsets
+                .iter()
+                .filter(|o| o.iter().all(|&c| c == 0))
+                .count()
     }
 
     /// Stable bucket sort of neighbor indices by their k-th coordinate.
@@ -316,10 +321,18 @@ mod tests {
     fn table1_t_values() {
         // t = n^d − 1 for all Table 1 cells.
         for (d, n, t) in [
-            (2, 3, 8), (2, 4, 15), (2, 5, 24),
-            (3, 3, 26), (3, 4, 63), (3, 5, 124),
-            (4, 3, 80), (4, 4, 255), (4, 5, 624),
-            (5, 3, 242), (5, 4, 1023), (5, 5, 3124),
+            (2, 3, 8),
+            (2, 4, 15),
+            (2, 5, 24),
+            (3, 3, 26),
+            (3, 4, 63),
+            (3, 5, 124),
+            (4, 3, 80),
+            (4, 4, 255),
+            (4, 5, 624),
+            (5, 3, 242),
+            (5, 4, 1023),
+            (5, 5, 3124),
         ] {
             let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
             assert_eq!(nb.len(), t, "d={d} n={n}");
@@ -340,10 +353,18 @@ mod tests {
     fn table1_alltoall_volumes() {
         // V = Σ_j j · C(d,j) · (n−1)^j — closed form from §3.1's example.
         for (d, n, v) in [
-            (2, 3, 12), (2, 4, 24), (2, 5, 40),
-            (3, 3, 54), (3, 4, 144), (3, 5, 300),
-            (4, 3, 216), (4, 4, 768), (4, 5, 2000),
-            (5, 3, 810), (5, 4, 3840), (5, 5, 12500),
+            (2, 3, 12),
+            (2, 4, 24),
+            (2, 5, 40),
+            (3, 3, 54),
+            (3, 4, 144),
+            (3, 5, 300),
+            (4, 3, 216),
+            (4, 4, 768),
+            (4, 5, 2000),
+            (5, 3, 810),
+            (5, 4, 3840),
+            (5, 5, 12500),
         ] {
             let nb = RelNeighborhood::stencil_family(d, n, -1).unwrap();
             assert_eq!(nb.alltoall_volume(), v, "d={d} n={n}");
@@ -372,12 +393,10 @@ mod tests {
 
     #[test]
     fn hops_count_nonzeros() {
-        let nb = RelNeighborhood::new(3, vec![
-            vec![0, 0, 0],
-            vec![1, 0, 0],
-            vec![1, -1, 0],
-            vec![2, 3, -4],
-        ])
+        let nb = RelNeighborhood::new(
+            3,
+            vec![vec![0, 0, 0], vec![1, 0, 0], vec![1, -1, 0], vec![2, 3, -4]],
+        )
         .unwrap();
         assert_eq!(nb.hops(), vec![0, 1, 2, 3]);
         assert!(nb.has_self());
@@ -386,13 +405,10 @@ mod tests {
 
     #[test]
     fn distinct_nonzero_coords_per_dim() {
-        let nb = RelNeighborhood::new(2, vec![
-            vec![-2, 1],
-            vec![-1, 1],
-            vec![1, 1],
-            vec![2, 1],
-            vec![0, 1],
-        ])
+        let nb = RelNeighborhood::new(
+            2,
+            vec![vec![-2, 1], vec![-1, 1], vec![1, 1], vec![2, 1], vec![0, 1]],
+        )
         .unwrap();
         assert_eq!(nb.distinct_nonzero_coords(), vec![4, 1]);
         assert_eq!(nb.combining_rounds(), 5);
@@ -400,9 +416,10 @@ mod tests {
 
     #[test]
     fn bucket_sort_is_stable_and_ordered() {
-        let nb = RelNeighborhood::new(1, vec![
-            vec![3], vec![-1], vec![3], vec![0], vec![-1], vec![2],
-        ])
+        let nb = RelNeighborhood::new(
+            1,
+            vec![vec![3], vec![-1], vec![3], vec![0], vec![-1], vec![2]],
+        )
         .unwrap();
         let order = nb.bucket_sort_by_coord(0);
         let sorted: Vec<i64> = order.iter().map(|&i| nb.offset(i)[0]).collect();
@@ -462,11 +479,9 @@ mod tests {
     #[test]
     fn listing3_9point_neighborhood() {
         // The exact flattened target list of Listing 3.
-        let nb = RelNeighborhood::from_flat(
-            2,
-            &[0, 1, 0, -1, -1, 0, 1, 0, -1, 1, 1, 1, 1, -1, -1, -1],
-        )
-        .unwrap();
+        let nb =
+            RelNeighborhood::from_flat(2, &[0, 1, 0, -1, -1, 0, 1, 0, -1, 1, 1, 1, 1, -1, -1, -1])
+                .unwrap();
         assert_eq!(nb.len(), 8);
         assert_eq!(nb.combining_rounds(), 4); // C_0 = C_1 = 2 ({−1, 1})
         assert_eq!(nb.alltoall_volume(), 4 + 2 * 4); // 4 edges + 4 corners × 2

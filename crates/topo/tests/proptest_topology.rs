@@ -75,7 +75,7 @@ proptest! {
             _ => vec![4, 2, 4],
         };
         let p: usize = dims.iter().product();
-        if p % cores != 0 {
+        if !p.is_multiple_of(cores) {
             return Ok(());
         }
         let Ok(perm) = brick_permutation(&dims, cores) else { return Ok(()); };
@@ -87,23 +87,21 @@ proptest! {
         // every grid position occupied exactly once
         let mut seen = vec![false; p];
         let mut idx = vec![0usize; dims.len()];
-        loop {
+        'outer: loop {
             let r = topo.rank_of(&idx).unwrap();
             prop_assert!(!seen[r]);
             seen[r] = true;
             // increment mixed radix
             let mut k = dims.len();
             loop {
-                if k == 0 {
-                    prop_assert!(seen.iter().all(|&s| s));
-                    return Ok(());
-                }
+                if k == 0 { break 'outer; }
                 k -= 1;
                 idx[k] += 1;
                 if idx[k] < dims[k] { break; }
                 idx[k] = 0;
             }
         }
+        prop_assert!(seen.iter().all(|&s| s));
     }
 
     /// Stencil-family generators: t, C, and V always match the closed

@@ -99,7 +99,8 @@ mod tests {
     #[test]
     fn append_accumulates_in_order() {
         let mut b = TypeBuilder::new();
-        b.append(8, 2, &Datatype::int()).append(0, 1, &Datatype::int());
+        b.append(8, 2, &Datatype::int())
+            .append(0, 1, &Datatype::int());
         assert_eq!(b.len(), 2);
         let ft = b.commit();
         // Order preserved: block at 8 first, then block at 0.
@@ -130,7 +131,9 @@ mod tests {
 
     #[test]
     fn append_flat_reuses_spans() {
-        let inner = Datatype::vector(2, 1, 2, &Datatype::int()).commit().unwrap();
+        let inner = Datatype::vector(2, 1, 2, &Datatype::int())
+            .commit()
+            .unwrap();
         let mut b = TypeBuilder::new();
         b.append_flat(100, &inner);
         let ft = b.commit();

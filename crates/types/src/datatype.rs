@@ -154,7 +154,11 @@ impl Datatype {
             )));
         }
         Ok(Datatype(Arc::new(Node::Indexed {
-            blocks: blocklens.iter().copied().zip(displs.iter().copied()).collect(),
+            blocks: blocklens
+                .iter()
+                .copied()
+                .zip(displs.iter().copied())
+                .collect(),
             inner: inner.clone(),
         })))
     }
@@ -169,7 +173,11 @@ impl Datatype {
             )));
         }
         Ok(Datatype(Arc::new(Node::Hindexed {
-            blocks: blocklens.iter().copied().zip(displs.iter().copied()).collect(),
+            blocks: blocklens
+                .iter()
+                .copied()
+                .zip(displs.iter().copied())
+                .collect(),
             inner: inner.clone(),
         })))
     }
@@ -251,10 +259,16 @@ impl Datatype {
             Node::Primitive(p) => p.size(),
             Node::Contiguous { count, inner } => count * inner.size(),
             Node::Vector {
-                count, blocklen, inner, ..
+                count,
+                blocklen,
+                inner,
+                ..
             }
             | Node::Hvector {
-                count, blocklen, inner, ..
+                count,
+                blocklen,
+                inner,
+                ..
             } => count * blocklen * inner.size(),
             Node::Indexed { blocks, inner } | Node::Hindexed { blocks, inner } => {
                 blocks.iter().map(|&(bl, _)| bl).sum::<usize>() * inner.size()
@@ -266,9 +280,9 @@ impl Datatype {
             } => displs.len() * blocklen * inner.size(),
             Node::Struct { fields } => fields.iter().map(|f| f.count * f.ty.size()).sum(),
             Node::Resized { inner, .. } => inner.size(),
-            Node::Subarray { subsizes, inner, .. } => {
-                subsizes.iter().product::<usize>() * inner.size()
-            }
+            Node::Subarray {
+                subsizes, inner, ..
+            } => subsizes.iter().product::<usize>() * inner.size(),
         }
     }
 
@@ -321,9 +335,7 @@ impl Datatype {
                 let ext = inner.extent();
                 Self::block_bounds(blocks.iter().map(|&(bl, d)| (bl, d * ext)), inner)
             }
-            Node::Hindexed { blocks, inner } => {
-                Self::block_bounds(blocks.iter().copied(), inner)
-            }
+            Node::Hindexed { blocks, inner } => Self::block_bounds(blocks.iter().copied(), inner),
             Node::IndexedBlock {
                 blocklen,
                 displs,
@@ -361,7 +373,12 @@ impl Datatype {
         }
     }
 
-    fn strided_bounds(count: usize, blocklen: usize, stride_bytes: i64, inner: &Datatype) -> (i64, i64) {
+    fn strided_bounds(
+        count: usize,
+        blocklen: usize,
+        stride_bytes: i64,
+        inner: &Datatype,
+    ) -> (i64, i64) {
         if count == 0 || blocklen == 0 {
             return (0, 0);
         }
@@ -378,10 +395,7 @@ impl Datatype {
         (lb, ub)
     }
 
-    fn block_bounds(
-        blocks: impl Iterator<Item = (usize, i64)>,
-        inner: &Datatype,
-    ) -> (i64, i64) {
+    fn block_bounds(blocks: impl Iterator<Item = (usize, i64)>, inner: &Datatype) -> (i64, i64) {
         let ext = inner.extent();
         let (ilb, _) = inner.lb_ub();
         let mut lb = i64::MAX;
@@ -614,10 +628,16 @@ impl Datatype {
                 }
             }
             Node::Vector {
-                count, blocklen, inner, ..
+                count,
+                blocklen,
+                inner,
+                ..
             }
             | Node::Hvector {
-                count, blocklen, inner, ..
+                count,
+                blocklen,
+                inner,
+                ..
             } => {
                 for _ in 0..count * blocklen {
                     inner.append_signature(sig);
@@ -647,7 +667,9 @@ impl Datatype {
                 }
             }
             Node::Resized { inner, .. } => inner.append_signature(sig),
-            Node::Subarray { subsizes, inner, .. } => {
+            Node::Subarray {
+                subsizes, inner, ..
+            } => {
                 let n: usize = subsizes.iter().product();
                 for _ in 0..n {
                     inner.append_signature(sig);
@@ -708,7 +730,13 @@ mod tests {
         assert_eq!(spans.len(), 4);
         assert_eq!(spans[0], Span { offset: 0, len: 8 });
         assert_eq!(spans[1], Span { offset: 48, len: 8 });
-        assert_eq!(spans[3], Span { offset: 144, len: 8 });
+        assert_eq!(
+            spans[3],
+            Span {
+                offset: 144,
+                len: 8
+            }
+        );
     }
 
     #[test]
@@ -724,11 +752,14 @@ mod tests {
     fn hvector_byte_stride() {
         let t = Datatype::hvector(3, 1, 16, &Datatype::int());
         let spans = t.spans();
-        assert_eq!(spans, vec![
-            Span { offset: 0, len: 4 },
-            Span { offset: 16, len: 4 },
-            Span { offset: 32, len: 4 },
-        ]);
+        assert_eq!(
+            spans,
+            vec![
+                Span { offset: 0, len: 4 },
+                Span { offset: 16, len: 4 },
+                Span { offset: 32, len: 4 },
+            ]
+        );
         assert_eq!(t.extent(), 36);
     }
 
@@ -740,7 +771,13 @@ mod tests {
         assert_eq!(t.ub(), 4);
         assert_eq!(t.extent(), 20);
         let spans = t.spans();
-        assert_eq!(spans[2], Span { offset: -16, len: 4 });
+        assert_eq!(
+            spans[2],
+            Span {
+                offset: -16,
+                len: 4
+            }
+        );
     }
 
     #[test]
@@ -781,8 +818,16 @@ mod tests {
     #[test]
     fn struct_type_heterogeneous() {
         let t = Datatype::structured(vec![
-            StructField { count: 1, disp: 0, ty: Datatype::double() },
-            StructField { count: 3, disp: 8, ty: Datatype::int() },
+            StructField {
+                count: 1,
+                disp: 0,
+                ty: Datatype::double(),
+            },
+            StructField {
+                count: 3,
+                disp: 8,
+                ty: Datatype::int(),
+            },
         ]);
         assert_eq!(t.size(), 8 + 12);
         assert_eq!(t.lb(), 0);
@@ -812,10 +857,19 @@ mod tests {
         // extent covers whole array
         assert_eq!(t.extent(), 64);
         let spans = t.spans();
-        assert_eq!(spans, vec![
-            Span { offset: (4 + 1) * 4, len: 8 },
-            Span { offset: (2 * 4 + 1) * 4, len: 8 },
-        ]);
+        assert_eq!(
+            spans,
+            vec![
+                Span {
+                    offset: (4 + 1) * 4,
+                    len: 8
+                },
+                Span {
+                    offset: (2 * 4 + 1) * 4,
+                    len: 8
+                },
+            ]
+        );
     }
 
     #[test]
@@ -823,10 +877,10 @@ mod tests {
         let t = Datatype::subarray(&[3, 3, 3], &[2, 1, 2], &[0, 2, 1], &Datatype::byte()).unwrap();
         let spans = t.spans();
         // rows: (i,2,1..3) for i in 0..2 → offsets i*9 + 2*3 + 1
-        assert_eq!(spans, vec![
-            Span { offset: 7, len: 2 },
-            Span { offset: 16, len: 2 },
-        ]);
+        assert_eq!(
+            spans,
+            vec![Span { offset: 7, len: 2 }, Span { offset: 16, len: 2 },]
+        );
     }
 
     #[test]

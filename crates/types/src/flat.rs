@@ -237,7 +237,10 @@ mod tests {
         assert!(ft.check_bounds(0, 16).is_ok());
         assert!(matches!(
             ft.check_bounds(0, 15),
-            Err(TypeError::BufferTooSmall { required: 16, available: 15 })
+            Err(TypeError::BufferTooSmall {
+                required: 16,
+                available: 15
+            })
         ));
         assert!(matches!(
             ft.check_bounds(-9, 100),

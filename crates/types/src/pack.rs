@@ -147,7 +147,9 @@ mod tests {
         for (i, v) in m.iter_mut().enumerate() {
             *v = i as i32;
         }
-        let col = Datatype::vector(4, 1, 4, &Datatype::int()).commit().unwrap();
+        let col = Datatype::vector(4, 1, 4, &Datatype::int())
+            .commit()
+            .unwrap();
         let wire = gather(cast_slice(&m), 4, &col).unwrap(); // column 1
         let mut dst = [0i32; 16];
         scatter(&wire, cast_slice_mut(&mut dst), 8, &col).unwrap(); // column 2
@@ -174,12 +176,20 @@ mod tests {
         let ty = Datatype::bytes(4).commit().unwrap();
         let mut buf = [0u8; 8];
         let err = scatter(&[1, 2, 3], &mut buf, 0, &ty).unwrap_err();
-        assert!(matches!(err, TypeError::SizeMismatch { expected: 4, actual: 3 }));
+        assert!(matches!(
+            err,
+            TypeError::SizeMismatch {
+                expected: 4,
+                actual: 3
+            }
+        ));
     }
 
     #[test]
     fn scatter_prefix_partial_fill() {
-        let ty = Datatype::vector(3, 1, 2, &Datatype::byte()).commit().unwrap();
+        let ty = Datatype::vector(3, 1, 2, &Datatype::byte())
+            .commit()
+            .unwrap();
         let mut buf = [0u8; 8];
         let n = scatter_prefix(&[9, 8], &mut buf, 0, &ty).unwrap();
         assert_eq!(n, 2);

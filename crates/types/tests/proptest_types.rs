@@ -16,14 +16,16 @@ fn arb_datatype(depth: u32) -> BoxedStrategy<Datatype> {
     ];
     leaf.prop_recursive(depth, 24, 4, |inner| {
         prop_oneof![
-            (inner.clone(), 0usize..4)
-                .prop_map(|(t, c)| Datatype::contiguous(c, &t)),
+            (inner.clone(), 0usize..4).prop_map(|(t, c)| Datatype::contiguous(c, &t)),
             (inner.clone(), 1usize..3, 1usize..3, 0i64..4).prop_map(|(t, c, b, extra)| {
                 // stride >= blocklen keeps displacements non-negative
                 Datatype::vector(c, b, b as i64 + extra, &t)
             }),
-            (inner.clone(), proptest::collection::vec((1usize..3, 0i64..6), 1..4)).prop_map(
-                |(t, blocks)| {
+            (
+                inner.clone(),
+                proptest::collection::vec((1usize..3, 0i64..6), 1..4)
+            )
+                .prop_map(|(t, blocks)| {
                     // sort displacements then spread them to avoid overlap:
                     // disp_i = i * (max_blocklen * 8) + raw
                     let mut disp = 0i64;
@@ -36,8 +38,7 @@ fn arb_datatype(depth: u32) -> BoxedStrategy<Datatype> {
                         disp += bl as i64;
                     }
                     Datatype::indexed(&lens, &disps, &t).unwrap()
-                }
-            ),
+                }),
         ]
     })
     .boxed()
@@ -103,9 +104,7 @@ proptest! {
         let mut touched = vec![false; len];
         for s in ft.spans() {
             let start = (disp + s.offset) as usize;
-            for i in start..start + s.len {
-                touched[i] = true;
-            }
+            touched[start..start + s.len].fill(true);
         }
         for i in 0..len {
             if touched[i] {

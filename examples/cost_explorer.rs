@@ -30,12 +30,23 @@ fn main() {
 
     println!("Stencil family d={d}, n={n}, f={f}:");
     println!("  neighbors t            : {}", cs.t);
-    println!("  combining rounds C     : {}  (trivial uses {} rounds)", cs.rounds, cs.t);
-    println!("  alltoall volume V      : {} blocks (trivial: {})", cs.alltoall_volume, cs.t);
-    println!("  allgather volume       : {} blocks (tree edges)", cs.allgather_volume);
+    println!(
+        "  combining rounds C     : {}  (trivial uses {} rounds)",
+        cs.rounds, cs.t
+    );
+    println!(
+        "  alltoall volume V      : {} blocks (trivial: {})",
+        cs.alltoall_volume, cs.t
+    );
+    println!(
+        "  allgather volume       : {} blocks (tree edges)",
+        cs.allgather_volume
+    );
     match cs.cutoff {
         Some(r) => println!("  cut-off ratio (t-C)/(V-t): {r:.3}"),
-        None => println!("  cut-off ratio          : - (no volume inflation; combining always wins)"),
+        None => {
+            println!("  cut-off ratio          : - (no volume inflation; combining always wins)")
+        }
     }
     println!();
 

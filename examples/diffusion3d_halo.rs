@@ -51,8 +51,13 @@ fn reference() -> Vec<f64> {
                         cur[idx3(rr, cc, zz, G)]
                     };
                     next[idx3(r, c, z, G)] = 0.4 * at(0, 0, 0)
-                        + 0.1 * (at(-1, 0, 0) + at(1, 0, 0) + at(0, -1, 0) + at(0, 1, 0)
-                            + at(0, 0, -1) + at(0, 0, 1));
+                        + 0.1
+                            * (at(-1, 0, 0)
+                                + at(1, 0, 0)
+                                + at(0, -1, 0)
+                                + at(0, 1, 0)
+                                + at(0, 0, -1)
+                                + at(0, 0, 1));
                 }
             }
         }
@@ -68,8 +73,7 @@ fn main() {
     let nb_moore = RelNeighborhood::moore(3, 1).unwrap();
 
     let outputs = Universe::run(P * P * P, |comm| {
-        let mut halo =
-            HaloExchange::new(comm, &dims, &[N, N, N], 1, &Datatype::double()).unwrap();
+        let mut halo = HaloExchange::new(comm, &dims, &[N, N, N], 1, &Datatype::double()).unwrap();
         // A separate CartComm for the residual reduction over all 26
         // Moore neighbors.
         let cart = CartComm::create(comm, &dims, &[true, true, true], nb_moore.clone()).unwrap();
@@ -80,11 +84,8 @@ fn main() {
         for r in 0..N {
             for c in 0..N {
                 for z in 0..N {
-                    tile[idx3(r + 1, c + 1, z + 1, w)] = initial([
-                        coords[0] * N + r,
-                        coords[1] * N + c,
-                        coords[2] * N + z,
-                    ]);
+                    tile[idx3(r + 1, c + 1, z + 1, w)] =
+                        initial([coords[0] * N + r, coords[1] * N + c, coords[2] * N + z]);
                 }
             }
         }
@@ -100,12 +101,13 @@ fn main() {
                 for c in 1..=N {
                     for z in 1..=N {
                         let v = 0.4 * tile[idx3(r, c, z, w)]
-                            + 0.1 * (tile[idx3(r - 1, c, z, w)]
-                                + tile[idx3(r + 1, c, z, w)]
-                                + tile[idx3(r, c - 1, z, w)]
-                                + tile[idx3(r, c + 1, z, w)]
-                                + tile[idx3(r, c, z - 1, w)]
-                                + tile[idx3(r, c, z + 1, w)]);
+                            + 0.1
+                                * (tile[idx3(r - 1, c, z, w)]
+                                    + tile[idx3(r + 1, c, z, w)]
+                                    + tile[idx3(r, c - 1, z, w)]
+                                    + tile[idx3(r, c + 1, z, w)]
+                                    + tile[idx3(r, c, z - 1, w)]
+                                    + tile[idx3(r, c, z + 1, w)]);
                         local_residual += (v - tile[idx3(r, c, z, w)]).abs();
                         next[idx3(r, c, z, w)] = v;
                     }
@@ -144,13 +146,8 @@ fn main() {
         }
     }
     println!("diffusion3d_halo: {G}^3 grid on {P}x{P}x{P} ranks, {STEPS} steps");
-    println!(
-        "  halo: 6 messages/rank/iteration (vs 26 for the naive Moore exchange)"
-    );
-    println!(
-        "  neighborhood residual at last check: {:.3}",
-        outputs[0].2
-    );
+    println!("  halo: 6 messages/rank/iteration (vs 26 for the naive Moore exchange)");
+    println!("  neighborhood residual at last check: {:.3}", outputs[0].2);
     println!("  max |error| vs single-process reference: {max_err:.3e}");
     assert!(max_err < 1e-9, "distributed must match the reference");
     println!("  OK — distributed and sequential solutions agree.");

@@ -88,7 +88,12 @@ fn main() {
     });
 
     let total_errors: usize = errors.iter().sum();
-    println!("  verified {} blocks on {} ranks: {} errors", t * p, p, total_errors);
+    println!(
+        "  verified {} blocks on {} ranks: {} errors",
+        t * p,
+        p,
+        total_errors
+    );
     assert_eq!(total_errors, 0, "all halo blocks must arrive intact");
     println!("  OK — combining and trivial alltoallv agree with the expected halos.");
 }

@@ -58,8 +58,8 @@ fn initial(r: usize, c: usize) -> f64 {
 
 fn main() {
     let w = N + 2; // tile width including halo
-    // Listing 3's neighborhood: the 8 stencil directions in (row, col)
-    // offsets. Order: up, down, left, right, then the four corners.
+                   // Listing 3's neighborhood: the 8 stencil directions in (row, col)
+                   // offsets. Order: up, down, left, right, then the four corners.
     let target: Vec<i64> = vec![
         -1, 0, 1, 0, 0, -1, 0, 1, // edges
         -1, -1, -1, 1, 1, -1, 1, 1, // corners
@@ -75,14 +75,14 @@ fn main() {
 
     // Send the interior boundary, receive into the halo.
     let sendspec = vec![
-        WBlock::new(idx(1, 1), 1, &row),     // top row -> up
-        WBlock::new(idx(N, 1), 1, &row),     // bottom row -> down
-        WBlock::new(idx(1, 1), 1, &col),     // left col -> left
-        WBlock::new(idx(1, N), 1, &col),     // right col -> right
-        WBlock::new(idx(1, 1), 1, &cor),     // TL corner
-        WBlock::new(idx(1, N), 1, &cor),     // TR corner
-        WBlock::new(idx(N, 1), 1, &cor),     // BL corner
-        WBlock::new(idx(N, N), 1, &cor),     // BR corner
+        WBlock::new(idx(1, 1), 1, &row), // top row -> up
+        WBlock::new(idx(N, 1), 1, &row), // bottom row -> down
+        WBlock::new(idx(1, 1), 1, &col), // left col -> left
+        WBlock::new(idx(1, N), 1, &col), // right col -> right
+        WBlock::new(idx(1, 1), 1, &cor), // TL corner
+        WBlock::new(idx(1, N), 1, &cor), // TR corner
+        WBlock::new(idx(N, 1), 1, &cor), // BL corner
+        WBlock::new(idx(N, N), 1, &cor), // BR corner
     ];
     let recvspec = vec![
         WBlock::new(idx(w - 1, 1), 1, &row), // halo below <- from down... careful: from source -N[i]
@@ -160,7 +160,10 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     let total: f64 = global.iter().sum();
-    println!("heat2d_9pt: {G}x{G} grid on {}x{} ranks, {STEPS} steps", P, P);
+    println!(
+        "heat2d_9pt: {G}x{G} grid on {}x{} ranks, {STEPS} steps",
+        P, P
+    );
     println!("  total heat  : {total:.6}");
     println!("  max |error| vs single-process reference: {max_err:.3e}");
     assert!(

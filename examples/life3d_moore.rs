@@ -67,8 +67,7 @@ fn main() {
     let p: usize = DIMS.iter().product();
 
     let final_states = Universe::run(p, |comm| {
-        let cart =
-            CartComm::create(comm, &DIMS, &[true, true, true], nb.clone()).unwrap();
+        let cart = CartComm::create(comm, &DIMS, &[true, true, true], nb.clone()).unwrap();
         let mut alive = seeded(cart.rank());
         let mut neighbor_states = vec![0u8; t];
         for _ in 0..GENERATIONS {

@@ -1,0 +1,356 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `iter` / `iter_custom`,
+//! `Throughput`, `BenchmarkId`, the `criterion_group!` / `criterion_main!`
+//! macros — over a plain wall-clock measurement loop. No statistics, plots,
+//! or HTML reports: each benchmark prints one line with mean ns/iter (and
+//! derived throughput when declared). Good enough to compare variants in
+//! the same process; not a replacement for upstream criterion's rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(300),
+            warm_up_time: Duration::from_millis(30),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; this shim never plots.
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Accepted for compatibility; CLI args are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Target measurement time per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a closure outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (m, w) = (self.measurement_time, self.warm_up_time);
+        run_one("", &id.into_benchmark_id(), None, m, w, &mut f);
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a benchmark id; implemented for ids and plain names.
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declared per-iteration data volume, used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the shim sizes samples by time alone.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Target measurement time for benchmarks in this group.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Warm-up time for benchmarks in this group.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Declare per-iteration volume for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark a closure.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.throughput,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut f,
+        );
+        self
+    }
+
+    /// Benchmark a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(
+            &self.name,
+            &id.into_benchmark_id(),
+            self.throughput,
+            self.measurement_time,
+            self.warm_up_time,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finish the group (a no-op beyond dropping it).
+    pub fn finish(self) {}
+}
+
+/// Measurement handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// Total measured time and iterations, filled by `iter*`.
+    result: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Measure a closure by running it in timed batches until the
+    /// measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up and calibration: find a batch size taking >= ~1 ms.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(1) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 4;
+            if Instant::now() >= warm_deadline && took > Duration::ZERO {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.measurement_time {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total += start.elapsed();
+            iters += batch;
+        }
+        self.result = Some((total, iters));
+    }
+
+    /// Measure with caller-provided timing: `f` runs `iters` iterations
+    /// and reports how long they took.
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        // One calibration call, then one measured call sized to the budget.
+        let probe_iters = 10u64;
+        let probe = f(probe_iters).max(Duration::from_nanos(1));
+        let per_iter = probe.as_secs_f64() / probe_iters as f64;
+        let target = (self.measurement_time.as_secs_f64() / per_iter).clamp(1.0, 1e7);
+        let iters = target as u64;
+        let total = f(iters);
+        self.result = Some((total + probe, iters + probe_iters));
+    }
+}
+
+fn run_one(
+    group: &str,
+    id: &str,
+    throughput: Option<Throughput>,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warm_up_time,
+        measurement_time,
+        result: None,
+    };
+    f(&mut b);
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+    match b.result {
+        None => println!("bench {label}: no measurement recorded"),
+        Some((total, iters)) => {
+            let ns = total.as_secs_f64() * 1e9 / iters.max(1) as f64;
+            let extra = match throughput {
+                Some(Throughput::Bytes(bytes)) => {
+                    let gib = bytes as f64 / ns; // bytes per ns == GiB-ish/s (1e9 B/s)
+                    format!("  ({:.3} GB/s)", gib)
+                }
+                Some(Throughput::Elements(n)) => {
+                    format!("  ({:.1} Melem/s)", n as f64 * 1e3 / ns)
+                }
+                None => String::new(),
+            };
+            println!("bench {label}: {ns:>12.1} ns/iter{extra}");
+        }
+    }
+}
+
+/// Declare a benchmark group function (both plain and configured forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 16).into_benchmark_id(), "f/16");
+        assert_eq!(
+            BenchmarkId::from_parameter("row").into_benchmark_id(),
+            "row"
+        );
+    }
+
+    #[test]
+    fn iter_records_measurement() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim_selftest");
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+    }
+
+    #[test]
+    fn iter_custom_records_measurement() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("shim_selftest");
+        g.bench_with_input(BenchmarkId::new("custom", 1), &1u64, |b, _| {
+            b.iter_custom(Duration::from_nanos)
+        });
+        g.finish();
+    }
+}

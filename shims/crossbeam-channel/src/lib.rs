@@ -1,0 +1,291 @@
+//! Offline stand-in for `crossbeam-channel`.
+//!
+//! Implements the unbounded MPMC channel subset the runtime uses
+//! (`unbounded`, `Sender::send`, `Receiver::recv` / `try_recv`,
+//! disconnect-on-drop semantics) over a `Mutex<VecDeque>` + `Condvar`.
+//! Throughput is lower than real crossbeam but semantics are identical,
+//! including FIFO ordering per channel — the property the fabric's
+//! non-overtaking guarantee rests on.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Error returned by [`Sender::send`] when every receiver is gone; carries
+/// the unsent message back.
+#[derive(PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Receiver::recv`]: channel empty and all senders gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// Channel currently has no message.
+    Empty,
+    /// Channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for TryRecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+            TryRecvError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TryRecvError {}
+
+struct Shared<T> {
+    queue: Mutex<VecDeque<T>>,
+    avail: Condvar,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+}
+
+/// Sending half of the channel; cloneable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of the channel; cloneable.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Create an unbounded FIFO channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        avail: Condvar::new(),
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Enqueue a message; fails only when every receiver is dropped.
+    pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+        if self.shared.receivers.load(Ordering::Acquire) == 0 {
+            return Err(SendError(msg));
+        }
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        q.push_back(msg);
+        drop(q);
+        self.shared.avail.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.senders.fetch_add(1, Ordering::AcqRel);
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.shared.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last sender: wake blocked receivers so they observe disconnect.
+            self.shared.avail.notify_all();
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Block until a message arrives; fails when the channel is empty and
+    /// every sender is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvError);
+            }
+            q = self.shared.avail.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(msg) = q.pop_front() {
+            return Ok(msg);
+        }
+        if self.shared.senders.load(Ordering::Acquire) == 0 {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .len()
+    }
+
+    /// True if no message is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.receivers.fetch_add(1, Ordering::AcqRel);
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        self.shared.receivers.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = unbounded();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_then_value() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(9).unwrap();
+        assert_eq!(rx.try_recv(), Ok(9));
+    }
+
+    #[test]
+    fn recv_fails_after_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        tx.send(1).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn send_fails_after_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || rx.recv().unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn mpmc_all_messages_delivered_once() {
+        let (tx, rx) = unbounded::<u64>();
+        let producers: Vec<_> = (0..4)
+            .map(|p| {
+                let tx = tx.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u64 {
+                        tx.send(p * 1000 + i).unwrap();
+                    }
+                })
+            })
+            .collect();
+        drop(tx);
+        let consumers: Vec<_> = (0..2)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Ok(v) = rx.recv() {
+                        got.push(v);
+                    }
+                    got
+                })
+            })
+            .collect();
+        drop(rx);
+        for p in producers {
+            p.join().unwrap();
+        }
+        let mut all: Vec<u64> = consumers
+            .into_iter()
+            .flat_map(|c| c.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u64> = (0..4)
+            .flat_map(|p| (0..250).map(move |i| p * 1000 + i))
+            .collect();
+        assert_eq!(all, expected);
+    }
+}

@@ -1,0 +1,98 @@
+//! `any::<T>()` — whole-domain strategies for primitives.
+
+use std::marker::PhantomData;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn sample_any(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (see [`any`]).
+#[derive(Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(PhantomData)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_any(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn sample_any(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn sample_any(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn sample_any(rng: &mut TestRng) -> f64 {
+        // finite values only: keeps arithmetic-heavy properties meaningful
+        rng.unit_f64() * 2e6 - 1e6
+    }
+}
+
+impl Arbitrary for f32 {
+    fn sample_any(rng: &mut TestRng) -> f32 {
+        f64::sample_any(rng) as f32
+    }
+}
+
+impl Arbitrary for () {
+    fn sample_any(_rng: &mut TestRng) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_bool_takes_both_values() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<bool>();
+        let mut seen = [false; 2];
+        for _ in 0..64 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert!(seen[0] && seen[1]);
+    }
+
+    #[test]
+    fn any_u8_covers_range_edges_eventually() {
+        let mut rng = TestRng::from_seed(6);
+        let s = any::<u8>();
+        let mut lo = u8::MAX;
+        let mut hi = u8::MIN;
+        for _ in 0..10_000 {
+            let v = s.sample(&mut rng);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        assert!(lo < 8 && hi > 247, "poor coverage: lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,182 @@
+//! Test configuration, case errors, and the deterministic RNG driving
+//! strategy sampling.
+
+use std::fmt;
+
+/// Why a single test case failed (or was rejected).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case hit a failed assertion or explicit `fail`.
+    Fail(String),
+    /// The case asked to be discarded (`prop_assume`-style).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Fail the current case with a reason.
+    pub fn fail(reason: impl fmt::Display) -> Self {
+        TestCaseError::Fail(reason.to_string())
+    }
+
+    /// Discard the current case with a reason.
+    pub fn reject(reason: impl fmt::Display) -> Self {
+        TestCaseError::Reject(reason.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Result type of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` configuration. Only the fields the workspace references
+/// are meaningful; the rest exist for struct-update compatibility.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to sample and run.
+    pub cases: u32,
+    /// Accepted for API compatibility; this shim does not shrink.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; rejects simply re-sample upstream,
+    /// here they fail the test (nothing in this workspace rejects).
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 1024,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` env override.
+    pub fn effective_cases(&self) -> u32 {
+        match std::env::var("PROPTEST_CASES") {
+            Ok(v) => v.parse().unwrap_or(self.cases),
+            Err(_) => self.cases,
+        }
+    }
+}
+
+/// Deterministic xoshiro256** generator used for sampling.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Seed from an arbitrary name (module path + test name), so each test
+    /// gets a fixed, reproducible stream.
+    pub fn deterministic(name: &str) -> Self {
+        // FNV-1a fold of the name into a 64-bit seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Seed from a 64-bit value via splitmix64 state expansion.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform integer in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams_match() {
+        let mut a = TestRng::deterministic("some::test");
+        let mut b = TestRng::deterministic("some::test");
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_names_distinct_streams() {
+        let mut a = TestRng::deterministic("a");
+        let mut b = TestRng::deterministic("b");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn config_with_cases() {
+        let c = ProptestConfig::with_cases(48);
+        assert_eq!(c.cases, 48);
+        let d = ProptestConfig {
+            cases: 24,
+            max_shrink_iters: 64,
+            ..ProptestConfig::default()
+        };
+        assert_eq!(d.cases, 24);
+        assert_eq!(d.max_shrink_iters, 64);
+    }
+
+    #[test]
+    fn unit_f64_in_range() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..1000 {
+            let u = rng.unit_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+}

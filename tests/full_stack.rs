@@ -54,7 +54,10 @@ fn paper_pipeline_microcosm() {
     let kept = stats::FilterPolicy::TITAN.apply(&samples);
     let summary = stats::Summary::of(&kept);
     assert!(summary.mean >= combining, "noise never speeds things up");
-    assert!(summary.mean < combining + 1e-3, "filtering removes the tail");
+    assert!(
+        summary.mean < combining + 1e-3,
+        "filtering removes the tail"
+    );
 }
 
 /// The §2.2 promotion path across crates: a distributed graph built from
@@ -112,11 +115,13 @@ fn subarray_halo_with_prelude_types() {
         {
             let send_b = cartcomm_types::cast_slice(&tile);
             let recv_b = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.alltoallw(send_b, &sendspec, recv_b, &recvspec).unwrap();
+            cart.alltoallw(send_b, &sendspec, recv_b, &recvspec)
+                .unwrap();
         }
         // halo row 0 now holds the upper neighbor's bottom interior row
         let topo = cart.topology().clone();
         let up = topo.rank_of_offset(cart.rank(), &[-1, 0]).unwrap().unwrap() as i32;
+        #[allow(clippy::needless_range_loop)]
         for c in 1..=n {
             assert_eq!(recv[c], up * 1000 + (n * w + c) as i32);
         }
@@ -173,7 +178,10 @@ fn des_validates_closed_form_on_real_plan() {
         })
         .collect();
     let des = sim::EventSim::run_symmetric_rounds(25, model, &rounds);
-    assert!((des - closed).abs() < 1e-12, "DES {des} vs formula {closed}");
+    assert!(
+        (des - closed).abs() < 1e-12,
+        "DES {des} vs formula {closed}"
+    );
 }
 
 /// dims_create feeds directly into working topologies at any process count.
@@ -183,8 +191,7 @@ fn dims_create_to_running_collective() {
         let dims = dims_create(p, 2);
         let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
         Universe::run(p, |comm| {
-            let cart =
-                CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+            let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
             let send = vec![comm.rank() as i32; 4];
             let mut recv = vec![0i32; 4 * 4];
             cart.allgather(&send, &mut recv).unwrap();
