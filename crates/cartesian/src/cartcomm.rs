@@ -1,15 +1,22 @@
 //! The Cartesian neighborhood communicator (`Cart_neighborhood_create`,
 //! Listing 1) and the relative-coordinate helper functions (Listing 2).
 
-use std::cell::OnceCell;
+use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
 
 use cartcomm_comm::Comm;
 use cartcomm_topo::{CartTopology, DistGraphTopology, Offset, RelNeighborhood, TopoError};
 
+use crate::compile::CompiledPlan;
 use crate::error::{CartError, CartResult};
-use crate::plan::Plan;
+use crate::exec::{ExecLayouts, CART_TAG_BASE};
+use crate::plan::{Plan, PlanKind};
 use crate::schedule::{allgather_plan, alltoall_plan};
+
+/// Entries kept in the compiled-plan LRU (per communicator, per rank). A
+/// stencil code typically cycles through a handful of layouts at most, so
+/// a small cache captures the steady state without holding stale programs.
+const PLAN_CACHE_CAP: usize = 16;
 
 /// A communicator with a Cartesian topology and an isomorphic
 /// t-neighborhood attached — the object the paper's single new function
@@ -29,6 +36,12 @@ pub struct CartComm {
     reorder: bool,
     alltoall_plan: OnceCell<Arc<Plan>>,
     allgather_plan: OnceCell<Arc<Plan>>,
+    /// Fingerprint-keyed LRU of compiled programs (most recent first).
+    /// `CartComm` is owned by one rank's thread, so interior mutability
+    /// via `RefCell`/`Cell` is safe — the same reasoning as `OnceCell`.
+    compiled_cache: RefCell<Vec<(u128, Arc<CompiledPlan>)>>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
 }
 
 impl CartComm {
@@ -122,6 +135,9 @@ impl CartComm {
             reorder,
             alltoall_plan: OnceCell::new(),
             allgather_plan: OnceCell::new(),
+            compiled_cache: RefCell::new(Vec::new()),
+            cache_hits: Cell::new(0),
+            cache_misses: Cell::new(0),
         })
     }
 
@@ -225,6 +241,48 @@ impl CartComm {
             self.allgather_plan
                 .get_or_init(|| Arc::new(allgather_plan(&self.nb))),
         )
+    }
+
+    /// The compiled program for `kind` over `lay`, from the communicator's
+    /// fingerprint-keyed LRU cache. On a miss the schedule is (re)used from
+    /// the plan cache, temp-sized, compiled for this rank, and inserted;
+    /// on a hit the repeated `cart_alltoall`/`cart_allgather` call pays
+    /// neither schedule construction nor compilation. Requires combining
+    /// applicability (callers gate on [`CartComm::combining_applicable`]).
+    pub fn compiled_plan(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
+        let fp = lay.fingerprint(kind);
+        {
+            let mut cache = self.compiled_cache.borrow_mut();
+            if let Some(pos) = cache.iter().position(|(k, _)| *k == fp) {
+                let entry = cache.remove(pos);
+                let cp = Arc::clone(&entry.1);
+                cache.insert(0, entry);
+                self.cache_hits.set(self.cache_hits.get() + 1);
+                return Ok(cp);
+            }
+        }
+        self.cache_misses.set(self.cache_misses.get() + 1);
+        let plan = match kind {
+            PlanKind::Alltoall => self.alltoall_schedule(),
+            PlanKind::Allgather => self.allgather_schedule(),
+        };
+        let lay = crate::ops::size_temp(lay, kind, plan.temp_slots)?;
+        let cp = Arc::new(CompiledPlan::compile(
+            &self.topo,
+            self.rank(),
+            &plan,
+            &lay,
+            CART_TAG_BASE,
+        )?);
+        let mut cache = self.compiled_cache.borrow_mut();
+        cache.insert(0, (fp, Arc::clone(&cp)));
+        cache.truncate(PLAN_CACHE_CAP);
+        Ok(cp)
+    }
+
+    /// Compiled-plan cache telemetry: `(hits, misses)` since creation.
+    pub fn plan_cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits.get(), self.cache_misses.get())
     }
 
     /// True if every dimension the neighborhood moves in is periodic —

@@ -1,0 +1,616 @@
+//! Schedule compilation: rank-resolved executable programs.
+//!
+//! A [`Plan`](crate::plan::Plan) is rank-independent and symbolic; executing
+//! it interpretively pays per-execute costs the paper's persistent `_init`
+//! operations (Listing 3) exist to avoid: coordinate resolution per round,
+//! datatype traversal per block, and allocation per phase. A
+//! [`CompiledPlan`] resolves all of that **once** for a concrete
+//! `(rank, topology, layouts)` triple:
+//!
+//! * every round's peer pair `(target, source)` and tag, via the relative
+//!   shift of Listing 2 — no `rank_of_offset` at execute time;
+//! * every gather/scatter flattened into a *span program*: a short list of
+//!   `(offset, len)` memcpy ranges derived from the committed
+//!   [`FlatType`](cartcomm_types::FlatType)s, with adjacent ranges coalesced
+//!   so a contiguous block compiles to a single `memcpy`;
+//! * every local copy composed source-against-destination into
+//!   `(src_offset, dst_offset, len)` triples, executed directly when the
+//!   ranges cannot alias and staged through a scratch buffer otherwise;
+//! * exact wire sizes, and the minimum send/receive buffer lengths, checked
+//!   once per execute instead of once per block.
+//!
+//! [`execute_compiled`] then runs the phases with **zero heap allocation,
+//! zero coordinate math, and zero datatype traversal** in steady state: wire
+//! buffers come from the rank's pool, and the send/result vectors live in a
+//! reusable [`ExecScratch`]. The buffered and in-place entry points share
+//! one core loop, so the two modes cannot drift.
+
+use cartcomm_comm::{Comm, PooledBuf, RecvSpec, Status, Tag};
+use cartcomm_topo::CartTopology;
+use cartcomm_types::TypeError;
+
+use crate::error::{CartError, CartResult};
+use crate::exec::ExecLayouts;
+use crate::plan::{BlockRef, Loc, Plan, PlanKind};
+
+/// Which concrete buffer a compiled span addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufId {
+    /// The user's send buffer (aliases `Recv` in in-place mode).
+    Send,
+    /// The user's receive buffer.
+    Recv,
+    /// The executor-owned temporary buffer.
+    Temp,
+}
+
+/// One memcpy range of a gather or scatter span program.
+#[derive(Debug, Clone, Copy)]
+struct WireOp {
+    buf: BufId,
+    off: usize,
+    len: usize,
+}
+
+/// A local block movement compiled to `(src_offset, dst_offset, len)`
+/// memcpy triples between one source and one destination buffer.
+#[derive(Debug, Clone)]
+struct CompiledCopy {
+    src: BufId,
+    dst: BufId,
+    /// `(src_offset, dst_offset, len)` ranges, coalesced.
+    ops: Vec<(usize, usize, usize)>,
+    /// Total bytes moved (stage-buffer sizing).
+    bytes: usize,
+    /// Safe to copy range-by-range when send/recv are distinct buffers.
+    direct_split: bool,
+    /// Safe to copy range-by-range when send/recv alias one buffer.
+    direct_in_place: bool,
+}
+
+/// One fully resolved communication round.
+#[derive(Debug, Clone)]
+struct CompiledRound {
+    /// Rank the outgoing message goes to (`rank + offset`).
+    target: usize,
+    /// Tag of this round (`tag_base + global round index`).
+    tag: Tag,
+    /// Exact bytes on the wire.
+    wire_len: usize,
+    /// Span program filling the outgoing wire buffer.
+    gather: Vec<WireOp>,
+    /// Span program unpacking the incoming wire buffer.
+    scatter: Vec<WireOp>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct CompiledPhase {
+    copies: Vec<CompiledCopy>,
+    rounds: Vec<CompiledRound>,
+    /// Receive slots of the phase, aligned with `rounds` (source rank and
+    /// tag resolved at compile time).
+    specs: Vec<RecvSpec>,
+}
+
+/// A schedule compiled for one rank: peers, tags, wire sizes, and span
+/// programs all resolved ahead of execution — the executable object behind
+/// the paper's persistent collectives and the communicator's plan cache.
+#[derive(Debug, Clone)]
+pub struct CompiledPlan {
+    kind: PlanKind,
+    phases: Vec<CompiledPhase>,
+    temp_len: usize,
+    /// Minimum send-buffer length any span touches.
+    send_min_len: usize,
+    /// Minimum receive-buffer length any span touches.
+    recv_min_len: usize,
+    rounds: usize,
+    max_copy_bytes: usize,
+    max_phase_rounds: usize,
+}
+
+/// Reusable per-handle executor state: the temp buffer, the copy staging
+/// buffer, and the send/result vectors of the phase exchange. Holding one
+/// of these across executes is what makes the steady state allocation-free.
+#[derive(Default)]
+pub struct ExecScratch {
+    temp: Vec<u8>,
+    stage: Vec<u8>,
+    sends: Vec<(usize, Tag, PooledBuf)>,
+    results: Vec<Option<(PooledBuf, Status)>>,
+}
+
+impl ExecScratch {
+    /// Scratch sized for `cp`: nothing grows during execution.
+    pub fn for_plan(cp: &CompiledPlan) -> Self {
+        ExecScratch {
+            temp: vec![0u8; cp.temp_len],
+            stage: Vec::with_capacity(cp.max_copy_bytes),
+            sends: Vec::with_capacity(cp.max_phase_rounds),
+            results: Vec::with_capacity(cp.max_phase_rounds),
+        }
+    }
+}
+
+impl CompiledPlan {
+    /// Compile `plan` for the calling `rank`. `lay` must carry temp-slot
+    /// sizing (see `ops::size_temp`); `tag_base` is the tag of round 0.
+    /// Fails with [`CartError::CombiningNeedsTorus`] if a round's offset
+    /// leaves the topology (non-periodic dimension) and propagates layout
+    /// errors (negative resolved displacements) as type errors.
+    pub fn compile(
+        topo: &CartTopology,
+        rank: usize,
+        plan: &Plan,
+        lay: &ExecLayouts,
+        tag_base: Tag,
+    ) -> CartResult<CompiledPlan> {
+        let mut cp = CompiledPlan {
+            kind: plan.kind,
+            phases: Vec::with_capacity(plan.phases.len()),
+            temp_len: lay.temp_len(),
+            send_min_len: 0,
+            recv_min_len: 0,
+            rounds: 0,
+            max_copy_bytes: 0,
+            max_phase_rounds: 0,
+        };
+        let mut round_idx: Tag = 0;
+        // One negated-offset buffer serves every source lookup of the
+        // compilation (the executor performs none at all).
+        let mut neg: Vec<i64> = Vec::with_capacity(topo.ndims());
+        for phase in &plan.phases {
+            let mut cphase = CompiledPhase::default();
+            for copy in &phase.copies {
+                let cc = cp.compile_copy(lay, copy.from, copy.to)?;
+                cp.max_copy_bytes = cp.max_copy_bytes.max(cc.bytes);
+                cphase.copies.push(cc);
+            }
+            for round in &phase.rounds {
+                let target = topo
+                    .rank_of_offset(rank, &round.offset)?
+                    .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+                neg.clear();
+                neg.extend(round.offset.iter().map(|&c| -c));
+                let source = topo
+                    .rank_of_offset(rank, &neg)?
+                    .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
+                let tag = tag_base + round_idx;
+                round_idx += 1;
+
+                let mut gather: Vec<WireOp> = Vec::new();
+                let mut scatter: Vec<WireOp> = Vec::new();
+                let mut wire_len = 0usize;
+                for j in 0..round.block_ids.len() {
+                    wire_len += cp.push_block(lay, round.sends[j], &mut gather)?;
+                    cp.push_block(lay, round.recvs[j], &mut scatter)?;
+                }
+                debug_assert_eq!(
+                    wire_len,
+                    round.block_ids.iter().map(|&b| lay.block_bytes[b]).sum(),
+                    "gather program covers exactly the round's block bytes"
+                );
+                debug_assert_eq!(
+                    scatter.iter().map(|op| op.len).sum::<usize>(),
+                    wire_len,
+                    "scatter program consumes exactly the wire"
+                );
+                cphase.specs.push(RecvSpec::from_rank(source, tag));
+                cphase.rounds.push(CompiledRound {
+                    target,
+                    tag,
+                    wire_len,
+                    gather,
+                    scatter,
+                });
+            }
+            cp.rounds += cphase.rounds.len();
+            cp.max_phase_rounds = cp.max_phase_rounds.max(cphase.rounds.len());
+            cp.phases.push(cphase);
+        }
+        Ok(cp)
+    }
+
+    /// Resolve a block reference to absolute spans and append them to a
+    /// span program, coalescing ranges adjacent in both buffer and wire
+    /// order (so a contiguous block — or several contiguous blocks laid out
+    /// back to back — becomes a single memcpy). Returns the block's bytes.
+    fn push_block(
+        &mut self,
+        lay: &ExecLayouts,
+        br: BlockRef,
+        prog: &mut Vec<WireOp>,
+    ) -> CartResult<usize> {
+        let (buf, spans) = resolve_block(lay, br)?;
+        let mut total = 0usize;
+        for (off, len) in spans {
+            if len == 0 {
+                continue;
+            }
+            total += len;
+            self.note_extent(buf, off, len);
+            if let Some(last) = prog.last_mut() {
+                if last.buf == buf && last.off + last.len == off {
+                    last.len += len;
+                    continue;
+                }
+            }
+            prog.push(WireOp { buf, off, len });
+        }
+        Ok(total)
+    }
+
+    /// Compose a local copy's source spans against its destination spans
+    /// into `(src_offset, dst_offset, len)` triples and classify when the
+    /// triples may run directly (no staging).
+    fn compile_copy(
+        &mut self,
+        lay: &ExecLayouts,
+        from: BlockRef,
+        to: BlockRef,
+    ) -> CartResult<CompiledCopy> {
+        let (src_buf, src) = resolve_block(lay, from)?;
+        let (dst_buf, dst) = resolve_block(lay, to)?;
+        let src_total: usize = src.iter().map(|s| s.1).sum();
+        let dst_total: usize = dst.iter().map(|s| s.1).sum();
+        if src_total != dst_total {
+            return Err(CartError::BlockSizeMismatch {
+                block: to.slot,
+                send: src_total,
+                recv: dst_total,
+            });
+        }
+        let mut ops: Vec<(usize, usize, usize)> = Vec::new();
+        let (mut si, mut di) = (0usize, 0usize);
+        let (mut s_used, mut d_used) = (0usize, 0usize);
+        loop {
+            while si < src.len() && s_used == src[si].1 {
+                si += 1;
+                s_used = 0;
+            }
+            while di < dst.len() && d_used == dst[di].1 {
+                di += 1;
+                d_used = 0;
+            }
+            if si == src.len() || di == dst.len() {
+                break;
+            }
+            let n = (src[si].1 - s_used).min(dst[di].1 - d_used);
+            let s_off = src[si].0 + s_used;
+            let d_off = dst[di].0 + d_used;
+            s_used += n;
+            d_used += n;
+            self.note_extent(src_buf, s_off, n);
+            self.note_extent(dst_buf, d_off, n);
+            if let Some(last) = ops.last_mut() {
+                if last.0 + last.2 == s_off && last.1 + last.2 == d_off {
+                    last.2 += n;
+                    continue;
+                }
+            }
+            ops.push((s_off, d_off, n));
+        }
+        Ok(CompiledCopy {
+            src: src_buf,
+            dst: dst_buf,
+            direct_split: copy_is_direct(src_buf, dst_buf, &ops, false),
+            direct_in_place: copy_is_direct(src_buf, dst_buf, &ops, true),
+            ops,
+            bytes: src_total,
+        })
+    }
+
+    /// Record the minimum user-buffer length a span implies.
+    fn note_extent(&mut self, buf: BufId, off: usize, len: usize) {
+        match buf {
+            BufId::Send => self.send_min_len = self.send_min_len.max(off + len),
+            BufId::Recv => self.recv_min_len = self.recv_min_len.max(off + len),
+            BufId::Temp => debug_assert!(off + len <= self.temp_len, "temp span in bounds"),
+        }
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Alltoall or allgather semantics.
+    pub fn kind(&self) -> PlanKind {
+        self.kind
+    }
+
+    /// Total communication rounds per execute (= pool acquisitions in
+    /// steady state).
+    pub fn rounds(&self) -> usize {
+        self.rounds
+    }
+
+    /// Temp-buffer bytes an executor must provide.
+    pub fn temp_len(&self) -> usize {
+        self.temp_len
+    }
+
+    /// Minimum send-buffer length (buffered mode).
+    pub fn send_min_len(&self) -> usize {
+        self.send_min_len
+    }
+
+    /// Minimum receive-buffer length (buffered mode).
+    pub fn recv_min_len(&self) -> usize {
+        self.recv_min_len
+    }
+
+    /// Exact per-round wire sizes in execution order — the capacities to
+    /// pre-warm a wire pool with.
+    pub fn wire_capacities(&self) -> Vec<usize> {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.rounds)
+            .map(|r| r.wire_len)
+            .collect()
+    }
+
+    /// Resolved `(target, source)` rank pair per round, in execution order.
+    pub fn round_peers(&self) -> Vec<(usize, usize)> {
+        self.phases
+            .iter()
+            .flat_map(|p| p.rounds.iter().zip(&p.specs))
+            .map(|(r, spec)| {
+                let src = match spec.src {
+                    cartcomm_comm::SrcSel::Rank(s) => s,
+                    cartcomm_comm::SrcSel::Any => usize::MAX,
+                };
+                (r.target, src)
+            })
+            .collect()
+    }
+
+    /// Number of local copies across all phases.
+    pub fn copy_count(&self) -> usize {
+        self.phases.iter().map(|p| p.copies.len()).sum()
+    }
+
+    /// Total memcpy ranges across all span programs — a measure of how far
+    /// coalescing compressed the datatype machinery.
+    pub fn span_count(&self) -> usize {
+        self.phases
+            .iter()
+            .flat_map(|p| &p.rounds)
+            .map(|r| r.gather.len() + r.scatter.len())
+            .sum::<usize>()
+            + self
+                .phases
+                .iter()
+                .flat_map(|p| &p.copies)
+                .map(|c| c.ops.len())
+                .sum::<usize>()
+    }
+}
+
+fn resolve_block(lay: &ExecLayouts, br: BlockRef) -> CartResult<(BufId, Vec<(usize, usize)>)> {
+    Ok(match br.loc {
+        Loc::Send => {
+            let l = &lay.send[br.slot];
+            (BufId::Send, l.ty.resolved_spans(l.disp)?)
+        }
+        Loc::Recv => {
+            let l = &lay.recv[br.slot];
+            (BufId::Recv, l.ty.resolved_spans(l.disp)?)
+        }
+        Loc::Temp => (
+            BufId::Temp,
+            vec![(lay.temp_offsets[br.slot], lay.temp_sizes[br.slot])],
+        ),
+    })
+}
+
+/// A compiled copy may skip staging iff no destination range can alias any
+/// source range. `in_place` treats `Send` and `Recv` as one buffer.
+fn copy_is_direct(src: BufId, dst: BufId, ops: &[(usize, usize, usize)], in_place: bool) -> bool {
+    let same_buffer = src == dst || (in_place && src != BufId::Temp && dst != BufId::Temp);
+    if !same_buffer {
+        return true;
+    }
+    for &(s_off, _, s_len) in ops {
+        for &(_, d_off, d_len) in ops {
+            if s_off < d_off + d_len && d_off < s_off + s_len {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+pub(crate) fn nonperiodic_dim(topo: &CartTopology, offset: &[i64]) -> CartError {
+    let dim = offset
+        .iter()
+        .enumerate()
+        .find(|(k, &c)| c != 0 && !topo.periods()[*k])
+        .map(|(k, _)| k)
+        .unwrap_or(0);
+    CartError::CombiningNeedsTorus { dim }
+}
+
+// ----- execution -----------------------------------------------------------
+
+/// The executor's view of the user buffers. `send` is `None` in in-place
+/// mode, where reads from the send side resolve to `user`.
+struct Mem<'a> {
+    send: Option<&'a [u8]>,
+    user: &'a mut [u8],
+    temp: &'a mut [u8],
+}
+
+impl Mem<'_> {
+    #[inline]
+    fn read(&self, buf: BufId) -> &[u8] {
+        match buf {
+            BufId::Send => self.send.unwrap_or(self.user),
+            BufId::Recv => self.user,
+            BufId::Temp => self.temp,
+        }
+    }
+
+    fn gather(&self, prog: &[WireOp], wire: &mut PooledBuf) {
+        for op in prog {
+            let src = self.read(op.buf);
+            wire.extend_from_slice(&src[op.off..op.off + op.len]);
+        }
+    }
+
+    fn scatter(&mut self, prog: &[WireOp], wire: &[u8]) {
+        let mut pos = 0usize;
+        for op in prog {
+            let dst: &mut [u8] = match op.buf {
+                BufId::Send => unreachable!("plans never write the send buffer"),
+                BufId::Recv => self.user,
+                BufId::Temp => self.temp,
+            };
+            dst[op.off..op.off + op.len].copy_from_slice(&wire[pos..pos + op.len]);
+            pos += op.len;
+        }
+    }
+
+    fn run_copy(&mut self, c: &CompiledCopy, stage: &mut Vec<u8>) {
+        let direct = if self.send.is_none() {
+            c.direct_in_place
+        } else {
+            c.direct_split
+        };
+        if direct {
+            for &(s, d, n) in &c.ops {
+                self.copy_range(c.src, s, c.dst, d, n);
+            }
+        } else {
+            // Gather everything before writing anything (aliasing safety —
+            // the same order the interpreted executor staged through a
+            // pooled buffer).
+            stage.clear();
+            for &(s, _, n) in &c.ops {
+                let src = self.read(c.src);
+                stage.extend_from_slice(&src[s..s + n]);
+            }
+            let mut pos = 0usize;
+            for &(_, d, n) in &c.ops {
+                let dst: &mut [u8] = match c.dst {
+                    BufId::Send => unreachable!("plans never write the send buffer"),
+                    BufId::Recv => self.user,
+                    BufId::Temp => self.temp,
+                };
+                dst[d..d + n].copy_from_slice(&stage[pos..pos + n]);
+                pos += n;
+            }
+        }
+    }
+
+    /// One direct memcpy range (only called when proven alias-free).
+    fn copy_range(&mut self, src: BufId, s: usize, dst: BufId, d: usize, n: usize) {
+        use BufId::*;
+        let in_place = self.send.is_none();
+        match (src, dst) {
+            (Temp, Temp) => self.temp.copy_within(s..s + n, d),
+            (Temp, Recv) => self.user[d..d + n].copy_from_slice(&self.temp[s..s + n]),
+            (Recv, Temp) => self.temp[d..d + n].copy_from_slice(&self.user[s..s + n]),
+            (Send, Temp) => {
+                let from = self.send.unwrap_or(self.user);
+                self.temp[d..d + n].copy_from_slice(&from[s..s + n]);
+            }
+            (Send, Recv) if in_place => self.user.copy_within(s..s + n, d),
+            (Send, Recv) => {
+                self.user[d..d + n].copy_from_slice(&self.send.expect("split mode")[s..s + n])
+            }
+            (Recv, Recv) => self.user.copy_within(s..s + n, d),
+            (_, Send) => unreachable!("plans never write the send buffer"),
+        }
+    }
+}
+
+fn too_small(required: usize, available: usize) -> CartError {
+    CartError::Type(TypeError::BufferTooSmall {
+        required,
+        available,
+    })
+}
+
+/// Execute a compiled plan with separate send and receive buffers. In
+/// steady state (warm pool, sized scratch) this performs no heap
+/// allocation, no coordinate math, and no datatype traversal — every byte
+/// moves through precompiled memcpy ranges.
+pub fn execute_compiled(
+    comm: &Comm,
+    cp: &CompiledPlan,
+    send: &[u8],
+    recv: &mut [u8],
+    scratch: &mut ExecScratch,
+) -> CartResult<()> {
+    if send.len() < cp.send_min_len {
+        return Err(too_small(cp.send_min_len, send.len()));
+    }
+    if recv.len() < cp.recv_min_len {
+        return Err(too_small(cp.recv_min_len, recv.len()));
+    }
+    execute_core(comm, cp, Some(send), recv, scratch)
+}
+
+/// Execute a compiled plan sending and receiving in the same buffer (the
+/// halo-exchange mode). Shares the core loop with [`execute_compiled`].
+pub fn execute_compiled_in_place(
+    comm: &Comm,
+    cp: &CompiledPlan,
+    buf: &mut [u8],
+    scratch: &mut ExecScratch,
+) -> CartResult<()> {
+    let need = cp.send_min_len.max(cp.recv_min_len);
+    if buf.len() < need {
+        return Err(too_small(need, buf.len()));
+    }
+    execute_core(comm, cp, None, buf, scratch)
+}
+
+fn execute_core(
+    comm: &Comm,
+    cp: &CompiledPlan,
+    send: Option<&[u8]>,
+    user: &mut [u8],
+    scratch: &mut ExecScratch,
+) -> CartResult<()> {
+    if scratch.temp.len() < cp.temp_len {
+        scratch.temp.resize(cp.temp_len, 0);
+    }
+    let ExecScratch {
+        temp,
+        stage,
+        sends,
+        results,
+    } = scratch;
+    let mut mem = Mem {
+        send,
+        user,
+        temp: temp.as_mut_slice(),
+    };
+    for phase in &cp.phases {
+        for c in &phase.copies {
+            mem.run_copy(c, stage);
+        }
+        if phase.rounds.is_empty() {
+            continue;
+        }
+        for r in &phase.rounds {
+            let mut wire = comm.wire_buf(r.wire_len);
+            mem.gather(&r.gather, &mut wire);
+            debug_assert_eq!(wire.len(), r.wire_len, "gather fills the wire exactly");
+            sends.push((r.target, r.tag, wire));
+        }
+        comm.exchange_into(sends, &phase.specs, results)?;
+        for (r, slot) in phase.rounds.iter().zip(results.iter_mut()) {
+            let (wire, _status) = slot.take().expect("exchange fills every slot");
+            if wire.len() != r.wire_len {
+                return Err(CartError::BadBufferSize {
+                    what: "incoming round message",
+                    expected: r.wire_len,
+                    actual: wire.len(),
+                });
+            }
+            mem.scatter(&r.scatter, &wire);
+            // `wire` drops here and recycles into this rank's pool.
+        }
+    }
+    Ok(())
+}

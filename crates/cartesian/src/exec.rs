@@ -3,18 +3,25 @@
 //! A [`Plan`] is rank-independent; executing it requires resolving every
 //! [`BlockRef`] to concrete bytes. [`ExecLayouts`] carries the per-block
 //! displacements and committed datatypes of the user's send and receive
-//! buffers (built once per operation, or once per `_init` handle), and
-//! [`execute_plan`] runs the phases: per phase, all outgoing messages are
-//! gathered and posted, all incoming messages are received and scattered —
-//! the `Irecv`/`Isend`/`Waitall` pattern — with exactly one gather per send
-//! and one scatter per receive and no intermediate packing.
+//! buffers (built once per operation, or once per `_init` handle).
+//!
+//! Execution itself lives in [`crate::compile`]: layouts + plan compile
+//! into a rank-resolved [`CompiledPlan`](crate::compile::CompiledPlan)
+//! whose span programs move bytes with plain memcpys. [`execute_plan`] and
+//! [`execute_plan_in_place`] are convenience wrappers that compile and run
+//! in one shot; hot paths (persistent handles, the communicator's plan
+//! cache) compile once and call
+//! [`execute_compiled`](crate::compile::execute_compiled) repeatedly.
 
-use cartcomm_comm::{Comm, PooledBuf, RecvSpec, Tag};
+use std::hash::{Hash, Hasher};
+
+use cartcomm_comm::{Comm, Tag};
 use cartcomm_topo::CartTopology;
 use cartcomm_types::{gather_append, scatter, FlatType};
 
-use crate::error::{CartError, CartResult};
-use crate::plan::{BlockRef, Loc, Plan};
+use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
+use crate::error::CartResult;
+use crate::plan::{BlockRef, Loc, Plan, PlanKind};
 
 /// Tag space reserved for Cartesian collective rounds. User point-to-point
 /// traffic on the same communicator must avoid `CART_TAG_BASE ..
@@ -134,18 +141,46 @@ impl ExecLayouts {
         Ok(())
     }
 
-    /// The wire size of the block a [`BlockRef`] denotes, given its
-    /// neighbor-index `block_id`.
-    fn block_size(&self, block_id: usize) -> usize {
-        self.block_bytes[block_id]
+    /// A fingerprint of the layouts (and intended plan kind) for the
+    /// communicator's compiled-plan cache. Two independently seeded 64-bit
+    /// hashes over the structural content — displacements, span lists,
+    /// block and temp sizing — make accidental collisions negligible.
+    pub fn fingerprint(&self, kind: PlanKind) -> u128 {
+        let lo = self.hash_with(kind, 0x9E37_79B9_7F4A_7C15);
+        let hi = self.hash_with(kind, 0xC2B2_AE3D_27D4_EB4F);
+        ((hi as u128) << 64) | lo as u128
+    }
+
+    fn hash_with(&self, kind: PlanKind, seed: u64) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        seed.hash(&mut h);
+        kind.hash(&mut h);
+        for (group, blocks) in [(0u8, &self.send), (1u8, &self.recv)] {
+            group.hash(&mut h);
+            blocks.len().hash(&mut h);
+            for b in blocks {
+                b.disp.hash(&mut h);
+                for s in b.ty.spans() {
+                    s.offset.hash(&mut h);
+                    s.len.hash(&mut h);
+                }
+                u64::MAX.hash(&mut h); // span-list terminator
+            }
+        }
+        self.block_bytes.hash(&mut h);
+        self.temp_sizes.hash(&mut h);
+        h.finish()
     }
 }
 
-/// Execute a schedule for the calling `rank`. `temp` must hold at least
-/// [`ExecLayouts::temp_len`] bytes; `tag_base` distinguishes concurrent
-/// collectives (rounds use `tag_base + round_index`, identical on all ranks
-/// because plans are identical).
-#[allow(clippy::too_many_arguments)]
+/// Execute a schedule for the calling `rank` by compiling it and running
+/// the compiled program once. `lay` must carry temp-slot sizing; `tag_base`
+/// distinguishes concurrent collectives (rounds use `tag_base +
+/// round_index`, identical on all ranks because plans are identical).
+///
+/// One-shot convenience: repeated executions should compile once (a
+/// persistent handle or [`crate::CartComm::compiled_plan`]) and call
+/// [`execute_compiled`] directly.
 pub fn execute_plan(
     comm: &Comm,
     topo: &CartTopology,
@@ -153,162 +188,30 @@ pub fn execute_plan(
     lay: &ExecLayouts,
     sendbuf: &[u8],
     recvbuf: &mut [u8],
-    temp: &mut [u8],
     tag_base: Tag,
 ) -> CartResult<()> {
-    let rank = comm.rank();
-    let mut round_idx: Tag = 0;
-    // One pooled scratch buffer serves every local copy of the whole
-    // execution (acquired lazily — plans without self blocks touch no
-    // scratch at all — cleared between uses, never reallocated once grown).
-    let mut copy_buf: Option<PooledBuf> = None;
-    for phase in &plan.phases {
-        // Local copies become valid at the start of their phase.
-        for copy in &phase.copies {
-            let buf = copy_buf.get_or_insert_with(|| comm.wire_buf(0));
-            buf.clear();
-            lay.gather_block(copy.from, sendbuf, recvbuf, temp, buf)?;
-            lay.scatter_block(copy.to, buf, recvbuf, temp)?;
-        }
-        if phase.rounds.is_empty() {
-            continue;
-        }
-        // Gather and post all sends of the phase, then complete all
-        // receives (Listing 5's Irecv/Isend/Waitall with eager sends).
-        // Wire buffers come from the rank's pool: after the first
-        // iteration of a repeated collective the pool is warm and no round
-        // allocates.
-        let mut sends = Vec::with_capacity(phase.rounds.len());
-        let mut specs = Vec::with_capacity(phase.rounds.len());
-        for round in &phase.rounds {
-            let target = topo
-                .rank_of_offset(rank, &round.offset)?
-                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
-            let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
-            let source = topo
-                .rank_of_offset(rank, &neg)?
-                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
-            let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
-            let mut wire = comm.wire_buf(total);
-            for (j, _) in round.block_ids.iter().enumerate() {
-                lay.gather_block(round.sends[j], sendbuf, recvbuf, temp, &mut wire)?;
-            }
-            debug_assert_eq!(wire.len(), total, "gathered bytes match block sizes");
-            let tag = tag_base + round_idx;
-            round_idx += 1;
-            sends.push((target, tag, wire));
-            specs.push(RecvSpec::from_rank(source, tag));
-        }
-        let results = comm.exchange_pooled(sends, &specs)?;
-        for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
-            let mut pos = 0usize;
-            for (j, &b) in round.block_ids.iter().enumerate() {
-                let n = lay.block_size(b);
-                if pos + n > wire.len() {
-                    return Err(CartError::BadBufferSize {
-                        what: "incoming round message",
-                        expected: pos + n,
-                        actual: wire.len(),
-                    });
-                }
-                lay.scatter_block(round.recvs[j], &wire[pos..pos + n], recvbuf, temp)?;
-                pos += n;
-            }
-            if pos != wire.len() {
-                return Err(CartError::BadBufferSize {
-                    what: "incoming round message",
-                    expected: pos,
-                    actual: wire.len(),
-                });
-            }
-        }
-    }
-    Ok(())
+    let cp = CompiledPlan::compile(topo, comm.rank(), plan, lay, tag_base)?;
+    let mut scratch = ExecScratch::for_plan(&cp);
+    execute_compiled(comm, &cp, sendbuf, recvbuf, &mut scratch)
 }
 
 /// Like [`execute_plan`] but sending and receiving in the *same* buffer —
 /// the natural mode for halo exchanges where the send slabs (interior) and
 /// receive regions (halo) are disjoint parts of one tile. Safe even with
-/// overlapping layouts because each phase gathers all outgoing bytes
-/// before scattering any incoming ones.
-#[allow(clippy::too_many_arguments)]
+/// overlapping layouts because copies and phases gather all outgoing bytes
+/// before scattering any incoming ones (the compiled core shares one loop
+/// with the buffered path, so the two modes cannot drift).
 pub fn execute_plan_in_place(
     comm: &Comm,
     topo: &CartTopology,
     plan: &Plan,
     lay: &ExecLayouts,
     buf: &mut [u8],
-    temp: &mut [u8],
     tag_base: Tag,
 ) -> CartResult<()> {
-    let rank = comm.rank();
-    let mut round_idx: Tag = 0;
-    let mut copy_buf: Option<PooledBuf> = None;
-    for phase in &plan.phases {
-        for copy in &phase.copies {
-            let cb = copy_buf.get_or_insert_with(|| comm.wire_buf(0));
-            cb.clear();
-            lay.gather_block(copy.from, buf, buf, temp, cb)?;
-            lay.scatter_block(copy.to, cb, buf, temp)?;
-        }
-        if phase.rounds.is_empty() {
-            continue;
-        }
-        let mut sends = Vec::with_capacity(phase.rounds.len());
-        let mut specs = Vec::with_capacity(phase.rounds.len());
-        for round in &phase.rounds {
-            let target = topo
-                .rank_of_offset(rank, &round.offset)?
-                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
-            let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
-            let source = topo
-                .rank_of_offset(rank, &neg)?
-                .ok_or_else(|| nonperiodic_dim(topo, &round.offset))?;
-            let total: usize = round.block_ids.iter().map(|&b| lay.block_size(b)).sum();
-            let mut wire = comm.wire_buf(total);
-            for (j, _) in round.block_ids.iter().enumerate() {
-                lay.gather_block(round.sends[j], buf, buf, temp, &mut wire)?;
-            }
-            let tag = tag_base + round_idx;
-            round_idx += 1;
-            sends.push((target, tag, wire));
-            specs.push(RecvSpec::from_rank(source, tag));
-        }
-        let results = comm.exchange_pooled(sends, &specs)?;
-        for (round, (wire, _status)) in phase.rounds.iter().zip(results) {
-            let mut pos = 0usize;
-            for (j, &b) in round.block_ids.iter().enumerate() {
-                let n = lay.block_size(b);
-                if pos + n > wire.len() {
-                    return Err(CartError::BadBufferSize {
-                        what: "incoming round message",
-                        expected: pos + n,
-                        actual: wire.len(),
-                    });
-                }
-                lay.scatter_block(round.recvs[j], &wire[pos..pos + n], buf, temp)?;
-                pos += n;
-            }
-            if pos != wire.len() {
-                return Err(CartError::BadBufferSize {
-                    what: "incoming round message",
-                    expected: pos,
-                    actual: wire.len(),
-                });
-            }
-        }
-    }
-    Ok(())
-}
-
-fn nonperiodic_dim(topo: &CartTopology, offset: &[i64]) -> CartError {
-    let dim = offset
-        .iter()
-        .enumerate()
-        .find(|(k, &c)| c != 0 && !topo.periods()[*k])
-        .map(|(k, _)| k)
-        .unwrap_or(0);
-    CartError::CombiningNeedsTorus { dim }
+    let cp = CompiledPlan::compile(topo, comm.rank(), plan, lay, tag_base)?;
+    let mut scratch = ExecScratch::for_plan(&cp);
+    execute_compiled_in_place(comm, &cp, buf, &mut scratch)
 }
 
 #[cfg(test)]

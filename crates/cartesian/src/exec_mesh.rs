@@ -59,22 +59,11 @@ pub fn execute_alltoall_mesh(
     let coords = topo.coords_of(rank);
     let d = topo.ndims();
 
-    // A block is live for this process at a given stage iff its origin
-    // (for the partially-traveled offset) and its final target exist.
-    // `mask_upto` = number of leading dimensions already traveled.
-    let live = |i: usize, mask_upto: usize| -> CartResult<bool> {
-        let off = nb.offset(i);
-        let mut partial = vec![0i64; d];
-        partial[..mask_upto].copy_from_slice(&off[..mask_upto]);
-        // origin = r - partial
-        let neg: Vec<i64> = partial.iter().map(|&c| -c).collect();
-        let origin = match topo.offset_coords(&coords, &neg)? {
-            Some(c) => c,
-            None => return Ok(false),
-        };
-        // final target = origin + N[i]
-        Ok(topo.offset_coords(&origin, off)?.is_some())
-    };
+    // Hoisted scratch: one negated-partial-offset buffer serves every
+    // liveness query, and one negated-offset buffer every round's source
+    // lookup — no per-round or per-block Vec allocation in the loop.
+    let mut partial_neg = vec![0i64; d];
+    let mut neg = vec![0i64; d];
 
     // Current storage location of each block's copy at this process:
     // starts in the send buffer, stages in temp between hops, ends in the
@@ -110,15 +99,19 @@ pub fn execute_alltoall_mesh(
             let tag = tag_base + round_idx;
             round_idx += 1;
             let target = topo.rank_of_offset(rank, &round.offset)?;
-            let neg: Vec<i64> = round.offset.iter().map(|&c| -c).collect();
+            for (n, &c) in neg.iter_mut().zip(round.offset.iter()) {
+                *n = -c;
+            }
             let source = topo.rank_of_offset(rank, &neg)?;
 
             if let Some(dst) = target {
-                // blocks this process still carries into this round
+                // blocks this process still carries into this round: live
+                // iff the origin of the partially-traveled offset and the
+                // final target both exist (k leading dims traveled).
                 let mut wire = comm.wire_buf(0);
                 let mut any = false;
                 for &b in round.block_ids.iter() {
-                    if live(b, k)? {
+                    if live_masked(topo, nb, &coords, b, k, &mut partial_neg)? {
                         lay.gather_block(loc_of[b], sendbuf, recvbuf, temp, &mut wire)?;
                         any = true;
                     }
@@ -132,7 +125,7 @@ pub fn execute_alltoall_mesh(
                 // masked: the arriving copies have traveled dim k too)
                 let mut expect = Vec::new();
                 for &b in round.block_ids.iter() {
-                    if live_after(topo, nb, &coords, b, k)? {
+                    if live_masked(topo, nb, &coords, b, (k + 1).min(d), &mut partial_neg)? {
                         expect.push(b);
                     }
                 }
@@ -178,21 +171,25 @@ pub fn execute_alltoall_mesh(
     Ok(())
 }
 
-/// Liveness of block `i` at this process *after* completing its hop in
-/// dimension `k` (i.e. for the receive side of a phase-`k` round).
-fn live_after(
+/// Liveness of block `i` at this process with its first `masked`
+/// dimensions already traveled: the origin `r − N[i]│₍<masked₎` and the
+/// final target `origin + N[i]` must both exist. The send side of a
+/// phase-`k` round uses `masked = k`, the receive side `masked = k + 1`.
+/// `partial_neg` is caller-provided scratch (negated partial offset),
+/// reused across every query.
+fn live_masked(
     topo: &CartTopology,
     nb: &RelNeighborhood,
     coords: &[usize],
     i: usize,
-    k: usize,
+    masked: usize,
+    partial_neg: &mut [i64],
 ) -> CartResult<bool> {
-    let d = topo.ndims();
     let off = nb.offset(i);
-    let mut partial = vec![0i64; d];
-    partial[..=k.min(d - 1)].copy_from_slice(&off[..=k.min(d - 1)]);
-    let neg: Vec<i64> = partial.iter().map(|&c| -c).collect();
-    let origin = match topo.offset_coords(coords, &neg)? {
+    for (k, slot) in partial_neg.iter_mut().enumerate() {
+        *slot = if k < masked { -off[k] } else { 0 };
+    }
+    let origin = match topo.offset_coords(coords, partial_neg)? {
         Some(c) => c,
         None => return Ok(false),
     };

@@ -175,6 +175,17 @@ impl HaloExchange {
         2 * self.phases.len()
     }
 
+    /// Total compiled communication rounds across the `d` phase handles —
+    /// each phase compiles its two-neighbor schedule at `new` time, so
+    /// every `exchange` runs precompiled span programs. Equals
+    /// [`HaloExchange::messages_per_exchange`] by construction.
+    pub fn compiled_rounds(&self) -> usize {
+        self.phases
+            .iter()
+            .map(|(_, h)| h.compiled().map_or(0, |cp| cp.rounds()))
+            .sum()
+    }
+
     /// Number of dimensions.
     pub fn ndims(&self) -> usize {
         self.phases.len()

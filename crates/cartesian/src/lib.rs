@@ -20,6 +20,11 @@
 //!   send-receive rounds over block references that alternate between the
 //!   user receive buffer and a temporary buffer (zero-copy execution,
 //!   Listing 5).
+//! * [`compile`] — the compile stage between planning and execution:
+//!   [`CompiledPlan`] resolves a schedule for one rank (peers, tags, wire
+//!   sizes, flattened memcpy span programs) so repeated executes pay no
+//!   coordinate math, datatype traversal, or allocation; persistent
+//!   handles and the communicator's plan cache run these programs.
 //! * [`schedule::alltoall`] — Algorithm 1: the message-combining alltoall
 //!   schedule (`C = Σ C_k` rounds, volume `V = Σ z_i`, Prop. 3.2).
 //! * [`schedule::allgather`] — Algorithm 2: the message-combining allgather
@@ -58,6 +63,7 @@
 //! ```
 
 pub mod cartcomm;
+pub mod compile;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -70,6 +76,7 @@ pub mod reduce;
 pub mod schedule;
 
 pub use crate::cartcomm::CartComm;
+pub use compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
 pub use cost::{cutoff_ratio, CostSummary};
 pub use error::{CartError, CartResult};
 pub use plan::{BlockRef, Loc, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};

@@ -5,8 +5,9 @@ use cartcomm_comm::{RecvSpec, Tag};
 use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
 
 use crate::cartcomm::CartComm;
+use crate::compile::{execute_compiled, ExecScratch};
 use crate::error::CartResult;
-use crate::exec::{execute_plan, ExecLayouts, CART_TAG_BASE};
+use crate::exec::{ExecLayouts, CART_TAG_BASE};
 use crate::ops::{check_combining, size_temp, v_layouts, w_layouts, WBlock};
 use crate::plan::PlanKind;
 
@@ -130,19 +131,11 @@ impl CartComm {
         recv: &mut [u8],
     ) -> CartResult<()> {
         if check_combining(self).is_ok() {
-            let plan = self.allgather_schedule();
-            let lay = size_temp(lay, PlanKind::Allgather, plan.temp_slots)?;
-            let mut temp = vec![0u8; lay.temp_len()];
-            execute_plan(
-                self.comm(),
-                self.topology(),
-                &plan,
-                &lay,
-                send,
-                recv,
-                &mut temp,
-                CART_TAG_BASE,
-            )
+            // Torus: run the compiled routing-tree program (cached across
+            // repeated calls with the same neighborhood and layouts).
+            let cp = self.compiled_plan(PlanKind::Allgather, lay)?;
+            let mut scratch = ExecScratch::for_plan(&cp);
+            execute_compiled(self.comm(), &cp, send, recv, &mut scratch)
         } else {
             // Non-periodic mesh: the allgather routing tree assumes every
             // forwarder exists, which boundary processes violate. Fall

@@ -5,8 +5,9 @@ use cartcomm_comm::{RecvSpec, Tag};
 use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
 
 use crate::cartcomm::CartComm;
+use crate::compile::{execute_compiled, ExecScratch};
 use crate::error::{CartError, CartResult};
-use crate::exec::{execute_plan, ExecLayouts, CART_TAG_BASE};
+use crate::exec::{ExecLayouts, CART_TAG_BASE};
 use crate::ops::{
     check_buffer, check_combining, regular_layouts, size_temp, v_layouts, w_layouts, WBlock,
 };
@@ -158,23 +159,18 @@ impl CartComm {
         send: &[u8],
         recv: &mut [u8],
     ) -> CartResult<()> {
-        let plan = self.alltoall_schedule();
-        let lay = size_temp(lay, PlanKind::Alltoall, plan.temp_slots)?;
-        let mut temp = vec![0u8; lay.temp_len()];
         if check_combining(self).is_ok() {
-            execute_plan(
-                self.comm(),
-                self.topology(),
-                &plan,
-                &lay,
-                send,
-                recv,
-                &mut temp,
-                CART_TAG_BASE,
-            )
+            // Torus: run the compiled program (cached across repeated
+            // calls with the same neighborhood and layouts).
+            let cp = self.compiled_plan(PlanKind::Alltoall, lay)?;
+            let mut scratch = ExecScratch::for_plan(&cp);
+            execute_compiled(self.comm(), &cp, send, recv, &mut scratch)
         } else {
             // Non-periodic mesh: same schedule with per-rank live-block
-            // filtering at the boundaries (see `exec_mesh`).
+            // filtering at the boundaries (see `exec_mesh`), interpreted.
+            let plan = self.alltoall_schedule();
+            let lay = size_temp(lay, PlanKind::Alltoall, plan.temp_slots)?;
+            let mut temp = vec![0u8; lay.temp_len()];
             crate::exec_mesh::execute_alltoall_mesh(
                 self.comm(),
                 self.topology(),

@@ -14,9 +14,10 @@ use cartcomm_comm::WirePool;
 use cartcomm_types::{cast_slice, cast_slice_mut, Pod};
 
 use crate::cartcomm::CartComm;
+use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
 use crate::error::CartResult;
-use crate::exec::{execute_plan, ExecLayouts, CART_TAG_BASE};
-use crate::ops::{size_temp, v_layouts, w_layouts, WBlock};
+use crate::exec::ExecLayouts;
+use crate::ops::{v_layouts, w_layouts, WBlock};
 use crate::plan::{Plan, PlanKind};
 
 /// Which algorithm a persistent handle executes.
@@ -36,10 +37,16 @@ pub enum Algorithm {
 }
 
 /// A precomputed persistent collective (the paper's `Cart_*_init` result).
+///
+/// When the combining schedule is selected, `_init` compiles it into a
+/// [`CompiledPlan`] (through the communicator's shared plan cache) and
+/// keeps an [`ExecScratch`], so every `execute` runs the precompiled span
+/// programs with zero allocation, coordinate math, or datatype traversal.
 pub struct PersistentCollective {
     plan: Arc<Plan>,
     lay: ExecLayouts,
-    temp: Vec<u8>,
+    compiled: Option<Arc<CompiledPlan>>,
+    scratch: ExecScratch,
     use_combining: bool,
 }
 
@@ -74,15 +81,21 @@ impl PersistentCollective {
                 }
             }
         };
-        if use_combining {
+        let (compiled, scratch) = if use_combining {
             crate::ops::check_combining(cart)?;
-        }
-        let lay = size_temp(lay, kind, plan.temp_slots)?;
-        let temp = vec![0u8; lay.temp_len()];
+            // Compile at init through the communicator's shared plan cache
+            // (Listing 3 semantics: pay schedule + compilation once).
+            let cp = cart.compiled_plan(kind, lay.clone())?;
+            let scratch = ExecScratch::for_plan(&cp);
+            (Some(cp), scratch)
+        } else {
+            (None, ExecScratch::default())
+        };
         let handle = PersistentCollective {
             plan,
             lay,
-            temp,
+            compiled,
+            scratch,
             use_combining,
         };
         handle.prime_pool(cart);
@@ -90,38 +103,23 @@ impl PersistentCollective {
     }
 
     /// Pre-warm this rank's wire-buffer pool with one buffer per wire
-    /// message the resolved algorithm sends, sized from the plan. The
+    /// message the resolved algorithm sends, sized from the compiled
+    /// program (combining) or the per-neighbor blocks (trivial). The
     /// first `execute` then already runs at a 100% pool hit rate, and
     /// steady-state iterations allocate nothing: received buffers recycle
     /// into the pool and are re-acquired for the next round's sends.
     fn prime_pool(&self, cart: &CartComm) {
-        let mut caps: Vec<usize> = Vec::new();
-        if self.use_combining {
-            for phase in &self.plan.phases {
-                for round in &phase.rounds {
-                    caps.push(
-                        round
-                            .block_ids
-                            .iter()
-                            .map(|&b| self.lay.block_bytes[b])
-                            .sum(),
-                    );
-                }
-            }
-            if self.plan.phases.iter().any(|p| !p.copies.is_empty()) {
-                // scratch buffer for local copies (grows to the largest block)
-                caps.push(self.lay.block_bytes.iter().copied().max().unwrap_or(0));
-            }
-        } else {
+        let caps: Vec<usize> = match &self.compiled {
+            Some(cp) => cp.wire_capacities(),
             // Trivial algorithm: one wire per neighbor, sized per block.
-            match self.plan.kind {
-                PlanKind::Alltoall => caps.extend(self.lay.send.iter().map(|l| l.size())),
+            None => match self.plan.kind {
+                PlanKind::Alltoall => self.lay.send.iter().map(|l| l.size()).collect(),
                 PlanKind::Allgather => {
                     let m = self.lay.send.first().map_or(0, |l| l.size());
-                    caps.extend(std::iter::repeat_n(m, self.plan.t));
+                    std::iter::repeat_n(m, self.plan.t).collect()
                 }
-            }
-        }
+            },
+        };
         WirePool::prewarm(cart.comm().wire_pool(), &caps);
     }
 
@@ -135,19 +133,15 @@ impl PersistentCollective {
         &self.plan
     }
 
+    /// The compiled program, when the combining schedule was selected.
+    pub fn compiled(&self) -> Option<&CompiledPlan> {
+        self.compiled.as_deref()
+    }
+
     /// Execute over raw byte buffers (layouts fixed at init time).
     pub fn execute(&mut self, cart: &CartComm, send: &[u8], recv: &mut [u8]) -> CartResult<()> {
-        if self.use_combining {
-            execute_plan(
-                cart.comm(),
-                cart.topology(),
-                &self.plan,
-                &self.lay,
-                send,
-                recv,
-                &mut self.temp,
-                CART_TAG_BASE,
-            )
+        if let Some(cp) = &self.compiled {
+            execute_compiled(cart.comm(), cp, send, recv, &mut self.scratch)
         } else {
             match self.plan.kind {
                 PlanKind::Alltoall => cart.run_trivial_alltoall(&self.lay, send, recv),
@@ -157,20 +151,12 @@ impl PersistentCollective {
     }
 
     /// Execute sending and receiving in the same buffer (halo-exchange
-    /// mode: interior slabs out, halo regions in). Only available for the
-    /// combining schedule; phase-wise gather-before-scatter makes the
-    /// aliasing safe.
+    /// mode: interior slabs out, halo regions in). The compiled core
+    /// gathers all outgoing bytes of a copy or phase before scattering
+    /// incoming ones, making the aliasing safe.
     pub fn execute_in_place(&mut self, cart: &CartComm, buf: &mut [u8]) -> CartResult<()> {
-        if self.use_combining {
-            crate::exec::execute_plan_in_place(
-                cart.comm(),
-                cart.topology(),
-                &self.plan,
-                &self.lay,
-                buf,
-                &mut self.temp,
-                CART_TAG_BASE,
-            )
+        if let Some(cp) = &self.compiled {
+            execute_compiled_in_place(cart.comm(), cp, buf, &mut self.scratch)
         } else {
             // The trivial path interleaves sends and receives round by
             // round; snapshot the buffer to keep in-place semantics exact.

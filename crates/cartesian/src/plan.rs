@@ -7,7 +7,8 @@
 //! The executor instantiates it for a concrete rank by resolving each
 //! round's offset to `(send rank, receive rank)` with the relative shift of
 //! Listing 2, and each [`BlockRef`] to a `(buffer, displacement, datatype)`
-//! triple.
+//! triple. That instantiation is performed once by
+//! [`crate::compile::CompiledPlan`] and the result executed repeatedly.
 
 use cartcomm_topo::Offset;
 
@@ -81,7 +82,8 @@ pub struct PlanPhase {
 }
 
 /// Which collective a plan implements (affects how block sizes resolve).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// `Hash` feeds the communicator's compiled-plan cache fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanKind {
     /// Personalized blocks: send slot `i` and receive slot `i` hold block
     /// `i`'s bytes; temp slot `i` matches block `i`'s size.

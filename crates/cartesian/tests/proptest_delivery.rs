@@ -1,17 +1,22 @@
-//! Whole-universe delivery properties of the combining schedules, checked
-//! statically — no threads, no `Universe`.
+//! Whole-universe delivery properties of the combining schedules.
 //!
-//! For random topologies (d ∈ 1..=4, mixed periodic/non-periodic dims) and
-//! random isomorphic neighborhoods, the plan is *simulated* across every
-//! rank simultaneously: each phase gathers all outgoing messages from the
-//! pre-phase state (matching the executor's gather-before-scatter order),
-//! routes them through `CartTopology::rank_of_offset` (with wraparound in
-//! periodic dims), and scatters them. The properties of Props 3.2/3.3:
+//! The first group checks the *plans* statically — no threads, no
+//! `Universe`. For random topologies (d ∈ 1..=4, mixed
+//! periodic/non-periodic dims) and random isomorphic neighborhoods, the
+//! plan is *simulated* across every rank simultaneously: each phase
+//! gathers all outgoing messages from the pre-phase state (matching the
+//! executor's gather-before-scatter order), routes them through
+//! `CartTopology::rank_of_offset` (with wraparound in periodic dims), and
+//! scatters them. The properties of Props 3.2/3.3:
 //!
 //! * every block is delivered to its final receive slot **exactly once**;
 //! * `plan.rounds == Σ C_k` and (alltoall) `plan.volume_blocks == Σ z_i`;
 //! * the final state is correct on every rank: `Recv[i]` holds the block
 //!   that rank `r − N[i]` addressed to its neighbor `i`.
+//!
+//! The last group checks the *executors* at runtime: on random all-periodic
+//! universes the compiled span-program executor must be byte-identical to
+//! both the interpreted round-by-round executor and the trivial algorithm.
 
 // Rank loops below index `states` AND route through the topology by rank;
 // enumerate() would split the borrow awkwardly.
@@ -19,8 +24,11 @@
 
 use std::collections::HashMap;
 
+use cartcomm::exec::{BlockLayout, ExecLayouts};
+use cartcomm::exec_mesh::execute_alltoall_mesh;
 use cartcomm::schedule::{allgather_plan, alltoall_plan};
-use cartcomm::{Loc, Plan};
+use cartcomm::{CartComm, Loc, Plan};
+use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
 use proptest::prelude::*;
 
@@ -238,5 +246,88 @@ proptest! {
         // Every (contributor, slot) pair accounted for exactly once.
         prop_assert_eq!(delivered.len(), p * nb.len());
         prop_assert!(delivered.values().all(|&n| n == 1));
+    }
+}
+
+/// Random small all-periodic universe for runtime executor comparison:
+/// d ∈ 1..=3, 2–3 processes per dimension (≤ 27 threads), 1–5 offsets,
+/// 1–4 bytes per block.
+fn arb_runtime_universe() -> impl Strategy<Value = (Vec<usize>, RelNeighborhood, usize)> {
+    (1usize..=3).prop_flat_map(|d| {
+        (
+            proptest::collection::vec(2usize..4, d..=d),
+            proptest::collection::vec(proptest::collection::vec(-2i64..3, d..=d), 1..6),
+            1usize..5,
+        )
+            .prop_map(move |(dims, offsets, m)| {
+                let nb = RelNeighborhood::new(d, offsets).expect("valid neighborhood");
+                (dims, nb, m)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        max_shrink_iters: 32,
+        .. ProptestConfig::default()
+    })]
+
+    /// The compiled span-program executor is byte-identical to both
+    /// interpreted references on random isomorphic neighborhoods: the
+    /// round-by-round interpreted executor (`execute_alltoall_mesh`, which
+    /// on a full torus performs exactly the plan's gathers, exchanges, and
+    /// scatters) and the trivial t-round algorithm.
+    #[test]
+    fn compiled_alltoall_matches_interpreted_executors(u in arb_runtime_universe()) {
+        let (dims, nb, m) = u;
+        let t = nb.len();
+        let p: usize = dims.iter().product();
+        let periods = vec![true; dims.len()];
+        let results = Universe::run(p, |comm| {
+            let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<u8> = (0..t * m)
+                .map(|x| (rank.wrapping_mul(37) ^ x.wrapping_mul(11)) as u8)
+                .collect();
+            // Compiled path (through the communicator's plan cache).
+            let mut compiled = vec![0u8; t * m];
+            cart.alltoall::<u8>(&send, &mut compiled).unwrap();
+            // Trivial reference.
+            let mut trivial = vec![0u8; t * m];
+            cart.alltoall_trivial::<u8>(&send, &mut trivial).unwrap();
+            // Interpreted plan executor over the same layouts.
+            let plan = cart.alltoall_schedule();
+            let blocks: Vec<BlockLayout> = (0..t)
+                .map(|i| BlockLayout::contiguous((i * m) as i64, m))
+                .collect();
+            let lay = ExecLayouts {
+                send: blocks.clone(),
+                recv: blocks,
+                block_bytes: vec![m; t],
+                temp_offsets: Vec::new(),
+                temp_sizes: Vec::new(),
+            }
+            .with_temp_sizes(vec![m; plan.temp_slots]);
+            let mut temp = vec![0u8; lay.temp_len()];
+            let mut interpreted = vec![0u8; t * m];
+            execute_alltoall_mesh(
+                cart.comm(),
+                cart.topology(),
+                cart.neighborhood(),
+                &plan,
+                &lay,
+                &send,
+                &mut interpreted,
+                &mut temp,
+                0x7D00_0000,
+            )
+            .unwrap();
+            (compiled, trivial, interpreted)
+        });
+        for (rank, (compiled, trivial, interpreted)) in results.into_iter().enumerate() {
+            prop_assert_eq!(&compiled, &trivial, "compiled vs trivial at rank {}", rank);
+            prop_assert_eq!(&compiled, &interpreted, "compiled vs interpreted at rank {}", rank);
+        }
     }
 }

@@ -423,14 +423,34 @@ impl Comm {
 
     fn exchange_core(
         &self,
-        sends: Vec<(usize, Tag, PooledBuf)>,
+        mut sends: Vec<(usize, Tag, PooledBuf)>,
         recvs: &[RecvSpec],
     ) -> CommResult<Vec<(PooledBuf, Status)>> {
-        for &(dst, _, _) in &sends {
+        let mut results = Vec::new();
+        self.exchange_into(&mut sends, recvs, &mut results)?;
+        Ok(results
+            .into_iter()
+            .map(|r| r.expect("all slots filled"))
+            .collect())
+    }
+
+    /// Allocation-free form of [`Comm::exchange_pooled`] for steady-state
+    /// schedule execution: `sends` is drained (its capacity is kept for the
+    /// next phase) and `results` is cleared and refilled in slot order, one
+    /// `Some` per [`RecvSpec`]. Reusing both vectors across executes means
+    /// a warm phase exchange touches no allocator at all — wire payloads
+    /// already travel as pooled buffers.
+    pub fn exchange_into(
+        &self,
+        sends: &mut Vec<(usize, Tag, PooledBuf)>,
+        recvs: &[RecvSpec],
+        results: &mut Vec<Option<(PooledBuf, Status)>>,
+    ) -> CommResult<()> {
+        for &(dst, _, _) in sends.iter() {
             self.check_rank(dst)?;
         }
         // Issue all sends eagerly (Isend with buffered completion).
-        for (dst, tag, data) in sends {
+        for (dst, tag, data) in sends.drain(..) {
             self.fabric.deposit(
                 dst,
                 Envelope {
@@ -443,8 +463,8 @@ impl Comm {
         }
         // Complete receives with FIFO slot matching: an incoming message
         // goes to the earliest-posted open slot it satisfies.
-        let mut results: Vec<Option<(PooledBuf, Status)>> =
-            (0..recvs.len()).map(|_| None).collect();
+        results.clear();
+        results.resize_with(recvs.len(), || None);
         let mut open = recvs.len();
 
         fn find_slot(
@@ -465,7 +485,7 @@ impl Comm {
         // Drain already-arrived messages first, in arrival order.
         let mut i = 0;
         while i < pending.len() && open > 0 {
-            if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, &results) {
+            if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, results) {
                 let env = pending.remove(i).expect("index in range");
                 let status = Status {
                     src: env.src,
@@ -482,7 +502,7 @@ impl Comm {
             let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
                 peer: "fabric".into(),
             })?;
-            if let Some(slot) = find_slot(self.ctx, &env, recvs, &results) {
+            if let Some(slot) = find_slot(self.ctx, &env, recvs, results) {
                 let status = Status {
                     src: env.src,
                     tag: env.tag,
@@ -495,10 +515,6 @@ impl Comm {
             }
         }
         drop(pending);
-
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect())
+        Ok(())
     }
 }

@@ -160,6 +160,24 @@ impl FlatType {
         Ok(())
     }
 
+    /// Resolve the span list against a concrete byte displacement, yielding
+    /// absolute `(offset, len)` byte ranges ready for direct `memcpy` —
+    /// the span-extraction step of schedule compilation. Fails with
+    /// [`TypeError::NegativeDisplacement`] if any span would start before
+    /// the buffer base; bounds against a concrete buffer length are the
+    /// caller's job (checked once per execute, not per span).
+    pub fn resolved_spans(&self, disp: i64) -> TypeResult<Vec<(usize, usize)>> {
+        let mut out = Vec::with_capacity(self.spans.len());
+        for s in &self.spans {
+            let start = disp + s.offset;
+            if start < 0 {
+                return Err(TypeError::NegativeDisplacement { offset: start });
+            }
+            out.push((start as usize, s.len));
+        }
+        Ok(out)
+    }
+
     /// Verify that no two spans overlap (required of receive-side layouts).
     /// O(n log n).
     pub fn check_no_overlap(&self) -> TypeResult<()> {
