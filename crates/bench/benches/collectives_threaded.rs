@@ -7,9 +7,9 @@
 //! paper: combining (4 rounds) beats trivial/direct (8 rounds).
 
 use cartcomm::neighbor::DistGraphComm;
-use cartcomm::ops::persistent::Algorithm;
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
-use cartcomm_comm::{RecvSpec, Universe};
+use cartcomm_comm::{ExchangeBatch, ExchangeOpts, RecvSpec, Universe};
 use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::{Duration, Instant};
@@ -31,8 +31,8 @@ fn run_collective(variant: &'static str, m: usize, iters: u64) -> Duration {
         let start = Instant::now();
         for _ in 0..iters {
             match variant {
-                "combining" => cart.alltoall(&send, &mut recv).unwrap(),
-                "trivial" => cart.alltoall_trivial(&send, &mut recv).unwrap(),
+                "combining" => cart.alltoall(&send, &mut recv, Algo::Combining).unwrap(),
+                "trivial" => cart.alltoall(&send, &mut recv, Algo::Trivial).unwrap(),
                 "neighbor" => g.neighbor_alltoall(&send, &mut recv).unwrap(),
                 _ => unreachable!(),
             }
@@ -73,9 +73,9 @@ fn run_persistent(variant: &'static str, m: usize, iters: u64) -> Duration {
         match variant {
             "pooled_trivial" | "pooled_combining" => {
                 let algo = if variant == "pooled_trivial" {
-                    Algorithm::Trivial
+                    Algo::Trivial
                 } else {
-                    Algorithm::Combining
+                    Algo::Combining
                 };
                 let mut handle = cart.alltoall_init::<i32>(m, algo).unwrap();
                 // One warm-up execution, then scope the telemetry to the
@@ -112,18 +112,20 @@ fn run_persistent(variant: &'static str, m: usize, iters: u64) -> Duration {
                         let off = cart.neighborhood().offset(i).to_vec();
                         let (source, target) = cart.relative_shift(&off).unwrap();
                         let tag = 0x6000_0000 + i as u32;
-                        let mut sends = Vec::with_capacity(1);
+                        let mut batch = ExchangeBatch::with_capacity(1);
                         if let Some(dst) = target {
                             let mut wire = Vec::with_capacity(bs);
                             wire.extend_from_slice(&sbytes[i * bs..(i + 1) * bs]);
-                            sends.push((dst, tag, wire));
+                            batch.send(dst, tag, wire);
                         }
                         let mut specs = Vec::with_capacity(1);
                         if let Some(src) = source {
                             specs.push(RecvSpec::from_rank(src, tag));
                         }
-                        let results = cart.comm().exchange(sends, &specs).unwrap();
-                        if let Some((wire, _)) = results.into_iter().next() {
+                        cart.comm()
+                            .exchange(&mut batch, &specs, ExchangeOpts::detached())
+                            .unwrap();
+                        if let Some((wire, _)) = batch.take_result(0) {
                             let rbytes = cartcomm_types::cast_slice_mut(&mut recv);
                             rbytes[i * bs..(i + 1) * bs].copy_from_slice(&wire);
                         }

@@ -19,7 +19,7 @@
 
 use cartcomm::exec::{execute_plan, BlockLayout, ExecLayouts, CART_TAG_BASE};
 use cartcomm::exec_mesh::execute_alltoall_mesh;
-use cartcomm::ops::persistent::Algorithm;
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::RelNeighborhood;
@@ -77,7 +77,7 @@ fn run_exec(stencil: &Stencil, variant: &'static str, mb: usize, iters: u64) -> 
         let mut recv = vec![0u8; t * mb];
         match variant {
             "compiled" => {
-                let mut handle = cart.alltoall_init::<u8>(mb, Algorithm::Combining).unwrap();
+                let mut handle = cart.alltoall_init::<u8>(mb, Algo::Combining).unwrap();
                 handle.execute(&cart, &send, &mut recv).unwrap(); // warm-up
                 comm.barrier().unwrap();
                 let start = Instant::now();
@@ -87,7 +87,7 @@ fn run_exec(stencil: &Stencil, variant: &'static str, mb: usize, iters: u64) -> 
                 start.elapsed()
             }
             "compile_each_call" => {
-                let plan = cart.alltoall_schedule();
+                let plan = cart.plans().alltoall();
                 let lay = contiguous_lay(t, mb, plan.temp_slots);
                 comm.barrier().unwrap();
                 let start = Instant::now();
@@ -106,7 +106,7 @@ fn run_exec(stencil: &Stencil, variant: &'static str, mb: usize, iters: u64) -> 
                 start.elapsed()
             }
             "interpreted" => {
-                let plan = cart.alltoall_schedule();
+                let plan = cart.plans().alltoall();
                 let lay = contiguous_lay(t, mb, plan.temp_slots);
                 let mut temp = vec![0u8; lay.temp_len()];
                 comm.barrier().unwrap();

@@ -1,0 +1,185 @@
+//! Observed-vs-predicted accounting: run traced combining collectives and
+//! check the trace against the schedule analysis.
+//!
+//! For each neighborhood family, every rank attaches a `RingBufferSink`,
+//! runs `Cart_alltoall`/`Cart_allgather` with the combining schedule, and
+//! counts its `RoundStart` events and their wire bytes. The paper predicts
+//! exactly `C = Σ_k C_k` rounds (Prop. 3.2) and `V·m` bytes (Prop. 3.3)
+//! per process; this tool prints both columns side by side and exits
+//! non-zero on any mismatch, so it doubles as a CI smoke check.
+//!
+//! Usage: `cargo run -p cartcomm-bench --bin obs_dump -- [--smoke] [--json] [m]`
+//!
+//! * `--smoke` — one small family only (fast; used by CI).
+//! * `--json`  — machine-readable output, one JSON object per line.
+//! * `m`       — block size in `i32` elements (default 4).
+
+use std::sync::Arc;
+
+use cartcomm::ops::Algo;
+use cartcomm::CartComm;
+use cartcomm_comm::obs::{MetricsSnapshot, RingBufferSink, TraceEvent};
+use cartcomm_comm::Universe;
+use cartcomm_topo::RelNeighborhood;
+
+struct FamilyRow {
+    family: &'static str,
+    op: &'static str,
+    t: usize,
+    c_pred: usize,
+    c_obs: usize,
+    v_pred_bytes: usize,
+    v_obs_bytes: usize,
+    metrics: MetricsSnapshot,
+}
+
+impl FamilyRow {
+    fn matches(&self) -> bool {
+        self.c_obs == self.c_pred && self.v_obs_bytes == self.v_pred_bytes
+    }
+}
+
+/// Run one traced combining collective; returns the row for the table.
+fn observe(
+    family: &'static str,
+    dims: &[usize],
+    nb: &RelNeighborhood,
+    m: usize,
+    allgather: bool,
+) -> FamilyRow {
+    let p: usize = dims.iter().product();
+    let periods = vec![true; dims.len()];
+    let t = nb.len();
+    let nb = nb.clone();
+    let dims = dims.to_vec();
+    let outs = Universe::run(p, move |comm| {
+        let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+        let rank = cart.rank();
+        let plan = if allgather {
+            cart.plans().allgather()
+        } else {
+            cart.plans().alltoall()
+        };
+        let before = cart.comm().obs().snapshot();
+        let sink = Arc::new(RingBufferSink::new(8192));
+        cart.comm().obs().attach_sink(sink.clone());
+        if allgather {
+            let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+            let mut recv = vec![0i32; t * m];
+            cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
+        } else {
+            let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+            let mut recv = vec![0i32; t * m];
+            cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        }
+        cart.comm().obs().detach_sink();
+        let metrics = cart.comm().obs().snapshot().since(&before);
+        let mut rounds = 0usize;
+        let mut bytes = 0usize;
+        for rec in sink.snapshot() {
+            if let TraceEvent::RoundStart { wire_bytes, .. } = rec.event {
+                rounds += 1;
+                bytes += wire_bytes;
+            }
+        }
+        (rounds, bytes, plan.rounds, plan.volume_blocks, metrics)
+    });
+    let (rounds, bytes, c_pred, v_blocks, metrics) = outs.into_iter().next().expect("rank 0");
+    FamilyRow {
+        family,
+        op: if allgather { "allgather" } else { "alltoall" },
+        t,
+        c_pred,
+        c_obs: rounds,
+        v_pred_bytes: v_blocks * m * std::mem::size_of::<i32>(),
+        v_obs_bytes: bytes,
+        metrics,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let json = args.iter().any(|a| a == "--json");
+    let m: usize = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
+
+    let families: Vec<(&'static str, Vec<usize>, RelNeighborhood)> = if smoke {
+        vec![(
+            "moore(2,1)",
+            vec![3, 3],
+            RelNeighborhood::moore(2, 1).unwrap(),
+        )]
+    } else {
+        vec![
+            (
+                "moore(2,1)",
+                vec![4, 4],
+                RelNeighborhood::moore(2, 1).unwrap(),
+            ),
+            (
+                "moore(3,1)",
+                vec![3, 3, 3],
+                RelNeighborhood::moore(3, 1).unwrap(),
+            ),
+            (
+                "von_neumann(3,1)",
+                vec![3, 3, 4],
+                RelNeighborhood::von_neumann(3, 1).unwrap(),
+            ),
+        ]
+    };
+
+    let mut rows = Vec::new();
+    for (family, dims, nb) in &families {
+        rows.push(observe(family, dims, nb, m, false));
+        rows.push(observe(family, dims, nb, m, true));
+    }
+
+    let mut ok = true;
+    if json {
+        for r in &rows {
+            println!(
+                "{{\"family\":\"{}\",\"op\":\"{}\",\"t\":{},\"c_pred\":{},\"c_obs\":{},\
+                 \"v_pred_bytes\":{},\"v_obs_bytes\":{},\"match\":{},\"metrics\":{}}}",
+                r.family,
+                r.op,
+                r.t,
+                r.c_pred,
+                r.c_obs,
+                r.v_pred_bytes,
+                r.v_obs_bytes,
+                r.matches(),
+                r.metrics.to_json(),
+            );
+            ok &= r.matches();
+        }
+    } else {
+        println!("observed vs predicted (per rank, m = {m} i32 elements)");
+        println!(
+            "{:<18} {:<9} {:>4} {:>7} {:>6} {:>12} {:>11}  status",
+            "family", "op", "t", "C_pred", "C_obs", "V*m bytes", "obs bytes"
+        );
+        for r in &rows {
+            let status = if r.matches() { "OK" } else { "MISMATCH" };
+            println!(
+                "{:<18} {:<9} {:>4} {:>7} {:>6} {:>12} {:>11}  {status}",
+                r.family, r.op, r.t, r.c_pred, r.c_obs, r.v_pred_bytes, r.v_obs_bytes
+            );
+            ok &= r.matches();
+        }
+        if let Some(r) = rows.first() {
+            println!();
+            println!("rank-0 metrics for {} {}:", r.family, r.op);
+            print!("{}", r.metrics);
+        }
+    }
+
+    if !ok {
+        eprintln!("observed accounting diverged from the schedule analysis");
+        std::process::exit(1);
+    }
+}

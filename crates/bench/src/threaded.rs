@@ -9,6 +9,7 @@
 use std::time::Instant;
 
 use cartcomm::neighbor::DistGraphComm;
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_stats::{FilterPolicy, Summary};
@@ -57,10 +58,10 @@ pub fn measure_alltoall(
             g.ineighbor_alltoall(s, r).unwrap()
         });
         bench(SeriesKind::CartTrivial, &mut |s, r| {
-            cart.alltoall_trivial(s, r).unwrap()
+            cart.alltoall(s, r, Algo::Trivial).unwrap()
         });
         bench(SeriesKind::CartCombining, &mut |s, r| {
-            cart.alltoall(s, r).unwrap()
+            cart.alltoall(s, r, Algo::Combining).unwrap()
         });
         out
     });
@@ -105,10 +106,10 @@ pub fn measure_allgather(
             g.ineighbor_allgather(s, r).unwrap()
         });
         bench(SeriesKind::CartTrivial, &mut |s, r| {
-            cart.allgather_trivial(s, r).unwrap()
+            cart.allgather(s, r, Algo::Trivial).unwrap()
         });
         bench(SeriesKind::CartCombining, &mut |s, r| {
-            cart.allgather(s, r).unwrap()
+            cart.allgather(s, r, Algo::Combining).unwrap()
         });
         out
     });

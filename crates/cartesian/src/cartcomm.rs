@@ -4,6 +4,7 @@
 use std::cell::{Cell, OnceCell, RefCell};
 use std::sync::Arc;
 
+use cartcomm_comm::obs::TraceEvent;
 use cartcomm_comm::Comm;
 use cartcomm_topo::{CartTopology, DistGraphTopology, Offset, RelNeighborhood, TopoError};
 
@@ -227,29 +228,32 @@ impl CartComm {
 
     // ----- cached schedules ---------------------------------------------------
 
-    /// The message-combining alltoall schedule (computed once, shared).
-    pub fn alltoall_schedule(&self) -> Arc<Plan> {
-        Arc::clone(
-            self.alltoall_plan
-                .get_or_init(|| Arc::new(alltoall_plan(&self.nb))),
-        )
+    /// View over this communicator's cached schedules and compiled
+    /// programs: the single entry point for plan inspection and reuse
+    /// (replaces the former `alltoall_schedule`/`allgather_schedule`/
+    /// `compiled_plan`/`plan_cache_stats` quartet).
+    #[inline]
+    pub fn plans(&self) -> Plans<'_> {
+        Plans { cc: self }
     }
 
-    /// The message-combining allgather schedule (computed once, shared).
-    pub fn allgather_schedule(&self) -> Arc<Plan> {
-        Arc::clone(
-            self.allgather_plan
-                .get_or_init(|| Arc::new(allgather_plan(&self.nb))),
-        )
+    /// The schedule for `kind` (computed once, shared).
+    fn schedule_for(&self, kind: PlanKind) -> Arc<Plan> {
+        match kind {
+            PlanKind::Alltoall => Arc::clone(
+                self.alltoall_plan
+                    .get_or_init(|| Arc::new(alltoall_plan(&self.nb))),
+            ),
+            PlanKind::Allgather => Arc::clone(
+                self.allgather_plan
+                    .get_or_init(|| Arc::new(allgather_plan(&self.nb))),
+            ),
+        }
     }
 
-    /// The compiled program for `kind` over `lay`, from the communicator's
-    /// fingerprint-keyed LRU cache. On a miss the schedule is (re)used from
-    /// the plan cache, temp-sized, compiled for this rank, and inserted;
-    /// on a hit the repeated `cart_alltoall`/`cart_allgather` call pays
-    /// neither schedule construction nor compilation. Requires combining
-    /// applicability (callers gate on [`CartComm::combining_applicable`]).
-    pub fn compiled_plan(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
+    /// Cache-or-compile core behind [`Plans::compiled`].
+    fn compiled_for(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
+        let obs = self.comm.obs();
         let fp = lay.fingerprint(kind);
         {
             let mut cache = self.compiled_cache.borrow_mut();
@@ -258,14 +262,25 @@ impl CartComm {
                 let cp = Arc::clone(&entry.1);
                 cache.insert(0, entry);
                 self.cache_hits.set(self.cache_hits.get() + 1);
+                obs.metrics().plan_cache_hit();
+                obs.emit(
+                    self.rank(),
+                    TraceEvent::PlanCacheHit {
+                        fingerprint: fp as u64,
+                    },
+                );
                 return Ok(cp);
             }
         }
         self.cache_misses.set(self.cache_misses.get() + 1);
-        let plan = match kind {
-            PlanKind::Alltoall => self.alltoall_schedule(),
-            PlanKind::Allgather => self.allgather_schedule(),
-        };
+        obs.metrics().plan_cache_miss();
+        obs.emit(
+            self.rank(),
+            TraceEvent::PlanCacheMiss {
+                fingerprint: fp as u64,
+            },
+        );
+        let plan = self.schedule_for(kind);
         let lay = crate::ops::size_temp(lay, kind, plan.temp_slots)?;
         let cp = Arc::new(CompiledPlan::compile(
             &self.topo,
@@ -280,9 +295,29 @@ impl CartComm {
         Ok(cp)
     }
 
+    /// The message-combining alltoall schedule (computed once, shared).
+    #[deprecated(since = "0.2.0", note = "use `plans().alltoall()`")]
+    pub fn alltoall_schedule(&self) -> Arc<Plan> {
+        self.schedule_for(PlanKind::Alltoall)
+    }
+
+    /// The message-combining allgather schedule (computed once, shared).
+    #[deprecated(since = "0.2.0", note = "use `plans().allgather()`")]
+    pub fn allgather_schedule(&self) -> Arc<Plan> {
+        self.schedule_for(PlanKind::Allgather)
+    }
+
+    /// The compiled program for `kind` over `lay`.
+    #[deprecated(since = "0.2.0", note = "use `plans().compiled(kind, lay)`")]
+    pub fn compiled_plan(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
+        self.compiled_for(kind, lay)
+    }
+
     /// Compiled-plan cache telemetry: `(hits, misses)` since creation.
+    #[deprecated(since = "0.2.0", note = "use `plans().cache_stats()`")]
     pub fn plan_cache_stats(&self) -> (u64, u64) {
-        (self.cache_hits.get(), self.cache_misses.get())
+        let s = self.plans().cache_stats();
+        (s.hits, s.misses)
     }
 
     /// True if every dimension the neighborhood moves in is periodic —
@@ -296,5 +331,64 @@ impl CartComm {
     /// The offsets, as a convenience for iteration.
     pub fn offsets(&self) -> &[Offset] {
         self.nb.offsets()
+    }
+}
+
+/// Compiled-plan cache telemetry, in absolute counts since communicator
+/// creation ([`Plans::cache_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// Read-only view over a communicator's schedule and compiled-program
+/// caches, obtained from [`CartComm::plans`]. Schedules are computed
+/// lazily on first request and shared thereafter; compiled programs live
+/// in a fingerprint-keyed per-rank LRU.
+pub struct Plans<'a> {
+    cc: &'a CartComm,
+}
+
+impl Plans<'_> {
+    /// The message-combining alltoall schedule (computed once, shared).
+    pub fn alltoall(&self) -> Arc<Plan> {
+        self.cc.schedule_for(PlanKind::Alltoall)
+    }
+
+    /// The message-combining allgather schedule (computed once, shared).
+    pub fn allgather(&self) -> Arc<Plan> {
+        self.cc.schedule_for(PlanKind::Allgather)
+    }
+
+    /// The schedule for `kind`.
+    pub fn schedule(&self, kind: PlanKind) -> Arc<Plan> {
+        self.cc.schedule_for(kind)
+    }
+
+    /// The compiled program for `kind` over `lay`, from the communicator's
+    /// fingerprint-keyed LRU cache. On a miss the schedule is (re)used from
+    /// the plan cache, temp-sized, compiled for this rank, and inserted;
+    /// on a hit the repeated `cart_alltoall`/`cart_allgather` call pays
+    /// neither schedule construction nor compilation. Requires combining
+    /// applicability (callers gate on [`CartComm::combining_applicable`]).
+    /// Hits and misses are counted here and surfaced both via
+    /// [`Plans::cache_stats`] and as `PlanCacheHit`/`PlanCacheMiss` trace
+    /// events on the rank's [`cartcomm_comm::obs::Obs`] handle.
+    pub fn compiled(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
+        self.cc.compiled_for(kind, lay)
+    }
+
+    /// The cache key [`Plans::compiled`] would use for `kind` over `lay`.
+    pub fn fingerprint(&self, kind: PlanKind, lay: &ExecLayouts) -> u128 {
+        lay.fingerprint(kind)
+    }
+
+    /// Compiled-plan cache telemetry since communicator creation.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cc.cache_hits.get(),
+            misses: self.cc.cache_misses.get(),
+        }
     }
 }

@@ -25,7 +25,8 @@
 //! reusable [`ExecScratch`]. The buffered and in-place entry points share
 //! one core loop, so the two modes cannot drift.
 
-use cartcomm_comm::{Comm, PooledBuf, RecvSpec, Status, Tag};
+use cartcomm_comm::obs::TraceEvent;
+use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, PooledBuf, RecvSpec, SrcSel, Tag};
 use cartcomm_topo::CartTopology;
 use cartcomm_types::TypeError;
 
@@ -110,14 +111,13 @@ pub struct CompiledPlan {
 }
 
 /// Reusable per-handle executor state: the temp buffer, the copy staging
-/// buffer, and the send/result vectors of the phase exchange. Holding one
+/// buffer, and the [`ExchangeBatch`] of the phase exchange. Holding one
 /// of these across executes is what makes the steady state allocation-free.
 #[derive(Default)]
 pub struct ExecScratch {
     temp: Vec<u8>,
     stage: Vec<u8>,
-    sends: Vec<(usize, Tag, PooledBuf)>,
-    results: Vec<Option<(PooledBuf, Status)>>,
+    batch: ExchangeBatch,
 }
 
 impl ExecScratch {
@@ -126,8 +126,7 @@ impl ExecScratch {
         ExecScratch {
             temp: vec![0u8; cp.temp_len],
             stage: Vec::with_capacity(cp.max_copy_bytes),
-            sends: Vec::with_capacity(cp.max_phase_rounds),
-            results: Vec::with_capacity(cp.max_phase_rounds),
+            batch: ExchangeBatch::with_capacity(cp.max_phase_rounds),
         }
     }
 }
@@ -564,6 +563,14 @@ pub fn execute_compiled_in_place(
     execute_core(comm, cp, None, buf, scratch)
 }
 
+/// Source rank of a compiled receive spec (always rank-resolved).
+fn spec_src(spec: &RecvSpec) -> usize {
+    match spec.src {
+        SrcSel::Rank(s) => s,
+        SrcSel::Any => usize::MAX,
+    }
+}
+
 fn execute_core(
     comm: &Comm,
     cp: &CompiledPlan,
@@ -574,33 +581,60 @@ fn execute_core(
     if scratch.temp.len() < cp.temp_len {
         scratch.temp.resize(cp.temp_len, 0);
     }
-    let ExecScratch {
-        temp,
-        stage,
-        sends,
-        results,
-    } = scratch;
+    let ExecScratch { temp, stage, batch } = scratch;
     let mut mem = Mem {
         send,
         user,
         temp: temp.as_mut_slice(),
     };
-    for phase in &cp.phases {
+    let obs = comm.obs();
+    let metrics = obs.metrics();
+    let rank = comm.rank();
+    let mut round_base = 0usize;
+    for (k, phase) in cp.phases.iter().enumerate() {
         for c in &phase.copies {
             mem.run_copy(c, stage);
         }
         if phase.rounds.is_empty() {
             continue;
         }
-        for r in &phase.rounds {
+        // With tracing disabled (the common case), the per-phase cost of
+        // observability is the counter increments below plus one relaxed
+        // load per emit site — no clock reads, no event construction.
+        let traced = obs.enabled();
+        let t0 = if traced { obs.now_ns() } else { 0 };
+        for (i, r) in phase.rounds.iter().enumerate() {
             let mut wire = comm.wire_buf(r.wire_len);
             mem.gather(&r.gather, &mut wire);
             debug_assert_eq!(wire.len(), r.wire_len, "gather fills the wire exactly");
-            sends.push((r.target, r.tag, wire));
+            metrics.round_started();
+            metrics.pack(r.gather.len(), r.wire_len);
+            if traced {
+                let round = round_base + i;
+                obs.emit(
+                    rank,
+                    TraceEvent::RoundStart {
+                        phase: k,
+                        round,
+                        to: r.target,
+                        from: spec_src(&phase.specs[i]),
+                        wire_bytes: r.wire_len,
+                    },
+                );
+                obs.emit(
+                    rank,
+                    TraceEvent::PackSpan {
+                        round,
+                        spans: r.gather.len(),
+                        bytes: r.wire_len,
+                    },
+                );
+            }
+            batch.send(r.target, r.tag, wire);
         }
-        comm.exchange_into(sends, &phase.specs, results)?;
-        for (r, slot) in phase.rounds.iter().zip(results.iter_mut()) {
-            let (wire, _status) = slot.take().expect("exchange fills every slot");
+        comm.exchange(batch, &phase.specs, ExchangeOpts::pooled())?;
+        for (i, r) in phase.rounds.iter().enumerate() {
+            let (wire, status) = batch.take_result(i).expect("exchange fills every slot");
             if wire.len() != r.wire_len {
                 return Err(CartError::BadBufferSize {
                     what: "incoming round message",
@@ -609,8 +643,27 @@ fn execute_core(
                 });
             }
             mem.scatter(&r.scatter, &wire);
+            metrics.round_completed();
+            if traced {
+                obs.emit(
+                    rank,
+                    TraceEvent::RoundEnd {
+                        phase: k,
+                        round: round_base + i,
+                        to: r.target,
+                        from: status.src,
+                        wire_bytes: r.wire_len,
+                    },
+                );
+            }
             // `wire` drops here and recycles into this rank's pool.
         }
+        if traced {
+            // One latency sample per phase exchange: the rounds of a phase
+            // complete together in a single `Waitall`-style batch.
+            metrics.record_round_ns(obs.now_ns().saturating_sub(t0));
+        }
+        round_base += phase.rounds.len();
     }
     Ok(())
 }

@@ -32,7 +32,8 @@
 //! and writes the receive buffer only on a block's final hop, tracking each
 //! block's current location per process.
 
-use cartcomm_comm::{Comm, RecvSpec, Tag};
+use cartcomm_comm::obs::TraceEvent;
+use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
 use cartcomm_topo::{CartTopology, RelNeighborhood};
 
 use crate::error::{CartError, CartResult};
@@ -80,9 +81,13 @@ pub fn execute_alltoall_mesh(
         })
         .collect();
 
+    let obs = comm.obs();
+    let metrics = obs.metrics();
+    let mut batch = ExchangeBatch::new();
     let mut round_idx: Tag = 0;
     let mut copy_buf = comm.wire_buf(0);
     for (k, phase) in plan.phases.iter().enumerate() {
+        let traced = obs.enabled();
         // Local copies (self blocks) always apply.
         for copy in &phase.copies {
             copy_buf.clear();
@@ -92,11 +97,11 @@ pub fn execute_alltoall_mesh(
         if phase.rounds.is_empty() {
             continue;
         }
-        let mut sends = Vec::new();
         let mut specs = Vec::new();
         let mut recv_rounds = Vec::new();
         for round in &phase.rounds {
             let tag = tag_base + round_idx;
+            let this_round = round_idx as usize;
             round_idx += 1;
             let target = topo.rank_of_offset(rank, &round.offset)?;
             for (n, &c) in neg.iter_mut().zip(round.offset.iter()) {
@@ -109,15 +114,37 @@ pub fn execute_alltoall_mesh(
                 // iff the origin of the partially-traveled offset and the
                 // final target both exist (k leading dims traveled).
                 let mut wire = comm.wire_buf(0);
-                let mut any = false;
+                let mut nblocks = 0usize;
                 for &b in round.block_ids.iter() {
                     if live_masked(topo, nb, &coords, b, k, &mut partial_neg)? {
                         lay.gather_block(loc_of[b], sendbuf, recvbuf, temp, &mut wire)?;
-                        any = true;
+                        nblocks += 1;
                     }
                 }
-                if any {
-                    sends.push((dst, tag, wire));
+                if nblocks > 0 {
+                    metrics.round_started();
+                    metrics.pack(nblocks, wire.len());
+                    if traced {
+                        obs.emit(
+                            rank,
+                            TraceEvent::RoundStart {
+                                phase: k,
+                                round: this_round,
+                                to: dst,
+                                from: source.unwrap_or(usize::MAX),
+                                wire_bytes: wire.len(),
+                            },
+                        );
+                        obs.emit(
+                            rank,
+                            TraceEvent::PackSpan {
+                                round: this_round,
+                                spans: nblocks,
+                                bytes: wire.len(),
+                            },
+                        );
+                    }
+                    batch.send(dst, tag, wire);
                 }
             }
             if let Some(src) = source {
@@ -131,12 +158,13 @@ pub fn execute_alltoall_mesh(
                 }
                 if !expect.is_empty() {
                     specs.push(RecvSpec::from_rank(src, tag));
-                    recv_rounds.push(expect);
+                    recv_rounds.push((this_round, expect));
                 }
             }
         }
-        let results = comm.exchange_pooled(sends, &specs)?;
-        for (expect, (wire, _)) in recv_rounds.iter().zip(results) {
+        comm.exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+        for (i, (this_round, expect)) in recv_rounds.iter().enumerate() {
+            let (wire, status) = batch.take_result(i).expect("exchange fills every slot");
             let mut pos = 0usize;
             for &b in expect {
                 let n = lay.block_bytes[b];
@@ -165,6 +193,19 @@ pub fn execute_alltoall_mesh(
                     expected: pos,
                     actual: wire.len(),
                 });
+            }
+            metrics.round_completed();
+            if traced {
+                obs.emit(
+                    rank,
+                    TraceEvent::RoundEnd {
+                        phase: k,
+                        round: *this_round,
+                        to: rank,
+                        from: status.src,
+                        wire_bytes: wire.len(),
+                    },
+                );
             }
         }
     }

@@ -29,7 +29,7 @@ use cartcomm_types::Datatype;
 
 use crate::cartcomm::CartComm;
 use crate::error::{CartError, CartResult};
-use crate::ops::{Algorithm, PersistentCollective, WBlock};
+use crate::ops::{Algo, PersistentCollective, WBlock};
 
 /// A prepared, persistent d-dimensional halo exchange of the given depth.
 pub struct HaloExchange {
@@ -110,7 +110,7 @@ impl HaloExchange {
                 WBlock::new(0, 1, &sub(w[k] - depth)?),
                 WBlock::new(0, 1, &sub(0)?),
             ];
-            let handle = cart.alltoallw_init(&sendspec, &recvspec, Algorithm::Combining)?;
+            let handle = cart.alltoallw_init(&sendspec, &recvspec, Algo::Combining)?;
 
             let slab_elems: usize = subsizes.iter().product();
             phased_bytes += 2 * slab_elems * elem_bytes;

@@ -45,6 +45,7 @@
 //! ```
 //! use cartcomm_comm::Universe;
 //! use cartcomm_topo::RelNeighborhood;
+//! use cartcomm::ops::Algo;
 //! use cartcomm::CartComm;
 //!
 //! // 9-point stencil halo exchange on a 3x3 torus, one i32 per neighbor.
@@ -53,7 +54,7 @@
 //!     let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
 //!     let send: Vec<i32> = (0..8).map(|i| (cart.rank() * 10 + i) as i32).collect();
 //!     let mut recv = vec![0i32; 8];
-//!     cart.alltoall(&send, &mut recv).unwrap();
+//!     cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
 //!     // Every block arrived from the matching source neighbor.
 //!     for i in 0..8 {
 //!         let src = cart.relative_shift(cart.neighborhood().offset(i)).unwrap().0.unwrap();

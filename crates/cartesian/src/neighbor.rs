@@ -3,7 +3,7 @@
 //! with direct delivery — the comparison point of the paper's evaluation —
 //! plus the §2.2 detection that a distributed graph is secretly Cartesian.
 
-use cartcomm_comm::{Comm, RecvSpec, Tag};
+use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
 use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
 use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
 
@@ -240,11 +240,11 @@ impl DistGraphComm {
         send: &[u8],
         recv: &mut [u8],
     ) -> CartResult<()> {
-        let mut sends = Vec::with_capacity(slay.len());
+        let mut batch = ExchangeBatch::with_capacity(slay.len());
         for (i, &dst) in self.graph.targets().iter().enumerate() {
             let mut wire = self.comm.wire_buf(slay[i].size());
             gather_append(send, slay[i].disp, &slay[i].ty, &mut wire)?;
-            sends.push((dst, NEIGHBOR_TAG, wire));
+            batch.send(dst, NEIGHBOR_TAG, wire);
         }
         let specs: Vec<RecvSpec> = self
             .graph
@@ -252,8 +252,9 @@ impl DistGraphComm {
             .iter()
             .map(|&src| RecvSpec::from_rank(src, NEIGHBOR_TAG))
             .collect();
-        let results = self.comm.exchange_pooled(sends, &specs)?;
-        for (j, (wire, _)) in results.into_iter().enumerate() {
+        self.comm
+            .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+        for (j, (wire, _)) in batch.drain_results().enumerate() {
             scatter(&wire, recv, rlay[j].disp, &rlay[j].ty)?;
         }
         Ok(())

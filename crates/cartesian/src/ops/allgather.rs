@@ -1,14 +1,17 @@
 //! `Cart_allgather{,v,w}`: replicated sparse exchange in trivial and
 //! message-combining (tree-routing) variants.
 
-use cartcomm_comm::{RecvSpec, Tag};
+use cartcomm_comm::obs::TraceEvent;
+use cartcomm_comm::{ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
 use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
 
 use crate::cartcomm::CartComm;
 use crate::compile::{execute_compiled, ExecScratch};
 use crate::error::CartResult;
 use crate::exec::{ExecLayouts, CART_TAG_BASE};
-use crate::ops::{check_combining, size_temp, v_layouts, w_layouts, WBlock};
+use crate::ops::{
+    check_combining, choose_combining, size_temp, v_layouts, w_layouts, Algo, WBlock,
+};
 use crate::plan::PlanKind;
 
 /// Tag base for trivial allgather rounds (distinct from the alltoall base
@@ -25,15 +28,15 @@ impl CartComm {
     /// routing-tree volume equals the trivial algorithm's `t` blocks while
     /// using exponentially fewer rounds (Table 1), so combining should win
     /// at every block size.
-    pub fn allgather<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
+    pub fn allgather<T: Pod>(&self, send: &[T], recv: &mut [T], algo: Algo) -> CartResult<()> {
         let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Allgather)?;
-        self.run_combining_allgather(lay, cast_slice(send), cast_slice_mut(recv))
+        self.run_allgather(lay, cast_slice(send), cast_slice_mut(recv), algo)
     }
 
     /// Trivial t-round `Cart_allgather`.
+    #[deprecated(since = "0.2.0", note = "use `allgather(send, recv, Algo::Trivial)`")]
     pub fn allgather_trivial<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
-        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Allgather)?;
-        self.run_trivial_allgather(&lay, cast_slice(send), cast_slice_mut(recv))
+        self.allgather(send, recv, Algo::Trivial)
     }
 
     // ----- irregular displacements (v) --------------------------------------------
@@ -48,12 +51,14 @@ impl CartComm {
         recv: &mut [T],
         recvcount: usize,
         recvdispls: &[usize],
+        algo: Algo,
     ) -> CartResult<()> {
         let lay = self.vg_lay::<T>(send.len(), recvcount, recvdispls)?;
-        self.run_combining_allgather(lay, cast_slice(send), cast_slice_mut(recv))
+        self.run_allgather(lay, cast_slice(send), cast_slice_mut(recv), algo)
     }
 
     /// Trivial `Cart_allgatherv`.
+    #[deprecated(since = "0.2.0", note = "use `allgatherv(..., Algo::Trivial)`")]
     pub fn allgatherv_trivial<T: Pod>(
         &self,
         send: &[T],
@@ -61,8 +66,7 @@ impl CartComm {
         recvcount: usize,
         recvdispls: &[usize],
     ) -> CartResult<()> {
-        let lay = self.vg_lay::<T>(send.len(), recvcount, recvdispls)?;
-        self.run_trivial_allgather(&lay, cast_slice(send), cast_slice_mut(recv))
+        self.allgatherv(send, recv, recvcount, recvdispls, Algo::Trivial)
     }
 
     // ----- fully typed (w) ----------------------------------------------------------
@@ -77,12 +81,14 @@ impl CartComm {
         sendblock: &WBlock,
         recv: &mut [u8],
         recvspec: &[WBlock],
+        algo: Algo,
     ) -> CartResult<()> {
         let lay = self.wg_lay(sendblock, recvspec)?;
-        self.run_combining_allgather(lay, send, recv)
+        self.run_allgather(lay, send, recv, algo)
     }
 
     /// Trivial `Cart_allgatherw`.
+    #[deprecated(since = "0.2.0", note = "use `allgatherw(..., Algo::Trivial)`")]
     pub fn allgatherw_trivial(
         &self,
         send: &[u8],
@@ -90,8 +96,7 @@ impl CartComm {
         recv: &mut [u8],
         recvspec: &[WBlock],
     ) -> CartResult<()> {
-        let lay = self.wg_lay(sendblock, recvspec)?;
-        self.run_trivial_allgather(&lay, send, recv)
+        self.allgatherw(send, sendblock, recv, recvspec, Algo::Trivial)
     }
 
     // ----- engines --------------------------------------------------------------------
@@ -124,6 +129,26 @@ impl CartComm {
         )
     }
 
+    /// Resolve `algo` and dispatch to the combining or trivial engine.
+    pub(crate) fn run_allgather(
+        &self,
+        lay: ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+        algo: Algo,
+    ) -> CartResult<()> {
+        let use_combining = match algo {
+            Algo::Trivial => false,
+            Algo::Combining => true,
+            auto => choose_combining(auto, &self.plans().allgather(), &lay),
+        };
+        if use_combining {
+            self.run_combining_allgather(lay, send, recv)
+        } else {
+            self.run_trivial_allgather(&lay, send, recv)
+        }
+    }
+
     pub(crate) fn run_combining_allgather(
         &self,
         lay: ExecLayouts,
@@ -133,7 +158,7 @@ impl CartComm {
         if check_combining(self).is_ok() {
             // Torus: run the compiled routing-tree program (cached across
             // repeated calls with the same neighborhood and layouts).
-            let cp = self.compiled_plan(PlanKind::Allgather, lay)?;
+            let cp = self.plans().compiled(PlanKind::Allgather, lay)?;
             let mut scratch = ExecScratch::for_plan(&cp);
             execute_compiled(self.comm(), &cp, send, recv, &mut scratch)
         } else {
@@ -155,7 +180,7 @@ impl CartComm {
                 temp_offsets: Vec::new(),
                 temp_sizes: Vec::new(),
             };
-            let plan = self.alltoall_schedule();
+            let plan = self.plans().alltoall();
             let replicated = size_temp(replicated, PlanKind::Alltoall, plan.temp_slots)?;
             let mut temp = vec![0u8; replicated.temp_len()];
             crate::exec_mesh::execute_alltoall_mesh(
@@ -181,6 +206,11 @@ impl CartComm {
         send: &[u8],
         recv: &mut [u8],
     ) -> CartResult<()> {
+        let obs = self.comm().obs();
+        let metrics = obs.metrics();
+        let traced = obs.enabled();
+        let rank = self.comm().rank();
+        let mut batch = ExchangeBatch::with_capacity(1);
         for (i, off) in self.neighborhood().offsets().iter().enumerate() {
             let tag = TRIVIAL_AG_TAG_BASE + i as Tag;
             if off.iter().all(|&c| c == 0) {
@@ -190,19 +220,46 @@ impl CartComm {
                 continue;
             }
             let (source, target) = self.relative_shift(off)?;
-            let mut sends = Vec::with_capacity(1);
             if let Some(dst) = target {
                 let mut wire = self.comm().wire_buf(lay.send[0].size());
                 gather_append(send, lay.send[0].disp, &lay.send[0].ty, &mut wire)?;
-                sends.push((dst, tag, wire));
+                metrics.round_started();
+                metrics.pack(1, wire.len());
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundStart {
+                            phase: 0,
+                            round: i,
+                            to: dst,
+                            from: source.unwrap_or(usize::MAX),
+                            wire_bytes: wire.len(),
+                        },
+                    );
+                }
+                batch.send(dst, tag, wire);
             }
             let mut specs = Vec::with_capacity(1);
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange_pooled(sends, &specs)?;
-            if let Some((wire, _)) = results.into_iter().next() {
+            self.comm()
+                .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+            if let Some((wire, status)) = batch.take_result(0) {
                 scatter(&wire, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
+                metrics.round_completed();
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundEnd {
+                            phase: 0,
+                            round: i,
+                            to: rank,
+                            from: status.src,
+                            wire_bytes: wire.len(),
+                        },
+                    );
+                }
             }
         }
         Ok(())

@@ -1,7 +1,8 @@
 //! `Cart_alltoall{,v,w}`: personalized sparse exchange in trivial and
 //! message-combining variants.
 
-use cartcomm_comm::{RecvSpec, Tag};
+use cartcomm_comm::obs::TraceEvent;
+use cartcomm_comm::{ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
 use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, scatter, Pod};
 
 use crate::cartcomm::CartComm;
@@ -9,7 +10,8 @@ use crate::compile::{execute_compiled, ExecScratch};
 use crate::error::{CartError, CartResult};
 use crate::exec::{ExecLayouts, CART_TAG_BASE};
 use crate::ops::{
-    check_buffer, check_combining, regular_layouts, size_temp, v_layouts, w_layouts, WBlock,
+    check_buffer, check_combining, choose_combining, regular_layouts, size_temp, v_layouts,
+    w_layouts, Algo, WBlock,
 };
 use crate::plan::PlanKind;
 
@@ -19,18 +21,20 @@ pub const TRIVIAL_TAG_BASE: Tag = 0x7B00_0000;
 impl CartComm {
     // ----- regular -----------------------------------------------------------
 
-    /// Message-combining `Cart_alltoall`: send block `i` of `send` to
-    /// neighbor `N[i]`, receive block `i` of `recv` from the corresponding
-    /// source neighbor. Block size is `send.len() / t` elements.
-    pub fn alltoall<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
+    /// `Cart_alltoall`: send block `i` of `send` to neighbor `N[i]`,
+    /// receive block `i` of `recv` from the corresponding source neighbor.
+    /// Block size is `send.len() / t` elements. `algo` selects between the
+    /// message-combining schedule, the trivial t-round algorithm, and the
+    /// §3.2 cut-off heuristic.
+    pub fn alltoall<T: Pod>(&self, send: &[T], recv: &mut [T], algo: Algo) -> CartResult<()> {
         let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Alltoall)?;
-        self.run_combining_alltoall(lay, cast_slice(send), cast_slice_mut(recv))
+        self.run_alltoall(lay, cast_slice(send), cast_slice_mut(recv), algo)
     }
 
     /// Trivial t-round `Cart_alltoall` (Listing 4).
+    #[deprecated(since = "0.2.0", note = "use `alltoall(send, recv, Algo::Trivial)`")]
     pub fn alltoall_trivial<T: Pod>(&self, send: &[T], recv: &mut [T]) -> CartResult<()> {
-        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Alltoall)?;
-        self.run_trivial_alltoall(&lay, cast_slice(send), cast_slice_mut(recv))
+        self.alltoall(send, recv, Algo::Trivial)
     }
 
     // ----- irregular counts (v) ------------------------------------------------
@@ -39,6 +43,7 @@ impl CartComm {
     /// displacements (in elements). The combining schedule requires the
     /// same counts arrays on all processes (which the Cartesian isomorphism
     /// requirement implies, §3.3) and `sendcounts[i] == recvcounts[i]`.
+    #[allow(clippy::too_many_arguments)]
     pub fn alltoallv<T: Pod>(
         &self,
         send: &[T],
@@ -47,12 +52,15 @@ impl CartComm {
         recv: &mut [T],
         recvcounts: &[usize],
         recvdispls: &[usize],
+        algo: Algo,
     ) -> CartResult<()> {
         let lay = self.v_lay::<T>(sendcounts, senddispls, recvcounts, recvdispls)?;
-        self.run_combining_alltoall(lay, cast_slice(send), cast_slice_mut(recv))
+        self.run_alltoall(lay, cast_slice(send), cast_slice_mut(recv), algo)
     }
 
     /// Trivial `Cart_alltoallv`.
+    #[deprecated(since = "0.2.0", note = "use `alltoallv(..., Algo::Trivial)`")]
+    #[allow(clippy::too_many_arguments)]
     pub fn alltoallv_trivial<T: Pod>(
         &self,
         send: &[T],
@@ -62,8 +70,15 @@ impl CartComm {
         recvcounts: &[usize],
         recvdispls: &[usize],
     ) -> CartResult<()> {
-        let lay = self.v_lay::<T>(sendcounts, senddispls, recvcounts, recvdispls)?;
-        self.run_trivial_alltoall(&lay, cast_slice(send), cast_slice_mut(recv))
+        self.alltoallv(
+            send,
+            sendcounts,
+            senddispls,
+            recv,
+            recvcounts,
+            recvdispls,
+            Algo::Trivial,
+        )
     }
 
     // ----- fully typed (w) -------------------------------------------------------
@@ -77,12 +92,14 @@ impl CartComm {
         sendspec: &[WBlock],
         recv: &mut [u8],
         recvspec: &[WBlock],
+        algo: Algo,
     ) -> CartResult<()> {
         let lay = self.w_lay(sendspec, recvspec)?;
-        self.run_combining_alltoall(lay, send, recv)
+        self.run_alltoall(lay, send, recv, algo)
     }
 
     /// Trivial `Cart_alltoallw`.
+    #[deprecated(since = "0.2.0", note = "use `alltoallw(..., Algo::Trivial)`")]
     pub fn alltoallw_trivial(
         &self,
         send: &[u8],
@@ -90,8 +107,7 @@ impl CartComm {
         recv: &mut [u8],
         recvspec: &[WBlock],
     ) -> CartResult<()> {
-        let lay = self.w_lay(sendspec, recvspec)?;
-        self.run_trivial_alltoall(&lay, send, recv)
+        self.alltoallw(send, sendspec, recv, recvspec, Algo::Trivial)
     }
 
     // ----- engines ----------------------------------------------------------------
@@ -153,6 +169,26 @@ impl CartComm {
         w_layouts(sendspec, recvspec, PlanKind::Alltoall)
     }
 
+    /// Resolve `algo` and dispatch to the combining or trivial engine.
+    pub(crate) fn run_alltoall(
+        &self,
+        lay: ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+        algo: Algo,
+    ) -> CartResult<()> {
+        let use_combining = match algo {
+            Algo::Trivial => false,
+            Algo::Combining => true,
+            auto => choose_combining(auto, &self.plans().alltoall(), &lay),
+        };
+        if use_combining {
+            self.run_combining_alltoall(lay, send, recv)
+        } else {
+            self.run_trivial_alltoall(&lay, send, recv)
+        }
+    }
+
     pub(crate) fn run_combining_alltoall(
         &self,
         lay: ExecLayouts,
@@ -162,13 +198,13 @@ impl CartComm {
         if check_combining(self).is_ok() {
             // Torus: run the compiled program (cached across repeated
             // calls with the same neighborhood and layouts).
-            let cp = self.compiled_plan(PlanKind::Alltoall, lay)?;
+            let cp = self.plans().compiled(PlanKind::Alltoall, lay)?;
             let mut scratch = ExecScratch::for_plan(&cp);
             execute_compiled(self.comm(), &cp, send, recv, &mut scratch)
         } else {
             // Non-periodic mesh: same schedule with per-rank live-block
             // filtering at the boundaries (see `exec_mesh`), interpreted.
-            let plan = self.alltoall_schedule();
+            let plan = self.plans().alltoall();
             let lay = size_temp(lay, PlanKind::Alltoall, plan.temp_slots)?;
             let mut temp = vec![0u8; lay.temp_len()];
             crate::exec_mesh::execute_alltoall_mesh(
@@ -194,6 +230,11 @@ impl CartComm {
         send: &[u8],
         recv: &mut [u8],
     ) -> CartResult<()> {
+        let obs = self.comm().obs();
+        let metrics = obs.metrics();
+        let traced = obs.enabled();
+        let rank = self.comm().rank();
+        let mut batch = ExchangeBatch::with_capacity(1);
         for (i, off) in self.neighborhood().offsets().iter().enumerate() {
             let tag = TRIVIAL_TAG_BASE + i as Tag;
             if off.iter().all(|&c| c == 0) {
@@ -204,19 +245,46 @@ impl CartComm {
                 continue;
             }
             let (source, target) = self.relative_shift(off)?;
-            let mut sends = Vec::with_capacity(1);
             if let Some(dst) = target {
                 let mut wire = self.comm().wire_buf(lay.send[i].size());
                 gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut wire)?;
-                sends.push((dst, tag, wire));
+                metrics.round_started();
+                metrics.pack(1, wire.len());
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundStart {
+                            phase: 0,
+                            round: i,
+                            to: dst,
+                            from: source.unwrap_or(usize::MAX),
+                            wire_bytes: wire.len(),
+                        },
+                    );
+                }
+                batch.send(dst, tag, wire);
             }
             let mut specs = Vec::with_capacity(1);
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange_pooled(sends, &specs)?;
-            if let Some((wire, _)) = results.into_iter().next() {
+            self.comm()
+                .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+            if let Some((wire, status)) = batch.take_result(0) {
                 scatter(&wire, recv, lay.recv[i].disp, &lay.recv[i].ty)?;
+                metrics.round_completed();
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundEnd {
+                            phase: 0,
+                            round: i,
+                            to: rank,
+                            from: status.src,
+                            wire_bytes: wire.len(),
+                        },
+                    );
+                }
             }
         }
         Ok(())

@@ -1,16 +1,21 @@
 //! The Cartesian collective operations.
 //!
-//! Every operation of §2 is provided in both algorithmic variants:
+//! Every operation of §2 has one entry point taking an [`Algo`] selector:
 //!
-//! | paper name            | combining                  | trivial (Listing 4)           |
-//! |-----------------------|----------------------------|-------------------------------|
-//! | `Cart_alltoall`       | [`CartComm::alltoall`]     | [`CartComm::alltoall_trivial`] |
-//! | `Cart_alltoallv`      | [`CartComm::alltoallv`]    | [`CartComm::alltoallv_trivial`] |
-//! | `Cart_alltoallw`      | [`CartComm::alltoallw`]    | [`CartComm::alltoallw_trivial`] |
-//! | `Cart_allgather`      | [`CartComm::allgather`]    | [`CartComm::allgather_trivial`] |
-//! | `Cart_allgatherv`     | [`CartComm::allgatherv`]   | [`CartComm::allgatherv_trivial`] |
-//! | `Cart_allgatherw`     | [`CartComm::allgatherw`]   | [`CartComm::allgatherw_trivial`] |
-//! | `Cart_*_init`         | [`persistent`] handles     | [`persistent`] handles        |
+//! | paper name            | entry point               |
+//! |-----------------------|---------------------------|
+//! | `Cart_alltoall`       | [`CartComm::alltoall`]    |
+//! | `Cart_alltoallv`      | [`CartComm::alltoallv`]   |
+//! | `Cart_alltoallw`      | [`CartComm::alltoallw`]   |
+//! | `Cart_allgather`      | [`CartComm::allgather`]   |
+//! | `Cart_allgatherv`     | [`CartComm::allgatherv`]  |
+//! | `Cart_allgatherw`     | [`CartComm::allgatherw`]  |
+//! | `Cart_*_init`         | [`persistent`] handles    |
+//!
+//! [`Algo::Combining`] runs the message-combining schedule of §3,
+//! [`Algo::Trivial`] the t-round Listing-4 algorithm, and [`Algo::Auto`]
+//! picks per the paper's §3.2 cut-off from the machine's α/β ratio. The
+//! former `*_trivial` methods remain as deprecated shims for one release.
 //!
 //! The `w` variants take per-neighbor datatypes ([`WBlock`]), eliminating
 //! intermediate buffers for stencil halos (Listing 3); `Cart_allgatherw`
@@ -20,14 +25,60 @@ pub mod allgather;
 pub mod alltoall;
 pub mod persistent;
 
-pub use persistent::{Algorithm, PersistentCollective};
+pub use persistent::PersistentCollective;
 
 use cartcomm_types::{Datatype, FlatType};
 
 use crate::cartcomm::CartComm;
 use crate::error::{CartError, CartResult};
 use crate::exec::{BlockLayout, ExecLayouts};
-use crate::plan::PlanKind;
+use crate::plan::{Plan, PlanKind};
+
+/// Algorithm selector for the Cartesian collectives (one-shot and
+/// persistent alike).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algo {
+    /// Always the t-round trivial algorithm (Listing 4).
+    Trivial,
+    /// Always the message-combining schedule (§3).
+    Combining,
+    /// Choose per the paper's cut-off: combining iff the average block size
+    /// `m` (bytes) satisfies `m < ratio · (t−C)/(V−t)` where `ratio = α/β`
+    /// is the machine's latency/bandwidth ratio in bytes.
+    Auto {
+        /// α/β in bytes (e.g. ~2 µs / (0.08 ns/B) ≈ 25000).
+        alpha_beta_bytes: f64,
+    },
+}
+
+/// Former name of [`Algo`].
+#[deprecated(since = "0.2.0", note = "renamed to `Algo`")]
+pub type Algorithm = Algo;
+
+/// Resolve an [`Algo`] against a plan and concrete layouts: `true` iff the
+/// message-combining schedule should run. `Auto` applies the §3.2 cut-off
+/// on the average block size; when `V == t` combining moves no extra data,
+/// so it wins whenever it also saves rounds.
+pub(crate) fn choose_combining(algo: Algo, plan: &Plan, lay: &ExecLayouts) -> bool {
+    match algo {
+        Algo::Trivial => false,
+        Algo::Combining => true,
+        Algo::Auto { alpha_beta_bytes } => {
+            let t = plan.t;
+            let c = plan.rounds;
+            let v = plan.volume_blocks;
+            let m_avg = if t == 0 {
+                0.0
+            } else {
+                lay.block_bytes.iter().sum::<usize>() as f64 / t as f64
+            };
+            match crate::cost::cutoff_ratio(t, c, v) {
+                Some(ratio) => m_avg < alpha_beta_bytes * ratio,
+                None => c < t,
+            }
+        }
+    }
+}
 
 /// One block of an irregular-with-types (`w`) operation: `count` copies of
 /// `ty` at byte displacement `disp` — the `(displacement, count, datatype)`

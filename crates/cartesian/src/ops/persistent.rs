@@ -17,24 +17,12 @@ use crate::cartcomm::CartComm;
 use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
 use crate::error::CartResult;
 use crate::exec::ExecLayouts;
-use crate::ops::{v_layouts, w_layouts, WBlock};
+use crate::ops::{choose_combining, v_layouts, w_layouts, Algo, WBlock};
 use crate::plan::{Plan, PlanKind};
 
-/// Which algorithm a persistent handle executes.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Algorithm {
-    /// Always the t-round trivial algorithm (Listing 4).
-    Trivial,
-    /// Always the message-combining schedule (§3).
-    Combining,
-    /// Choose per the paper's cut-off: combining iff the average block size
-    /// `m` (bytes) satisfies `m < ratio · (t−C)/(V−t)` where `ratio = α/β`
-    /// is the machine's latency/bandwidth ratio in bytes.
-    Auto {
-        /// α/β in bytes (e.g. ~2 µs / (0.08 ns/B) ≈ 25000).
-        alpha_beta_bytes: f64,
-    },
-}
+/// Former home of the algorithm selector; see [`crate::ops::Algo`].
+#[allow(deprecated)]
+pub use crate::ops::Algorithm;
 
 /// A precomputed persistent collective (the paper's `Cart_*_init` result).
 ///
@@ -51,41 +39,14 @@ pub struct PersistentCollective {
 }
 
 impl PersistentCollective {
-    fn build(
-        cart: &CartComm,
-        kind: PlanKind,
-        lay: ExecLayouts,
-        algorithm: Algorithm,
-    ) -> CartResult<Self> {
-        let plan = match kind {
-            PlanKind::Alltoall => cart.alltoall_schedule(),
-            PlanKind::Allgather => cart.allgather_schedule(),
-        };
-        let use_combining = match algorithm {
-            Algorithm::Trivial => false,
-            Algorithm::Combining => true,
-            Algorithm::Auto { alpha_beta_bytes } => {
-                let t = plan.t;
-                let c = plan.rounds;
-                let v = plan.volume_blocks;
-                let m_avg = if t == 0 {
-                    0.0
-                } else {
-                    lay.block_bytes.iter().sum::<usize>() as f64 / t as f64
-                };
-                match crate::cost::cutoff_ratio(t, c, v) {
-                    Some(ratio) => m_avg < alpha_beta_bytes * ratio,
-                    // V == t: combining moves no extra data; prefer it when
-                    // it also saves rounds.
-                    None => c < t,
-                }
-            }
-        };
+    fn build(cart: &CartComm, kind: PlanKind, lay: ExecLayouts, algo: Algo) -> CartResult<Self> {
+        let plan = cart.plans().schedule(kind);
+        let use_combining = choose_combining(algo, &plan, &lay);
         let (compiled, scratch) = if use_combining {
             crate::ops::check_combining(cart)?;
             // Compile at init through the communicator's shared plan cache
             // (Listing 3 semantics: pay schedule + compilation once).
-            let cp = cart.compiled_plan(kind, lay.clone())?;
+            let cp = cart.plans().compiled(kind, lay.clone())?;
             let scratch = ExecScratch::for_plan(&cp);
             (Some(cp), scratch)
         } else {
@@ -182,14 +143,10 @@ impl PersistentCollective {
 impl CartComm {
     /// `Cart_alltoall_init`: persistent regular alltoall with `m` elements
     /// of `T` per block.
-    pub fn alltoall_init<T: Pod>(
-        &self,
-        m: usize,
-        algorithm: Algorithm,
-    ) -> CartResult<PersistentCollective> {
+    pub fn alltoall_init<T: Pod>(&self, m: usize, algo: Algo) -> CartResult<PersistentCollective> {
         let t = self.neighbor_count();
         let lay = self.regular_lay::<T>(t * m, t * m, PlanKind::Alltoall)?;
-        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algo)
     }
 
     /// `Cart_alltoallv_init`.
@@ -199,7 +156,7 @@ impl CartComm {
         senddispls: &[usize],
         recvcounts: &[usize],
         recvdispls: &[usize],
-        algorithm: Algorithm,
+        algo: Algo,
     ) -> CartResult<PersistentCollective> {
         crate::ops::check_len("recvcounts", self.neighbor_count(), recvcounts.len())?;
         let lay = v_layouts(
@@ -210,7 +167,7 @@ impl CartComm {
             recvdispls,
             PlanKind::Alltoall,
         )?;
-        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algo)
     }
 
     /// `Cart_alltoallw_init` (the Listing 3 pattern: commit the halo
@@ -219,23 +176,19 @@ impl CartComm {
         &self,
         sendspec: &[WBlock],
         recvspec: &[WBlock],
-        algorithm: Algorithm,
+        algo: Algo,
     ) -> CartResult<PersistentCollective> {
         crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
         let lay = w_layouts(sendspec, recvspec, PlanKind::Alltoall)?;
-        PersistentCollective::build(self, PlanKind::Alltoall, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Alltoall, lay, algo)
     }
 
     /// `Cart_allgather_init`: persistent regular allgather with `m`
     /// elements of `T` per block.
-    pub fn allgather_init<T: Pod>(
-        &self,
-        m: usize,
-        algorithm: Algorithm,
-    ) -> CartResult<PersistentCollective> {
+    pub fn allgather_init<T: Pod>(&self, m: usize, algo: Algo) -> CartResult<PersistentCollective> {
         let t = self.neighbor_count();
         let lay = self.regular_lay::<T>(m, t * m, PlanKind::Allgather)?;
-        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algo)
     }
 
     /// `Cart_allgatherv_init`.
@@ -243,7 +196,7 @@ impl CartComm {
         &self,
         sendcount: usize,
         recvdispls: &[usize],
-        algorithm: Algorithm,
+        algo: Algo,
     ) -> CartResult<PersistentCollective> {
         let t = self.neighbor_count();
         crate::ops::check_len("recvdispls", t, recvdispls.len())?;
@@ -256,7 +209,7 @@ impl CartComm {
             recvdispls,
             PlanKind::Allgather,
         )?;
-        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algo)
     }
 
     /// `Cart_allgatherw_init`.
@@ -264,7 +217,7 @@ impl CartComm {
         &self,
         sendblock: &WBlock,
         recvspec: &[WBlock],
-        algorithm: Algorithm,
+        algo: Algo,
     ) -> CartResult<PersistentCollective> {
         crate::ops::check_len("recvspec", self.neighbor_count(), recvspec.len())?;
         let lay = w_layouts(
@@ -272,6 +225,6 @@ impl CartComm {
             recvspec,
             PlanKind::Allgather,
         )?;
-        PersistentCollective::build(self, PlanKind::Allgather, lay, algorithm)
+        PersistentCollective::build(self, PlanKind::Allgather, lay, algo)
     }
 }

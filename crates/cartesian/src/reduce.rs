@@ -23,7 +23,7 @@
 //! reassociates sums in an order that depends on the neighborhood, and
 //! with repeated offsets even the trivial algorithm's order is unspecified.
 
-use cartcomm_comm::{RecvSpec, Tag};
+use cartcomm_comm::{ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
 use cartcomm_types::{cast_slice, Pod};
 
 use crate::cartcomm::CartComm;
@@ -54,20 +54,21 @@ impl CartComm {
                 continue;
             }
             let (source, target) = self.relative_shift(off)?;
-            let mut sends = Vec::with_capacity(1);
+            let mut batch = ExchangeBatch::with_capacity(1);
             if let Some(dst) = target {
                 // Pooled copy of the contribution instead of a fresh clone
                 // per neighbor: recycles on the receiving rank.
                 let mut wire = self.comm().wire_buf(contribution.len());
                 wire.extend_from_slice(&contribution);
-                sends.push((dst, tag, wire));
+                batch.send(dst, tag, wire);
             }
             let mut specs = Vec::with_capacity(1);
             if let Some(src) = source {
                 specs.push(RecvSpec::from_rank(src, tag));
             }
-            let results = self.comm().exchange_pooled(sends, &specs)?;
-            if let Some((wire, _)) = results.into_iter().next() {
+            self.comm()
+                .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+            if let Some((wire, _)) = batch.take_result(0) {
                 reduce_wire_into::<T, F>(&wire, acc, &op)?;
             }
         }
@@ -150,7 +151,7 @@ impl CartComm {
             // Reversed communication first, then reversed copies (the
             // forward plan did copies first).
             if !phase.rounds.is_empty() {
-                let mut sends = Vec::with_capacity(phase.rounds.len());
+                let mut batch = ExchangeBatch::with_capacity(phase.rounds.len());
                 let mut specs = Vec::with_capacity(phase.rounds.len());
                 for (ri, round) in phase.rounds.iter().enumerate() {
                     // forward: send to +offset, receive from -offset.
@@ -175,11 +176,13 @@ impl CartComm {
                             .expect("reversed send of an incomplete slot");
                         wire.extend_from_slice(slot);
                     }
-                    sends.push((dst, tag, wire));
+                    batch.send(dst, tag, wire);
                     specs.push(RecvSpec::from_rank(src, tag));
                 }
-                let results = self.comm().exchange_pooled(sends, &specs)?;
-                for (round, (wire, _)) in phase.rounds.iter().zip(results) {
+                self.comm()
+                    .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+                for (ri, round) in phase.rounds.iter().enumerate() {
+                    let (wire, _) = batch.take_result(ri).expect("exchange fills every slot");
                     let block_bytes = own.len();
                     let mut pos = 0usize;
                     for br in &round.sends {

@@ -3,7 +3,7 @@
 //! baseline, for every neighborhood shape we can throw at them.
 
 use cartcomm::neighbor::DistGraphComm;
-use cartcomm::ops::{Algorithm, WBlock};
+use cartcomm::ops::{Algo, WBlock};
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, DistGraphTopology, RelNeighborhood};
@@ -66,14 +66,14 @@ fn check_alltoall_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhood
 
         // trivial
         let mut recv = vec![0i32; t * m];
-        cart.alltoall_trivial(&send, &mut recv).unwrap();
+        cart.alltoall(&send, &mut recv, Algo::Trivial).unwrap();
         assert_eq!(recv, expect, "trivial alltoall, rank {rank}");
 
         // combining (works on tori AND meshes — the mesh executor filters
         // live blocks at the boundaries)
         {
             let mut recv2 = vec![0i32; t * m];
-            cart.alltoall(&send, &mut recv2).unwrap();
+            cart.alltoall(&send, &mut recv2, Algo::Combining).unwrap();
             assert_eq!(recv2, expect, "combining alltoall, rank {rank}");
         }
 
@@ -105,14 +105,14 @@ fn check_allgather_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhoo
         let expect = expected_allgather(&topo, &nb, rank, m, payload);
 
         let mut recv = vec![0i32; t * m];
-        cart.allgather_trivial(&send, &mut recv).unwrap();
+        cart.allgather(&send, &mut recv, Algo::Trivial).unwrap();
         assert_eq!(recv, expect, "trivial allgather, rank {rank}");
 
         // combining allgather works on tori (tree router) and meshes
         // (replicated alltoall router fallback)
         {
             let mut recv2 = vec![0i32; t * m];
-            cart.allgather(&send, &mut recv2).unwrap();
+            cart.allgather(&send, &mut recv2, Algo::Combining).unwrap();
             assert_eq!(recv2, expect, "combining allgather, rank {rank}");
         }
 
@@ -200,12 +200,12 @@ fn mesh_combining_covers_alltoall_and_allgather() {
         let send = vec![cart.rank() as i32];
         let mut a = vec![-1i32; 4];
         let mut b = vec![-1i32; 4];
-        cart.allgather(&send, &mut a).unwrap();
-        cart.allgather_trivial(&send, &mut b).unwrap();
+        cart.allgather(&send, &mut a, Algo::Combining).unwrap();
+        cart.allgather(&send, &mut b, Algo::Trivial).unwrap();
         assert_eq!(a, b);
         let send = vec![0i32; 4];
         let mut recv = vec![0i32; 4];
-        cart.alltoall(&send, &mut recv).unwrap();
+        cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
     });
 }
 
@@ -278,12 +278,28 @@ fn alltoallv_matches_trivial_and_expected() {
             }
         }
         let mut recv = vec![0i32; total];
-        cart.alltoallv(&send, &counts, &displs, &mut recv, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut recv,
+            &counts,
+            &displs,
+            Algo::Combining,
+        )
+        .unwrap();
         assert_eq!(recv, expect, "combining alltoallv, rank {rank}");
         let mut recv2 = vec![0i32; total];
-        cart.alltoallv_trivial(&send, &counts, &displs, &mut recv2, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut recv2,
+            &counts,
+            &displs,
+            Algo::Trivial,
+        )
+        .unwrap();
         assert_eq!(recv2, expect, "trivial alltoallv, rank {rank}");
     });
 }
@@ -312,8 +328,14 @@ fn alltoallw_with_column_datatypes() {
         let send_bytes = cartcomm_types::cast_slice(&matrix);
         {
             let recv_bytes = cartcomm_types::cast_slice_mut(&mut result);
-            cart.alltoallw(send_bytes, &sendspec, recv_bytes, &recvspec)
-                .unwrap();
+            cart.alltoallw(
+                send_bytes,
+                &sendspec,
+                recv_bytes,
+                &recvspec,
+                Algo::Combining,
+            )
+            .unwrap();
         }
         let left = (rank + 4) % 5;
         let right = (rank + 1) % 5;
@@ -331,7 +353,7 @@ fn alltoallw_with_column_datatypes() {
         let mut result2 = vec![-1i32; 16];
         {
             let recv_bytes = cartcomm_types::cast_slice_mut(&mut result2);
-            cart.alltoallw_trivial(send_bytes, &sendspec, recv_bytes, &recvspec)
+            cart.alltoallw(send_bytes, &sendspec, recv_bytes, &recvspec, Algo::Trivial)
                 .unwrap();
         }
         assert_eq!(result, result2);
@@ -352,7 +374,8 @@ fn allgatherv_with_scattered_placement() {
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| (rank * 100 + e) as i32).collect();
         let mut recv = vec![-7i32; total];
-        cart.allgatherv(&send, &mut recv, m, &displs).unwrap();
+        cart.allgatherv(&send, &mut recv, m, &displs, Algo::Combining)
+            .unwrap();
         for (i, off) in nb.offsets().iter().enumerate() {
             let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
             let src = topo.rank_of_offset(rank, &neg).unwrap().unwrap();
@@ -363,7 +386,7 @@ fn allgatherv_with_scattered_placement() {
             assert_eq!(recv[displs[i] + m], -7);
         }
         let mut recv2 = vec![-7i32; total];
-        cart.allgatherv_trivial(&send, &mut recv2, m, &displs)
+        cart.allgatherv(&send, &mut recv2, m, &displs, Algo::Trivial)
             .unwrap();
         assert_eq!(recv, recv2);
     });
@@ -389,8 +412,14 @@ fn allgatherw_different_layout_per_source() {
         let mut recv = vec![0i32; m * t];
         {
             let rb = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.allgatherw(cartcomm_types::cast_slice(&send), &sendblock, rb, &recvspec)
-                .unwrap();
+            cart.allgatherw(
+                cartcomm_types::cast_slice(&send),
+                &sendblock,
+                rb,
+                &recvspec,
+                Algo::Combining,
+            )
+            .unwrap();
         }
         let topo = CartTopology::torus(&[6]).unwrap();
         for (i, off) in nb.offsets().iter().enumerate() {
@@ -413,7 +442,7 @@ fn persistent_alltoall_reuse_many_iterations() {
     Universe::run(9, |comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
-        let mut handle = cart.alltoall_init::<i32>(m, Algorithm::Combining).unwrap();
+        let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
         assert!(handle.is_combining());
         for iter in 0..5 {
             let payload = |r: usize, b: usize, e: usize| (iter * 7 + r * 1000 + b * 10 + e) as i32;
@@ -435,7 +464,7 @@ fn persistent_auto_selects_by_cutoff() {
         let small = cart
             .alltoall_init::<i32>(
                 1,
-                Algorithm::Auto {
+                Algo::Auto {
                     alpha_beta_bytes: 1000.0,
                 },
             )
@@ -444,7 +473,7 @@ fn persistent_auto_selects_by_cutoff() {
         let big = cart
             .alltoall_init::<i32>(
                 100_000,
-                Algorithm::Auto {
+                Algo::Auto {
                     alpha_beta_bytes: 1000.0,
                 },
             )
@@ -462,8 +491,8 @@ fn persistent_allgather_trivial_and_combining_agree() {
         let cart = CartComm::create(comm, &[4, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| (rank * 50 + e) as i32).collect();
-        let mut h1 = cart.allgather_init::<i32>(m, Algorithm::Combining).unwrap();
-        let mut h2 = cart.allgather_init::<i32>(m, Algorithm::Trivial).unwrap();
+        let mut h1 = cart.allgather_init::<i32>(m, Algo::Combining).unwrap();
+        let mut h2 = cart.allgather_init::<i32>(m, Algo::Trivial).unwrap();
         let mut r1 = vec![0i32; t * m];
         let mut r2 = vec![0i32; t * m];
         h1.execute_typed(&cart, &send, &mut r1).unwrap();
@@ -519,10 +548,10 @@ fn buffer_size_validation() {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let send = vec![0i32; 7]; // not divisible by t = 8
         let mut recv = vec![0i32; 8];
-        assert!(cart.alltoall(&send, &mut recv).is_err());
+        assert!(cart.alltoall(&send, &mut recv, Algo::Combining).is_err());
         let send = vec![0i32; 8];
         let mut recv = vec![0i32; 7]; // too small
-        assert!(cart.alltoall(&send, &mut recv).is_err());
+        assert!(cart.alltoall(&send, &mut recv, Algo::Combining).is_err());
     });
 }
 
@@ -546,8 +575,8 @@ fn dist_graph_promotion_detects_cartesian() {
         let send: Vec<i32> = (0..t).map(|i| (cart.rank() * 100 + i) as i32).collect();
         let mut a = vec![0i32; t];
         let mut b = vec![0i32; t];
-        cart.alltoall(&send, &mut a).unwrap();
-        cart.alltoall_trivial(&send, &mut b).unwrap();
+        cart.alltoall(&send, &mut a, Algo::Combining).unwrap();
+        cart.alltoall(&send, &mut b, Algo::Trivial).unwrap();
         assert_eq!(a, b);
     });
 }

@@ -10,7 +10,7 @@
 
 use cartcomm::exec::{BlockLayout, ExecLayouts};
 use cartcomm::halo::HaloExchange;
-use cartcomm::ops::persistent::Algorithm;
+use cartcomm::ops::Algo;
 use cartcomm::schedule::alltoall_plan;
 use cartcomm::{CartComm, CompiledPlan, Plan, PlanKind};
 use cartcomm_comm::Universe;
@@ -46,7 +46,7 @@ fn persistent_steady_state_is_allocation_free() {
     let m = 8usize;
     let stats = Universe::run(16, |comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-        let mut handle = cart.alltoall_init::<u64>(m, Algorithm::Combining).unwrap();
+        let mut handle = cart.alltoall_init::<u64>(m, Algo::Combining).unwrap();
         let rounds = handle.compiled().expect("combining compiles").rounds();
         let rank = cart.rank();
         let send: Vec<u64> = (0..t * m).map(|x| (rank * 1000 + x) as u64).collect();
@@ -99,33 +99,40 @@ fn plan_cache_shares_compiled_programs() {
     let t = nb.len();
     Universe::run(9, |comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-        assert_eq!(cart.plan_cache_stats(), (0, 0));
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
         // Trivial handles bypass the compile stage entirely.
-        let trivial = cart.alltoall_init::<i32>(4, Algorithm::Trivial).unwrap();
+        let trivial = cart.alltoall_init::<i32>(4, Algo::Trivial).unwrap();
         assert!(trivial.compiled().is_none());
-        assert_eq!(cart.plan_cache_stats(), (0, 0));
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
         // First combining init compiles; a second identical init reuses it.
-        let h1 = cart.alltoall_init::<i32>(4, Algorithm::Combining).unwrap();
+        let h1 = cart.alltoall_init::<i32>(4, Algo::Combining).unwrap();
         assert!(h1.compiled().is_some());
-        assert_eq!(cart.plan_cache_stats(), (0, 1));
-        let _h2 = cart.alltoall_init::<i32>(4, Algorithm::Combining).unwrap();
-        assert_eq!(cart.plan_cache_stats(), (1, 1));
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 1));
+        let _h2 = cart.alltoall_init::<i32>(4, Algo::Combining).unwrap();
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
         // One-shot collectives with the same shape hit the same entry.
         let send = vec![7i32; t * 4];
         let mut recv = vec![0i32; t * 4];
-        cart.alltoall(&send, &mut recv).unwrap();
-        cart.alltoall(&send, &mut recv).unwrap();
-        assert_eq!(cart.plan_cache_stats(), (3, 1));
+        cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (3, 1));
         // A different block size is a different program...
         let send2 = vec![7i32; t * 2];
         let mut recv2 = vec![0i32; t * 2];
-        cart.alltoall(&send2, &mut recv2).unwrap();
-        assert_eq!(cart.plan_cache_stats(), (3, 2));
+        cart.alltoall(&send2, &mut recv2, Algo::Combining).unwrap();
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (3, 2));
         // ...and so is a different collective kind.
         let sendg = vec![1i32; 4];
         let mut recvg = vec![0i32; t * 4];
-        cart.allgather(&sendg, &mut recvg).unwrap();
-        assert_eq!(cart.plan_cache_stats(), (3, 3));
+        cart.allgather(&sendg, &mut recvg, Algo::Combining).unwrap();
+        let s = cart.plans().cache_stats();
+        assert_eq!((s.hits, s.misses), (3, 3));
     });
 }
 

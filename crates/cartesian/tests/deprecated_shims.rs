@@ -1,0 +1,165 @@
+//! The 0.2.0 API consolidation keeps every pre-redesign entry point alive
+//! as a deprecated forwarder. These tests pin that the shims still produce
+//! results identical to the consolidated API, so downstream code can
+//! migrate at its own pace.
+#![allow(deprecated)]
+
+use cartcomm::exec::{BlockLayout, ExecLayouts};
+use cartcomm::ops::{Algo, Algorithm, WBlock};
+use cartcomm::plan::PlanKind;
+use cartcomm::CartComm;
+use cartcomm_comm::Universe;
+use cartcomm_topo::RelNeighborhood;
+use cartcomm_types::Datatype;
+
+fn on_torus<R: Send + 'static>(
+    f: impl Fn(&CartComm) -> R + Send + Sync + Clone + 'static,
+) -> Vec<R> {
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    Universe::run(9, move |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
+        f(&cart)
+    })
+}
+
+#[test]
+fn trivial_shims_match_algo_trivial() {
+    let outs = on_torus(|cart| {
+        let t = cart.neighbor_count();
+        let m = 3usize;
+        let rank = cart.rank();
+        let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+
+        let mut via_shim = vec![0i32; t * m];
+        cart.alltoall_trivial(&send, &mut via_shim).unwrap();
+        let mut via_algo = vec![0i32; t * m];
+        cart.alltoall(&send, &mut via_algo, Algo::Trivial).unwrap();
+        assert_eq!(via_shim, via_algo, "alltoall_trivial");
+
+        let gsend: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+        let mut g_shim = vec![0i32; t * m];
+        cart.allgather_trivial(&gsend, &mut g_shim).unwrap();
+        let mut g_algo = vec![0i32; t * m];
+        cart.allgather(&gsend, &mut g_algo, Algo::Trivial).unwrap();
+        assert_eq!(g_shim, g_algo, "allgather_trivial");
+        (via_shim, g_shim)
+    });
+    assert_eq!(outs.len(), 9);
+}
+
+#[test]
+fn v_and_w_trivial_shims_match() {
+    let outs = on_torus(|cart| {
+        let t = cart.neighbor_count();
+        let rank = cart.rank();
+        let counts = vec![2usize; t];
+        let displs: Vec<usize> = (0..t).map(|i| i * 2).collect();
+        let send: Vec<i32> = (0..t * 2).map(|x| (rank * 100 + x) as i32).collect();
+
+        let mut v_shim = vec![0i32; t * 2];
+        cart.alltoallv_trivial(&send, &counts, &displs, &mut v_shim, &counts, &displs)
+            .unwrap();
+        let mut v_algo = vec![0i32; t * 2];
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut v_algo,
+            &counts,
+            &displs,
+            Algo::Trivial,
+        )
+        .unwrap();
+        assert_eq!(v_shim, v_algo, "alltoallv_trivial");
+
+        let vg_displs: Vec<usize> = (0..t).map(|i| i * 2).collect();
+        let gsend: Vec<i32> = (0..2).map(|e| (rank * 10 + e) as i32).collect();
+        let mut vg_shim = vec![0i32; t * 2];
+        cart.allgatherv_trivial(&gsend, &mut vg_shim, 2, &vg_displs)
+            .unwrap();
+        let mut vg_algo = vec![0i32; t * 2];
+        cart.allgatherv(&gsend, &mut vg_algo, 2, &vg_displs, Algo::Trivial)
+            .unwrap();
+        assert_eq!(vg_shim, vg_algo, "allgatherv_trivial");
+
+        // w variants over raw bytes with contiguous blocks.
+        let blk = |i: usize| WBlock::new((i * 4) as i64, 4, &Datatype::byte());
+        let spec: Vec<WBlock> = (0..t).map(blk).collect();
+        let wsend: Vec<u8> = (0..t * 4).map(|x| (rank * 7 + x) as u8).collect();
+        let mut w_shim = vec![0u8; t * 4];
+        cart.alltoallw_trivial(&wsend, &spec, &mut w_shim, &spec)
+            .unwrap();
+        let mut w_algo = vec![0u8; t * 4];
+        cart.alltoallw(&wsend, &spec, &mut w_algo, &spec, Algo::Trivial)
+            .unwrap();
+        assert_eq!(w_shim, w_algo, "alltoallw_trivial");
+
+        let sendblock = blk(0);
+        let wgsend: Vec<u8> = (0..4).map(|x| (rank * 3 + x) as u8).collect();
+        let mut wg_shim = vec![0u8; t * 4];
+        cart.allgatherw_trivial(&wgsend, &sendblock, &mut wg_shim, &spec)
+            .unwrap();
+        let mut wg_algo = vec![0u8; t * 4];
+        cart.allgatherw(&wgsend, &sendblock, &mut wg_algo, &spec, Algo::Trivial)
+            .unwrap();
+        assert_eq!(wg_shim, wg_algo, "allgatherw_trivial");
+        v_shim
+    });
+    assert_eq!(outs.len(), 9);
+}
+
+#[test]
+fn plan_accessor_forwarders_match_plans_view() {
+    let outs = on_torus(|cart| {
+        // Schedule forwarders return the same shared plans.
+        let a_old = cart.alltoall_schedule();
+        let a_new = cart.plans().alltoall();
+        assert_eq!(a_old.rounds, a_new.rounds);
+        assert_eq!(a_old.volume_blocks, a_new.volume_blocks);
+        let g_old = cart.allgather_schedule();
+        let g_new = cart.plans().allgather();
+        assert_eq!(g_old.rounds, g_new.rounds);
+
+        // Compiled-plan forwarder goes through the same cache.
+        let t = cart.neighbor_count();
+        let m = 4usize;
+        let blocks: Vec<BlockLayout> = (0..t)
+            .map(|i| BlockLayout::contiguous((i * m) as i64, m))
+            .collect();
+        let lay = ExecLayouts {
+            send: blocks.clone(),
+            recv: blocks,
+            block_bytes: vec![m; t],
+            temp_offsets: Vec::new(),
+            temp_sizes: Vec::new(),
+        }
+        .with_temp_sizes(vec![m; a_new.temp_slots]);
+        let cp_old = cart.compiled_plan(PlanKind::Alltoall, lay.clone()).unwrap();
+        let cp_new = cart.plans().compiled(PlanKind::Alltoall, lay).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&cp_old, &cp_new), "same cached plan");
+
+        // Tuple forwarder mirrors the struct accessor.
+        let (h, m) = cart.plan_cache_stats();
+        let stats = cart.plans().cache_stats();
+        assert_eq!((h, m), (stats.hits, stats.misses));
+        (h, m)
+    });
+    // First compiled_plan call misses, second hits, on every rank.
+    for (h, m) in outs {
+        assert_eq!((h, m), (1, 1));
+    }
+}
+
+#[test]
+fn algorithm_alias_still_names_algo() {
+    // The deprecated `Algorithm` name is a type alias for `Algo`, so old
+    // signatures keep compiling and the variants are interchangeable.
+    let old: Algorithm = Algorithm::Combining;
+    let new: Algo = old;
+    assert_eq!(new, Algo::Combining);
+    let outs = on_torus(move |cart| {
+        let handle = cart.alltoall_init::<i32>(2, old).unwrap();
+        handle.is_combining()
+    });
+    assert!(outs.into_iter().all(|c| c));
+}

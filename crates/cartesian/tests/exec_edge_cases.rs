@@ -2,7 +2,7 @@
 //! receive layouts, overlapping send blocks, zero-size blocks, and
 //! error paths.
 
-use cartcomm::ops::{Algorithm, WBlock};
+use cartcomm::ops::{Algo, WBlock};
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
@@ -32,7 +32,8 @@ fn multi_hop_forwarding_through_strided_recv_layout() {
         {
             let sb = cartcomm_types::cast_slice(&send);
             let rb = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.alltoallw(sb, &sendspec, rb, &recvspec).unwrap();
+            cart.alltoallw(sb, &sendspec, rb, &recvspec, Algo::Combining)
+                .unwrap();
         }
         let src = topo
             .rank_of_offset(cart.rank(), &[-1, -1, -1])
@@ -65,7 +66,8 @@ fn overlapping_send_blocks_are_legal() {
         {
             let sb = cartcomm_types::cast_slice(&data);
             let rb = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.alltoallw(sb, &sendspec, rb, &recvspec).unwrap();
+            cart.alltoallw(sb, &sendspec, rb, &recvspec, Algo::Combining)
+                .unwrap();
         }
         let left = ((rank + 3) % 4) * 10;
         let right = ((rank + 1) % 4) * 10;
@@ -96,10 +98,26 @@ fn zero_count_blocks_in_alltoallv() {
         let send: Vec<i32> = (0..total).map(|x| (rank * 50 + x) as i32).collect();
         let mut a = vec![0i32; total];
         let mut b = vec![0i32; total];
-        cart.alltoallv(&send, &counts, &displs, &mut a, &counts, &displs)
-            .unwrap();
-        cart.alltoallv_trivial(&send, &counts, &displs, &mut b, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut a,
+            &counts,
+            &displs,
+            Algo::Combining,
+        )
+        .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut b,
+            &counts,
+            &displs,
+            Algo::Trivial,
+        )
+        .unwrap();
         assert_eq!(a, b);
         for (i, &c) in counts.iter().enumerate() {
             if c > 0 {
@@ -128,7 +146,8 @@ fn wrap_to_self_with_w_types() {
         {
             let sb = cartcomm_types::cast_slice(&send);
             let rb = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.alltoallw(sb, &sendspec, rb, &recvspec).unwrap();
+            cart.alltoallw(sb, &sendspec, rb, &recvspec, Algo::Combining)
+                .unwrap();
         }
         // block 0 from self (offset 2 ≡ 0), block 1 from the other rank
         assert_eq!(recv[0], rank * 7);
@@ -148,22 +167,28 @@ fn ops_error_paths() {
         let s3: Vec<WBlock> = (0..3).map(|i| WBlock::new(i * 4, 1, &int1)).collect();
         let buf = vec![0u8; 64];
         let mut out = vec![0u8; 64];
-        assert!(cart.alltoallw(&buf, &s4, &mut out, &s3).is_err());
+        assert!(cart
+            .alltoallw(&buf, &s4, &mut out, &s3, Algo::Combining)
+            .is_err());
         // mismatched per-index sizes
         let big: Vec<WBlock> = (0..4).map(|i| WBlock::new(i * 8, 2, &int1)).collect();
         assert!(matches!(
-            cart.alltoallw(&buf, &s4, &mut out, &big),
+            cart.alltoallw(&buf, &s4, &mut out, &big, Algo::Combining),
             Err(cartcomm::CartError::BlockSizeMismatch { .. })
         ));
         // allgatherv displacement list too short
         let send = vec![0i32; 2];
         let mut recv = vec![0i32; 8];
-        assert!(cart.allgatherv(&send, &mut recv, 2, &[0, 2, 4]).is_err());
+        assert!(cart
+            .allgatherv(&send, &mut recv, 2, &[0, 2, 4], Algo::Combining)
+            .is_err());
         // non-uniform allgather sizes rejected for combining
         let sb = WBlock::new(0, 2, &int1);
         let rs: Vec<WBlock> = (0..4).map(|i| WBlock::new(i * 8, 2, &int1)).collect();
         let mut ok_out = vec![0u8; 64];
-        assert!(cart.allgatherw(&buf[..8], &sb, &mut ok_out, &rs).is_ok());
+        assert!(cart
+            .allgatherw(&buf[..8], &sb, &mut ok_out, &rs, Algo::Combining)
+            .is_ok());
     });
 }
 
@@ -176,7 +201,7 @@ fn persistent_in_place_roundtrip() {
     Universe::run(4, |comm| {
         let cart = CartComm::create(comm, &[4], &[true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
-        let mut h = cart.alltoall_init::<i32>(1, Algorithm::Combining).unwrap();
+        let mut h = cart.alltoall_init::<i32>(1, Algo::Combining).unwrap();
         let mut buf: Vec<i32> = vec![rank * 2, rank * 2 + 1];
         {
             let bytes = cartcomm_types::cast_slice_mut(&mut buf);
@@ -189,7 +214,7 @@ fn persistent_in_place_roundtrip() {
         assert_eq!(buf, vec![from_left, from_right]);
 
         // trivial algorithm in place snapshots correctly too
-        let mut h2 = cart.alltoall_init::<i32>(1, Algorithm::Trivial).unwrap();
+        let mut h2 = cart.alltoall_init::<i32>(1, Algo::Trivial).unwrap();
         let mut buf2: Vec<i32> = vec![rank * 2, rank * 2 + 1];
         {
             let bytes = cartcomm_types::cast_slice_mut(&mut buf2);

@@ -2,6 +2,7 @@
 //! per-rank live-block filtering must match the trivial algorithm on
 //! arbitrary non-periodic and mixed-periodicity topologies.
 
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
@@ -19,8 +20,9 @@ fn check(dims: &[usize], periods: &[bool], nb: RelNeighborhood, m: usize) {
             .collect();
         let mut combining = vec![-1i32; t * m];
         let mut trivial = vec![-1i32; t * m];
-        cart.alltoall(&send, &mut combining).unwrap();
-        cart.alltoall_trivial(&send, &mut trivial).unwrap();
+        cart.alltoall(&send, &mut combining, Algo::Combining)
+            .unwrap();
+        cart.alltoall(&send, &mut trivial, Algo::Trivial).unwrap();
         // trivial leaves missing-neighbor blocks untouched; the mesh
         // combining path must behave identically
         assert_eq!(combining, trivial, "rank {rank}");
@@ -158,10 +160,26 @@ fn irregular_v_on_mesh() {
         let send: Vec<i32> = (0..total).map(|x| (rank * 100 + x) as i32).collect();
         let mut a = vec![-1i32; total];
         let mut b = vec![-1i32; total];
-        cart.alltoallv(&send, &counts, &displs, &mut a, &counts, &displs)
-            .unwrap();
-        cart.alltoallv_trivial(&send, &counts, &displs, &mut b, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut a,
+            &counts,
+            &displs,
+            Algo::Combining,
+        )
+        .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut b,
+            &counts,
+            &displs,
+            Algo::Trivial,
+        )
+        .unwrap();
         assert_eq!(a, b, "rank {rank}");
     });
 }

@@ -7,7 +7,7 @@
 //! growing after the warm-up, proving buffers cycle rank → wire → receiver
 //! pool → next send instead of accumulating.
 
-use cartcomm::ops::persistent::Algorithm;
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::RelNeighborhood;
@@ -16,13 +16,13 @@ const ITERS: usize = 1000;
 const WARMUP: usize = 10;
 const MID: usize = 100;
 
-fn run_stress(algorithm: Algorithm, expect_combining: bool) {
+fn run_stress(algo: Algo, expect_combining: bool) {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let m = 32usize; // elements per block
     Universe::run(16, move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
-        let mut handle = cart.alltoall_init::<u64>(m, algorithm).unwrap();
+        let mut handle = cart.alltoall_init::<u64>(m, algo).unwrap();
         assert_eq!(handle.is_combining(), expect_combining);
 
         let send: Vec<u64> = (0..t * m)
@@ -75,12 +75,12 @@ fn run_stress(algorithm: Algorithm, expect_combining: bool) {
 
 #[test]
 fn combining_persistent_alltoall_converges_with_full_hit_rate() {
-    run_stress(Algorithm::Combining, true);
+    run_stress(Algo::Combining, true);
 }
 
 #[test]
 fn trivial_persistent_alltoall_converges_with_full_hit_rate() {
-    run_stress(Algorithm::Trivial, false);
+    run_stress(Algo::Trivial, false);
 }
 
 #[test]
@@ -90,7 +90,7 @@ fn persistent_allgather_converges_with_full_hit_rate() {
     let m = 16usize;
     Universe::run(16, move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
-        let mut handle = cart.allgather_init::<u64>(m, Algorithm::Combining).unwrap();
+        let mut handle = cart.allgather_init::<u64>(m, Algo::Combining).unwrap();
         let send: Vec<u64> = (0..m).map(|i| (cart.rank() * 1000 + i) as u64).collect();
         let mut recv = vec![0u64; t * m];
         let mut mid_retained = 0u64;
@@ -119,7 +119,7 @@ fn first_execute_after_init_already_hits() {
     let t = nb.len();
     Universe::run(16, move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
-        let mut handle = cart.alltoall_init::<u64>(8, Algorithm::Combining).unwrap();
+        let mut handle = cart.alltoall_init::<u64>(8, Algo::Combining).unwrap();
         cart.comm().wire_pool().reset_stats();
         let send = vec![1u64; t * 8];
         let mut recv = vec![0u64; t * 8];

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 
 use cartcomm::exec::{BlockLayout, ExecLayouts};
 use cartcomm::exec_mesh::execute_alltoall_mesh;
+use cartcomm::ops::Algo;
 use cartcomm::schedule::{allgather_plan, alltoall_plan};
 use cartcomm::{CartComm, Loc, Plan};
 use cartcomm_comm::Universe;
@@ -292,12 +293,12 @@ proptest! {
                 .collect();
             // Compiled path (through the communicator's plan cache).
             let mut compiled = vec![0u8; t * m];
-            cart.alltoall::<u8>(&send, &mut compiled).unwrap();
+            cart.alltoall::<u8>(&send, &mut compiled, Algo::Combining).unwrap();
             // Trivial reference.
             let mut trivial = vec![0u8; t * m];
-            cart.alltoall_trivial::<u8>(&send, &mut trivial).unwrap();
+            cart.alltoall::<u8>(&send, &mut trivial, Algo::Trivial).unwrap();
             // Interpreted plan executor over the same layouts.
-            let plan = cart.alltoall_schedule();
+            let plan = cart.plans().alltoall();
             let blocks: Vec<BlockLayout> = (0..t)
                 .map(|i| BlockLayout::contiguous((i * m) as i64, m))
                 .collect();

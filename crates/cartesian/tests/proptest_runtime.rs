@@ -4,6 +4,7 @@
 //! universe — but shrinkage makes these far more informative than fixed
 //! random sweeps when something breaks.
 
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::RelNeighborhood;
@@ -56,8 +57,8 @@ proptest! {
             let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
             let mut a = vec![-5i32; t * m];
             let mut b = vec![-5i32; t * m];
-            cart.alltoall(&send, &mut a).unwrap();
-            cart.alltoall_trivial(&send, &mut b).unwrap();
+            cart.alltoall(&send, &mut a, Algo::Combining).unwrap();
+            cart.alltoall(&send, &mut b, Algo::Trivial).unwrap();
             (a, b)
         });
         for (rank, (a, b)) in results.into_iter().enumerate() {
@@ -78,12 +79,38 @@ proptest! {
             let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
             let mut a = vec![-5i32; t * m];
             let mut b = vec![-5i32; t * m];
-            cart.allgather(&send, &mut a).unwrap();
-            cart.allgather_trivial(&send, &mut b).unwrap();
+            cart.allgather(&send, &mut a, Algo::Combining).unwrap();
+            cart.allgather(&send, &mut b, Algo::Trivial).unwrap();
             (a, b)
         });
         for (rank, (a, b)) in results.into_iter().enumerate() {
             prop_assert_eq!(a, b, "divergence at rank {}", rank);
+        }
+    }
+
+    /// `Algo::Auto` delivers bytes identical to BOTH explicit algorithms,
+    /// wherever its cut-off heuristic lands, for any α/β ratio.
+    #[test]
+    fn auto_equals_both_explicit_algorithms(case in arb_case(), ab in 0.0f64..4096.0) {
+        let Case { dims, periods, offsets, m } = case;
+        let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
+        let t = nb.len();
+        let p: usize = dims.iter().product();
+        let results = Universe::run(p, |comm| {
+            let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+            let mut auto = vec![-5i32; t * m];
+            let mut trivial = vec![-5i32; t * m];
+            let mut combining = vec![-5i32; t * m];
+            cart.alltoall(&send, &mut auto, Algo::Auto { alpha_beta_bytes: ab }).unwrap();
+            cart.alltoall(&send, &mut trivial, Algo::Trivial).unwrap();
+            cart.alltoall(&send, &mut combining, Algo::Combining).unwrap();
+            (auto, trivial, combining)
+        });
+        for (rank, (auto, trivial, combining)) in results.into_iter().enumerate() {
+            prop_assert_eq!(&auto, &trivial, "auto vs trivial at rank {}", rank);
+            prop_assert_eq!(&auto, &combining, "auto vs combining at rank {}", rank);
         }
     }
 

@@ -2,6 +2,7 @@
 //! collectives must stay correct through any rank permutation, and the
 //! brick mapping must measurably reduce inter-node traffic.
 
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{brick_permutation, traffic_summary, CartTopology, RelNeighborhood};
@@ -25,8 +26,9 @@ fn reordered_alltoall_delivers_correctly() {
         let send: Vec<i32> = (0..t).map(|i| (rank * 100 + i) as i32).collect();
         let mut combining = vec![0i32; t];
         let mut trivial = vec![0i32; t];
-        cart.alltoall(&send, &mut combining).unwrap();
-        cart.alltoall_trivial(&send, &mut trivial).unwrap();
+        cart.alltoall(&send, &mut combining, Algo::Combining)
+            .unwrap();
+        cart.alltoall(&send, &mut trivial, Algo::Trivial).unwrap();
         assert_eq!(combining, trivial);
         for (i, off) in nb.offsets().iter().enumerate() {
             let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
@@ -51,7 +53,7 @@ fn reordered_allgather_and_reduce_agree_with_identity_results() {
             .unwrap();
         let send = [cart.rank() as i64];
         let mut recv = vec![0i64; t];
-        cart.allgather(&send, &mut recv).unwrap();
+        cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
         let mut acc = [cart.rank() as i64];
         cart.neighbor_reduce(&mut acc, |a, b| a + b).unwrap();
         // reduce = own + sum of allgather blocks

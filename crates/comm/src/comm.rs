@@ -4,6 +4,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 
+use cartcomm_obs::{MetricsSnapshot, Obs, TraceEvent};
 use crossbeam_channel::Receiver;
 use parking_lot::Mutex;
 
@@ -45,6 +46,99 @@ impl RecvSpec {
     }
 }
 
+/// What happens to the buffers a phase exchange returns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Received payloads stay attached to this rank's wire pool and
+    /// recycle on drop — the schedule hot path. Default.
+    #[default]
+    Pooled,
+    /// Received payloads are detached from the pool: the caller takes
+    /// plain ownership and the backing stores are not recycled (the
+    /// semantics of the pre-pool `exchange` API).
+    Detached,
+}
+
+/// Options of a [`Comm::exchange`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExchangeOpts {
+    /// Buffer policy for received payloads.
+    pub buffers: BufferPolicy,
+}
+
+impl ExchangeOpts {
+    /// Pooled receive buffers (the default).
+    pub fn pooled() -> Self {
+        ExchangeOpts {
+            buffers: BufferPolicy::Pooled,
+        }
+    }
+
+    /// Detached receive buffers.
+    pub fn detached() -> Self {
+        ExchangeOpts {
+            buffers: BufferPolicy::Detached,
+        }
+    }
+}
+
+/// The reusable send/result storage of a phase exchange.
+///
+/// Queue sends with [`ExchangeBatch::send`], run the phase with
+/// [`Comm::exchange`], then consume completions with
+/// [`ExchangeBatch::take_result`] or [`ExchangeBatch::drain_results`].
+/// Both internal vectors keep their capacity across phases, so reusing
+/// one batch across executes makes a warm exchange allocation-free.
+#[derive(Debug, Default)]
+pub struct ExchangeBatch {
+    sends: Vec<(usize, Tag, PooledBuf)>,
+    results: Vec<Option<(PooledBuf, Status)>>,
+}
+
+impl ExchangeBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        ExchangeBatch::default()
+    }
+
+    /// An empty batch with room for `n` sends without reallocation.
+    pub fn with_capacity(n: usize) -> Self {
+        ExchangeBatch {
+            sends: Vec::with_capacity(n),
+            results: Vec::with_capacity(n),
+        }
+    }
+
+    /// Queue one send. Payloads convert from `Vec<u8>` or travel as
+    /// [`PooledBuf`]s from [`Comm::wire_buf`].
+    pub fn send(&mut self, dst: usize, tag: Tag, data: impl Into<PooledBuf>) {
+        self.sends.push((dst, tag, data.into()));
+    }
+
+    /// Number of queued (not yet exchanged) sends.
+    pub fn pending_sends(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// Take the completion of receive slot `slot` from the last exchange:
+    /// `None` if the slot was already taken (or out of range).
+    pub fn take_result(&mut self, slot: usize) -> Option<(PooledBuf, Status)> {
+        self.results.get_mut(slot).and_then(Option::take)
+    }
+
+    /// Drain all remaining completions of the last exchange in slot
+    /// order, skipping already-taken slots.
+    pub fn drain_results(&mut self) -> impl Iterator<Item = (PooledBuf, Status)> + '_ {
+        self.results.drain(..).flatten()
+    }
+
+    /// Drop queued sends and pending results (capacity is kept).
+    pub fn clear(&mut self) {
+        self.sends.clear();
+        self.results.clear();
+    }
+}
+
 /// Per-rank state shared between a communicator and its duplicates.
 struct RankCore {
     rx: Receiver<Envelope>,
@@ -69,6 +163,9 @@ pub struct Comm {
     /// This rank's wire-buffer pool (shared with the fabric, which
     /// retargets inbound payloads to it).
     pool: Arc<WirePool>,
+    /// This rank's observability handle (shared with the fabric and all
+    /// duplicated contexts).
+    obs: Arc<Obs>,
     core: Arc<RankCore>,
 }
 
@@ -76,12 +173,14 @@ impl Comm {
     pub(crate) fn new(rank: usize, fabric: Arc<Fabric>, rx: Receiver<Envelope>) -> Self {
         let size = fabric.size();
         let pool = Arc::clone(fabric.pool(rank));
+        let obs = Arc::clone(fabric.obs(rank));
         Comm {
             rank,
             size,
             ctx: 0,
             fabric,
             pool,
+            obs,
             core: Arc::new(RankCore {
                 rx,
                 pending: Mutex::new(VecDeque::new()),
@@ -125,6 +224,7 @@ impl Comm {
             ctx,
             fabric: Arc::clone(&self.fabric),
             pool: Arc::clone(&self.pool),
+            obs: Arc::clone(&self.obs),
             core: Arc::clone(&self.core),
         }
     }
@@ -137,6 +237,7 @@ impl Comm {
             ctx: 1,
             fabric: Arc::clone(&self.fabric),
             pool: Arc::clone(&self.pool),
+            obs: Arc::clone(&self.obs),
             core: Arc::clone(&self.core),
         }
     }
@@ -156,13 +257,40 @@ impl Comm {
         (self.fabric.message_count(), self.fabric.byte_volume())
     }
 
+    // ----- observability ---------------------------------------------------
+
+    /// This rank's observability handle: metrics registry, trace sink
+    /// attachment, and clock selection. Shared across duplicated contexts
+    /// of the rank.
+    #[inline]
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// Snapshot of this rank's metrics registry — the consolidated view
+    /// of rounds, wire bytes, matches, pack spans, and pool/plan-cache
+    /// traffic.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.obs.snapshot()
+    }
+
     // ----- wire-buffer pool ------------------------------------------------
 
     /// Acquire an empty wire buffer with capacity at least `cap` from this
     /// rank's pool. Dropping it (here or, after a send, on the receiving
     /// rank) recycles the backing store.
     pub fn wire_buf(&self, cap: usize) -> PooledBuf {
-        WirePool::take(&self.pool, cap)
+        let (buf, hit) = WirePool::take_tracked(&self.pool, cap);
+        if hit {
+            self.obs.metrics().pool_hit();
+            self.obs
+                .emit_with(self.rank, || TraceEvent::PoolHit { bytes: cap });
+        } else {
+            self.obs.metrics().pool_miss();
+            self.obs
+                .emit_with(self.rank, || TraceEvent::PoolMiss { bytes: cap });
+        }
+        buf
     }
 
     /// This rank's wire-buffer pool handle (for pre-warming by persistent
@@ -389,68 +517,29 @@ impl Comm {
     /// several slots with the same `(src, tag)` complete in posting order
     /// against the sender's posting order (non-overtaking).
     ///
-    /// Returns the received payloads in *slot order*.
+    /// Sends are queued on the [`ExchangeBatch`] beforehand; on return the
+    /// batch holds one completion per [`RecvSpec`], in slot order, consumed
+    /// with [`ExchangeBatch::take_result`]/[`ExchangeBatch::drain_results`].
+    /// The batch's internal vectors keep their capacity, so reusing one
+    /// batch across phases makes a warm exchange allocation-free — wire
+    /// payloads already travel as pooled buffers.
     ///
-    /// Compatibility form over plain `Vec<u8>` payloads; schedule execution
-    /// uses [`Comm::exchange_pooled`], which is identical except that
-    /// buffers travel as [`PooledBuf`]s and recycle on drop.
+    /// [`ExchangeOpts::buffers`] selects what the received payloads are
+    /// attached to: [`BufferPolicy::Pooled`] (default — buffers recycle
+    /// into this rank's pool on drop) or [`BufferPolicy::Detached`] (plain
+    /// ownership, nothing recycled).
     pub fn exchange(
         &self,
-        sends: Vec<(usize, Tag, Vec<u8>)>,
+        batch: &mut ExchangeBatch,
         recvs: &[RecvSpec],
-    ) -> CommResult<Vec<(Vec<u8>, Status)>> {
-        let sends = sends
-            .into_iter()
-            .map(|(dst, tag, data)| (dst, tag, PooledBuf::from(data)))
-            .collect();
-        Ok(self
-            .exchange_core(sends, recvs)?
-            .into_iter()
-            .map(|(buf, status)| (buf.into_vec(), status))
-            .collect())
-    }
-
-    /// [`Comm::exchange`] over pooled wire buffers: the schedule hot path.
-    /// Send buffers come from [`Comm::wire_buf`]; received buffers return
-    /// to this rank's pool when dropped after unpacking.
-    pub fn exchange_pooled(
-        &self,
-        sends: Vec<(usize, Tag, PooledBuf)>,
-        recvs: &[RecvSpec],
-    ) -> CommResult<Vec<(PooledBuf, Status)>> {
-        self.exchange_core(sends, recvs)
-    }
-
-    fn exchange_core(
-        &self,
-        mut sends: Vec<(usize, Tag, PooledBuf)>,
-        recvs: &[RecvSpec],
-    ) -> CommResult<Vec<(PooledBuf, Status)>> {
-        let mut results = Vec::new();
-        self.exchange_into(&mut sends, recvs, &mut results)?;
-        Ok(results
-            .into_iter()
-            .map(|r| r.expect("all slots filled"))
-            .collect())
-    }
-
-    /// Allocation-free form of [`Comm::exchange_pooled`] for steady-state
-    /// schedule execution: `sends` is drained (its capacity is kept for the
-    /// next phase) and `results` is cleared and refilled in slot order, one
-    /// `Some` per [`RecvSpec`]. Reusing both vectors across executes means
-    /// a warm phase exchange touches no allocator at all — wire payloads
-    /// already travel as pooled buffers.
-    pub fn exchange_into(
-        &self,
-        sends: &mut Vec<(usize, Tag, PooledBuf)>,
-        recvs: &[RecvSpec],
-        results: &mut Vec<Option<(PooledBuf, Status)>>,
+        opts: ExchangeOpts,
     ) -> CommResult<()> {
-        for &(dst, _, _) in sends.iter() {
+        for &(dst, _, _) in batch.sends.iter() {
             self.check_rank(dst)?;
         }
+        self.obs.metrics().exchange_started();
         // Issue all sends eagerly (Isend with buffered completion).
-        for (dst, tag, data) in sends.drain(..) {
+        for (dst, tag, data) in batch.sends.drain(..) {
             self.fabric.deposit(
                 dst,
                 Envelope {
@@ -463,6 +552,7 @@ impl Comm {
         }
         // Complete receives with FIFO slot matching: an incoming message
         // goes to the earliest-posted open slot it satisfies.
+        let results = &mut batch.results;
         results.clear();
         results.resize_with(recvs.len(), || None);
         let mut open = recvs.len();
@@ -487,12 +577,7 @@ impl Comm {
         while i < pending.len() && open > 0 {
             if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, results) {
                 let env = pending.remove(i).expect("index in range");
-                let status = Status {
-                    src: env.src,
-                    tag: env.tag,
-                    bytes: env.data.len(),
-                };
-                results[slot] = Some((env.data, status));
+                self.complete_slot(results, slot, env);
                 open -= 1;
             } else {
                 i += 1;
@@ -503,18 +588,106 @@ impl Comm {
                 peer: "fabric".into(),
             })?;
             if let Some(slot) = find_slot(self.ctx, &env, recvs, results) {
-                let status = Status {
-                    src: env.src,
-                    tag: env.tag,
-                    bytes: env.data.len(),
-                };
-                results[slot] = Some((env.data, status));
+                self.complete_slot(results, slot, env);
                 open -= 1;
             } else {
                 pending.push_back(env);
             }
         }
         drop(pending);
+        if opts.buffers == BufferPolicy::Detached {
+            for (buf, _) in results.iter_mut().flatten() {
+                buf.detach();
+            }
+        }
         Ok(())
+    }
+
+    /// Fill receive slot `slot` from `env`, recording the match.
+    fn complete_slot(
+        &self,
+        results: &mut [Option<(PooledBuf, Status)>],
+        slot: usize,
+        env: Envelope,
+    ) {
+        let status = Status {
+            src: env.src,
+            tag: env.tag,
+            bytes: env.data.len(),
+        };
+        self.obs.metrics().message_matched(status.bytes);
+        self.obs
+            .emit_with(self.rank, || TraceEvent::ExchangeMatched {
+                src: status.src,
+                tag: status.tag,
+                bytes: status.bytes,
+                slot,
+            });
+        results[slot] = Some((env.data, status));
+    }
+
+    /// Pre-batch compatibility form of [`Comm::exchange`] over plain
+    /// `Vec<u8>` payloads (the original `exchange` signature, renamed when
+    /// `exchange` took over the unified batch form).
+    #[deprecated(
+        since = "0.2.0",
+        note = "queue sends on an `ExchangeBatch` and call `Comm::exchange` \
+                with `ExchangeOpts::detached()`"
+    )]
+    pub fn exchange_vecs(
+        &self,
+        sends: Vec<(usize, Tag, Vec<u8>)>,
+        recvs: &[RecvSpec],
+    ) -> CommResult<Vec<(Vec<u8>, Status)>> {
+        let mut batch = ExchangeBatch::with_capacity(sends.len());
+        for (dst, tag, data) in sends {
+            batch.send(dst, tag, data);
+        }
+        self.exchange(&mut batch, recvs, ExchangeOpts::detached())?;
+        Ok(batch
+            .drain_results()
+            .map(|(buf, status)| (buf.into_vec(), status))
+            .collect())
+    }
+
+    /// Pre-batch form of [`Comm::exchange`] over pooled wire buffers.
+    #[deprecated(
+        since = "0.2.0",
+        note = "queue sends on an `ExchangeBatch` and call `Comm::exchange` \
+                (pooled buffers are the default policy)"
+    )]
+    pub fn exchange_pooled(
+        &self,
+        sends: Vec<(usize, Tag, PooledBuf)>,
+        recvs: &[RecvSpec],
+    ) -> CommResult<Vec<(PooledBuf, Status)>> {
+        let mut batch = ExchangeBatch {
+            sends,
+            results: Vec::with_capacity(recvs.len()),
+        };
+        self.exchange(&mut batch, recvs, ExchangeOpts::pooled())?;
+        Ok(batch.drain_results().collect())
+    }
+
+    /// Pre-batch allocation-free form of [`Comm::exchange`] over caller-
+    /// owned send/result vectors.
+    #[deprecated(
+        since = "0.2.0",
+        note = "keep a reusable `ExchangeBatch` and call `Comm::exchange`"
+    )]
+    pub fn exchange_into(
+        &self,
+        sends: &mut Vec<(usize, Tag, PooledBuf)>,
+        recvs: &[RecvSpec],
+        results: &mut Vec<Option<(PooledBuf, Status)>>,
+    ) -> CommResult<()> {
+        let mut batch = ExchangeBatch {
+            sends: std::mem::take(sends),
+            results: std::mem::take(results),
+        };
+        let outcome = self.exchange(&mut batch, recvs, ExchangeOpts::pooled());
+        *sends = std::mem::take(&mut batch.sends);
+        *results = std::mem::take(&mut batch.results);
+        outcome
     }
 }

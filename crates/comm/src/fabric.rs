@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use cartcomm_obs::Obs;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 
 use crate::envelope::Envelope;
@@ -20,6 +21,9 @@ pub struct Fabric {
     /// destination's pool, so unpacked messages recycle where the next
     /// receive happens.
     pools: Vec<Arc<WirePool>>,
+    /// Per-rank observability handles; `deposit` credits the sender's
+    /// wire-byte counters here.
+    obs: Vec<Arc<Obs>>,
     /// Total messages deposited (telemetry for benchmarks).
     msg_count: std::sync::atomic::AtomicU64,
     /// Total payload bytes deposited (telemetry for benchmarks).
@@ -40,6 +44,7 @@ impl Fabric {
             Fabric {
                 senders,
                 pools: (0..p).map(|_| Arc::new(WirePool::new())).collect(),
+                obs: (0..p).map(|_| Arc::new(Obs::new())).collect(),
                 msg_count: std::sync::atomic::AtomicU64::new(0),
                 byte_count: std::sync::atomic::AtomicU64::new(0),
             },
@@ -51,6 +56,12 @@ impl Fabric {
     #[inline]
     pub fn pool(&self, rank: usize) -> &Arc<WirePool> {
         &self.pools[rank]
+    }
+
+    /// The observability handle owned by `rank`.
+    #[inline]
+    pub fn obs(&self, rank: usize) -> &Arc<Obs> {
+        &self.obs[rank]
     }
 
     /// Number of ranks.
@@ -67,6 +78,7 @@ impl Fabric {
         self.msg_count.fetch_add(1, Ordering::Relaxed);
         self.byte_count
             .fetch_add(env.data.len() as u64, Ordering::Relaxed);
+        self.obs[env.src].metrics().add_wire_sent(env.data.len());
         // From here the buffer belongs to the receiving side: when the
         // receiver drops it after unpacking, the bytes land in *its* pool.
         env.data.retarget(&self.pools[dst]);

@@ -43,8 +43,13 @@ pub mod fabric;
 pub mod pool;
 pub mod universe;
 
-pub use comm::{Comm, RecvSpec, Status};
+pub use comm::{BufferPolicy, Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Status};
 pub use envelope::{SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult};
 pub use pool::{PoolStats, PooledBuf, WirePool};
 pub use universe::Universe;
+
+/// Structured observability (re-export of `cartcomm-obs`): every rank's
+/// [`Comm`] carries an [`cartcomm_obs::Obs`] handle reachable via
+/// [`Comm::obs`].
+pub use cartcomm_obs as obs;

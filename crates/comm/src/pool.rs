@@ -119,32 +119,45 @@ impl WirePool {
     /// Acquire an **empty** buffer whose capacity is at least `cap` bytes,
     /// attached to `pool` so it returns on drop.
     pub fn take(pool: &Arc<WirePool>, cap: usize) -> PooledBuf {
+        Self::take_tracked(pool, cap).0
+    }
+
+    /// [`WirePool::take`] that also reports whether the acquisition was
+    /// served from a free list (`true`) or had to allocate (`false`), so
+    /// callers can forward the outcome to an observability layer.
+    pub fn take_tracked(pool: &Arc<WirePool>, cap: usize) -> (PooledBuf, bool) {
         let Some(class) = Self::class_of(cap) else {
             // Oversize: plain allocation, recycled nowhere.
             pool.misses.fetch_add(1, Ordering::Relaxed);
-            return PooledBuf {
-                data: Vec::with_capacity(cap),
-                pool: None,
-            };
+            return (
+                PooledBuf {
+                    data: Vec::with_capacity(cap),
+                    pool: None,
+                },
+                false,
+            );
         };
         let reused = pool.classes[class].lock().pop();
-        let data = match reused {
+        let (data, hit) = match reused {
             Some(buf) => {
                 pool.hits.fetch_add(1, Ordering::Relaxed);
                 pool.retained_bytes
                     .fetch_sub(buf.capacity() as u64, Ordering::Relaxed);
-                buf
+                (buf, true)
             }
             None => {
                 pool.misses.fetch_add(1, Ordering::Relaxed);
-                Vec::with_capacity(Self::class_bytes(class))
+                (Vec::with_capacity(Self::class_bytes(class)), false)
             }
         };
         debug_assert!(data.is_empty() && data.capacity() >= cap);
-        PooledBuf {
-            data,
-            pool: Some(Arc::clone(pool)),
-        }
+        (
+            PooledBuf {
+                data,
+                pool: Some(Arc::clone(pool)),
+            },
+            hit,
+        )
     }
 
     /// Return a backing store to the pool (internal; called from
@@ -236,6 +249,13 @@ impl PooledBuf {
     pub fn into_vec(mut self) -> Vec<u8> {
         self.pool = None;
         std::mem::take(&mut self.data)
+    }
+
+    /// Detach in place: the buffer keeps its bytes but will no longer
+    /// return to any pool on drop (the `Detached` buffer policy of
+    /// `Comm::exchange`).
+    pub fn detach(&mut self) {
+        self.pool = None;
     }
 }
 

@@ -3,14 +3,33 @@
 //! same-`(src, tag)` slots in one batch, stale messages left over from a
 //! prior collective sitting in the unexpected queue, and duplicated
 //! contexts running interleaved collectives concurrently. All of these must
-//! hold identically for the pooled exchange path, since `exchange` and
-//! `exchange_pooled` share one matching core.
+//! hold identically for both buffer policies, since `Pooled` and `Detached`
+//! exchanges share one matching core.
 
-use cartcomm_comm::{Comm, RecvSpec, Universe};
+use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Status, Universe};
 
 /// Pack a round-trip counter into a payload for order checking.
 fn payload(i: usize) -> Vec<u8> {
     vec![i as u8, (i * 7 + 1) as u8]
+}
+
+/// One-shot detached exchange over plain byte vectors (the shape of the
+/// pre-batch API, on the unified entry point).
+fn exchange_vecs(
+    comm: &Comm,
+    sends: Vec<(usize, u32, Vec<u8>)>,
+    specs: &[RecvSpec],
+) -> Vec<(Vec<u8>, Status)> {
+    let mut batch = ExchangeBatch::with_capacity(sends.len());
+    for (dst, tag, data) in sends {
+        batch.send(dst, tag, data);
+    }
+    comm.exchange(&mut batch, specs, ExchangeOpts::detached())
+        .unwrap();
+    batch
+        .drain_results()
+        .map(|(buf, status)| (buf.into_vec(), status))
+        .collect()
 }
 
 #[test]
@@ -22,10 +41,10 @@ fn many_same_src_tag_slots_complete_in_posting_order() {
     Universe::run(2, |comm| {
         if comm.rank() == 0 {
             let sends = (0..N).map(|i| (1usize, 9, payload(i))).collect();
-            comm.exchange(sends, &[]).unwrap();
+            exchange_vecs(comm, sends, &[]);
         } else {
             let specs = vec![RecvSpec::from_rank(0, 9); N];
-            let rx = comm.exchange(vec![], &specs).unwrap();
+            let rx = exchange_vecs(comm, vec![], &specs);
             for (i, (data, status)) in rx.iter().enumerate() {
                 assert_eq!(data, &payload(i), "slot {i} out of order");
                 assert_eq!(status.src, 0);
@@ -37,26 +56,28 @@ fn many_same_src_tag_slots_complete_in_posting_order() {
 
 #[test]
 fn many_same_src_tag_slots_pooled_round_trip() {
-    // Same scenario through the pooled API: wire buffers acquired from the
-    // sender's pool, delivered in order, recycled into the receiver's pool.
+    // Same scenario through the default pooled policy: wire buffers
+    // acquired from the sender's pool, delivered in order, recycled into
+    // the receiver's pool.
     const N: usize = 8;
     Universe::run(2, |comm| {
         if comm.rank() == 0 {
-            let sends = (0..N)
-                .map(|i| {
-                    let mut wire = comm.wire_buf(2);
-                    wire.extend_from_slice(&payload(i));
-                    (1usize, 9, wire)
-                })
-                .collect();
-            comm.exchange_pooled(sends, &[]).unwrap();
+            let mut batch = ExchangeBatch::with_capacity(N);
+            for i in 0..N {
+                let mut wire = comm.wire_buf(2);
+                wire.extend_from_slice(&payload(i));
+                batch.send(1, 9, wire);
+            }
+            comm.exchange(&mut batch, &[], ExchangeOpts::default())
+                .unwrap();
         } else {
             let specs = vec![RecvSpec::from_rank(0, 9); N];
-            let rx = comm.exchange_pooled(vec![], &specs).unwrap();
-            for (i, (data, _)) in rx.iter().enumerate() {
-                assert_eq!(data, &payload(i), "slot {i} out of order");
+            let mut batch = ExchangeBatch::new();
+            comm.exchange(&mut batch, &specs, ExchangeOpts::default())
+                .unwrap();
+            for (i, (data, _)) in batch.drain_results().enumerate() {
+                assert_eq!(data, payload(i), "slot {i} out of order");
             }
-            drop(rx);
             // All 8 received buffers recycled into THIS rank's pool.
             let stats = comm.pool_telemetry();
             assert!(
@@ -65,6 +86,44 @@ fn many_same_src_tag_slots_pooled_round_trip() {
                 N * 64,
                 stats.bytes_recycled
             );
+        }
+    });
+}
+
+#[test]
+fn deprecated_forwarders_still_match_identically() {
+    // The one-release compatibility shims (`exchange_vecs`,
+    // `exchange_pooled`, `exchange_into`) must forward to the same
+    // matching core.
+    #![allow(deprecated)]
+    const N: usize = 4;
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            let sends: Vec<_> = (0..N).map(|i| (1usize, 9, payload(i))).collect();
+            comm.exchange_vecs(sends, &[]).unwrap();
+            let pooled: Vec<_> = (0..N)
+                .map(|i| {
+                    let mut wire = comm.wire_buf(2);
+                    wire.extend_from_slice(&payload(i + 10));
+                    (1usize, 11, wire)
+                })
+                .collect();
+            comm.exchange_pooled(pooled, &[]).unwrap();
+        } else {
+            let specs = vec![RecvSpec::from_rank(0, 9); N];
+            let rx = comm.exchange_vecs(vec![], &specs).unwrap();
+            for (i, (data, _)) in rx.iter().enumerate() {
+                assert_eq!(data, &payload(i), "exchange_vecs slot {i}");
+            }
+            let specs = vec![RecvSpec::from_rank(0, 11); N];
+            let mut sends = Vec::new();
+            let mut results = Vec::new();
+            comm.exchange_into(&mut sends, &specs, &mut results)
+                .unwrap();
+            for (i, r) in results.iter().enumerate() {
+                let (data, _) = r.as_ref().expect("slot filled");
+                assert_eq!(*data, payload(i + 10), "exchange_into slot {i}");
+            }
         }
     });
 }
@@ -82,16 +141,16 @@ fn stale_messages_from_prior_collective_do_not_poison_matching() {
             let a = (0..R)
                 .map(|i| (1usize, 100 + i as u32, payload(i)))
                 .collect();
-            comm.exchange(a, &[]).unwrap();
+            exchange_vecs(comm, a, &[]);
             let b = (0..R)
                 .map(|i| (1usize, 200 + i as u32, payload(i + 10)))
                 .collect();
-            comm.exchange(b, &[]).unwrap();
+            exchange_vecs(comm, b, &[]);
         } else {
             let spec_b: Vec<RecvSpec> = (0..R)
                 .map(|i| RecvSpec::from_rank(0, 200 + i as u32))
                 .collect();
-            let rx_b = comm.exchange(vec![], &spec_b).unwrap();
+            let rx_b = exchange_vecs(comm, vec![], &spec_b);
             for (i, (data, _)) in rx_b.iter().enumerate() {
                 assert_eq!(data, &payload(i + 10), "collective B slot {i}");
             }
@@ -100,7 +159,7 @@ fn stale_messages_from_prior_collective_do_not_poison_matching() {
             let spec_a: Vec<RecvSpec> = (0..R)
                 .map(|i| RecvSpec::from_rank(0, 100 + i as u32))
                 .collect();
-            let rx_a = comm.exchange(vec![], &spec_a).unwrap();
+            let rx_a = exchange_vecs(comm, vec![], &spec_a);
             for (i, (data, _)) in rx_a.iter().enumerate() {
                 assert_eq!(data, &payload(i), "collective A slot {i}");
             }
@@ -121,12 +180,11 @@ fn stale_same_signature_message_matches_before_fresh_one() {
             // Force the first message into the unexpected queue by
             // receiving something else first.
             comm.probe(0, 7).unwrap(); // both may or may not have arrived
-            let rx = comm
-                .exchange(
-                    vec![],
-                    &[RecvSpec::from_rank(0, 7), RecvSpec::from_rank(0, 7)],
-                )
-                .unwrap();
+            let rx = exchange_vecs(
+                comm,
+                vec![],
+                &[RecvSpec::from_rank(0, 7), RecvSpec::from_rank(0, 7)],
+            );
             assert_eq!(rx[0].0, b"stale".to_vec());
             assert_eq!(rx[1].0, b"fresh".to_vec());
         }
@@ -150,11 +208,10 @@ fn dup_contexts_run_interleaved_collectives_concurrently() {
         // opposite orders on even/odd ranks, so every receiver's channel
         // carries the two contexts' traffic interleaved differently.
         let send = |c: &Comm, marker: u8| {
-            c.exchange(vec![(right, 3, vec![marker, r as u8])], &[])
-                .unwrap();
+            exchange_vecs(c, vec![(right, 3, vec![marker, r as u8])], &[]);
         };
         let recv = |c: &Comm| -> Vec<u8> {
-            let rx = c.exchange(vec![], &[RecvSpec::from_rank(left, 3)]).unwrap();
+            let rx = exchange_vecs(c, vec![], &[RecvSpec::from_rank(left, 3)]);
             rx.into_iter().next().unwrap().0
         };
         if r % 2 == 0 {
@@ -182,23 +239,40 @@ fn wildcard_slot_respects_fifo_against_specific_slots() {
     // the second message completes slot 1.
     Universe::run(2, |comm| {
         if comm.rank() == 0 {
-            comm.exchange(vec![(1, 5, vec![1]), (1, 5, vec![2])], &[])
-                .unwrap();
+            exchange_vecs(comm, vec![(1, 5, vec![1]), (1, 5, vec![2])], &[]);
         } else {
-            let rx = comm
-                .exchange(
-                    vec![],
-                    &[
-                        RecvSpec {
-                            src: cartcomm_comm::ANY_SOURCE,
-                            tag: cartcomm_comm::ANY_TAG,
-                        },
-                        RecvSpec::from_rank(0, 5),
-                    ],
-                )
-                .unwrap();
+            let rx = exchange_vecs(
+                comm,
+                vec![],
+                &[
+                    RecvSpec {
+                        src: cartcomm_comm::ANY_SOURCE,
+                        tag: cartcomm_comm::ANY_TAG,
+                    },
+                    RecvSpec::from_rank(0, 5),
+                ],
+            );
             assert_eq!(rx[0].0, vec![1], "wildcard slot posted first wins");
             assert_eq!(rx[1].0, vec![2]);
+        }
+    });
+}
+
+#[test]
+fn detached_policy_returns_unpooled_buffers() {
+    // Detached results must not recycle into the receiver's pool on drop.
+    Universe::run(2, |comm| {
+        if comm.rank() == 0 {
+            exchange_vecs(comm, vec![(1, 4, vec![7u8; 100])], &[]);
+        } else {
+            let rx = exchange_vecs(comm, vec![], &[RecvSpec::from_rank(0, 4)]);
+            let recycled_before = comm.pool_telemetry().bytes_recycled;
+            drop(rx);
+            assert_eq!(
+                comm.pool_telemetry().bytes_recycled,
+                recycled_before,
+                "detached buffers must not recycle"
+            );
         }
     });
 }

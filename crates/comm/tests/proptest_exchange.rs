@@ -4,8 +4,19 @@
 //! must complete in posting order (the MPI non-overtaking rule the
 //! schedules rely on).
 
-use cartcomm_comm::{RecvSpec, Universe};
+use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Status, Universe};
 use proptest::prelude::*;
+
+/// Receive-only exchange returning detached payloads in slot order.
+fn recv_all(comm: &Comm, specs: &[RecvSpec]) -> Vec<(Vec<u8>, Status)> {
+    let mut batch = ExchangeBatch::new();
+    comm.exchange(&mut batch, specs, ExchangeOpts::detached())
+        .unwrap();
+    batch
+        .drain_results()
+        .map(|(buf, status)| (buf.into_vec(), status))
+        .collect()
+}
 
 /// A randomized exchange: rank 0 receives, ranks 1..p send. Each sender
 /// posts a random sequence of tagged messages; rank 0 posts one slot per
@@ -61,7 +72,7 @@ proptest! {
                         break;
                     }
                 }
-                let results = comm.exchange(vec![], &specs).unwrap();
+                let results = recv_all(comm, &specs);
                 for ((wire, st), (src, tag, val)) in results.iter().zip(expect.iter()) {
                     assert_eq!(st.src, *src);
                     assert_eq!(st.tag, *tag);
@@ -92,7 +103,7 @@ proptest! {
                     };
                     total
                 ];
-                let results = comm.exchange(vec![], &specs).unwrap();
+                let results = recv_all(comm, &specs);
                 let mut got: Vec<(usize, u32, u8)> = results
                     .iter()
                     .map(|(w, st)| (st.src, st.tag, w[0]))

@@ -1,8 +1,29 @@
 //! Integration tests for MPI-conforming semantics of the runtime:
 //! matching order, wildcards, phase exchanges, contexts, and collectives.
 
-use cartcomm_comm::{CommError, RecvSpec, SrcSel, TagSel, Universe, ANY_SOURCE, ANY_TAG};
+use cartcomm_comm::{
+    Comm, CommError, ExchangeBatch, ExchangeOpts, RecvSpec, SrcSel, Status, TagSel, Universe,
+    ANY_SOURCE, ANY_TAG,
+};
 use cartcomm_types::Datatype;
+
+/// One-shot detached exchange over plain byte vectors.
+fn exchange_vecs(
+    comm: &Comm,
+    sends: Vec<(usize, u32, Vec<u8>)>,
+    specs: &[RecvSpec],
+) -> Vec<(Vec<u8>, Status)> {
+    let mut batch = ExchangeBatch::with_capacity(sends.len());
+    for (dst, tag, data) in sends {
+        batch.send(dst, tag, data);
+    }
+    comm.exchange(&mut batch, specs, ExchangeOpts::detached())
+        .unwrap();
+    batch
+        .drain_results()
+        .map(|(buf, status)| (buf.into_vec(), status))
+        .collect()
+}
 
 #[test]
 fn ping_pong() {
@@ -169,15 +190,13 @@ fn exchange_fifo_matching_same_src_tag() {
     // with coinciding ranks correct).
     Universe::run(2, |comm| {
         if comm.rank() == 0 {
-            comm.exchange(vec![(1, 5, vec![b'a']), (1, 5, vec![b'b'])], &[])
-                .unwrap();
+            exchange_vecs(comm, vec![(1, 5, vec![b'a']), (1, 5, vec![b'b'])], &[]);
         } else {
-            let rx = comm
-                .exchange(
-                    vec![],
-                    &[RecvSpec::from_rank(0, 5), RecvSpec::from_rank(0, 5)],
-                )
-                .unwrap();
+            let rx = exchange_vecs(
+                comm,
+                vec![],
+                &[RecvSpec::from_rank(0, 5), RecvSpec::from_rank(0, 5)],
+            );
             assert_eq!(rx[0].0, vec![b'a']);
             assert_eq!(rx[1].0, vec![b'b']);
         }
@@ -193,12 +212,11 @@ fn exchange_bidirectional_phase() {
         let r = comm.rank();
         let left = (r + p - 1) % p;
         let right = (r + 1) % p;
-        let rx = comm
-            .exchange(
-                vec![(left, 1, vec![r as u8]), (right, 2, vec![r as u8])],
-                &[RecvSpec::from_rank(right, 1), RecvSpec::from_rank(left, 2)],
-            )
-            .unwrap();
+        let rx = exchange_vecs(
+            comm,
+            vec![(left, 1, vec![r as u8]), (right, 2, vec![r as u8])],
+            &[RecvSpec::from_rank(right, 1), RecvSpec::from_rank(left, 2)],
+        );
         assert_eq!(rx[0].0, vec![right as u8]);
         assert_eq!(rx[1].0, vec![left as u8]);
     });
@@ -208,21 +226,20 @@ fn exchange_bidirectional_phase() {
 fn exchange_with_wildcard_slots() {
     Universe::run(3, |comm| {
         if comm.rank() == 0 {
-            let rx = comm
-                .exchange(
-                    vec![],
-                    &[
-                        RecvSpec {
-                            src: SrcSel::Any,
-                            tag: TagSel::Is(1),
-                        },
-                        RecvSpec {
-                            src: SrcSel::Any,
-                            tag: TagSel::Is(1),
-                        },
-                    ],
-                )
-                .unwrap();
+            let rx = exchange_vecs(
+                comm,
+                vec![],
+                &[
+                    RecvSpec {
+                        src: SrcSel::Any,
+                        tag: TagSel::Is(1),
+                    },
+                    RecvSpec {
+                        src: SrcSel::Any,
+                        tag: TagSel::Is(1),
+                    },
+                ],
+            );
             let mut srcs: Vec<usize> = rx.iter().map(|(_, st)| st.src).collect();
             srcs.sort_unstable();
             assert_eq!(srcs, vec![1, 2]);
@@ -239,7 +256,7 @@ fn exchange_leaves_unmatched_messages_pending() {
             comm.send_bytes(1, 77, vec![1]).unwrap(); // not part of exchange
             comm.send_bytes(1, 5, vec![2]).unwrap();
         } else {
-            let rx = comm.exchange(vec![], &[RecvSpec::from_rank(0, 5)]).unwrap();
+            let rx = exchange_vecs(comm, vec![], &[RecvSpec::from_rank(0, 5)]);
             assert_eq!(rx[0].0, vec![2]);
             // The tag-77 message is still retrievable afterwards.
             let (d, _) = comm.recv_bytes(0, 77).unwrap();

@@ -1,0 +1,115 @@
+//! Pluggable timestamp sources.
+//!
+//! Real threaded runs stamp events with a [`MonotonicClock`]; simulated
+//! runs stamp them with a [`ManualClock`] that the discrete-event
+//! simulator advances to each event's model time, so one trace format
+//! serves both worlds.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A timestamp source for trace records, in nanoseconds since an
+/// arbitrary per-clock origin.
+pub trait Clock: Send + Sync {
+    /// Current time in nanoseconds.
+    fn now_ns(&self) -> u64;
+}
+
+/// Wall-clock monotonic time since the clock's creation — the default for
+/// real threaded runs.
+#[derive(Debug)]
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// A clock whose origin is now.
+    pub fn new() -> Self {
+        MonotonicClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// An externally-driven clock: whoever owns the model time (the DES in
+/// `cartcomm-sim`) sets it before emitting events, so trace timestamps
+/// are *simulated* time rather than host time.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now_ns: AtomicU64,
+}
+
+impl ManualClock {
+    /// A manual clock starting at zero.
+    pub fn new() -> Self {
+        ManualClock {
+            now_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the current time in nanoseconds.
+    pub fn set_ns(&self, t_ns: u64) {
+        self.now_ns.store(t_ns, Ordering::Relaxed);
+    }
+
+    /// Set the current time from fractional seconds (the DES unit).
+    /// Negative or non-finite values clamp to zero.
+    pub fn set_secs_f64(&self, t_secs: f64) {
+        let ns = if t_secs.is_finite() && t_secs > 0.0 {
+            (t_secs * 1e9) as u64
+        } else {
+            0
+        };
+        self.set_ns(ns);
+    }
+
+    /// Advance the current time by `dt_ns` nanoseconds.
+    pub fn advance_ns(&self, dt_ns: u64) {
+        self.now_ns.fetch_add(dt_ns, Ordering::Relaxed);
+    }
+}
+
+impl Clock for ManualClock {
+    fn now_ns(&self) -> u64 {
+        self.now_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_clock_advances() {
+        let c = MonotonicClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_is_driven() {
+        let c = ManualClock::new();
+        assert_eq!(c.now_ns(), 0);
+        c.set_ns(1_000);
+        assert_eq!(c.now_ns(), 1_000);
+        c.advance_ns(500);
+        assert_eq!(c.now_ns(), 1_500);
+        c.set_secs_f64(2.5);
+        assert_eq!(c.now_ns(), 2_500_000_000);
+        c.set_secs_f64(-1.0);
+        assert_eq!(c.now_ns(), 0);
+    }
+}

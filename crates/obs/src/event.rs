@@ -1,0 +1,206 @@
+//! The typed trace-event taxonomy.
+//!
+//! Events mirror the paper's accounting units: one
+//! [`TraceEvent::RoundStart`]/[`TraceEvent::RoundEnd`] pair per
+//! communication round (so a schedule's observed round count can be
+//! checked against `C = Σ_k C_k`, Prop. 3.2), with `wire_bytes` carrying
+//! the exact packed message size (so observed volume can be checked
+//! against `V·m`, Prop. 3.3). The remaining events expose the machinery
+//! around the rounds: datatype packing, buffer-pool traffic, plan-cache
+//! traffic, and receive-slot matching.
+
+/// One structured observability event.
+///
+/// All ranks and sizes are in the units the executors use internally:
+/// ranks are communicator ranks, bytes are payload bytes on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A communication round is about to issue: the wire message for
+    /// `to` has been packed. `phase` is the schedule phase (the dimension
+    /// `k` for Cartesian schedules), `round` the round index within the
+    /// whole schedule.
+    RoundStart {
+        /// Schedule phase (dimension `k`).
+        phase: usize,
+        /// Round index within the schedule.
+        round: usize,
+        /// Destination rank of this round's send.
+        to: usize,
+        /// Source rank of this round's receive.
+        from: usize,
+        /// Packed wire-message size in bytes.
+        wire_bytes: usize,
+    },
+    /// The matching round completed: the inbound message from `from` has
+    /// been received and scattered.
+    RoundEnd {
+        /// Schedule phase (dimension `k`).
+        phase: usize,
+        /// Round index within the schedule.
+        round: usize,
+        /// Destination rank of this round's send.
+        to: usize,
+        /// Source rank of this round's receive.
+        from: usize,
+        /// Received wire-message size in bytes.
+        wire_bytes: usize,
+    },
+    /// A wire message was packed (gathered) from `spans` source ranges
+    /// totalling `bytes` bytes.
+    PackSpan {
+        /// Round index the pack belongs to.
+        round: usize,
+        /// Number of contiguous memory spans gathered.
+        spans: usize,
+        /// Total bytes packed.
+        bytes: usize,
+    },
+    /// A wire-buffer acquisition was served from the pool's free list.
+    PoolHit {
+        /// Requested capacity in bytes.
+        bytes: usize,
+    },
+    /// A wire-buffer acquisition had to allocate.
+    PoolMiss {
+        /// Requested capacity in bytes.
+        bytes: usize,
+    },
+    /// A compiled-plan lookup hit the communicator's plan cache.
+    PlanCacheHit {
+        /// Low 64 bits of the layout fingerprint.
+        fingerprint: u64,
+    },
+    /// A compiled-plan lookup missed and compiled.
+    PlanCacheMiss {
+        /// Low 64 bits of the layout fingerprint.
+        fingerprint: u64,
+    },
+    /// An inbound message was matched to a posted receive slot of a phase
+    /// exchange.
+    ExchangeMatched {
+        /// Sender rank.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// Payload bytes.
+        bytes: usize,
+        /// Receive-slot index the message matched.
+        slot: usize,
+    },
+}
+
+impl TraceEvent {
+    /// Short event-kind name, used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::RoundStart { .. } => "round_start",
+            TraceEvent::RoundEnd { .. } => "round_end",
+            TraceEvent::PackSpan { .. } => "pack_span",
+            TraceEvent::PoolHit { .. } => "pool_hit",
+            TraceEvent::PoolMiss { .. } => "pool_miss",
+            TraceEvent::PlanCacheHit { .. } => "plan_cache_hit",
+            TraceEvent::PlanCacheMiss { .. } => "plan_cache_miss",
+            TraceEvent::ExchangeMatched { .. } => "exchange_matched",
+        }
+    }
+
+    /// The event's payload as `(field, value)` pairs, in a stable order.
+    /// Drives both exporters so JSON and table output cannot drift apart.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        match *self {
+            TraceEvent::RoundStart {
+                phase,
+                round,
+                to,
+                from,
+                wire_bytes,
+            }
+            | TraceEvent::RoundEnd {
+                phase,
+                round,
+                to,
+                from,
+                wire_bytes,
+            } => vec![
+                ("phase", phase as u64),
+                ("round", round as u64),
+                ("to", to as u64),
+                ("from", from as u64),
+                ("wire_bytes", wire_bytes as u64),
+            ],
+            TraceEvent::PackSpan {
+                round,
+                spans,
+                bytes,
+            } => vec![
+                ("round", round as u64),
+                ("spans", spans as u64),
+                ("bytes", bytes as u64),
+            ],
+            TraceEvent::PoolHit { bytes } | TraceEvent::PoolMiss { bytes } => {
+                vec![("bytes", bytes as u64)]
+            }
+            TraceEvent::PlanCacheHit { fingerprint }
+            | TraceEvent::PlanCacheMiss { fingerprint } => {
+                vec![("fingerprint", fingerprint)]
+            }
+            TraceEvent::ExchangeMatched {
+                src,
+                tag,
+                bytes,
+                slot,
+            } => vec![
+                ("src", src as u64),
+                ("tag", tag as u64),
+                ("bytes", bytes as u64),
+                ("slot", slot as u64),
+            ],
+        }
+    }
+}
+
+/// A timestamped, rank-attributed [`TraceEvent`] as delivered to sinks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Timestamp from the communicator's [`crate::Clock`], nanoseconds.
+    pub t_ns: u64,
+    /// Rank that emitted the event.
+    pub rank: usize,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_fields_are_stable() {
+        let e = TraceEvent::RoundStart {
+            phase: 1,
+            round: 3,
+            to: 5,
+            from: 7,
+            wire_bytes: 4096,
+        };
+        assert_eq!(e.kind(), "round_start");
+        assert_eq!(
+            e.fields(),
+            vec![
+                ("phase", 1),
+                ("round", 3),
+                ("to", 5),
+                ("from", 7),
+                ("wire_bytes", 4096)
+            ]
+        );
+        assert_eq!(
+            TraceEvent::PoolHit { bytes: 64 }.fields(),
+            vec![("bytes", 64)]
+        );
+        assert_eq!(
+            TraceEvent::PlanCacheMiss { fingerprint: 9 }.kind(),
+            "plan_cache_miss"
+        );
+    }
+}

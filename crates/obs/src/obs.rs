@@ -1,0 +1,191 @@
+//! The per-rank observability handle.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::event::{TraceEvent, TraceRecord};
+use crate::metrics::{MetricsRegistry, MetricsSnapshot};
+use crate::sink::TraceSink;
+
+/// One rank's observability state: a metrics registry (always on), an
+/// optional trace sink, and a pluggable clock.
+///
+/// Shared behind an `Arc` by all communicator handles of a rank
+/// (duplicated contexts observe into the same registry/sink). Tracing is
+/// disabled until [`Obs::attach_sink`]; with tracing disabled,
+/// [`Obs::emit_with`] costs one relaxed atomic load and a branch — the
+/// event closure is never run, no clock is read, no lock is taken.
+pub struct Obs {
+    enabled: AtomicBool,
+    clock: RwLock<Arc<dyn Clock>>,
+    sink: RwLock<Option<Arc<dyn TraceSink>>>,
+    metrics: MetricsRegistry,
+}
+
+impl Obs {
+    /// A fresh handle: tracing disabled, monotonic clock, zeroed metrics.
+    pub fn new() -> Self {
+        Obs {
+            enabled: AtomicBool::new(false),
+            clock: RwLock::new(Arc::new(MonotonicClock::new())),
+            sink: RwLock::new(None),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// Whether tracing is enabled (a sink is attached).
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Attach a trace sink and enable tracing. Replaces any prior sink.
+    pub fn attach_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.sink.write() = Some(sink);
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    /// Detach the sink and disable tracing.
+    pub fn detach_sink(&self) {
+        self.enabled.store(false, Ordering::Release);
+        *self.sink.write() = None;
+    }
+
+    /// Replace the timestamp source (e.g. with a
+    /// [`crate::ManualClock`] driven by a discrete-event simulation).
+    pub fn set_clock(&self, clock: Arc<dyn Clock>) {
+        *self.clock.write() = clock;
+    }
+
+    /// Current time from the attached clock, nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.read().now_ns()
+    }
+
+    /// The always-on metrics registry.
+    #[inline]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Shorthand for `metrics().snapshot()`.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Emit an event lazily: the closure runs only while tracing is
+    /// enabled, so the disabled path never constructs the event.
+    #[inline]
+    pub fn emit_with(&self, rank: usize, make: impl FnOnce() -> TraceEvent) {
+        if self.enabled() {
+            self.deliver(rank, make());
+        }
+    }
+
+    /// Emit an already-built event (tracing-gated like
+    /// [`Obs::emit_with`]).
+    #[inline]
+    pub fn emit(&self, rank: usize, event: TraceEvent) {
+        if self.enabled() {
+            self.deliver(rank, event);
+        }
+    }
+
+    #[cold]
+    fn deliver(&self, rank: usize, event: TraceEvent) {
+        // Matched-message sizes feed the size distribution as a side
+        // effect of tracing, keeping the counter-only path lock-free.
+        if let TraceEvent::ExchangeMatched { bytes, .. } = event {
+            self.metrics.record_msg_bytes(bytes);
+        }
+        let rec = TraceRecord {
+            t_ns: self.now_ns(),
+            rank,
+            event,
+        };
+        if let Some(sink) = self.sink.read().as_ref() {
+            sink.record(&rec);
+        }
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .field("metrics", &self.metrics.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::sink::RingBufferSink;
+
+    #[test]
+    fn disabled_emits_nothing_and_skips_closure() {
+        let obs = Obs::new();
+        let mut ran = false;
+        obs.emit_with(0, || {
+            ran = true;
+            TraceEvent::PoolHit { bytes: 1 }
+        });
+        assert!(!ran, "closure must not run while disabled");
+    }
+
+    #[test]
+    fn attached_sink_receives_records() {
+        let obs = Obs::new();
+        let sink = Arc::new(RingBufferSink::new(16));
+        obs.attach_sink(sink.clone());
+        assert!(obs.enabled());
+        obs.emit(3, TraceEvent::PoolMiss { bytes: 64 });
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].rank, 3);
+        assert_eq!(recs[0].event, TraceEvent::PoolMiss { bytes: 64 });
+
+        obs.detach_sink();
+        obs.emit(3, TraceEvent::PoolMiss { bytes: 64 });
+        assert_eq!(sink.len(), 1, "no records after detach");
+    }
+
+    #[test]
+    fn manual_clock_drives_timestamps() {
+        let obs = Obs::new();
+        let clock = Arc::new(ManualClock::new());
+        obs.set_clock(clock.clone());
+        let sink = Arc::new(RingBufferSink::new(16));
+        obs.attach_sink(sink.clone());
+        clock.set_ns(42);
+        obs.emit(0, TraceEvent::PoolHit { bytes: 1 });
+        assert_eq!(sink.snapshot()[0].t_ns, 42);
+    }
+
+    #[test]
+    fn matched_event_feeds_size_distribution() {
+        let obs = Obs::new();
+        obs.attach_sink(Arc::new(RingBufferSink::new(4)));
+        obs.emit(
+            0,
+            TraceEvent::ExchangeMatched {
+                src: 1,
+                tag: 7,
+                bytes: 127,
+                slot: 0,
+            },
+        );
+        assert_eq!(obs.metrics().size_histogram().total(), 1);
+    }
+}

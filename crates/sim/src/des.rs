@@ -8,7 +8,10 @@
 //! closed form exactly (validated in tests); for asymmetric traffic it
 //! exposes the contention the formula hides — e.g. an incast onto one rank.
 
+use cartcomm_obs::TraceEvent;
+
 use crate::model::LinearModel;
+use crate::trace::SimTracer;
 
 /// One message: source, destination, payload bytes.
 pub type Msg = (usize, usize, usize);
@@ -50,15 +53,58 @@ impl EventSim {
     pub fn phase(&mut self, msgs: &[Msg]) {
         let mut new_time = self.rank_time.clone();
         for &(src, dst, bytes) in msgs {
-            let start = self.send_free[src]
-                .max(self.recv_free[dst])
-                .max(self.rank_time[src])
-                .max(self.rank_time[dst]);
-            let end = start + self.model.message(bytes);
-            self.send_free[src] = end;
-            self.recv_free[dst] = end;
-            new_time[src] = new_time[src].max(end);
-            new_time[dst] = new_time[dst].max(end);
+            self.post(&mut new_time, src, dst, bytes);
+        }
+        self.rank_time = new_time;
+    }
+
+    /// Schedule one message on the port timelines; returns its model
+    /// `(start, end)` times in seconds.
+    fn post(&mut self, new_time: &mut [f64], src: usize, dst: usize, bytes: usize) -> (f64, f64) {
+        let start = self.send_free[src]
+            .max(self.recv_free[dst])
+            .max(self.rank_time[src])
+            .max(self.rank_time[dst]);
+        let end = start + self.model.message(bytes);
+        self.send_free[src] = end;
+        self.recv_free[dst] = end;
+        new_time[src] = new_time[src].max(end);
+        new_time[dst] = new_time[dst].max(end);
+        (start, end)
+    }
+
+    /// Execute one phase exactly like [`EventSim::phase`] while emitting a
+    /// [`TraceEvent::RoundStart`]/[`TraceEvent::RoundEnd`] pair per message
+    /// through `tracer`, timestamped with the message's *model* start and
+    /// completion times (the tracer's [`cartcomm_obs::ManualClock`] is
+    /// advanced to each event's time before it is emitted). `phase_idx`
+    /// labels the events — for Cartesian schedules, the dimension `k`.
+    pub fn phase_traced(&mut self, phase_idx: usize, msgs: &[Msg], tracer: &SimTracer) {
+        let mut new_time = self.rank_time.clone();
+        for (round, &(src, dst, bytes)) in msgs.iter().enumerate() {
+            let (start, end) = self.post(&mut new_time, src, dst, bytes);
+            tracer.set_time_secs(start);
+            tracer.obs().emit(
+                src,
+                TraceEvent::RoundStart {
+                    phase: phase_idx,
+                    round,
+                    to: dst,
+                    from: src,
+                    wire_bytes: bytes,
+                },
+            );
+            tracer.set_time_secs(end);
+            tracer.obs().emit(
+                dst,
+                TraceEvent::RoundEnd {
+                    phase: phase_idx,
+                    round,
+                    to: dst,
+                    from: src,
+                    wire_bytes: bytes,
+                },
+            );
         }
         self.rank_time = new_time;
     }
@@ -199,5 +245,74 @@ mod tests {
         sim.phase_synchronized(&[(0, 1, 0)]);
         sim.phase_synchronized(&[(1, 2, 0)]);
         assert!((sim.makespan() - 2e-6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn traced_phase_stamps_model_time() {
+        use cartcomm_obs::TraceEvent;
+
+        let tracer = SimTracer::new(64);
+        let mut sim = EventSim::new(2, M);
+        sim.phase_traced(0, &[(0, 1, 1000)], &tracer);
+
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 2);
+        // RoundStart at t=0 on the sender.
+        assert_eq!(recs[0].t_ns, 0);
+        assert_eq!(recs[0].rank, 0);
+        assert!(matches!(
+            recs[0].event,
+            TraceEvent::RoundStart {
+                to: 1,
+                wire_bytes: 1000,
+                ..
+            }
+        ));
+        // RoundEnd at the model completion time α + β·1000 = 2 µs on the
+        // receiver.
+        let end_ns = (M.message(1000) * 1e9).round() as u64;
+        assert_eq!(recs[1].t_ns, end_ns);
+        assert_eq!(recs[1].rank, 1);
+        assert!(matches!(
+            recs[1].event,
+            TraceEvent::RoundEnd { from: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn traced_phase_matches_untraced_makespan() {
+        let rounds: Vec<Msg> = (0..8).map(|r| (r, (r + 1) % 8, 256)).collect();
+        let mut plain = EventSim::new(8, M);
+        plain.phase(&rounds);
+
+        let tracer = SimTracer::new(256);
+        let mut traced = EventSim::new(8, M);
+        traced.phase_traced(0, &rounds, &tracer);
+
+        assert_eq!(plain.makespan(), traced.makespan());
+        // One start + one end per message, and the latest RoundEnd
+        // timestamp equals the makespan in nanoseconds.
+        let recs = tracer.records();
+        assert_eq!(recs.len(), 2 * rounds.len());
+        let last_end = recs.iter().map(|r| r.t_ns).max().unwrap();
+        assert_eq!(last_end, (traced.makespan() * 1e9) as u64);
+    }
+
+    #[test]
+    fn serialized_sends_trace_distinct_times() {
+        use cartcomm_obs::TraceEvent;
+
+        let tracer = SimTracer::new(64);
+        let mut sim = EventSim::new(4, M);
+        // Three α-cost messages share rank 0's send port: completions at
+        // α, 2α, 3α.
+        sim.phase_traced(2, &[(0, 1, 0), (0, 2, 0), (0, 3, 0)], &tracer);
+        let ends: Vec<u64> = tracer
+            .records()
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::RoundEnd { .. }))
+            .map(|r| r.t_ns)
+            .collect();
+        assert_eq!(ends, vec![1_000, 2_000, 3_000]);
     }
 }

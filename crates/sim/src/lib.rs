@@ -22,13 +22,19 @@
 //! * [`des`] — a small discrete-event engine with per-rank full-duplex
 //!   ports, used to validate the closed-form model and to price irregular
 //!   (per-rank asymmetric) traffic.
+//! * [`trace`] — the bridge to `cartcomm-obs`: a [`trace::SimTracer`]
+//!   bundles an `Obs` handle with a simulation-driven `ManualClock`, so
+//!   DES runs emit the same round-level trace events as real threaded
+//!   executions, timestamped in *model* time.
 
 pub mod des;
 pub mod machine;
 pub mod model;
 pub mod noise;
+pub mod trace;
 
 pub use des::EventSim;
 pub use machine::{BaselineQuirks, MachineProfile};
 pub use model::{CollectiveKind, LinearModel};
 pub use noise::NoiseModel;
+pub use trace::SimTracer;

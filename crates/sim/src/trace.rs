@@ -1,0 +1,76 @@
+//! Bridge between the discrete-event simulator and `cartcomm-obs`.
+//!
+//! Real threaded runs stamp trace records with wall-clock time; simulated
+//! runs want *model* time, so that a trace of a simulated schedule lines up
+//! with the α-β analysis it is validating. [`SimTracer`] bundles an
+//! [`Obs`] handle with a [`ManualClock`] and a [`RingBufferSink`];
+//! [`crate::EventSim::phase_traced`] drives the clock to each message's
+//! scheduled start/completion time before emitting the matching
+//! [`TraceEvent::RoundStart`]/[`TraceEvent::RoundEnd`] pair. The result is
+//! one trace format for both worlds: the same exporters, the same event
+//! taxonomy, timestamps in simulated nanoseconds.
+
+use std::sync::Arc;
+
+use cartcomm_obs::{ManualClock, Obs, RingBufferSink, TraceRecord};
+
+#[allow(unused_imports)] // doc links
+use cartcomm_obs::TraceEvent;
+
+/// An [`Obs`] handle wired for simulation: manual clock, ring-buffer sink.
+///
+/// The tracer's clock is in *simulated* nanoseconds (the DES works in
+/// fractional seconds; the bridge multiplies by 1e9). Attach further
+/// consumers through [`SimTracer::obs`] if needed — the handle behaves
+/// exactly like the one carried by real communicators.
+pub struct SimTracer {
+    obs: Arc<Obs>,
+    clock: Arc<ManualClock>,
+    sink: Arc<RingBufferSink>,
+}
+
+impl SimTracer {
+    /// A tracer whose ring buffer holds up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        let obs = Arc::new(Obs::new());
+        let clock = Arc::new(ManualClock::new());
+        let sink = Arc::new(RingBufferSink::new(capacity));
+        obs.set_clock(clock.clone());
+        obs.attach_sink(sink.clone());
+        SimTracer { obs, clock, sink }
+    }
+
+    /// The observability handle (manual clock already installed).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.obs
+    }
+
+    /// The simulation-driven clock.
+    pub fn clock(&self) -> &Arc<ManualClock> {
+        &self.clock
+    }
+
+    /// The captured trace so far, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.sink.snapshot()
+    }
+
+    /// Set the clock from DES model time (fractional seconds).
+    pub fn set_time_secs(&self, t_secs: f64) {
+        self.clock.set_secs_f64(t_secs);
+    }
+}
+
+impl Default for SimTracer {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+impl std::fmt::Debug for SimTracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimTracer")
+            .field("records", &self.sink.len())
+            .finish()
+    }
+}

@@ -12,6 +12,7 @@
 //! comparing the combining schedule against the trivial algorithm.
 
 use cartcomm::cost::CostSummary;
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
@@ -67,11 +68,27 @@ fn main() {
             .collect();
 
         let mut combined = vec![-1i32; total];
-        cart.alltoallv(&send, &counts, &displs, &mut combined, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut combined,
+            &counts,
+            &displs,
+            Algo::Combining,
+        )
+        .unwrap();
         let mut trivial = vec![-1i32; total];
-        cart.alltoallv_trivial(&send, &counts, &displs, &mut trivial, &counts, &displs)
-            .unwrap();
+        cart.alltoallv(
+            &send,
+            &counts,
+            &displs,
+            &mut trivial,
+            &counts,
+            &displs,
+            Algo::Trivial,
+        )
+        .unwrap();
 
         let mut errors = 0usize;
         for (i, off) in nb.offsets().iter().enumerate() {

@@ -12,7 +12,7 @@
 //! The distributed result is verified against a single-process reference
 //! computation of the same global problem.
 
-use cartcomm::ops::{Algorithm, WBlock};
+use cartcomm::ops::{Algo, WBlock};
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::RelNeighborhood;
@@ -112,7 +112,7 @@ fn main() {
 
         // Listing 3: Cart_alltoallw_init once, execute every iteration.
         let mut halo = cart
-            .alltoallw_init(&sendspec, &recvspec, Algorithm::Combining)
+            .alltoallw_init(&sendspec, &recvspec, Algo::Combining)
             .expect("halo exchange handle");
 
         for _ in 0..STEPS {

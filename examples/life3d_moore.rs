@@ -13,6 +13,7 @@
 //! The run is verified against a single-process simulation of the same
 //! world.
 
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
@@ -73,7 +74,8 @@ fn main() {
         for _ in 0..GENERATIONS {
             // One allgather: my state to all 26 neighbors, theirs to me.
             let send = [u8::from(alive)];
-            cart.allgather(&send, &mut neighbor_states).unwrap();
+            cart.allgather(&send, &mut neighbor_states, Algo::Combining)
+                .unwrap();
             // Block i arrived from source neighbor r - N[i]; for counting
             // live Moore neighbors the direction does not matter.
             let live = neighbor_states.iter().filter(|&&s| s == 1).count();

@@ -7,6 +7,7 @@
 //! message-combining `Cart_alltoall` (4 communication rounds instead of 8)
 //! and prints what it received.
 
+use cartcomm::ops::Algo;
 use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::RelNeighborhood;
@@ -24,10 +25,11 @@ fn main() {
         // One i32 per neighbor: block i goes to neighbor N[i].
         let send: Vec<i32> = (0..t).map(|i| (cart.rank() * 100 + i) as i32).collect();
         let mut recv = vec![0i32; t];
-        cart.alltoall(&send, &mut recv).expect("alltoall");
+        cart.alltoall(&send, &mut recv, Algo::Combining)
+            .expect("alltoall");
 
         // The plan behind it: C = 4 rounds instead of t = 8.
-        let plan = cart.alltoall_schedule();
+        let plan = cart.plans().alltoall();
         format!(
             "rank {} at {:?} received {:?} ({} rounds, volume {} blocks)",
             cart.rank(),

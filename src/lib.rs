@@ -12,6 +12,8 @@
 //! * [`types`] — the derived-datatype engine (zero-copy gather/scatter).
 //! * [`sim`] — the α-β network cost simulator and machine profiles.
 //! * [`stats`] — the Appendix-A measurement statistics.
+//! * [`obs`] — round-level tracing + metrics (the paper's `C`/`V`
+//!   accounting, observed at runtime).
 //!
 //! ```
 //! use cartesian_collectives::prelude::*;
@@ -21,7 +23,7 @@
 //!     let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
 //!     let send: Vec<i32> = (0..8).map(|i| i as i32).collect();
 //!     let mut recv = vec![0i32; 8];
-//!     cart.alltoall(&send, &mut recv).unwrap();
+//!     cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
 //!     recv
 //! });
 //! assert_eq!(outs.len(), 9);
@@ -29,6 +31,7 @@
 
 pub use cartcomm;
 pub use cartcomm_comm as comm;
+pub use cartcomm_obs as obs;
 pub use cartcomm_sim as sim;
 pub use cartcomm_stats as stats;
 pub use cartcomm_topo as topo;
@@ -37,9 +40,12 @@ pub use cartcomm_types as types;
 /// The most commonly used items in one import.
 pub mod prelude {
     pub use cartcomm::neighbor::DistGraphComm;
-    pub use cartcomm::ops::{Algorithm, PersistentCollective, WBlock};
+    #[allow(deprecated)]
+    pub use cartcomm::ops::Algorithm;
+    pub use cartcomm::ops::{Algo, PersistentCollective, WBlock};
     pub use cartcomm::{CartComm, CartError, CartResult};
-    pub use cartcomm_comm::{Comm, Universe};
+    pub use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, Universe};
+    pub use cartcomm_obs::{Obs, RingBufferSink, TraceEvent};
     pub use cartcomm_topo::{dims_create, CartTopology, DistGraphTopology, RelNeighborhood};
     pub use cartcomm_types::{Datatype, FlatType, Primitive};
 }

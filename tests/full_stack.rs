@@ -25,7 +25,7 @@ fn paper_pipeline_microcosm() {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let send: Vec<i32> = (0..t).map(|i| (cart.rank() + i) as i32).collect();
         let mut recv = vec![0i32; t];
-        cart.alltoall(&send, &mut recv).unwrap();
+        cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
         recv.iter().map(|&x| x as i64).sum::<i64>()
     });
     // Global conservation: every block sent is received exactly once.
@@ -78,8 +78,8 @@ fn promotion_path_end_to_end() {
         let send: Vec<i32> = (0..t).map(|i| (comm.rank() * 31 + i) as i32).collect();
         let mut fast = vec![0i32; t];
         let mut slow = vec![0i32; t];
-        cart.alltoall(&send, &mut fast).unwrap();
-        cart.alltoall_trivial(&send, &mut slow).unwrap();
+        cart.alltoall(&send, &mut fast, Algo::Combining).unwrap();
+        cart.alltoall(&send, &mut slow, Algo::Trivial).unwrap();
         assert_eq!(fast, slow);
     });
 }
@@ -115,7 +115,7 @@ fn subarray_halo_with_prelude_types() {
         {
             let send_b = cartcomm_types::cast_slice(&tile);
             let recv_b = cartcomm_types::cast_slice_mut(&mut recv);
-            cart.alltoallw(send_b, &sendspec, recv_b, &recvspec)
+            cart.alltoallw(send_b, &sendspec, recv_b, &recvspec, Algo::Combining)
                 .unwrap();
         }
         // halo row 0 now holds the upper neighbor's bottom interior row
@@ -138,17 +138,18 @@ fn persistent_and_oneshot_interleaving() {
     let t = nb.len();
     Universe::run(9, |comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
-        let mut h = cart.alltoall_init::<i32>(2, Algorithm::Combining).unwrap();
+        let mut h = cart.alltoall_init::<i32>(2, Algo::Combining).unwrap();
         for it in 0..4 {
             let send: Vec<i32> = (0..t * 2).map(|x| (it * 100 + x) as i32).collect();
             let mut a = vec![0i32; t * 2];
             let mut b = vec![0i32; t * 2];
             h.execute_typed(&cart, &send, &mut a).unwrap();
-            cart.alltoall_trivial(&send, &mut b).unwrap();
+            cart.alltoall(&send, &mut b, Algo::Trivial).unwrap();
             assert_eq!(a, b, "iteration {it}");
             // an unrelated allgather in between must not disturb matching
             let mut ag = vec![0i32; t];
-            cart.allgather(&[it as i32], &mut ag).unwrap();
+            cart.allgather(&[it as i32], &mut ag, Algo::Combining)
+                .unwrap();
         }
     });
 }
@@ -194,7 +195,7 @@ fn dims_create_to_running_collective() {
             let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
             let send = vec![comm.rank() as i32; 4];
             let mut recv = vec![0i32; 4 * 4];
-            cart.allgather(&send, &mut recv).unwrap();
+            cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
         });
     }
 }
