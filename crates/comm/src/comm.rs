@@ -14,6 +14,7 @@ use crate::envelope::{Envelope, SrcSel, Tag, TagSel};
 use crate::error::{CommError, CommResult};
 use crate::fabric::Fabric;
 use crate::pool::{PoolStats, PooledBuf, WirePool};
+use crate::reliable::{RelState, Reliability, RetryPolicy, RELIABLE_TICK};
 
 /// Completion information of a receive (`MPI_Status`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -60,10 +61,14 @@ pub enum BufferPolicy {
 }
 
 /// Options of a [`Comm::exchange`] call.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct ExchangeOpts {
     /// Buffer policy for received payloads.
     pub buffers: BufferPolicy,
+    /// Delivery guarantee: raw, reliable, or (default) whatever the rank's
+    /// [`Comm::set_default_reliability`] says. Executors pass the default
+    /// through unchanged — schedules are transport-oblivious.
+    pub reliability: Reliability,
 }
 
 impl ExchangeOpts {
@@ -71,6 +76,7 @@ impl ExchangeOpts {
     pub fn pooled() -> Self {
         ExchangeOpts {
             buffers: BufferPolicy::Pooled,
+            reliability: Reliability::Inherit,
         }
     }
 
@@ -78,7 +84,20 @@ impl ExchangeOpts {
     pub fn detached() -> Self {
         ExchangeOpts {
             buffers: BufferPolicy::Detached,
+            reliability: Reliability::Inherit,
         }
+    }
+
+    /// Force the raw (unsequenced) exchange path.
+    pub fn raw(mut self) -> Self {
+        self.reliability = Reliability::Raw;
+        self
+    }
+
+    /// Force reliable delivery with `policy`.
+    pub fn reliable(mut self, policy: RetryPolicy) -> Self {
+        self.reliability = Reliability::Reliable(policy);
+        self
     }
 }
 
@@ -91,8 +110,8 @@ impl ExchangeOpts {
 /// one batch across executes makes a warm exchange allocation-free.
 #[derive(Debug, Default)]
 pub struct ExchangeBatch {
-    sends: Vec<(usize, Tag, PooledBuf)>,
-    results: Vec<Option<(PooledBuf, Status)>>,
+    pub(crate) sends: Vec<(usize, Tag, PooledBuf)>,
+    pub(crate) results: Vec<Option<(PooledBuf, Status)>>,
 }
 
 impl ExchangeBatch {
@@ -140,15 +159,20 @@ impl ExchangeBatch {
 }
 
 /// Per-rank state shared between a communicator and its duplicates.
-struct RankCore {
-    rx: Receiver<Envelope>,
+pub(crate) struct RankCore {
+    pub(crate) rx: Receiver<Envelope>,
     /// Unexpected-message queue, in arrival order.
-    pending: Mutex<VecDeque<Envelope>>,
+    pub(crate) pending: Mutex<VecDeque<Envelope>>,
     /// Next context id for `dup` (kept identical across ranks because dup is
     /// collective and deterministic).
     next_ctx: AtomicU32,
     /// Per-rank collective sequence counter (see `collectives`).
     coll_seq: AtomicU32,
+    /// Reliable-delivery state (stream sequences, dedup windows, retained
+    /// unacked sends); shared across duplicated contexts.
+    pub(crate) rel: Mutex<RelState>,
+    /// Rank-level default for [`Reliability::Inherit`] exchanges.
+    pub(crate) default_reliability: Mutex<Option<RetryPolicy>>,
 }
 
 /// A communicator handle owned by one rank's thread.
@@ -156,17 +180,17 @@ struct RankCore {
 /// Cheap to clone contexts from via [`Comm::dup`]; all duplicates of one rank
 /// share the underlying channel but match messages in disjoint contexts.
 pub struct Comm {
-    rank: usize,
+    pub(crate) rank: usize,
     size: usize,
-    ctx: u32,
-    fabric: Arc<Fabric>,
+    pub(crate) ctx: u32,
+    pub(crate) fabric: Arc<Fabric>,
     /// This rank's wire-buffer pool (shared with the fabric, which
     /// retargets inbound payloads to it).
     pool: Arc<WirePool>,
     /// This rank's observability handle (shared with the fabric and all
     /// duplicated contexts).
-    obs: Arc<Obs>,
-    core: Arc<RankCore>,
+    pub(crate) obs: Arc<Obs>,
+    pub(crate) core: Arc<RankCore>,
 }
 
 impl Comm {
@@ -186,6 +210,8 @@ impl Comm {
                 pending: Mutex::new(VecDeque::new()),
                 next_ctx: AtomicU32::new(2), // 0 = user p2p, 1 = internal collectives
                 coll_seq: AtomicU32::new(0),
+                rel: Mutex::new(RelState::default()),
+                default_reliability: Mutex::new(None),
             }),
         }
     }
@@ -305,7 +331,7 @@ impl Comm {
         self.pool.stats()
     }
 
-    fn check_rank(&self, rank: usize) -> CommResult<()> {
+    pub(crate) fn check_rank(&self, rank: usize) -> CommResult<()> {
         if rank >= self.size {
             Err(CommError::InvalidRank {
                 rank,
@@ -361,23 +387,43 @@ impl Comm {
     }
 
     /// Pull one envelope matching (ctx, src, tag): first from the
-    /// unexpected queue in arrival order, then from the channel.
+    /// unexpected queue in arrival order, then from the channel. All
+    /// arrivals pass through the reliable intake (`reliable.rs`), so
+    /// duplicates and out-of-order sequenced traffic never reach matching.
     fn match_one(&self, ctx: u32, src: SrcSel, tag: TagSel) -> CommResult<Envelope> {
         let mut pending = self.core.pending.lock();
-        if let Some(pos) = pending
-            .iter()
-            .position(|e| e.ctx == ctx && src.matches(e.src) && tag.matches(e.tag))
-        {
-            return Ok(pending.remove(pos).expect("position just found"));
+        loop {
+            if let Some(pos) = pending
+                .iter()
+                .position(|e| e.ctx == ctx && src.matches(e.src) && tag.matches(e.tag))
+            {
+                return Ok(pending.remove(pos).expect("position just found"));
+            }
+            let env = self.recv_one(&mut pending)?;
+            self.intake(env, &mut pending);
+        }
+    }
+
+    /// One blocking channel receive. On a lossy fabric this pumps the
+    /// fault plane between short waits so delayed/reordered envelopes keep
+    /// draining even while this rank only ever blocks in receives.
+    fn recv_one(&self, _pending: &mut VecDeque<Envelope>) -> CommResult<Envelope> {
+        if !self.fabric.lossy() {
+            return self.core.rx.recv().map_err(|_| CommError::Disconnected {
+                peer: "fabric".into(),
+            });
         }
         loop {
-            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
-                peer: "fabric".into(),
-            })?;
-            if env.ctx == ctx && src.matches(env.src) && tag.matches(env.tag) {
-                return Ok(env);
+            self.fabric.poll(self.rank);
+            match self.core.rx.recv_timeout(RELIABLE_TICK) {
+                Ok(env) => return Ok(env),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected {
+                        peer: "fabric".into(),
+                    })
+                }
             }
-            pending.push_back(env);
         }
     }
 
@@ -399,10 +445,8 @@ impl Comm {
                     bytes: env.data.len(),
                 });
             }
-            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
-                peer: "fabric".into(),
-            })?;
-            pending.push_back(env);
+            let env = self.recv_one(&mut pending)?;
+            self.intake(env, &mut pending);
         }
     }
 
@@ -415,10 +459,11 @@ impl Comm {
     ) -> CommResult<Option<Status>> {
         let src = src.into();
         let tag = tag.into();
+        self.fabric.poll(self.rank);
         let mut pending = self.core.pending.lock();
         // drain whatever has arrived so far
         while let Ok(env) = self.core.rx.try_recv() {
-            pending.push_back(env);
+            self.intake(env, &mut pending);
         }
         Ok(pending
             .iter()
@@ -534,21 +579,32 @@ impl Comm {
         recvs: &[RecvSpec],
         opts: ExchangeOpts,
     ) -> CommResult<()> {
+        let policy = match opts.reliability {
+            Reliability::Raw => None,
+            Reliability::Reliable(p) => Some(p),
+            Reliability::Inherit => *self.core.default_reliability.lock(),
+        };
+        match policy {
+            Some(p) => self.exchange_reliable(batch, recvs, opts, p),
+            None => self.exchange_raw(batch, recvs, opts),
+        }
+    }
+
+    /// The unsequenced exchange path: eager sends, FIFO slot matching.
+    fn exchange_raw(
+        &self,
+        batch: &mut ExchangeBatch,
+        recvs: &[RecvSpec],
+        opts: ExchangeOpts,
+    ) -> CommResult<()> {
         for &(dst, _, _) in batch.sends.iter() {
             self.check_rank(dst)?;
         }
         self.obs.metrics().exchange_started();
         // Issue all sends eagerly (Isend with buffered completion).
         for (dst, tag, data) in batch.sends.drain(..) {
-            self.fabric.deposit(
-                dst,
-                Envelope {
-                    ctx: self.ctx,
-                    src: self.rank,
-                    tag,
-                    data,
-                },
-            );
+            self.fabric
+                .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data));
         }
         // Complete receives with FIFO slot matching: an incoming message
         // goes to the earliest-posted open slot it satisfies.
@@ -557,54 +613,46 @@ impl Comm {
         results.resize_with(recvs.len(), || None);
         let mut open = recvs.len();
 
-        fn find_slot(
-            ctx: u32,
-            env: &Envelope,
-            recvs: &[RecvSpec],
-            results: &[Option<(PooledBuf, Status)>],
-        ) -> Option<usize> {
-            if env.ctx != ctx {
-                return None;
-            }
-            recvs.iter().enumerate().position(|(i, spec)| {
-                results[i].is_none() && spec.src.matches(env.src) && spec.tag.matches(env.tag)
-            })
-        }
-
         let mut pending = self.core.pending.lock();
-        // Drain already-arrived messages first, in arrival order.
-        let mut i = 0;
-        while i < pending.len() && open > 0 {
-            if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, results) {
-                let env = pending.remove(i).expect("index in range");
-                self.complete_slot(results, slot, env);
-                open -= 1;
-            } else {
-                i += 1;
+        loop {
+            // Match delivered messages in arrival order (the intake keeps
+            // sequenced streams in order, so arrival order is safe).
+            let mut i = 0;
+            while i < pending.len() && open > 0 {
+                if let Some(slot) = find_slot(self.ctx, &pending[i], recvs, results) {
+                    let env = pending.remove(i).expect("index in range");
+                    self.complete_slot(results, slot, env);
+                    open -= 1;
+                } else {
+                    i += 1;
+                }
             }
-        }
-        while open > 0 {
-            let env = self.core.rx.recv().map_err(|_| CommError::Disconnected {
-                peer: "fabric".into(),
-            })?;
-            if let Some(slot) = find_slot(self.ctx, &env, recvs, results) {
-                self.complete_slot(results, slot, env);
-                open -= 1;
-            } else {
-                pending.push_back(env);
+            if open == 0 {
+                break;
             }
+            let env = self.recv_one(&mut pending)?;
+            self.intake(env, &mut pending);
         }
         drop(pending);
+        self.finish_exchange(results, opts);
+        Ok(())
+    }
+
+    /// Apply the buffer policy to a completed exchange's results.
+    pub(crate) fn finish_exchange(
+        &self,
+        results: &mut [Option<(PooledBuf, Status)>],
+        opts: ExchangeOpts,
+    ) {
         if opts.buffers == BufferPolicy::Detached {
             for (buf, _) in results.iter_mut().flatten() {
                 buf.detach();
             }
         }
-        Ok(())
     }
 
     /// Fill receive slot `slot` from `env`, recording the match.
-    fn complete_slot(
+    pub(crate) fn complete_slot(
         &self,
         results: &mut [Option<(PooledBuf, Status)>],
         slot: usize,
@@ -690,4 +738,21 @@ impl Comm {
         *results = std::mem::take(&mut batch.results);
         outcome
     }
+}
+
+/// The earliest-posted still-open receive slot `env` satisfies, if any —
+/// the FIFO matching rule of MPI (shared by the raw and reliable exchange
+/// paths).
+pub(crate) fn find_slot(
+    ctx: u32,
+    env: &Envelope,
+    recvs: &[RecvSpec],
+    results: &[Option<(PooledBuf, Status)>],
+) -> Option<usize> {
+    if env.ctx != ctx {
+        return None;
+    }
+    recvs.iter().enumerate().position(|(i, spec)| {
+        results[i].is_none() && spec.src.matches(env.src) && spec.tag.matches(env.tag)
+    })
 }

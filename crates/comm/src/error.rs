@@ -21,6 +21,11 @@ pub enum CommError {
     SignatureMismatch,
     /// An exchange batch was malformed (e.g. duplicate receive slots).
     InvalidExchange(String),
+    /// A reliable exchange exhausted its retry budget without hearing from
+    /// the peer: either every retransmission to `peer` went unacknowledged,
+    /// or (receiver side) no expected traffic arrived within the policy's
+    /// total budget on a lossy fabric.
+    PeerUnreachable { peer: usize, attempts: u32 },
 }
 
 impl fmt::Display for CommError {
@@ -40,6 +45,10 @@ impl fmt::Display for CommError {
             CommError::Type(e) => write!(f, "datatype error: {e}"),
             CommError::SignatureMismatch => write!(f, "send/receive type signature mismatch"),
             CommError::InvalidExchange(msg) => write!(f, "invalid exchange batch: {msg}"),
+            CommError::PeerUnreachable { peer, attempts } => write!(
+                f,
+                "peer {peer} unreachable after {attempts} delivery attempts"
+            ),
         }
     }
 }

@@ -6,12 +6,15 @@
 //! MPI *non-overtaking* guarantee per (source, context, tag) for free: a
 //! sender's messages to one destination are delivered in the order posted.
 
+use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
-use cartcomm_obs::Obs;
+use cartcomm_obs::{Obs, TraceEvent};
 use crossbeam_channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
 
 use crate::envelope::Envelope;
+use crate::fault::{FaultPlane, FaultSpec, FaultStats};
 use crate::pool::WirePool;
 
 /// Shared interconnect state for a universe of `p` ranks.
@@ -24,6 +27,12 @@ pub struct Fabric {
     /// Per-rank observability handles; `deposit` credits the sender's
     /// wire-byte counters here.
     obs: Vec<Arc<Obs>>,
+    /// Installed fault plane, if any. `None` means the fabric is the
+    /// perfect transport it always was.
+    faults: RwLock<Option<Arc<FaultPlane>>>,
+    /// Fast-path flag mirroring `faults.is_some()` so `deposit` pays one
+    /// relaxed load, not a lock, when no plane is installed.
+    lossy: AtomicBool,
     /// Total messages deposited (telemetry for benchmarks).
     msg_count: std::sync::atomic::AtomicU64,
     /// Total payload bytes deposited (telemetry for benchmarks).
@@ -45,6 +54,8 @@ impl Fabric {
                 senders,
                 pools: (0..p).map(|_| Arc::new(WirePool::new())).collect(),
                 obs: (0..p).map(|_| Arc::new(Obs::new())).collect(),
+                faults: RwLock::new(None),
+                lossy: AtomicBool::new(false),
                 msg_count: std::sync::atomic::AtomicU64::new(0),
                 byte_count: std::sync::atomic::AtomicU64::new(0),
             },
@@ -72,6 +83,11 @@ impl Fabric {
 
     /// Deposit an envelope into `dst`'s incoming queue. Panics on an invalid
     /// destination (callers validate ranks at the API boundary).
+    ///
+    /// With a fault plane installed, data envelopes route through it and
+    /// may be dropped, duplicated, delayed, or reordered; acknowledgement
+    /// envelopes bypass the plane (they are the reliable layer's control
+    /// plane — see `fault.rs`).
     #[inline]
     pub fn deposit(&self, dst: usize, mut env: Envelope) {
         use std::sync::atomic::Ordering;
@@ -82,11 +98,76 @@ impl Fabric {
         // From here the buffer belongs to the receiving side: when the
         // receiver drops it after unpacking, the bytes land in *its* pool.
         env.data.retarget(&self.pools[dst]);
+        if !self.lossy.load(Ordering::Relaxed) || env.is_ack() {
+            self.forward(dst, env);
+            return;
+        }
+        let Some(plane) = self.fault_plane() else {
+            self.forward(dst, env);
+            return;
+        };
+        let (src, tag) = (env.src, env.tag);
+        let (out, action) = plane.route(dst, env);
+        if let Some(kind) = action {
+            self.obs[src].metrics().fault_injected();
+            self.obs[src].emit_with(src, || TraceEvent::FaultInjected {
+                src,
+                dst,
+                tag,
+                action: kind,
+            });
+        }
+        for e in out {
+            self.forward(dst, e);
+        }
+    }
+
+    /// Put an envelope on `dst`'s channel, bypassing the fault plane.
+    #[inline]
+    fn forward(&self, dst: usize, env: Envelope) {
         // A send to a terminated rank can only happen on program logic errors;
         // the unbounded channel otherwise never fails.
         self.senders[dst]
             .send(env)
             .expect("destination rank terminated with messages in flight");
+    }
+
+    // ----- fault plane ------------------------------------------------------
+
+    /// Install a fault plane compiled from `spec`. All subsequent data
+    /// deposits route through it.
+    pub fn install_faults(&self, spec: FaultSpec) {
+        use std::sync::atomic::Ordering;
+        let p = self.senders.len();
+        *self.faults.write() = Some(Arc::new(FaultPlane::new(spec, p)));
+        self.lossy.store(true, Ordering::Release);
+    }
+
+    /// The installed fault plane, if any.
+    pub fn fault_plane(&self) -> Option<Arc<FaultPlane>> {
+        self.faults.read().clone()
+    }
+
+    /// True when a fault plane is installed (the transport may misbehave).
+    #[inline]
+    pub fn lossy(&self) -> bool {
+        self.lossy.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Injected-fault counters of the installed plane, if any.
+    pub fn fault_stats(&self) -> Option<FaultStats> {
+        self.fault_plane().map(|p| p.stats())
+    }
+
+    /// One receiver poll on `rank`: releases due delayed/reordered
+    /// envelopes from the fault plane onto `rank`'s channel. A no-op
+    /// without a plane.
+    pub fn poll(&self, rank: usize) {
+        if let Some(plane) = self.fault_plane() {
+            for env in plane.poll(rank) {
+                self.forward(rank, env);
+            }
+        }
     }
 
     /// Total messages deposited since creation.
@@ -114,6 +195,7 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 7,
+                rel: Default::default(),
                 data: vec![1, 2, 3].into(),
             },
         );
@@ -135,6 +217,7 @@ mod tests {
                     ctx: 0,
                     src: 0,
                     tag: 0,
+                    rel: Default::default(),
                     data: vec![i].into(),
                 },
             );
@@ -153,6 +236,7 @@ mod tests {
                 ctx: 0,
                 src: 1,
                 tag: 0,
+                rel: Default::default(),
                 data: vec![0; 100].into(),
             },
         );
@@ -162,6 +246,7 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 0,
+                rel: Default::default(),
                 data: vec![0; 28].into(),
             },
         );
@@ -178,10 +263,38 @@ mod tests {
                 ctx: 0,
                 src: 0,
                 tag: 1,
+                rel: Default::default(),
                 data: vec![42].into(),
             },
         );
         assert_eq!(rxs[0].try_recv().unwrap().data, vec![42]);
+    }
+
+    #[test]
+    fn installed_plane_drops_but_acks_bypass() {
+        use crate::fault::{FaultSpec, LinkSel};
+        let (fabric, rxs) = Fabric::new(2);
+        fabric.install_faults(FaultSpec::new(11).drop_rate(LinkSel::any(), 1.0));
+        assert!(fabric.lossy());
+        fabric.deposit(1, Envelope::sequenced(0, 0, 5, 1, vec![9u8]));
+        assert!(rxs[1].try_recv().is_err(), "data envelope dropped");
+        assert_eq!(fabric.fault_stats().unwrap().drops, 1);
+        fabric.deposit(1, Envelope::ack(0, 0, 5, 1));
+        let env = rxs[1].try_recv().expect("ack must bypass the plane");
+        assert!(env.is_ack());
+    }
+
+    #[test]
+    fn poll_releases_delayed_envelopes() {
+        use crate::fault::{FaultSpec, LinkSel};
+        let (fabric, rxs) = Fabric::new(2);
+        fabric.install_faults(FaultSpec::new(11).delay_rate(LinkSel::any(), 1.0, 2));
+        fabric.deposit(1, Envelope::new(0, 0, 5, vec![1u8]));
+        assert!(rxs[1].try_recv().is_err());
+        fabric.poll(1);
+        assert!(rxs[1].try_recv().is_err());
+        fabric.poll(1);
+        assert_eq!(rxs[1].try_recv().unwrap().data, vec![1u8]);
     }
 
     #[test]

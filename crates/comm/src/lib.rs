@@ -35,18 +35,34 @@
 //! collectives pre-warm the pool at init and reach a 100% hit rate in
 //! steady state ([`Comm::pool_telemetry`]).
 
+//! # Fault injection and reliable delivery
+//!
+//! The fabric can host a deterministic, seeded fault plane
+//! ([`FaultSpec`]/[`fault::FaultPlane`], installed via
+//! [`Universe::run_with_faults`] or `Fabric::install_faults`) that drops,
+//! duplicates, delays, or reorders data envelopes per declarative rules.
+//! [`Comm::exchange`] counters it with sequence-numbered envelopes,
+//! receiver-side dedup windows, and retransmission on an exponential
+//! backoff ([`RetryPolicy`]); a dead link surfaces
+//! [`CommError::PeerUnreachable`] instead of a hang. See `reliable.rs`
+//! and DESIGN.md §10.
+
 pub mod collectives;
 pub mod comm;
 pub mod envelope;
 pub mod error;
 pub mod fabric;
+pub mod fault;
 pub mod pool;
+pub mod reliable;
 pub mod universe;
 
 pub use comm::{BufferPolicy, Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Status};
-pub use envelope::{SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
+pub use envelope::{EnvKind, RelHeader, SrcSel, Tag, TagSel, ANY_SOURCE, ANY_TAG};
 pub use error::{CommError, CommResult};
+pub use fault::{FaultAction, FaultPlane, FaultRng, FaultRule, FaultSpec, FaultStats, LinkSel};
 pub use pool::{PoolStats, PooledBuf, WirePool};
+pub use reliable::{Reliability, RetryPolicy};
 pub use universe::Universe;
 
 /// Structured observability (re-export of `cartcomm-obs`): every rank's

@@ -4,6 +4,7 @@ use std::sync::Arc;
 
 use crate::comm::Comm;
 use crate::fabric::Fabric;
+use crate::fault::FaultSpec;
 
 /// Entry point of the runtime: builds the fabric and runs rank programs.
 pub struct Universe;
@@ -32,6 +33,41 @@ impl Universe {
     {
         assert!(p > 0, "universe needs at least one rank");
         let (fabric, receivers) = Fabric::new(p);
+        let fabric = Arc::new(fabric);
+        let f = &f;
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (rank, rx) in receivers.into_iter().enumerate() {
+                let fabric = Arc::clone(&fabric);
+                handles.push(scope.spawn(move || {
+                    let mut comm = Comm::new(rank, fabric, rx);
+                    f(&mut comm)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(e) => std::panic::resume_unwind(e),
+                })
+                .collect()
+        })
+    }
+
+    /// Like [`Universe::run`] but with a seeded fault plane installed on
+    /// the fabric before any rank starts: every data deposit is subject to
+    /// `spec`'s drop/duplicate/delay/reorder rules. Rank programs that
+    /// exercise fault-scoped traffic should opt exchanges into reliable
+    /// delivery ([`Comm::set_default_reliability`]) or expect to handle
+    /// the adversity themselves.
+    pub fn run_with_faults<F, R>(p: usize, spec: FaultSpec, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        fabric.install_faults(spec);
         let fabric = Arc::new(fabric);
         let f = &f;
         std::thread::scope(|scope| {

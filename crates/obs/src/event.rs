@@ -87,6 +87,79 @@ pub enum TraceEvent {
         /// Receive-slot index the message matched.
         slot: usize,
     },
+    /// The fault plane tampered with a deposited envelope. Emitted on the
+    /// *sending* rank (the side that owns the link decision). `action` is
+    /// a [`FaultActionKind`] code.
+    FaultInjected {
+        /// Sender rank of the afflicted envelope.
+        src: usize,
+        /// Destination rank of the afflicted envelope.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// What the plane did ([`FaultActionKind`] as `u64`).
+        action: FaultActionKind,
+    },
+    /// The reliable-delivery layer re-deposited an unacknowledged
+    /// sequenced envelope after its retransmit deadline passed.
+    Retransmit {
+        /// Destination rank of the retransmitted envelope.
+        dst: usize,
+        /// Message tag.
+        tag: u32,
+        /// Stream sequence number.
+        seq: u64,
+        /// Retransmit attempt index (1 = first retransmission).
+        attempt: u32,
+    },
+    /// The receiver's dedup window absorbed an already-delivered
+    /// sequenced envelope (a fault-plane duplicate or a spurious
+    /// retransmission).
+    DupDropped {
+        /// Sender rank of the duplicate.
+        src: usize,
+        /// Message tag.
+        tag: u32,
+        /// Stream sequence number that had already been delivered.
+        seq: u64,
+    },
+}
+
+/// The kind of tampering a fault plane applied to an envelope — the
+/// `action` payload of [`TraceEvent::FaultInjected`], kept in `cartcomm-obs`
+/// so trace consumers can decode it without depending on the comm crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultActionKind {
+    /// The envelope was silently discarded.
+    Drop,
+    /// A copy of the envelope was enqueued (possibly delayed).
+    Duplicate,
+    /// Delivery was deferred for N receiver polls.
+    Delay,
+    /// The envelope was held back so later traffic overtakes it.
+    Reorder,
+}
+
+impl FaultActionKind {
+    /// Stable numeric code (drives the exporters' `u64` field encoding).
+    pub fn code(self) -> u64 {
+        match self {
+            FaultActionKind::Drop => 0,
+            FaultActionKind::Duplicate => 1,
+            FaultActionKind::Delay => 2,
+            FaultActionKind::Reorder => 3,
+        }
+    }
+
+    /// Short name for human-readable exporters.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultActionKind::Drop => "drop",
+            FaultActionKind::Duplicate => "duplicate",
+            FaultActionKind::Delay => "delay",
+            FaultActionKind::Reorder => "reorder",
+        }
+    }
 }
 
 impl TraceEvent {
@@ -101,6 +174,9 @@ impl TraceEvent {
             TraceEvent::PlanCacheHit { .. } => "plan_cache_hit",
             TraceEvent::PlanCacheMiss { .. } => "plan_cache_miss",
             TraceEvent::ExchangeMatched { .. } => "exchange_matched",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::DupDropped { .. } => "dup_dropped",
         }
     }
 
@@ -155,6 +231,31 @@ impl TraceEvent {
                 ("bytes", bytes as u64),
                 ("slot", slot as u64),
             ],
+            TraceEvent::FaultInjected {
+                src,
+                dst,
+                tag,
+                action,
+            } => vec![
+                ("src", src as u64),
+                ("dst", dst as u64),
+                ("tag", tag as u64),
+                ("action", action.code()),
+            ],
+            TraceEvent::Retransmit {
+                dst,
+                tag,
+                seq,
+                attempt,
+            } => vec![
+                ("dst", dst as u64),
+                ("tag", tag as u64),
+                ("seq", seq),
+                ("attempt", attempt as u64),
+            ],
+            TraceEvent::DupDropped { src, tag, seq } => {
+                vec![("src", src as u64), ("tag", tag as u64), ("seq", seq)]
+            }
         }
     }
 }

@@ -43,7 +43,7 @@ mod obs;
 mod sink;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use event::{TraceEvent, TraceRecord};
+pub use event::{FaultActionKind, TraceEvent, TraceRecord};
 pub use metrics::{MetricsRegistry, MetricsSnapshot};
 pub use obs::Obs;
 pub use sink::{RingBufferSink, TraceSink};

@@ -38,6 +38,9 @@ pub struct MetricsRegistry {
     pool_misses: AtomicU64,
     plan_cache_hits: AtomicU64,
     plan_cache_misses: AtomicU64,
+    faults_injected: AtomicU64,
+    retransmits: AtomicU64,
+    dup_drops: AtomicU64,
     /// Round latency, recorded as `log10(ns)`. Tracing-gated.
     round_latency_log10_ns: Mutex<Histogram>,
     /// Matched-message size, recorded as `log2(bytes + 1)`. Tracing-gated.
@@ -60,6 +63,9 @@ impl MetricsRegistry {
             pool_misses: AtomicU64::new(0),
             plan_cache_hits: AtomicU64::new(0),
             plan_cache_misses: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            retransmits: AtomicU64::new(0),
+            dup_drops: AtomicU64::new(0),
             round_latency_log10_ns: Mutex::new(Histogram::new(0.0, 10.0, LATENCY_LOG10_BINS)),
             msg_size_log2_bytes: Mutex::new(Histogram::new(0.0, 32.0, SIZE_LOG2_BINS)),
         }
@@ -131,6 +137,24 @@ impl MetricsRegistry {
         self.plan_cache_misses.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// The fault plane tampered with one of this rank's deposits.
+    #[inline]
+    pub fn fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// An unacknowledged sequenced envelope was retransmitted.
+    #[inline]
+    pub fn retransmit(&self) {
+        self.retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The dedup window absorbed an already-delivered sequenced envelope.
+    #[inline]
+    pub fn dup_drop(&self) {
+        self.dup_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     // ----- tracing-gated distributions -------------------------------------
 
     /// Record one round latency (callers gate on tracing being enabled).
@@ -174,6 +198,9 @@ impl MetricsRegistry {
             pool_misses: self.pool_misses.load(Ordering::Relaxed),
             plan_cache_hits: self.plan_cache_hits.load(Ordering::Relaxed),
             plan_cache_misses: self.plan_cache_misses.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            retransmits: self.retransmits.load(Ordering::Relaxed),
+            dup_drops: self.dup_drops.load(Ordering::Relaxed),
         }
     }
 
@@ -192,6 +219,9 @@ impl MetricsRegistry {
         self.pool_misses.store(0, Ordering::Relaxed);
         self.plan_cache_hits.store(0, Ordering::Relaxed);
         self.plan_cache_misses.store(0, Ordering::Relaxed);
+        self.faults_injected.store(0, Ordering::Relaxed);
+        self.retransmits.store(0, Ordering::Relaxed);
+        self.dup_drops.store(0, Ordering::Relaxed);
     }
 }
 
@@ -236,6 +266,12 @@ pub struct MetricsSnapshot {
     pub plan_cache_hits: u64,
     /// Compiled-plan cache misses (compilations).
     pub plan_cache_misses: u64,
+    /// Envelopes the fault plane tampered with on this rank's deposits.
+    pub faults_injected: u64,
+    /// Sequenced envelopes retransmitted after a missed acknowledgement.
+    pub retransmits: u64,
+    /// Duplicate sequenced envelopes absorbed by the dedup window.
+    pub dup_drops: u64,
 }
 
 impl MetricsSnapshot {
@@ -259,12 +295,15 @@ impl MetricsSnapshot {
             plan_cache_misses: self
                 .plan_cache_misses
                 .saturating_sub(earlier.plan_cache_misses),
+            faults_injected: self.faults_injected.saturating_sub(earlier.faults_injected),
+            retransmits: self.retransmits.saturating_sub(earlier.retransmits),
+            dup_drops: self.dup_drops.saturating_sub(earlier.dup_drops),
         }
     }
 
     /// The counters as `(name, value)` pairs in a stable order (drives
     /// the exporters).
-    pub fn fields(&self) -> [(&'static str, u64); 12] {
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("rounds_started", self.rounds_started),
             ("rounds_completed", self.rounds_completed),
@@ -278,6 +317,9 @@ impl MetricsSnapshot {
             ("pool_misses", self.pool_misses),
             ("plan_cache_hits", self.plan_cache_hits),
             ("plan_cache_misses", self.plan_cache_misses),
+            ("faults_injected", self.faults_injected),
+            ("retransmits", self.retransmits),
+            ("dup_drops", self.dup_drops),
         ]
     }
 
@@ -371,7 +413,7 @@ mod tests {
         m.round_completed();
         let s = m.snapshot();
         let table = format!("{s}");
-        assert_eq!(table.lines().count(), 12);
+        assert_eq!(table.lines().count(), 15);
         assert!(table.contains("rounds_completed"));
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));

@@ -33,7 +33,7 @@ pub mod model;
 pub mod noise;
 pub mod trace;
 
-pub use des::EventSim;
+pub use des::{EventSim, SimFaults};
 pub use machine::{BaselineQuirks, MachineProfile};
 pub use model::{CollectiveKind, LinearModel};
 pub use noise::NoiseModel;

@@ -63,6 +63,28 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// Channel is empty and every sender has been dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+            RecvTimeoutError::Disconnected => {
+                f.write_str("receiving on an empty and disconnected channel")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 struct Shared<T> {
     queue: Mutex<VecDeque<T>>,
     avail: Condvar,
@@ -147,6 +169,33 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             q = self.shared.avail.wait(q).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut q = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(msg) = q.pop_front() {
+                return Ok(msg);
+            }
+            if self.shared.senders.load(Ordering::Acquire) == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = std::time::Instant::now();
+            let Some(remaining) = deadline
+                .checked_duration_since(now)
+                .filter(|d| !d.is_zero())
+            else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, _res) = self
+                .shared
+                .avail
+                .wait_timeout(q, remaining)
+                .unwrap_or_else(|p| p.into_inner());
+            q = guard;
         }
     }
 
@@ -244,6 +293,33 @@ mod tests {
         let (tx, rx) = unbounded::<u8>();
         let h = std::thread::spawn(move || rx.recv().unwrap());
         std::thread::sleep(std::time::Duration::from_millis(20));
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(3).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(3));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn recv_timeout_wakes_on_send() {
+        use std::time::Duration;
+        let (tx, rx) = unbounded::<u8>();
+        let h = std::thread::spawn(move || rx.recv_timeout(Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
         tx.send(42).unwrap();
         assert_eq!(h.join().unwrap(), 42);
     }
