@@ -1,0 +1,519 @@
+//! Cross-rank profiler CLI: run a configurable collective workload under
+//! `Universe::run_profiled`, assemble the global round DAG, and report
+//! observed-vs-predicted accounting (Props 3.2/3.3), the critical path,
+//! an α-β fit of round latency vs wire bytes, and the measured cut-off
+//! `m*` — as a human table, a Perfetto-loadable trace, and a
+//! machine-readable `BENCH_profile.json`.
+//!
+//! Usage: `cargo run --release -p cartcomm-bench --bin cartprof -- [OPTIONS]`
+//!
+//! * `--smoke`          — small 2-D workload, few iterations (CI gate).
+//! * `--dims AxBxC`     — torus dimensions (default `3x3x3`).
+//! * `--nb moore|vonneumann` — stencil family (default `moore`).
+//! * `--radius N`       — stencil radius (default 1).
+//! * `--op alltoall|allgather` — collective to profile (default alltoall).
+//! * `--m LIST`         — comma-separated block-size sweep in i32
+//!   elements (default `4,64,1024,8192`).
+//! * `--iters N`        — profiled runs per block size (default 3).
+//! * `--faults SEED:RATE` — install a seeded drop plane at `RATE`
+//!   (0..1) on all links and run exchanges reliably.
+//! * `--perfetto PATH`  — Perfetto trace output (default
+//!   `cartprof_trace.json`).
+//! * `--out PATH`       — profile JSON output (default
+//!   `BENCH_profile.json`).
+//! * `--json`           — also print the profile JSON to stdout.
+//!
+//! Exit status is non-zero when observed rounds/volumes diverge from the
+//! schedule analysis or the α-β fit is degenerate, so CI can gate on it.
+
+use std::time::Duration;
+
+use cartcomm::ops::Algo;
+use cartcomm::{CartComm, CostSummary};
+use cartcomm_comm::obs::{
+    AlphaBetaFit, CriticalPath, PerfettoExport, RoundDag, TraceCollector, TraceEvent,
+};
+use cartcomm_comm::{FaultSpec, LinkSel, RetryPolicy, Tag, Universe};
+use cartcomm_stats::Histogram;
+use cartcomm_topo::RelNeighborhood;
+
+/// Per-rank trace-ring capacity: comfortably above `C + machinery` events
+/// for every workload this CLI can configure.
+const SINK_CAPACITY: usize = 1 << 15;
+
+/// The Cartesian schedule data tags (compiled rounds, trivial
+/// alltoall/allgather, reductions) all fall in this half-open range; the
+/// fault plane is scoped to it so topology setup (internal contexts, not
+/// covered by reliable exchanges) runs clean — same scoping as the chaos
+/// test suite.
+const CART_TAGS_LO: Tag = 0x7A00_0000;
+const CART_TAGS_HI: Tag = 0x7F00_0000;
+
+#[derive(Clone)]
+struct Workload {
+    dims: Vec<usize>,
+    family: String,
+    radius: usize,
+    allgather: bool,
+    m_sweep: Vec<usize>,
+    iters: usize,
+    faults: Option<(u64, f64)>,
+}
+
+struct MRun {
+    m_elems: usize,
+    m_bytes: usize,
+    dag: RoundDag,
+    collector: TraceCollector,
+    rounds_ok: bool,
+    phase_rounds_ok: bool,
+    volume_ok: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: cartprof [--smoke] [--dims AxBxC] [--nb moore|vonneumann] [--radius N]\n\
+         \x20              [--op alltoall|allgather] [--m LIST] [--iters N]\n\
+         \x20              [--faults SEED:RATE] [--perfetto PATH] [--out PATH] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> (Workload, String, String, bool) {
+    let mut w = Workload {
+        dims: vec![3, 3, 3],
+        family: "moore".to_string(),
+        radius: 1,
+        allgather: false,
+        m_sweep: vec![4, 64, 1024, 8192],
+        iters: 3,
+        faults: None,
+    };
+    let mut perfetto = "cartprof_trace.json".to_string();
+    let mut out = "BENCH_profile.json".to_string();
+    let mut print_json = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    let value = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i).cloned().unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => {
+                w.dims = vec![3, 3];
+                w.family = "moore".to_string();
+                w.radius = 1;
+                w.m_sweep = vec![4, 128, 4096];
+                w.iters = 2;
+            }
+            "--dims" => {
+                let v = value(&mut i);
+                w.dims = v
+                    .split('x')
+                    .map(|d| d.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if w.dims.is_empty() {
+                    usage();
+                }
+            }
+            "--nb" => {
+                let v = value(&mut i);
+                if v != "moore" && v != "vonneumann" {
+                    usage();
+                }
+                w.family = v;
+            }
+            "--radius" => w.radius = value(&mut i).parse().unwrap_or_else(|_| usage()),
+            "--op" => match value(&mut i).as_str() {
+                "alltoall" => w.allgather = false,
+                "allgather" => w.allgather = true,
+                _ => usage(),
+            },
+            "--m" => {
+                let v = value(&mut i);
+                w.m_sweep = v
+                    .split(',')
+                    .map(|m| m.parse().unwrap_or_else(|_| usage()))
+                    .collect();
+                if w.m_sweep.is_empty() {
+                    usage();
+                }
+            }
+            "--iters" => {
+                w.iters = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if w.iters == 0 {
+                    usage();
+                }
+            }
+            "--faults" => {
+                let v = value(&mut i);
+                let (seed, rate) = v.split_once(':').unwrap_or_else(|| usage());
+                let seed: u64 = seed.parse().unwrap_or_else(|_| usage());
+                let rate: f64 = rate.parse().unwrap_or_else(|_| usage());
+                if !(0.0..=1.0).contains(&rate) {
+                    usage();
+                }
+                w.faults = Some((seed, rate));
+            }
+            "--perfetto" => perfetto = value(&mut i),
+            "--out" => out = value(&mut i),
+            "--json" => print_json = true,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    (w, perfetto, out, print_json)
+}
+
+fn neighborhood(w: &Workload) -> RelNeighborhood {
+    let d = w.dims.len();
+    let nb = if w.family == "moore" {
+        RelNeighborhood::moore(d, w.radius as i64)
+    } else {
+        RelNeighborhood::von_neumann(d, w.radius as i64)
+    };
+    nb.unwrap_or_else(|e| {
+        eprintln!("bad neighborhood: {e:?}");
+        std::process::exit(2);
+    })
+}
+
+/// One profiled run of the workload at block size `m` (in i32 elements).
+/// Returns the collector plus the per-rank latency histograms and the
+/// plan's per-phase round counts (identical on every rank).
+fn profile_once(
+    w: &Workload,
+    nb: &RelNeighborhood,
+    m: usize,
+) -> (TraceCollector, Vec<Histogram>, Vec<usize>, usize) {
+    let p: usize = w.dims.iter().product();
+    let periods = vec![true; w.dims.len()];
+    let t = nb.len();
+    let dims = w.dims.clone();
+    let nb = nb.clone();
+    let allgather = w.allgather;
+    let faults = w.faults;
+
+    let body = move |comm: &mut cartcomm_comm::Comm| {
+        if faults.is_some() {
+            comm.set_default_reliability(Some(RetryPolicy {
+                attempts: 10,
+                base: Duration::from_millis(25),
+                factor: 2.0,
+                max: Duration::from_millis(250),
+            }));
+        }
+        let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
+        let rank = cart.rank();
+        let plan = if allgather {
+            cart.plans().allgather()
+        } else {
+            cart.plans().alltoall()
+        };
+        let phase_rounds: Vec<usize> = plan.phases.iter().map(|ph| ph.rounds.len()).collect();
+        let volume_blocks = plan.volume_blocks;
+        if allgather {
+            let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+            let mut recv = vec![0i32; t * m];
+            cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
+        } else {
+            let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+            let mut recv = vec![0i32; t * m];
+            cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        }
+        let hist = cart.comm().obs().metrics().latency_histogram();
+        (phase_rounds, volume_blocks, hist)
+    };
+
+    let run = match faults {
+        Some((seed, rate)) => Universe::run_profiled_with_faults(
+            p,
+            SINK_CAPACITY,
+            FaultSpec::new(seed).drop_rate(LinkSel::any().tags(CART_TAGS_LO, CART_TAGS_HI), rate),
+            body,
+        ),
+        None => Universe::run_profiled(p, SINK_CAPACITY, body),
+    };
+
+    let (phase_rounds, volume_blocks, _) = run.results[0].clone();
+    let hists: Vec<Histogram> = run.results.into_iter().map(|(_, _, h)| h).collect();
+    (
+        TraceCollector::from_ranks(run.traces),
+        hists,
+        phase_rounds,
+        volume_blocks,
+    )
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.filter(|x| x.is_finite())
+        .map(fmt_f64)
+        .unwrap_or_else(|| "null".to_string())
+}
+
+fn json_usize_list(xs: &[usize]) -> String {
+    let body: Vec<String> = xs.iter().map(|x| x.to_string()).collect();
+    format!("[{}]", body.join(","))
+}
+
+fn main() {
+    let (w, perfetto_path, out_path, print_json) = parse_args();
+    let nb = neighborhood(&w);
+    let cost = CostSummary::of(&nb);
+    let p: usize = w.dims.iter().product();
+    let op = if w.allgather { "allgather" } else { "alltoall" };
+    let elem = std::mem::size_of::<i32>();
+
+    println!(
+        "cartprof: {}{} {} on {:?} torus (p = {p}, t = {}, C = {}, V = {})",
+        w.family,
+        w.radius,
+        op,
+        w.dims,
+        cost.t,
+        cost.rounds,
+        if w.allgather {
+            cost.allgather_volume
+        } else {
+            cost.alltoall_volume
+        },
+    );
+
+    let volume = if w.allgather {
+        cost.allgather_volume
+    } else {
+        cost.alltoall_volume
+    };
+
+    let mut runs: Vec<MRun> = Vec::new();
+    let mut samples: Vec<(u64, u64)> = Vec::new();
+    let mut cluster_hist: Option<Histogram> = None;
+    let mut phase_rounds_pred: Vec<usize> = Vec::new();
+    let mut ok = true;
+
+    for &m in &w.m_sweep {
+        for iter in 0..w.iters {
+            let (collector, hists, plan_phase_rounds, plan_volume) = profile_once(&w, &nb, m);
+            let dag = collector.build();
+            samples.extend(dag.latency_samples());
+            for h in &hists {
+                match &mut cluster_hist {
+                    Some(agg) => agg.merge(h),
+                    None => cluster_hist = Some(h.clone()),
+                }
+            }
+            phase_rounds_pred = plan_phase_rounds.clone();
+            assert_eq!(plan_volume, volume, "plan volume vs CostSummary");
+
+            let m_bytes = m * elem;
+            let sends = dag.sends_per_rank();
+            let bytes = dag.sent_bytes_per_rank();
+            let rounds_ok = sends.len() == p && sends.iter().all(|&c| c == cost.rounds);
+            let phase_rounds_ok = (0..p).all(|r| dag.phase_rounds(r) == plan_phase_rounds);
+            let volume_ok = bytes.iter().all(|&b| b == (volume * m_bytes) as u64)
+                && dag.unpaired_starts == 0
+                && dag.unpaired_ends == 0;
+            ok &= rounds_ok && phase_rounds_ok && volume_ok;
+
+            // Keep the first iteration of each block size for reporting;
+            // later iterations only contribute fit samples.
+            if iter == 0 {
+                runs.push(MRun {
+                    m_elems: m,
+                    m_bytes,
+                    dag,
+                    collector,
+                    rounds_ok,
+                    phase_rounds_ok,
+                    volume_ok,
+                });
+            } else if !(rounds_ok && phase_rounds_ok && volume_ok) {
+                eprintln!("m = {m}: iteration {iter} diverged from the schedule analysis");
+            }
+        }
+    }
+
+    // α-β fit over per-size mean latencies of every round in the sweep.
+    let fit = AlphaBetaFit::fit_size_means(&samples);
+    ok &= !fit.degenerate;
+
+    // Critical path + Perfetto export of the largest block size's DAG —
+    // the run where bandwidth effects are most visible.
+    let last = runs.last().expect("at least one m");
+    let cp = CriticalPath::of(&last.dag);
+    let perfetto = PerfettoExport::new(&last.dag)
+        .with_counters(last.collector.records())
+        .with_process_name("cartcomm")
+        .to_json();
+    if let Err(e) = std::fs::write(&perfetto_path, &perfetto) {
+        eprintln!("cannot write {perfetto_path}: {e}");
+        std::process::exit(2);
+    }
+
+    // ----- human table ------------------------------------------------------
+    println!();
+    println!(
+        "{:>8} {:>10} {:>7} {:>9} {:>8} {:>12}  status",
+        "m elems", "m bytes", "rounds", "phase C_k", "volume", "makespan"
+    );
+    for r in &runs {
+        let status = if r.rounds_ok && r.phase_rounds_ok && r.volume_ok {
+            "OK"
+        } else {
+            "MISMATCH"
+        };
+        println!(
+            "{:>8} {:>10} {:>7} {:>9} {:>8} {:>9} us  {status}",
+            r.m_elems,
+            r.m_bytes,
+            if r.rounds_ok { "ok" } else { "BAD" },
+            if r.phase_rounds_ok { "ok" } else { "BAD" },
+            if r.volume_ok { "ok" } else { "BAD" },
+            r.dag.makespan_ns() / 1_000,
+        );
+    }
+    println!();
+    println!(
+        "alpha-beta fit: alpha = {:.0} ns, beta = {:.4} ns/B, r2 = {:.3} ({} samples, {} sizes{})",
+        fit.alpha_ns,
+        fit.beta_ns_per_byte,
+        fit.r2,
+        fit.samples,
+        fit.distinct_sizes,
+        if fit.degenerate { ", DEGENERATE" } else { "" },
+    );
+    let ratio = cost.cutoff.unwrap_or(f64::NAN);
+    let m_star = fit.cutoff_m_bytes(ratio);
+    match m_star {
+        Some(m) => println!(
+            "measured cut-off m* = {:.0} bytes (ratio (t-C)/(V-t) = {:.3}): combining wins below",
+            m, ratio
+        ),
+        None => println!("no finite cut-off (op has no volume inflation or fit degenerate)"),
+    }
+    // Wire time can exceed the makespan under faults: a retransmitted
+    // wire's latency covers the backoff idle, which overlaps the next
+    // hop when the path continues over a serialization edge.
+    println!(
+        "critical path: {} hops over ranks {:?}, {} us wire time, {} us makespan; max phase skew {} us",
+        cp.steps.len(),
+        cp.rank_chain(),
+        cp.path_latency_ns() / 1_000,
+        cp.makespan_ns / 1_000,
+        cp.skew.iter().map(|s| s.skew_ns()).max().unwrap_or(0) / 1_000,
+    );
+
+    // ----- machine-readable profile ----------------------------------------
+    let faults_json = match w.faults {
+        Some((seed, rate)) => format!("{{\"seed\":{seed},\"drop_rate\":{}}}", fmt_f64(rate)),
+        None => "null".to_string(),
+    };
+    let per_m: Vec<String> = runs
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"m_elems\":{},\"m_bytes\":{},\"rounds_ok\":{},\"phase_rounds_ok\":{},\
+                 \"volume_ok\":{},\"nodes\":{},\"makespan_ns\":{},\"overlay_attempts\":{},\
+                 \"retransmits\":{}}}",
+                r.m_elems,
+                r.m_bytes,
+                r.rounds_ok,
+                r.phase_rounds_ok,
+                r.volume_ok,
+                r.dag.nodes().len(),
+                r.dag.makespan_ns(),
+                r.dag
+                    .nodes()
+                    .iter()
+                    .map(|n| (n.attempts.max(1) - 1) as u64)
+                    .sum::<u64>(),
+                r.collector
+                    .records()
+                    .iter()
+                    .flatten()
+                    .filter(|rec| matches!(rec.event, TraceEvent::Retransmit { .. }))
+                    .count(),
+            )
+        })
+        .collect();
+    let skew: Vec<String> = cp
+        .skew
+        .iter()
+        .map(|s| format!("{{\"phase\":{},\"skew_ns\":{}}}", s.phase, s.skew_ns()))
+        .collect();
+    let hist_json = match &cluster_hist {
+        Some(h) => format!(
+            "{{\"total\":{},\"mean_log10_ns\":{},\"out_of_range\":[{},{}]}}",
+            h.total(),
+            fmt_f64(h.sample_mean()),
+            h.out_of_range().0,
+            h.out_of_range().1,
+        ),
+        None => "null".to_string(),
+    };
+    let profile = format!(
+        "{{\n\
+         \x20\x20\"schema\":\"cartprof-v1\",\n\
+         \x20\x20\"workload\":{{\"dims\":{},\"neighborhood\":\"{}\",\"radius\":{},\"p\":{p},\
+         \"op\":\"{op}\",\"m_sweep_elems\":{},\"iters\":{},\"faults\":{faults_json}}},\n\
+         \x20\x20\"predicted\":{{\"t\":{},\"C\":{},\"V_blocks\":{},\"phase_rounds\":{},\
+         \"cutoff_ratio\":{}}},\n\
+         \x20\x20\"per_m\":[{}],\n\
+         \x20\x20\"fit\":{{\"alpha_ns\":{},\"beta_ns_per_byte\":{},\"r2\":{},\"samples\":{},\
+         \"distinct_sizes\":{},\"degenerate\":{}}},\n\
+         \x20\x20\"cutoff\":{{\"ratio\":{},\"measured_m_star_bytes\":{}}},\n\
+         \x20\x20\"critical_path\":{{\"makespan_ns\":{},\"steps\":{},\"rank_chain\":{},\
+         \"path_latency_ns\":{},\"phase_skew\":[{}]}},\n\
+         \x20\x20\"latency_histogram\":{hist_json},\n\
+         \x20\x20\"all_checks_passed\":{ok}\n\
+         }}\n",
+        json_usize_list(&w.dims),
+        w.family,
+        w.radius,
+        json_usize_list(&w.m_sweep),
+        w.iters,
+        cost.t,
+        cost.rounds,
+        volume,
+        json_usize_list(&phase_rounds_pred),
+        fmt_opt(cost.cutoff),
+        per_m.join(","),
+        fmt_f64(fit.alpha_ns),
+        fmt_f64(fit.beta_ns_per_byte),
+        fmt_f64(fit.r2),
+        fit.samples,
+        fit.distinct_sizes,
+        fit.degenerate,
+        fmt_opt(cost.cutoff),
+        fmt_opt(m_star),
+        cp.makespan_ns,
+        cp.steps.len(),
+        json_usize_list(&cp.rank_chain()),
+        cp.path_latency_ns(),
+        skew.join(","),
+    );
+    if let Err(e) = std::fs::write(&out_path, &profile) {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(2);
+    }
+    if print_json {
+        print!("{profile}");
+    }
+    println!();
+    println!("wrote {perfetto_path} (load in ui.perfetto.dev) and {out_path}");
+
+    if !ok {
+        eprintln!("cartprof: observed accounting diverged or fit degenerate");
+        std::process::exit(1);
+    }
+}

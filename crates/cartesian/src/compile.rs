@@ -619,6 +619,7 @@ fn execute_core(
                         to: r.target,
                         from: spec_src(&phase.specs[i]),
                         wire_bytes: r.wire_len,
+                        attempt: 0,
                     },
                 );
                 obs.emit(
@@ -653,6 +654,7 @@ fn execute_core(
                         to: r.target,
                         from: status.src,
                         wire_bytes: r.wire_len,
+                        attempt: 0,
                     },
                 );
             }

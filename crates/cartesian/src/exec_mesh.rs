@@ -133,6 +133,7 @@ pub fn execute_alltoall_mesh(
                                 to: dst,
                                 from: source.unwrap_or(usize::MAX),
                                 wire_bytes: wire.len(),
+                                attempt: 0,
                             },
                         );
                         obs.emit(
@@ -204,6 +205,7 @@ pub fn execute_alltoall_mesh(
                         to: rank,
                         from: status.src,
                         wire_bytes: wire.len(),
+                        attempt: 0,
                     },
                 );
             }

@@ -234,6 +234,7 @@ impl CartComm {
                             to: dst,
                             from: source.unwrap_or(usize::MAX),
                             wire_bytes: wire.len(),
+                            attempt: 0,
                         },
                     );
                 }
@@ -257,6 +258,7 @@ impl CartComm {
                             to: rank,
                             from: status.src,
                             wire_bytes: wire.len(),
+                            attempt: 0,
                         },
                     );
                 }

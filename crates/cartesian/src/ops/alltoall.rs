@@ -259,6 +259,7 @@ impl CartComm {
                             to: dst,
                             from: source.unwrap_or(usize::MAX),
                             wire_bytes: wire.len(),
+                            attempt: 0,
                         },
                     );
                 }
@@ -282,6 +283,7 @@ impl CartComm {
                             to: rank,
                             from: status.src,
                             wire_bytes: wire.len(),
+                            attempt: 0,
                         },
                     );
                 }

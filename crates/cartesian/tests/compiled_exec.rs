@@ -51,9 +51,11 @@ fn persistent_steady_state_is_allocation_free() {
         let rank = cart.rank();
         let send: Vec<u64> = (0..t * m).map(|x| (rank * 1000 + x) as u64).collect();
         let mut recv = vec![0u64; t * m];
-        // One warm-up execute, then scope the telemetry to the steady state.
+        // One warm-up execute, then scope the telemetry to the steady
+        // state as a metrics delta (no counter reset needed).
         handle.execute_typed(&cart, &send, &mut recv).unwrap();
-        cart.comm().wire_pool().reset_stats();
+        let warm = cart.comm().obs().snapshot();
+        let warm_dropped = cart.comm().pool_telemetry().dropped;
         for _ in 0..ITERS {
             handle.execute_typed(&cart, &send, &mut recv).unwrap();
         }
@@ -68,8 +70,9 @@ fn persistent_steady_state_is_allocation_free() {
                 assert_eq!(recv[i * m + e], (src * 1000 + i * m + e) as u64);
             }
         }
-        let s = cart.comm().pool_telemetry();
-        (s.hits, s.misses, s.dropped, rounds)
+        let d = cart.comm().obs().metrics().delta_since(&warm);
+        let dropped = cart.comm().pool_telemetry().dropped - warm_dropped;
+        (d.pool_hits, d.pool_misses, dropped, rounds)
     });
     for (rank, (hits, misses, dropped, rounds)) in stats.into_iter().enumerate() {
         assert_eq!(rounds, 4, "moore(2,1) combines into C = 4 rounds");
@@ -99,38 +102,45 @@ fn plan_cache_shares_compiled_programs() {
     let t = nb.len();
     Universe::run(9, |comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (0, 0));
+        // Each step asserts what *that step alone* contributed, via
+        // metrics deltas over the plan-cache counters.
+        let cache_delta = |since: &cartcomm_comm::obs::MetricsSnapshot| {
+            let d = cart.comm().obs().metrics().delta_since(since);
+            (d.plan_cache_hits, d.plan_cache_misses)
+        };
+        let s = cart.comm().obs().snapshot();
         // Trivial handles bypass the compile stage entirely.
         let trivial = cart.alltoall_init::<i32>(4, Algo::Trivial).unwrap();
         assert!(trivial.compiled().is_none());
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (0, 0));
+        assert_eq!(cache_delta(&s), (0, 0));
         // First combining init compiles; a second identical init reuses it.
+        let s = cart.comm().obs().snapshot();
         let h1 = cart.alltoall_init::<i32>(4, Algo::Combining).unwrap();
         assert!(h1.compiled().is_some());
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (0, 1));
+        assert_eq!(cache_delta(&s), (0, 1));
+        let s = cart.comm().obs().snapshot();
         let _h2 = cart.alltoall_init::<i32>(4, Algo::Combining).unwrap();
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(cache_delta(&s), (1, 0));
         // One-shot collectives with the same shape hit the same entry.
+        let s = cart.comm().obs().snapshot();
         let send = vec![7i32; t * 4];
         let mut recv = vec![0i32; t * 4];
         cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
         cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (3, 1));
+        assert_eq!(cache_delta(&s), (2, 0));
         // A different block size is a different program...
+        let s = cart.comm().obs().snapshot();
         let send2 = vec![7i32; t * 2];
         let mut recv2 = vec![0i32; t * 2];
         cart.alltoall(&send2, &mut recv2, Algo::Combining).unwrap();
-        let s = cart.plans().cache_stats();
-        assert_eq!((s.hits, s.misses), (3, 2));
+        assert_eq!(cache_delta(&s), (0, 1));
         // ...and so is a different collective kind.
+        let s = cart.comm().obs().snapshot();
         let sendg = vec![1i32; 4];
         let mut recvg = vec![0i32; t * 4];
         cart.allgather(&sendg, &mut recvg, Algo::Combining).unwrap();
+        assert_eq!(cache_delta(&s), (0, 1));
+        // The cache's own lifetime counters cross-check the delta story.
         let s = cart.plans().cache_stats();
         assert_eq!((s.hits, s.misses), (3, 3));
     });

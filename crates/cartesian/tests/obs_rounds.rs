@@ -202,7 +202,9 @@ fn plan_cache_events_fire_on_hit_and_miss() {
 
 #[test]
 fn metrics_counters_match_trace() {
-    // The always-on counters and the trace agree on the same run.
+    // The always-on counters and the trace agree on the same run; the
+    // window is expressed as a MetricsDelta rather than hand-subtracted
+    // counter fields.
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
     let t = nb.len();
     let outs = Universe::run(9, |comm| {
@@ -214,17 +216,13 @@ fn metrics_counters_match_trace() {
         let mut recv = vec![0i32; t];
         cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
         cart.comm().obs().detach_sink();
-        let after = cart.comm().obs().snapshot();
+        let delta = cart.comm().obs().metrics().delta_since(&before);
         let traced_rounds = sink
             .snapshot()
             .iter()
             .filter(|r| matches!(r.event, TraceEvent::RoundStart { .. }))
             .count() as u64;
-        (
-            after.rounds_started - before.rounds_started,
-            after.rounds_completed - before.rounds_completed,
-            traced_rounds,
-        )
+        (delta.rounds_started, delta.rounds_completed, traced_rounds)
     });
     for (rank, (started, completed, traced)) in outs.into_iter().enumerate() {
         assert_eq!(started, traced, "rank {rank}: counter vs trace mismatch");

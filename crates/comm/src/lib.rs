@@ -63,7 +63,7 @@ pub use error::{CommError, CommResult};
 pub use fault::{FaultAction, FaultPlane, FaultRng, FaultRule, FaultSpec, FaultStats, LinkSel};
 pub use pool::{PoolStats, PooledBuf, WirePool};
 pub use reliable::{Reliability, RetryPolicy};
-pub use universe::Universe;
+pub use universe::{ProfiledRun, Universe};
 
 /// Structured observability (re-export of `cartcomm-obs`): every rank's
 /// [`Comm`] carries an [`cartcomm_obs::Obs`] handle reachable via

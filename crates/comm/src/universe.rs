@@ -2,12 +2,72 @@
 
 use std::sync::Arc;
 
+use cartcomm_obs::{MonotonicClock, RingBufferSink, TraceRecord};
+
 use crate::comm::Comm;
 use crate::fabric::Fabric;
 use crate::fault::FaultSpec;
 
 /// Entry point of the runtime: builds the fabric and runs rank programs.
 pub struct Universe;
+
+/// The output of a profiled run: per-rank results plus every rank's
+/// drained trace, timestamped against **one shared clock** so the records
+/// are cross-rank comparable (feed them to
+/// `cartcomm_obs::profile::TraceCollector`).
+pub struct ProfiledRun<R> {
+    /// Rank program results, in rank order.
+    pub results: Vec<R>,
+    /// Drained trace records, in rank order.
+    pub traces: Vec<Vec<TraceRecord>>,
+}
+
+/// Shared launch core: spawn one scoped thread per rank, join in rank
+/// order, re-panic the first rank panic.
+fn launch<F, R>(
+    p: usize,
+    fabric: Arc<Fabric>,
+    receivers: Vec<crossbeam_channel::Receiver<crate::envelope::Envelope>>,
+    f: F,
+) -> Vec<R>
+where
+    F: Fn(&mut Comm) -> R + Send + Sync,
+    R: Send,
+{
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let fabric = Arc::clone(&fabric);
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm::new(rank, fabric, rx);
+                f(&mut comm)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                Err(e) => std::panic::resume_unwind(e),
+            })
+            .collect()
+    })
+}
+
+/// Install a shared clock and one ring sink per rank on the fabric's
+/// `Obs` handles, returning the sinks for post-run draining.
+fn install_profiling(fabric: &Fabric, p: usize, capacity: usize) -> Vec<Arc<RingBufferSink>> {
+    let clock = Arc::new(MonotonicClock::new());
+    (0..p)
+        .map(|rank| {
+            let sink = Arc::new(RingBufferSink::new(capacity));
+            let obs = fabric.obs(rank);
+            obs.set_clock(clock.clone());
+            obs.attach_sink(sink.clone() as Arc<_>);
+            sink
+        })
+        .collect()
+}
 
 impl Universe {
     /// Run `f` on `p` ranks, each on its own OS thread, and return the
@@ -33,25 +93,7 @@ impl Universe {
     {
         assert!(p > 0, "universe needs at least one rank");
         let (fabric, receivers) = Fabric::new(p);
-        let fabric = Arc::new(fabric);
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let fabric = Arc::clone(&fabric);
-                handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(rank, fabric, rx);
-                    f(&mut comm)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
-        })
+        launch(p, Arc::new(fabric), receivers, f)
     }
 
     /// Like [`Universe::run`] but with a seeded fault plane installed on
@@ -68,25 +110,53 @@ impl Universe {
         assert!(p > 0, "universe needs at least one rank");
         let (fabric, receivers) = Fabric::new(p);
         fabric.install_faults(spec);
-        let fabric = Arc::new(fabric);
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let fabric = Arc::clone(&fabric);
-                handles.push(scope.spawn(move || {
-                    let mut comm = Comm::new(rank, fabric, rx);
-                    f(&mut comm)
-                }));
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
-        })
+        launch(p, Arc::new(fabric), receivers, f)
+    }
+
+    /// Like [`Universe::run`] but profiled: before any rank starts, every
+    /// rank's `Obs` gets **one shared monotonic clock** (per-rank clocks
+    /// have independent origins, making timestamps cross-rank garbage)
+    /// and its own [`RingBufferSink`] holding up to `capacity` records;
+    /// after the join, the sinks are drained into
+    /// [`ProfiledRun::traces`]. The traces feed
+    /// `cartcomm_obs::profile::TraceCollector` directly.
+    pub fn run_profiled<F, R>(p: usize, capacity: usize, f: F) -> ProfiledRun<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        let sinks = install_profiling(&fabric, p, capacity);
+        let results = launch(p, Arc::new(fabric), receivers, f);
+        ProfiledRun {
+            results,
+            traces: sinks.iter().map(|s| s.take()).collect(),
+        }
+    }
+
+    /// [`Universe::run_profiled`] with a fault plane installed — profile
+    /// a run *under* seeded adversity (retransmit overlays and fault
+    /// events land in the traces).
+    pub fn run_profiled_with_faults<F, R>(
+        p: usize,
+        capacity: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> ProfiledRun<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        fabric.install_faults(spec);
+        let sinks = install_profiling(&fabric, p, capacity);
+        let results = launch(p, Arc::new(fabric), receivers, f);
+        ProfiledRun {
+            results,
+            traces: sinks.iter().map(|s| s.take()).collect(),
+        }
     }
 
     /// Like [`Universe::run`] but with a per-rank stack size in bytes, for
@@ -129,6 +199,7 @@ impl Universe {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cartcomm_obs::TraceEvent;
 
     #[test]
     fn single_rank_universe() {
@@ -154,6 +225,57 @@ mod tests {
             comm.rank() + big[0] as usize
         });
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_profiled_drains_per_rank_traces() {
+        let run = Universe::run_profiled(4, 1024, |comm| {
+            // Emit one marker event per rank through its own Obs.
+            comm.obs()
+                .emit(comm.rank(), TraceEvent::PoolHit { bytes: comm.rank() });
+            comm.barrier().unwrap();
+            comm.rank()
+        });
+        assert_eq!(run.results, vec![0, 1, 2, 3]);
+        assert_eq!(run.traces.len(), 4);
+        for (rank, trace) in run.traces.iter().enumerate() {
+            assert!(
+                trace
+                    .iter()
+                    .any(|r| r.event == TraceEvent::PoolHit { bytes: rank }),
+                "rank {rank} marker missing"
+            );
+        }
+    }
+
+    #[test]
+    fn profiled_timestamps_share_one_clock() {
+        // Rank 1 emits strictly after rank 0 (enforced by a barrier in
+        // between); with the shared clock its timestamp must not precede
+        // rank 0's. With per-rank clock origins this would be flaky.
+        let run = Universe::run_profiled(2, 64, |comm| {
+            if comm.rank() == 0 {
+                comm.obs().emit(0, TraceEvent::PoolHit { bytes: 1 });
+            }
+            comm.barrier().unwrap();
+            if comm.rank() == 1 {
+                comm.obs().emit(1, TraceEvent::PoolHit { bytes: 2 });
+            }
+        });
+        let t0 = run.traces[0]
+            .iter()
+            .find(|r| r.event == TraceEvent::PoolHit { bytes: 1 })
+            .unwrap()
+            .t_ns;
+        let t1 = run.traces[1]
+            .iter()
+            .find(|r| r.event == TraceEvent::PoolHit { bytes: 2 })
+            .unwrap()
+            .t_ns;
+        assert!(
+            t1 >= t0,
+            "barrier-ordered events must not reorder: {t0} vs {t1}"
+        );
     }
 
     #[test]

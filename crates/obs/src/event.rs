@@ -30,6 +30,12 @@ pub enum TraceEvent {
         from: usize,
         /// Packed wire-message size in bytes.
         wire_bytes: usize,
+        /// Delivery attempt of this round's wire message. Executors emit
+        /// `0`; the reliable layer re-emits with `attempt > 0` when a
+        /// round's payload is retransmitted, so cross-rank event pairing
+        /// stays unambiguous (the profiler treats `attempt > 0` as overlay
+        /// edges of the round, never as new rounds).
+        attempt: u32,
     },
     /// The matching round completed: the inbound message from `from` has
     /// been received and scattered.
@@ -44,6 +50,9 @@ pub enum TraceEvent {
         from: usize,
         /// Received wire-message size in bytes.
         wire_bytes: usize,
+        /// Delivery attempt that completed the round (see
+        /// [`TraceEvent::RoundStart::attempt`]). `0` for first deliveries.
+        attempt: u32,
     },
     /// A wire message was packed (gathered) from `spans` source ranges
     /// totalling `bytes` bytes.
@@ -190,6 +199,7 @@ impl TraceEvent {
                 to,
                 from,
                 wire_bytes,
+                attempt,
             }
             | TraceEvent::RoundEnd {
                 phase,
@@ -197,12 +207,14 @@ impl TraceEvent {
                 to,
                 from,
                 wire_bytes,
+                attempt,
             } => vec![
                 ("phase", phase as u64),
                 ("round", round as u64),
                 ("to", to as u64),
                 ("from", from as u64),
                 ("wire_bytes", wire_bytes as u64),
+                ("attempt", attempt as u64),
             ],
             TraceEvent::PackSpan {
                 round,
@@ -283,6 +295,7 @@ mod tests {
             to: 5,
             from: 7,
             wire_bytes: 4096,
+            attempt: 2,
         };
         assert_eq!(e.kind(), "round_start");
         assert_eq!(
@@ -292,7 +305,8 @@ mod tests {
                 ("round", 3),
                 ("to", 5),
                 ("from", 7),
-                ("wire_bytes", 4096)
+                ("wire_bytes", 4096),
+                ("attempt", 2)
             ]
         );
         assert_eq!(

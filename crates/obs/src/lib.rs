@@ -25,6 +25,13 @@
 //! * **[`Clock`]** — pluggable timestamps: [`MonotonicClock`] for real
 //!   threaded runs, [`ManualClock`] for simulated runs where the DES
 //!   drives time (`cartcomm-sim` sets it to each event's model time).
+//! * **[`profile`]** — post-run cross-rank analysis: [`TraceCollector`]
+//!   pairs every rank's `RoundStart`/`RoundEnd` stream into a global
+//!   [`RoundDag`] of send→recv wires; [`CriticalPath`] extracts the
+//!   rank/round chain bounding the makespan plus per-phase skew and
+//!   straggler ranking; [`AlphaBetaFit`] least-squares-fits round latency
+//!   against wire bytes into α̂/β̂ and the paper's cut-off `m*`;
+//!   [`PerfettoExport`] renders the DAG as Chrome trace-event JSON.
 //!
 //! # Disabled-path guarantees
 //!
@@ -40,10 +47,14 @@ mod clock;
 mod event;
 mod metrics;
 mod obs;
+pub mod profile;
 mod sink;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{FaultActionKind, TraceEvent, TraceRecord};
-pub use metrics::{MetricsRegistry, MetricsSnapshot};
+pub use metrics::{MetricsDelta, MetricsRegistry, MetricsSnapshot};
 pub use obs::Obs;
+pub use profile::{
+    AlphaBetaFit, CriticalPath, MsgNode, PerfettoExport, PhaseSkew, RoundDag, TraceCollector,
+};
 pub use sink::{RingBufferSink, TraceSink};

@@ -204,6 +204,13 @@ impl MetricsRegistry {
         }
     }
 
+    /// The counter traffic since `earlier`, as a [`MetricsDelta`].
+    /// Equivalent to `snapshot() - earlier` — the idiomatic way to scope
+    /// assertions to a region of interest without resetting the registry.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsDelta {
+        MetricsDelta(self.snapshot().since(earlier))
+    }
+
     /// Zero every counter (distributions are kept). Lets a measurement
     /// scope counters to a region of interest.
     pub fn reset(&self) {
@@ -335,6 +342,43 @@ impl MetricsSnapshot {
     }
 }
 
+impl std::ops::Sub for MetricsSnapshot {
+    type Output = MetricsDelta;
+
+    /// `later - earlier`: the counter traffic between two snapshots.
+    /// Saturating per field, so a reset in between yields zeros instead
+    /// of wrapping.
+    fn sub(self, earlier: MetricsSnapshot) -> MetricsDelta {
+        MetricsDelta(self.since(&earlier))
+    }
+}
+
+/// The field-wise difference of two [`MetricsSnapshot`]s — counter
+/// traffic scoped to a region of interest. Produced by
+/// `later_snapshot - earlier_snapshot` or
+/// [`MetricsRegistry::delta_since`]; derefs to [`MetricsSnapshot`], so
+/// fields, `fields()`, and `to_json()` are all available on the delta.
+///
+/// Tests should assert on deltas instead of absolute counter values:
+/// absolute values are brittle (any setup traffic before the section
+/// under test shifts them), a delta pins exactly the section's traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsDelta(pub MetricsSnapshot);
+
+impl std::ops::Deref for MetricsDelta {
+    type Target = MetricsSnapshot;
+
+    fn deref(&self) -> &MetricsSnapshot {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for MetricsDelta {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
 impl std::fmt::Display for MetricsSnapshot {
     /// Aligned `name  value` table, one counter per line.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -384,6 +428,23 @@ mod tests {
         let d = m.snapshot().since(&s0);
         assert_eq!(d.rounds_completed, 2);
         assert_eq!(d.rounds_started, 0);
+    }
+
+    #[test]
+    fn subtraction_yields_delta() {
+        let m = MetricsRegistry::new();
+        m.add_wire_sent(100);
+        let s0 = m.snapshot();
+        m.add_wire_sent(23);
+        m.pool_hit();
+        let d = m.snapshot() - s0;
+        assert_eq!(d.wire_bytes_sent, 23);
+        assert_eq!(d.pool_hits, 1);
+        assert_eq!(d.rounds_started, 0);
+        assert_eq!(m.delta_since(&s0), d);
+        // Saturating: subtracting a later snapshot clamps at zero.
+        let earlier = MetricsSnapshot::default() - m.snapshot();
+        assert_eq!(earlier.wire_bytes_sent, 0);
     }
 
     #[test]

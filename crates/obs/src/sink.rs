@@ -4,7 +4,7 @@
 //! while tracing is enabled. The shipped [`RingBufferSink`] keeps the
 //! most recent records in a bounded ring (old records are dropped, and
 //! counted) and renders snapshots as a text table or JSON — enough for
-//! the `obs_dump` tool and for integration tests that pin observed
+//! the `cartprof` tool and for integration tests that pin observed
 //! rounds/bytes against the paper's predictions.
 
 use std::collections::VecDeque;
@@ -199,13 +199,15 @@ mod tests {
                 to: 3,
                 from: 4,
                 wire_bytes: 128,
+                attempt: 0,
             },
         });
         let json = sink.to_json();
         assert_eq!(
             json,
             "[{\"t_ns\":5,\"rank\":1,\"event\":\"round_end\",\
-             \"phase\":0,\"round\":2,\"to\":3,\"from\":4,\"wire_bytes\":128}]"
+             \"phase\":0,\"round\":2,\"to\":3,\"from\":4,\"wire_bytes\":128,\
+             \"attempt\":0}]"
         );
     }
 

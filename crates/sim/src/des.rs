@@ -158,6 +158,7 @@ impl EventSim {
                     to: dst,
                     from: src,
                     wire_bytes: bytes,
+                    attempt: 0,
                 },
             );
             tracer.set_time_secs(end);
@@ -169,6 +170,7 @@ impl EventSim {
                     to: dst,
                     from: src,
                     wire_bytes: bytes,
+                    attempt: 0,
                 },
             );
         }

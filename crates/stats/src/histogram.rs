@@ -59,6 +59,36 @@ impl Histogram {
         }
     }
 
+    /// Fold `other`'s samples into `self` bin-by-bin. Both histograms
+    /// must share the exact same binning (`lo`, `hi`, bin count) — merging
+    /// is then lossless, unlike re-adding samples to a differently-sized
+    /// histogram, so per-rank distributions aggregate into a cluster-wide
+    /// one without re-binning drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the binnings differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len(),
+            "histogram merge requires identical binning: \
+             [{}, {}) x{} vs [{}, {}) x{}",
+            self.lo,
+            self.hi,
+            self.counts.len(),
+            other.lo,
+            other.hi,
+            other.counts.len(),
+        );
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+        self.sum += other.sum;
+    }
+
     /// Bin counts.
     pub fn counts(&self) -> &[usize] {
         &self.counts
@@ -220,6 +250,44 @@ mod tests {
         assert!(s.contains("<- mean"));
         let mean = h.sample_mean();
         assert!(mean > 1.5 && mean < 2.0);
+    }
+
+    #[test]
+    fn merge_is_lossless_vs_single_histogram() {
+        // Two per-rank histograms merged == one histogram fed everything.
+        let xs: Vec<f64> = (0..300).map(|i| (i % 13) as f64 - 1.0).collect();
+        let (a_xs, b_xs) = xs.split_at(140);
+        let mut a = Histogram::new(0.0, 10.0, 5);
+        let mut b = Histogram::new(0.0, 10.0, 5);
+        let mut whole = Histogram::new(0.0, 10.0, 5);
+        for &x in a_xs {
+            a.add(x);
+            whole.add(x);
+        }
+        for &x in b_xs {
+            b.add(x);
+            whole.add(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.total(), 300);
+    }
+
+    #[test]
+    fn merge_of_empty_is_identity() {
+        let mut h = Histogram::new(0.0, 4.0, 4);
+        h.add(1.0);
+        let before = h.clone();
+        h.merge(&Histogram::new(0.0, 4.0, 4));
+        assert_eq!(h, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical binning")]
+    fn merge_rejects_different_binning() {
+        let mut a = Histogram::new(0.0, 4.0, 4);
+        let b = Histogram::new(0.0, 4.0, 8);
+        a.merge(&b);
     }
 
     #[test]

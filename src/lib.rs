@@ -13,7 +13,9 @@
 //! * [`sim`] — the α-β network cost simulator and machine profiles.
 //! * [`stats`] — the Appendix-A measurement statistics.
 //! * [`obs`] — round-level tracing + metrics (the paper's `C`/`V`
-//!   accounting, observed at runtime).
+//!   accounting, observed at runtime), and the cross-rank profiler:
+//!   global round DAG, critical-path analysis, α-β fitting, Perfetto
+//!   export (`obs::profile`, driven by the `cartprof` binary).
 //!
 //! ```
 //! use cartesian_collectives::prelude::*;
@@ -44,8 +46,11 @@ pub mod prelude {
     pub use cartcomm::ops::Algorithm;
     pub use cartcomm::ops::{Algo, PersistentCollective, WBlock};
     pub use cartcomm::{CartComm, CartError, CartResult};
-    pub use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, Universe};
-    pub use cartcomm_obs::{Obs, RingBufferSink, TraceEvent};
+    pub use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, ProfiledRun, Universe};
+    pub use cartcomm_obs::{
+        AlphaBetaFit, CriticalPath, MetricsDelta, Obs, PerfettoExport, RingBufferSink, RoundDag,
+        TraceCollector, TraceEvent,
+    };
     pub use cartcomm_topo::{dims_create, CartTopology, DistGraphTopology, RelNeighborhood};
     pub use cartcomm_types::{Datatype, FlatType, Primitive};
 }
