@@ -17,6 +17,8 @@
 //! * `--iters N`        — profiled runs per block size (default 3).
 //! * `--faults SEED:RATE` — install a seeded drop plane at `RATE`
 //!   (0..1) on all links and run exchanges reliably.
+//! * `--transport inproc|shm|uds|tcp` — transport backend carrying the
+//!   profiled envelopes (default `inproc`; see DESIGN.md §12).
 //! * `--perfetto PATH`  — Perfetto trace output (default
 //!   `cartprof_trace.json`).
 //! * `--out PATH`       — profile JSON output (default
@@ -33,7 +35,7 @@ use cartcomm::{CartComm, CostSummary};
 use cartcomm_comm::obs::{
     AlphaBetaFit, CriticalPath, PerfettoExport, RoundDag, TraceCollector, TraceEvent,
 };
-use cartcomm_comm::{FaultSpec, LinkSel, RetryPolicy, Tag, Universe};
+use cartcomm_comm::{FaultSpec, LinkSel, RetryPolicy, Tag, TransportKind, Universe};
 use cartcomm_stats::Histogram;
 use cartcomm_topo::RelNeighborhood;
 
@@ -58,6 +60,7 @@ struct Workload {
     m_sweep: Vec<usize>,
     iters: usize,
     faults: Option<(u64, f64)>,
+    transport: TransportKind,
 }
 
 struct MRun {
@@ -74,7 +77,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: cartprof [--smoke] [--dims AxBxC] [--nb moore|vonneumann] [--radius N]\n\
          \x20              [--op alltoall|allgather] [--m LIST] [--iters N]\n\
-         \x20              [--faults SEED:RATE] [--perfetto PATH] [--out PATH] [--json]"
+         \x20              [--faults SEED:RATE] [--transport inproc|shm|uds|tcp]\n\
+         \x20              [--perfetto PATH] [--out PATH] [--json]"
     );
     std::process::exit(2);
 }
@@ -88,6 +92,7 @@ fn parse_args() -> (Workload, String, String, bool) {
         m_sweep: vec![4, 64, 1024, 8192],
         iters: 3,
         faults: None,
+        transport: TransportKind::InProcess,
     };
     let mut perfetto = "cartprof_trace.json".to_string();
     let mut out = "BENCH_profile.json".to_string();
@@ -156,6 +161,9 @@ fn parse_args() -> (Workload, String, String, bool) {
                     usage();
                 }
                 w.faults = Some((seed, rate));
+            }
+            "--transport" => {
+                w.transport = TransportKind::parse(&value(&mut i)).unwrap_or_else(|| usage())
             }
             "--perfetto" => perfetto = value(&mut i),
             "--out" => out = value(&mut i),
@@ -228,14 +236,19 @@ fn profile_once(
     };
 
     let run = match faults {
-        Some((seed, rate)) => Universe::run_profiled_with_faults(
+        Some((seed, rate)) => Universe::run_profiled_on_with_faults(
+            w.transport,
             p,
             SINK_CAPACITY,
             FaultSpec::new(seed).drop_rate(LinkSel::any().tags(CART_TAGS_LO, CART_TAGS_HI), rate),
             body,
         ),
-        None => Universe::run_profiled(p, SINK_CAPACITY, body),
-    };
+        None => Universe::run_profiled_on(w.transport, p, SINK_CAPACITY, body),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("cannot bring up {} fabric: {e}", w.transport);
+        std::process::exit(2);
+    });
 
     let (phase_rounds, volume_blocks, _) = run.results[0].clone();
     let hists: Vec<Histogram> = run.results.into_iter().map(|(_, _, h)| h).collect();
@@ -275,11 +288,12 @@ fn main() {
     let elem = std::mem::size_of::<i32>();
 
     println!(
-        "cartprof: {}{} {} on {:?} torus (p = {p}, t = {}, C = {}, V = {})",
+        "cartprof: {}{} {} on {:?} torus over {} transport (p = {p}, t = {}, C = {}, V = {})",
         w.family,
         w.radius,
         op,
         w.dims,
+        w.transport,
         cost.t,
         cost.rounds,
         if w.allgather {
@@ -465,7 +479,8 @@ fn main() {
         "{{\n\
          \x20\x20\"schema\":\"cartprof-v1\",\n\
          \x20\x20\"workload\":{{\"dims\":{},\"neighborhood\":\"{}\",\"radius\":{},\"p\":{p},\
-         \"op\":\"{op}\",\"m_sweep_elems\":{},\"iters\":{},\"faults\":{faults_json}}},\n\
+         \"op\":\"{op}\",\"transport\":\"{}\",\"m_sweep_elems\":{},\"iters\":{},\
+         \"faults\":{faults_json}}},\n\
          \x20\x20\"predicted\":{{\"t\":{},\"C\":{},\"V_blocks\":{},\"phase_rounds\":{},\
          \"cutoff_ratio\":{}}},\n\
          \x20\x20\"per_m\":[{}],\n\
@@ -480,6 +495,7 @@ fn main() {
         json_usize_list(&w.dims),
         w.family,
         w.radius,
+        w.transport,
         json_usize_list(&w.m_sweep),
         w.iters,
         cost.t,

@@ -349,7 +349,7 @@ impl Comm {
     pub fn send_bytes(&self, dst: usize, tag: Tag, data: Vec<u8>) -> CommResult<()> {
         self.check_rank(dst)?;
         self.fabric
-            .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data));
+            .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data))?;
         Ok(())
     }
 
@@ -414,7 +414,7 @@ impl Comm {
             });
         }
         loop {
-            self.fabric.poll(self.rank);
+            self.fabric.poll(self.rank)?;
             match self.core.rx.recv_timeout(RELIABLE_TICK) {
                 Ok(env) => return Ok(env),
                 Err(crossbeam_channel::RecvTimeoutError::Timeout) => {}
@@ -459,7 +459,7 @@ impl Comm {
     ) -> CommResult<Option<Status>> {
         let src = src.into();
         let tag = tag.into();
-        self.fabric.poll(self.rank);
+        self.fabric.poll(self.rank)?;
         let mut pending = self.core.pending.lock();
         // drain whatever has arrived so far
         while let Ok(env) = self.core.rx.try_recv() {
@@ -604,7 +604,7 @@ impl Comm {
         // Issue all sends eagerly (Isend with buffered completion).
         for (dst, tag, data) in batch.sends.drain(..) {
             self.fabric
-                .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data));
+                .deposit(dst, Envelope::new(self.ctx, self.rank, tag, data))?;
         }
         // Complete receives with FIFO slot matching: an incoming message
         // goes to the earliest-posted open slot it satisfies.

@@ -68,6 +68,17 @@ impl From<TypeError> for CommError {
     }
 }
 
+impl From<crate::transport::TransportError> for CommError {
+    /// A transport failure is peer death observed at the wire instead of
+    /// through a retry budget: one delivery attempt, peer unreachable.
+    fn from(e: crate::transport::TransportError) -> Self {
+        CommError::PeerUnreachable {
+            peer: e.peer(),
+            attempts: 1,
+        }
+    }
+}
+
 /// Result alias for communication operations.
 pub type CommResult<T> = Result<T, CommError>;
 
@@ -92,5 +103,17 @@ mod tests {
         assert!(matches!(e, CommError::Type(_)));
         assert!(std::error::Error::source(&e).is_some());
         assert!(std::error::Error::source(&CommError::SignatureMismatch).is_none());
+    }
+
+    #[test]
+    fn transport_errors_become_peer_unreachable() {
+        let e: CommError = crate::transport::TransportError::Closed { peer: 2 }.into();
+        assert_eq!(
+            e,
+            CommError::PeerUnreachable {
+                peer: 2,
+                attempts: 1
+            }
+        );
     }
 }

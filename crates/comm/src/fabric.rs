@@ -1,28 +1,52 @@
-//! The shared interconnect: one unbounded channel per rank.
+//! The shared interconnect: fault injection, pooling, and telemetry
+//! layered over a pluggable [`Transport`].
 //!
-//! The fabric is the in-process stand-in for the cluster network. Each rank
-//! owns the receiving end of its channel; any rank may deposit an
-//! [`Envelope`] into any other rank's channel. Channel FIFO order gives the
-//! MPI *non-overtaking* guarantee per (source, context, tag) for free: a
-//! sender's messages to one destination are delivered in the order posted.
+//! The fabric is the stand-in for the cluster network. Each rank owns
+//! the receiving end of one envelope channel; any rank may deposit an
+//! [`Envelope`] toward any other rank, and the backend ([`Transport`])
+//! guarantees per-link FIFO delivery — the MPI *non-overtaking*
+//! guarantee per (source, context, tag) the matching engine builds on.
+//!
+//! What the fabric adds above the raw transport:
+//!
+//! * the **fault plane** (deterministic drop/duplicate/delay/reorder,
+//!   see [`crate::fault`]) — injected here, *above* the transport, so
+//!   every backend exercises the reliable layer identically;
+//! * per-rank **wire pools** and **observability** handles;
+//! * message/byte **telemetry** counters.
+//!
+//! Deposits are fallible: a backend whose peer endpoint is gone (rank
+//! terminated, socket broken, ring stalled) reports a
+//! [`TransportError`], which the communication layer maps to
+//! [`CommError::PeerUnreachable`](crate::error::CommError::PeerUnreachable).
 
+use std::io;
+use std::path::Path;
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use cartcomm_obs::{Obs, TraceEvent};
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use crossbeam_channel::Receiver;
 use parking_lot::RwLock;
 
 use crate::envelope::Envelope;
 use crate::fault::{FaultPlane, FaultSpec, FaultStats};
 use crate::pool::WirePool;
+use crate::transport::inproc::InProcTransport;
+use crate::transport::shm::ShmTransport;
+use crate::transport::socket::SocketTransport;
+use crate::transport::{Transport, TransportKind, TransportResult};
+
+fn make_pools(p: usize) -> Vec<Arc<WirePool>> {
+    (0..p).map(|_| Arc::new(WirePool::new())).collect()
+}
 
 /// Shared interconnect state for a universe of `p` ranks.
 pub struct Fabric {
-    senders: Vec<Sender<Envelope>>,
-    /// Per-rank wire-buffer pools. `deposit` retargets each payload to the
-    /// destination's pool, so unpacked messages recycle where the next
-    /// receive happens.
+    transport: Box<dyn Transport>,
+    /// Per-rank wire-buffer pools. On an in-process transport `deposit`
+    /// retargets each payload to the destination's pool; serializing
+    /// backends instead decode into the receiving rank's pool.
     pools: Vec<Arc<WirePool>>,
     /// Per-rank observability handles; `deposit` credits the sender's
     /// wire-byte counters here.
@@ -40,27 +64,72 @@ pub struct Fabric {
 }
 
 impl Fabric {
-    /// Create the fabric and hand back the per-rank receiving ends.
-    pub fn new(p: usize) -> (Fabric, Vec<Receiver<Envelope>>) {
-        let mut senders = Vec::with_capacity(p);
-        let mut receivers = Vec::with_capacity(p);
-        for _ in 0..p {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
+    fn wrap(transport: Box<dyn Transport>, pools: Vec<Arc<WirePool>>) -> Fabric {
+        let p = transport.size();
+        Fabric {
+            transport,
+            pools,
+            obs: (0..p).map(|_| Arc::new(Obs::new())).collect(),
+            faults: RwLock::new(None),
+            lossy: AtomicBool::new(false),
+            msg_count: std::sync::atomic::AtomicU64::new(0),
+            byte_count: std::sync::atomic::AtomicU64::new(0),
         }
-        (
-            Fabric {
-                senders,
-                pools: (0..p).map(|_| Arc::new(WirePool::new())).collect(),
-                obs: (0..p).map(|_| Arc::new(Obs::new())).collect(),
-                faults: RwLock::new(None),
-                lossy: AtomicBool::new(false),
-                msg_count: std::sync::atomic::AtomicU64::new(0),
-                byte_count: std::sync::atomic::AtomicU64::new(0),
-            },
-            receivers,
-        )
+    }
+
+    /// Create an in-process fabric and hand back the per-rank receiving
+    /// ends. This is the default, infallible fast path.
+    pub fn new(p: usize) -> (Fabric, Vec<Receiver<Envelope>>) {
+        let (t, rxs) = InProcTransport::new(p);
+        (Fabric::wrap(Box::new(t), make_pools(p)), rxs)
+    }
+
+    /// Create a fabric on the named backend, all ranks local to this
+    /// process. Only the in-process constructor is infallible; the
+    /// others touch the filesystem or the network stack.
+    pub fn for_backend(
+        kind: TransportKind,
+        p: usize,
+    ) -> io::Result<(Fabric, Vec<Receiver<Envelope>>)> {
+        let pools = make_pools(p);
+        let (transport, rxs): (Box<dyn Transport>, _) = match kind {
+            TransportKind::InProcess => {
+                let (t, rxs) = InProcTransport::new(p);
+                (Box::new(t), rxs)
+            }
+            TransportKind::SharedMem => {
+                let (t, rxs) = ShmTransport::for_threads(p, &pools)?;
+                (Box::new(t), rxs)
+            }
+            TransportKind::Uds => {
+                let (t, rxs) = SocketTransport::uds(p, &pools)?;
+                (Box::new(t), rxs)
+            }
+            TransportKind::Tcp => {
+                let (t, rxs) = SocketTransport::tcp(p, &pools)?;
+                (Box::new(t), rxs)
+            }
+        };
+        Ok((Fabric::wrap(transport, pools), rxs))
+    }
+
+    /// Attach to an existing shared-memory fabric file as one rank of a
+    /// multi-process universe (see `Universe::spawn_processes`). Returns
+    /// the fabric and the local rank's receiving end.
+    pub fn attach_shm(
+        path: &Path,
+        p: usize,
+        rank: usize,
+    ) -> io::Result<(Fabric, Receiver<Envelope>)> {
+        let pools = make_pools(p);
+        let (t, mut endpoints) = ShmTransport::attach(path, p, &[rank], &pools, false)?;
+        let (_, rx) = endpoints.pop().expect("one local endpoint");
+        Ok((Fabric::wrap(Box::new(t), pools), rx))
+    }
+
+    /// Which backend carries this fabric's envelopes.
+    pub fn transport_kind(&self) -> TransportKind {
+        self.transport.kind()
     }
 
     /// The wire-buffer pool owned by `rank`.
@@ -78,33 +147,38 @@ impl Fabric {
     /// Number of ranks.
     #[inline]
     pub fn size(&self) -> usize {
-        self.senders.len()
+        self.transport.size()
     }
 
-    /// Deposit an envelope into `dst`'s incoming queue. Panics on an invalid
-    /// destination (callers validate ranks at the API boundary).
+    /// Deposit an envelope toward `dst`. Panics on an invalid
+    /// destination (callers validate ranks at the API boundary); returns
+    /// an error when the backend cannot reach `dst` — endpoint closed,
+    /// stream broken, ring stalled.
     ///
     /// With a fault plane installed, data envelopes route through it and
     /// may be dropped, duplicated, delayed, or reordered; acknowledgement
     /// envelopes bypass the plane (they are the reliable layer's control
     /// plane — see `fault.rs`).
     #[inline]
-    pub fn deposit(&self, dst: usize, mut env: Envelope) {
+    pub fn deposit(&self, dst: usize, mut env: Envelope) -> TransportResult<()> {
         use std::sync::atomic::Ordering;
         self.msg_count.fetch_add(1, Ordering::Relaxed);
         self.byte_count
             .fetch_add(env.data.len() as u64, Ordering::Relaxed);
         self.obs[env.src].metrics().add_wire_sent(env.data.len());
-        // From here the buffer belongs to the receiving side: when the
-        // receiver drops it after unpacking, the bytes land in *its* pool.
-        env.data.retarget(&self.pools[dst]);
+        if self.transport.in_process() {
+            // From here the buffer belongs to the receiving side: when the
+            // receiver drops it after unpacking, the bytes land in *its*
+            // pool. Serializing backends skip this — their payload buffer
+            // recycles into the sender's pool after encoding, and the
+            // receive side decodes into its own pool.
+            env.data.retarget(&self.pools[dst]);
+        }
         if !self.lossy.load(Ordering::Relaxed) || env.is_ack() {
-            self.forward(dst, env);
-            return;
+            return self.transport.deposit(dst, env);
         }
         let Some(plane) = self.fault_plane() else {
-            self.forward(dst, env);
-            return;
+            return self.transport.deposit(dst, env);
         };
         let (src, tag) = (env.src, env.tag);
         let (out, action) = plane.route(dst, env);
@@ -117,19 +191,14 @@ impl Fabric {
                 action: kind,
             });
         }
+        let mut result = Ok(());
         for e in out {
-            self.forward(dst, e);
+            let r = self.transport.deposit(dst, e);
+            if result.is_ok() {
+                result = r;
+            }
         }
-    }
-
-    /// Put an envelope on `dst`'s channel, bypassing the fault plane.
-    #[inline]
-    fn forward(&self, dst: usize, env: Envelope) {
-        // A send to a terminated rank can only happen on program logic errors;
-        // the unbounded channel otherwise never fails.
-        self.senders[dst]
-            .send(env)
-            .expect("destination rank terminated with messages in flight");
+        result
     }
 
     // ----- fault plane ------------------------------------------------------
@@ -138,7 +207,7 @@ impl Fabric {
     /// deposits route through it.
     pub fn install_faults(&self, spec: FaultSpec) {
         use std::sync::atomic::Ordering;
-        let p = self.senders.len();
+        let p = self.size();
         *self.faults.write() = Some(Arc::new(FaultPlane::new(spec, p)));
         self.lossy.store(true, Ordering::Release);
     }
@@ -159,15 +228,28 @@ impl Fabric {
         self.fault_plane().map(|p| p.stats())
     }
 
-    /// One receiver poll on `rank`: releases due delayed/reordered
-    /// envelopes from the fault plane onto `rank`'s channel. A no-op
-    /// without a plane.
-    pub fn poll(&self, rank: usize) {
+    /// One receiver poll on `rank`: gives the backend a progress
+    /// opportunity and releases due delayed/reordered envelopes from the
+    /// fault plane onto `rank`'s channel.
+    pub fn poll(&self, rank: usize) -> TransportResult<()> {
+        self.transport.poll(rank)?;
         if let Some(plane) = self.fault_plane() {
             for env in plane.poll(rank) {
-                self.forward(rank, env);
+                self.transport.deposit(rank, env)?;
             }
         }
+        Ok(())
+    }
+
+    /// Block until everything `rank` has deposited is on the wire.
+    pub fn flush(&self, rank: usize) -> TransportResult<()> {
+        self.transport.flush(rank)
+    }
+
+    /// Declare `rank`'s program finished: the backend may stop that
+    /// rank's progress machinery. Idempotent.
+    pub fn rank_done(&self, rank: usize) {
+        self.transport.shutdown(rank);
     }
 
     /// Total messages deposited since creation.
@@ -184,21 +266,25 @@ impl Fabric {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::TransportError;
 
     #[test]
     fn fabric_routes_to_correct_rank() {
         let (fabric, rxs) = Fabric::new(3);
         assert_eq!(fabric.size(), 3);
-        fabric.deposit(
-            2,
-            Envelope {
-                ctx: 0,
-                src: 0,
-                tag: 7,
-                rel: Default::default(),
-                data: vec![1, 2, 3].into(),
-            },
-        );
+        assert_eq!(fabric.transport_kind(), TransportKind::InProcess);
+        fabric
+            .deposit(
+                2,
+                Envelope {
+                    ctx: 0,
+                    src: 0,
+                    tag: 7,
+                    rel: Default::default(),
+                    data: vec![1, 2, 3].into(),
+                },
+            )
+            .unwrap();
         let env = rxs[2].try_recv().unwrap();
         assert_eq!(env.src, 0);
         assert_eq!(env.tag, 7);
@@ -211,16 +297,18 @@ mod tests {
     fn fabric_preserves_fifo_per_sender() {
         let (fabric, rxs) = Fabric::new(2);
         for i in 0..10u8 {
-            fabric.deposit(
-                1,
-                Envelope {
-                    ctx: 0,
-                    src: 0,
-                    tag: 0,
-                    rel: Default::default(),
-                    data: vec![i].into(),
-                },
-            );
+            fabric
+                .deposit(
+                    1,
+                    Envelope {
+                        ctx: 0,
+                        src: 0,
+                        tag: 0,
+                        rel: Default::default(),
+                        data: vec![i].into(),
+                    },
+                )
+                .unwrap();
         }
         for i in 0..10u8 {
             assert_eq!(rxs[1].try_recv().unwrap().data, vec![i]);
@@ -230,26 +318,30 @@ mod tests {
     #[test]
     fn telemetry_counts_messages_and_bytes() {
         let (fabric, _rxs) = Fabric::new(2);
-        fabric.deposit(
-            0,
-            Envelope {
-                ctx: 0,
-                src: 1,
-                tag: 0,
-                rel: Default::default(),
-                data: vec![0; 100].into(),
-            },
-        );
-        fabric.deposit(
-            1,
-            Envelope {
-                ctx: 0,
-                src: 0,
-                tag: 0,
-                rel: Default::default(),
-                data: vec![0; 28].into(),
-            },
-        );
+        fabric
+            .deposit(
+                0,
+                Envelope {
+                    ctx: 0,
+                    src: 1,
+                    tag: 0,
+                    rel: Default::default(),
+                    data: vec![0; 100].into(),
+                },
+            )
+            .unwrap();
+        fabric
+            .deposit(
+                1,
+                Envelope {
+                    ctx: 0,
+                    src: 0,
+                    tag: 0,
+                    rel: Default::default(),
+                    data: vec![0; 28].into(),
+                },
+            )
+            .unwrap();
         assert_eq!(fabric.message_count(), 2);
         assert_eq!(fabric.byte_volume(), 128);
     }
@@ -257,17 +349,30 @@ mod tests {
     #[test]
     fn self_deposit_works() {
         let (fabric, rxs) = Fabric::new(1);
-        fabric.deposit(
-            0,
-            Envelope {
-                ctx: 0,
-                src: 0,
-                tag: 1,
-                rel: Default::default(),
-                data: vec![42].into(),
-            },
-        );
+        fabric
+            .deposit(
+                0,
+                Envelope {
+                    ctx: 0,
+                    src: 0,
+                    tag: 1,
+                    rel: Default::default(),
+                    data: vec![42].into(),
+                },
+            )
+            .unwrap();
         assert_eq!(rxs[0].try_recv().unwrap().data, vec![42]);
+    }
+
+    #[test]
+    fn deposit_to_terminated_rank_errors_instead_of_panicking() {
+        let (fabric, rxs) = Fabric::new(2);
+        drop(rxs);
+        let err = fabric
+            .deposit(1, Envelope::new(0, 0, 0, vec![1u8]))
+            .unwrap_err();
+        assert_eq!(err, TransportError::Closed { peer: 1 });
+        assert_eq!(err.peer(), 1);
     }
 
     #[test]
@@ -276,10 +381,12 @@ mod tests {
         let (fabric, rxs) = Fabric::new(2);
         fabric.install_faults(FaultSpec::new(11).drop_rate(LinkSel::any(), 1.0));
         assert!(fabric.lossy());
-        fabric.deposit(1, Envelope::sequenced(0, 0, 5, 1, vec![9u8]));
+        fabric
+            .deposit(1, Envelope::sequenced(0, 0, 5, 1, vec![9u8]))
+            .unwrap();
         assert!(rxs[1].try_recv().is_err(), "data envelope dropped");
         assert_eq!(fabric.fault_stats().unwrap().drops, 1);
-        fabric.deposit(1, Envelope::ack(0, 0, 5, 1));
+        fabric.deposit(1, Envelope::ack(0, 0, 5, 1)).unwrap();
         let env = rxs[1].try_recv().expect("ack must bypass the plane");
         assert!(env.is_ack());
     }
@@ -289,23 +396,61 @@ mod tests {
         use crate::fault::{FaultSpec, LinkSel};
         let (fabric, rxs) = Fabric::new(2);
         fabric.install_faults(FaultSpec::new(11).delay_rate(LinkSel::any(), 1.0, 2));
-        fabric.deposit(1, Envelope::new(0, 0, 5, vec![1u8]));
+        fabric
+            .deposit(1, Envelope::new(0, 0, 5, vec![1u8]))
+            .unwrap();
         assert!(rxs[1].try_recv().is_err());
-        fabric.poll(1);
+        fabric.poll(1).unwrap();
         assert!(rxs[1].try_recv().is_err());
-        fabric.poll(1);
+        fabric.poll(1).unwrap();
         assert_eq!(rxs[1].try_recv().unwrap().data, vec![1u8]);
     }
 
     #[test]
     fn deposit_retargets_payload_to_destination_pool() {
         let (fabric, rxs) = Fabric::new(2);
-        fabric.deposit(1, Envelope::new(0, 0, 3, vec![0u8; 100]));
+        fabric
+            .deposit(1, Envelope::new(0, 0, 3, vec![0u8; 100]))
+            .unwrap();
         let env = rxs[1].try_recv().unwrap();
         drop(env); // payload returns to rank 1's pool
         assert_eq!(fabric.pool(0).stats().retained_bytes, 0);
         // vec![0; 100] has capacity 100: binned round-down into the 64-byte
         // class, retained at its true capacity.
         assert_eq!(fabric.pool(1).stats().retained_bytes, 100);
+    }
+
+    #[test]
+    fn remote_backend_fabric_round_trips_envelopes() {
+        let (fabric, rxs) = Fabric::for_backend(TransportKind::SharedMem, 2).unwrap();
+        assert_eq!(fabric.transport_kind(), TransportKind::SharedMem);
+        fabric
+            .deposit(1, Envelope::new(3, 0, 9, vec![7u8; 300]))
+            .unwrap();
+        let env = rxs[1].recv().unwrap();
+        assert_eq!((env.ctx, env.src, env.tag), (3, 0, 9));
+        assert_eq!(env.data, vec![7u8; 300]);
+        for rank in 0..2 {
+            fabric.rank_done(rank);
+        }
+    }
+
+    #[test]
+    fn fault_plane_works_on_remote_backend() {
+        use crate::fault::{FaultSpec, LinkSel};
+        let (fabric, rxs) = Fabric::for_backend(TransportKind::Uds, 2).unwrap();
+        fabric.install_faults(FaultSpec::new(11).drop_rate(LinkSel::any(), 1.0));
+        fabric
+            .deposit(1, Envelope::sequenced(0, 0, 5, 1, vec![9u8]))
+            .unwrap();
+        assert!(
+            rxs[1]
+                .recv_timeout(std::time::Duration::from_millis(50))
+                .is_err(),
+            "data envelope dropped before the wire"
+        );
+        assert_eq!(fabric.fault_stats().unwrap().drops, 1);
+        fabric.deposit(1, Envelope::ack(0, 0, 5, 1)).unwrap();
+        assert!(rxs[1].recv().expect("ack crosses the wire").is_ack());
     }
 }

@@ -46,6 +46,17 @@
 //! backoff ([`RetryPolicy`]); a dead link surfaces
 //! [`CommError::PeerUnreachable`] instead of a hang. See `reliable.rs`
 //! and DESIGN.md §10.
+//!
+//! # Transport backends
+//!
+//! Envelope delivery is pluggable ([`transport::Transport`], DESIGN.md
+//! §12): the default in-process channel fabric, a shared-memory ring
+//! fabric spanning processes on one host
+//! ([`Universe::spawn_processes`]), and Unix-domain/TCP socket meshes.
+//! [`Universe::run_on`] and friends pick the backend per run; everything
+//! above the fabric — matching, collectives, reliability, faults,
+//! observability — is backend-agnostic, pinned by the
+//! `transport_conformance` suite.
 
 pub mod collectives;
 pub mod comm;
@@ -55,6 +66,7 @@ pub mod fabric;
 pub mod fault;
 pub mod pool;
 pub mod reliable;
+pub mod transport;
 pub mod universe;
 
 pub use comm::{BufferPolicy, Comm, ExchangeBatch, ExchangeOpts, RecvSpec, Status};
@@ -63,7 +75,8 @@ pub use error::{CommError, CommResult};
 pub use fault::{FaultAction, FaultPlane, FaultRng, FaultRule, FaultSpec, FaultStats, LinkSel};
 pub use pool::{PoolStats, PooledBuf, WirePool};
 pub use reliable::{Reliability, RetryPolicy};
-pub use universe::{ProfiledRun, Universe};
+pub use transport::{Transport, TransportError, TransportKind, TransportResult};
+pub use universe::{ProfiledRun, SpawnRole, Universe};
 
 /// Structured observability (re-export of `cartcomm-obs`): every rank's
 /// [`Comm`] carries an [`cartcomm_obs::Obs`] handle reachable via

@@ -196,7 +196,9 @@ impl Comm {
     /// reordered envelopes onto this rank's channel. Reliable exchanges
     /// pump automatically; raw receive paths on a lossy fabric do too.
     pub fn poll_faults(&self) {
-        self.fabric.poll(self.rank);
+        // Transport trouble during a pump is not actionable here; the
+        // exchange that cares will see it on its own poll.
+        let _ = self.fabric.poll(self.rank);
     }
 
     /// Route one arrived envelope into the rank's delivery state: acks
@@ -232,8 +234,10 @@ impl Comm {
                 .emit_with(self.rank, || TraceEvent::DupDropped { src, tag, seq });
             if lossy {
                 // The first ack may have been sent before the sender's
-                // retransmit; re-ack so it settles.
-                self.fabric
+                // retransmit; re-ack so it settles. A dead sender cannot
+                // use the ack anyway, so delivery failure is ignorable.
+                let _ = self
+                    .fabric
                     .deposit(src, Envelope::ack(ctx, self.rank, tag, seq));
             }
             return;
@@ -251,8 +255,20 @@ impl Comm {
         }
         drop(rel);
         if lossy {
-            self.fabric
+            // Same as the re-ack above: an undeliverable ack means the
+            // sender is gone, which its own retry budget will report.
+            let _ = self
+                .fabric
                 .deposit(src, Envelope::ack(ctx, self.rank, tag, seq));
+        }
+    }
+
+    /// Forget this exchange's retransmission state (error paths: the
+    /// exchange is over, nothing should keep retrying on its behalf).
+    fn clear_outstanding(&self, issued: &[(usize, u64)]) {
+        let mut rel = self.core.rel.lock();
+        for &(d, s) in issued {
+            rel.outstanding.remove(&(self.ctx, d, s));
         }
     }
 
@@ -274,6 +290,7 @@ impl Comm {
         // fabric, retain payload copies for retransmission; on a perfect
         // fabric the copy (and the acks) would be pure overhead.
         let mut issued: Vec<(usize, u64)> = Vec::new();
+        let mut send_err = None;
         {
             let mut rel = self.core.rel.lock();
             for (dst, tag, data) in batch.sends.drain(..) {
@@ -292,11 +309,22 @@ impl Comm {
                     );
                     issued.push((dst, seq));
                 }
-                self.fabric.deposit(
+                if let Err(e) = self.fabric.deposit(
                     dst,
                     Envelope::sequenced(self.ctx, self.rank, tag, seq, data),
-                );
+                ) {
+                    send_err = Some(e);
+                    break;
+                }
             }
+            if send_err.is_some() {
+                for &(d, s) in &issued {
+                    rel.outstanding.remove(&(self.ctx, d, s));
+                }
+            }
+        }
+        if let Some(e) = send_err {
+            return Err(e.into());
         }
 
         let results = &mut batch.results;
@@ -360,7 +388,10 @@ impl Comm {
 
             // Lossy transport: pump the plane, take what arrives within a
             // tick, then run the retransmit and liveness scans.
-            self.fabric.poll(self.rank);
+            if let Err(e) = self.fabric.poll(self.rank) {
+                self.clear_outstanding(&issued);
+                return Err(e.into());
+            }
             match self.core.rx.recv_timeout(RELIABLE_TICK) {
                 Ok(env) => {
                     let mut pending = self.core.pending.lock();
@@ -415,10 +446,13 @@ impl Comm {
                     seq,
                     attempt,
                 });
-                self.fabric.deposit(
+                if let Err(e) = self.fabric.deposit(
                     dst,
                     Envelope::sequenced(self.ctx, self.rank, tag, seq, payload),
-                );
+                ) {
+                    self.clear_outstanding(&issued);
+                    return Err(e.into());
+                }
             }
 
             // Receiver-side liveness: the peer may have died (or its data
@@ -433,10 +467,7 @@ impl Comm {
                         _ => None,
                     })
                     .unwrap_or(self.rank);
-                let mut rel = self.core.rel.lock();
-                for &(d, s) in &issued {
-                    rel.outstanding.remove(&(self.ctx, d, s));
-                }
+                self.clear_outstanding(&issued);
                 return Err(CommError::PeerUnreachable {
                     peer,
                     attempts: policy.attempts,

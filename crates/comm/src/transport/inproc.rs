@@ -1,0 +1,102 @@
+//! The in-process backend: one unbounded channel per rank.
+//!
+//! This is the original fabric interconnect, now behind the
+//! [`Transport`] trait. It is the zero-regression fast path: a deposit
+//! is a single channel send, payloads travel as
+//! [`PooledBuf`](crate::pool::PooledBuf)s (no serialization), and the
+//! channel's FIFO order provides the per-link non-overtaking guarantee
+//! directly.
+//!
+//! The one behavioral change from the pre-trait fabric: a deposit to a
+//! terminated rank returns [`TransportError::Closed`] instead of
+//! panicking, so peer death surfaces as
+//! [`CommError::PeerUnreachable`](crate::error::CommError::PeerUnreachable)
+//! exactly like it does on the remote backends.
+
+use crossbeam_channel::{unbounded, Receiver, Sender};
+
+use super::{Transport, TransportError, TransportKind, TransportResult};
+use crate::envelope::Envelope;
+
+/// Channel-per-rank transport; all ranks share the process.
+pub struct InProcTransport {
+    senders: Vec<Sender<Envelope>>,
+}
+
+impl InProcTransport {
+    /// Build the channels and hand back the per-rank receiving ends.
+    pub fn new(p: usize) -> (InProcTransport, Vec<Receiver<Envelope>>) {
+        let mut senders = Vec::with_capacity(p);
+        let mut receivers = Vec::with_capacity(p);
+        for _ in 0..p {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        (InProcTransport { senders }, receivers)
+    }
+}
+
+impl Transport for InProcTransport {
+    fn kind(&self) -> TransportKind {
+        TransportKind::InProcess
+    }
+
+    fn size(&self) -> usize {
+        self.senders.len()
+    }
+
+    #[inline]
+    fn deposit(&self, dst: usize, env: Envelope) -> TransportResult<()> {
+        self.senders[dst]
+            .send(env)
+            .map_err(|_| TransportError::Closed { peer: dst })
+    }
+
+    #[inline]
+    fn poll(&self, _rank: usize) -> TransportResult<()> {
+        Ok(()) // a channel send is delivery; nothing to progress
+    }
+
+    #[inline]
+    fn flush(&self, _rank: usize) -> TransportResult<()> {
+        Ok(()) // eager: deposited means on the wire
+    }
+
+    fn shutdown(&self, _rank: usize) {
+        // Endpoint lifetime is the receiver's lifetime; dropping the
+        // rank's `Comm` (and with it the Receiver) is the shutdown.
+    }
+
+    fn in_process(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deposits_route_and_preserve_fifo() {
+        let (t, rxs) = InProcTransport::new(2);
+        assert_eq!(t.size(), 2);
+        assert_eq!(t.kind(), TransportKind::InProcess);
+        assert!(t.in_process());
+        for i in 0..10u8 {
+            t.deposit(1, Envelope::new(0, 0, 0, vec![i])).unwrap();
+        }
+        for i in 0..10u8 {
+            assert_eq!(rxs[1].try_recv().unwrap().data, vec![i]);
+        }
+        assert!(rxs[0].try_recv().is_err());
+    }
+
+    #[test]
+    fn deposit_to_dropped_endpoint_errors() {
+        let (t, rxs) = InProcTransport::new(2);
+        drop(rxs);
+        let err = t.deposit(1, Envelope::new(0, 0, 0, vec![1u8])).unwrap_err();
+        assert_eq!(err, TransportError::Closed { peer: 1 });
+    }
+}

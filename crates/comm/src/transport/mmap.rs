@@ -1,0 +1,147 @@
+//! A minimal shared-mapping shim over `mmap(2)`.
+//!
+//! The build environment has no registry access, so the usual `memmap2`
+//! crate is out; this is the few dozen lines of it the shared-memory
+//! transport actually needs. Rust links the platform C runtime on
+//! glibc/musl targets already, so declaring the two symbols directly
+//! costs no dependency.
+
+use std::fs::File;
+use std::io;
+use std::os::unix::io::AsRawFd;
+
+const PROT_READ: i32 = 0x1;
+const PROT_WRITE: i32 = 0x2;
+const MAP_SHARED: i32 = 0x01;
+
+extern "C" {
+    fn mmap(
+        addr: *mut core::ffi::c_void,
+        len: usize,
+        prot: i32,
+        flags: i32,
+        fd: i32,
+        offset: i64,
+    ) -> *mut core::ffi::c_void;
+    fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+}
+
+/// A `MAP_SHARED` read-write mapping of a file, unmapped on drop.
+///
+/// Raw-pointer access only: the region is shared mutable memory across
+/// threads *and processes*, so all access goes through atomics or
+/// explicitly synchronized `copy_nonoverlapping` (see `shm.rs` for the
+/// ring discipline that makes this sound).
+pub struct SharedMap {
+    ptr: *mut u8,
+    len: usize,
+}
+
+// The mapping itself is just memory; the ring protocol layered on top
+// provides the synchronization.
+unsafe impl Send for SharedMap {}
+unsafe impl Sync for SharedMap {}
+
+impl SharedMap {
+    /// Map `len` bytes of `file` (which must be at least that long)
+    /// shared and read-write.
+    pub fn map(file: &File, len: usize) -> io::Result<SharedMap> {
+        assert!(len > 0, "cannot map zero bytes");
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ | PROT_WRITE,
+                MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(SharedMap {
+            ptr: ptr as *mut u8,
+            len,
+        })
+    }
+
+    /// Base pointer of the mapping.
+    #[inline]
+    pub fn as_ptr(&self) -> *mut u8 {
+        self.ptr
+    }
+
+    /// Length of the mapping in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty (never: `map` rejects zero).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl Drop for SharedMap {
+    fn drop(&mut self) {
+        unsafe {
+            munmap(self.ptr as *mut core::ffi::c_void, self.len);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn scratch_file(name: &str, len: u64) -> (std::path::PathBuf, File) {
+        let path =
+            std::env::temp_dir().join(format!("cartcomm-mmap-test-{}-{name}", std::process::id()));
+        let file = File::options()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .unwrap();
+        file.set_len(len).unwrap();
+        (path, file)
+    }
+
+    #[test]
+    fn mapping_reads_and_writes_through_to_file() {
+        let (path, mut file) = scratch_file("rw", 4096);
+        let map = SharedMap::map(&file, 4096).unwrap();
+        assert_eq!(map.len(), 4096);
+        assert!(!map.is_empty());
+        unsafe {
+            std::ptr::write_bytes(map.as_ptr(), 0xAB, 16);
+        }
+        // A second mapping of the same file sees the bytes.
+        let map2 = SharedMap::map(&file, 4096).unwrap();
+        let seen = unsafe { std::slice::from_raw_parts(map2.as_ptr(), 16) };
+        assert_eq!(seen, &[0xABu8; 16]);
+        drop(map);
+        drop(map2);
+        file.flush().unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn two_mappings_share_memory_live() {
+        let (path, file) = scratch_file("live", 4096);
+        let a = SharedMap::map(&file, 4096).unwrap();
+        let b = SharedMap::map(&file, 4096).unwrap();
+        unsafe {
+            a.as_ptr().write_volatile(1);
+            assert_eq!(b.as_ptr().read_volatile(), 1);
+            b.as_ptr().add(1).write_volatile(2);
+            assert_eq!(a.as_ptr().add(1).read_volatile(), 2);
+        }
+        drop((a, b));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! The byte-level frame format shared by every serializing backend.
+//!
+//! The in-process backend moves [`Envelope`]s as Rust values; the
+//! shared-memory and socket backends move them as frames. Both remote
+//! backends use **exactly** this encoding, which is what makes the
+//! conformance suite's byte-identity matrix meaningful: an envelope
+//! serialized on one backend and deserialized on another is the same
+//! envelope.
+//!
+//! Frame layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     4  payload_len              (u32)
+//!      4     4  ctx                      (u32)
+//!      8     4  src rank                 (u32)
+//!     12     4  tag                      (u32)
+//!     16     1  kind: 0 = data, 1 = ack  (u8)
+//!     17     1  has_seq: 0 or 1          (u8)
+//!     18     6  reserved, must be zero
+//!     24     8  seq (valid iff has_seq)  (u64)
+//!     32     …  payload (payload_len bytes)
+//! ```
+//!
+//! The destination rank is *not* in the frame: it is implied by the link
+//! (ring or stream) the frame travels on, exactly as a `(src, dst)`
+//! channel implies it in process. Frames are self-delimiting, so a byte
+//! stream of concatenated frames needs no out-of-band sync.
+
+use std::sync::Arc;
+
+use crate::envelope::{EnvKind, Envelope, RelHeader};
+use crate::pool::{PooledBuf, WirePool};
+
+/// Size of the fixed frame header preceding the payload.
+pub const HEADER_BYTES: usize = 32;
+
+/// Serialize `env` onto the end of `out` as one frame.
+pub fn encode_into(env: &Envelope, out: &mut Vec<u8>) {
+    out.reserve(HEADER_BYTES + env.data.len());
+    out.extend_from_slice(&(env.data.len() as u32).to_le_bytes());
+    out.extend_from_slice(&env.ctx.to_le_bytes());
+    out.extend_from_slice(&(env.src as u32).to_le_bytes());
+    out.extend_from_slice(&env.tag.to_le_bytes());
+    out.push(match env.rel.kind {
+        EnvKind::Data => 0,
+        EnvKind::Ack => 1,
+    });
+    out.push(env.rel.seq.is_some() as u8);
+    out.extend_from_slice(&[0u8; 6]);
+    out.extend_from_slice(&env.rel.seq.unwrap_or(0).to_le_bytes());
+    out.extend_from_slice(&env.data);
+}
+
+/// Number of bytes the frame starting at `buf[0]` occupies, or `None`
+/// if even the header is incomplete.
+pub fn frame_len(buf: &[u8]) -> Option<usize> {
+    if buf.len() < HEADER_BYTES {
+        return None;
+    }
+    let payload = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    Some(HEADER_BYTES + payload)
+}
+
+/// Decode one frame from the front of `buf`. Returns the envelope and
+/// the number of bytes consumed, or `None` when `buf` does not yet hold
+/// a complete frame. The payload lands in a buffer acquired from `pool`
+/// (the receiving rank's wire pool), so a decoded envelope recycles
+/// exactly like a locally delivered one.
+pub fn decode_from(buf: &[u8], pool: &Arc<WirePool>) -> Option<(Envelope, usize)> {
+    let total = frame_len(buf)?;
+    if buf.len() < total {
+        return None;
+    }
+    let ctx = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let src = u32::from_le_bytes(buf[8..12].try_into().expect("4 bytes")) as usize;
+    let tag = u32::from_le_bytes(buf[12..16].try_into().expect("4 bytes"));
+    let kind = match buf[16] {
+        1 => EnvKind::Ack,
+        _ => EnvKind::Data,
+    };
+    let seq = if buf[17] != 0 {
+        Some(u64::from_le_bytes(buf[24..32].try_into().expect("8 bytes")))
+    } else {
+        None
+    };
+    let payload = &buf[HEADER_BYTES..total];
+    let mut data: PooledBuf = if payload.is_empty() {
+        Vec::new().into()
+    } else {
+        WirePool::take(pool, payload.len())
+    };
+    data.extend_from_slice(payload);
+    Some((
+        Envelope {
+            ctx,
+            src,
+            tag,
+            rel: RelHeader { kind, seq },
+            data,
+        },
+        total,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> Arc<WirePool> {
+        Arc::new(WirePool::new())
+    }
+
+    fn roundtrip(env: Envelope) -> Envelope {
+        let mut wire = Vec::new();
+        encode_into(&env, &mut wire);
+        assert_eq!(wire.len(), HEADER_BYTES + env.data.len());
+        let (back, used) = decode_from(&wire, &pool()).expect("complete frame");
+        assert_eq!(used, wire.len());
+        back
+    }
+
+    #[test]
+    fn data_envelope_roundtrips() {
+        let env = Envelope::new(3, 5, 0x7A00_0001, vec![1u8, 2, 3, 4, 5]);
+        let back = roundtrip(env);
+        assert_eq!(back.ctx, 3);
+        assert_eq!(back.src, 5);
+        assert_eq!(back.tag, 0x7A00_0001);
+        assert_eq!(back.rel, RelHeader::default());
+        assert_eq!(back.data, vec![1u8, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn sequenced_and_ack_roundtrip() {
+        let back = roundtrip(Envelope::sequenced(1, 2, 9, u64::MAX - 1, vec![7u8; 100]));
+        assert_eq!(back.rel.seq, Some(u64::MAX - 1));
+        assert_eq!(back.rel.kind, EnvKind::Data);
+        assert_eq!(back.data.len(), 100);
+
+        let back = roundtrip(Envelope::ack(0, 4, 11, 42));
+        assert!(back.is_ack());
+        assert_eq!(back.rel.seq, Some(42));
+        assert!(back.data.is_empty());
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        let back = roundtrip(Envelope::new(0, 0, 0, Vec::new()));
+        assert!(back.data.is_empty());
+    }
+
+    #[test]
+    fn partial_frames_are_incomplete() {
+        let mut wire = Vec::new();
+        encode_into(&Envelope::new(0, 1, 2, vec![9u8; 64]), &mut wire);
+        let p = pool();
+        for cut in 0..wire.len() {
+            assert!(
+                decode_from(&wire[..cut], &p).is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        assert!(decode_from(&wire, &p).is_some());
+    }
+
+    #[test]
+    fn concatenated_frames_decode_in_order() {
+        let mut wire = Vec::new();
+        for i in 0..5u8 {
+            encode_into(&Envelope::new(0, i as usize, 7, vec![i; 10]), &mut wire);
+        }
+        let p = pool();
+        let mut off = 0;
+        for i in 0..5u8 {
+            let (env, used) = decode_from(&wire[off..], &p).expect("frame");
+            assert_eq!(env.src, i as usize);
+            assert_eq!(env.data, vec![i; 10]);
+            off += used;
+        }
+        assert_eq!(off, wire.len());
+    }
+
+    #[test]
+    fn decoded_payload_recycles_into_pool() {
+        let mut wire = Vec::new();
+        encode_into(&Envelope::new(0, 0, 0, vec![1u8; 100]), &mut wire);
+        let p = pool();
+        let (env, _) = decode_from(&wire, &p).unwrap();
+        drop(env);
+        assert!(p.stats().retained_bytes >= 100, "payload must recycle");
+    }
+}

@@ -1,5 +1,9 @@
-//! SPMD launcher: run the same rank program on `p` threads.
+//! SPMD launcher: run the same rank program on `p` threads — or, with
+//! [`Universe::spawn_processes`], on `p` processes sharing a
+//! memory-mapped fabric.
 
+use std::io;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use cartcomm_obs::{MonotonicClock, RingBufferSink, TraceRecord};
@@ -7,6 +11,8 @@ use cartcomm_obs::{MonotonicClock, RingBufferSink, TraceRecord};
 use crate::comm::Comm;
 use crate::fabric::Fabric;
 use crate::fault::FaultSpec;
+use crate::transport::shm::ShmTransport;
+use crate::transport::TransportKind;
 
 /// Entry point of the runtime: builds the fabric and runs rank programs.
 pub struct Universe;
@@ -22,8 +28,33 @@ pub struct ProfiledRun<R> {
     pub traces: Vec<Vec<TraceRecord>>,
 }
 
+/// Which side of a [`Universe::spawn_processes`] call this process is.
+pub enum SpawnRole<R> {
+    /// This process is one rank of the universe; the rank program ran and
+    /// produced this result.
+    Child(R),
+    /// This process is the launcher; all child processes have exited with
+    /// these statuses (in rank order).
+    Parent(Vec<std::process::ExitStatus>),
+}
+
+/// Environment protocol between the spawning parent and its rank
+/// processes.
+const ENV_SHM_FILE: &str = "CARTCOMM_SHM_FILE";
+const ENV_RANK: &str = "CARTCOMM_RANK";
+const ENV_SIZE: &str = "CARTCOMM_SIZE";
+
+fn spawn_scratch_path() -> PathBuf {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("cartcomm-spawn-{}-{n}.fabric", std::process::id()))
+}
+
 /// Shared launch core: spawn one scoped thread per rank, join in rank
-/// order, re-panic the first rank panic.
+/// order, re-panic the first rank panic. After a rank program returns,
+/// its `Comm` (and receive endpoint) drops and the fabric is told the
+/// rank is done so backend progress machinery can stop.
 fn launch<F, R>(
     p: usize,
     fabric: Arc<Fabric>,
@@ -40,8 +71,11 @@ where
         for (rank, rx) in receivers.into_iter().enumerate() {
             let fabric = Arc::clone(&fabric);
             handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(rank, fabric, rx);
-                f(&mut comm)
+                let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
+                let out = f(&mut comm);
+                drop(comm);
+                fabric.rank_done(rank);
+                out
             }));
         }
         handles
@@ -91,9 +125,20 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Send + Sync,
         R: Send,
     {
+        Self::run_on(TransportKind::InProcess, p, f).expect("in-process fabric cannot fail")
+    }
+
+    /// [`Universe::run`] on an explicit transport backend. The in-process
+    /// backend never fails to construct; the shared-memory and socket
+    /// backends touch the filesystem or network stack and may.
+    pub fn run_on<F, R>(kind: TransportKind, p: usize, f: F) -> io::Result<Vec<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::new(p);
-        launch(p, Arc::new(fabric), receivers, f)
+        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
+        Ok(launch(p, Arc::new(fabric), receivers, f))
     }
 
     /// Like [`Universe::run`] but with a seeded fault plane installed on
@@ -107,10 +152,27 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Send + Sync,
         R: Send,
     {
+        Self::run_on_with_faults(TransportKind::InProcess, p, spec, f)
+            .expect("in-process fabric cannot fail")
+    }
+
+    /// [`Universe::run_with_faults`] on an explicit backend. The fault
+    /// plane sits above the transport, so seeded adversity is
+    /// byte-for-byte the same schedule on every backend.
+    pub fn run_on_with_faults<F, R>(
+        kind: TransportKind,
+        p: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> io::Result<Vec<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::new(p);
+        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
         fabric.install_faults(spec);
-        launch(p, Arc::new(fabric), receivers, f)
+        Ok(launch(p, Arc::new(fabric), receivers, f))
     }
 
     /// Like [`Universe::run`] but profiled: before any rank starts, every
@@ -125,14 +187,31 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Send + Sync,
         R: Send,
     {
+        Self::run_profiled_on(TransportKind::InProcess, p, capacity, f)
+            .expect("in-process fabric cannot fail")
+    }
+
+    /// [`Universe::run_profiled`] on an explicit backend — profile the
+    /// same workload over in-process channels, shared-memory rings, or
+    /// sockets and compare the traces.
+    pub fn run_profiled_on<F, R>(
+        kind: TransportKind,
+        p: usize,
+        capacity: usize,
+        f: F,
+    ) -> io::Result<ProfiledRun<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::new(p);
+        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
         let sinks = install_profiling(&fabric, p, capacity);
         let results = launch(p, Arc::new(fabric), receivers, f);
-        ProfiledRun {
+        Ok(ProfiledRun {
             results,
             traces: sinks.iter().map(|s| s.take()).collect(),
-        }
+        })
     }
 
     /// [`Universe::run_profiled`] with a fault plane installed — profile
@@ -148,15 +227,31 @@ impl Universe {
         F: Fn(&mut Comm) -> R + Send + Sync,
         R: Send,
     {
+        Self::run_profiled_on_with_faults(TransportKind::InProcess, p, capacity, spec, f)
+            .expect("in-process fabric cannot fail")
+    }
+
+    /// [`Universe::run_profiled_with_faults`] on an explicit backend.
+    pub fn run_profiled_on_with_faults<F, R>(
+        kind: TransportKind,
+        p: usize,
+        capacity: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> io::Result<ProfiledRun<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
         assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::new(p);
+        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
         fabric.install_faults(spec);
         let sinks = install_profiling(&fabric, p, capacity);
         let results = launch(p, Arc::new(fabric), receivers, f);
-        ProfiledRun {
+        Ok(ProfiledRun {
             results,
             traces: sinks.iter().map(|s| s.take()).collect(),
-        }
+        })
     }
 
     /// Like [`Universe::run`] but with a per-rank stack size in bytes, for
@@ -179,8 +274,11 @@ impl Universe {
                     .stack_size(stack_bytes);
                 let h = builder
                     .spawn_scoped(scope, move || {
-                        let mut comm = Comm::new(rank, fabric, rx);
-                        f(&mut comm)
+                        let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
+                        let out = f(&mut comm);
+                        drop(comm);
+                        fabric.rank_done(rank);
+                        out
                     })
                     .expect("failed to spawn rank thread");
                 handles.push(h);
@@ -193,6 +291,95 @@ impl Universe {
                 })
                 .collect()
         })
+    }
+
+    /// Run `f` as a universe of `p` **processes** on one host, over the
+    /// shared-memory transport.
+    ///
+    /// Called in the launching process, this creates the fabric file,
+    /// re-executes the current binary `p` times with `rerun_args` (plus
+    /// rank/fabric environment variables), waits for all children, and
+    /// returns [`SpawnRole::Parent`] with their exit statuses. Each child
+    /// re-enters this same function, detects the environment, attaches to
+    /// the fabric as its rank, runs `f`, and returns
+    /// [`SpawnRole::Child`] with the rank program's result.
+    ///
+    /// In a test, pass the test's own name as the rerun filter so the
+    /// child harness runs exactly this function again:
+    ///
+    /// ```ignore
+    /// match Universe::spawn_processes(4, &["my_test_name", "--exact"], |comm| {
+    ///     comm.barrier().unwrap();
+    /// })? {
+    ///     SpawnRole::Parent(statuses) => assert!(statuses.iter().all(|s| s.success())),
+    ///     SpawnRole::Child(()) => {} // the child's work happened in the closure
+    /// }
+    /// ```
+    ///
+    /// Fault planes are per-process state and are **not** supported
+    /// across process boundaries; chaos coverage runs all backends in
+    /// thread mode instead.
+    pub fn spawn_processes<F, R>(p: usize, rerun_args: &[&str], f: F) -> io::Result<SpawnRole<R>>
+    where
+        F: FnOnce(&mut Comm) -> R,
+    {
+        assert!(p > 0, "universe needs at least one rank");
+        if let (Ok(path), Ok(rank), Ok(size)) = (
+            std::env::var(ENV_SHM_FILE),
+            std::env::var(ENV_RANK),
+            std::env::var(ENV_SIZE),
+        ) {
+            let rank: usize = rank
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad CARTCOMM_RANK"))?;
+            let size: usize = size
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad CARTCOMM_SIZE"))?;
+            if size != p {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("spawned universe has {size} ranks, caller expected {p}"),
+                ));
+            }
+            let (fabric, rx) = Fabric::attach_shm(std::path::Path::new(&path), size, rank)?;
+            let fabric = Arc::new(fabric);
+            let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
+            let out = f(&mut comm);
+            drop(comm);
+            fabric.rank_done(rank);
+            return Ok(SpawnRole::Child(out));
+        }
+
+        let path = spawn_scratch_path();
+        ShmTransport::create_file(&path, p)?;
+        let exe = std::env::current_exe()?;
+        let mut children = Vec::with_capacity(p);
+        for rank in 0..p {
+            let child = std::process::Command::new(&exe)
+                .args(rerun_args)
+                .env(ENV_SHM_FILE, &path)
+                .env(ENV_RANK, rank.to_string())
+                .env(ENV_SIZE, p.to_string())
+                .spawn();
+            match child {
+                Ok(c) => children.push(c),
+                Err(e) => {
+                    // Launch failed partway: reap what started, clean up.
+                    for mut c in children {
+                        let _ = c.kill();
+                        let _ = c.wait();
+                    }
+                    let _ = std::fs::remove_file(&path);
+                    return Err(e);
+                }
+            }
+        }
+        let mut statuses = Vec::with_capacity(p);
+        for mut c in children {
+            statuses.push(c.wait()?);
+        }
+        let _ = std::fs::remove_file(&path);
+        Ok(SpawnRole::Parent(statuses))
     }
 }
 
@@ -225,6 +412,24 @@ mod tests {
             comm.rank() + big[0] as usize
         });
         assert_eq!(out, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn run_on_every_backend_allreduces() {
+        for kind in [
+            TransportKind::InProcess,
+            TransportKind::SharedMem,
+            TransportKind::Uds,
+            TransportKind::Tcp,
+        ] {
+            let sums = Universe::run_on(kind, 4, |comm| {
+                let mut x = [comm.rank() as u64 + 1];
+                comm.allreduce(&mut x, |a, b| a + b).unwrap();
+                x[0]
+            })
+            .unwrap_or_else(|e| panic!("{kind} backend failed to launch: {e}"));
+            assert_eq!(sums, vec![10, 10, 10, 10], "backend {kind}");
+        }
     }
 
     #[test]
