@@ -8,6 +8,7 @@
 use std::sync::Arc;
 
 use cartcomm_comm::WirePool;
+use cartcomm_types::kernel;
 use cartcomm_types::{gather_append, gather_into, scatter, Datatype, PackBuf};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -112,5 +113,81 @@ fn bench_wire_packing(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gather, bench_scatter, bench_wire_packing);
+/// The span profile of a 3-D Moore allgather round in the small-m regime:
+/// dozens of tiny spans scattered through the buffer, where per-span
+/// dispatch overhead rivals the byte movement. One wide-kernel batch call
+/// ([`kernel::gather_spans`] / [`kernel::scatter_spans`]) versus the
+/// scalar reference path (one `extend_from_slice` / `copy_from_slice` per
+/// span) — the speedup the perfgate baseline pins.
+fn bench_pack_kernel(c: &mut Criterion) {
+    // 26 neighbors (3-D Moore), one m-element f64 block each, strided
+    // through a scratch buffer with odd byte offsets so the kernel's
+    // unaligned paths are exercised, not just the happy case.
+    const NEIGHBORS: usize = 26;
+    let mut g = c.benchmark_group("pack_kernel");
+    for m_elems in [1usize, 8, 64] {
+        let span_len = m_elems * 8;
+        let stride = span_len * 3 + 13;
+        let spans: Vec<kernel::PackSpan> = (0..NEIGHBORS).map(|i| (i * stride, span_len)).collect();
+        let total = NEIGHBORS * span_len;
+        let src = vec![0xA5u8; NEIGHBORS * stride + span_len];
+        g.throughput(Throughput::Bytes(total as u64));
+
+        let mut out = Vec::with_capacity(total);
+        g.bench_with_input(
+            BenchmarkId::new("gather_kernel", m_elems),
+            &spans,
+            |b, spans| {
+                b.iter(|| {
+                    out.clear();
+                    kernel::gather_spans(black_box(&src), spans, &mut out);
+                    black_box(out.len())
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("gather_scalar", m_elems),
+            &spans,
+            |b, spans| {
+                b.iter(|| {
+                    out.clear();
+                    kernel::gather_spans_scalar(black_box(&src), spans, &mut out);
+                    black_box(out.len())
+                })
+            },
+        );
+
+        let wire = vec![0x5Au8; total];
+        let mut dst = vec![0u8; NEIGHBORS * stride + span_len];
+        g.bench_with_input(
+            BenchmarkId::new("scatter_kernel", m_elems),
+            &spans,
+            |b, spans| {
+                b.iter(|| black_box(kernel::scatter_spans(&mut dst, spans, black_box(&wire))))
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("scatter_scalar", m_elems),
+            &spans,
+            |b, spans| {
+                b.iter(|| {
+                    black_box(kernel::scatter_spans_scalar(
+                        &mut dst,
+                        spans,
+                        black_box(&wire),
+                    ))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_gather,
+    bench_scatter,
+    bench_wire_packing,
+    bench_pack_kernel
+);
 criterion_main!(benches);

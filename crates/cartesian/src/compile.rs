@@ -28,6 +28,7 @@
 use cartcomm_comm::obs::TraceEvent;
 use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, PooledBuf, RecvSpec, SrcSel, Tag};
 use cartcomm_topo::CartTopology;
+use cartcomm_types::kernel::{self, PackSpan};
 use cartcomm_types::TypeError;
 
 use crate::error::{CartError, CartResult};
@@ -45,12 +46,75 @@ enum BufId {
     Temp,
 }
 
-/// One memcpy range of a gather or scatter span program.
+/// A run of consecutive spans addressing one buffer — the unit the pack
+/// kernel executes with a single call. Batching is decided at compile
+/// time, so the executor's inner loop is one kernel invocation per
+/// buffer run instead of one dispatch (and one `Vec` length update) per
+/// span.
 #[derive(Debug, Clone, Copy)]
-struct WireOp {
+struct SpanBatch {
     buf: BufId,
-    off: usize,
-    len: usize,
+    /// Start of this batch's range in the program's span slab.
+    start: usize,
+    /// Number of spans in the range.
+    count: usize,
+    /// Total bytes the batch moves (precomputed).
+    bytes: usize,
+}
+
+/// A gather or scatter span program: per-buffer [`SpanBatch`]es over one
+/// shared, coalesced `(offset, len)` slab. The slab keeps every span of
+/// the program contiguous in memory, so executing — and fingerprinting —
+/// walks cache-linear with zero per-round allocation.
+#[derive(Debug, Clone, Default)]
+struct SpanProgram {
+    batches: Vec<SpanBatch>,
+    spans: Vec<PackSpan>,
+}
+
+impl SpanProgram {
+    /// Append one span, coalescing with the previous span when it is
+    /// byte-adjacent in the same buffer (so a contiguous block — or
+    /// several laid out back to back — stays a single memcpy range) and
+    /// extending the current batch whenever the buffer is unchanged.
+    fn push(&mut self, buf: BufId, off: usize, len: usize) {
+        if let Some(b) = self.batches.last_mut() {
+            if b.buf == buf {
+                let last = &mut self.spans[b.start + b.count - 1];
+                if last.0 + last.1 == off {
+                    last.1 += len;
+                } else {
+                    self.spans.push((off, len));
+                    b.count += 1;
+                }
+                b.bytes += len;
+                return;
+            }
+        }
+        let start = self.spans.len();
+        self.spans.push((off, len));
+        self.batches.push(SpanBatch {
+            buf,
+            start,
+            count: 1,
+            bytes: len,
+        });
+    }
+
+    /// Memcpy ranges in the program (after coalescing).
+    fn span_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Total bytes the program moves.
+    fn bytes(&self) -> usize {
+        self.batches.iter().map(|b| b.bytes).sum()
+    }
+
+    /// The slab slice a batch covers.
+    fn batch_spans(&self, b: &SpanBatch) -> &[PackSpan] {
+        &self.spans[b.start..b.start + b.count]
+    }
 }
 
 /// A local block movement compiled to `(src_offset, dst_offset, len)`
@@ -79,9 +143,9 @@ struct CompiledRound {
     /// Exact bytes on the wire.
     wire_len: usize,
     /// Span program filling the outgoing wire buffer.
-    gather: Vec<WireOp>,
+    gather: SpanProgram,
     /// Span program unpacking the incoming wire buffer.
-    scatter: Vec<WireOp>,
+    scatter: SpanProgram,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -177,8 +241,8 @@ impl CompiledPlan {
                 let tag = tag_base + round_idx;
                 round_idx += 1;
 
-                let mut gather: Vec<WireOp> = Vec::new();
-                let mut scatter: Vec<WireOp> = Vec::new();
+                let mut gather = SpanProgram::default();
+                let mut scatter = SpanProgram::default();
                 let mut wire_len = 0usize;
                 for j in 0..round.block_ids.len() {
                     wire_len += cp.push_block(lay, round.sends[j], &mut gather)?;
@@ -190,7 +254,7 @@ impl CompiledPlan {
                     "gather program covers exactly the round's block bytes"
                 );
                 debug_assert_eq!(
-                    scatter.iter().map(|op| op.len).sum::<usize>(),
+                    scatter.bytes(),
                     wire_len,
                     "scatter program consumes exactly the wire"
                 );
@@ -218,7 +282,7 @@ impl CompiledPlan {
         &mut self,
         lay: &ExecLayouts,
         br: BlockRef,
-        prog: &mut Vec<WireOp>,
+        prog: &mut SpanProgram,
     ) -> CartResult<usize> {
         let (buf, spans) = resolve_block(lay, br)?;
         let mut total = 0usize;
@@ -228,13 +292,7 @@ impl CompiledPlan {
             }
             total += len;
             self.note_extent(buf, off, len);
-            if let Some(last) = prog.last_mut() {
-                if last.buf == buf && last.off + last.len == off {
-                    last.len += len;
-                    continue;
-                }
-            }
-            prog.push(WireOp { buf, off, len });
+            prog.push(buf, off, len);
         }
         Ok(total)
     }
@@ -372,7 +430,7 @@ impl CompiledPlan {
         self.phases
             .iter()
             .flat_map(|p| &p.rounds)
-            .map(|r| r.gather.len() + r.scatter.len())
+            .map(|r| r.gather.span_count() + r.scatter.span_count())
             .sum::<usize>()
             + self
                 .phases
@@ -380,6 +438,95 @@ impl CompiledPlan {
                 .flat_map(|p| &p.copies)
                 .map(|c| c.ops.len())
                 .sum::<usize>()
+    }
+
+    /// A stable structural fingerprint of the fully compiled program: every
+    /// round's peer/tag/wire size and the *logical* `(buffer, offset, len)`
+    /// sequence of each gather/scatter span program and local copy, hashed
+    /// with FNV-1a (platform- and rustc-version-independent, unlike
+    /// `DefaultHasher`). Two compiled plans with equal fingerprints move
+    /// exactly the same bytes in the same order; golden values pin the
+    /// schedule representation against refactors.
+    pub fn program_fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.u64(match self.kind {
+            PlanKind::Alltoall => 1,
+            PlanKind::Allgather => 2,
+        });
+        h.u64(self.temp_len as u64);
+        h.u64(self.send_min_len as u64);
+        h.u64(self.recv_min_len as u64);
+        for phase in &self.phases {
+            h.u64(0xFACE);
+            for c in &phase.copies {
+                h.u64(0xC0);
+                h.u64(buf_tag(c.src));
+                h.u64(buf_tag(c.dst));
+                h.u64(c.direct_split as u64);
+                h.u64(c.direct_in_place as u64);
+                for &(s, d, n) in &c.ops {
+                    h.u64(s as u64);
+                    h.u64(d as u64);
+                    h.u64(n as u64);
+                }
+            }
+            for (r, spec) in phase.rounds.iter().zip(&phase.specs) {
+                h.u64(0xF0);
+                h.u64(r.target as u64);
+                h.u64(spec_src(spec) as u64);
+                h.u64(r.tag as u64);
+                h.u64(r.wire_len as u64);
+                // Batches expand back to the per-span (buffer, offset,
+                // len) stream, so fingerprints are representation-blind:
+                // the flat-slab program hashes identically to the
+                // per-span op list it replaced.
+                for b in &r.gather.batches {
+                    for &(off, len) in r.gather.batch_spans(b) {
+                        h.u64(buf_tag(b.buf));
+                        h.u64(off as u64);
+                        h.u64(len as u64);
+                    }
+                }
+                h.u64(0x5C);
+                for b in &r.scatter.batches {
+                    for &(off, len) in r.scatter.batch_spans(b) {
+                        h.u64(buf_tag(b.buf));
+                        h.u64(off as u64);
+                        h.u64(len as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
+}
+
+fn buf_tag(buf: BufId) -> u64 {
+    match buf {
+        BufId::Send => 1,
+        BufId::Recv => 2,
+        BufId::Temp => 3,
+    }
+}
+
+/// Minimal FNV-1a 64 over a u64 stream: deterministic across platforms and
+/// compiler versions, so fingerprints can be committed as goldens.
+pub(crate) struct Fnv(u64);
+
+impl Fnv {
+    pub(crate) fn new() -> Self {
+        Fnv(0xCBF2_9CE4_8422_2325)
+    }
+
+    pub(crate) fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
     }
 }
 
@@ -447,23 +594,21 @@ impl Mem<'_> {
         }
     }
 
-    fn gather(&self, prog: &[WireOp], wire: &mut PooledBuf) {
-        for op in prog {
-            let src = self.read(op.buf);
-            wire.extend_from_slice(&src[op.off..op.off + op.len]);
+    fn gather(&self, prog: &SpanProgram, wire: &mut PooledBuf) {
+        for b in &prog.batches {
+            kernel::gather_spans(self.read(b.buf), prog.batch_spans(b), wire);
         }
     }
 
-    fn scatter(&mut self, prog: &[WireOp], wire: &[u8]) {
+    fn scatter(&mut self, prog: &SpanProgram, wire: &[u8]) {
         let mut pos = 0usize;
-        for op in prog {
-            let dst: &mut [u8] = match op.buf {
+        for b in &prog.batches {
+            let dst: &mut [u8] = match b.buf {
                 BufId::Send => unreachable!("plans never write the send buffer"),
                 BufId::Recv => self.user,
                 BufId::Temp => self.temp,
             };
-            dst[op.off..op.off + op.len].copy_from_slice(&wire[pos..pos + op.len]);
-            pos += op.len;
+            pos += kernel::scatter_spans(dst, prog.batch_spans(b), &wire[pos..]);
         }
     }
 
@@ -482,9 +627,9 @@ impl Mem<'_> {
             // the same order the interpreted executor staged through a
             // pooled buffer).
             stage.clear();
+            stage.reserve(c.bytes);
             for &(s, _, n) in &c.ops {
-                let src = self.read(c.src);
-                stage.extend_from_slice(&src[s..s + n]);
+                kernel::gather_spans(self.read(c.src), &[(s, n)], stage);
             }
             let mut pos = 0usize;
             for &(_, d, n) in &c.ops {
@@ -493,7 +638,7 @@ impl Mem<'_> {
                     BufId::Recv => self.user,
                     BufId::Temp => self.temp,
                 };
-                dst[d..d + n].copy_from_slice(&stage[pos..pos + n]);
+                kernel::copy_wide(&mut dst[d..d + n], &stage[pos..pos + n]);
                 pos += n;
             }
         }
@@ -504,17 +649,21 @@ impl Mem<'_> {
         use BufId::*;
         let in_place = self.send.is_none();
         match (src, dst) {
+            // Same-buffer ranges stay on `copy_within`: `copy_raw`
+            // requires non-overlap, and these ranges — though proven
+            // alias-free per op — share one borrow.
             (Temp, Temp) => self.temp.copy_within(s..s + n, d),
-            (Temp, Recv) => self.user[d..d + n].copy_from_slice(&self.temp[s..s + n]),
-            (Recv, Temp) => self.temp[d..d + n].copy_from_slice(&self.user[s..s + n]),
+            (Temp, Recv) => kernel::copy_wide(&mut self.user[d..d + n], &self.temp[s..s + n]),
+            (Recv, Temp) => kernel::copy_wide(&mut self.temp[d..d + n], &self.user[s..s + n]),
             (Send, Temp) => {
                 let from = self.send.unwrap_or(self.user);
-                self.temp[d..d + n].copy_from_slice(&from[s..s + n]);
+                kernel::copy_wide(&mut self.temp[d..d + n], &from[s..s + n]);
             }
             (Send, Recv) if in_place => self.user.copy_within(s..s + n, d),
-            (Send, Recv) => {
-                self.user[d..d + n].copy_from_slice(&self.send.expect("split mode")[s..s + n])
-            }
+            (Send, Recv) => kernel::copy_wide(
+                &mut self.user[d..d + n],
+                &self.send.expect("split mode")[s..s + n],
+            ),
             (Recv, Recv) => self.user.copy_within(s..s + n, d),
             (_, Send) => unreachable!("plans never write the send buffer"),
         }
@@ -608,7 +757,7 @@ fn execute_core(
             mem.gather(&r.gather, &mut wire);
             debug_assert_eq!(wire.len(), r.wire_len, "gather fills the wire exactly");
             metrics.round_started();
-            metrics.pack(r.gather.len(), r.wire_len);
+            metrics.pack(r.gather.span_count(), r.wire_len);
             if traced {
                 let round = round_base + i;
                 obs.emit(
@@ -626,7 +775,7 @@ fn execute_core(
                     rank,
                     TraceEvent::PackSpan {
                         round,
-                        spans: r.gather.len(),
+                        spans: r.gather.span_count(),
                         bytes: r.wire_len,
                     },
                 );

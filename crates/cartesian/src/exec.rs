@@ -13,13 +13,11 @@
 //! cache) compile once and call
 //! [`execute_compiled`](crate::compile::execute_compiled) repeatedly.
 
-use std::hash::{Hash, Hasher};
-
 use cartcomm_comm::{Comm, Tag};
 use cartcomm_topo::CartTopology;
 use cartcomm_types::{gather_append, scatter, FlatType};
 
-use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
+use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch, Fnv};
 use crate::error::CartResult;
 use crate::plan::{BlockRef, Loc, Plan, PlanKind};
 
@@ -143,8 +141,12 @@ impl ExecLayouts {
 
     /// A fingerprint of the layouts (and intended plan kind) for the
     /// communicator's compiled-plan cache. Two independently seeded 64-bit
-    /// hashes over the structural content — displacements, span lists,
-    /// block and temp sizing — make accidental collisions negligible.
+    /// FNV-1a hashes over the structural content — displacements, span
+    /// lists, block and temp sizing — make accidental collisions
+    /// negligible. The walk is one linear pass per seed over flat arrays
+    /// (each block's committed span list is a contiguous `&[Span]`), with
+    /// no per-field hasher dispatch — cache-linear like the span slab and
+    /// tree arena it keys.
     pub fn fingerprint(&self, kind: PlanKind) -> u128 {
         let lo = self.hash_with(kind, 0x9E37_79B9_7F4A_7C15);
         let hi = self.hash_with(kind, 0xC2B2_AE3D_27D4_EB4F);
@@ -152,23 +154,32 @@ impl ExecLayouts {
     }
 
     fn hash_with(&self, kind: PlanKind, seed: u64) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        seed.hash(&mut h);
-        kind.hash(&mut h);
-        for (group, blocks) in [(0u8, &self.send), (1u8, &self.recv)] {
-            group.hash(&mut h);
-            blocks.len().hash(&mut h);
+        let mut h = Fnv::new();
+        h.u64(seed);
+        h.u64(match kind {
+            PlanKind::Alltoall => 1,
+            PlanKind::Allgather => 2,
+        });
+        for (group, blocks) in [(0u64, &self.send), (1u64, &self.recv)] {
+            h.u64(group);
+            h.u64(blocks.len() as u64);
             for b in blocks {
-                b.disp.hash(&mut h);
+                h.u64(b.disp as u64);
                 for s in b.ty.spans() {
-                    s.offset.hash(&mut h);
-                    s.len.hash(&mut h);
+                    h.u64(s.offset as u64);
+                    h.u64(s.len as u64);
                 }
-                u64::MAX.hash(&mut h); // span-list terminator
+                h.u64(u64::MAX); // span-list terminator
             }
         }
-        self.block_bytes.hash(&mut h);
-        self.temp_sizes.hash(&mut h);
+        h.u64(self.block_bytes.len() as u64);
+        for &b in &self.block_bytes {
+            h.u64(b as u64);
+        }
+        h.u64(self.temp_sizes.len() as u64);
+        for &ts in &self.temp_sizes {
+            h.u64(ts as u64);
+        }
         h.finish()
     }
 }

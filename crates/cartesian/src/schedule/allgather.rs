@@ -13,9 +13,10 @@
 //! increasing `C_k` order, with the alternatives available for the §3.4
 //! ablation.
 
-use cartcomm_topo::{Offset, RelNeighborhood};
+use cartcomm_topo::RelNeighborhood;
 
-use crate::plan::{BlockRef, Loc, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};
+use crate::plan::{BlockRef, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};
+use crate::schedule::arena::{CoordGroups, TreeArena};
 
 /// Dimension-processing order for the allgather tree (§3.2/§3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,17 +28,6 @@ pub enum DimOrder {
     Given,
     /// Decreasing `C_k` (the adversarial order, for ablations).
     DecreasingCk,
-}
-
-struct Node {
-    /// Where each process keeps the copy it holds for this subtree.
-    slot: BlockRef,
-    /// Representative neighbor index (first index in the subtree), used for
-    /// wire sizing.
-    rep: usize,
-    /// Children as `(edge coordinate, node id)` in ascending coordinate
-    /// order.
-    children: Vec<(i64, usize)>,
 }
 
 /// Compute the message-combining allgather schedule with the default
@@ -61,68 +51,50 @@ pub fn allgather_plan_with_order(nb: &RelNeighborhood, order: DimOrder) -> Plan 
         DimOrder::DecreasingCk => sigma.sort_by_key(|&k| (usize::MAX - cks[k], k)),
     }
 
-    // ---- tree construction (Algorithm 2) ----------------------------------
-    let mut nodes: Vec<Node> = Vec::new();
-    let mut levels: Vec<Vec<usize>> = vec![Vec::new(); d + 1];
+    // ---- tree construction (Algorithm 2, CSR arena) ------------------------
     let mut temp_slots = 0usize;
     // Fill copies produced when several neighbor indices share one path:
     // (phase index, copy).
     let mut fills: Vec<(usize, LocalCopy)> = Vec::new();
+    let arena = TreeArena::build(nb, &sigma, &mut temp_slots, &mut fills);
 
-    if t > 0 {
-        // indices stack-based recursion
-        build_tree(
-            nb,
-            &sigma,
-            (0..t).collect(),
-            0,
-            vec![0i64; d],
-            None,
-            &mut nodes,
-            &mut levels,
-            &mut temp_slots,
-            &mut fills,
-        );
-    }
-
-    // ---- schedule extraction (BFS over levels) -----------------------------
+    // ---- schedule extraction (BFS over the level CSR) ----------------------
     let mut phases: Vec<PlanPhase> = (0..=d).map(|_| PlanPhase::default()).collect();
     let mut rounds_total = 0usize;
     let mut volume = 0usize;
+    // One reusable edge slab serves every level's grouping.
+    let mut edges: CoordGroups<(BlockRef, BlockRef, usize)> = CoordGroups::new();
     for k in 0..d {
-        // Group non-zero edges at level k by edge coordinate.
-        // Collect (coord, parent slot, child slot, child rep) in node order.
-        let mut edges: Vec<(i64, BlockRef, BlockRef, usize)> = Vec::new();
-        for &nid in &levels[k] {
-            for &(c, child) in &nodes[nid].children {
+        // Group non-zero edges at level k by edge coordinate. Edges are
+        // pushed in node (preorder) order and the grouping is stable, so
+        // sender and receiver agree on wire order within each round.
+        edges.clear();
+        for &nid in arena.level(k) {
+            let parent_slot = arena.node(nid).slot;
+            for &(c, child) in arena.children(nid) {
                 if c != 0 {
-                    edges.push((c, nodes[nid].slot, nodes[child].slot, nodes[child].rep));
+                    let ch = arena.node(child);
+                    edges.push(c, (parent_slot, ch.slot, ch.rep));
                 }
             }
         }
-        // Stable sort by coordinate groups; node order within a group is
-        // preserved so sender and receiver agree on wire order.
-        edges.sort_by_key(|&(c, _, _, _)| c);
-        let mut idx = 0usize;
-        while idx < edges.len() {
-            let c = edges[idx].0;
+        edges.finish();
+        volume += edges.len();
+        for (c, run) in edges.groups() {
             let mut round = PlanRound {
                 offset: {
                     let mut o = vec![0i64; d];
                     o[sigma[k]] = c;
                     o
                 },
-                sends: Vec::new(),
-                recvs: Vec::new(),
-                block_ids: Vec::new(),
+                sends: Vec::with_capacity(run.len()),
+                recvs: Vec::with_capacity(run.len()),
+                block_ids: Vec::with_capacity(run.len()),
             };
-            while idx < edges.len() && edges[idx].0 == c {
-                let (_, from, to, rep) = edges[idx];
+            for &(_, (from, to, rep)) in run {
                 round.sends.push(from);
                 round.recvs.push(to);
                 round.block_ids.push(rep);
-                idx += 1;
-                volume += 1;
             }
             phases[k].rounds.push(round);
             rounds_total += 1;
@@ -152,123 +124,11 @@ pub fn allgather_plan_with_order(nb: &RelNeighborhood, order: DimOrder) -> Plan 
     plan
 }
 
-/// Recursive tree construction (the paper's `AllgatherTree`): bucket-sort
-/// the sub-neighborhood on the current sorted dimension and recurse per
-/// distinct coordinate.
-#[allow(clippy::too_many_arguments)]
-fn build_tree(
-    nb: &RelNeighborhood,
-    sigma: &[usize],
-    indices: Vec<usize>,
-    level: usize,
-    path: Offset,
-    // Slot inherited over a zero-coordinate edge (content identical to the
-    // parent's, so the node aliases the parent's slot).
-    inherited_slot: Option<BlockRef>,
-    nodes: &mut Vec<Node>,
-    levels: &mut Vec<Vec<usize>>,
-    temp_slots: &mut usize,
-    fills: &mut Vec<(usize, LocalCopy)>,
-) -> usize {
-    let d = nb.ndims();
-    let rep = indices[0];
-
-    // Slot assignment. A node reached over a non-zero edge (or the root)
-    // resolves its own slot: if some neighbor's offset equals the node path,
-    // the incoming copy is that neighbor's final block and lives in the
-    // receive buffer; otherwise the node is a pure forwarder in a temp slot.
-    let slot = if let Some(s) = inherited_slot {
-        s
-    } else if level == 0 {
-        // Root: the process's own contribution, in the send buffer. Any
-        // self-neighbors (offset zero) are filled by local copy in phase 0.
-        let slot = BlockRef::new(Loc::Send, 0);
-        for &j in &indices {
-            if nb.offset(j).iter().all(|&c| c == 0) {
-                fills.push((
-                    0,
-                    LocalCopy {
-                        from: slot,
-                        to: BlockRef::new(Loc::Recv, j),
-                    },
-                ));
-            }
-        }
-        slot
-    } else {
-        let candidates: Vec<usize> = indices
-            .iter()
-            .copied()
-            .filter(|&j| nb.offset(j)[..] == path[..])
-            .collect();
-        if let Some((&first, rest)) = candidates.split_first() {
-            let slot = BlockRef::new(Loc::Recv, first);
-            // Duplicate offsets: the remaining candidates receive a local
-            // copy once the content has arrived (it arrives during phase
-            // level-1, so the copy goes at the start of phase `level`; the
-            // executor appends a final copies-only phase when level == d).
-            for &j in rest {
-                fills.push((
-                    level.min(nb.ndims()),
-                    LocalCopy {
-                        from: slot,
-                        to: BlockRef::new(Loc::Recv, j),
-                    },
-                ));
-            }
-            slot
-        } else {
-            let slot = BlockRef::new(Loc::Temp, *temp_slots);
-            *temp_slots += 1;
-            slot
-        }
-    };
-
-    let id = nodes.len();
-    nodes.push(Node {
-        slot,
-        rep,
-        children: Vec::new(),
-    });
-    levels[level].push(id);
-
-    if level < d {
-        let dim = sigma[level];
-        // Stable bucket grouping by coordinate in `dim` (ascending).
-        let mut sorted = indices;
-        sorted.sort_by_key(|&j| nb.offset(j)[dim]);
-        let mut start = 0usize;
-        while start < sorted.len() {
-            let c = nb.offset(sorted[start])[dim];
-            let mut end = start;
-            while end < sorted.len() && nb.offset(sorted[end])[dim] == c {
-                end += 1;
-            }
-            let mut child_path = path.clone();
-            child_path[dim] = c;
-            let child_inherit = if c == 0 { Some(nodes[id].slot) } else { None };
-            let child = build_tree(
-                nb,
-                sigma,
-                sorted[start..end].to_vec(),
-                level + 1,
-                child_path,
-                child_inherit,
-                nodes,
-                levels,
-                temp_slots,
-                fills,
-            );
-            nodes[id].children.push((c, child));
-            start = end;
-        }
-    }
-    id
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::Loc;
+    use cartcomm_topo::Offset;
     use std::collections::HashMap;
 
     /// Simulate the plan symbolically: track, for each slot at a generic

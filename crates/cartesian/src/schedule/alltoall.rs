@@ -11,6 +11,7 @@
 use cartcomm_topo::RelNeighborhood;
 
 use crate::plan::{BlockRef, Loc, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};
+use crate::schedule::arena::CoordGroups;
 
 /// Compute the message-combining alltoall schedule for a t-neighborhood
 /// (the paper's `AlltoallSchedule`, Algorithm 1). Runs in O(td) time.
@@ -30,63 +31,55 @@ pub fn alltoall_plan(nb: &RelNeighborhood) -> Plan {
     let mut rounds_total = 0usize;
     let mut volume = 0usize;
 
+    // One reusable grouping slab serves every phase — the same flat
+    // coordinate-run representation the allgather arena extraction uses.
+    let mut groups: CoordGroups<usize> = CoordGroups::new();
     for k in 0..d {
         let order = nb.bucket_sort_by_coord(k);
-        let mut phase = PlanPhase::default();
-        let mut current: Option<(i64, PlanRound)> = None;
+        groups.clear();
         for &i in &order {
             let c = nb.offset(i)[k];
-            if c == 0 {
-                continue;
+            if c != 0 {
+                groups.push(c, i);
             }
-            // Buffer selection (Algorithm 1 lines 11-17): the block is
-            // received into the receive buffer when its remaining hop count
-            // is odd — so the final hop (1 remaining) lands in the receive
-            // buffer — and into the temporary buffer otherwise. It is sent
-            // from wherever the previous hop put it; the very first hop
-            // reads the user's send buffer.
-            let h = hops[i];
-            debug_assert!(h >= 1);
-            let send_loc = if h == total_hops[i] {
-                Loc::Send
-            } else if h % 2 == 1 {
-                // previous receive (at h+1, even) went to Temp
-                Loc::Temp
-            } else {
-                Loc::Recv
-            };
-            let recv_loc = if h % 2 == 1 { Loc::Recv } else { Loc::Temp };
-            hops[i] -= 1;
-            volume += 1;
-
-            let flush = match &current {
-                Some((cc, _)) => *cc != c,
-                None => false,
-            };
-            if flush {
-                let (_, round) = current.take().expect("flush implies current");
-                phase.rounds.push(round);
-                rounds_total += 1;
-            }
-            if current.is_none() {
-                let mut offset = vec![0i64; d];
-                offset[k] = c;
-                current = Some((
-                    c,
-                    PlanRound {
-                        offset,
-                        sends: Vec::new(),
-                        recvs: Vec::new(),
-                        block_ids: Vec::new(),
-                    },
-                ));
-            }
-            let (_, round) = current.as_mut().expect("just ensured");
-            round.sends.push(BlockRef::new(send_loc, i));
-            round.recvs.push(BlockRef::new(recv_loc, i));
-            round.block_ids.push(i);
         }
-        if let Some((_, round)) = current.take() {
+        groups.finish();
+        let mut phase = PlanPhase::default();
+        for (c, run) in groups.groups() {
+            let mut round = PlanRound {
+                offset: {
+                    let mut o = vec![0i64; d];
+                    o[k] = c;
+                    o
+                },
+                sends: Vec::with_capacity(run.len()),
+                recvs: Vec::with_capacity(run.len()),
+                block_ids: Vec::with_capacity(run.len()),
+            };
+            for &(_, i) in run {
+                // Buffer selection (Algorithm 1 lines 11-17): the block is
+                // received into the receive buffer when its remaining hop
+                // count is odd — so the final hop (1 remaining) lands in
+                // the receive buffer — and into the temporary buffer
+                // otherwise. It is sent from wherever the previous hop put
+                // it; the very first hop reads the user's send buffer.
+                let h = hops[i];
+                debug_assert!(h >= 1);
+                let send_loc = if h == total_hops[i] {
+                    Loc::Send
+                } else if h % 2 == 1 {
+                    // previous receive (at h+1, even) went to Temp
+                    Loc::Temp
+                } else {
+                    Loc::Recv
+                };
+                let recv_loc = if h % 2 == 1 { Loc::Recv } else { Loc::Temp };
+                hops[i] -= 1;
+                round.sends.push(BlockRef::new(send_loc, i));
+                round.recvs.push(BlockRef::new(recv_loc, i));
+                round.block_ids.push(i);
+            }
+            volume += round.block_ids.len();
             phase.rounds.push(round);
             rounds_total += 1;
         }

@@ -12,6 +12,7 @@
 
 pub mod allgather;
 pub mod alltoall;
+pub(crate) mod arena;
 
 pub use allgather::{allgather_plan, allgather_plan_with_order, DimOrder};
 pub use alltoall::alltoall_plan;

@@ -33,6 +33,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use cartcomm_types::kernel;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -123,18 +124,13 @@ impl Ring {
             let n = free.min(bytes.len() - written);
             let pos = (h as usize) % RING_BYTES;
             let first = n.min(RING_BYTES - pos);
+            // Wrap-around double copy through the wide-copy kernel: small
+            // frames (the combining schedules' tiny-m regime) stay under
+            // the memcpy-call threshold and use inline word windows.
             unsafe {
-                std::ptr::copy_nonoverlapping(
-                    bytes.as_ptr().add(written),
-                    self.data().add(pos),
-                    first,
-                );
+                kernel::copy_raw(bytes.as_ptr().add(written), self.data().add(pos), first);
                 if n > first {
-                    std::ptr::copy_nonoverlapping(
-                        bytes.as_ptr().add(written + first),
-                        self.data(),
-                        n - first,
-                    );
+                    kernel::copy_raw(bytes.as_ptr().add(written + first), self.data(), n - first);
                 }
             }
             self.head().store(h + n as u64, Ordering::Release);
@@ -158,13 +154,9 @@ impl Ring {
         out.reserve(avail);
         unsafe {
             let dst = out.as_mut_ptr().add(out.len());
-            std::ptr::copy_nonoverlapping(self.data().add(pos) as *const u8, dst, first);
+            kernel::copy_raw(self.data().add(pos) as *const u8, dst, first);
             if avail > first {
-                std::ptr::copy_nonoverlapping(
-                    self.data() as *const u8,
-                    dst.add(first),
-                    avail - first,
-                );
+                kernel::copy_raw(self.data() as *const u8, dst.add(first), avail - first);
             }
             out.set_len(out.len() + avail);
         }

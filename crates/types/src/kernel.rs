@@ -1,0 +1,402 @@
+//! Alignment-aware wide-copy pack kernels.
+//!
+//! The span-program executor (`cartcomm::compile`) and the byte-ring
+//! transports move every wire byte through plain memcpys. For the large
+//! contiguous runs that dominate bandwidth-bound workloads, libc's
+//! `memcpy` (via [`std::ptr::copy_nonoverlapping`]) is already optimal —
+//! but the message-combining schedules this repo exists for win exactly
+//! in the *small-block* regime below the §3.2 cut-off `m*`, where a round
+//!'s gather is dozens of spans of 16–256 bytes each and the per-span
+//! overhead (call dispatch, `Vec` length bookkeeping, bounds checks)
+//! rivals the byte movement itself. This module removes that overhead:
+//!
+//! * [`copy_raw`] dispatches on length and alignment: spans up to
+//!   [`TINY_MAX`] bytes copy with two overlapping unaligned word windows
+//!   (no call, no loop); medium runs use 8-byte-aligned `u64` chunk loops
+//!   with a scalar tail when source and destination are congruent mod 8,
+//!   or unrolled 16-byte unaligned chunks otherwise; runs past
+//!   [`MEMCPY_MIN`] defer to `memcpy`, whose streaming paths win at size.
+//! * [`gather_spans`] / [`scatter_spans`] run a whole span *batch* through
+//!   one kernel call: bytes land in a reserved uninitialized tail with a
+//!   single length update, instead of one `extend_from_slice` (capacity
+//!   check + length store) per span.
+//! * The scalar reference path ([`gather_spans_scalar`],
+//!   [`scatter_spans_scalar`]) is always compiled — byte-equality tests
+//!   diff the two — and the `scalar-pack` cargo feature forces the
+//!   dispatching entry points onto it, keeping a known-good fallback one
+//!   feature flag away.
+//!
+//! Everything here is safe-Rust at the API boundary: span lists are
+//! bounds-checked against the buffers before any unsafe copy runs.
+
+/// Spans at or below this length copy with overlapping word windows (two for
+/// `len <= 32`, four for `len <= 64`)
+/// instead of a memcpy call.
+pub const TINY_MAX: usize = 64;
+
+/// Runs at or above this length defer to `memcpy` (`ptr::copy_nonoverlapping`),
+/// whose runtime dispatch (AVX, non-temporal stores) wins for big buffers.
+pub const MEMCPY_MIN: usize = 128;
+
+/// One memcpy range of a span program: `(byte offset, byte length)`
+/// relative to the buffer it addresses.
+pub type PackSpan = (usize, usize);
+
+/// Copy `len` bytes from `src` to `dst` with the width/alignment dispatch
+/// described in the module docs.
+///
+/// # Safety
+///
+/// `src..src+len` must be readable, `dst..dst+len` writable, and the two
+/// ranges must not overlap (same contract as
+/// [`std::ptr::copy_nonoverlapping`]).
+#[inline]
+pub unsafe fn copy_raw(src: *const u8, dst: *mut u8, len: usize) {
+    if len <= TINY_MAX {
+        copy_tiny(src, dst, len);
+    } else if len < MEMCPY_MIN {
+        if (src as usize) % 8 == (dst as usize) % 8 {
+            copy_aligned_u64(src, dst, len);
+        } else {
+            copy_chunks16(src, dst, len);
+        }
+    } else {
+        std::ptr::copy_nonoverlapping(src, dst, len);
+    }
+}
+
+/// Tiny copies: two overlapping windows of the widest word that fits.
+/// Covers every `len <= 32` with at most two unaligned loads and stores
+/// and zero branches beyond the width dispatch.
+///
+/// # Safety
+///
+/// Same contract as [`copy_raw`].
+#[inline]
+unsafe fn copy_tiny(src: *const u8, dst: *mut u8, len: usize) {
+    if len > 32 {
+        let a = (src as *const u128).read_unaligned();
+        let b = (src.add(16) as *const u128).read_unaligned();
+        let c = (src.add(len - 32) as *const u128).read_unaligned();
+        let d = (src.add(len - 16) as *const u128).read_unaligned();
+        (dst as *mut u128).write_unaligned(a);
+        (dst.add(16) as *mut u128).write_unaligned(b);
+        (dst.add(len - 32) as *mut u128).write_unaligned(c);
+        (dst.add(len - 16) as *mut u128).write_unaligned(d);
+    } else if len >= 16 {
+        let a = (src as *const u128).read_unaligned();
+        let b = (src.add(len - 16) as *const u128).read_unaligned();
+        (dst as *mut u128).write_unaligned(a);
+        (dst.add(len - 16) as *mut u128).write_unaligned(b);
+    } else if len >= 8 {
+        let a = (src as *const u64).read_unaligned();
+        let b = (src.add(len - 8) as *const u64).read_unaligned();
+        (dst as *mut u64).write_unaligned(a);
+        (dst.add(len - 8) as *mut u64).write_unaligned(b);
+    } else if len >= 4 {
+        let a = (src as *const u32).read_unaligned();
+        let b = (src.add(len - 4) as *const u32).read_unaligned();
+        (dst as *mut u32).write_unaligned(a);
+        (dst.add(len - 4) as *mut u32).write_unaligned(b);
+    } else if len >= 1 {
+        // len 1..=3: first, middle, last byte (indices coincide as needed).
+        *dst = *src;
+        *dst.add(len / 2) = *src.add(len / 2);
+        *dst.add(len - 1) = *src.add(len - 1);
+    }
+}
+
+/// Medium copies with congruent alignment: scalar head to an 8-byte
+/// boundary, aligned `u64` chunk loop, scalar tail.
+///
+/// # Safety
+///
+/// Same contract as [`copy_raw`]; additionally requires
+/// `src % 8 == dst % 8` and `len > 8`.
+#[inline]
+unsafe fn copy_aligned_u64(src: *const u8, dst: *mut u8, len: usize) {
+    let head = (8 - (dst as usize) % 8) % 8;
+    // Unaligned 8-byte window covers the head (len > 8 guarantees room).
+    (dst as *mut u64).write_unaligned((src as *const u64).read_unaligned());
+    let mut i = head;
+    // Both pointers are now 8-aligned at offset i.
+    while i + 32 <= len {
+        let s = src.add(i) as *const u64;
+        let d = dst.add(i) as *mut u64;
+        let (a, b, c, e) = (s.read(), s.add(1).read(), s.add(2).read(), s.add(3).read());
+        d.write(a);
+        d.add(1).write(b);
+        d.add(2).write(c);
+        d.add(3).write(e);
+        i += 32;
+    }
+    while i + 8 <= len {
+        (dst.add(i) as *mut u64).write((src.add(i) as *const u64).read());
+        i += 8;
+    }
+    if i < len {
+        // Overlapping unaligned tail window.
+        (dst.add(len - 8) as *mut u64)
+            .write_unaligned((src.add(len - 8) as *const u64).read_unaligned());
+    }
+}
+
+/// Medium copies with incongruent alignment: unrolled 16-byte unaligned
+/// chunks with an overlapping 16-byte tail window. Unaligned vector
+/// loads are single-µop on every target this repo runs on; only the
+/// cache-line-split penalty remains, which the tail window amortizes.
+///
+/// # Safety
+///
+/// Same contract as [`copy_raw`]; additionally requires `len >= 16`.
+#[inline]
+unsafe fn copy_chunks16(src: *const u8, dst: *mut u8, len: usize) {
+    let mut i = 0;
+    while i + 32 <= len {
+        let a = (src.add(i) as *const u128).read_unaligned();
+        let b = (src.add(i + 16) as *const u128).read_unaligned();
+        (dst.add(i) as *mut u128).write_unaligned(a);
+        (dst.add(i + 16) as *mut u128).write_unaligned(b);
+        i += 32;
+    }
+    if i + 16 <= len {
+        let a = (src.add(i) as *const u128).read_unaligned();
+        (dst.add(i) as *mut u128).write_unaligned(a);
+        i += 16;
+    }
+    if i < len {
+        let a = (src.add(len - 16) as *const u128).read_unaligned();
+        (dst.add(len - 16) as *mut u128).write_unaligned(a);
+    }
+}
+
+/// Wide copy between equal-length, non-overlapping slices (the `&mut`
+/// receiver guarantees non-overlap).
+///
+/// # Panics
+///
+/// Panics when the lengths differ.
+#[inline]
+pub fn copy_wide(dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "copy_wide length mismatch");
+    #[cfg(not(feature = "scalar-pack"))]
+    unsafe {
+        copy_raw(src.as_ptr(), dst.as_mut_ptr(), src.len());
+    }
+    #[cfg(feature = "scalar-pack")]
+    dst.copy_from_slice(src);
+}
+
+/// Total bytes a span list covers.
+#[inline]
+pub fn spans_len(spans: &[PackSpan]) -> usize {
+    spans.iter().map(|s| s.1).sum()
+}
+
+/// Gather every span of `src` and append the bytes to `out` in span
+/// order. One capacity reservation and one length update serve the whole
+/// batch. Returns the bytes appended.
+///
+/// # Panics
+///
+/// Panics when a span reaches past `src.len()` (the same contract as
+/// slice indexing, checked before any byte is written).
+#[inline]
+pub fn gather_spans(src: &[u8], spans: &[PackSpan], out: &mut Vec<u8>) -> usize {
+    #[cfg(feature = "scalar-pack")]
+    return gather_spans_scalar(src, spans, out);
+    #[cfg(not(feature = "scalar-pack"))]
+    {
+        let total = spans_len(spans);
+        out.reserve(total);
+        // SAFETY: `total` bytes were reserved past `out.len()`; each span
+        // is bounds-checked by the slice index before its copy; `src` and
+        // `out` cannot alias (shared vs. unique borrow).
+        unsafe {
+            let mut dst = out.as_mut_ptr().add(out.len());
+            for &(off, len) in spans {
+                let s = &src[off..off + len];
+                copy_raw(s.as_ptr(), dst, len);
+                dst = dst.add(len);
+            }
+            out.set_len(out.len() + total);
+        }
+        total
+    }
+}
+
+/// Scatter the front of `wire` into the spans of `dst`, consuming
+/// `spans_len(spans)` bytes of `wire` in span order. Returns the bytes
+/// consumed.
+///
+/// # Panics
+///
+/// Panics when a span reaches past `dst.len()` or `wire` is shorter than
+/// the span list.
+#[inline]
+pub fn scatter_spans(dst: &mut [u8], spans: &[PackSpan], wire: &[u8]) -> usize {
+    #[cfg(feature = "scalar-pack")]
+    return scatter_spans_scalar(dst, spans, wire);
+    #[cfg(not(feature = "scalar-pack"))]
+    {
+        let mut pos = 0usize;
+        for &(off, len) in spans {
+            let d = &mut dst[off..off + len];
+            let s = &wire[pos..pos + len];
+            // SAFETY: both slices have length `len` and cannot alias
+            // (unique vs. shared borrow).
+            unsafe { copy_raw(s.as_ptr(), d.as_mut_ptr(), len) };
+            pos += len;
+        }
+        pos
+    }
+}
+
+/// Scalar reference gather: one `extend_from_slice` per span. Kept
+/// unconditionally so equality tests can diff the wide path against it.
+pub fn gather_spans_scalar(src: &[u8], spans: &[PackSpan], out: &mut Vec<u8>) -> usize {
+    let mut total = 0usize;
+    for &(off, len) in spans {
+        out.extend_from_slice(&src[off..off + len]);
+        total += len;
+    }
+    total
+}
+
+/// Scalar reference scatter: one `copy_from_slice` per span.
+pub fn scatter_spans_scalar(dst: &mut [u8], spans: &[PackSpan], wire: &[u8]) -> usize {
+    let mut pos = 0usize;
+    for &(off, len) in spans {
+        dst[off..off + len].copy_from_slice(&wire[pos..pos + len]);
+        pos += len;
+    }
+    pos
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern(n: usize, seed: u8) -> Vec<u8> {
+        (0..n)
+            .map(|i| (i as u8).wrapping_mul(31).wrapping_add(seed))
+            .collect()
+    }
+
+    #[test]
+    fn copy_wide_all_lengths_and_offsets() {
+        // Every length through the tiny and chunk regimes, at every
+        // source/destination misalignment pair mod 8 — the full dispatch
+        // matrix including the overlapping tail windows.
+        let src_back = pattern(2200, 3);
+        for len in (0..=70).chain([127, 128, 129, 1000, 1023, 1024, 1025, 2048]) {
+            for s_off in 0..4usize {
+                for d_off in [0usize, 1, 3, 5, 8] {
+                    let mut dst_back = vec![0u8; len + d_off + 8];
+                    let expect = &src_back[s_off..s_off + len];
+                    copy_wide(&mut dst_back[d_off..d_off + len], expect);
+                    assert_eq!(
+                        &dst_back[d_off..d_off + len],
+                        expect,
+                        "len={len} s={s_off} d={d_off}"
+                    );
+                    // Guard bytes untouched.
+                    assert!(dst_back[d_off + len..].iter().all(|&b| b == 0));
+                    assert!(dst_back[..d_off].iter().all(|&b| b == 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_tail_is_exact() {
+        // A length that leaves a 7-byte tail after the u64 chunk loop,
+        // at congruent-but-odd alignment: the overlapping tail window
+        // must rewrite bytes already covered without corrupting them.
+        let src = pattern(512, 9);
+        for len in [39, 41, 47, 63, 71, 255] {
+            let mut dst = vec![0xEEu8; len + 16];
+            copy_wide(&mut dst[1..1 + len], &src[1..1 + len]);
+            assert_eq!(&dst[1..1 + len], &src[1..1 + len], "len={len}");
+            assert_eq!(dst[0], 0xEE);
+            assert!(
+                dst[1 + len..].iter().all(|&b| b == 0xEE),
+                "len={len} tail overrun"
+            );
+        }
+    }
+
+    #[test]
+    fn gather_matches_scalar_reference() {
+        let src = pattern(4096, 1);
+        let spans: Vec<PackSpan> = vec![
+            (0, 1),
+            (7, 3),
+            (13, 8),
+            (33, 15),
+            (64, 16),
+            (101, 31),
+            (200, 33),
+            (300, 64),
+            (1001, 257),
+            (2000, 2000),
+        ];
+        let mut wide = vec![0xAAu8; 5]; // non-empty: append semantics
+        let mut scalar = vec![0xAAu8; 5];
+        let a = gather_spans(&src, &spans, &mut wide);
+        let b = gather_spans_scalar(&src, &spans, &mut scalar);
+        assert_eq!(a, b);
+        assert_eq!(a, spans_len(&spans));
+        assert_eq!(wide, scalar);
+    }
+
+    #[test]
+    fn scatter_matches_scalar_reference() {
+        let spans: Vec<PackSpan> = vec![(3, 5), (11, 1), (20, 17), (40, 8), (100, 300), (401, 2)];
+        let wire = pattern(spans_len(&spans), 7);
+        let mut wide = vec![0u8; 512];
+        let mut scalar = vec![0u8; 512];
+        let a = scatter_spans(&mut wide, &spans, &wire);
+        let b = scatter_spans_scalar(&mut scalar, &spans, &wire);
+        assert_eq!(a, b);
+        assert_eq!(wide, scalar);
+    }
+
+    #[test]
+    fn gather_reserves_exactly_once_when_preallocated() {
+        let src = pattern(256, 0);
+        let spans: Vec<PackSpan> = (0..16).map(|i| (i * 16, 16)).collect();
+        let mut out = Vec::with_capacity(256);
+        let cap = out.capacity();
+        gather_spans(&src, &spans, &mut out);
+        assert_eq!(out.capacity(), cap, "no reallocation on a sized buffer");
+        assert_eq!(out, src);
+    }
+
+    #[test]
+    fn empty_spans_are_noops() {
+        let src = [1u8, 2, 3];
+        let mut out = Vec::new();
+        assert_eq!(gather_spans(&src, &[], &mut out), 0);
+        assert_eq!(gather_spans(&src, &[(1, 0), (3, 0)], &mut out), 0);
+        assert!(out.is_empty());
+        let mut dst = [9u8; 3];
+        assert_eq!(scatter_spans(&mut dst, &[(0, 0)], &[]), 0);
+        assert_eq!(dst, [9, 9, 9]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn gather_out_of_bounds_panics() {
+        let src = [0u8; 8];
+        let mut out = Vec::new();
+        gather_spans(&src, &[(4, 8)], &mut out);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scatter_short_wire_panics() {
+        let mut dst = [0u8; 16];
+        scatter_spans(&mut dst, &[(0, 8)], &[1, 2, 3]);
+    }
+}

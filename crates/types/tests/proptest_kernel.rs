@@ -1,0 +1,122 @@
+//! Property-based byte-equality tests for the wide-copy pack kernels.
+//!
+//! The kernels in [`cartcomm_types::kernel`] replace the scalar
+//! `copy_from_slice` reference path on the packing hot path. They are
+//! only admissible if they are *bit-identical* to that reference for
+//! every span length (covering all dispatch regimes: the tiny
+//! overlapping-window ladder, the aligned-u64 mid-range, the 16-byte
+//! chunk loop, and the memcpy handoff) and every source/destination
+//! alignment, including odd offsets and misaligned tails. These tests
+//! pin exactly that, with proptest shrinking any divergence down to a
+//! minimal span list.
+
+use cartcomm_types::kernel;
+use proptest::prelude::*;
+
+/// A random span list over a source buffer, as (offset, len) pairs with
+/// deliberately odd offsets and lengths straddling every kernel dispatch
+/// boundary (tiny widths 0..=64, aligned-u64/chunk16 mid-range, and past
+/// the memcpy cut-over at 128).
+fn arb_spans() -> impl Strategy<Value = (Vec<u8>, Vec<kernel::PackSpan>)> {
+    proptest::collection::vec(
+        (
+            0usize..257, // raw offset gap before the span (any alignment)
+            prop_oneof![
+                0usize..=17,    // sub-word and word-window lengths
+                29usize..=71,   // around the TINY_MAX=64 boundary
+                120usize..=136, // around the MEMCPY_MIN=128 boundary
+                250usize..=300, // firmly in memcpy territory
+            ],
+        ),
+        0..12,
+    )
+    .prop_map(|gaps| {
+        let mut spans = Vec::with_capacity(gaps.len());
+        let mut end = 0usize;
+        for (gap, len) in gaps {
+            let off = end + gap;
+            spans.push((off, len));
+            end = off + len;
+        }
+        let src: Vec<u8> = (0..end + 1).map(|i| (i * 131 + 7) as u8).collect();
+        (src, spans)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `gather_spans` produces exactly the bytes of the scalar reference,
+    /// for random span lists at arbitrary alignments.
+    #[test]
+    fn gather_matches_scalar(case in arb_spans()) {
+        let (src, spans) = case;
+        let mut fast = Vec::new();
+        let mut slow = Vec::new();
+        let nf = kernel::gather_spans(&src, &spans, &mut fast);
+        let ns = kernel::gather_spans_scalar(&src, &spans, &mut slow);
+        prop_assert_eq!(nf, ns);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Gathering into a non-empty wire appends after the existing bytes
+    /// without disturbing them — identically on both paths.
+    #[test]
+    fn gather_append_matches_scalar(case in arb_spans(), prefix in 0usize..9) {
+        let (src, spans) = case;
+        let seed: Vec<u8> = (0..prefix).map(|i| 0xB0 | i as u8).collect();
+        let mut fast = seed.clone();
+        let mut slow = seed;
+        kernel::gather_spans(&src, &spans, &mut fast);
+        kernel::gather_spans_scalar(&src, &spans, &mut slow);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// `scatter_spans` writes exactly the bytes the scalar reference
+    /// writes — same spans, same wire, untouched bytes left untouched.
+    #[test]
+    fn scatter_matches_scalar(case in arb_spans()) {
+        let (src, spans) = case;
+        let total: usize = spans.iter().map(|&(_, l)| l).sum();
+        let wire: Vec<u8> = (0..total).map(|i| (i * 173 + 3) as u8).collect();
+        // `src` doubles as the destination footprint bound here.
+        let mut fast = vec![0xEEu8; src.len()];
+        let mut slow = fast.clone();
+        let nf = kernel::scatter_spans(&mut fast, &spans, &wire);
+        let ns = kernel::scatter_spans_scalar(&mut slow, &spans, &wire);
+        prop_assert_eq!(nf, ns);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// `copy_wide` equals `copy_from_slice` for every (len, src align,
+    /// dst align) combination the strategy produces, with guard bytes
+    /// proving no overrun on either side.
+    #[test]
+    fn copy_wide_matches_copy_from_slice(
+        len in 0usize..300,
+        soff in 0usize..16,
+        doff in 0usize..16,
+    ) {
+        let src: Vec<u8> = (0..soff + len).map(|i| (i * 37 + 11) as u8).collect();
+        let mut fast = vec![0x77u8; doff + len + 8];
+        let mut slow = fast.clone();
+        kernel::copy_wide(&mut fast[doff..doff + len], &src[soff..]);
+        slow[doff..doff + len].copy_from_slice(&src[soff..soff + len]);
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Gather then scatter through the kernel round-trips: scattering the
+    /// gathered wire back through the same spans reproduces the source on
+    /// every covered byte.
+    #[test]
+    fn gather_scatter_roundtrip(case in arb_spans()) {
+        let (src, spans) = case;
+        let mut wire = Vec::new();
+        kernel::gather_spans(&src, &spans, &mut wire);
+        let mut dst = vec![0u8; src.len()];
+        kernel::scatter_spans(&mut dst, &spans, &wire);
+        for &(off, len) in &spans {
+            prop_assert_eq!(&dst[off..off + len], &src[off..off + len]);
+        }
+    }
+}
