@@ -21,7 +21,7 @@ fn run_collective(variant: &'static str, m: usize, iters: u64) -> Duration {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let topo = CartTopology::torus(&dims).unwrap();
-    let totals = Universe::run(16, |comm| {
+    let totals = Universe::builder(16).run(|comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
         let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
@@ -65,7 +65,7 @@ fn run_persistent(variant: &'static str, m: usize, iters: u64) -> Duration {
     let dims = [4usize, 4];
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    let totals = Universe::run(16, |comm| {
+    let totals = Universe::builder(16).run(|comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
         let send = vec![1i32; t * m];
         let mut recv = vec![0i32; t * m];

@@ -71,7 +71,7 @@ fn run_exec(stencil: &Stencil, variant: &'static str, mb: usize, iters: u64) -> 
     let t = nb.len();
     let p: usize = stencil.dims.iter().product();
     let periods = vec![true; stencil.dims.len()];
-    let totals = Universe::run(p, |comm| {
+    let totals = Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, stencil.dims, &periods, nb.clone()).unwrap();
         let send = vec![1u8; t * mb];
         let mut recv = vec![0u8; t * mb];

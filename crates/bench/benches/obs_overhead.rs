@@ -31,7 +31,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 fn run_mode(mode: &'static str, mb: usize, iters: u64) -> Duration {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    let totals = Universe::run(16, |comm| {
+    let totals = Universe::builder(16).run(|comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
         let mut handle = cart.alltoall_init::<u8>(mb, Algo::Combining).unwrap();
         let send = vec![1u8; t * mb];

@@ -33,7 +33,7 @@ fn opts_for(mode: &'static str) -> ExchangeOpts {
 /// One timed run: both ranks loop `iters` paired exchanges of `m` bytes
 /// in the given delivery mode; returns the slower rank's elapsed time.
 fn run_mode(mode: &'static str, m: usize, iters: u64) -> Duration {
-    let totals = Universe::run(2, |comm: &mut Comm| {
+    let totals = Universe::builder(2).run(|comm: &mut Comm| {
         let peer = 1 - comm.rank();
         let payload = vec![0xA5u8; m];
         let specs = [RecvSpec::from_rank(peer, TAG)];

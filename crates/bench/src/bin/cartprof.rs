@@ -1,5 +1,5 @@
 //! Cross-rank profiler CLI: run a configurable collective workload under
-//! `Universe::run_profiled`, assemble the global round DAG, and report
+//! `Universe::builder(p).profiled(c)`, assemble the global round DAG, and report
 //! observed-vs-predicted accounting (Props 3.2/3.3), the critical path,
 //! an α-β fit of round latency vs wire bytes, and the measured cut-off
 //! `m*` — as a human table, a Perfetto-loadable trace, and a
@@ -235,20 +235,19 @@ fn profile_once(
         (phase_rounds, volume_blocks, hist)
     };
 
-    let run = match faults {
-        Some((seed, rate)) => Universe::run_profiled_on_with_faults(
-            w.transport,
-            p,
-            SINK_CAPACITY,
+    let mut cfg = Universe::builder(p).on(w.transport);
+    if let Some((seed, rate)) = faults {
+        cfg = cfg.faults(
             FaultSpec::new(seed).drop_rate(LinkSel::any().tags(CART_TAGS_LO, CART_TAGS_HI), rate),
-            body,
-        ),
-        None => Universe::run_profiled_on(w.transport, p, SINK_CAPACITY, body),
+        );
     }
-    .unwrap_or_else(|e| {
-        eprintln!("cannot bring up {} fabric: {e}", w.transport);
-        std::process::exit(2);
-    });
+    let run = cfg
+        .profiled(SINK_CAPACITY)
+        .try_run(body)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot bring up {} fabric: {e}", w.transport);
+            std::process::exit(2);
+        });
 
     let (phase_rounds, volume_blocks, _) = run.results[0].clone();
     let hists: Vec<Histogram> = run.results.into_iter().map(|(_, _, h)| h).collect();

@@ -32,7 +32,7 @@ pub fn measure_alltoall(
     let topo = CartTopology::torus(dims).expect("valid dims");
     let dims = dims.to_vec();
     let nb = nb.clone();
-    let per_rank = Universe::run(p, move |comm| {
+    let per_rank = Universe::builder(p).run(move |comm| {
         let periods = vec![true; dims.len()];
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
         let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
@@ -80,7 +80,7 @@ pub fn measure_allgather(
     let topo = CartTopology::torus(dims).expect("valid dims");
     let dims = dims.to_vec();
     let nb = nb.clone();
-    let per_rank = Universe::run(p, move |comm| {
+    let per_rank = Universe::builder(p).run(move |comm| {
         let periods = vec![true; dims.len()];
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
         let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();

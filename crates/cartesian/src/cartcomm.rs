@@ -1,7 +1,7 @@
 //! The Cartesian neighborhood communicator (`Cart_neighborhood_create`,
 //! Listing 1) and the relative-coordinate helper functions (Listing 2).
 
-use std::cell::{Cell, OnceCell, RefCell};
+use std::cell::{Cell, OnceCell};
 use std::sync::Arc;
 
 use cartcomm_comm::obs::TraceEvent;
@@ -12,12 +12,8 @@ use crate::compile::CompiledPlan;
 use crate::error::{CartError, CartResult};
 use crate::exec::{ExecLayouts, CART_TAG_BASE};
 use crate::plan::{Plan, PlanKind};
+use crate::plan_store::{schedule_key, store_key, PlanStore};
 use crate::schedule::{allgather_plan, alltoall_plan};
-
-/// Entries kept in the compiled-plan LRU (per communicator, per rank). A
-/// stencil code typically cycles through a handful of layouts at most, so
-/// a small cache captures the steady state without holding stale programs.
-const PLAN_CACHE_CAP: usize = 16;
 
 /// A communicator with a Cartesian topology and an isomorphic
 /// t-neighborhood attached — the object the paper's single new function
@@ -37,10 +33,14 @@ pub struct CartComm {
     reorder: bool,
     alltoall_plan: OnceCell<Arc<Plan>>,
     allgather_plan: OnceCell<Arc<Plan>>,
-    /// Fingerprint-keyed LRU of compiled programs (most recent first).
-    /// `CartComm` is owned by one rank's thread, so interior mutability
-    /// via `RefCell`/`Cell` is safe — the same reasoning as `OnceCell`.
-    compiled_cache: RefCell<Vec<(u128, Arc<CompiledPlan>)>>,
+    /// Where schedules and compiled programs live. Defaults to
+    /// [`PlanStore::global`], so every communicator in the process shares
+    /// one warm cache; [`CartComm::with_plan_store`] pins a private store
+    /// (isolation for tests and tenants that must not share).
+    store: Arc<PlanStore>,
+    /// Per-communicator attribution: this communicator's own store hits
+    /// and misses. `CartComm` is owned by one rank's thread, so interior
+    /// mutability via `Cell` is safe — the same reasoning as `OnceCell`.
     cache_hits: Cell<u64>,
     cache_misses: Cell<u64>,
 }
@@ -136,10 +136,20 @@ impl CartComm {
             reorder,
             alltoall_plan: OnceCell::new(),
             allgather_plan: OnceCell::new(),
-            compiled_cache: RefCell::new(Vec::new()),
+            store: PlanStore::global(),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
         })
+    }
+
+    /// Rebind this communicator to a private [`PlanStore`] instead of the
+    /// process-wide one. Existing per-communicator hit/miss counters and
+    /// lazily computed schedules are left untouched, so call this right
+    /// after creation. Use for isolation: tests that pin exact hit/miss
+    /// sequences, or tenants whose programs must not be co-resident.
+    pub fn with_plan_store(mut self, store: Arc<PlanStore>) -> Self {
+        self.store = store;
+        self
     }
 
     // ----- accessors --------------------------------------------------------
@@ -237,61 +247,61 @@ impl CartComm {
         Plans { cc: self }
     }
 
-    /// The schedule for `kind` (computed once, shared).
+    /// The schedule for `kind` (computed once per communicator via the
+    /// `OnceCell`, shared *across* communicators through the store: the
+    /// message-combining plan depends only on the neighborhood and kind).
     fn schedule_for(&self, kind: PlanKind) -> Arc<Plan> {
-        match kind {
-            PlanKind::Alltoall => Arc::clone(
-                self.alltoall_plan
-                    .get_or_init(|| Arc::new(alltoall_plan(&self.nb))),
-            ),
-            PlanKind::Allgather => Arc::clone(
-                self.allgather_plan
-                    .get_or_init(|| Arc::new(allgather_plan(&self.nb))),
-            ),
-        }
+        let cell = match kind {
+            PlanKind::Alltoall => &self.alltoall_plan,
+            PlanKind::Allgather => &self.allgather_plan,
+        };
+        Arc::clone(cell.get_or_init(|| {
+            self.store
+                .schedule(schedule_key(&self.nb, kind), || match kind {
+                    PlanKind::Alltoall => alltoall_plan(&self.nb),
+                    PlanKind::Allgather => allgather_plan(&self.nb),
+                })
+        }))
     }
 
-    /// Cache-or-compile core behind [`Plans::compiled`].
+    /// Store-or-compile core behind [`Plans::compiled`]: resolve the full
+    /// program identity (topology, neighborhood, rank, kind, layouts) to a
+    /// store key and look it up in this communicator's [`PlanStore`]. The
+    /// store shares programs process-wide; hit/miss counters, metrics, and
+    /// trace events here attribute each lookup to *this* communicator.
     fn compiled_for(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
         let obs = self.comm.obs();
-        let fp = lay.fingerprint(kind);
-        {
-            let mut cache = self.compiled_cache.borrow_mut();
-            if let Some(pos) = cache.iter().position(|(k, _)| *k == fp) {
-                let entry = cache.remove(pos);
-                let cp = Arc::clone(&entry.1);
-                cache.insert(0, entry);
-                self.cache_hits.set(self.cache_hits.get() + 1);
-                obs.metrics().plan_cache_hit();
-                obs.emit(
-                    self.rank(),
-                    TraceEvent::PlanCacheHit {
-                        fingerprint: fp as u64,
-                    },
-                );
-                return Ok(cp);
-            }
+        let key = store_key(&self.topo, &self.nb, self.rank(), kind, &lay);
+        let (cp, hit) = self.store.get_or_compile(key, || {
+            let plan = self.schedule_for(kind);
+            let lay = crate::ops::size_temp(lay, kind, plan.temp_slots)?;
+            Ok(Arc::new(CompiledPlan::compile(
+                &self.topo,
+                self.rank(),
+                &plan,
+                &lay,
+                CART_TAG_BASE,
+            )?))
+        })?;
+        if hit {
+            self.cache_hits.set(self.cache_hits.get() + 1);
+            obs.metrics().plan_cache_hit();
+            obs.emit(
+                self.rank(),
+                TraceEvent::PlanCacheHit {
+                    fingerprint: key as u64,
+                },
+            );
+        } else {
+            self.cache_misses.set(self.cache_misses.get() + 1);
+            obs.metrics().plan_cache_miss();
+            obs.emit(
+                self.rank(),
+                TraceEvent::PlanCacheMiss {
+                    fingerprint: key as u64,
+                },
+            );
         }
-        self.cache_misses.set(self.cache_misses.get() + 1);
-        obs.metrics().plan_cache_miss();
-        obs.emit(
-            self.rank(),
-            TraceEvent::PlanCacheMiss {
-                fingerprint: fp as u64,
-            },
-        );
-        let plan = self.schedule_for(kind);
-        let lay = crate::ops::size_temp(lay, kind, plan.temp_slots)?;
-        let cp = Arc::new(CompiledPlan::compile(
-            &self.topo,
-            self.rank(),
-            &plan,
-            &lay,
-            CART_TAG_BASE,
-        )?);
-        let mut cache = self.compiled_cache.borrow_mut();
-        cache.insert(0, (fp, Arc::clone(&cp)));
-        cache.truncate(PLAN_CACHE_CAP);
         Ok(cp)
     }
 
@@ -345,7 +355,10 @@ pub struct PlanCacheStats {
 /// Read-only view over a communicator's schedule and compiled-program
 /// caches, obtained from [`CartComm::plans`]. Schedules are computed
 /// lazily on first request and shared thereafter; compiled programs live
-/// in a fingerprint-keyed per-rank LRU.
+/// in the communicator's [`PlanStore`] — by default the process-wide
+/// [`PlanStore::global`], so they are shared with every other
+/// communicator of the same identity while hits and misses stay
+/// attributed per communicator.
 pub struct Plans<'a> {
     cc: &'a CartComm,
 }
@@ -367,24 +380,39 @@ impl Plans<'_> {
     }
 
     /// The compiled program for `kind` over `lay`, from the communicator's
-    /// fingerprint-keyed LRU cache. On a miss the schedule is (re)used from
-    /// the plan cache, temp-sized, compiled for this rank, and inserted;
-    /// on a hit the repeated `cart_alltoall`/`cart_allgather` call pays
-    /// neither schedule construction nor compilation. Requires combining
-    /// applicability (callers gate on [`CartComm::combining_applicable`]).
-    /// Hits and misses are counted here and surfaced both via
+    /// [`PlanStore`]. On a store miss the schedule is (re)used, temp-sized,
+    /// compiled for this rank, and inserted; on a hit — including a program
+    /// another communicator compiled — the call pays neither schedule
+    /// construction nor compilation. Requires combining applicability
+    /// (callers gate on [`CartComm::combining_applicable`]). Hits and
+    /// misses are attributed to this communicator via
     /// [`Plans::cache_stats`] and as `PlanCacheHit`/`PlanCacheMiss` trace
     /// events on the rank's [`cartcomm_comm::obs::Obs`] handle.
     pub fn compiled(&self, kind: PlanKind, lay: ExecLayouts) -> CartResult<Arc<CompiledPlan>> {
         self.cc.compiled_for(kind, lay)
     }
 
-    /// The cache key [`Plans::compiled`] would use for `kind` over `lay`.
+    /// The layout-shape fingerprint of `lay` for `kind` — one component of
+    /// the full store key (see [`Plans::store_key`]), and stable across
+    /// topologies and ranks.
     pub fn fingerprint(&self, kind: PlanKind, lay: &ExecLayouts) -> u128 {
         lay.fingerprint(kind)
     }
 
-    /// Compiled-plan cache telemetry since communicator creation.
+    /// The full [`PlanStore`] key [`Plans::compiled`] resolves for `kind`
+    /// over `lay`: topology (dims, periods, permutation) + rank +
+    /// neighborhood + kind + layout fingerprint.
+    pub fn store_key(&self, kind: PlanKind, lay: &ExecLayouts) -> u128 {
+        store_key(&self.cc.topo, &self.cc.nb, self.cc.rank(), kind, lay)
+    }
+
+    /// The [`PlanStore`] this communicator resolves programs in.
+    pub fn store(&self) -> &Arc<PlanStore> {
+        &self.cc.store
+    }
+
+    /// Store lookup telemetry attributed to this communicator since its
+    /// creation (the store's own aggregate is [`PlanStore::stats`]).
     pub fn cache_stats(&self) -> PlanCacheStats {
         PlanCacheStats {
             hits: self.cc.cache_hits.get(),

@@ -50,7 +50,7 @@
 //!
 //! // 9-point stencil halo exchange on a 3x3 torus, one i32 per neighbor.
 //! let nb = RelNeighborhood::moore(2, 1).unwrap();
-//! Universe::run(9, |comm| {
+//! Universe::builder(9).run(|comm| {
 //!     let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
 //!     let send: Vec<i32> = (0..8).map(|i| (cart.rank() * 10 + i) as i32).collect();
 //!     let mut recv = vec![0i32; 8];
@@ -73,6 +73,7 @@ pub mod halo;
 pub mod neighbor;
 pub mod ops;
 pub mod plan;
+pub mod plan_store;
 pub mod reduce;
 pub mod schedule;
 
@@ -81,3 +82,4 @@ pub use compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, Exe
 pub use cost::{cutoff_ratio, CostSummary};
 pub use error::{CartError, CartResult};
 pub use plan::{BlockRef, Loc, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};
+pub use plan_store::{PlanStore, PlanStoreStats};

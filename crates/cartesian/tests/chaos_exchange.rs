@@ -113,7 +113,7 @@ fn run_chaos_alltoall(
     let periods = vec![true; dims.len()];
     let topo = CartTopology::new(dims, &periods).unwrap();
     let t = nb.len();
-    let outs = Universe::run_with_faults(p, spec, |comm| {
+    let outs = Universe::builder(p).faults(spec).run(|comm| {
         comm.set_default_reliability(Some(policy));
         let cart = CartComm::create(comm, dims, &periods, nb.clone()).unwrap();
         let rank = cart.rank();
@@ -275,7 +275,7 @@ fn dead_link_surfaces_peer_unreachable_within_bound() {
     let spec = FaultSpec::new(0x00DE_AD11)
         .drop_rate(LinkSel::link(0, 1).tags(CART_TAGS_LO, CART_TAGS_HI), 1.0);
     let topo = CartTopology::new(&dims, &[true, true]).unwrap();
-    let outs = Universe::run_with_faults(9, spec, |comm| {
+    let outs = Universe::builder(9).faults(spec).run(|comm| {
         comm.set_default_reliability(Some(policy));
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();

@@ -56,7 +56,7 @@ fn check_alltoall_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhood
     let t = nb.len();
     let payload =
         |rank: usize, block: usize, e: usize| (rank * 1_000_000 + block * 1_000 + e) as i32;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, dims, periods, nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..t * m)
@@ -98,7 +98,7 @@ fn check_allgather_all_ways(dims: &[usize], periods: &[bool], nb: RelNeighborhoo
     let topo = CartTopology::new(dims, periods).unwrap();
     let t = nb.len();
     let payload = |rank: usize, e: usize| (rank * 1_000 + e) as i32;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, dims, periods, nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| payload(rank, e)).collect();
@@ -195,7 +195,7 @@ fn mesh_combining_covers_alltoall_and_allgather() {
     // replicated alltoall router); only the tree reduction stays
     // torus-gated (see the reductions test suite).
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[false, false], nb.clone()).unwrap();
         let send = vec![cart.rank() as i32];
         let mut a = vec![-1i32; 4];
@@ -265,7 +265,7 @@ fn alltoallv_matches_trivial_and_expected() {
         .collect();
     let total: usize = counts.iter().sum();
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..total).map(|x| (rank * 10_000 + x) as i32).collect();
@@ -312,7 +312,7 @@ fn alltoallw_with_column_datatypes() {
     // datatypes, no staging buffers.
     let nb = RelNeighborhood::new(1, vec![vec![-1], vec![1]]).unwrap();
     let col = Datatype::vector(4, 1, 4, &Datatype::int());
-    Universe::run(5, |comm| {
+    Universe::builder(5).run(|comm| {
         let cart = CartComm::create(comm, &[5], &[true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let matrix: Vec<i32> = (0..16).map(|x| rank * 100 + x).collect();
@@ -369,7 +369,7 @@ fn allgatherv_with_scattered_placement() {
     let displs: Vec<usize> = (0..t).map(|i| (t - 1 - i) * (m + 2)).collect();
     let total = t * (m + 2);
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| (rank * 100 + e) as i32).collect();
@@ -400,7 +400,7 @@ fn allgatherw_different_layout_per_source() {
     let nb = RelNeighborhood::new(1, vec![vec![1], vec![-1], vec![2]]).unwrap();
     let t = nb.len();
     let m = 4usize;
-    Universe::run(6, |comm| {
+    Universe::builder(6).run(|comm| {
         let cart = CartComm::create(comm, &[6], &[true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
@@ -439,7 +439,7 @@ fn persistent_alltoall_reuse_many_iterations() {
     let t = nb.len();
     let m = 2usize;
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
@@ -458,7 +458,7 @@ fn persistent_alltoall_reuse_many_iterations() {
 #[test]
 fn persistent_auto_selects_by_cutoff() {
     let nb = RelNeighborhood::moore(2, 1).unwrap(); // ratio = (8-4)/(12-8) = 1.0
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         // alpha/beta = 1000 bytes: m = 4 bytes -> combining; m = 1MB -> trivial.
         let small = cart
@@ -487,7 +487,7 @@ fn persistent_allgather_trivial_and_combining_agree() {
     let nb = RelNeighborhood::stencil_family(2, 4, -1).unwrap();
     let t = nb.len();
     let m = 3usize;
-    Universe::run(12, |comm| {
+    Universe::builder(12).run(|comm| {
         let cart = CartComm::create(comm, &[4, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..m).map(|e| (rank * 50 + e) as i32).collect();
@@ -505,7 +505,7 @@ fn persistent_allgather_trivial_and_combining_agree() {
 
 #[test]
 fn non_isomorphic_neighborhoods_rejected() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         // rank 0 supplies a different neighborhood
         let nb = if comm.rank() == 0 {
             RelNeighborhood::new(1, vec![vec![1], vec![-1]]).unwrap()
@@ -521,7 +521,7 @@ fn non_isomorphic_neighborhoods_rejected() {
 fn different_order_is_also_rejected() {
     // Listing 1 requires the *exact same list*; a permutation is not
     // Cartesian.
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         let nb = if comm.rank() == 0 {
             RelNeighborhood::new(1, vec![vec![1], vec![-1]]).unwrap()
         } else {
@@ -534,7 +534,7 @@ fn different_order_is_also_rejected() {
 
 #[test]
 fn size_mismatch_rejected() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let nb = RelNeighborhood::new(1, vec![vec![1]]).unwrap();
         let res = CartComm::create(comm, &[5], &[true], nb);
         assert!(res.is_err());
@@ -544,7 +544,7 @@ fn size_mismatch_rejected() {
 #[test]
 fn buffer_size_validation() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let send = vec![0i32; 7]; // not divisible by t = 8
         let mut recv = vec![0i32; 8];
@@ -561,7 +561,7 @@ fn buffer_size_validation() {
 fn dist_graph_promotion_detects_cartesian() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let detected = g.detect_cartesian(&topo).unwrap();
@@ -584,7 +584,7 @@ fn dist_graph_promotion_detects_cartesian() {
 #[test]
 fn dist_graph_detection_rejects_irregular_graph() {
     let topo = CartTopology::torus(&[4]).unwrap();
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         // Ring where rank 0 additionally talks to rank 2: degrees differ.
         let (sources, targets) = if comm.rank() == 0 {
             (vec![3, 2], vec![1, 2])

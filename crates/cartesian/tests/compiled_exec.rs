@@ -44,7 +44,7 @@ fn persistent_steady_state_is_allocation_free() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let m = 8usize;
-    let stats = Universe::run(16, |comm| {
+    let stats = Universe::builder(16).run(|comm| {
         let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
         let mut handle = cart.alltoall_init::<u64>(m, Algo::Combining).unwrap();
         let rounds = handle.compiled().expect("combining compiles").rounds();
@@ -100,8 +100,13 @@ fn plan_cache_shares_compiled_programs() {
     let dims = [3usize, 3];
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    Universe::run(9, |comm| {
-        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+    // Isolated store: other tests in this binary share the process-wide
+    // PlanStore and would perturb the pinned per-step deltas.
+    let store = cartcomm::PlanStore::new(4, 16);
+    Universe::builder(9).run(|comm| {
+        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone())
+            .unwrap()
+            .with_plan_store(store.clone());
         // Each step asserts what *that step alone* contributed, via
         // metrics deltas over the plan-cache counters.
         let cache_delta = |since: &cartcomm_comm::obs::MetricsSnapshot| {
@@ -144,6 +149,70 @@ fn plan_cache_shares_compiled_programs() {
         let s = cart.plans().cache_stats();
         assert_eq!((s.hits, s.misses), (3, 3));
     });
+}
+
+/// The process-wide store: a second communicator with the same topology,
+/// neighborhood, and layouts never compiles — its first lookup is a store
+/// hit on the program the first communicator produced — while hit/miss
+/// attribution stays per communicator.
+#[test]
+fn plan_store_shares_programs_across_communicators() {
+    let dims = [3usize, 3];
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let store = cartcomm::PlanStore::new(4, 16);
+    Universe::builder(9).run(|comm| {
+        let mk = || {
+            CartComm::create(comm, &dims, &[true, true], nb.clone())
+                .unwrap()
+                .with_plan_store(store.clone())
+        };
+        let send = vec![3i32; t * 4];
+        let mut recv = vec![0i32; t * 4];
+
+        // Tenant 1 compiles once, then hits.
+        let tenant1 = mk();
+        tenant1.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        tenant1.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        let s1 = tenant1.plans().cache_stats();
+        assert_eq!((s1.hits, s1.misses), (1, 1), "tenant 1 compiles once");
+
+        // Tenant 2, same identity: never compiles at all.
+        let tenant2 = mk();
+        tenant2.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        let s2 = tenant2.plans().cache_stats();
+        assert_eq!(
+            (s2.hits, s2.misses),
+            (1, 0),
+            "tenant 2's first lookup is a store hit"
+        );
+        // Both resolve the very same program object. The layouts must be
+        // un-temp-sized, exactly as the op path passes them (temp sizing
+        // happens inside the store miss path, after keying).
+        let m_bytes = 4 * std::mem::size_of::<i32>();
+        let blocks: Vec<BlockLayout> = (0..t)
+            .map(|i| BlockLayout::contiguous((i * m_bytes) as i64, m_bytes))
+            .collect();
+        let lay = ExecLayouts {
+            send: blocks.clone(),
+            recv: blocks,
+            block_bytes: vec![m_bytes; t],
+            temp_offsets: Vec::new(),
+            temp_sizes: Vec::new(),
+        };
+        let key = tenant1.plans().store_key(PlanKind::Alltoall, &lay);
+        assert_eq!(key, tenant2.plans().store_key(PlanKind::Alltoall, &lay));
+        let cp1 = tenant1
+            .plans()
+            .compiled(PlanKind::Alltoall, lay.clone())
+            .unwrap();
+        let cp2 = tenant2.plans().compiled(PlanKind::Alltoall, lay).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&cp1, &cp2), "one shared program");
+    });
+    // 9 ranks × 1 compile each; every other lookup across both tenants hit.
+    let s = store.stats();
+    assert_eq!(s.misses, 9, "one compile per rank process-wide");
+    assert!(s.hits >= 9 * 4, "all re-lookups served from the store");
 }
 
 /// Compiled programs agree with the plan: one compiled round per plan
@@ -244,7 +313,7 @@ fn fingerprints_separate_kinds_and_layouts() {
 /// total compiled round count equals the exchange's 2d messages.
 #[test]
 fn halo_phases_run_compiled_programs() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let elem = Datatype::bytes(4);
         let mut h = HaloExchange::new(comm, &[2, 2], &[2, 2], 1, &elem).unwrap();
         assert_eq!(h.compiled_rounds(), h.messages_per_exchange());

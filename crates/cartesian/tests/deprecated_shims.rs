@@ -8,7 +8,7 @@ use cartcomm::exec::{BlockLayout, ExecLayouts};
 use cartcomm::ops::{Algo, Algorithm, WBlock};
 use cartcomm::plan::PlanKind;
 use cartcomm::CartComm;
-use cartcomm_comm::Universe;
+use cartcomm_comm::{FaultSpec, TransportKind, Universe};
 use cartcomm_topo::RelNeighborhood;
 use cartcomm_types::Datatype;
 
@@ -16,7 +16,7 @@ fn on_torus<R: Send + 'static>(
     f: impl Fn(&CartComm) -> R + Send + Sync + Clone + 'static,
 ) -> Vec<R> {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
-    Universe::run(9, move |comm| {
+    Universe::builder(9).run(move |comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         f(&cart)
     })
@@ -110,7 +110,16 @@ fn v_and_w_trivial_shims_match() {
 
 #[test]
 fn plan_accessor_forwarders_match_plans_view() {
-    let outs = on_torus(|cart| {
+    // Isolated store: other tests in this binary (and this one's own
+    // shared 3x3 moore shape) would otherwise turn the pinned first miss
+    // into a process-wide hit.
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let store = cartcomm::PlanStore::new(4, 8);
+    let outs = Universe::builder(9).run(move |comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone())
+            .unwrap()
+            .with_plan_store(store.clone());
+        let cart = &cart;
         // Schedule forwarders return the same shared plans.
         let a_old = cart.alltoall_schedule();
         let a_new = cart.plans().alltoall();
@@ -148,6 +157,70 @@ fn plan_accessor_forwarders_match_plans_view() {
     for (h, m) in outs {
         assert_eq!((h, m), (1, 1));
     }
+}
+
+#[test]
+fn launcher_forwarders_match_builder() {
+    // The nine 0.2.x `Universe::run*` names forward onto one
+    // `Universe::builder` chain each; results must be indistinguishable.
+    let sum = |comm: &mut cartcomm_comm::Comm| {
+        let mut x = [comm.rank() as u64 + 1];
+        comm.allreduce(&mut x, |a, b| a + b).unwrap();
+        x[0]
+    };
+
+    assert_eq!(Universe::run(4, sum), Universe::builder(4).run(sum));
+    assert_eq!(
+        Universe::run_on(TransportKind::InProcess, 4, sum).unwrap(),
+        Universe::builder(4)
+            .on(TransportKind::InProcess)
+            .try_run(sum)
+            .unwrap()
+    );
+    assert_eq!(
+        Universe::run_with_stack(4, 4 << 20, sum),
+        Universe::builder(4).stack_bytes(4 << 20).run(sum)
+    );
+    assert_eq!(
+        Universe::run_with_faults(4, FaultSpec::new(7), sum),
+        Universe::builder(4).faults(FaultSpec::new(7)).run(sum)
+    );
+    assert_eq!(
+        Universe::run_on_with_faults(TransportKind::InProcess, 4, FaultSpec::new(7), sum).unwrap(),
+        vec![10; 4]
+    );
+}
+
+#[test]
+fn profiled_launcher_forwarders_match_builder() {
+    let mark = |comm: &mut cartcomm_comm::Comm| {
+        comm.obs().emit(
+            comm.rank(),
+            cartcomm_comm::obs::TraceEvent::PoolHit { bytes: comm.rank() },
+        );
+        comm.rank()
+    };
+    let old = Universe::run_profiled(3, 64, mark);
+    let new = Universe::builder(3).profiled(64).run(mark);
+    assert_eq!(old.results, new.results);
+    assert_eq!(old.traces.len(), new.traces.len());
+    assert!(old.traces.iter().all(|t| !t.is_empty()));
+
+    let on = Universe::run_profiled_on(TransportKind::InProcess, 3, 64, mark).unwrap();
+    assert_eq!(on.results, vec![0, 1, 2]);
+
+    let faulty = Universe::run_profiled_with_faults(3, 64, FaultSpec::new(9), mark);
+    assert_eq!(faulty.results, vec![0, 1, 2]);
+
+    let both = Universe::run_profiled_on_with_faults(
+        TransportKind::InProcess,
+        3,
+        64,
+        FaultSpec::new(9),
+        mark,
+    )
+    .unwrap();
+    assert_eq!(both.results, vec![0, 1, 2]);
 }
 
 #[test]

@@ -22,7 +22,7 @@ fn multi_hop_forwarding_through_strided_recv_layout() {
     let span = 3 * m - 2;
     let strided = Datatype::vector(m, 1, 3, &Datatype::int());
     let contig = Datatype::contiguous(m, &Datatype::int());
-    Universe::run(27, |comm| {
+    Universe::builder(27).run(|comm| {
         let cart = CartComm::create(comm, &dims, &[true; 3], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let send: Vec<i32> = (0..m as i32).map(|e| rank * 100 + e).collect();
@@ -54,7 +54,7 @@ fn multi_hop_forwarding_through_strided_recv_layout() {
 #[test]
 fn overlapping_send_blocks_are_legal() {
     let nb = RelNeighborhood::new(1, vec![vec![1], vec![-1]]).unwrap();
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let cart = CartComm::create(comm, &[4], &[true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let data: Vec<i32> = vec![rank * 10, rank * 10 + 1];
@@ -92,7 +92,7 @@ fn zero_count_blocks_in_alltoallv() {
         .collect();
     let total: usize = counts.iter().sum();
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..total).map(|x| (rank * 50 + x) as i32).collect();
@@ -135,7 +135,7 @@ fn wrap_to_self_with_w_types() {
     // On a 2-torus, offset (2) wraps to self: the combining schedule sends
     // a real message to itself.
     let nb = RelNeighborhood::new(1, vec![vec![2], vec![1]]).unwrap();
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         let cart = CartComm::create(comm, &[2], &[true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let send = vec![rank * 7, rank * 7 + 1];
@@ -159,7 +159,7 @@ fn wrap_to_self_with_w_types() {
 #[test]
 fn ops_error_paths() {
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let int1 = Datatype::int();
         // too few recv specs
@@ -198,7 +198,7 @@ fn ops_error_paths() {
 #[test]
 fn persistent_in_place_roundtrip() {
     let nb = RelNeighborhood::new(1, vec![vec![1], vec![-1]]).unwrap();
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let cart = CartComm::create(comm, &[4], &[true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let mut h = cart.alltoall_init::<i32>(1, Algo::Combining).unwrap();

@@ -31,7 +31,7 @@ fn check_halo(proc_dims: &[usize], inner: &[usize], depth: usize) {
 
     let proc_dims = proc_dims.to_vec();
     let inner = inner.to_vec();
-    let failures = Universe::run(p, |comm| {
+    let failures = Universe::builder(p).run(|comm| {
         let mut halo = HaloExchange::new(
             comm,
             &proc_dims,
@@ -121,7 +121,7 @@ fn halo_4d() {
 #[test]
 fn volume_beats_naive_at_depth2() {
     // depth-2 corners are 2^d blocks the naive exchange duplicates.
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let halo = HaloExchange::new(comm, &[2, 2], &[6, 6], 2, &Datatype::double()).unwrap();
         assert!(
             halo.bytes_per_exchange() < halo.naive_bytes() + 1,
@@ -136,7 +136,7 @@ fn volume_beats_naive_at_depth2() {
 
 #[test]
 fn validation_errors() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         // depth too large
         assert!(HaloExchange::new(comm, &[2, 2], &[2, 2], 3, &Datatype::double()).is_err());
         // zero depth
@@ -178,7 +178,7 @@ fn repeated_exchanges_converge_like_jacobi() {
         std::mem::swap(&mut ref_cur, &mut ref_next);
     }
 
-    let tiles = Universe::run(P * P, |comm| {
+    let tiles = Universe::builder(P * P).run(|comm| {
         let mut halo = HaloExchange::new(comm, &[P, P], &[N, N], 1, &Datatype::double()).unwrap();
         let coords = topo.coords_of(comm.rank());
         let w = N + 2;

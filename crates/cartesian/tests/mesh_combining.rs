@@ -12,7 +12,7 @@ fn check(dims: &[usize], periods: &[bool], nb: RelNeighborhood, m: usize) {
     let topo = CartTopology::new(dims, periods).unwrap();
     let t = nb.len();
     let payload = |rank: usize, block: usize, e: usize| (rank * 10_000 + block * 10 + e) as i32;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, dims, periods, nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..t * m)
@@ -154,7 +154,7 @@ fn irregular_v_on_mesh() {
         })
         .collect();
     let total: usize = counts.iter().sum();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[false, false], nb.clone()).unwrap();
         let rank = cart.rank();
         let send: Vec<i32> = (0..total).map(|x| (rank * 100 + x) as i32).collect();

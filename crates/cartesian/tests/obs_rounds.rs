@@ -31,7 +31,7 @@ fn observe_combining(
     let nb = nb.clone();
     let dims = dims.to_vec();
     let mut cv = (0usize, 0usize);
-    let outs = Universe::run(p, |comm| {
+    let outs = Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
         let rank = cart.rank();
         let plan = if allgather {
@@ -134,7 +134,7 @@ fn trivial_rounds_match_t_and_direct_volume() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let m = 3usize;
-    let outs = Universe::run(9, |comm| {
+    let outs = Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let sink = Arc::new(RingBufferSink::new(256));
         cart.comm().obs().attach_sink(sink.clone());
@@ -171,8 +171,13 @@ fn combining_beats_trivial_round_count() {
 fn plan_cache_events_fire_on_hit_and_miss() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    let outs = Universe::run(9, |comm| {
-        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
+    // Isolated store: concurrent tests in this binary share the global
+    // PlanStore and would turn this test's pinned miss into a hit.
+    let store = cartcomm::PlanStore::new(4, 8);
+    let outs = Universe::builder(9).run(|comm| {
+        let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone())
+            .unwrap()
+            .with_plan_store(store.clone());
         let sink = Arc::new(RingBufferSink::new(1024));
         cart.comm().obs().attach_sink(sink.clone());
         let send: Vec<i32> = (0..t).map(|x| x as i32).collect();
@@ -207,7 +212,7 @@ fn metrics_counters_match_trace() {
     // counter fields.
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
     let t = nb.len();
-    let outs = Universe::run(9, |comm| {
+    let outs = Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let before = cart.comm().obs().snapshot();
         let sink = Arc::new(RingBufferSink::new(256));

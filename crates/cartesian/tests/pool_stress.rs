@@ -20,7 +20,7 @@ fn run_stress(algo: Algo, expect_combining: bool) {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let m = 32usize; // elements per block
-    Universe::run(16, move |comm| {
+    Universe::builder(16).run(move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
         let mut handle = cart.alltoall_init::<u64>(m, algo).unwrap();
         assert_eq!(handle.is_combining(), expect_combining);
@@ -88,7 +88,7 @@ fn persistent_allgather_converges_with_full_hit_rate() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
     let m = 16usize;
-    Universe::run(16, move |comm| {
+    Universe::builder(16).run(move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
         let mut handle = cart.allgather_init::<u64>(m, Algo::Combining).unwrap();
         let send: Vec<u64> = (0..m).map(|i| (cart.rank() * 1000 + i) as u64).collect();
@@ -117,7 +117,7 @@ fn first_execute_after_init_already_hits() {
     // are peers' sends, retargeted — they never count as local misses.)
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    Universe::run(16, move |comm| {
+    Universe::builder(16).run(move |comm| {
         let cart = CartComm::create(comm, &[4, 4], &[true, true], nb.clone()).unwrap();
         let mut handle = cart.alltoall_init::<u64>(8, Algo::Combining).unwrap();
         cart.comm().wire_pool().reset_stats();

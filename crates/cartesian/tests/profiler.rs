@@ -1,6 +1,6 @@
 //! Profiler pinning tests: deterministic DES timelines (ManualClock model
 //! time) where the critical path and skew are *exact*, plus a threaded
-//! `Universe::run_profiled` integration run checked against the schedule
+//! `Universe::builder(p).profiled(c)` integration run checked against the schedule
 //! analysis (Props 3.2/3.3).
 
 use cartcomm::ops::Algo;
@@ -162,7 +162,7 @@ fn threaded_profiled_run_matches_schedule_analysis() {
     let p = 9usize;
 
     let nb2 = nb.clone();
-    let run = Universe::run_profiled(p, 8192, move |comm| {
+    let run = Universe::builder(p).profiled(8192).run(move |comm| {
         let cart = CartComm::create(comm, &dims, &periods, nb2.clone()).unwrap();
         let rank = cart.rank();
         let plan = cart.plans().alltoall();

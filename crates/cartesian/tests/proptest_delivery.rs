@@ -285,7 +285,7 @@ proptest! {
         let t = nb.len();
         let p: usize = dims.iter().product();
         let periods = vec![true; dims.len()];
-        let results = Universe::run(p, |comm| {
+        let results = Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<u8> = (0..t * m)

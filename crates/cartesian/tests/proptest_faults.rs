@@ -114,7 +114,7 @@ proptest! {
             .dup_rate(sel(), dup, 1)
             .reorder_rate(sel(), reorder);
 
-        let outs = Universe::run_with_faults(p, spec, |comm| {
+        let outs = Universe::builder(p).faults(spec).run(|comm| {
             comm.set_default_reliability(Some(policy));
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();

@@ -60,7 +60,7 @@ proptest! {
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let t = nb.len();
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, move |comm| {
+        let results = Universe::builder(p).run(move |comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<u8> = (0..m_bytes).map(|i| (rank * 31 + i * 7 + 1) as u8).collect();
@@ -83,7 +83,7 @@ proptest! {
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let t = nb.len();
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, move |comm| {
+        let results = Universe::builder(p).run(move |comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<u8> = (0..t * m_bytes).map(|i| (rank * 13 + i * 5 + 2) as u8).collect();

@@ -51,7 +51,7 @@ proptest! {
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let t = nb.len();
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, |comm| {
+        let results = Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
@@ -73,7 +73,7 @@ proptest! {
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let t = nb.len();
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, |comm| {
+        let results = Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
@@ -96,7 +96,7 @@ proptest! {
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let t = nb.len();
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, |comm| {
+        let results = Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
@@ -121,7 +121,7 @@ proptest! {
         let periods = vec![true; dims.len()]; // tree reduce is torus-only
         let nb = RelNeighborhood::new(dims.len(), offsets).expect("valid");
         let p: usize = dims.iter().product();
-        let results = Universe::run(p, |comm| {
+        let results = Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
             let rank = cart.rank();
             let mut a: Vec<i64> = (0..m).map(|e| (rank * 7 + e) as i64).collect();

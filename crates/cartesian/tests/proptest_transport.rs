@@ -60,17 +60,19 @@ fn compiled_alltoall_on(
     let t = nb.len();
     let p: usize = dims.iter().product();
     let periods = vec![true; d];
-    Universe::run_on(kind, p, |comm| {
-        let cart = CartComm::create(comm, dims, &periods, nb.clone()).unwrap();
-        let rank = cart.rank();
-        let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
-        let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
-        let mut recv = vec![-7i32; t * m];
-        handle.execute_typed(&cart, &send, &mut recv).unwrap();
-        cart.comm().barrier().unwrap();
-        recv
-    })
-    .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"))
+    Universe::builder(p)
+        .on(kind)
+        .try_run(|comm| {
+            let cart = CartComm::create(comm, dims, &periods, nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
+            let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
+            let mut recv = vec![-7i32; t * m];
+            handle.execute_typed(&cart, &send, &mut recv).unwrap();
+            cart.comm().barrier().unwrap();
+            recv
+        })
+        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"))
 }
 
 proptest! {

@@ -31,7 +31,7 @@ fn check_reduce(dims: &[usize], nb: RelNeighborhood, m: usize) {
     let topo = CartTopology::torus(dims).unwrap();
     let periods = vec![true; dims.len()];
     let own = |rank: usize, e: usize| (rank * 100 + e) as i64;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, dims, &periods, nb.clone()).unwrap();
         let rank = cart.rank();
         let expect = expected_sum(&topo, &nb, rank, m, own);
@@ -122,7 +122,7 @@ fn max_operator() {
     // A non-additive commutative operator.
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let topo = CartTopology::torus(&[3, 3]).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         let mut acc = [rank as i64 * 7 % 5];
@@ -140,7 +140,7 @@ fn max_operator() {
 #[test]
 fn float_reduction() {
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let mut a = [cart.rank() as f64, 1.0];
         let mut b = a;
@@ -154,7 +154,7 @@ fn float_reduction() {
 #[test]
 fn empty_blocks() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let mut acc: [i32; 0] = [];
         cart.neighbor_reduce(&mut acc, |a, b| a + b).unwrap();
@@ -166,7 +166,7 @@ fn empty_blocks() {
 #[test]
 fn mesh_falls_back_to_error_for_combining() {
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[false, false], nb.clone()).unwrap();
         let mut acc = [1i32];
         assert!(matches!(

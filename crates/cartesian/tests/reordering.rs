@@ -18,7 +18,7 @@ fn reordered_alltoall_delivers_correctly() {
         .unwrap()
         .with_permutation(brick_permutation(&dims, cores).unwrap())
         .unwrap();
-    Universe::run(16, |comm| {
+    Universe::builder(16).run(|comm| {
         let cart = CartComm::create_reordered(comm, &dims, &[true, true], nb.clone(), None, cores)
             .unwrap();
         assert!(cart.topology().is_reordered());
@@ -48,7 +48,7 @@ fn reordered_allgather_and_reduce_agree_with_identity_results() {
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
     let t = nb.len();
     let cores = 4usize;
-    let totals = Universe::run(16, |comm| {
+    let totals = Universe::builder(16).run(|comm| {
         let cart = CartComm::create_reordered(comm, &dims, &[true, true], nb.clone(), None, cores)
             .unwrap();
         let send = [cart.rank() as i64];
@@ -83,7 +83,7 @@ fn reordering_reduces_internode_traffic_for_stencils() {
 #[test]
 fn incompatible_node_size_is_an_error() {
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         // 9 processes cannot form 2-core nodes
         let res = CartComm::create_reordered(comm, &[3, 3], &[true, true], nb.clone(), None, 2);
         assert!(res.is_err());
@@ -94,7 +94,7 @@ fn incompatible_node_size_is_an_error() {
 fn listing2_helpers_respect_permutation() {
     let dims = [4usize, 4];
     let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-    Universe::run(16, |comm| {
+    Universe::builder(16).run(|comm| {
         let cart =
             CartComm::create_reordered(comm, &dims, &[true, true], nb.clone(), None, 4).unwrap();
         let rank = cart.rank();

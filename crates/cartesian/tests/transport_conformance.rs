@@ -116,36 +116,39 @@ fn point_to_point_is_exactly_once_and_fifo_per_link() {
     for kind in backends() {
         let p = 4usize;
         let k = 25usize;
-        Universe::run_on(kind, p, |comm| {
-            let rank = comm.rank();
-            for dst in 0..p {
-                for i in 0..k {
-                    comm.send_bytes(
-                        dst,
-                        CART_TAGS_LO + dst as Tag,
-                        vec![rank as u8, i as u8, dst as u8],
-                    )
-                    .unwrap();
+        Universe::builder(p)
+            .on(kind)
+            .try_run(|comm| {
+                let rank = comm.rank();
+                for dst in 0..p {
+                    for i in 0..k {
+                        comm.send_bytes(
+                            dst,
+                            CART_TAGS_LO + dst as Tag,
+                            vec![rank as u8, i as u8, dst as u8],
+                        )
+                        .unwrap();
+                    }
                 }
-            }
-            for src in 0..p {
-                for i in 0..k {
-                    let (bytes, status) = comm.recv_bytes(src, CART_TAGS_LO + rank as Tag).unwrap();
-                    assert_eq!(status.src, src, "backend {kind}");
-                    assert_eq!(
-                        bytes,
-                        vec![src as u8, i as u8, rank as u8],
-                        "backend {kind}: rank {rank} message {i} from {src} out of order"
-                    );
+                for src in 0..p {
+                    for i in 0..k {
+                        let (bytes, status) =
+                            comm.recv_bytes(src, CART_TAGS_LO + rank as Tag).unwrap();
+                        assert_eq!(status.src, src, "backend {kind}");
+                        assert_eq!(
+                            bytes,
+                            vec![src as u8, i as u8, rank as u8],
+                            "backend {kind}: rank {rank} message {i} from {src} out of order"
+                        );
+                    }
                 }
-            }
-            comm.barrier().unwrap();
-            assert!(
-                comm.iprobe(ANY_SOURCE, ANY_TAG).unwrap().is_none(),
-                "backend {kind}: stray message after all {k} × {p} receives"
-            );
-        })
-        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
+                comm.barrier().unwrap();
+                assert!(
+                    comm.iprobe(ANY_SOURCE, ANY_TAG).unwrap().is_none(),
+                    "backend {kind}: stray message after all {k} × {p} receives"
+                );
+            })
+            .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
     }
 }
 
@@ -165,33 +168,35 @@ fn alltoall_executors_byte_identical_on_every_backend() {
     let m = 3usize;
     let mut reference: Option<Vec<Vec<i32>>> = None;
     for kind in backends() {
-        let outs = Universe::run_on(kind, 9, |comm| {
-            let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-            let rank = cart.rank();
-            let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
-            let expect = expected_alltoall(&topo, &nb, rank, m);
+        let outs = Universe::builder(9)
+            .on(kind)
+            .try_run(|comm| {
+                let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+                let rank = cart.rank();
+                let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
+                let expect = expected_alltoall(&topo, &nb, rank, m);
 
-            let mut trivial = vec![-1i32; t * m];
-            cart.alltoall(&send, &mut trivial, Algo::Trivial).unwrap();
-            assert_eq!(trivial, expect, "trivial diverged, rank {rank} on {kind}");
+                let mut trivial = vec![-1i32; t * m];
+                cart.alltoall(&send, &mut trivial, Algo::Trivial).unwrap();
+                assert_eq!(trivial, expect, "trivial diverged, rank {rank} on {kind}");
 
-            let mut combining = vec![-1i32; t * m];
-            cart.alltoall(&send, &mut combining, Algo::Combining)
-                .unwrap();
-            assert_eq!(
-                combining, expect,
-                "combining diverged, rank {rank} on {kind}"
-            );
+                let mut combining = vec![-1i32; t * m];
+                cart.alltoall(&send, &mut combining, Algo::Combining)
+                    .unwrap();
+                assert_eq!(
+                    combining, expect,
+                    "combining diverged, rank {rank} on {kind}"
+                );
 
-            let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
-            let mut compiled = vec![-1i32; t * m];
-            handle.execute_typed(&cart, &send, &mut compiled).unwrap();
-            assert_eq!(compiled, expect, "compiled diverged, rank {rank} on {kind}");
+                let mut handle = cart.alltoall_init::<i32>(m, Algo::Combining).unwrap();
+                let mut compiled = vec![-1i32; t * m];
+                handle.execute_typed(&cart, &send, &mut compiled).unwrap();
+                assert_eq!(compiled, expect, "compiled diverged, rank {rank} on {kind}");
 
-            cart.comm().barrier().unwrap();
-            trivial
-        })
-        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
+                cart.comm().barrier().unwrap();
+                trivial
+            })
+            .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
         match &reference {
             None => reference = Some(outs),
             Some(r) => assert_eq!(r, &outs, "backend {kind} disagrees with the first backend"),
@@ -211,22 +216,24 @@ fn props_32_33_hold_on_every_backend() {
     let m = 3usize;
     let m_bytes = m * std::mem::size_of::<i32>();
     for kind in backends() {
-        let outs = Universe::run_on(kind, 9, |comm| {
-            let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-            let rank = cart.rank();
-            let plan = cart.plans().alltoall();
-            let (c, v) = (plan.rounds as u64, plan.volume_blocks as u64);
-            let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
-            let mut recv = vec![-1i32; t * m];
-            cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        let outs = Universe::builder(9)
+            .on(kind)
+            .try_run(|comm| {
+                let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+                let rank = cart.rank();
+                let plan = cart.plans().alltoall();
+                let (c, v) = (plan.rounds as u64, plan.volume_blocks as u64);
+                let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
+                let mut recv = vec![-1i32; t * m];
+                cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
 
-            let before = cart.comm().metrics();
-            cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
-            let delta = cart.comm().metrics().since(&before);
-            cart.comm().barrier().unwrap();
-            (delta.rounds_completed, delta.wire_bytes_sent, c, v)
-        })
-        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
+                let before = cart.comm().metrics();
+                cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+                let delta = cart.comm().metrics().since(&before);
+                cart.comm().barrier().unwrap();
+                (delta.rounds_completed, delta.wire_bytes_sent, c, v)
+            })
+            .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
         for (rank, (rounds, wire, c, v)) in outs.into_iter().enumerate() {
             assert_eq!(
                 rounds, c,
@@ -259,36 +266,39 @@ fn chaos_alltoall_on(
     let topo = CartTopology::new(&dims, &[true, true]).unwrap();
     let t = nb.len();
     let m = 2usize;
-    let outs = Universe::run_on_with_faults(kind, 9, spec, |comm| {
-        comm.set_default_reliability(Some(policy));
-        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-        let rank = cart.rank();
-        let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
-        let expect = expected_alltoall(&topo, &nb, rank, m);
-        let before = cart.comm().metrics();
+    let outs = Universe::builder(9)
+        .on(kind)
+        .faults(spec)
+        .try_run(|comm| {
+            comm.set_default_reliability(Some(policy));
+            let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+            let rank = cart.rank();
+            let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
+            let expect = expected_alltoall(&topo, &nb, rank, m);
+            let before = cart.comm().metrics();
 
-        let mut recv = vec![-1i32; t * m];
-        cart.alltoall(&send, &mut recv, Algo::Trivial).unwrap();
-        assert_eq!(
-            recv, expect,
-            "trivial diverged on {kind}, rank {rank} seed {seed}"
-        );
+            let mut recv = vec![-1i32; t * m];
+            cart.alltoall(&send, &mut recv, Algo::Trivial).unwrap();
+            assert_eq!(
+                recv, expect,
+                "trivial diverged on {kind}, rank {rank} seed {seed}"
+            );
 
-        let mut recv2 = vec![-1i32; t * m];
-        cart.alltoall(&send, &mut recv2, Algo::Combining).unwrap();
-        assert_eq!(
-            recv2, expect,
-            "combining diverged on {kind}, rank {rank} seed {seed}"
-        );
+            let mut recv2 = vec![-1i32; t * m];
+            cart.alltoall(&send, &mut recv2, Algo::Combining).unwrap();
+            assert_eq!(
+                recv2, expect,
+                "combining diverged on {kind}, rank {rank} seed {seed}"
+            );
 
-        cart.comm().barrier().unwrap();
-        let d = cart.comm().metrics().since(&before);
-        (
-            (d.retransmits, d.dup_drops),
-            cart.comm().fault_stats().unwrap(),
-        )
-    })
-    .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
+            cart.comm().barrier().unwrap();
+            let d = cart.comm().metrics().since(&before);
+            (
+                (d.retransmits, d.dup_drops),
+                cart.comm().fault_stats().unwrap(),
+            )
+        })
+        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
     let stats = outs[0].1;
     (outs.into_iter().map(|(d, _)| d).collect(), stats)
 }
@@ -363,25 +373,28 @@ fn dead_peer_surfaces_unreachable_on_every_backend() {
     for kind in backends() {
         let spec = FaultSpec::new(0x00DE_AD11)
             .drop_rate(LinkSel::link(0, 1).tags(CART_TAGS_LO, CART_TAGS_HI), 1.0);
-        let outs = Universe::run_on_with_faults(kind, 9, spec, |comm| {
-            comm.set_default_reliability(Some(policy));
-            let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
-            let rank = cart.rank();
-            let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
-            let mut recv = vec![-1i32; t * m];
-            let res = cart.alltoall(&send, &mut recv, Algo::Trivial);
-            if res.is_ok() {
-                assert_eq!(
-                    recv,
-                    expected_alltoall(&topo, &nb, rank, m),
-                    "backend {kind}"
-                );
-            }
-            // Keep every rank alive until all retry tails have wound down.
-            cart.comm().barrier().unwrap();
-            res
-        })
-        .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
+        let outs = Universe::builder(9)
+            .on(kind)
+            .faults(spec)
+            .try_run(|comm| {
+                comm.set_default_reliability(Some(policy));
+                let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+                let rank = cart.rank();
+                let send: Vec<i32> = (0..t * m).map(|x| payload(rank, x / m, x % m)).collect();
+                let mut recv = vec![-1i32; t * m];
+                let res = cart.alltoall(&send, &mut recv, Algo::Trivial);
+                if res.is_ok() {
+                    assert_eq!(
+                        recv,
+                        expected_alltoall(&topo, &nb, rank, m),
+                        "backend {kind}"
+                    );
+                }
+                // Keep every rank alive until all retry tails have wound down.
+                cart.comm().barrier().unwrap();
+                res
+            })
+            .unwrap_or_else(|e| panic!("backend {kind} failed to launch: {e}"));
         let mut survivors = 0;
         for (rank, res) in outs.into_iter().enumerate() {
             match rank {

@@ -1,0 +1,167 @@
+//! Pre-0.3.0 launcher entry points, kept as one-line forwarders onto the
+//! [`Universe::builder`] / [`RunConfig`] API so downstream code can
+//! migrate at its own pace. Each maps mechanically:
+//!
+//! | 0.2.x call                                   | 0.3.0 builder chain                                    |
+//! |----------------------------------------------|--------------------------------------------------------|
+//! | `run(p, f)`                                  | `builder(p).run(f)`                                    |
+//! | `run_on(k, p, f)`                            | `builder(p).on(k).try_run(f)`                          |
+//! | `run_with_faults(p, s, f)`                   | `builder(p).faults(s).run(f)`                          |
+//! | `run_on_with_faults(k, p, s, f)`             | `builder(p).on(k).faults(s).try_run(f)`                |
+//! | `run_profiled(p, c, f)`                      | `builder(p).profiled(c).run(f)`                        |
+//! | `run_profiled_on(k, p, c, f)`                | `builder(p).on(k).profiled(c).try_run(f)`              |
+//! | `run_profiled_with_faults(p, c, s, f)`       | `builder(p).faults(s).profiled(c).run(f)`              |
+//! | `run_profiled_on_with_faults(k, p, c, s, f)` | `builder(p).on(k).faults(s).profiled(c).try_run(f)`    |
+//! | `run_with_stack(p, b, f)`                    | `builder(p).stack_bytes(b).run(f)`                     |
+//!
+//! The builder also closes the matrix gap these names had: `stack_bytes`
+//! now composes with transports, faults, and profiling, whereas
+//! `run_with_stack` composed with nothing.
+
+use std::io;
+
+use crate::comm::Comm;
+use crate::fault::FaultSpec;
+use crate::transport::TransportKind;
+use crate::universe::{ProfiledRun, Universe};
+
+impl Universe {
+    /// Run `f` on `p` ranks over in-process channels.
+    #[deprecated(since = "0.3.0", note = "use `Universe::builder(p).run(f)`")]
+    pub fn run<F, R>(p: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).run(f)
+    }
+
+    /// [`Universe::builder`] on an explicit transport backend.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).on(kind).try_run(f)`"
+    )]
+    pub fn run_on<F, R>(kind: TransportKind, p: usize, f: F) -> io::Result<Vec<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).on(kind).try_run(f)
+    }
+
+    /// Run with a seeded fault plane installed.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).faults(spec).run(f)`"
+    )]
+    pub fn run_with_faults<F, R>(p: usize, spec: FaultSpec, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).faults(spec).run(f)
+    }
+
+    /// Fault plane on an explicit backend.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).on(kind).faults(spec).try_run(f)`"
+    )]
+    pub fn run_on_with_faults<F, R>(
+        kind: TransportKind,
+        p: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> io::Result<Vec<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).on(kind).faults(spec).try_run(f)
+    }
+
+    /// Profiled run: shared clock, one ring sink per rank.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).profiled(capacity).run(f)`"
+    )]
+    pub fn run_profiled<F, R>(p: usize, capacity: usize, f: F) -> ProfiledRun<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).profiled(capacity).run(f)
+    }
+
+    /// Profiled run on an explicit backend.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).on(kind).profiled(capacity).try_run(f)`"
+    )]
+    pub fn run_profiled_on<F, R>(
+        kind: TransportKind,
+        p: usize,
+        capacity: usize,
+        f: F,
+    ) -> io::Result<ProfiledRun<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).on(kind).profiled(capacity).try_run(f)
+    }
+
+    /// Profiled run under seeded adversity.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).faults(spec).profiled(capacity).run(f)`"
+    )]
+    pub fn run_profiled_with_faults<F, R>(
+        p: usize,
+        capacity: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> ProfiledRun<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).faults(spec).profiled(capacity).run(f)
+    }
+
+    /// Profiled run under seeded adversity on an explicit backend.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).on(kind).faults(spec).profiled(capacity).try_run(f)`"
+    )]
+    pub fn run_profiled_on_with_faults<F, R>(
+        kind: TransportKind,
+        p: usize,
+        capacity: usize,
+        spec: FaultSpec,
+        f: F,
+    ) -> io::Result<ProfiledRun<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p)
+            .on(kind)
+            .faults(spec)
+            .profiled(capacity)
+            .try_run(f)
+    }
+
+    /// Run with a per-rank stack size in bytes.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `Universe::builder(p).stack_bytes(bytes).run(f)`"
+    )]
+    pub fn run_with_stack<F, R>(p: usize, stack_bytes: usize, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::builder(p).stack_bytes(stack_bytes).run(f)
+    }
+}

@@ -6,8 +6,11 @@
 //! completed with `Waitall` (Listing 5), and a handful of collectives used
 //! for setup-time checks. This crate is that substrate, built from scratch:
 //!
-//! * [`Universe::run`] — SPMD launcher: spawns `p` OS threads, each running
-//!   the same rank program with its own [`Comm`] handle.
+//! * [`Universe::builder`] — SPMD launcher: spawns `p` OS threads, each
+//!   running the same rank program with its own [`Comm`] handle; one
+//!   [`RunConfig`] composes transport, fault plane, profiling, and stack
+//!   size. [`universe::ResidentUniverse`] keeps the rank threads warm
+//!   across many job submissions for serving workloads.
 //! * [`Comm`] — per-rank communicator: `send`/`recv` (blocking, eager
 //!   buffered), [`Comm::sendrecv_bytes`], and [`Comm::exchange`] — the
 //!   Listing-5 phase primitive posting a batch of receives and sends and
@@ -39,7 +42,7 @@
 //!
 //! The fabric can host a deterministic, seeded fault plane
 //! ([`FaultSpec`]/[`fault::FaultPlane`], installed via
-//! [`Universe::run_with_faults`] or `Fabric::install_faults`) that drops,
+//! [`RunConfig::faults`] or `Fabric::install_faults`) that drops,
 //! duplicates, delays, or reorders data envelopes per declarative rules.
 //! [`Comm::exchange`] counters it with sequence-numbered envelopes,
 //! receiver-side dedup windows, and retransmission on an exponential
@@ -53,13 +56,14 @@
 //! §12): the default in-process channel fabric, a shared-memory ring
 //! fabric spanning processes on one host
 //! ([`Universe::spawn_processes`]), and Unix-domain/TCP socket meshes.
-//! [`Universe::run_on`] and friends pick the backend per run; everything
+//! [`RunConfig::on`] picks the backend per run; everything
 //! above the fabric — matching, collectives, reliability, faults,
 //! observability — is backend-agnostic, pinned by the
 //! `transport_conformance` suite.
 
 pub mod collectives;
 pub mod comm;
+mod deprecated_shims;
 pub mod envelope;
 pub mod error;
 pub mod fabric;
@@ -76,7 +80,9 @@ pub use fault::{FaultAction, FaultPlane, FaultRng, FaultRule, FaultSpec, FaultSt
 pub use pool::{PoolStats, PooledBuf, WirePool};
 pub use reliable::{Reliability, RetryPolicy};
 pub use transport::{Transport, TransportError, TransportKind, TransportResult};
-pub use universe::{ProfiledRun, SpawnRole, Universe};
+pub use universe::{
+    ProfiledRun, ProfiledRunConfig, RankJob, ResidentUniverse, RunConfig, SpawnRole, Universe,
+};
 
 /// Structured observability (re-export of `cartcomm-obs`): every rank's
 /// [`Comm`] carries an [`cartcomm_obs::Obs`] handle reachable via

@@ -1,6 +1,17 @@
 //! SPMD launcher: run the same rank program on `p` threads — or, with
 //! [`Universe::spawn_processes`], on `p` processes sharing a
 //! memory-mapped fabric.
+//!
+//! Since 0.3.0 every thread-mode launch goes through one configurable
+//! entry point, [`Universe::builder`]: transport backend, fault plane,
+//! profiling, and per-rank stack size all compose freely instead of
+//! living in a matrix of `run_*` variants (the nine pre-0.3.0 names
+//! survive as deprecated forwarders in `deprecated_shims`).
+//!
+//! Long-running services that execute many independent jobs on the same
+//! warm fabric use [`ResidentUniverse`]: the rank threads stay parked on
+//! a job queue between submissions, so pools, plan stores, and
+//! communicators persist across jobs.
 
 use std::io;
 use std::path::PathBuf;
@@ -51,14 +62,215 @@ fn spawn_scratch_path() -> PathBuf {
     std::env::temp_dir().join(format!("cartcomm-spawn-{}-{n}.fabric", std::process::id()))
 }
 
-/// Shared launch core: spawn one scoped thread per rank, join in rank
-/// order, re-panic the first rank panic. After a rank program returns,
-/// its `Comm` (and receive endpoint) drops and the fabric is told the
-/// rank is done so backend progress machinery can stop.
+/// A fully described thread-mode launch: `p` ranks on `transport`, an
+/// optional seeded fault plane, optional profiling (shared clock + one
+/// ring sink per rank), and an optional per-rank stack size. Obtained
+/// from [`Universe::builder`]; every knob composes with every other —
+/// in particular `stack_bytes` now works with faults, profiling, and
+/// non-default transports (the pre-0.3.0 `run_with_stack` composed with
+/// nothing).
+///
+/// ```
+/// use cartcomm_comm::Universe;
+/// let sums = Universe::builder(4).run(|comm| {
+///     let mut x = [comm.rank() as u64];
+///     comm.allreduce(&mut x, |a, b| a + b).unwrap();
+///     x[0]
+/// });
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    p: usize,
+    transport: TransportKind,
+    faults: Option<FaultSpec>,
+    stack_bytes: Option<usize>,
+}
+
+/// A [`RunConfig`] with profiling enabled ([`RunConfig::profiled`]):
+/// `run` returns a [`ProfiledRun`] carrying per-rank traces on one
+/// shared clock instead of bare results.
+#[derive(Debug, Clone)]
+pub struct ProfiledRunConfig {
+    inner: RunConfig,
+    capacity: usize,
+}
+
+impl RunConfig {
+    /// Select the transport backend (default: in-process channels). The
+    /// in-process backend never fails to construct; the shared-memory and
+    /// socket backends touch the filesystem or network stack and may —
+    /// use [`RunConfig::try_run`] to observe the error.
+    pub fn on(mut self, kind: TransportKind) -> Self {
+        self.transport = kind;
+        self
+    }
+
+    /// Install a seeded fault plane on the fabric before any rank starts:
+    /// every data deposit is subject to `spec`'s drop/duplicate/delay/
+    /// reorder rules. The plane sits above the transport, so seeded
+    /// adversity is byte-for-byte the same schedule on every backend.
+    /// Rank programs that exercise fault-scoped traffic should opt
+    /// exchanges into reliable delivery
+    /// ([`Comm::set_default_reliability`]) or expect to handle the
+    /// adversity themselves.
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.faults = Some(spec);
+        self
+    }
+
+    /// Give every rank thread `bytes` of stack, for rank programs with
+    /// large on-stack state.
+    pub fn stack_bytes(mut self, bytes: usize) -> Self {
+        self.stack_bytes = Some(bytes);
+        self
+    }
+
+    /// Enable profiling: before any rank starts, every rank's `Obs` gets
+    /// **one shared monotonic clock** (per-rank clocks have independent
+    /// origins, making timestamps cross-rank garbage) and its own
+    /// [`RingBufferSink`] holding up to `capacity` records; after the
+    /// join, the sinks are drained into [`ProfiledRun::traces`].
+    pub fn profiled(self, capacity: usize) -> ProfiledRunConfig {
+        ProfiledRunConfig {
+            inner: self,
+            capacity,
+        }
+    }
+
+    /// Launch and join, returning per-rank results in rank order.
+    ///
+    /// `f` receives each rank's [`Comm`] handle. Panics in any rank
+    /// program propagate (the launcher re-panics after joining), so test
+    /// assertions inside rank programs work naturally. Panics if the
+    /// backend fails to construct — the in-process default cannot.
+    pub fn run<F, R>(self, f: F) -> Vec<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let kind = self.transport;
+        self.try_run(f)
+            .unwrap_or_else(|e| panic!("cannot bring up {kind} fabric: {e}"))
+    }
+
+    /// [`RunConfig::run`] surfacing backend construction failure instead
+    /// of panicking.
+    pub fn try_run<F, R>(self, f: F) -> io::Result<Vec<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let (fabric, _sinks) = self.bring_up(None)?;
+        Ok(launch(self.p, fabric, self.stack_bytes, f))
+    }
+
+    /// Construct the fabric, install faults and (optionally) profiling.
+    fn bring_up(
+        &self,
+        profile_capacity: Option<usize>,
+    ) -> io::Result<(Arc<FabricWithReceivers>, Vec<Arc<RingBufferSink>>)> {
+        assert!(self.p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::for_backend(self.transport, self.p)?;
+        if let Some(spec) = &self.faults {
+            fabric.install_faults(spec.clone());
+        }
+        let sinks = match profile_capacity {
+            Some(capacity) => install_profiling(&fabric, self.p, capacity),
+            None => Vec::new(),
+        };
+        Ok((
+            Arc::new(FabricWithReceivers::bundle(fabric, receivers)),
+            sinks,
+        ))
+    }
+}
+
+impl ProfiledRunConfig {
+    /// Select the transport backend (see [`RunConfig::on`]).
+    pub fn on(mut self, kind: TransportKind) -> Self {
+        self.inner = self.inner.on(kind);
+        self
+    }
+
+    /// Install a seeded fault plane (see [`RunConfig::faults`]) — profile
+    /// a run *under* seeded adversity (retransmit overlays and fault
+    /// events land in the traces).
+    pub fn faults(mut self, spec: FaultSpec) -> Self {
+        self.inner = self.inner.faults(spec);
+        self
+    }
+
+    /// Per-rank stack size (see [`RunConfig::stack_bytes`]).
+    pub fn stack_bytes(mut self, bytes: usize) -> Self {
+        self.inner = self.inner.stack_bytes(bytes);
+        self
+    }
+
+    /// Launch, join, and drain the per-rank trace sinks. Panics if the
+    /// backend fails to construct — the in-process default cannot.
+    pub fn run<F, R>(self, f: F) -> ProfiledRun<R>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let kind = self.inner.transport;
+        self.try_run(f)
+            .unwrap_or_else(|e| panic!("cannot bring up {kind} fabric: {e}"))
+    }
+
+    /// [`ProfiledRunConfig::run`] surfacing backend construction failure
+    /// instead of panicking.
+    pub fn try_run<F, R>(self, f: F) -> io::Result<ProfiledRun<R>>
+    where
+        F: Fn(&mut Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let (fabric, sinks) = self.inner.bring_up(Some(self.capacity))?;
+        let results = launch(self.inner.p, fabric, self.inner.stack_bytes, f);
+        Ok(ProfiledRun {
+            results,
+            traces: sinks.iter().map(|s| s.take()).collect(),
+        })
+    }
+}
+
+/// Carrier pairing a constructed fabric with its unclaimed per-rank
+/// receive endpoints, so the launch core can hand each spawned thread its
+/// endpoint regardless of which configuration path built the fabric.
+struct FabricWithReceivers {
+    fabric: Arc<Fabric>,
+    receivers:
+        std::sync::Mutex<Vec<Option<crossbeam_channel::Receiver<crate::envelope::Envelope>>>>,
+}
+
+impl FabricWithReceivers {
+    fn bundle(
+        fabric: Fabric,
+        receivers: Vec<crossbeam_channel::Receiver<crate::envelope::Envelope>>,
+    ) -> Self {
+        FabricWithReceivers {
+            fabric: Arc::new(fabric),
+            receivers: std::sync::Mutex::new(receivers.into_iter().map(Some).collect()),
+        }
+    }
+
+    fn claim(&self, rank: usize) -> crossbeam_channel::Receiver<crate::envelope::Envelope> {
+        self.receivers.lock().expect("receiver registry poisoned")[rank]
+            .take()
+            .expect("rank endpoint claimed twice")
+    }
+}
+
+/// Shared launch core: spawn one thread per rank (named, with the
+/// configured stack size), join in rank order, re-panic the first rank
+/// panic. After a rank program returns, its `Comm` (and receive endpoint)
+/// drops and the fabric is told the rank is done so backend progress
+/// machinery can stop.
 fn launch<F, R>(
     p: usize,
-    fabric: Arc<Fabric>,
-    receivers: Vec<crossbeam_channel::Receiver<crate::envelope::Envelope>>,
+    bundle: Arc<FabricWithReceivers>,
+    stack_bytes: Option<usize>,
     f: F,
 ) -> Vec<R>
 where
@@ -66,17 +278,26 @@ where
     R: Send,
 {
     let f = &f;
+    let bundle = &bundle;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(p);
-        for (rank, rx) in receivers.into_iter().enumerate() {
-            let fabric = Arc::clone(&fabric);
-            handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
-                let out = f(&mut comm);
-                drop(comm);
-                fabric.rank_done(rank);
-                out
-            }));
+        for rank in 0..p {
+            let rx = bundle.claim(rank);
+            let fabric = Arc::clone(&bundle.fabric);
+            let mut builder = std::thread::Builder::new().name(format!("rank-{rank}"));
+            if let Some(bytes) = stack_bytes {
+                builder = builder.stack_size(bytes);
+            }
+            let h = builder
+                .spawn_scoped(scope, move || {
+                    let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
+                    let out = f(&mut comm);
+                    drop(comm);
+                    fabric.rank_done(rank);
+                    out
+                })
+                .expect("failed to spawn rank thread");
+            handles.push(h);
         }
         handles
             .into_iter()
@@ -104,193 +325,19 @@ fn install_profiling(fabric: &Fabric, p: usize, capacity: usize) -> Vec<Arc<Ring
 }
 
 impl Universe {
-    /// Run `f` on `p` ranks, each on its own OS thread, and return the
-    /// per-rank results in rank order.
-    ///
-    /// `f` receives the rank's [`Comm`] handle. Panics in any rank program
-    /// propagate (the launcher re-panics after joining), so test assertions
-    /// inside rank programs work naturally.
-    ///
-    /// ```
-    /// use cartcomm_comm::Universe;
-    /// let sums = Universe::run(4, |comm| {
-    ///     let mut x = [comm.rank() as u64];
-    ///     comm.allreduce(&mut x, |a, b| a + b).unwrap();
-    ///     x[0]
-    /// });
-    /// assert_eq!(sums, vec![6, 6, 6, 6]);
-    /// ```
-    pub fn run<F, R>(p: usize, f: F) -> Vec<R>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        Self::run_on(TransportKind::InProcess, p, f).expect("in-process fabric cannot fail")
-    }
-
-    /// [`Universe::run`] on an explicit transport backend. The in-process
-    /// backend never fails to construct; the shared-memory and socket
-    /// backends touch the filesystem or network stack and may.
-    pub fn run_on<F, R>(kind: TransportKind, p: usize, f: F) -> io::Result<Vec<R>>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
-        Ok(launch(p, Arc::new(fabric), receivers, f))
-    }
-
-    /// Like [`Universe::run`] but with a seeded fault plane installed on
-    /// the fabric before any rank starts: every data deposit is subject to
-    /// `spec`'s drop/duplicate/delay/reorder rules. Rank programs that
-    /// exercise fault-scoped traffic should opt exchanges into reliable
-    /// delivery ([`Comm::set_default_reliability`]) or expect to handle
-    /// the adversity themselves.
-    pub fn run_with_faults<F, R>(p: usize, spec: FaultSpec, f: F) -> Vec<R>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        Self::run_on_with_faults(TransportKind::InProcess, p, spec, f)
-            .expect("in-process fabric cannot fail")
-    }
-
-    /// [`Universe::run_with_faults`] on an explicit backend. The fault
-    /// plane sits above the transport, so seeded adversity is
-    /// byte-for-byte the same schedule on every backend.
-    pub fn run_on_with_faults<F, R>(
-        kind: TransportKind,
-        p: usize,
-        spec: FaultSpec,
-        f: F,
-    ) -> io::Result<Vec<R>>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
-        fabric.install_faults(spec);
-        Ok(launch(p, Arc::new(fabric), receivers, f))
-    }
-
-    /// Like [`Universe::run`] but profiled: before any rank starts, every
-    /// rank's `Obs` gets **one shared monotonic clock** (per-rank clocks
-    /// have independent origins, making timestamps cross-rank garbage)
-    /// and its own [`RingBufferSink`] holding up to `capacity` records;
-    /// after the join, the sinks are drained into
-    /// [`ProfiledRun::traces`]. The traces feed
-    /// `cartcomm_obs::profile::TraceCollector` directly.
-    pub fn run_profiled<F, R>(p: usize, capacity: usize, f: F) -> ProfiledRun<R>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        Self::run_profiled_on(TransportKind::InProcess, p, capacity, f)
-            .expect("in-process fabric cannot fail")
-    }
-
-    /// [`Universe::run_profiled`] on an explicit backend — profile the
-    /// same workload over in-process channels, shared-memory rings, or
-    /// sockets and compare the traces.
-    pub fn run_profiled_on<F, R>(
-        kind: TransportKind,
-        p: usize,
-        capacity: usize,
-        f: F,
-    ) -> io::Result<ProfiledRun<R>>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
-        let sinks = install_profiling(&fabric, p, capacity);
-        let results = launch(p, Arc::new(fabric), receivers, f);
-        Ok(ProfiledRun {
-            results,
-            traces: sinks.iter().map(|s| s.take()).collect(),
-        })
-    }
-
-    /// [`Universe::run_profiled`] with a fault plane installed — profile
-    /// a run *under* seeded adversity (retransmit overlays and fault
-    /// events land in the traces).
-    pub fn run_profiled_with_faults<F, R>(
-        p: usize,
-        capacity: usize,
-        spec: FaultSpec,
-        f: F,
-    ) -> ProfiledRun<R>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        Self::run_profiled_on_with_faults(TransportKind::InProcess, p, capacity, spec, f)
-            .expect("in-process fabric cannot fail")
-    }
-
-    /// [`Universe::run_profiled_with_faults`] on an explicit backend.
-    pub fn run_profiled_on_with_faults<F, R>(
-        kind: TransportKind,
-        p: usize,
-        capacity: usize,
-        spec: FaultSpec,
-        f: F,
-    ) -> io::Result<ProfiledRun<R>>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::for_backend(kind, p)?;
-        fabric.install_faults(spec);
-        let sinks = install_profiling(&fabric, p, capacity);
-        let results = launch(p, Arc::new(fabric), receivers, f);
-        Ok(ProfiledRun {
-            results,
-            traces: sinks.iter().map(|s| s.take()).collect(),
-        })
-    }
-
-    /// Like [`Universe::run`] but with a per-rank stack size in bytes, for
-    /// rank programs with large on-stack state.
-    pub fn run_with_stack<F, R>(p: usize, stack_bytes: usize, f: F) -> Vec<R>
-    where
-        F: Fn(&mut Comm) -> R + Send + Sync,
-        R: Send,
-    {
-        assert!(p > 0, "universe needs at least one rank");
-        let (fabric, receivers) = Fabric::new(p);
-        let fabric = Arc::new(fabric);
-        let f = &f;
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(p);
-            for (rank, rx) in receivers.into_iter().enumerate() {
-                let fabric = Arc::clone(&fabric);
-                let builder = std::thread::Builder::new()
-                    .name(format!("rank-{rank}"))
-                    .stack_size(stack_bytes);
-                let h = builder
-                    .spawn_scoped(scope, move || {
-                        let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
-                        let out = f(&mut comm);
-                        drop(comm);
-                        fabric.rank_done(rank);
-                        out
-                    })
-                    .expect("failed to spawn rank thread");
-                handles.push(h);
-            }
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    Err(e) => std::panic::resume_unwind(e),
-                })
-                .collect()
-        })
+    /// Configure a thread-mode launch: `p` ranks, in-process transport,
+    /// no faults, no profiling, default stacks. Chain
+    /// [`RunConfig::on`]/[`RunConfig::faults`]/[`RunConfig::profiled`]/
+    /// [`RunConfig::stack_bytes`] in any combination, then
+    /// [`RunConfig::run`] (or [`RunConfig::try_run`] for fallible
+    /// backends).
+    pub fn builder(p: usize) -> RunConfig {
+        RunConfig {
+            p,
+            transport: TransportKind::InProcess,
+            faults: None,
+            stack_bytes: None,
+        }
     }
 
     /// Run `f` as a universe of `p` **processes** on one host, over the
@@ -383,6 +430,131 @@ impl Universe {
     }
 }
 
+// ----- resident universes ----------------------------------------------------
+
+/// One unit of work for a resident universe: a boxed closure per rank.
+pub type RankJob = Box<dyn FnOnce(&mut Comm) + Send>;
+
+enum RankCmd {
+    Job(RankJob),
+    Stop,
+}
+
+/// A warm, long-lived universe: `p` rank threads parked on per-rank job
+/// queues over an in-process fabric. Unlike [`RunConfig::run`], which
+/// builds a fabric, runs one closure, and tears everything down, a
+/// resident universe keeps its fabric, wire pools, and any state the
+/// rank programs accumulate (communicators, compiled plans) alive across
+/// an arbitrary number of submissions — the execution substrate of the
+/// `cartserve` daemon.
+///
+/// [`ResidentUniverse::submit`] enqueues one closure per rank; closures
+/// of one submission run collectively (they may call collectives on
+/// their `Comm`) and submissions are executed in order on each rank.
+/// Results travel through whatever channel the closures capture. Job
+/// closures must not panic — a panicking job poisons its rank thread
+/// and [`ResidentUniverse::shutdown`] will report it; service layers
+/// should catch and convert errors to data instead.
+pub struct ResidentUniverse {
+    size: usize,
+    senders: Vec<crossbeam_channel::Sender<RankCmd>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    fabric: Arc<Fabric>,
+}
+
+impl ResidentUniverse {
+    /// Bring up `p` resident ranks on an in-process fabric.
+    pub fn new(p: usize) -> Self {
+        assert!(p > 0, "universe needs at least one rank");
+        let (fabric, receivers) = Fabric::new(p);
+        let fabric = Arc::new(fabric);
+        let mut senders = Vec::with_capacity(p);
+        let mut handles = Vec::with_capacity(p);
+        for (rank, rx) in receivers.into_iter().enumerate() {
+            let (tx, jobs) = crossbeam_channel::unbounded::<RankCmd>();
+            let fabric = Arc::clone(&fabric);
+            let h = std::thread::Builder::new()
+                .name(format!("resident-rank-{rank}"))
+                .spawn(move || {
+                    let mut comm = Comm::new(rank, Arc::clone(&fabric), rx);
+                    while let Ok(RankCmd::Job(job)) = jobs.recv() {
+                        job(&mut comm);
+                    }
+                    drop(comm);
+                    fabric.rank_done(rank);
+                })
+                .expect("failed to spawn resident rank thread");
+            senders.push(tx);
+            handles.push(h);
+        }
+        ResidentUniverse {
+            size: p,
+            senders,
+            handles,
+            fabric,
+        }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The per-rank observability handle (live metrics of the resident
+    /// fabric).
+    pub fn obs(&self, rank: usize) -> &Arc<cartcomm_obs::Obs> {
+        self.fabric.obs(rank)
+    }
+
+    /// Enqueue one closure per rank (index = rank). The closures of one
+    /// submission execute collectively; this call does not wait for
+    /// completion — capture a channel to collect results.
+    ///
+    /// Panics if `jobs.len() != self.size()` or if the universe is
+    /// already shut down.
+    pub fn submit(&self, jobs: Vec<RankJob>) {
+        assert_eq!(jobs.len(), self.size, "one job per rank required");
+        for (tx, job) in self.senders.iter().zip(jobs) {
+            tx.send(RankCmd::Job(job))
+                .expect("resident rank thread gone");
+        }
+    }
+
+    /// Convenience: run the same closure on every rank.
+    pub fn submit_all<F>(&self, f: F)
+    where
+        F: Fn(&mut Comm) + Send + Sync + Clone + 'static,
+    {
+        let jobs = (0..self.size)
+            .map(|_| {
+                let f = f.clone();
+                Box::new(move |comm: &mut Comm| f(comm)) as RankJob
+            })
+            .collect();
+        self.submit(jobs);
+    }
+
+    /// Drain: stop accepting, let every queued job finish, join the rank
+    /// threads. Returns `Err(rank)` on the first rank whose thread
+    /// panicked (after joining all of them).
+    pub fn shutdown(mut self) -> Result<(), usize> {
+        for tx in &self.senders {
+            let _ = tx.send(RankCmd::Stop);
+        }
+        self.senders.clear();
+        let mut first_panic = None;
+        for (rank, h) in self.handles.drain(..).enumerate() {
+            if h.join().is_err() && first_panic.is_none() {
+                first_panic = Some(rank);
+            }
+        }
+        match first_panic {
+            Some(rank) => Err(rank),
+            None => Ok(()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -390,7 +562,7 @@ mod tests {
 
     #[test]
     fn single_rank_universe() {
-        let out = Universe::run(1, |comm| {
+        let out = Universe::builder(1).run(|comm| {
             assert_eq!(comm.rank(), 0);
             assert_eq!(comm.size(), 1);
             comm.barrier().unwrap();
@@ -401,17 +573,29 @@ mod tests {
 
     #[test]
     fn ranks_are_distinct_and_ordered() {
-        let out = Universe::run(8, |comm| comm.rank() * 10);
+        let out = Universe::builder(8).run(|comm| comm.rank() * 10);
         assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
     }
 
     #[test]
-    fn run_with_stack_works() {
-        let out = Universe::run_with_stack(3, 4 << 20, |comm| {
-            let big = [0u8; 1 << 20]; // needs the larger stack
-            comm.rank() + big[0] as usize
-        });
-        assert_eq!(out, vec![0, 1, 2]);
+    fn stack_bytes_composes_with_everything() {
+        // The pre-0.3.0 `run_with_stack` had no faulty/profiled/transport
+        // variant; the builder composes all four knobs in one launch.
+        let spec = FaultSpec::new(7);
+        let run = Universe::builder(3)
+            .stack_bytes(4 << 20)
+            .faults(spec)
+            .profiled(256)
+            .on(TransportKind::InProcess)
+            .run(|comm| {
+                let big = [0u8; 1 << 20]; // needs the larger stack
+                comm.obs()
+                    .emit(comm.rank(), TraceEvent::PoolHit { bytes: 3 });
+                comm.rank() + big[0] as usize
+            });
+        assert_eq!(run.results, vec![0, 1, 2]);
+        assert_eq!(run.traces.len(), 3);
+        assert!(run.traces.iter().all(|t| !t.is_empty()));
     }
 
     #[test]
@@ -422,19 +606,21 @@ mod tests {
             TransportKind::Uds,
             TransportKind::Tcp,
         ] {
-            let sums = Universe::run_on(kind, 4, |comm| {
-                let mut x = [comm.rank() as u64 + 1];
-                comm.allreduce(&mut x, |a, b| a + b).unwrap();
-                x[0]
-            })
-            .unwrap_or_else(|e| panic!("{kind} backend failed to launch: {e}"));
+            let sums = Universe::builder(4)
+                .on(kind)
+                .try_run(|comm| {
+                    let mut x = [comm.rank() as u64 + 1];
+                    comm.allreduce(&mut x, |a, b| a + b).unwrap();
+                    x[0]
+                })
+                .unwrap_or_else(|e| panic!("{kind} backend failed to launch: {e}"));
             assert_eq!(sums, vec![10, 10, 10, 10], "backend {kind}");
         }
     }
 
     #[test]
     fn run_profiled_drains_per_rank_traces() {
-        let run = Universe::run_profiled(4, 1024, |comm| {
+        let run = Universe::builder(4).profiled(1024).run(|comm| {
             // Emit one marker event per rank through its own Obs.
             comm.obs()
                 .emit(comm.rank(), TraceEvent::PoolHit { bytes: comm.rank() });
@@ -458,7 +644,7 @@ mod tests {
         // Rank 1 emits strictly after rank 0 (enforced by a barrier in
         // between); with the shared clock its timestamp must not precede
         // rank 0's. With per-rank clock origins this would be flaky.
-        let run = Universe::run_profiled(2, 64, |comm| {
+        let run = Universe::builder(2).profiled(64).run(|comm| {
             if comm.rank() == 0 {
                 comm.obs().emit(0, TraceEvent::PoolHit { bytes: 1 });
             }
@@ -486,16 +672,78 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one rank")]
     fn zero_ranks_rejected() {
-        Universe::run(0, |_| ());
+        Universe::builder(0).run(|_| ());
     }
 
     #[test]
     #[should_panic(expected = "deliberate")]
     fn rank_panics_propagate() {
-        Universe::run(2, |comm| {
+        Universe::builder(2).run(|comm| {
             if comm.rank() == 1 {
                 panic!("deliberate");
             }
         });
+    }
+
+    #[test]
+    fn resident_universe_runs_jobs_collectively_and_in_order() {
+        let uni = ResidentUniverse::new(4);
+        let (tx, rx) = crossbeam_channel::unbounded::<(usize, usize, u64)>();
+        for round in 0..3usize {
+            let tx = tx.clone();
+            uni.submit_all(move |comm| {
+                let mut x = [comm.rank() as u64 + 1];
+                comm.allreduce(&mut x, |a, b| a + b).unwrap();
+                tx.send((round, comm.rank(), x[0])).unwrap();
+            });
+        }
+        let mut got = Vec::new();
+        for _ in 0..12 {
+            got.push(rx.recv().unwrap());
+        }
+        assert!(got.iter().all(|&(_, _, sum)| sum == 10));
+        // Per rank, rounds arrive in submission order.
+        for rank in 0..4 {
+            let rounds: Vec<usize> = got
+                .iter()
+                .filter(|&&(_, r, _)| r == rank)
+                .map(|&(round, ..)| round)
+                .collect();
+            assert_eq!(rounds, vec![0, 1, 2], "rank {rank} order");
+        }
+        uni.shutdown().unwrap();
+    }
+
+    #[test]
+    fn resident_universe_state_survives_across_jobs() {
+        // Rank-local state captured by the service layer persists between
+        // submissions — the property the plan-store-warm daemon relies on.
+        let uni = ResidentUniverse::new(2);
+        let counters: Vec<_> = (0..2)
+            .map(|_| Arc::new(std::sync::atomic::AtomicUsize::new(0)))
+            .collect();
+        let (tx, rx) = crossbeam_channel::unbounded::<usize>();
+        for _ in 0..5 {
+            let jobs = counters
+                .iter()
+                .map(|c| {
+                    let c = Arc::clone(c);
+                    let tx = tx.clone();
+                    Box::new(move |comm: &mut Comm| {
+                        let n = c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        comm.barrier().unwrap();
+                        tx.send(n).unwrap();
+                    }) as RankJob
+                })
+                .collect();
+            uni.submit(jobs);
+        }
+        let mut seen = Vec::new();
+        for _ in 0..10 {
+            seen.push(rx.recv().unwrap());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 0, 1, 1, 2, 2, 3, 3, 4, 4]);
+        uni.shutdown().unwrap();
     }
 }

@@ -38,7 +38,7 @@ fn many_same_src_tag_slots_complete_in_posting_order() {
     // slots must pair 1:1 with the sender's posting order — the earliest
     // posted open slot takes the earliest sent message.
     const N: usize = 8;
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             let sends = (0..N).map(|i| (1usize, 9, payload(i))).collect();
             exchange_vecs(comm, sends, &[]);
@@ -60,7 +60,7 @@ fn many_same_src_tag_slots_pooled_round_trip() {
     // acquired from the sender's pool, delivered in order, recycled into
     // the receiver's pool.
     const N: usize = 8;
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             let mut batch = ExchangeBatch::with_capacity(N);
             for i in 0..N {
@@ -97,7 +97,7 @@ fn deprecated_forwarders_still_match_identically() {
     // matching core.
     #![allow(deprecated)]
     const N: usize = 4;
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             let sends: Vec<_> = (0..N).map(|i| (1usize, 9, payload(i))).collect();
             comm.exchange_vecs(sends, &[]).unwrap();
@@ -136,7 +136,7 @@ fn stale_messages_from_prior_collective_do_not_poison_matching() {
     // slots nor be lost. Then rank 1 receives A and must see A's payloads
     // in their original order.
     const R: usize = 4;
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             let a = (0..R)
                 .map(|i| (1usize, 100 + i as u32, payload(i)))
@@ -172,7 +172,7 @@ fn stale_same_signature_message_matches_before_fresh_one() {
     // A message with signature (src 0, tag 7) is left unreceived by an
     // earlier operation. When a later exchange posts a slot for (0, 7), the
     // STALE message must match first (FIFO), and the fresh one second.
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 7, b"stale".to_vec()).unwrap();
             comm.send_bytes(1, 7, b"fresh".to_vec()).unwrap();
@@ -197,7 +197,7 @@ fn dup_contexts_run_interleaved_collectives_concurrently() {
     // and reversed send order between them, so every rank's channel carries
     // interleaved traffic of both contexts. Matching must never cross.
     let p = 4;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let comm2 = comm.dup();
         assert_ne!(comm.context(), comm2.context());
         let r = comm.rank();
@@ -237,7 +237,7 @@ fn wildcard_slot_respects_fifo_against_specific_slots() {
     // Slot 0 is a wildcard, slot 1 is specific to (0, 5). A single message
     // (0, 5) satisfies both; it must land in slot 0 (earliest posted), and
     // the second message completes slot 1.
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             exchange_vecs(comm, vec![(1, 5, vec![1]), (1, 5, vec![2])], &[]);
         } else {
@@ -261,7 +261,7 @@ fn wildcard_slot_respects_fifo_against_specific_slots() {
 #[test]
 fn detached_policy_returns_unpooled_buffers() {
     // Detached results must not recycle into the receiver's pool on drop.
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             exchange_vecs(comm, vec![(1, 4, vec![7u8; 100])], &[]);
         } else {
@@ -300,7 +300,7 @@ fn reliable_exchange_survives_heavy_drop() {
     // deliver byte-identical payloads, paid for with retransmissions.
     const ROUNDS: usize = 20;
     let spec = FaultSpec::new(0xC0FFEE).drop_rate(LinkSel::any().on_ctx(0), 0.25);
-    let out = Universe::run_with_faults(2, spec, |comm| {
+    let out = Universe::builder(2).faults(spec).run(|comm| {
         comm.set_default_reliability(Some(chaos_policy()));
         let peer = 1 - comm.rank();
         for round in 0..ROUNDS {
@@ -340,7 +340,7 @@ fn total_loss_surfaces_peer_unreachable_on_both_sides() {
         factor: 2.0,
         max: Duration::from_millis(20),
     };
-    Universe::run_with_faults(2, spec, |comm| {
+    Universe::builder(2).faults(spec).run(|comm| {
         let err = if comm.rank() == 0 {
             let mut batch = ExchangeBatch::new();
             batch.send(1, 3, vec![1u8, 2, 3]);
@@ -389,7 +389,7 @@ fn delayed_duplicate_cannot_satisfy_later_post() {
         )
         .window(0, 1),
     );
-    Universe::run_with_faults(2, spec, |comm| {
+    Universe::builder(2).faults(spec).run(|comm| {
         comm.set_default_reliability(Some(chaos_policy()));
         if comm.rank() == 0 {
             for msg in [b"one".to_vec(), b"two".to_vec()] {
@@ -442,7 +442,7 @@ fn reorder_and_delay_are_absorbed_by_sequencing() {
     let spec = FaultSpec::new(99)
         .reorder_rate(LinkSel::any().on_ctx(0), 0.34)
         .delay_rate(LinkSel::any().on_ctx(0), 0.3, 2);
-    Universe::run_with_faults(2, spec, |comm| {
+    Universe::builder(2).faults(spec).run(|comm| {
         comm.set_default_reliability(Some(chaos_policy()));
         if comm.rank() == 0 {
             let mut batch = ExchangeBatch::new();
@@ -467,7 +467,7 @@ fn reorder_and_delay_are_absorbed_by_sequencing() {
 fn lossless_reliable_path_is_equivalent_to_raw() {
     // Reliable mode without a fault plane: sequence stamps only, no acks,
     // no retransmissions — and identical results.
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         comm.set_default_reliability(Some(RetryPolicy::default()));
         let peer = 1 - comm.rank();
         let mut batch = ExchangeBatch::new();

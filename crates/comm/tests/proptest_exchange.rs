@@ -47,7 +47,7 @@ proptest! {
     #[test]
     fn fifo_matching_per_source_tag(sc in arb_scenario()) {
         let sc2 = sc.clone();
-        Universe::run(sc.p, move |comm| {
+        Universe::builder(sc.p).run(move |comm| {
             let rank = comm.rank();
             if rank == 0 {
                 // build slot list: interleave senders round-robin to mix
@@ -92,7 +92,7 @@ proptest! {
     #[test]
     fn wildcard_multiset_complete(sc in arb_scenario()) {
         let sc2 = sc.clone();
-        Universe::run(sc.p, move |comm| {
+        Universe::builder(sc.p).run(move |comm| {
             let rank = comm.rank();
             let total: usize = sc2.sends.iter().map(|v| v.len()).sum();
             if rank == 0 {

@@ -27,7 +27,7 @@ fn exchange_vecs(
 
 #[test]
 fn ping_pong() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 7, vec![1, 2, 3]).unwrap();
             let (data, st) = comm.recv_bytes(1, 7).unwrap();
@@ -45,7 +45,7 @@ fn ping_pong() {
 
 #[test]
 fn non_overtaking_same_src_tag() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             for i in 0..50u8 {
                 comm.send_bytes(1, 3, vec![i]).unwrap();
@@ -61,7 +61,7 @@ fn non_overtaking_same_src_tag() {
 
 #[test]
 fn tag_selective_receive_out_of_order() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 1, vec![11]).unwrap();
             comm.send_bytes(1, 2, vec![22]).unwrap();
@@ -77,7 +77,7 @@ fn tag_selective_receive_out_of_order() {
 
 #[test]
 fn any_source_any_tag_wildcards() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         if comm.rank() == 0 {
             let mut seen = [false; 4];
             for _ in 0..3 {
@@ -97,7 +97,7 @@ fn any_source_any_tag_wildcards() {
 
 #[test]
 fn self_send_and_receive() {
-    Universe::run(1, |comm| {
+    Universe::builder(1).run(|comm| {
         comm.send_bytes(0, 9, vec![42]).unwrap();
         let (data, st) = comm.recv_bytes(0, 9).unwrap();
         assert_eq!(data, vec![42]);
@@ -108,7 +108,7 @@ fn self_send_and_receive() {
 #[test]
 fn sendrecv_rotates_ring() {
     let p = 5;
-    let out = Universe::run(p, |comm| {
+    let out = Universe::builder(p).run(|comm| {
         let r = comm.rank();
         let (data, _) = comm
             .sendrecv_bytes((r + 1) % p, 0, vec![r as u8], (r + p - 1) % p, 0)
@@ -120,7 +120,7 @@ fn sendrecv_rotates_ring() {
 
 #[test]
 fn invalid_rank_rejected() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         let err = comm.send_bytes(5, 0, vec![]).unwrap_err();
         assert!(matches!(err, CommError::InvalidRank { rank: 5, size: 2 }));
     });
@@ -128,7 +128,7 @@ fn invalid_rank_rejected() {
 
 #[test]
 fn typed_send_recv_with_datatype() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         let col = Datatype::vector(3, 1, 3, &Datatype::int())
             .commit()
             .unwrap();
@@ -152,7 +152,7 @@ fn typed_send_recv_with_datatype() {
 
 #[test]
 fn recv_typed_truncation_error() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 0, vec![0; 100]).unwrap();
         } else {
@@ -172,7 +172,7 @@ fn recv_typed_truncation_error() {
 
 #[test]
 fn recv_slice_roundtrip() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_slice(1, 0, &[1.5f64, -2.5, 3.25]).unwrap();
         } else {
@@ -188,7 +188,7 @@ fn exchange_fifo_matching_same_src_tag() {
     // Two slots with identical (src, tag): payloads must complete in the
     // sender's posting order (this is what makes same-tag schedule rounds
     // with coinciding ranks correct).
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             exchange_vecs(comm, vec![(1, 5, vec![b'a']), (1, 5, vec![b'b'])], &[]);
         } else {
@@ -208,7 +208,7 @@ fn exchange_bidirectional_phase() {
     // Every rank sends to left and right neighbors in one phase; classic
     // halo-exchange shape, would deadlock with unbuffered blocking sends.
     let p = 6;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let r = comm.rank();
         let left = (r + p - 1) % p;
         let right = (r + 1) % p;
@@ -224,7 +224,7 @@ fn exchange_bidirectional_phase() {
 
 #[test]
 fn exchange_with_wildcard_slots() {
-    Universe::run(3, |comm| {
+    Universe::builder(3).run(|comm| {
         if comm.rank() == 0 {
             let rx = exchange_vecs(
                 comm,
@@ -251,7 +251,7 @@ fn exchange_with_wildcard_slots() {
 
 #[test]
 fn exchange_leaves_unmatched_messages_pending() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 77, vec![1]).unwrap(); // not part of exchange
             comm.send_bytes(1, 5, vec![2]).unwrap();
@@ -267,7 +267,7 @@ fn exchange_leaves_unmatched_messages_pending() {
 
 #[test]
 fn dup_contexts_do_not_intercept() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         let comm2 = comm.dup();
         assert_ne!(comm.context(), comm2.context());
         if comm.rank() == 0 {
@@ -288,7 +288,7 @@ fn dup_contexts_do_not_intercept() {
 #[test]
 fn barrier_all_sizes() {
     for p in [1, 2, 3, 4, 7, 8, 13] {
-        Universe::run(p, |comm| {
+        Universe::builder(p).run(|comm| {
             for _ in 0..3 {
                 comm.barrier().unwrap();
             }
@@ -300,7 +300,7 @@ fn barrier_all_sizes() {
 fn bcast_from_all_roots() {
     for p in [1, 2, 5, 8] {
         for root in 0..p {
-            Universe::run(p, |comm| {
+            Universe::builder(p).run(|comm| {
                 let mut data = if comm.rank() == root {
                     vec![9u8, 8, 7, root as u8]
                 } else {
@@ -315,7 +315,7 @@ fn bcast_from_all_roots() {
 
 #[test]
 fn bcast_slice_typed() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         let mut v = if comm.rank() == 2 {
             [3i64, -4, 5]
         } else {
@@ -328,7 +328,7 @@ fn bcast_slice_typed() {
 
 #[test]
 fn gather_collects_rank_blocks() {
-    Universe::run(5, |comm| {
+    Universe::builder(5).run(|comm| {
         let blocks = comm
             .gather_bytes(3, vec![comm.rank() as u8; comm.rank() + 1])
             .unwrap();
@@ -346,7 +346,7 @@ fn gather_collects_rank_blocks() {
 #[test]
 fn allgather_bruck_all_sizes() {
     for p in [1, 2, 3, 4, 6, 8, 9, 16] {
-        Universe::run(p, |comm| {
+        Universe::builder(p).run(|comm| {
             let blocks = comm.allgather_bytes(vec![comm.rank() as u8, 0xEE]).unwrap();
             assert_eq!(blocks.len(), p);
             for (r, b) in blocks.iter().enumerate() {
@@ -359,7 +359,7 @@ fn allgather_bruck_all_sizes() {
 #[test]
 fn reduce_and_allreduce() {
     for p in [1, 2, 3, 5, 8] {
-        Universe::run(p, |comm| {
+        Universe::builder(p).run(|comm| {
             let mut x = [comm.rank() as u64, 1];
             comm.allreduce(&mut x, |a, b| a + b).unwrap();
             assert_eq!(x[0], (p * (p - 1) / 2) as u64);
@@ -376,7 +376,7 @@ fn reduce_and_allreduce() {
 
 #[test]
 fn all_same_detects_agreement_and_disagreement() {
-    Universe::run(4, |comm| {
+    Universe::builder(4).run(|comm| {
         assert!(comm.all_same(b"identical").unwrap());
         let per_rank = vec![comm.rank() as u8];
         assert!(!comm.all_same(&per_rank).unwrap());
@@ -390,7 +390,7 @@ fn all_same_detects_agreement_and_disagreement() {
 
 #[test]
 fn back_to_back_collectives_do_not_cross_talk() {
-    Universe::run(6, |comm| {
+    Universe::builder(6).run(|comm| {
         for round in 0..10u8 {
             let mut v = if comm.rank() == 0 {
                 vec![round]
@@ -411,7 +411,7 @@ fn back_to_back_collectives_do_not_cross_talk() {
 
 #[test]
 fn fabric_telemetry_reports_traffic() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 0, vec![0u8; 64]).unwrap();
         } else {
@@ -427,7 +427,7 @@ fn fabric_telemetry_reports_traffic() {
 #[test]
 fn stress_many_ranks_allreduce() {
     let p = 64;
-    Universe::run(p, |comm| {
+    Universe::builder(p).run(|comm| {
         let mut x = [1u64];
         comm.allreduce(&mut x, |a, b| a + b).unwrap();
         assert_eq!(x[0], p as u64);
@@ -436,7 +436,7 @@ fn stress_many_ranks_allreduce() {
 
 #[test]
 fn probe_reports_without_consuming() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             comm.send_bytes(1, 9, vec![1, 2, 3, 4]).unwrap();
         } else {
@@ -455,7 +455,7 @@ fn probe_reports_without_consuming() {
 
 #[test]
 fn iprobe_nonblocking_semantics() {
-    Universe::run(2, |comm| {
+    Universe::builder(2).run(|comm| {
         if comm.rank() == 0 {
             // nothing for tag 5 yet
             assert!(comm.iprobe(1, 5).unwrap().is_none());
@@ -481,7 +481,7 @@ fn iprobe_nonblocking_semantics() {
 
 #[test]
 fn probe_with_wildcards_sizes_dynamic_receive() {
-    Universe::run(3, |comm| {
+    Universe::builder(3).run(|comm| {
         if comm.rank() == 0 {
             for _ in 0..2 {
                 let st = comm.probe(ANY_SOURCE, ANY_TAG).unwrap();

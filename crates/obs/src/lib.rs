@@ -49,6 +49,7 @@ mod metrics;
 mod obs;
 pub mod profile;
 mod sink;
+pub mod tenant;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use event::{FaultActionKind, TraceEvent, TraceRecord};
@@ -58,3 +59,4 @@ pub use profile::{
     AlphaBetaFit, CriticalPath, MsgNode, PerfettoExport, PhaseSkew, RoundDag, TraceCollector,
 };
 pub use sink::{RingBufferSink, TraceSink};
+pub use tenant::{TenantRegistry, TenantStats};

@@ -342,6 +342,28 @@ impl MetricsSnapshot {
     }
 }
 
+impl std::ops::AddAssign for MetricsSnapshot {
+    /// Field-wise accumulation — folding per-job [`MetricsDelta`]s into a
+    /// per-tenant running total (saturating, like [`MetricsSnapshot::since`]).
+    fn add_assign(&mut self, rhs: MetricsSnapshot) {
+        self.rounds_started = self.rounds_started.saturating_add(rhs.rounds_started);
+        self.rounds_completed = self.rounds_completed.saturating_add(rhs.rounds_completed);
+        self.wire_bytes_sent = self.wire_bytes_sent.saturating_add(rhs.wire_bytes_sent);
+        self.wire_bytes_recv = self.wire_bytes_recv.saturating_add(rhs.wire_bytes_recv);
+        self.exchanges = self.exchanges.saturating_add(rhs.exchanges);
+        self.msgs_matched = self.msgs_matched.saturating_add(rhs.msgs_matched);
+        self.pack_spans = self.pack_spans.saturating_add(rhs.pack_spans);
+        self.pack_bytes = self.pack_bytes.saturating_add(rhs.pack_bytes);
+        self.pool_hits = self.pool_hits.saturating_add(rhs.pool_hits);
+        self.pool_misses = self.pool_misses.saturating_add(rhs.pool_misses);
+        self.plan_cache_hits = self.plan_cache_hits.saturating_add(rhs.plan_cache_hits);
+        self.plan_cache_misses = self.plan_cache_misses.saturating_add(rhs.plan_cache_misses);
+        self.faults_injected = self.faults_injected.saturating_add(rhs.faults_injected);
+        self.retransmits = self.retransmits.saturating_add(rhs.retransmits);
+        self.dup_drops = self.dup_drops.saturating_add(rhs.dup_drops);
+    }
+}
+
 impl std::ops::Sub for MetricsSnapshot {
     type Output = MetricsDelta;
 

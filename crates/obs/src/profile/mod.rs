@@ -31,7 +31,7 @@
 //!
 //! Timestamps are only cross-rank comparable if every rank's [`crate::Obs`]
 //! shares one [`crate::Clock`] — the DES tracer does this by construction,
-//! threaded runs get it from `Universe::run_profiled`.
+//! threaded runs get it from `Universe::builder(p).profiled(c)`.
 
 mod collect;
 mod critical;

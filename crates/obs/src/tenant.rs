@@ -1,0 +1,234 @@
+//! Per-tenant attribution of collective traffic — the observability side
+//! of serving many clients from one resident process.
+//!
+//! A serving layer (`cartserve`) executes jobs from independent tenants
+//! on shared rank threads. Each rank's [`MetricsRegistry`](crate::MetricsRegistry)
+//! keeps counting globally; what serving adds is *attribution*: scope the
+//! counters of each job execution as a [`MetricsDelta`] and fold it into
+//! that tenant's [`TenantStats`] here, together with the schedule's
+//! analytical predictions (`C` rounds per rank, Prop. 3.2; `V·m` wire
+//! bytes per rank, Prop. 3.3). The registry then renders the
+//! observed-vs-predicted C/V table per tenant — the same accounting the
+//! profiler reports per run, aggregated per client instead.
+//!
+//! The registry is shared across rank threads and the server's control
+//! plane, so it is internally synchronized; tenants are kept in first-seen
+//! order for stable rendering.
+
+use parking_lot::Mutex;
+
+use crate::metrics::{MetricsDelta, MetricsSnapshot};
+
+/// Accumulated traffic and predictions for one tenant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TenantStats {
+    /// Job executions recorded (rank-jobs: one collective on one rank).
+    pub jobs: u64,
+    /// Analytical round count summed over recorded jobs (`Σ C`).
+    pub predicted_rounds: u64,
+    /// Analytical wire volume summed over recorded jobs (`Σ V·m` bytes).
+    pub predicted_wire_bytes: u64,
+    /// Field-wise sum of the recorded per-job metric deltas.
+    pub totals: MetricsSnapshot,
+}
+
+impl TenantStats {
+    /// Observed rounds (`C`): completed communication rounds.
+    pub fn observed_rounds(&self) -> u64 {
+        self.totals.rounds_completed
+    }
+
+    /// Observed wire volume (`V·m`): payload bytes deposited on the wire.
+    pub fn observed_wire_bytes(&self) -> u64 {
+        self.totals.wire_bytes_sent
+    }
+
+    /// Whether observation matches prediction exactly — fault-free
+    /// combining executions satisfy this; trivial or faulty runs may not.
+    pub fn matches_prediction(&self) -> bool {
+        self.observed_rounds() == self.predicted_rounds
+            && self.observed_wire_bytes() == self.predicted_wire_bytes
+    }
+}
+
+/// Named per-tenant accumulation of job deltas and schedule predictions.
+#[derive(Debug, Default)]
+pub struct TenantRegistry {
+    /// First-seen-ordered, so reports are stable across runs.
+    tenants: Mutex<Vec<(String, TenantStats)>>,
+}
+
+impl TenantRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one job execution into `tenant`'s stats: the job's scoped
+    /// counter traffic plus the schedule's analytical `C` (rounds) and
+    /// `V·m` (wire bytes) for that execution. Creates the tenant on first
+    /// use.
+    pub fn record_job(
+        &self,
+        tenant: &str,
+        predicted_rounds: u64,
+        predicted_wire_bytes: u64,
+        delta: &MetricsDelta,
+    ) {
+        let mut tenants = self.tenants.lock();
+        let stats = match tenants.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, stats)) => stats,
+            None => {
+                tenants.push((tenant.to_string(), TenantStats::default()));
+                &mut tenants.last_mut().expect("just pushed").1
+            }
+        };
+        stats.jobs += 1;
+        stats.predicted_rounds += predicted_rounds;
+        stats.predicted_wire_bytes += predicted_wire_bytes;
+        stats.totals += **delta;
+    }
+
+    /// The stats for one tenant, if it has recorded any job.
+    pub fn stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.tenants
+            .lock()
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, stats)| *stats)
+    }
+
+    /// All tenants with their stats, in first-seen order.
+    pub fn all(&self) -> Vec<(String, TenantStats)> {
+        self.tenants.lock().clone()
+    }
+
+    /// Number of tenants seen.
+    pub fn len(&self) -> usize {
+        self.tenants.lock().len()
+    }
+
+    /// True when no tenant has recorded a job yet.
+    pub fn is_empty(&self) -> bool {
+        self.tenants.lock().is_empty()
+    }
+
+    /// The observed-vs-predicted C/V table, one row per tenant:
+    ///
+    /// ```text
+    /// tenant      jobs   C obs   C pred   V obs (B)   V pred (B)   plan hit/miss
+    /// ```
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>8} {:>8} {:>12} {:>12} {:>14}\n",
+            "tenant", "jobs", "C obs", "C pred", "V obs (B)", "V pred (B)", "plan hit/miss"
+        ));
+        for (name, s) in self.all() {
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>8} {:>8} {:>12} {:>12} {:>14}\n",
+                name,
+                s.jobs,
+                s.observed_rounds(),
+                s.predicted_rounds,
+                s.observed_wire_bytes(),
+                s.predicted_wire_bytes,
+                format!(
+                    "{}/{}",
+                    s.totals.plan_cache_hits, s.totals.plan_cache_misses
+                ),
+            ));
+        }
+        out
+    }
+
+    /// The table as a JSON array of per-tenant objects (the wire `stats`
+    /// reply of the serving layer).
+    pub fn to_json(&self) -> String {
+        let rows = self
+            .all()
+            .iter()
+            .map(|(name, s)| {
+                format!(
+                    concat!(
+                        "{{\"tenant\":\"{}\",\"jobs\":{},",
+                        "\"observed_rounds\":{},\"predicted_rounds\":{},",
+                        "\"observed_wire_bytes\":{},\"predicted_wire_bytes\":{},",
+                        "\"plan_cache_hits\":{},\"plan_cache_misses\":{},",
+                        "\"metrics\":{}}}"
+                    ),
+                    name.replace('\\', "\\\\").replace('"', "\\\""),
+                    s.jobs,
+                    s.observed_rounds(),
+                    s.predicted_rounds,
+                    s.observed_wire_bytes(),
+                    s.predicted_wire_bytes,
+                    s.totals.plan_cache_hits,
+                    s.totals.plan_cache_misses,
+                    s.totals.to_json(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        format!("[{rows}]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn delta_of(rounds: u64, bytes: usize, hits: u64) -> MetricsDelta {
+        let m = MetricsRegistry::new();
+        let before = m.snapshot();
+        for _ in 0..rounds {
+            m.round_started();
+            m.round_completed();
+        }
+        m.add_wire_sent(bytes);
+        for _ in 0..hits {
+            m.plan_cache_hit();
+        }
+        m.delta_since(&before)
+    }
+
+    #[test]
+    fn records_fold_per_tenant() {
+        let reg = TenantRegistry::new();
+        reg.record_job("a", 4, 100, &delta_of(4, 100, 0));
+        reg.record_job("a", 4, 100, &delta_of(4, 100, 1));
+        reg.record_job("b", 6, 64, &delta_of(7, 70, 0));
+        assert_eq!(reg.len(), 2);
+
+        let a = reg.stats("a").unwrap();
+        assert_eq!(a.jobs, 2);
+        assert_eq!(a.observed_rounds(), 8);
+        assert_eq!(a.predicted_rounds, 8);
+        assert_eq!(a.observed_wire_bytes(), 200);
+        assert_eq!(a.totals.plan_cache_hits, 1);
+        assert!(a.matches_prediction());
+
+        let b = reg.stats("b").unwrap();
+        assert!(!b.matches_prediction(), "b observed more than predicted");
+        assert!(reg.stats("c").is_none());
+    }
+
+    #[test]
+    fn table_and_json_render_all_tenants_in_order() {
+        let reg = TenantRegistry::new();
+        reg.record_job("zeta", 1, 8, &delta_of(1, 8, 0));
+        reg.record_job("alpha", 2, 16, &delta_of(2, 16, 0));
+        let table = reg.render_table();
+        let zeta_at = table.find("zeta").unwrap();
+        let alpha_at = table.find("alpha").unwrap();
+        assert!(zeta_at < alpha_at, "first-seen order, not alphabetical");
+        assert_eq!(table.lines().count(), 3);
+
+        let json = reg.to_json();
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"tenant\":\"zeta\""));
+        assert!(json.contains("\"predicted_rounds\":2"));
+        assert!(json.contains("\"metrics\":{"));
+    }
+}

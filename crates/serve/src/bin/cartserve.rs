@@ -1,0 +1,194 @@
+//! `cartserve` — the multi-tenant collective daemon.
+//!
+//! ```text
+//! cartserve [--uds PATH | --tcp ADDR] [--window-us N] [--queue-cap N]
+//!           [--max-universes N] [--smoke]
+//! ```
+//!
+//! Without `--smoke`, binds the requested endpoint (default
+//! `--uds /tmp/cartserve.sock`) and serves until a client sends the wire
+//! `SHUTDOWN` command. With `--smoke`, spins up a private daemon on a
+//! temporary socket, runs two tenants through it (verifying byte-identical
+//! results and plan sharing), prints the stats table, drains, and exits —
+//! a self-contained health check for CI and packaging.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use cartcomm_serve::proto::{AlgoSpec, JobSpec, OpSpec};
+use cartcomm_serve::{Client, ServeConfig, Server};
+
+struct Args {
+    uds: Option<String>,
+    tcp: Option<String>,
+    window_us: u64,
+    queue_cap: usize,
+    max_universes: usize,
+    smoke: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        uds: None,
+        tcp: None,
+        window_us: 2000,
+        queue_cap: 64,
+        max_universes: 4,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match a.as_str() {
+            "--uds" => args.uds = Some(val("--uds")?),
+            "--tcp" => args.tcp = Some(val("--tcp")?),
+            "--window-us" => {
+                args.window_us = val("--window-us")?
+                    .parse()
+                    .map_err(|e| format!("--window-us: {e}"))?
+            }
+            "--queue-cap" => {
+                args.queue_cap = val("--queue-cap")?
+                    .parse()
+                    .map_err(|e| format!("--queue-cap: {e}"))?
+            }
+            "--max-universes" => {
+                args.max_universes = val("--max-universes")?
+                    .parse()
+                    .map_err(|e| format!("--max-universes: {e}"))?
+            }
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                println!(
+                    "cartserve [--uds PATH | --tcp ADDR] [--window-us N] \
+                     [--queue-cap N] [--max-universes N] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.uds.is_some() && args.tcp.is_some() {
+        return Err("--uds and --tcp are mutually exclusive".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("cartserve: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cfg = ServeConfig {
+        queue_cap: args.queue_cap,
+        window: Duration::from_micros(args.window_us),
+        max_universes: args.max_universes,
+        ..ServeConfig::default()
+    };
+
+    if args.smoke {
+        return match smoke(cfg) {
+            Ok(()) => {
+                println!("cartserve: smoke ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("cartserve: smoke failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let server = if let Some(addr) = &args.tcp {
+        Server::bind_tcp(addr, cfg)
+    } else {
+        let path = args
+            .uds
+            .clone()
+            .unwrap_or_else(|| "/tmp/cartserve.sock".to_string());
+        Server::bind_uds(path, cfg)
+    };
+    let server = match server {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cartserve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("cartserve: listening on {:?}", server.endpoint());
+    // Serve until a client drains us over the wire.
+    server.wait();
+    println!("cartserve: drained, bye");
+    ExitCode::SUCCESS
+}
+
+/// The self-check: two tenants, same job shape, byte-identical results,
+/// plan sharing visible in the per-tenant table.
+fn smoke(cfg: ServeConfig) -> Result<(), String> {
+    let sock = std::env::temp_dir().join(format!("cartserve-smoke-{}.sock", std::process::id()));
+    let server = Server::bind_uds(&sock, cfg).map_err(|e| format!("bind: {e}"))?;
+
+    // 2x2 periodic torus, von Neumann neighborhood, 8-byte blocks.
+    let offsets: Vec<Vec<i64>> = vec![vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
+    let t = offsets.len();
+    let spec = JobSpec {
+        dims: vec![2, 2],
+        periods: vec![true, true],
+        offsets,
+        op: OpSpec::Alltoallv {
+            elem_size: 1,
+            sendcounts: vec![8; t],
+            senddispls: (0..t).map(|i| i * 8).collect(),
+            recvcounts: vec![8; t],
+            recvdispls: (0..t).map(|i| i * 8).collect(),
+        },
+        algo: AlgoSpec::Combining,
+    };
+    let p = spec.ranks();
+    let payload: Vec<u8> = (0..p * spec.send_bytes_per_rank())
+        .map(|i| (i % 251) as u8)
+        .collect();
+
+    let mut results = Vec::new();
+    for tenant in ["smoke-a", "smoke-b"] {
+        let mut client = Client::connect_uds(&sock, tenant).map_err(|e| format!("connect: {e}"))?;
+        client.ping(b"hello").map_err(|e| format!("ping: {e}"))?;
+        let out = client
+            .submit_retrying(&spec, &payload, 50)
+            .map_err(|e| format!("submit ({tenant}): {e}"))?;
+        if out.len() != p * spec.recv_bytes_per_rank() {
+            return Err(format!("result has {} bytes", out.len()));
+        }
+        results.push(out);
+    }
+    if results[0] != results[1] {
+        return Err("tenants got different bytes for the same job".into());
+    }
+
+    let mut client = Client::connect_uds(&sock, "smoke-a").map_err(|e| format!("connect: {e}"))?;
+    let stats = client.stats().map_err(|e| format!("stats: {e}"))?;
+    if !stats.contains("\"tenant\":\"smoke-b\"") {
+        return Err("stats report is missing a tenant".into());
+    }
+    println!("{}", server.tenants().render_table());
+
+    // Per-tenant plan traffic: the second tenant must have ridden the
+    // store warm — all hits, no misses.
+    let b = server
+        .tenants()
+        .stats("smoke-b")
+        .ok_or("no stats for smoke-b")?;
+    if b.totals.plan_cache_misses != 0 || b.totals.plan_cache_hits == 0 {
+        return Err(format!(
+            "smoke-b should only hit warm plans (hits {}, misses {})",
+            b.totals.plan_cache_hits, b.totals.plan_cache_misses
+        ));
+    }
+
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    server.wait();
+    Ok(())
+}

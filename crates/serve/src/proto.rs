@@ -1,0 +1,827 @@
+//! The cartserve wire protocol: job submission and control messages.
+//!
+//! Every message travels as one [`Envelope`] frame in the byte format of
+//! [`cartcomm_comm::transport::wire`] — the exact encoding the socket and
+//! shared-memory transports use for rank-to-rank traffic, reused here for
+//! the client↔daemon control plane. The envelope `tag` carries the message
+//! type, the envelope `ctx` carries a client-chosen request id that the
+//! daemon echoes in its reply, and the payload carries the message body.
+//!
+//! Request tags (client → daemon):
+//!
+//! | tag | message | body |
+//! |-----|---------|------|
+//! | `0x01` | `HELLO` | tenant name |
+//! | `0x02` | `SUBMIT` | tenant + [`JobSpec`] + send payload |
+//! | `0x03` | `STATS` | empty |
+//! | `0x04` | `SHUTDOWN` | empty |
+//! | `0x05` | `PING` | opaque bytes, echoed |
+//!
+//! Reply tags (daemon → client):
+//!
+//! | tag | message | body |
+//! |-----|---------|------|
+//! | `0x81` | `HELLO_OK` | protocol version (`u32`) |
+//! | `0x82` | `RESULT` | `p` concatenated per-rank receive buffers |
+//! | `0x83` | `BUSY` | retry-after hint in ms (`u32`) |
+//! | `0x84` | `ERR` | UTF-8 error message |
+//! | `0x85` | `STATS_OK` | UTF-8 JSON report |
+//! | `0x86` | `SHUTDOWN_OK` | empty |
+//! | `0x87` | `PONG` | the `PING` bytes |
+//!
+//! A [`JobSpec`] names a complete collective: the Cartesian topology
+//! (dims and periodicity), the isomorphic relative neighborhood, the
+//! operation with its counts/displacements (in the units of the matching
+//! `CartComm` method), and the algorithm. The submit payload carries the
+//! send buffers of **all** `p` ranks back to back — the service owns the
+//! ranks, the client owns the data. All integers little-endian.
+
+use cartcomm::ops::Algo;
+use cartcomm_comm::envelope::Envelope;
+use cartcomm_comm::transport::wire;
+
+/// Protocol version sent in `HELLO_OK`.
+pub const PROTO_VERSION: u32 = 1;
+
+/// Request tags.
+pub const TAG_HELLO: u32 = 0x01;
+pub const TAG_SUBMIT: u32 = 0x02;
+pub const TAG_STATS: u32 = 0x03;
+pub const TAG_SHUTDOWN: u32 = 0x04;
+pub const TAG_PING: u32 = 0x05;
+
+/// Reply tags.
+pub const TAG_HELLO_OK: u32 = 0x81;
+pub const TAG_RESULT: u32 = 0x82;
+pub const TAG_BUSY: u32 = 0x83;
+pub const TAG_ERR: u32 = 0x84;
+pub const TAG_STATS_OK: u32 = 0x85;
+pub const TAG_SHUTDOWN_OK: u32 = 0x86;
+pub const TAG_PONG: u32 = 0x87;
+
+/// Which algorithm the daemon should run the collective with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgoSpec {
+    /// The t-round trivial algorithm (Listing 4).
+    Trivial,
+    /// The message-combining schedule (§3).
+    Combining,
+}
+
+impl AlgoSpec {
+    /// The ops-layer algorithm selector.
+    pub fn to_algo(self) -> Algo {
+        match self {
+            AlgoSpec::Trivial => Algo::Trivial,
+            AlgoSpec::Combining => Algo::Combining,
+        }
+    }
+
+    fn to_byte(self) -> u8 {
+        match self {
+            AlgoSpec::Trivial => 0,
+            AlgoSpec::Combining => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Option<Self> {
+        match b {
+            0 => Some(AlgoSpec::Trivial),
+            1 => Some(AlgoSpec::Combining),
+            _ => None,
+        }
+    }
+}
+
+/// The collective operation of a job, with per-neighbor counts and
+/// displacements in the units of the matching [`cartcomm::CartComm`]
+/// method. `w` blocks are `(byte displacement, byte count)` pairs over the
+/// byte datatype.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpSpec {
+    /// `Cart_alltoallv`: counts/displs in elements of `elem_size` bytes.
+    Alltoallv {
+        elem_size: usize,
+        sendcounts: Vec<usize>,
+        senddispls: Vec<usize>,
+        recvcounts: Vec<usize>,
+        recvdispls: Vec<usize>,
+    },
+    /// `Cart_allgatherv`: one send block of `sendcount` elements,
+    /// `t` receive displacements.
+    Allgatherv {
+        elem_size: usize,
+        sendcount: usize,
+        recvdispls: Vec<usize>,
+    },
+    /// `Cart_alltoallw` over byte blocks.
+    Alltoallw {
+        send_blocks: Vec<(i64, usize)>,
+        recv_blocks: Vec<(i64, usize)>,
+    },
+    /// `Cart_allgatherw` over byte blocks.
+    Allgatherw {
+        send_block: (i64, usize),
+        recv_blocks: Vec<(i64, usize)>,
+    },
+}
+
+/// A complete job: topology, neighborhood, operation, algorithm. The
+/// tenant name and the payload travel beside the spec in `SUBMIT`, so the
+/// spec itself is exactly the *shape* of the job — two submissions with
+/// equal specs hit the same plan-store entries and may be coalesced into
+/// one batch by the daemon (see [`JobSpec::coalesce_key`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Grid extent per dimension; the job runs on `Π dims` ranks.
+    pub dims: Vec<usize>,
+    /// Periodicity per dimension.
+    pub periods: Vec<bool>,
+    /// The isomorphic relative neighborhood, one offset vector per
+    /// neighbor, each of `dims.len()` coordinates.
+    pub offsets: Vec<Vec<i64>>,
+    /// The collective to run.
+    pub op: OpSpec,
+    /// Which algorithm to run it with.
+    pub algo: AlgoSpec,
+}
+
+impl JobSpec {
+    /// Number of ranks the job needs: the product of the grid dims.
+    pub fn ranks(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Neighborhood size `t`.
+    pub fn neighbor_count(&self) -> usize {
+        self.offsets.len()
+    }
+
+    /// Bytes each rank contributes in the submit payload.
+    pub fn send_bytes_per_rank(&self) -> usize {
+        match &self.op {
+            OpSpec::Alltoallv {
+                elem_size,
+                sendcounts,
+                senddispls,
+                ..
+            } => span_bytes(sendcounts, senddispls, *elem_size),
+            OpSpec::Allgatherv {
+                elem_size,
+                sendcount,
+                ..
+            } => sendcount * elem_size,
+            OpSpec::Alltoallw { send_blocks, .. } => w_span(send_blocks),
+            OpSpec::Allgatherw { send_block, .. } => w_span(std::slice::from_ref(send_block)),
+        }
+    }
+
+    /// Bytes each rank receives in the result payload.
+    pub fn recv_bytes_per_rank(&self) -> usize {
+        match &self.op {
+            OpSpec::Alltoallv {
+                elem_size,
+                recvcounts,
+                recvdispls,
+                ..
+            } => span_bytes(recvcounts, recvdispls, *elem_size),
+            OpSpec::Allgatherv {
+                elem_size,
+                sendcount,
+                recvdispls,
+            } => span_bytes(&vec![*sendcount; recvdispls.len()], recvdispls, *elem_size),
+            OpSpec::Alltoallw { recv_blocks, .. } | OpSpec::Allgatherw { recv_blocks, .. } => {
+                w_span(recv_blocks)
+            }
+        }
+    }
+
+    /// Per-neighbor receive-block sizes in bytes — the `block_bytes` the
+    /// executor's layouts carry, used for the analytical volume
+    /// prediction (`V·m`, Prop. 3.3).
+    pub fn recv_block_bytes(&self) -> Vec<usize> {
+        match &self.op {
+            OpSpec::Alltoallv {
+                elem_size,
+                recvcounts,
+                ..
+            } => recvcounts.iter().map(|c| c * elem_size).collect(),
+            OpSpec::Allgatherv {
+                elem_size,
+                sendcount,
+                recvdispls,
+            } => vec![sendcount * elem_size; recvdispls.len()],
+            OpSpec::Alltoallw { recv_blocks, .. } | OpSpec::Allgatherw { recv_blocks, .. } => {
+                recv_blocks.iter().map(|&(_, count)| count).collect()
+            }
+        }
+    }
+
+    /// Structural validation: everything a daemon must check before
+    /// spending a universe on the job.
+    pub fn validate(&self) -> Result<(), String> {
+        let d = self.dims.len();
+        if d == 0 {
+            return Err("job has no dimensions".into());
+        }
+        if self.periods.len() != d {
+            return Err(format!("{} periods for {} dims", self.periods.len(), d));
+        }
+        if self.dims.contains(&0) {
+            return Err("zero-extent dimension".into());
+        }
+        let t = self.neighbor_count();
+        if t == 0 {
+            return Err("empty neighborhood".into());
+        }
+        if let Some(bad) = self.offsets.iter().find(|o| o.len() != d) {
+            return Err(format!("offset {bad:?} has wrong arity (want {d})"));
+        }
+        let check = |name: &str, len: usize, want: usize| -> Result<(), String> {
+            if len != want {
+                Err(format!("{name} has {len} entries, want {want}"))
+            } else {
+                Ok(())
+            }
+        };
+        match &self.op {
+            OpSpec::Alltoallv {
+                elem_size,
+                sendcounts,
+                senddispls,
+                recvcounts,
+                recvdispls,
+            } => {
+                if *elem_size == 0 {
+                    return Err("elem_size is zero".into());
+                }
+                check("sendcounts", sendcounts.len(), t)?;
+                check("senddispls", senddispls.len(), t)?;
+                check("recvcounts", recvcounts.len(), t)?;
+                check("recvdispls", recvdispls.len(), t)?;
+            }
+            OpSpec::Allgatherv {
+                elem_size,
+                recvdispls,
+                ..
+            } => {
+                if *elem_size == 0 {
+                    return Err("elem_size is zero".into());
+                }
+                check("recvdispls", recvdispls.len(), t)?;
+            }
+            OpSpec::Alltoallw {
+                send_blocks,
+                recv_blocks,
+            } => {
+                check("send_blocks", send_blocks.len(), t)?;
+                check("recv_blocks", recv_blocks.len(), t)?;
+            }
+            OpSpec::Allgatherw { recv_blocks, .. } => {
+                check("recv_blocks", recv_blocks.len(), t)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The coalescing key: an FNV-1a hash of the full spec encoding.
+    /// Jobs with equal keys share topology, neighborhood, operation
+    /// shape, and algorithm — they resolve to the same plan-store entries
+    /// and are safe to batch onto one resident universe back to back.
+    pub fn coalesce_key(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in &self.encode() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    /// Serialize the spec body (without tenant or payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        let d = self.dims.len();
+        out.push(d as u8);
+        for &x in &self.dims {
+            put_u32(&mut out, x as u32);
+        }
+        for &p in &self.periods {
+            out.push(p as u8);
+        }
+        put_u32(&mut out, self.offsets.len() as u32);
+        for off in &self.offsets {
+            for &c in off {
+                put_i64(&mut out, c);
+            }
+        }
+        out.push(self.algo.to_byte());
+        match &self.op {
+            OpSpec::Alltoallv {
+                elem_size,
+                sendcounts,
+                senddispls,
+                recvcounts,
+                recvdispls,
+            } => {
+                out.push(0);
+                put_u32(&mut out, *elem_size as u32);
+                put_usize_vec(&mut out, sendcounts);
+                put_usize_vec(&mut out, senddispls);
+                put_usize_vec(&mut out, recvcounts);
+                put_usize_vec(&mut out, recvdispls);
+            }
+            OpSpec::Allgatherv {
+                elem_size,
+                sendcount,
+                recvdispls,
+            } => {
+                out.push(1);
+                put_u32(&mut out, *elem_size as u32);
+                put_u64(&mut out, *sendcount as u64);
+                put_usize_vec(&mut out, recvdispls);
+            }
+            OpSpec::Alltoallw {
+                send_blocks,
+                recv_blocks,
+            } => {
+                out.push(2);
+                put_block_vec(&mut out, send_blocks);
+                put_block_vec(&mut out, recv_blocks);
+            }
+            OpSpec::Allgatherw {
+                send_block,
+                recv_blocks,
+            } => {
+                out.push(3);
+                put_i64(&mut out, send_block.0);
+                put_u64(&mut out, send_block.1 as u64);
+                put_block_vec(&mut out, recv_blocks);
+            }
+        }
+        out
+    }
+
+    /// Deserialize a spec body.
+    pub fn decode(buf: &[u8]) -> Result<Self, String> {
+        let mut c = Cursor::new(buf);
+        let spec = Self::read(&mut c)?;
+        if !c.at_end() {
+            return Err("trailing bytes after job spec".into());
+        }
+        Ok(spec)
+    }
+
+    fn read(c: &mut Cursor<'_>) -> Result<Self, String> {
+        let d = c.u8()? as usize;
+        let dims = (0..d)
+            .map(|_| c.u32().map(|x| x as usize))
+            .collect::<Result<Vec<_>, _>>()?;
+        let periods = (0..d)
+            .map(|_| c.u8().map(|b| b != 0))
+            .collect::<Result<Vec<_>, _>>()?;
+        let t = c.u32()? as usize;
+        if t > MAX_NEIGHBORS {
+            return Err(format!("neighborhood of {t} exceeds limit"));
+        }
+        let offsets = (0..t)
+            .map(|_| (0..d).map(|_| c.i64()).collect::<Result<Vec<_>, _>>())
+            .collect::<Result<Vec<_>, _>>()?;
+        let algo = AlgoSpec::from_byte(c.u8()?).ok_or("bad algo byte")?;
+        let op = match c.u8()? {
+            0 => OpSpec::Alltoallv {
+                elem_size: c.u32()? as usize,
+                sendcounts: c.usize_vec()?,
+                senddispls: c.usize_vec()?,
+                recvcounts: c.usize_vec()?,
+                recvdispls: c.usize_vec()?,
+            },
+            1 => OpSpec::Allgatherv {
+                elem_size: c.u32()? as usize,
+                sendcount: c.u64()? as usize,
+                recvdispls: c.usize_vec()?,
+            },
+            2 => OpSpec::Alltoallw {
+                send_blocks: c.block_vec()?,
+                recv_blocks: c.block_vec()?,
+            },
+            3 => OpSpec::Allgatherw {
+                send_block: (c.i64()?, c.u64()? as usize),
+                recv_blocks: c.block_vec()?,
+            },
+            k => return Err(format!("unknown op kind {k}")),
+        };
+        Ok(JobSpec {
+            dims,
+            periods,
+            offsets,
+            op,
+            algo,
+        })
+    }
+}
+
+/// Sanity bound on decoded vector lengths (a malformed frame must not
+/// allocate unbounded memory).
+const MAX_NEIGHBORS: usize = 1 << 20;
+
+/// A decoded client→daemon request.
+///
+/// `Submit` dwarfs the other variants by design — a request either is a
+/// job or is a few bytes of control — so boxing the spec would only add
+/// an indirection on the hot path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(clippy::large_enum_variant)]
+pub enum Request {
+    Hello {
+        tenant: String,
+    },
+    Submit {
+        tenant: String,
+        spec: JobSpec,
+        payload: Vec<u8>,
+    },
+    Stats,
+    Shutdown,
+    Ping {
+        payload: Vec<u8>,
+    },
+}
+
+impl Request {
+    /// Frame the request as one wire envelope with request id `ctx`.
+    pub fn encode_frame(&self, ctx: u32) -> Vec<u8> {
+        let (tag, body) = match self {
+            Request::Hello { tenant } => (TAG_HELLO, tenant.as_bytes().to_vec()),
+            Request::Submit {
+                tenant,
+                spec,
+                payload,
+            } => {
+                let spec_bytes = spec.encode();
+                let mut body =
+                    Vec::with_capacity(8 + tenant.len() + spec_bytes.len() + payload.len());
+                put_u32(&mut body, tenant.len() as u32);
+                body.extend_from_slice(tenant.as_bytes());
+                put_u32(&mut body, spec_bytes.len() as u32);
+                body.extend_from_slice(&spec_bytes);
+                body.extend_from_slice(payload);
+                (TAG_SUBMIT, body)
+            }
+            Request::Stats => (TAG_STATS, Vec::new()),
+            Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
+            Request::Ping { payload } => (TAG_PING, payload.clone()),
+        };
+        frame(ctx, tag, body)
+    }
+
+    /// Decode a request from an envelope.
+    pub fn decode_env(env: &Envelope) -> Result<Self, String> {
+        let body: &[u8] = &env.data;
+        match env.tag {
+            TAG_HELLO => Ok(Request::Hello {
+                tenant: utf8(body)?,
+            }),
+            TAG_SUBMIT => {
+                let mut c = Cursor::new(body);
+                let tlen = c.u32()? as usize;
+                let tenant = utf8(c.take(tlen)?)?;
+                let slen = c.u32()? as usize;
+                let spec = JobSpec::decode(c.take(slen)?)?;
+                let payload = c.rest().to_vec();
+                Ok(Request::Submit {
+                    tenant,
+                    spec,
+                    payload,
+                })
+            }
+            TAG_STATS => Ok(Request::Stats),
+            TAG_SHUTDOWN => Ok(Request::Shutdown),
+            TAG_PING => Ok(Request::Ping {
+                payload: body.to_vec(),
+            }),
+            t => Err(format!("unknown request tag {t:#x}")),
+        }
+    }
+}
+
+/// A decoded daemon→client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    HelloOk { version: u32 },
+    Result { payload: Vec<u8> },
+    Busy { retry_after_ms: u32 },
+    Err { message: String },
+    StatsOk { json: String },
+    ShutdownOk,
+    Pong { payload: Vec<u8> },
+}
+
+impl Reply {
+    /// Frame the reply as one wire envelope echoing request id `ctx`.
+    pub fn encode_frame(&self, ctx: u32) -> Vec<u8> {
+        let (tag, body) = match self {
+            Reply::HelloOk { version } => {
+                let mut b = Vec::with_capacity(4);
+                put_u32(&mut b, *version);
+                (TAG_HELLO_OK, b)
+            }
+            Reply::Result { payload } => (TAG_RESULT, payload.clone()),
+            Reply::Busy { retry_after_ms } => {
+                let mut b = Vec::with_capacity(4);
+                put_u32(&mut b, *retry_after_ms);
+                (TAG_BUSY, b)
+            }
+            Reply::Err { message } => (TAG_ERR, message.as_bytes().to_vec()),
+            Reply::StatsOk { json } => (TAG_STATS_OK, json.as_bytes().to_vec()),
+            Reply::ShutdownOk => (TAG_SHUTDOWN_OK, Vec::new()),
+            Reply::Pong { payload } => (TAG_PONG, payload.clone()),
+        };
+        frame(ctx, tag, body)
+    }
+
+    /// Decode a reply from an envelope.
+    pub fn decode_env(env: &Envelope) -> Result<Self, String> {
+        let body: &[u8] = &env.data;
+        match env.tag {
+            TAG_HELLO_OK => {
+                let mut c = Cursor::new(body);
+                Ok(Reply::HelloOk { version: c.u32()? })
+            }
+            TAG_RESULT => Ok(Reply::Result {
+                payload: body.to_vec(),
+            }),
+            TAG_BUSY => {
+                let mut c = Cursor::new(body);
+                Ok(Reply::Busy {
+                    retry_after_ms: c.u32()?,
+                })
+            }
+            TAG_ERR => Ok(Reply::Err {
+                message: utf8(body)?,
+            }),
+            TAG_STATS_OK => Ok(Reply::StatsOk { json: utf8(body)? }),
+            TAG_SHUTDOWN_OK => Ok(Reply::ShutdownOk),
+            TAG_PONG => Ok(Reply::Pong {
+                payload: body.to_vec(),
+            }),
+            t => Err(format!("unknown reply tag {t:#x}")),
+        }
+    }
+}
+
+fn frame(ctx: u32, tag: u32, body: Vec<u8>) -> Vec<u8> {
+    let env = Envelope::new(ctx, 0, tag, body);
+    let mut out = Vec::with_capacity(wire::HEADER_BYTES + env.data.len());
+    wire::encode_into(&env, &mut out);
+    out
+}
+
+fn utf8(b: &[u8]) -> Result<String, String> {
+    String::from_utf8(b.to_vec()).map_err(|_| "invalid utf-8".to_string())
+}
+
+fn span_bytes(counts: &[usize], displs: &[usize], elem_size: usize) -> usize {
+    counts
+        .iter()
+        .zip(displs)
+        .map(|(c, d)| (d + c) * elem_size)
+        .max()
+        .unwrap_or(0)
+}
+
+fn w_span(blocks: &[(i64, usize)]) -> usize {
+    blocks
+        .iter()
+        .map(|&(disp, count)| disp.max(0) as usize + count)
+        .max()
+        .unwrap_or(0)
+}
+
+// ----- little-endian primitives -------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_i64(out: &mut Vec<u8>, x: i64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_usize_vec(out: &mut Vec<u8>, v: &[usize]) {
+    put_u32(out, v.len() as u32);
+    for &x in v {
+        put_u64(out, x as u64);
+    }
+}
+
+fn put_block_vec(out: &mut Vec<u8>, v: &[(i64, usize)]) {
+    put_u32(out, v.len() as u32);
+    for &(disp, count) in v {
+        put_i64(out, disp);
+        put_u64(out, count as u64);
+    }
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, at: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.buf.len() - self.at < n {
+            return Err("truncated message".into());
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        let s = &self.buf[self.at..];
+        self.at = self.buf.len();
+        s
+    }
+
+    fn at_end(&self) -> bool {
+        self.at == self.buf.len()
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize_vec(&mut self) -> Result<Vec<usize>, String> {
+        let n = self.u32()? as usize;
+        if n > MAX_NEIGHBORS {
+            return Err(format!("vector of {n} exceeds limit"));
+        }
+        (0..n).map(|_| self.u64().map(|x| x as usize)).collect()
+    }
+
+    fn block_vec(&mut self) -> Result<Vec<(i64, usize)>, String> {
+        let n = self.u32()? as usize;
+        if n > MAX_NEIGHBORS {
+            return Err(format!("vector of {n} exceeds limit"));
+        }
+        (0..n)
+            .map(|_| Ok((self.i64()?, self.u64()? as usize)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cartcomm_comm::WirePool;
+    use std::sync::Arc;
+
+    fn moore_spec(algo: AlgoSpec) -> JobSpec {
+        let offsets: Vec<Vec<i64>> = (-1..=1)
+            .flat_map(|a| (-1..=1).map(move |b| vec![a, b]))
+            .filter(|o| o.iter().any(|&c| c != 0))
+            .collect();
+        let t = offsets.len();
+        JobSpec {
+            dims: vec![3, 3],
+            periods: vec![true, true],
+            offsets,
+            op: OpSpec::Alltoallv {
+                elem_size: 4,
+                sendcounts: vec![2; t],
+                senddispls: (0..t).map(|i| i * 2).collect(),
+                recvcounts: vec![2; t],
+                recvdispls: (0..t).map(|i| i * 2).collect(),
+            },
+            algo,
+        }
+    }
+
+    fn roundtrip_req(req: &Request) -> Request {
+        let bytes = req.encode_frame(7);
+        let pool = Arc::new(WirePool::new());
+        let (env, used) = wire::decode_from(&bytes, &pool).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(env.ctx, 7);
+        Request::decode_env(&env).expect("request decodes")
+    }
+
+    fn roundtrip_reply(rep: &Reply) -> Reply {
+        let bytes = rep.encode_frame(9);
+        let pool = Arc::new(WirePool::new());
+        let (env, used) = wire::decode_from(&bytes, &pool).expect("decodes");
+        assert_eq!(used, bytes.len());
+        assert_eq!(env.ctx, 9);
+        Reply::decode_env(&env).expect("reply decodes")
+    }
+
+    #[test]
+    fn spec_roundtrips_and_sizes_add_up() {
+        let spec = moore_spec(AlgoSpec::Combining);
+        assert_eq!(JobSpec::decode(&spec.encode()).unwrap(), spec);
+        assert_eq!(spec.ranks(), 9);
+        assert_eq!(spec.neighbor_count(), 8);
+        assert_eq!(spec.send_bytes_per_rank(), 8 * 2 * 4);
+        assert_eq!(spec.recv_bytes_per_rank(), 8 * 2 * 4);
+        assert_eq!(spec.recv_block_bytes(), vec![8; 8]);
+        spec.validate().expect("valid");
+    }
+
+    #[test]
+    fn coalesce_key_tracks_shape_not_tenant_or_payload() {
+        let a = moore_spec(AlgoSpec::Combining);
+        let b = moore_spec(AlgoSpec::Combining);
+        assert_eq!(a.coalesce_key(), b.coalesce_key());
+        let c = moore_spec(AlgoSpec::Trivial);
+        assert_ne!(
+            a.coalesce_key(),
+            c.coalesce_key(),
+            "algo is part of the shape"
+        );
+        let mut d = moore_spec(AlgoSpec::Combining);
+        d.dims = vec![9, 1];
+        assert_ne!(
+            a.coalesce_key(),
+            d.coalesce_key(),
+            "topology is part of the shape"
+        );
+    }
+
+    #[test]
+    fn requests_and_replies_roundtrip_the_wire_format() {
+        let spec = moore_spec(AlgoSpec::Combining);
+        let payload = vec![0xAB; spec.ranks() * spec.send_bytes_per_rank()];
+        for req in [
+            Request::Hello {
+                tenant: "t1".into(),
+            },
+            Request::Submit {
+                tenant: "t1".into(),
+                spec: spec.clone(),
+                payload: payload.clone(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+            Request::Ping {
+                payload: vec![1, 2, 3],
+            },
+        ] {
+            assert_eq!(roundtrip_req(&req), req);
+        }
+        for rep in [
+            Reply::HelloOk {
+                version: PROTO_VERSION,
+            },
+            Reply::Result {
+                payload: payload.clone(),
+            },
+            Reply::Busy { retry_after_ms: 5 },
+            Reply::Err {
+                message: "nope".into(),
+            },
+            Reply::StatsOk { json: "[]".into() },
+            Reply::ShutdownOk,
+            Reply::Pong {
+                payload: vec![9; 4],
+            },
+        ] {
+            assert_eq!(roundtrip_reply(&rep), rep);
+        }
+    }
+
+    #[test]
+    fn validation_rejects_malformed_specs() {
+        let mut s = moore_spec(AlgoSpec::Combining);
+        s.periods.pop();
+        assert!(s.validate().is_err());
+        let mut s = moore_spec(AlgoSpec::Combining);
+        s.offsets[0].pop();
+        assert!(s.validate().is_err());
+        let mut s = moore_spec(AlgoSpec::Combining);
+        if let OpSpec::Alltoallv { sendcounts, .. } = &mut s.op {
+            sendcounts.pop();
+        }
+        assert!(s.validate().is_err());
+        assert!(JobSpec::decode(&[1, 2, 3]).is_err(), "truncated spec");
+    }
+}

@@ -1,0 +1,58 @@
+//! The reference executor: run a [`JobSpec`] directly, without a daemon.
+//!
+//! This is the ground truth a serving deployment is measured against: a
+//! throwaway in-process universe executes the job with the **trivial**
+//! algorithm (direct exchange with every neighbor, Listing 4) and an
+//! isolated plan store, so nothing is shared with, or warmed by, any
+//! daemon in the process. Byte-identity between [`execute`] and a
+//! daemon's `RESULT` payload is what the loopback suite (and `--smoke`)
+//! asserts.
+
+use std::sync::Arc;
+
+use cartcomm::{CartComm, PlanStore};
+use cartcomm_comm::Universe;
+
+use crate::proto::{AlgoSpec, JobSpec};
+use crate::server::{build_neighborhood, run_op};
+
+/// Execute `spec` over `payload` (all ranks' send buffers, concatenated)
+/// on a fresh in-process universe with direct exchange. Returns all
+/// ranks' receive buffers, concatenated — the same shape a daemon's
+/// `RESULT` payload has.
+pub fn execute(spec: &JobSpec, payload: &[u8]) -> Result<Vec<u8>, String> {
+    spec.validate()?;
+    let p = spec.ranks();
+    let sb = spec.send_bytes_per_rank();
+    if payload.len() != p * sb {
+        return Err(format!(
+            "payload is {} bytes, spec needs {}",
+            payload.len(),
+            p * sb
+        ));
+    }
+    build_neighborhood(spec).map_err(|e| format!("bad neighborhood: {e:?}"))?;
+
+    let mut direct = spec.clone();
+    direct.algo = AlgoSpec::Trivial;
+    let direct = Arc::new(direct);
+    let payload = Arc::new(payload.to_vec());
+    let store = PlanStore::new(4, 8);
+
+    let outs: Vec<Result<Vec<u8>, String>> = Universe::builder(p).run(|comm| {
+        let nb = build_neighborhood(&direct).map_err(|e| format!("{e:?}"))?;
+        let cart = CartComm::create(comm, &direct.dims, &direct.periods, nb)
+            .map_err(|e| format!("{e:?}"))?
+            .with_plan_store(Arc::clone(&store));
+        let send = &payload[comm.rank() * sb..(comm.rank() + 1) * sb];
+        let mut recv = vec![0u8; direct.recv_bytes_per_rank()];
+        run_op(&cart, &direct, send, &mut recv)?;
+        Ok(recv)
+    });
+
+    let mut all = Vec::with_capacity(p * spec.recv_bytes_per_rank());
+    for out in outs {
+        all.extend_from_slice(&out?);
+    }
+    Ok(all)
+}

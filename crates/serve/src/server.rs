@@ -1,0 +1,1020 @@
+//! The cartserve daemon: resident universes executing jobs from many
+//! tenants, behind admission control and same-shape batching.
+//!
+//! ## Data flow
+//!
+//! One listener thread accepts connections (Unix-domain or TCP); each
+//! connection gets a reader thread that decodes [`Request`](crate::proto::Request)
+//! frames. Control requests (`HELLO`, `STATS`, `PING`, `SHUTDOWN`) are
+//! answered inline. `SUBMIT` goes through **admission**: a bounded queue
+//! whose overflow is answered with `BUSY` and a retry-after hint rather
+//! than unbounded buffering — the client owns the backoff.
+//!
+//! One dispatcher thread drains the queue. When it pops a job it holds a
+//! short **coalescing window** during which queued jobs with the same
+//! [`JobSpec::coalesce_key`](crate::proto::JobSpec::coalesce_key) — same
+//! topology, neighborhood, operation shape, and algorithm — are folded
+//! into the batch. The batch executes back to back on one resident
+//! universe: the first job warms every per-rank plan-store entry and the
+//! rest ride the warm cache, which is the serving-side payoff of the
+//! process-wide [`PlanStore`] (schedules and compiled programs are keyed
+//! by identity, not by owner).
+//!
+//! Universes are pooled by rank count and reused across batches; a small
+//! LRU bounds how many stay resident. Rank threads attribute every job to
+//! its tenant: the metrics delta of the execution plus the schedule's
+//! analytical round count `C` (Prop. 3.2) and wire volume `V·m`
+//! (Prop. 3.3) are folded into a shared [`TenantRegistry`], which the
+//! `STATS` command renders as the observed-vs-predicted table.
+//!
+//! **Drain** (`SHUTDOWN` or [`Server::shutdown`]): new submissions are
+//! refused, the queue empties, universes shut down, and only then is
+//! `SHUTDOWN_OK` sent and the process free to exit.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::unix::net::UnixListener;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use cartcomm::ops::WBlock;
+use cartcomm::plan::PlanKind;
+use cartcomm::{CartComm, PlanStore, PlanStoreStats};
+use cartcomm_comm::transport::wire;
+use cartcomm_comm::{Comm, RankJob, ResidentUniverse, WirePool};
+use cartcomm_obs::TenantRegistry;
+use cartcomm_topo::RelNeighborhood;
+use cartcomm_types::Datatype;
+
+use crate::proto::{JobSpec, OpSpec, Reply, Request, PROTO_VERSION};
+
+/// Daemon tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Admission bound: queued (not yet dispatched) jobs beyond this are
+    /// refused with `BUSY`.
+    pub queue_cap: usize,
+    /// Coalescing window: after popping a job, how long the dispatcher
+    /// keeps folding same-shape arrivals into the batch. Zero still
+    /// coalesces whatever is already queued.
+    pub window: Duration,
+    /// How many resident universes (distinct rank counts) stay warm.
+    pub max_universes: usize,
+    /// The retry-after hint (ms) sent with `BUSY`.
+    pub busy_retry_ms: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_cap: 64,
+            window: Duration::from_millis(2),
+            max_universes: 4,
+            busy_retry_ms: 5,
+        }
+    }
+}
+
+/// Where a server is listening.
+#[derive(Debug, Clone)]
+pub enum Endpoint {
+    /// Unix-domain socket path.
+    Uds(PathBuf),
+    /// TCP socket address.
+    Tcp(SocketAddr),
+}
+
+/// A snapshot of the daemon's lifetime counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerCounters {
+    /// Jobs admitted to the queue.
+    pub jobs_submitted: u64,
+    /// Jobs refused with `BUSY` (queue full).
+    pub jobs_rejected: u64,
+    /// Jobs refused because the daemon was draining.
+    pub jobs_drained: u64,
+    /// Jobs whose result (or error) was sent.
+    pub jobs_completed: u64,
+    /// Batches executed on a universe.
+    pub batches_executed: u64,
+    /// Jobs that rode an existing batch (batch members beyond the first).
+    pub jobs_coalesced: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs_submitted: AtomicU64,
+    jobs_rejected: AtomicU64,
+    jobs_drained: AtomicU64,
+    jobs_completed: AtomicU64,
+    batches_executed: AtomicU64,
+    jobs_coalesced: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> ServerCounters {
+        ServerCounters {
+            jobs_submitted: self.jobs_submitted.load(Ordering::Relaxed),
+            jobs_rejected: self.jobs_rejected.load(Ordering::Relaxed),
+            jobs_drained: self.jobs_drained.load(Ordering::Relaxed),
+            jobs_completed: self.jobs_completed.load(Ordering::Relaxed),
+            batches_executed: self.batches_executed.load(Ordering::Relaxed),
+            jobs_coalesced: self.jobs_coalesced.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A connection's write half, shared between its reader thread (inline
+/// replies) and the dispatcher (job results).
+type ReplyHandle = Arc<Mutex<Box<dyn Write + Send>>>;
+
+fn send_reply(handle: &ReplyHandle, ctx: u32, reply: &Reply) {
+    let bytes = reply.encode_frame(ctx);
+    let mut w = handle.lock().unwrap_or_else(|e| e.into_inner());
+    // A vanished client is not the daemon's problem; drop the reply.
+    let _ = w.write_all(&bytes).and_then(|_| w.flush());
+}
+
+struct PendingJob {
+    tenant: String,
+    spec: Arc<JobSpec>,
+    payload: Arc<Vec<u8>>,
+    key: u64,
+    ctx: u32,
+    reply: ReplyHandle,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    queue: Mutex<VecDeque<PendingJob>>,
+    queue_cv: Condvar,
+    /// Refuse new submissions; dispatcher exits once the queue is empty.
+    draining: AtomicBool,
+    /// Dispatcher has exited (universes down, queue empty).
+    drained: AtomicBool,
+    /// Listener/readers should stop.
+    stop_io: AtomicBool,
+    /// Test hook: hold the dispatcher so a burst can pile up and be
+    /// observed coalescing into one batch.
+    paused: AtomicBool,
+    tenants: Arc<TenantRegistry>,
+    counters: Counters,
+    store: Arc<PlanStore>,
+}
+
+impl Shared {
+    fn stats_json(&self) -> String {
+        let c = self.counters.snapshot();
+        let s: PlanStoreStats = self.store.stats();
+        let depth = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let table = self
+            .tenants
+            .render_table()
+            .replace('\\', "\\\\")
+            .replace('"', "\\\"")
+            .replace('\n', "\\n");
+        format!(
+            concat!(
+                "{{\"server\":{{",
+                "\"jobs_submitted\":{},\"jobs_rejected\":{},\"jobs_drained\":{},",
+                "\"jobs_completed\":{},\"batches_executed\":{},\"jobs_coalesced\":{},",
+                "\"queue_depth\":{},\"draining\":{},",
+                "\"plan_store\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
+                "\"schedule_hits\":{},\"schedule_misses\":{}}}}},",
+                "\"tenants\":{},\"table\":\"{}\"}}"
+            ),
+            c.jobs_submitted,
+            c.jobs_rejected,
+            c.jobs_drained,
+            c.jobs_completed,
+            c.batches_executed,
+            c.jobs_coalesced,
+            depth,
+            self.draining.load(Ordering::Acquire),
+            s.hits,
+            s.misses,
+            s.evictions,
+            s.schedule_hits,
+            s.schedule_misses,
+            self.tenants.to_json(),
+            table,
+        )
+    }
+}
+
+/// A running cartserve daemon. Dropping the handle does **not** stop the
+/// daemon — call [`Server::shutdown`] (host side) or send the wire
+/// `SHUTDOWN` command and then [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    endpoint: Endpoint,
+    listener: Option<thread::JoinHandle<()>>,
+    dispatcher: Option<thread::JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+    /// Unlink the socket path on shutdown.
+    uds_path: Option<PathBuf>,
+}
+
+enum AnyListener {
+    Uds(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Server {
+    /// Bind a Unix-domain socket at `path` (replacing a stale socket
+    /// file) and start serving.
+    pub fn bind_uds(path: impl AsRef<Path>, cfg: ServeConfig) -> io::Result<Server> {
+        let path = path.as_ref().to_path_buf();
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        listener.set_nonblocking(true)?;
+        Self::start(
+            AnyListener::Uds(listener),
+            Endpoint::Uds(path.clone()),
+            Some(path),
+            cfg,
+        )
+    }
+
+    /// Bind a TCP socket at `addr` (e.g. `127.0.0.1:0`) and start
+    /// serving. The chosen address is available via [`Server::endpoint`].
+    pub fn bind_tcp(addr: &str, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        Self::start(AnyListener::Tcp(listener), Endpoint::Tcp(local), None, cfg)
+    }
+
+    fn start(
+        listener: AnyListener,
+        endpoint: Endpoint,
+        uds_path: Option<PathBuf>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        let shared = Arc::new(Shared {
+            cfg,
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            draining: AtomicBool::new(false),
+            drained: AtomicBool::new(false),
+            stop_io: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            tenants: Arc::new(TenantRegistry::new()),
+            counters: Counters::default(),
+            store: PlanStore::global(),
+        });
+        let conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("cartserve-dispatch".into())
+                .spawn(move || dispatcher_loop(&shared))?
+        };
+        let listener_thread = {
+            let shared = Arc::clone(&shared);
+            let conns = Arc::clone(&conns);
+            thread::Builder::new()
+                .name("cartserve-listen".into())
+                .spawn(move || listener_loop(listener, &shared, &conns))?
+        };
+
+        Ok(Server {
+            shared,
+            endpoint,
+            listener: Some(listener_thread),
+            dispatcher: Some(dispatcher),
+            conns,
+            uds_path,
+        })
+    }
+
+    /// Where the daemon is listening.
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// The shared per-tenant observed-vs-predicted registry.
+    pub fn tenants(&self) -> &Arc<TenantRegistry> {
+        &self.shared.tenants
+    }
+
+    /// Lifetime counters.
+    pub fn counters(&self) -> ServerCounters {
+        self.shared.counters.snapshot()
+    }
+
+    /// The plan store jobs execute against (the process-wide store).
+    pub fn plan_store(&self) -> &Arc<PlanStore> {
+        &self.shared.store
+    }
+
+    /// Jobs currently queued (admitted, not yet dispatched).
+    pub fn queue_depth(&self) -> usize {
+        self.shared
+            .queue
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// The stats JSON the wire `STATS` command returns.
+    pub fn stats_json(&self) -> String {
+        self.shared.stats_json()
+    }
+
+    /// Test hook: hold the dispatcher before its next pop so a burst of
+    /// submissions queues up and coalesces into one batch.
+    pub fn pause_dispatch(&self) {
+        self.shared.paused.store(true, Ordering::Release);
+    }
+
+    /// Release [`Server::pause_dispatch`].
+    pub fn resume_dispatch(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+    }
+
+    /// Host-side graceful drain: refuse new submissions, finish queued
+    /// jobs, shut down universes and I/O threads, unlink the socket.
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        self.join_all();
+    }
+
+    /// Wait for a wire-initiated `SHUTDOWN` to finish draining, then
+    /// reap threads. Blocks until then.
+    pub fn wait(mut self) {
+        while !self.shared.drained.load(Ordering::Acquire) {
+            thread::sleep(Duration::from_millis(10));
+        }
+        self.begin_drain();
+        self.join_all();
+    }
+
+    fn begin_drain(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+        self.shared.draining.store(true, Ordering::Release);
+        self.shared.queue_cv.notify_all();
+    }
+
+    fn join_all(&mut self) {
+        if let Some(d) = self.dispatcher.take() {
+            let _ = d.join();
+        }
+        self.shared.stop_io.store(true, Ordering::Release);
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
+        for h in handles {
+            let _ = h.join();
+        }
+        if let Some(path) = self.uds_path.take() {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ----- listener + per-connection readers ----------------------------------------
+
+fn listener_loop(
+    listener: AnyListener,
+    shared: &Arc<Shared>,
+    conns: &Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    loop {
+        if shared.stop_io.load(Ordering::Acquire) {
+            return;
+        }
+        let accepted: io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> = match &listener {
+            AnyListener::Uds(l) => l.accept().and_then(|(s, _)| {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(Duration::from_millis(50)))?;
+                let w = s.try_clone()?;
+                Ok((Box::new(s) as _, Box::new(w) as _))
+            }),
+            AnyListener::Tcp(l) => l.accept().and_then(|(s, _)| {
+                s.set_nonblocking(false)?;
+                s.set_read_timeout(Some(Duration::from_millis(50)))?;
+                s.set_nodelay(true)?;
+                let w = s.try_clone()?;
+                Ok((Box::new(s) as _, Box::new(w) as _))
+            }),
+        };
+        match accepted {
+            Ok((reader, writer)) => {
+                let shared = Arc::clone(shared);
+                let handle = thread::Builder::new()
+                    .name("cartserve-conn".into())
+                    .spawn(move || connection_loop(reader, writer, &shared));
+                if let Ok(h) = handle {
+                    conns.lock().unwrap_or_else(|e| e.into_inner()).push(h);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn connection_loop(
+    mut reader: Box<dyn Read + Send>,
+    writer: Box<dyn Write + Send>,
+    shared: &Arc<Shared>,
+) {
+    let reply_handle: ReplyHandle = Arc::new(Mutex::new(writer));
+    let pool = Arc::new(WirePool::new());
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    // The tenant set by HELLO; SUBMIT may override per request.
+    let mut hello_tenant: Option<String> = None;
+
+    loop {
+        // Decode every complete frame currently buffered.
+        let mut consumed = 0;
+        while let Some((env, used)) = wire::decode_from(&buf[consumed..], &pool) {
+            consumed += used;
+            match Request::decode_env(&env) {
+                Ok(req) => {
+                    let done =
+                        handle_request(req, env.ctx, &reply_handle, &mut hello_tenant, shared);
+                    if done {
+                        return;
+                    }
+                }
+                Err(msg) => send_reply(&reply_handle, env.ctx, &Reply::Err { message: msg }),
+            }
+        }
+        if consumed > 0 {
+            buf.drain(..consumed);
+        }
+
+        if shared.stop_io.load(Ordering::Acquire) {
+            return;
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return, // client hung up
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut => {
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handle one request; returns `true` when the connection should close
+/// (after a completed `SHUTDOWN`).
+fn handle_request(
+    req: Request,
+    ctx: u32,
+    reply: &ReplyHandle,
+    hello_tenant: &mut Option<String>,
+    shared: &Arc<Shared>,
+) -> bool {
+    match req {
+        Request::Hello { tenant } => {
+            *hello_tenant = Some(tenant);
+            send_reply(
+                reply,
+                ctx,
+                &Reply::HelloOk {
+                    version: PROTO_VERSION,
+                },
+            );
+        }
+        Request::Ping { payload } => {
+            send_reply(reply, ctx, &Reply::Pong { payload });
+        }
+        Request::Stats => {
+            send_reply(
+                reply,
+                ctx,
+                &Reply::StatsOk {
+                    json: shared.stats_json(),
+                },
+            );
+        }
+        Request::Submit {
+            tenant,
+            spec,
+            payload,
+        } => {
+            let tenant = if tenant.is_empty() {
+                hello_tenant.clone().unwrap_or_default()
+            } else {
+                tenant
+            };
+            admit(tenant, spec, payload, ctx, reply, shared);
+        }
+        Request::Shutdown => {
+            shared.paused.store(false, Ordering::Release);
+            shared.draining.store(true, Ordering::Release);
+            shared.queue_cv.notify_all();
+            while !shared.drained.load(Ordering::Acquire) {
+                thread::sleep(Duration::from_millis(5));
+            }
+            send_reply(reply, ctx, &Reply::ShutdownOk);
+            return true;
+        }
+    }
+    false
+}
+
+/// Admission control: structural validation, then the bounded queue.
+fn admit(
+    tenant: String,
+    spec: JobSpec,
+    payload: Vec<u8>,
+    ctx: u32,
+    reply: &ReplyHandle,
+    shared: &Arc<Shared>,
+) {
+    if shared.draining.load(Ordering::Acquire) {
+        shared.counters.jobs_drained.fetch_add(1, Ordering::Relaxed);
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: "daemon is draining".into(),
+            },
+        );
+        return;
+    }
+    if tenant.is_empty() {
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: "no tenant named (send HELLO or put one in SUBMIT)".into(),
+            },
+        );
+        return;
+    }
+    if let Err(msg) = spec.validate() {
+        send_reply(reply, ctx, &Reply::Err { message: msg });
+        return;
+    }
+    // The neighborhood must construct (isomorphism preconditions are
+    // checked rank-side, but arity/duplicate problems surface here,
+    // before a universe is spent on the job).
+    if let Err(e) = build_neighborhood(&spec) {
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: format!("bad neighborhood: {e:?}"),
+            },
+        );
+        return;
+    }
+    let want = spec.ranks() * spec.send_bytes_per_rank();
+    if payload.len() != want {
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: format!("payload is {} bytes, spec needs {want}", payload.len()),
+            },
+        );
+        return;
+    }
+
+    let key = spec.coalesce_key();
+    let job = PendingJob {
+        tenant,
+        spec: Arc::new(spec),
+        payload: Arc::new(payload),
+        key,
+        ctx,
+        reply: Arc::clone(reply),
+    };
+    {
+        let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if q.len() >= shared.cfg.queue_cap {
+            drop(q);
+            shared
+                .counters
+                .jobs_rejected
+                .fetch_add(1, Ordering::Relaxed);
+            send_reply(
+                reply,
+                ctx,
+                &Reply::Busy {
+                    retry_after_ms: shared.cfg.busy_retry_ms,
+                },
+            );
+            return;
+        }
+        q.push_back(job);
+    }
+    shared
+        .counters
+        .jobs_submitted
+        .fetch_add(1, Ordering::Relaxed);
+    shared.queue_cv.notify_all();
+}
+
+pub(crate) fn build_neighborhood(
+    spec: &JobSpec,
+) -> Result<RelNeighborhood, cartcomm_topo::TopoError> {
+    RelNeighborhood::new(spec.dims.len(), spec.offsets.clone())
+}
+
+// ----- dispatcher ---------------------------------------------------------------
+
+/// A universe pool entry, LRU-stamped.
+struct PooledUniverse {
+    uni: ResidentUniverse,
+    last_used: u64,
+}
+
+fn dispatcher_loop(shared: &Arc<Shared>) {
+    let mut pool: HashMap<usize, PooledUniverse> = HashMap::new();
+    let mut tick: u64 = 0;
+
+    loop {
+        // Pop a head job, or exit once draining has emptied the queue.
+        let head = {
+            let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                let paused = shared.paused.load(Ordering::Acquire);
+                if !paused {
+                    if let Some(job) = q.pop_front() {
+                        break Some(job);
+                    }
+                    if shared.draining.load(Ordering::Acquire) {
+                        break None;
+                    }
+                }
+                let (guard, _) = shared
+                    .queue_cv
+                    .wait_timeout(q, Duration::from_millis(10))
+                    .unwrap_or_else(|e| e.into_inner());
+                q = guard;
+            }
+        };
+        let Some(head) = head else { break };
+
+        // Coalescing window: fold queued same-shape jobs into the batch.
+        let key = head.key;
+        let mut batch = vec![head];
+        let deadline = Instant::now() + shared.cfg.window;
+        loop {
+            {
+                let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
+                let mut rest = VecDeque::with_capacity(q.len());
+                for job in q.drain(..) {
+                    if job.key == key {
+                        batch.push(job);
+                    } else {
+                        rest.push_back(job);
+                    }
+                }
+                *q = rest;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            thread::sleep((deadline - now).min(Duration::from_micros(200)));
+        }
+
+        execute_batch(&mut pool, &mut tick, shared, batch);
+    }
+
+    // Drained: shut the universes down before declaring the daemon done.
+    for (_, entry) in pool.drain() {
+        let _ = entry.uni.shutdown();
+    }
+    shared.drained.store(true, Ordering::Release);
+}
+
+/// What one rank reports for one job of a batch.
+type RankOutcome = (usize, usize, Result<Vec<u8>, String>);
+
+fn execute_batch(
+    pool: &mut HashMap<usize, PooledUniverse>,
+    tick: &mut u64,
+    shared: &Arc<Shared>,
+    batch: Vec<PendingJob>,
+) {
+    let p = batch[0].spec.ranks();
+    *tick += 1;
+
+    // Universe pool: reuse by rank count, evict least-recently-used.
+    if !pool.contains_key(&p) {
+        if pool.len() >= shared.cfg.max_universes.max(1) {
+            if let Some(evict) = pool
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&k, _)| k)
+            {
+                if let Some(entry) = pool.remove(&evict) {
+                    let _ = entry.uni.shutdown();
+                }
+            }
+        }
+        pool.insert(
+            p,
+            PooledUniverse {
+                uni: ResidentUniverse::new(p),
+                last_used: *tick,
+            },
+        );
+    }
+    let entry = pool.get_mut(&p).expect("just ensured");
+    entry.last_used = *tick;
+
+    // One closure per rank; each runs the whole batch in order, so every
+    // rank sees identical collective-creation order (safe `dup`s) and
+    // jobs 2..k of the batch hit the plans the first one compiled.
+    struct BatchItem {
+        tenant: String,
+        spec: Arc<JobSpec>,
+        payload: Arc<Vec<u8>>,
+    }
+    let items: Arc<Vec<BatchItem>> = Arc::new(
+        batch
+            .iter()
+            .map(|j| BatchItem {
+                tenant: j.tenant.clone(),
+                spec: Arc::clone(&j.spec),
+                payload: Arc::clone(&j.payload),
+            })
+            .collect(),
+    );
+
+    let (tx, rx) = mpsc::channel::<RankOutcome>();
+    let jobs: Vec<RankJob> = (0..p)
+        .map(|rank| {
+            let tx = tx.clone();
+            let items = Arc::clone(&items);
+            let tenants = Arc::clone(&shared.tenants);
+            let store = Arc::clone(&shared.store);
+            Box::new(move |comm: &mut Comm| {
+                for (idx, item) in items.iter().enumerate() {
+                    let out = run_one(
+                        comm,
+                        &store,
+                        &tenants,
+                        &item.tenant,
+                        &item.spec,
+                        &item.payload,
+                        rank,
+                    );
+                    let _ = tx.send((idx, rank, out));
+                }
+            }) as RankJob
+        })
+        .collect();
+    drop(tx);
+    entry.uni.submit(jobs);
+
+    // Gather p results per job; a rank that dies shows up as a timeout.
+    let per_rank = batch[0].spec.recv_bytes_per_rank();
+    let mut results: Vec<Vec<Option<Vec<u8>>>> = (0..batch.len())
+        .map(|_| (0..p).map(|_| None).collect())
+        .collect();
+    let mut errors: Vec<Option<String>> = vec![None; batch.len()];
+    let want = batch.len() * p;
+    let mut got = 0;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while got < want {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            for e in errors.iter_mut() {
+                e.get_or_insert_with(|| "rank execution timed out".to_string());
+            }
+            break;
+        }
+        match rx.recv_timeout(left) {
+            Ok((idx, rank, Ok(buf))) => {
+                results[idx][rank] = Some(buf);
+                got += 1;
+            }
+            Ok((idx, _rank, Err(msg))) => {
+                errors[idx].get_or_insert(msg);
+                got += 1;
+            }
+            Err(_) => {
+                for e in errors.iter_mut() {
+                    e.get_or_insert_with(|| "rank threads vanished mid-batch".to_string());
+                }
+                break;
+            }
+        }
+    }
+
+    // Count the batch before any reply goes out, so a client that has
+    // its result in hand observes settled counters.
+    shared
+        .counters
+        .batches_executed
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .jobs_coalesced
+        .fetch_add(batch.len() as u64 - 1, Ordering::Relaxed);
+    shared
+        .counters
+        .jobs_completed
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+    // Assemble and reply per job.
+    for (idx, job) in batch.iter().enumerate() {
+        let reply = match &errors[idx] {
+            Some(msg) => Reply::Err {
+                message: msg.clone(),
+            },
+            None if results[idx].iter().all(|r| r.is_some()) => {
+                let mut out = Vec::with_capacity(p * per_rank);
+                for r in results[idx].iter_mut() {
+                    out.extend_from_slice(r.as_ref().expect("checked"));
+                }
+                Reply::Result { payload: out }
+            }
+            None => Reply::Err {
+                message: "incomplete rank results".into(),
+            },
+        };
+        send_reply(&job.reply, job.ctx, &reply);
+    }
+}
+
+// ----- rank-side execution ------------------------------------------------------
+
+thread_local! {
+    /// Per-rank-thread communicator cache, keyed by topology+neighborhood
+    /// shape. Lives as long as the rank thread (i.e. the universe), so a
+    /// tenant's second job — or another tenant's job of the same shape —
+    /// reuses the communicator and hits the plan store instead of paying
+    /// `CartComm::create`'s collective verification again.
+    static COMM_CACHE: RefCell<HashMap<u64, CartComm>> = RefCell::new(HashMap::new());
+}
+
+/// Topology+neighborhood part of the job shape (excludes op and algo):
+/// the key for communicator reuse, coarser than the coalescing key.
+fn topo_key(spec: &JobSpec) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |x: u64| {
+        for b in x.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(spec.dims.len() as u64);
+    for &d in &spec.dims {
+        eat(d as u64);
+    }
+    for &p in &spec.periods {
+        eat(p as u64);
+    }
+    eat(spec.offsets.len() as u64);
+    for off in &spec.offsets {
+        for &c in off {
+            eat(c as u64);
+        }
+    }
+    h
+}
+
+/// Execute one job on one rank: create/reuse the communicator, run the
+/// collective over the rank's slice of the payload, attribute the metrics
+/// delta plus the analytical `C`/`V·m` prediction to the tenant.
+fn run_one(
+    comm: &mut Comm,
+    store: &Arc<PlanStore>,
+    tenants: &Arc<TenantRegistry>,
+    tenant: &str,
+    spec: &JobSpec,
+    payload: &Arc<Vec<u8>>,
+    rank: usize,
+) -> Result<Vec<u8>, String> {
+    let sb = spec.send_bytes_per_rank();
+    let send = &payload[rank * sb..(rank + 1) * sb];
+    let mut recv = vec![0u8; spec.recv_bytes_per_rank()];
+
+    let key = topo_key(spec);
+    COMM_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        let cart = match cache.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                let nb = build_neighborhood(spec).map_err(|e| format!("{e:?}"))?;
+                let cart = CartComm::create(comm, &spec.dims, &spec.periods, nb)
+                    .map_err(|e| format!("{e:?}"))?
+                    .with_plan_store(Arc::clone(store));
+                v.insert(cart)
+            }
+        };
+
+        let before = comm.obs().metrics().snapshot();
+        let run = run_op(cart, spec, send, &mut recv);
+        let delta = comm.obs().metrics().delta_since(&before);
+        let (c_pred, v_pred) = predict(cart, spec);
+        tenants.record_job(tenant, c_pred, v_pred, &delta);
+        run
+    })?;
+    Ok(recv)
+}
+
+/// The analytical per-rank prediction for one execution: round count `C`
+/// (Prop. 3.2) and wire volume in bytes (`V·m` generalized to irregular
+/// block sizes via the schedule's per-round byte census, Prop. 3.3). The
+/// trivial algorithm predicts `t` rounds carrying every block directly.
+fn predict(cart: &CartComm, spec: &JobSpec) -> (u64, u64) {
+    let block_bytes = spec.recv_block_bytes();
+    match spec.algo {
+        crate::proto::AlgoSpec::Trivial => (
+            spec.neighbor_count() as u64,
+            block_bytes.iter().sum::<usize>() as u64,
+        ),
+        crate::proto::AlgoSpec::Combining => {
+            let kind = match spec.op {
+                OpSpec::Alltoallv { .. } | OpSpec::Alltoallw { .. } => PlanKind::Alltoall,
+                OpSpec::Allgatherv { .. } | OpSpec::Allgatherw { .. } => PlanKind::Allgather,
+            };
+            let plan = cart.plans().schedule(kind);
+            let v: usize = plan.round_bytes(&|b| block_bytes[b]).iter().sum();
+            (plan.rounds as u64, v as u64)
+        }
+    }
+}
+
+/// Dispatch the byte-level collective. Counts and displacements arrive in
+/// the client's element units and are scaled to bytes here, so the rank
+/// buffers are plain `u8` regardless of the tenant's element type.
+pub(crate) fn run_op(
+    cart: &CartComm,
+    spec: &JobSpec,
+    send: &[u8],
+    recv: &mut [u8],
+) -> Result<(), String> {
+    let algo = spec.algo.to_algo();
+    let res = match &spec.op {
+        OpSpec::Alltoallv {
+            elem_size,
+            sendcounts,
+            senddispls,
+            recvcounts,
+            recvdispls,
+        } => {
+            let scale = |v: &[usize]| v.iter().map(|x| x * elem_size).collect::<Vec<_>>();
+            cart.alltoallv::<u8>(
+                send,
+                &scale(sendcounts),
+                &scale(senddispls),
+                recv,
+                &scale(recvcounts),
+                &scale(recvdispls),
+                algo,
+            )
+        }
+        OpSpec::Allgatherv {
+            elem_size,
+            sendcount,
+            recvdispls,
+        } => cart.allgatherv::<u8>(
+            &send[..sendcount * elem_size],
+            recv,
+            sendcount * elem_size,
+            &recvdispls.iter().map(|d| d * elem_size).collect::<Vec<_>>(),
+            algo,
+        ),
+        OpSpec::Alltoallw {
+            send_blocks,
+            recv_blocks,
+        } => {
+            let byte = Datatype::byte();
+            let blocks = |v: &[(i64, usize)]| {
+                v.iter()
+                    .map(|&(disp, count)| WBlock::new(disp, count, &byte))
+                    .collect::<Vec<_>>()
+            };
+            cart.alltoallw(send, &blocks(send_blocks), recv, &blocks(recv_blocks), algo)
+        }
+        OpSpec::Allgatherw {
+            send_block,
+            recv_blocks,
+        } => {
+            let byte = Datatype::byte();
+            let sb = WBlock::new(send_block.0, send_block.1, &byte);
+            let rb = recv_blocks
+                .iter()
+                .map(|&(disp, count)| WBlock::new(disp, count, &byte))
+                .collect::<Vec<_>>();
+            cart.allgatherw(send, &sb, recv, &rb, algo)
+        }
+    };
+    res.map_err(|e| format!("{e:?}"))
+}

@@ -1,0 +1,310 @@
+//! Loopback integration suite: a real cartserve daemon on a Unix-domain
+//! socket, real clients, concurrent tenants, and the behaviors the
+//! serving layer exists for — plan sharing across tenants, same-shape
+//! batch coalescing, bounded admission, and graceful drain.
+//!
+//! Job shapes are unique per test function: the daemon executes against
+//! the process-wide plan store, so a shape reused across tests would blur
+//! the per-tenant hit/miss assertions.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use cartcomm_serve::proto::{AlgoSpec, JobSpec, OpSpec};
+use cartcomm_serve::{reference, Client, ServeConfig, Server, Submission};
+
+static SOCK_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn sock_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cartserve-loopback-{}-{}-{}.sock",
+        tag,
+        std::process::id(),
+        SOCK_SEQ.fetch_add(1, Ordering::Relaxed),
+    ))
+}
+
+/// Deterministic, rank-and-offset-dependent payload bytes.
+fn payload_for(spec: &JobSpec, salt: u8) -> Vec<u8> {
+    (0..spec.ranks() * spec.send_bytes_per_rank())
+        .map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt))
+        .collect()
+}
+
+/// Shape A for the main test: 3x2 periodic torus, von Neumann
+/// neighborhood, message-combining alltoallv of 4-byte elements.
+fn shape_a() -> JobSpec {
+    let offsets: Vec<Vec<i64>> = vec![vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
+    let t = offsets.len();
+    JobSpec {
+        dims: vec![3, 2],
+        periods: vec![true, true],
+        offsets,
+        op: OpSpec::Alltoallv {
+            elem_size: 4,
+            sendcounts: vec![3; t],
+            senddispls: (0..t).map(|i| i * 3).collect(),
+            recvcounts: vec![3; t],
+            recvdispls: (0..t).map(|i| i * 3).collect(),
+        },
+        algo: AlgoSpec::Combining,
+    }
+}
+
+/// Shape B: same universe size as A but a different collective — a
+/// combining allgatherv — so it lands on different plan-store entries
+/// and must not coalesce with A.
+fn shape_b() -> JobSpec {
+    let offsets: Vec<Vec<i64>> = vec![vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
+    let t = offsets.len();
+    JobSpec {
+        dims: vec![3, 2],
+        periods: vec![true, true],
+        offsets,
+        op: OpSpec::Allgatherv {
+            elem_size: 4,
+            sendcount: 5,
+            recvdispls: (0..t).map(|i| i * 5).collect(),
+        },
+        algo: AlgoSpec::Combining,
+    }
+}
+
+#[test]
+fn three_tenants_share_plans_coalesce_and_drain() {
+    let sock = sock_path("main");
+    let server = Server::bind_uds(&sock, ServeConfig::default()).expect("bind");
+
+    let spec_a = shape_a();
+    let spec_b = shape_b();
+    let golden_a = reference::execute(&spec_a, &payload_for(&spec_a, 7)).expect("golden A");
+    let golden_b = reference::execute(&spec_b, &payload_for(&spec_b, 9)).expect("golden B");
+    let p = spec_a.ranks();
+
+    // --- Tenant 1 warms shape A: every rank compiles, nothing hits. ---
+    let mut t1 = Client::connect_uds(&sock, "tenant-1").expect("connect t1");
+    assert_eq!(t1.ping(b"up?").expect("ping"), b"up?");
+    let out = t1
+        .submit_retrying(&spec_a, &payload_for(&spec_a, 7), 100)
+        .expect("t1 shape A");
+    assert_eq!(out, golden_a, "daemon result matches direct exchange");
+    let s1 = server.tenants().stats("tenant-1").expect("t1 stats");
+    assert_eq!(s1.jobs, p as u64, "one rank-job per rank");
+    assert_eq!(
+        s1.totals.plan_cache_misses, p as u64,
+        "t1 compiled per rank"
+    );
+    assert_eq!(s1.totals.plan_cache_hits, 0);
+    assert!(
+        s1.matches_prediction(),
+        "fault-free combining run matches the analytical C/V: {s1:?}"
+    );
+
+    // --- Tenant 2, same shape: a pure plan-store hit, zero compiles. ---
+    let mut t2 = Client::connect_uds(&sock, "tenant-2").expect("connect t2");
+    let out = t2
+        .submit_retrying(&spec_a, &payload_for(&spec_a, 7), 100)
+        .expect("t2 shape A");
+    assert_eq!(out, golden_a, "same job, same bytes, different tenant");
+    let s2 = server.tenants().stats("tenant-2").expect("t2 stats");
+    assert_eq!(
+        s2.totals.plan_cache_misses, 0,
+        "tenant 2 rode plans tenant 1 compiled"
+    );
+    assert_eq!(s2.totals.plan_cache_hits, p as u64);
+
+    // --- Tenant 3, different shape: its own compiles, not A's. ---
+    let mut t3 = Client::connect_uds(&sock, "tenant-3").expect("connect t3");
+    let out = t3
+        .submit_retrying(&spec_b, &payload_for(&spec_b, 9), 100)
+        .expect("t3 shape B");
+    assert_eq!(out, golden_b);
+    let s3 = server.tenants().stats("tenant-3").expect("t3 stats");
+    assert_eq!(
+        s3.totals.plan_cache_misses, p as u64,
+        "new shape, new plans"
+    );
+
+    // --- Coalescing: pause the dispatcher, pile up a mixed burst. ---
+    let before = server.counters();
+    server.pause_dispatch();
+    let burst: Vec<std::thread::JoinHandle<(String, Vec<u8>)>> = [
+        (
+            "tenant-1",
+            spec_a.clone(),
+            payload_for(&spec_a, 7),
+            golden_a.clone(),
+        ),
+        (
+            "tenant-2",
+            spec_a.clone(),
+            payload_for(&spec_a, 7),
+            golden_a.clone(),
+        ),
+        (
+            "tenant-3",
+            spec_a.clone(),
+            payload_for(&spec_a, 7),
+            golden_a.clone(),
+        ),
+        (
+            "tenant-1",
+            spec_b.clone(),
+            payload_for(&spec_b, 9),
+            golden_b.clone(),
+        ),
+    ]
+    .into_iter()
+    .map(|(tenant, spec, payload, want)| {
+        let sock = sock.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect_uds(&sock, tenant).expect("burst connect");
+            let got = c.submit_retrying(&spec, &payload, 100).expect("burst job");
+            assert_eq!(got, want, "burst result for {tenant}");
+            (tenant.to_string(), got)
+        })
+    })
+    .collect();
+
+    // All four must be queued before the dispatcher moves again.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.queue_depth() < 4 {
+        assert!(Instant::now() < deadline, "burst never queued up");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    server.resume_dispatch();
+    for h in burst {
+        h.join().expect("burst thread");
+    }
+    let after = server.counters();
+    assert_eq!(
+        after.batches_executed - before.batches_executed,
+        2,
+        "three same-shape jobs fold into one batch, the odd shape runs alone"
+    );
+    assert_eq!(
+        after.jobs_coalesced - before.jobs_coalesced,
+        2,
+        "two jobs rode the shape-A batch"
+    );
+    assert_eq!(after.jobs_submitted - before.jobs_submitted, 4);
+    assert_eq!(after.jobs_completed - before.jobs_completed, 4);
+
+    // --- The wire stats command reports every tenant and the counters. ---
+    let stats = t1.stats().expect("stats");
+    for tenant in ["tenant-1", "tenant-2", "tenant-3"] {
+        assert!(
+            stats.contains(&format!("\"tenant\":\"{tenant}\"")),
+            "stats JSON names {tenant}: {stats}"
+        );
+    }
+    assert!(stats.contains("\"batches_executed\""));
+    assert!(stats.contains("\"plan_store\""));
+
+    // --- Graceful drain over the wire. ---
+    t2.shutdown().expect("wire shutdown");
+    server.wait();
+    assert!(!sock.exists(), "socket unlinked after drain");
+    assert!(
+        Client::connect_uds(&sock, "late").is_err(),
+        "daemon is gone after drain"
+    );
+}
+
+#[test]
+fn full_queue_answers_busy_with_retry_hint() {
+    let sock = sock_path("busy");
+    let cfg = ServeConfig {
+        queue_cap: 1,
+        busy_retry_ms: 7,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind_uds(&sock, cfg).expect("bind");
+
+    // Unique shape for this test: 2x2 torus, 1D-pair neighborhood.
+    let spec = JobSpec {
+        dims: vec![2, 2],
+        periods: vec![true, true],
+        offsets: vec![vec![1, 0], vec![-1, 0]],
+        op: OpSpec::Alltoallv {
+            elem_size: 2,
+            sendcounts: vec![4, 4],
+            senddispls: vec![0, 4],
+            recvcounts: vec![4, 4],
+            recvdispls: vec![0, 4],
+        },
+        algo: AlgoSpec::Combining,
+    };
+    let payload = payload_for(&spec, 3);
+    let golden = reference::execute(&spec, &payload).expect("golden");
+
+    // Hold the dispatcher so the queue (capacity 1) fills.
+    server.pause_dispatch();
+    let first = {
+        let sock = sock.clone();
+        let spec = spec.clone();
+        let payload = payload.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect_uds(&sock, "filler").expect("connect");
+            c.submit(&spec, &payload).expect("first job")
+        })
+    };
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while server.queue_depth() < 1 {
+        assert!(Instant::now() < deadline, "first job never queued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    // The queue is full: the next submission is refused, not buffered.
+    let mut c = Client::connect_uds(&sock, "spiller").expect("connect");
+    match c.submit(&spec, &payload).expect("second submit") {
+        Submission::Busy { retry_after_ms } => assert_eq!(retry_after_ms, 7),
+        other => panic!("expected BUSY from a full queue, got {other:?}"),
+    }
+    assert_eq!(server.counters().jobs_rejected, 1);
+
+    // After resume the queued job runs; the refused client retries in.
+    server.resume_dispatch();
+    match first.join().expect("filler thread") {
+        Submission::Done(out) => assert_eq!(out, golden),
+        other => panic!("queued job should complete, got {other:?}"),
+    }
+    let out = c.submit_retrying(&spec, &payload, 100).expect("retry in");
+    assert_eq!(out, golden);
+
+    // Host-side drain for this one: no wire shutdown involved.
+    server.shutdown();
+    assert!(!sock.exists());
+}
+
+#[test]
+fn tcp_endpoint_serves_and_reports_stats() {
+    let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind tcp");
+    let addr = match server.endpoint() {
+        cartcomm_serve::Endpoint::Tcp(a) => *a,
+        other => panic!("expected tcp endpoint, got {other:?}"),
+    };
+
+    // Unique shape: 4-rank ring, w-blocks over raw bytes.
+    let spec = JobSpec {
+        dims: vec![4],
+        periods: vec![true],
+        offsets: vec![vec![1], vec![2]],
+        op: OpSpec::Alltoallw {
+            send_blocks: vec![(0, 6), (6, 6)],
+            recv_blocks: vec![(0, 6), (6, 6)],
+        },
+        algo: AlgoSpec::Combining,
+    };
+    let payload = payload_for(&spec, 11);
+    let golden = reference::execute(&spec, &payload).expect("golden");
+
+    let mut c = Client::connect_tcp(&addr.to_string(), "tcp-tenant").expect("connect");
+    let out = c.submit_retrying(&spec, &payload, 100).expect("job");
+    assert_eq!(out, golden, "tcp daemon matches direct exchange");
+    let stats = c.stats().expect("stats");
+    assert!(stats.contains("\"tenant\":\"tcp-tenant\""));
+
+    c.shutdown().expect("wire shutdown");
+    server.wait();
+}

@@ -99,6 +99,14 @@ impl CartTopology {
         self.perm.is_some()
     }
 
+    /// The attached grid-position → physical-rank permutation, if any —
+    /// part of the topology's identity (two topologies with the same dims
+    /// and periods but different placements compile different plans), so
+    /// cache keys over topologies must include it.
+    pub fn permutation(&self) -> Option<&[usize]> {
+        self.perm.as_ref().map(|p| p.grid_to_rank.as_slice())
+    }
+
     #[inline]
     fn grid_of(&self, rank: usize) -> usize {
         match &self.perm {

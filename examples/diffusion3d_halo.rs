@@ -72,7 +72,7 @@ fn main() {
     let topo = CartTopology::torus(&dims).unwrap();
     let nb_moore = RelNeighborhood::moore(3, 1).unwrap();
 
-    let outputs = Universe::run(P * P * P, |comm| {
+    let outputs = Universe::builder(P * P * P).run(|comm| {
         let mut halo = HaloExchange::new(comm, &dims, &[N, N, N], 1, &Datatype::double()).unwrap();
         // A separate CartComm for the residual reduction over all 26
         // Moore neighbors.

@@ -57,7 +57,7 @@ fn main() {
 
     let topo = CartTopology::torus(&DIMS).unwrap();
     let p = topo.size();
-    let errors = Universe::run(p, |comm| {
+    let errors = Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, &DIMS, &[true, true], nb.clone()).unwrap();
         let rank = cart.rank();
         // Payload: element e of block i from rank r encodes (r, i, e).

@@ -95,7 +95,7 @@ fn main() {
         WBlock::new(idx(0, 0), 1, &cor),
     ];
 
-    let tiles = Universe::run(P * P, move |comm| {
+    let tiles = Universe::builder(P * P).run(move |comm| {
         let cart = CartComm::create(comm, &[P, P], &[true, true], nb.clone()).unwrap();
         let coords = cart.coords();
         let (tr, tc) = (coords[0], coords[1]);

@@ -67,7 +67,7 @@ fn main() {
     let t = nb.len();
     let p: usize = DIMS.iter().product();
 
-    let final_states = Universe::run(p, |comm| {
+    let final_states = Universe::builder(p).run(|comm| {
         let cart = CartComm::create(comm, &DIMS, &[true, true, true], nb.clone()).unwrap();
         let mut alive = seeded(cart.rank());
         let mut neighbor_states = vec![0u8; t];

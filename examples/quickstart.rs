@@ -17,7 +17,7 @@ fn main() {
     let neighborhood = RelNeighborhood::moore(2, 1).expect("valid neighborhood");
     let t = neighborhood.len();
 
-    let outputs = Universe::run(9, |comm| {
+    let outputs = Universe::builder(9).run(|comm| {
         // Listing 1: the one new function — all ranks pass the SAME list.
         let cart = CartComm::create(comm, &[3, 3], &[true, true], neighborhood.clone())
             .expect("isomorphic neighborhood");

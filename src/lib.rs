@@ -21,7 +21,7 @@
 //! use cartesian_collectives::prelude::*;
 //!
 //! let nb = RelNeighborhood::moore(2, 1).unwrap();
-//! let outs = Universe::run(9, |comm| {
+//! let outs = Universe::builder(9).run(|comm| {
 //!     let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
 //!     let send: Vec<i32> = (0..8).map(|i| i as i32).collect();
 //!     let mut recv = vec![0i32; 8];

@@ -21,7 +21,7 @@ fn paper_pipeline_microcosm() {
     assert_eq!(ag.volume_blocks, 8);
 
     // 2. Execute on the real runtime and check data.
-    let sums = Universe::run(9, |comm| {
+    let sums = Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let send: Vec<i32> = (0..t).map(|i| (cart.rank() + i) as i32).collect();
         let mut recv = vec![0i32; t];
@@ -66,7 +66,7 @@ fn paper_pipeline_microcosm() {
 fn promotion_path_end_to_end() {
     let nb = RelNeighborhood::stencil_family(2, 4, -1).unwrap();
     let topo = CartTopology::torus(&[4, 4]).unwrap();
-    Universe::run(16, |comm| {
+    Universe::builder(16).run(|comm| {
         let graph = DistGraphTopology::from_cart_neighborhood(&topo, &nb, comm.rank()).unwrap();
         let g = DistGraphComm::create_adjacent(comm, graph);
         let cart = g
@@ -107,7 +107,7 @@ fn subarray_halo_with_prelude_types() {
         WBlock::new(at(1, w - 1), 1, &col),
         WBlock::new(at(1, 0), 1, &col),
     ];
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let rank = cart.rank() as i32;
         let tile: Vec<i32> = (0..w * w).map(|i| rank * 1000 + i as i32).collect();
@@ -136,7 +136,7 @@ fn subarray_halo_with_prelude_types() {
 fn persistent_and_oneshot_interleaving() {
     let nb = RelNeighborhood::moore(2, 1).unwrap();
     let t = nb.len();
-    Universe::run(9, |comm| {
+    Universe::builder(9).run(|comm| {
         let cart = CartComm::create(comm, &[3, 3], &[true, true], nb.clone()).unwrap();
         let mut h = cart.alltoall_init::<i32>(2, Algo::Combining).unwrap();
         for it in 0..4 {
@@ -191,7 +191,7 @@ fn dims_create_to_running_collective() {
     for p in [6usize, 8, 12] {
         let dims = dims_create(p, 2);
         let nb = RelNeighborhood::von_neumann(2, 1).unwrap();
-        Universe::run(p, |comm| {
+        Universe::builder(p).run(|comm| {
             let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
             let send = vec![comm.rank() as i32; 4];
             let mut recv = vec![0i32; 4 * 4];
