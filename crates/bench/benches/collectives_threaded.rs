@@ -153,9 +153,89 @@ fn bench_persistent_pooled_vs_malloc(c: &mut Criterion) {
     g.finish();
 }
 
+/// The neighborhood reductions on the same 4×4 Moore torus: reversed-tree
+/// combining vs the t-round trivial fold, plus the persistent compiled
+/// handle (pool-warm, plan-cached) — the configuration `_init` exists for.
+fn run_reduction(variant: &'static str, m: usize, iters: u64) -> Duration {
+    let dims = [4usize, 4];
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let totals = Universe::builder(16).run(|comm| {
+        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+        let rs_send = vec![1i32; t * m];
+        let ar_send = vec![1i32; m];
+        let mut recv = vec![0i32; m];
+        use cartcomm_types::RedOp;
+        match variant {
+            "rs_combining" | "rs_trivial" => {
+                let algo = if variant == "rs_combining" {
+                    Algo::Combining
+                } else {
+                    Algo::Trivial
+                };
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    cart.neighbor_reduce_scatter(RedOp::Sum, &rs_send, &mut recv, algo)
+                        .unwrap();
+                }
+                start.elapsed()
+            }
+            "ar_combining" | "ar_trivial" => {
+                let algo = if variant == "ar_combining" {
+                    Algo::Combining
+                } else {
+                    Algo::Trivial
+                };
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    cart.neighbor_allreduce(RedOp::Sum, &ar_send, &mut recv, algo)
+                        .unwrap();
+                }
+                start.elapsed()
+            }
+            "ar_persistent" => {
+                let mut handle = cart
+                    .allreduce_init::<i32>(RedOp::Sum, m, Algo::Combining)
+                    .unwrap();
+                handle.execute_typed(&cart, &ar_send, &mut recv).unwrap();
+                comm.barrier().unwrap();
+                let start = Instant::now();
+                for _ in 0..iters {
+                    handle.execute_typed(&cart, &ar_send, &mut recv).unwrap();
+                }
+                start.elapsed()
+            }
+            _ => unreachable!(),
+        }
+    });
+    totals.into_iter().max().unwrap()
+}
+
+fn bench_threaded_reductions(c: &mut Criterion) {
+    let mut g = c.benchmark_group("threaded_reduce_4x4_moore");
+    g.sample_size(10);
+    for m in [1usize, 256] {
+        for variant in [
+            "rs_combining",
+            "rs_trivial",
+            "ar_combining",
+            "ar_trivial",
+            "ar_persistent",
+        ] {
+            g.bench_with_input(BenchmarkId::new(variant, m), &m, |b, &m| {
+                b.iter_custom(|iters| run_reduction(variant, m, iters))
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_threaded_alltoall,
-    bench_persistent_pooled_vs_malloc
+    bench_persistent_pooled_vs_malloc,
+    bench_threaded_reductions
 );
 criterion_main!(benches);

@@ -11,7 +11,9 @@
 //! * `--dims AxBxC`     — torus dimensions (default `3x3x3`).
 //! * `--nb moore|vonneumann` — stencil family (default `moore`).
 //! * `--radius N`       — stencil radius (default 1).
-//! * `--op alltoall|allgather` — collective to profile (default alltoall).
+//! * `--op alltoall|allgather|reduce_scatter|allreduce` — collective to
+//!   profile (default alltoall). The reductions run the compiled reversed
+//!   combining tree with an i32 Sum.
 //! * `--m LIST`         — comma-separated block-size sweep in i32
 //!   elements (default `4,64,1024,8192`).
 //! * `--iters N`        — profiled runs per block size (default 3).
@@ -19,6 +21,10 @@
 //!   (0..1) on all links and run exchanges reliably.
 //! * `--transport inproc|shm|uds|tcp` — transport backend carrying the
 //!   profiled envelopes (default `inproc`; see DESIGN.md §12).
+//! * `--reduce-sweep`   — after the primary workload, also sweep the two
+//!   compiled reductions over the same block sizes (one iteration each)
+//!   and fold their observed-vs-predicted C/V checks into the profile
+//!   JSON as a `reductions` section (and into the exit status).
 //! * `--perfetto PATH`  — Perfetto trace output (default
 //!   `cartprof_trace.json`).
 //! * `--out PATH`       — profile JSON output (default
@@ -31,13 +37,14 @@
 use std::time::Duration;
 
 use cartcomm::ops::Algo;
-use cartcomm::{CartComm, CostSummary};
+use cartcomm::{CartComm, CostSummary, PlanKind};
 use cartcomm_comm::obs::{
     AlphaBetaFit, CriticalPath, PerfettoExport, RoundDag, TraceCollector, TraceEvent,
 };
 use cartcomm_comm::{FaultSpec, LinkSel, RetryPolicy, Tag, TransportKind, Universe};
 use cartcomm_stats::Histogram;
 use cartcomm_topo::RelNeighborhood;
+use cartcomm_types::RedOp;
 
 /// Per-rank trace-ring capacity: comfortably above `C + machinery` events
 /// for every workload this CLI can configure.
@@ -51,16 +58,66 @@ const SINK_CAPACITY: usize = 1 << 15;
 const CART_TAGS_LO: Tag = 0x7A00_0000;
 const CART_TAGS_HI: Tag = 0x7F00_0000;
 
+/// Which collective the workload profiles.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Alltoall,
+    Allgather,
+    ReduceScatter,
+    Allreduce,
+}
+
+impl Op {
+    fn parse(s: &str) -> Option<Op> {
+        match s {
+            "alltoall" => Some(Op::Alltoall),
+            "allgather" => Some(Op::Allgather),
+            "reduce_scatter" => Some(Op::ReduceScatter),
+            "allreduce" => Some(Op::Allreduce),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Op::Alltoall => "alltoall",
+            Op::Allgather => "allgather",
+            Op::ReduceScatter => "reduce_scatter",
+            Op::Allreduce => "allreduce",
+        }
+    }
+
+    fn plan_kind(self) -> PlanKind {
+        match self {
+            Op::Alltoall => PlanKind::Alltoall,
+            Op::Allgather => PlanKind::Allgather,
+            Op::ReduceScatter => PlanKind::ReduceScatter,
+            Op::Allreduce => PlanKind::Allreduce,
+        }
+    }
+
+    /// The analytical combining volume in blocks (Prop. 3.3; reductions
+    /// run the reversed tree of the negated neighborhood).
+    fn volume(self, cost: &CostSummary) -> usize {
+        match self {
+            Op::Alltoall => cost.alltoall_volume,
+            Op::Allgather => cost.allgather_volume,
+            Op::ReduceScatter | Op::Allreduce => cost.reduce_volume,
+        }
+    }
+}
+
 #[derive(Clone)]
 struct Workload {
     dims: Vec<usize>,
     family: String,
     radius: usize,
-    allgather: bool,
+    op: Op,
     m_sweep: Vec<usize>,
     iters: usize,
     faults: Option<(u64, f64)>,
     transport: TransportKind,
+    reduce_sweep: bool,
 }
 
 struct MRun {
@@ -76,9 +133,9 @@ struct MRun {
 fn usage() -> ! {
     eprintln!(
         "usage: cartprof [--smoke] [--dims AxBxC] [--nb moore|vonneumann] [--radius N]\n\
-         \x20              [--op alltoall|allgather] [--m LIST] [--iters N]\n\
+         \x20              [--op alltoall|allgather|reduce_scatter|allreduce] [--m LIST] [--iters N]\n\
          \x20              [--faults SEED:RATE] [--transport inproc|shm|uds|tcp]\n\
-         \x20              [--perfetto PATH] [--out PATH] [--json]"
+         \x20              [--reduce-sweep] [--perfetto PATH] [--out PATH] [--json]"
     );
     std::process::exit(2);
 }
@@ -88,11 +145,12 @@ fn parse_args() -> (Workload, String, String, bool) {
         dims: vec![3, 3, 3],
         family: "moore".to_string(),
         radius: 1,
-        allgather: false,
+        op: Op::Alltoall,
         m_sweep: vec![4, 64, 1024, 8192],
         iters: 3,
         faults: None,
         transport: TransportKind::InProcess,
+        reduce_sweep: false,
     };
     let mut perfetto = "cartprof_trace.json".to_string();
     let mut out = "BENCH_profile.json".to_string();
@@ -131,11 +189,7 @@ fn parse_args() -> (Workload, String, String, bool) {
                 w.family = v;
             }
             "--radius" => w.radius = value(&mut i).parse().unwrap_or_else(|_| usage()),
-            "--op" => match value(&mut i).as_str() {
-                "alltoall" => w.allgather = false,
-                "allgather" => w.allgather = true,
-                _ => usage(),
-            },
+            "--op" => w.op = Op::parse(&value(&mut i)).unwrap_or_else(|| usage()),
             "--m" => {
                 let v = value(&mut i);
                 w.m_sweep = v
@@ -165,6 +219,7 @@ fn parse_args() -> (Workload, String, String, bool) {
             "--transport" => {
                 w.transport = TransportKind::parse(&value(&mut i)).unwrap_or_else(|| usage())
             }
+            "--reduce-sweep" => w.reduce_sweep = true,
             "--perfetto" => perfetto = value(&mut i),
             "--out" => out = value(&mut i),
             "--json" => print_json = true,
@@ -201,7 +256,7 @@ fn profile_once(
     let t = nb.len();
     let dims = w.dims.clone();
     let nb = nb.clone();
-    let allgather = w.allgather;
+    let op = w.op;
     let faults = w.faults;
 
     let body = move |comm: &mut cartcomm_comm::Comm| {
@@ -215,21 +270,37 @@ fn profile_once(
         }
         let cart = CartComm::create(comm, &dims, &periods, nb.clone()).unwrap();
         let rank = cart.rank();
-        let plan = if allgather {
-            cart.plans().allgather()
-        } else {
-            cart.plans().alltoall()
-        };
-        let phase_rounds: Vec<usize> = plan.phases.iter().map(|ph| ph.rounds.len()).collect();
+        let plan = cart.plans().schedule(op.plan_kind());
+        // Trailing copy-only phases (the reduce plans' local extraction)
+        // issue no rounds, so they are invisible to the trace DAG.
+        let mut phase_rounds: Vec<usize> = plan.phases.iter().map(|ph| ph.rounds.len()).collect();
+        while phase_rounds.last() == Some(&0) {
+            phase_rounds.pop();
+        }
         let volume_blocks = plan.volume_blocks;
-        if allgather {
-            let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
-            let mut recv = vec![0i32; t * m];
-            cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
-        } else {
-            let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
-            let mut recv = vec![0i32; t * m];
-            cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+        match op {
+            Op::Allgather => {
+                let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+                let mut recv = vec![0i32; t * m];
+                cart.allgather(&send, &mut recv, Algo::Combining).unwrap();
+            }
+            Op::Alltoall => {
+                let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+                let mut recv = vec![0i32; t * m];
+                cart.alltoall(&send, &mut recv, Algo::Combining).unwrap();
+            }
+            Op::ReduceScatter => {
+                let send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+                let mut recv = vec![0i32; m];
+                cart.neighbor_reduce_scatter(RedOp::Sum, &send, &mut recv, Algo::Combining)
+                    .unwrap();
+            }
+            Op::Allreduce => {
+                let send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+                let mut recv = vec![0i32; m];
+                cart.neighbor_allreduce(RedOp::Sum, &send, &mut recv, Algo::Combining)
+                    .unwrap();
+            }
         }
         let hist = cart.comm().obs().metrics().latency_histogram();
         (phase_rounds, volume_blocks, hist)
@@ -259,6 +330,66 @@ fn profile_once(
     )
 }
 
+/// One-iteration sweep of a reduction op over the primary workload's
+/// block sizes: validate observed rounds/phases/volume against the
+/// reversed plan and render one JSON object per block size. Returns the
+/// JSON section body and whether every check passed.
+fn reduce_sweep_section(w: &Workload, nb: &RelNeighborhood, cost: &CostSummary) -> (String, bool) {
+    let p: usize = w.dims.iter().product();
+    let elem = std::mem::size_of::<i32>();
+    let mut sections: Vec<String> = Vec::new();
+    let mut all_ok = true;
+    for op in [Op::ReduceScatter, Op::Allreduce] {
+        let mut rw = w.clone();
+        rw.op = op;
+        rw.iters = 1;
+        let volume = op.volume(cost);
+        let mut per_m: Vec<String> = Vec::new();
+        let mut phase_rounds_pred: Vec<usize> = Vec::new();
+        for &m in &rw.m_sweep {
+            let (collector, _, plan_phase_rounds, plan_volume) = profile_once(&rw, nb, m);
+            assert_eq!(plan_volume, volume, "reduce plan volume vs CostSummary");
+            phase_rounds_pred = plan_phase_rounds.clone();
+            let dag = collector.build();
+            let m_bytes = m * elem;
+            let sends = dag.sends_per_rank();
+            let rounds_ok = sends.len() == p && sends.iter().all(|&c| c == cost.rounds);
+            let phase_rounds_ok = (0..p).all(|r| dag.phase_rounds(r) == plan_phase_rounds);
+            let volume_ok = dag
+                .sent_bytes_per_rank()
+                .iter()
+                .all(|&b| b == (volume * m_bytes) as u64)
+                && dag.unpaired_starts == 0
+                && dag.unpaired_ends == 0;
+            all_ok &= rounds_ok && phase_rounds_ok && volume_ok;
+            println!(
+                "  reduce sweep {:>14} m={:<6} rounds {} phases {} volume {} ({} us)",
+                op.name(),
+                m,
+                if rounds_ok { "ok" } else { "BAD" },
+                if phase_rounds_ok { "ok" } else { "BAD" },
+                if volume_ok { "ok" } else { "BAD" },
+                dag.makespan_ns() / 1_000,
+            );
+            per_m.push(format!(
+                "{{\"m_elems\":{m},\"m_bytes\":{m_bytes},\"rounds_ok\":{rounds_ok},\
+                 \"phase_rounds_ok\":{phase_rounds_ok},\"volume_ok\":{volume_ok},\
+                 \"makespan_ns\":{}}}",
+                dag.makespan_ns(),
+            ));
+        }
+        sections.push(format!(
+            "{{\"op\":\"{}\",\"predicted\":{{\"C\":{},\"V_blocks\":{volume},\
+             \"phase_rounds\":{}}},\"per_m\":[{}]}}",
+            op.name(),
+            cost.rounds,
+            json_usize_list(&phase_rounds_pred),
+            per_m.join(","),
+        ));
+    }
+    (format!("[{}]", sections.join(",")), all_ok)
+}
+
 fn fmt_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v:.6}")
@@ -283,30 +414,14 @@ fn main() {
     let nb = neighborhood(&w);
     let cost = CostSummary::of(&nb);
     let p: usize = w.dims.iter().product();
-    let op = if w.allgather { "allgather" } else { "alltoall" };
+    let op = w.op.name();
     let elem = std::mem::size_of::<i32>();
+    let volume = w.op.volume(&cost);
 
     println!(
         "cartprof: {}{} {} on {:?} torus over {} transport (p = {p}, t = {}, C = {}, V = {})",
-        w.family,
-        w.radius,
-        op,
-        w.dims,
-        w.transport,
-        cost.t,
-        cost.rounds,
-        if w.allgather {
-            cost.allgather_volume
-        } else {
-            cost.alltoall_volume
-        },
+        w.family, w.radius, op, w.dims, w.transport, cost.t, cost.rounds, volume,
     );
-
-    let volume = if w.allgather {
-        cost.allgather_volume
-    } else {
-        cost.alltoall_volume
-    };
 
     let mut runs: Vec<MRun> = Vec::new();
     let mut samples: Vec<(u64, u64)> = Vec::new();
@@ -359,6 +474,17 @@ fn main() {
     // α-β fit over per-size mean latencies of every round in the sweep.
     let fit = AlphaBetaFit::fit_size_means(&samples);
     ok &= !fit.degenerate;
+
+    // Optional reduction sweep rider: same torus, same block sizes, the
+    // two compiled reductions validated against their reversed plans.
+    let reductions_json = if w.reduce_sweep {
+        println!();
+        let (section, red_ok) = reduce_sweep_section(&w, &nb, &cost);
+        ok &= red_ok;
+        section
+    } else {
+        "null".to_string()
+    };
 
     // Critical path + Perfetto export of the largest block size's DAG —
     // the run where bandwidth effects are most visible.
@@ -489,6 +615,7 @@ fn main() {
          \x20\x20\"critical_path\":{{\"makespan_ns\":{},\"steps\":{},\"rank_chain\":{},\
          \"path_latency_ns\":{},\"phase_skew\":[{}]}},\n\
          \x20\x20\"latency_histogram\":{hist_json},\n\
+         \x20\x20\"reductions\":{reductions_json},\n\
          \x20\x20\"all_checks_passed\":{ok}\n\
          }}\n",
         json_usize_list(&w.dims),

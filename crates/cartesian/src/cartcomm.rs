@@ -13,7 +13,7 @@ use crate::error::{CartError, CartResult};
 use crate::exec::{ExecLayouts, CART_TAG_BASE};
 use crate::plan::{Plan, PlanKind};
 use crate::plan_store::{schedule_key, store_key, PlanStore};
-use crate::schedule::{allgather_plan, alltoall_plan};
+use crate::schedule::{allgather_plan, allreduce_plan, alltoall_plan, reduce_scatter_plan};
 
 /// A communicator with a Cartesian topology and an isomorphic
 /// t-neighborhood attached — the object the paper's single new function
@@ -33,6 +33,8 @@ pub struct CartComm {
     reorder: bool,
     alltoall_plan: OnceCell<Arc<Plan>>,
     allgather_plan: OnceCell<Arc<Plan>>,
+    reduce_scatter_plan: OnceCell<Arc<Plan>>,
+    allreduce_plan: OnceCell<Arc<Plan>>,
     /// Where schedules and compiled programs live. Defaults to
     /// [`PlanStore::global`], so every communicator in the process shares
     /// one warm cache; [`CartComm::with_plan_store`] pins a private store
@@ -136,6 +138,8 @@ impl CartComm {
             reorder,
             alltoall_plan: OnceCell::new(),
             allgather_plan: OnceCell::new(),
+            reduce_scatter_plan: OnceCell::new(),
+            allreduce_plan: OnceCell::new(),
             store: PlanStore::global(),
             cache_hits: Cell::new(0),
             cache_misses: Cell::new(0),
@@ -254,12 +258,16 @@ impl CartComm {
         let cell = match kind {
             PlanKind::Alltoall => &self.alltoall_plan,
             PlanKind::Allgather => &self.allgather_plan,
+            PlanKind::ReduceScatter => &self.reduce_scatter_plan,
+            PlanKind::Allreduce => &self.allreduce_plan,
         };
         Arc::clone(cell.get_or_init(|| {
             self.store
                 .schedule(schedule_key(&self.nb, kind), || match kind {
                     PlanKind::Alltoall => alltoall_plan(&self.nb),
                     PlanKind::Allgather => allgather_plan(&self.nb),
+                    PlanKind::ReduceScatter => reduce_scatter_plan(&self.nb),
+                    PlanKind::Allreduce => allreduce_plan(&self.nb),
                 })
         }))
     }

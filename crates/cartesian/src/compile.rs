@@ -25,11 +25,13 @@
 //! reusable [`ExecScratch`]. The buffered and in-place entry points share
 //! one core loop, so the two modes cannot drift.
 
+use std::collections::HashSet;
+
 use cartcomm_comm::obs::TraceEvent;
 use cartcomm_comm::{Comm, ExchangeBatch, ExchangeOpts, PooledBuf, RecvSpec, SrcSel, Tag};
 use cartcomm_topo::CartTopology;
 use cartcomm_types::kernel::{self, PackSpan};
-use cartcomm_types::TypeError;
+use cartcomm_types::{Reducer, TypeError};
 
 use crate::error::{CartError, CartResult};
 use crate::exec::ExecLayouts;
@@ -60,6 +62,11 @@ struct SpanBatch {
     count: usize,
     /// Total bytes the batch moves (precomputed).
     bytes: usize,
+    /// Accumulate (reduce-combine) into the destination instead of
+    /// assigning. Decided at compile time by the first-touch rule: the
+    /// first write to a block slot in execution order assigns, every later
+    /// write folds. Always `false` for the copy-semantics collectives.
+    acc: bool,
 }
 
 /// A gather or scatter span program: per-buffer [`SpanBatch`]es over one
@@ -76,10 +83,13 @@ impl SpanProgram {
     /// Append one span, coalescing with the previous span when it is
     /// byte-adjacent in the same buffer (so a contiguous block — or
     /// several laid out back to back — stays a single memcpy range) and
-    /// extending the current batch whenever the buffer is unchanged.
-    fn push(&mut self, buf: BufId, off: usize, len: usize) {
+    /// extending the current batch whenever the buffer and write mode are
+    /// unchanged. A mode flip (assign → accumulate) always starts a new
+    /// batch, so wide-copy batching applies to accumulate runs too without
+    /// ever mixing the two kernels.
+    fn push(&mut self, buf: BufId, off: usize, len: usize, acc: bool) {
         if let Some(b) = self.batches.last_mut() {
-            if b.buf == buf {
+            if b.buf == buf && b.acc == acc {
                 let last = &mut self.spans[b.start + b.count - 1];
                 if last.0 + last.1 == off {
                     last.1 += len;
@@ -98,6 +108,7 @@ impl SpanProgram {
             start,
             count: 1,
             bytes: len,
+            acc,
         });
     }
 
@@ -131,6 +142,9 @@ struct CompiledCopy {
     direct_split: bool,
     /// Safe to copy range-by-range when send/recv alias one buffer.
     direct_in_place: bool,
+    /// Fold into the destination instead of assigning (first-touch rule;
+    /// see [`SpanBatch::acc`]).
+    acc: bool,
 }
 
 /// One fully resolved communication round.
@@ -222,10 +236,28 @@ impl CompiledPlan {
         // One negated-offset buffer serves every source lookup of the
         // compilation (the executor performs none at all).
         let mut neg: Vec<i64> = Vec::with_capacity(topo.ndims());
+        // First-touch write tracking for the reduction kinds: the first
+        // write to a block slot (walked in execution order — copies in list
+        // order, then each round's receives in wire order) assigns, every
+        // later one accumulates. Copy-semantics plans never accumulate.
+        let reduce = plan.kind.is_reduction();
+        let mut written: HashSet<(u8, usize)> = HashSet::new();
+        let mut write_mode = |br: BlockRef| -> bool {
+            reduce
+                && !written.insert((
+                    match br.loc {
+                        Loc::Send => 1,
+                        Loc::Recv => 2,
+                        Loc::Temp => 3,
+                    },
+                    br.slot,
+                ))
+        };
         for phase in &plan.phases {
             let mut cphase = CompiledPhase::default();
             for copy in &phase.copies {
-                let cc = cp.compile_copy(lay, copy.from, copy.to)?;
+                let acc = write_mode(copy.to);
+                let cc = cp.compile_copy(lay, copy.from, copy.to, acc)?;
                 cp.max_copy_bytes = cp.max_copy_bytes.max(cc.bytes);
                 cphase.copies.push(cc);
             }
@@ -245,8 +277,9 @@ impl CompiledPlan {
                 let mut scatter = SpanProgram::default();
                 let mut wire_len = 0usize;
                 for j in 0..round.block_ids.len() {
-                    wire_len += cp.push_block(lay, round.sends[j], &mut gather)?;
-                    cp.push_block(lay, round.recvs[j], &mut scatter)?;
+                    wire_len += cp.push_block(lay, round.sends[j], &mut gather, false)?;
+                    let acc = write_mode(round.recvs[j]);
+                    cp.push_block(lay, round.recvs[j], &mut scatter, acc)?;
                 }
                 debug_assert_eq!(
                     wire_len,
@@ -283,6 +316,7 @@ impl CompiledPlan {
         lay: &ExecLayouts,
         br: BlockRef,
         prog: &mut SpanProgram,
+        acc: bool,
     ) -> CartResult<usize> {
         let (buf, spans) = resolve_block(lay, br)?;
         let mut total = 0usize;
@@ -292,7 +326,7 @@ impl CompiledPlan {
             }
             total += len;
             self.note_extent(buf, off, len);
-            prog.push(buf, off, len);
+            prog.push(buf, off, len, acc);
         }
         Ok(total)
     }
@@ -305,6 +339,7 @@ impl CompiledPlan {
         lay: &ExecLayouts,
         from: BlockRef,
         to: BlockRef,
+        acc: bool,
     ) -> CartResult<CompiledCopy> {
         let (src_buf, src) = resolve_block(lay, from)?;
         let (dst_buf, dst) = resolve_block(lay, to)?;
@@ -354,6 +389,7 @@ impl CompiledPlan {
             direct_in_place: copy_is_direct(src_buf, dst_buf, &ops, true),
             ops,
             bytes: src_total,
+            acc,
         })
     }
 
@@ -368,7 +404,7 @@ impl CompiledPlan {
 
     // ----- introspection ---------------------------------------------------
 
-    /// Alltoall or allgather semantics.
+    /// The collective semantics this program implements.
     pub fn kind(&self) -> PlanKind {
         self.kind
     }
@@ -452,7 +488,12 @@ impl CompiledPlan {
         h.u64(match self.kind {
             PlanKind::Alltoall => 1,
             PlanKind::Allgather => 2,
+            PlanKind::ReduceScatter => 3,
+            PlanKind::Allreduce => 4,
         });
+        // Write modes are hashed only for the reduction kinds, so the
+        // committed alltoall/allgather goldens stay byte-identical.
+        let red = self.kind.is_reduction();
         h.u64(self.temp_len as u64);
         h.u64(self.send_min_len as u64);
         h.u64(self.recv_min_len as u64);
@@ -460,6 +501,9 @@ impl CompiledPlan {
             h.u64(0xFACE);
             for c in &phase.copies {
                 h.u64(0xC0);
+                if red && c.acc {
+                    h.u64(0xACC);
+                }
                 h.u64(buf_tag(c.src));
                 h.u64(buf_tag(c.dst));
                 h.u64(c.direct_split as u64);
@@ -490,6 +534,9 @@ impl CompiledPlan {
                 h.u64(0x5C);
                 for b in &r.scatter.batches {
                     for &(off, len) in r.scatter.batch_spans(b) {
+                        if red && b.acc {
+                            h.u64(0xACC);
+                        }
                         h.u64(buf_tag(b.buf));
                         h.u64(off as u64);
                         h.u64(len as u64);
@@ -600,7 +647,7 @@ impl Mem<'_> {
         }
     }
 
-    fn scatter(&mut self, prog: &SpanProgram, wire: &[u8]) {
+    fn scatter(&mut self, prog: &SpanProgram, wire: &[u8], red: Option<Reducer>) {
         let mut pos = 0usize;
         for b in &prog.batches {
             let dst: &mut [u8] = match b.buf {
@@ -608,11 +655,38 @@ impl Mem<'_> {
                 BufId::Recv => self.user,
                 BufId::Temp => self.temp,
             };
-            pos += kernel::scatter_spans(dst, prog.batch_spans(b), &wire[pos..]);
+            pos += if b.acc {
+                let red = red.expect("accumulating batch requires a reducer");
+                kernel::accumulate_spans(dst, prog.batch_spans(b), &wire[pos..], red)
+            } else {
+                kernel::scatter_spans(dst, prog.batch_spans(b), &wire[pos..])
+            };
         }
     }
 
-    fn run_copy(&mut self, c: &CompiledCopy, stage: &mut Vec<u8>) {
+    fn run_copy(&mut self, c: &CompiledCopy, stage: &mut Vec<u8>, red: Option<Reducer>) {
+        if c.acc {
+            // Accumulating copy: gather every source range into the stage,
+            // then fold the stage into the destination. Staging makes the
+            // fold trivially alias-safe in both split and in-place modes.
+            let red = red.expect("accumulating copy requires a reducer");
+            stage.clear();
+            stage.reserve(c.bytes);
+            for &(s, _, n) in &c.ops {
+                kernel::gather_spans(self.read(c.src), &[(s, n)], stage);
+            }
+            let mut pos = 0usize;
+            for &(_, d, n) in &c.ops {
+                let dst: &mut [u8] = match c.dst {
+                    BufId::Send => unreachable!("plans never write the send buffer"),
+                    BufId::Recv => self.user,
+                    BufId::Temp => self.temp,
+                };
+                red.fold(&mut dst[d..d + n], &stage[pos..pos + n]);
+                pos += n;
+            }
+            return;
+        }
         let direct = if self.send.is_none() {
             c.direct_in_place
         } else {
@@ -688,13 +762,43 @@ pub fn execute_compiled(
     recv: &mut [u8],
     scratch: &mut ExecScratch,
 ) -> CartResult<()> {
+    if cp.kind.is_reduction() {
+        return Err(needs_reducer());
+    }
     if send.len() < cp.send_min_len {
         return Err(too_small(cp.send_min_len, send.len()));
     }
     if recv.len() < cp.recv_min_len {
         return Err(too_small(cp.recv_min_len, recv.len()));
     }
-    execute_core(comm, cp, Some(send), recv, scratch)
+    execute_core(comm, cp, Some(send), recv, scratch, None)
+}
+
+/// Execute a compiled reduction plan: identical steady state to
+/// [`execute_compiled`] — zero allocation, precompiled span programs — with
+/// the accumulating batches folding wire bytes through `red`. The reducer
+/// is an execute-time argument, not part of the compiled program, so one
+/// cached plan serves every operator and dtype of the same block geometry.
+pub fn execute_compiled_reduce(
+    comm: &Comm,
+    cp: &CompiledPlan,
+    send: &[u8],
+    recv: &mut [u8],
+    scratch: &mut ExecScratch,
+    red: Reducer,
+) -> CartResult<()> {
+    if !cp.kind.is_reduction() {
+        return Err(CartError::Type(TypeError::InvalidArgument(
+            "execute_compiled_reduce requires a reduction plan".into(),
+        )));
+    }
+    if send.len() < cp.send_min_len {
+        return Err(too_small(cp.send_min_len, send.len()));
+    }
+    if recv.len() < cp.recv_min_len {
+        return Err(too_small(cp.recv_min_len, recv.len()));
+    }
+    execute_core(comm, cp, Some(send), recv, scratch, Some(red))
 }
 
 /// Execute a compiled plan sending and receiving in the same buffer (the
@@ -705,11 +809,20 @@ pub fn execute_compiled_in_place(
     buf: &mut [u8],
     scratch: &mut ExecScratch,
 ) -> CartResult<()> {
+    if cp.kind.is_reduction() {
+        return Err(needs_reducer());
+    }
     let need = cp.send_min_len.max(cp.recv_min_len);
     if buf.len() < need {
         return Err(too_small(need, buf.len()));
     }
-    execute_core(comm, cp, None, buf, scratch)
+    execute_core(comm, cp, None, buf, scratch, None)
+}
+
+fn needs_reducer() -> CartError {
+    CartError::Type(TypeError::InvalidArgument(
+        "reduction plans must run through execute_compiled_reduce".into(),
+    ))
 }
 
 /// Source rank of a compiled receive spec (always rank-resolved).
@@ -726,6 +839,7 @@ fn execute_core(
     send: Option<&[u8]>,
     user: &mut [u8],
     scratch: &mut ExecScratch,
+    red: Option<Reducer>,
 ) -> CartResult<()> {
     if scratch.temp.len() < cp.temp_len {
         scratch.temp.resize(cp.temp_len, 0);
@@ -742,7 +856,7 @@ fn execute_core(
     let mut round_base = 0usize;
     for (k, phase) in cp.phases.iter().enumerate() {
         for c in &phase.copies {
-            mem.run_copy(c, stage);
+            mem.run_copy(c, stage, red);
         }
         if phase.rounds.is_empty() {
             continue;
@@ -792,7 +906,7 @@ fn execute_core(
                     actual: wire.len(),
                 });
             }
-            mem.scatter(&r.scatter, &wire);
+            mem.scatter(&r.scatter, &wire, red);
             metrics.round_completed();
             if traced {
                 obs.emit(
@@ -806,6 +920,16 @@ fn execute_core(
                         attempt: 0,
                     },
                 );
+                if red.is_some() {
+                    obs.emit(
+                        rank,
+                        TraceEvent::AccumSpan {
+                            round: round_base + i,
+                            spans: r.scatter.span_count(),
+                            bytes: r.wire_len,
+                        },
+                    );
+                }
             }
             // `wire` drops here and recycles into this rank's pool.
         }

@@ -17,6 +17,11 @@ pub struct CostSummary {
     /// Message-combining allgather volume (edges of the routing tree built
     /// in increasing `C_k` order).
     pub allgather_volume: usize,
+    /// Message-combining reduction volume: the reversed reduce tree runs
+    /// the allgather tree of the *negated* neighborhood backwards, so its
+    /// volume is that tree's edge count (equals `allgather_volume` for
+    /// symmetric neighborhoods).
+    pub reduce_volume: usize,
     /// The cut-off ratio `(t−C)/(V−t)` for the alltoall: combining wins for
     /// block sizes `m < (α/β)·ratio`. `None` when `V == t` (combining never
     /// moves extra data, so it wins whenever it saves rounds).
@@ -30,11 +35,13 @@ impl CostSummary {
         let rounds = nb.combining_rounds();
         let alltoall_volume = nb.alltoall_volume();
         let allgather_volume = allgather_plan(nb).volume_blocks;
+        let reduce_volume = allgather_plan(&nb.negated()).volume_blocks;
         CostSummary {
             t,
             rounds,
             alltoall_volume,
             allgather_volume,
+            reduce_volume,
             cutoff: cutoff_ratio(t, rounds, alltoall_volume),
         }
     }
@@ -53,6 +60,12 @@ impl CostSummary {
     /// Predicted message-combining allgather time: `C·α + β·V_ag·m`.
     pub fn combining_allgather_time(&self, alpha: f64, beta: f64, m_bytes: usize) -> f64 {
         self.rounds as f64 * alpha + beta * (self.allgather_volume * m_bytes) as f64
+    }
+
+    /// Predicted message-combining reduction time (`Cart_reduce_scatter`
+    /// or `Cart_allreduce`): `C·α + β·V_red·m`.
+    pub fn combining_reduce_time(&self, alpha: f64, beta: f64, m_bytes: usize) -> f64 {
+        self.rounds as f64 * alpha + beta * (self.reduce_volume * m_bytes) as f64
     }
 
     /// The block size in bytes below which combining alltoall beats trivial
@@ -233,6 +246,26 @@ mod tests {
                 cs.combining_allgather_time(2e-6, 0.08e-9, m) <= cs.trivial_time(2e-6, 0.08e-9, m)
             );
         }
+    }
+
+    #[test]
+    fn reduce_volume_mirrors_allgather() {
+        // Symmetric neighborhoods: negation is a permutation, so the
+        // reversed reduce tree has exactly the allgather volume.
+        for d in 2..=3usize {
+            let nb = RelNeighborhood::moore(d, 1).unwrap();
+            let cs = CostSummary::of(&nb);
+            assert_eq!(cs.reduce_volume, cs.allgather_volume);
+            assert_eq!(cs.reduce_volume, cs.t, "Moore reduce volume = t");
+        }
+        // Asymmetric: still the negated neighborhood's tree edges.
+        let nb = RelNeighborhood::stencil_family(2, 3, -2).unwrap();
+        let cs = CostSummary::of(&nb);
+        assert_eq!(
+            cs.reduce_volume,
+            allgather_plan(&nb.negated()).volume_blocks
+        );
+        assert!(cs.combining_reduce_time(2e-6, 0.08e-9, 8) > 0.0);
     }
 
     #[test]

@@ -159,6 +159,8 @@ impl ExecLayouts {
         h.u64(match kind {
             PlanKind::Alltoall => 1,
             PlanKind::Allgather => 2,
+            PlanKind::ReduceScatter => 3,
+            PlanKind::Allreduce => 4,
         });
         for (group, blocks) in [(0u64, &self.send), (1u64, &self.recv)] {
             h.u64(group);

@@ -78,7 +78,9 @@ pub mod reduce;
 pub mod schedule;
 
 pub use crate::cartcomm::CartComm;
-pub use compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
+pub use compile::{
+    execute_compiled, execute_compiled_in_place, execute_compiled_reduce, CompiledPlan, ExecScratch,
+};
 pub use cost::{cutoff_ratio, CostSummary};
 pub use error::{CartError, CartResult};
 pub use plan::{BlockRef, Loc, LocalCopy, Plan, PlanKind, PlanPhase, PlanRound};

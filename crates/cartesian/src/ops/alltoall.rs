@@ -143,6 +143,29 @@ impl CartComm {
                 check_buffer("receive", t * m * sz, recv_len * sz)?;
                 Ok(regular_layouts(t, m * sz, kind))
             }
+            PlanKind::ReduceScatter => {
+                // t contributed blocks in, one reduced block out.
+                if t == 0 {
+                    check_buffer("send", 0, send_len * sz)?;
+                    return Ok(regular_layouts(0, recv_len * sz, kind));
+                }
+                if !send_len.is_multiple_of(t) {
+                    return Err(CartError::BadBufferSize {
+                        what: "send",
+                        expected: (send_len / t) * t * sz,
+                        actual: send_len * sz,
+                    });
+                }
+                let m = send_len / t;
+                check_buffer("receive", m * sz, recv_len * sz)?;
+                Ok(regular_layouts(t, m * sz, kind))
+            }
+            PlanKind::Allreduce => {
+                // One contributed block in, one reduced block out.
+                let m = send_len;
+                check_buffer("receive", m * sz, recv_len * sz)?;
+                Ok(regular_layouts(t, m * sz, kind))
+            }
         }
     }
 

@@ -25,7 +25,7 @@ pub mod allgather;
 pub mod alltoall;
 pub mod persistent;
 
-pub use persistent::PersistentCollective;
+pub use persistent::{PersistentCollective, PersistentReduction};
 
 use cartcomm_types::{Datatype, FlatType};
 
@@ -120,18 +120,25 @@ impl WBlock {
 // ----- layout builders --------------------------------------------------------
 
 /// Regular layouts: `t` equal contiguous blocks of `block_bytes` each, in
-/// neighbor order, for both send and receive buffers.
+/// neighbor order. The multi-block side is the receive buffer for the
+/// gathering collectives and the send buffer for reduce-scatter; allgather
+/// sends and the reductions receive a single block.
 pub(crate) fn regular_layouts(t: usize, block_bytes: usize, kind: PlanKind) -> ExecLayouts {
     let blocks: Vec<BlockLayout> = (0..t)
         .map(|i| BlockLayout::contiguous((i * block_bytes) as i64, block_bytes))
         .collect();
+    let single = vec![BlockLayout::contiguous(0, block_bytes)];
     let send = match kind {
-        PlanKind::Alltoall => blocks.clone(),
-        PlanKind::Allgather => vec![BlockLayout::contiguous(0, block_bytes)],
+        PlanKind::Alltoall | PlanKind::ReduceScatter => blocks.clone(),
+        PlanKind::Allgather | PlanKind::Allreduce => single.clone(),
+    };
+    let recv = match kind {
+        PlanKind::Alltoall | PlanKind::Allgather => blocks,
+        PlanKind::ReduceScatter | PlanKind::Allreduce => single,
     };
     ExecLayouts {
         send,
-        recv: blocks,
+        recv,
         block_bytes: vec![block_bytes; t],
         temp_offsets: Vec::new(),
         temp_sizes: Vec::new(),
@@ -178,6 +185,9 @@ pub(crate) fn v_layouts(
                 sendcounts[0] * elem_size,
             )]
         }
+        PlanKind::ReduceScatter | PlanKind::Allreduce => {
+            unreachable!("reductions have no irregular (v) variant")
+        }
     };
     layouts_from_blocks(send, recv, kind)
 }
@@ -192,6 +202,9 @@ pub(crate) fn w_layouts(
     match kind {
         PlanKind::Alltoall => check_len("sendspec", t, sendspec.len())?,
         PlanKind::Allgather => check_len("sendspec", 1, sendspec.len())?,
+        PlanKind::ReduceScatter | PlanKind::Allreduce => {
+            unreachable!("reductions have no typed (w) variant")
+        }
     }
     let send = sendspec
         .iter()
@@ -235,6 +248,11 @@ pub(crate) fn layouts_from_blocks(
                 }
             }
         }
+        PlanKind::ReduceScatter | PlanKind::Allreduce => {
+            // Reductions are regular-only: their layouts come straight from
+            // `regular_layouts`, never through the irregular builders.
+            unreachable!("reduction layouts are built by regular_layouts")
+        }
     }
     Ok(ExecLayouts {
         send,
@@ -261,6 +279,15 @@ pub(crate) fn size_temp(
         PlanKind::Allgather => {
             // temp slots hold forwarded copies of the uniform block
             let m = lay.send.first().map_or(0, |b| b.size());
+            if lay.block_bytes.iter().any(|&b| b != m) {
+                return Err(CartError::NonUniformAllgatherCounts);
+            }
+            Ok(lay.with_temp_sizes(vec![m; temp_slots]))
+        }
+        PlanKind::ReduceScatter | PlanKind::Allreduce => {
+            // Reversed-tree accumulators: every temp slot holds one uniform
+            // partial-sum block the size of the single result block.
+            let m = lay.recv.first().map_or(0, |b| b.size());
             if lay.block_bytes.iter().any(|&b| b != m) {
                 return Err(CartError::NonUniformAllgatherCounts);
             }

@@ -11,10 +11,12 @@
 use std::sync::Arc;
 
 use cartcomm_comm::WirePool;
-use cartcomm_types::{cast_slice, cast_slice_mut, Pod};
+use cartcomm_types::{cast_slice, cast_slice_mut, Pod, RedOp, Reducer};
 
 use crate::cartcomm::CartComm;
-use crate::compile::{execute_compiled, execute_compiled_in_place, CompiledPlan, ExecScratch};
+use crate::compile::{
+    execute_compiled, execute_compiled_in_place, execute_compiled_reduce, CompiledPlan, ExecScratch,
+};
 use crate::error::CartResult;
 use crate::exec::ExecLayouts;
 use crate::ops::{choose_combining, v_layouts, w_layouts, Algo, WBlock};
@@ -79,6 +81,12 @@ impl PersistentCollective {
                     let m = self.lay.send.first().map_or(0, |l| l.size());
                     std::iter::repeat_n(m, self.plan.t).collect()
                 }
+                PlanKind::ReduceScatter | PlanKind::Allreduce => {
+                    // Trivial reductions sendrecv one uniform block per
+                    // neighbor round.
+                    let m = self.lay.recv.first().map_or(0, |l| l.size());
+                    std::iter::repeat_n(m, self.plan.t).collect()
+                }
             },
         };
         WirePool::prewarm(cart.comm().wire_pool(), &caps);
@@ -107,6 +115,9 @@ impl PersistentCollective {
             match self.plan.kind {
                 PlanKind::Alltoall => cart.run_trivial_alltoall(&self.lay, send, recv),
                 PlanKind::Allgather => cart.run_trivial_allgather(&self.lay, send, recv),
+                PlanKind::ReduceScatter | PlanKind::Allreduce => {
+                    unreachable!("reductions execute through PersistentReduction")
+                }
             }
         }
     }
@@ -125,6 +136,77 @@ impl PersistentCollective {
             match self.plan.kind {
                 PlanKind::Alltoall => cart.run_trivial_alltoall(&self.lay, &snapshot, buf),
                 PlanKind::Allgather => cart.run_trivial_allgather(&self.lay, &snapshot, buf),
+                PlanKind::ReduceScatter | PlanKind::Allreduce => {
+                    unreachable!("reductions execute through PersistentReduction")
+                }
+            }
+        }
+    }
+
+    /// Execute over typed buffers.
+    pub fn execute_typed<T: Pod>(
+        &mut self,
+        cart: &CartComm,
+        send: &[T],
+        recv: &mut [T],
+    ) -> CartResult<()> {
+        self.execute(cart, cast_slice(send), cast_slice_mut(recv))
+    }
+}
+
+/// A precomputed persistent neighborhood reduction (the `Cart_reduce_*_init`
+/// family). Same reuse contract as [`PersistentCollective`] — schedule,
+/// compiled span programs, and scratch are paid once at init — plus the
+/// combine operator, fixed at init so `execute` dispatches straight into
+/// the monomorphized accumulate kernels.
+pub struct PersistentReduction {
+    inner: PersistentCollective,
+    red: Reducer,
+}
+
+impl PersistentReduction {
+    /// Whether this handle resolved to the message-combining schedule.
+    pub fn is_combining(&self) -> bool {
+        self.inner.use_combining
+    }
+
+    /// The plan this handle executes.
+    pub fn plan(&self) -> &Plan {
+        &self.inner.plan
+    }
+
+    /// The compiled program, when the combining schedule was selected.
+    pub fn compiled(&self) -> Option<&CompiledPlan> {
+        self.inner.compiled.as_deref()
+    }
+
+    /// The combine operator this handle applies.
+    pub fn reducer(&self) -> Reducer {
+        self.red
+    }
+
+    /// Execute over raw byte buffers (layouts and operator fixed at init).
+    pub fn execute(&mut self, cart: &CartComm, send: &[u8], recv: &mut [u8]) -> CartResult<()> {
+        if let Some(cp) = &self.inner.compiled {
+            execute_compiled_reduce(
+                cart.comm(),
+                cp,
+                send,
+                recv,
+                &mut self.inner.scratch,
+                self.red,
+            )
+        } else {
+            match self.inner.plan.kind {
+                PlanKind::ReduceScatter => {
+                    cart.run_trivial_reduce_scatter(&self.inner.lay, send, recv, self.red)
+                }
+                PlanKind::Allreduce => {
+                    cart.run_trivial_allreduce(&self.inner.lay, send, recv, self.red)
+                }
+                PlanKind::Alltoall | PlanKind::Allgather => {
+                    unreachable!("reduction handles carry reduction plans")
+                }
             }
         }
     }
@@ -226,5 +308,38 @@ impl CartComm {
             PlanKind::Allgather,
         )?;
         PersistentCollective::build(self, PlanKind::Allgather, lay, algo)
+    }
+
+    /// `Cart_reduce_scatter_init`: persistent regular neighborhood
+    /// reduce-scatter with `m` elements of `T` per contributed block.
+    pub fn reduce_scatter_init<T: Pod>(
+        &self,
+        op: RedOp,
+        m: usize,
+        algo: Algo,
+    ) -> CartResult<PersistentReduction> {
+        let t = self.neighbor_count();
+        let lay = self.regular_lay::<T>(t * m, m, PlanKind::ReduceScatter)?;
+        let inner = PersistentCollective::build(self, PlanKind::ReduceScatter, lay, algo)?;
+        Ok(PersistentReduction {
+            inner,
+            red: Reducer::for_elem::<T>(op),
+        })
+    }
+
+    /// `Cart_allreduce_init`: persistent regular neighborhood allreduce
+    /// with an `m`-element contributed block of `T`.
+    pub fn allreduce_init<T: Pod>(
+        &self,
+        op: RedOp,
+        m: usize,
+        algo: Algo,
+    ) -> CartResult<PersistentReduction> {
+        let lay = self.regular_lay::<T>(m, m, PlanKind::Allreduce)?;
+        let inner = PersistentCollective::build(self, PlanKind::Allreduce, lay, algo)?;
+        Ok(PersistentReduction {
+            inner,
+            red: Reducer::for_elem::<T>(op),
+        })
     }
 }

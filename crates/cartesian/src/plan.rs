@@ -91,6 +91,27 @@ pub enum PlanKind {
     /// One replicated block: every wire block has the size of the single
     /// send block; temp slots are forwarding nodes of the routing tree.
     Allgather,
+    /// Personalized contributions funnel inward along the reversed
+    /// allgather tree: send slot `i` holds the block destined for
+    /// neighbor `i`'s result, the single receive slot accumulates the
+    /// combined arrivals. All blocks share one uniform size; the first
+    /// write to a slot assigns, later writes combine with the reducer
+    /// supplied at execution time.
+    ReduceScatter,
+    /// Reduce-scatter followed by the local extraction of the fully
+    /// combined own block: one send block replicated toward every source
+    /// neighbor, one receive slot holding the elementwise reduction over
+    /// the neighborhood. Same uniform sizing and first-write-assigns
+    /// semantics as [`PlanKind::ReduceScatter`].
+    Allreduce,
+}
+
+impl PlanKind {
+    /// Whether writes in this plan combine with a reducer (first write
+    /// to a slot assigns, subsequent writes reduce).
+    pub const fn is_reduction(self) -> bool {
+        matches!(self, PlanKind::ReduceScatter | PlanKind::Allreduce)
+    }
 }
 
 /// A complete, rank-independent communication schedule.

@@ -81,6 +81,8 @@ fn hash_identity(
     h.u64(match kind {
         PlanKind::Alltoall => 1,
         PlanKind::Allgather => 2,
+        PlanKind::ReduceScatter => 3,
+        PlanKind::Allreduce => 4,
     });
     for v in nb.to_flat() {
         h.u64(v as u64);
@@ -121,6 +123,8 @@ pub fn schedule_key(nb: &RelNeighborhood, kind: PlanKind) -> u128 {
         h.u64(match kind {
             PlanKind::Alltoall => 1,
             PlanKind::Allgather => 2,
+            PlanKind::ReduceScatter => 3,
+            PlanKind::Allreduce => 4,
         });
         for v in nb.to_flat() {
             h.u64(v as u64);

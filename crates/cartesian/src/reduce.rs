@@ -23,18 +23,316 @@
 //! reassociates sums in an order that depends on the neighborhood, and
 //! with repeated offsets even the trivial algorithm's order is unspecified.
 
+use cartcomm_comm::obs::TraceEvent;
 use cartcomm_comm::{ExchangeBatch, ExchangeOpts, RecvSpec, Tag};
-use cartcomm_types::{cast_slice, Pod};
+use cartcomm_types::{cast_slice, cast_slice_mut, gather_append, Pod, RedOp, Reducer};
 
 use crate::cartcomm::CartComm;
+use crate::compile::{execute_compiled_reduce, ExecScratch};
 use crate::error::{CartError, CartResult};
-use crate::ops::check_combining;
+use crate::exec::ExecLayouts;
+use crate::ops::{check_combining, choose_combining, Algo};
 use crate::plan::{Loc, PlanKind};
 
 /// Tag base for reduction rounds.
 pub const REDUCE_TAG_BASE: Tag = 0x7E00_0000;
 
 impl CartComm {
+    // ----- first-class reductions (Cart_reduce_scatter / Cart_allreduce) -----
+
+    /// `Cart_reduce_scatter`: the personalized neighborhood reduction.
+    /// Process `q` receives, element-wise `op`-combined into `recv`, block
+    /// `j` of the send buffer of each neighbor `q − N[j]` — the reduction
+    /// dual of `Cart_alltoall`'s distribution. `send` holds `t` blocks of
+    /// `recv.len()` elements, in neighbor order; repeated offsets
+    /// contribute once per occurrence, and a zero offset contributes the
+    /// caller's own block `j`. `algo` selects the reversed combining tree,
+    /// the trivial t-round algorithm, or the §3.2 cut-off.
+    pub fn neighbor_reduce_scatter<T: Pod>(
+        &self,
+        op: RedOp,
+        send: &[T],
+        recv: &mut [T],
+        algo: Algo,
+    ) -> CartResult<()> {
+        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::ReduceScatter)?;
+        self.run_reduce(
+            PlanKind::ReduceScatter,
+            lay,
+            cast_slice(send),
+            cast_slice_mut(recv),
+            Reducer::for_elem::<T>(op),
+            algo,
+        )
+    }
+
+    /// `Cart_allreduce`: every process contributes one block and receives
+    /// the element-wise `op`-combination of its own block with the blocks
+    /// of all its source neighbors `q − N[j]`. The own contribution counts
+    /// exactly once even when the neighborhood contains the zero offset;
+    /// repeated non-zero offsets count once per occurrence. `algo` as in
+    /// [`CartComm::neighbor_reduce_scatter`].
+    pub fn neighbor_allreduce<T: Pod>(
+        &self,
+        op: RedOp,
+        send: &[T],
+        recv: &mut [T],
+        algo: Algo,
+    ) -> CartResult<()> {
+        let lay = self.regular_lay::<T>(send.len(), recv.len(), PlanKind::Allreduce)?;
+        self.run_reduce(
+            PlanKind::Allreduce,
+            lay,
+            cast_slice(send),
+            cast_slice_mut(recv),
+            Reducer::for_elem::<T>(op),
+            algo,
+        )
+    }
+
+    /// Byte-level [`CartComm::neighbor_reduce_scatter`] with an explicit
+    /// [`Reducer`] — the entry point for serving layers that carry dtype
+    /// and operator on the wire instead of in the type system.
+    pub fn neighbor_reduce_scatter_bytes(
+        &self,
+        red: Reducer,
+        send: &[u8],
+        recv: &mut [u8],
+        algo: Algo,
+    ) -> CartResult<()> {
+        red.check_len(recv.len()).map_err(CartError::from)?;
+        let lay = self.regular_lay::<u8>(send.len(), recv.len(), PlanKind::ReduceScatter)?;
+        self.run_reduce(PlanKind::ReduceScatter, lay, send, recv, red, algo)
+    }
+
+    /// Byte-level [`CartComm::neighbor_allreduce`] with an explicit
+    /// [`Reducer`].
+    pub fn neighbor_allreduce_bytes(
+        &self,
+        red: Reducer,
+        send: &[u8],
+        recv: &mut [u8],
+        algo: Algo,
+    ) -> CartResult<()> {
+        red.check_len(recv.len()).map_err(CartError::from)?;
+        let lay = self.regular_lay::<u8>(send.len(), recv.len(), PlanKind::Allreduce)?;
+        self.run_reduce(PlanKind::Allreduce, lay, send, recv, red, algo)
+    }
+
+    /// Resolve `algo` and dispatch a reduction to the compiled reversed
+    /// tree or the trivial t-round algorithm. `Algo::Combining` on a mesh
+    /// is an error (the reversed tree routes through intermediates);
+    /// `Algo::Auto` falls back to trivial there.
+    pub(crate) fn run_reduce(
+        &self,
+        kind: PlanKind,
+        lay: ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+        red: Reducer,
+        algo: Algo,
+    ) -> CartResult<()> {
+        let use_combining = match algo {
+            Algo::Trivial => false,
+            Algo::Combining => {
+                check_combining(self)?;
+                true
+            }
+            auto => {
+                check_combining(self).is_ok()
+                    && choose_combining(auto, &self.plans().schedule(kind), &lay)
+            }
+        };
+        if use_combining {
+            // Torus: run the compiled reversed tree (cached across
+            // repeated calls with the same neighborhood and layouts).
+            let cp = self.plans().compiled(kind, lay)?;
+            let mut scratch = ExecScratch::for_plan(&cp);
+            execute_compiled_reduce(self.comm(), &cp, send, recv, &mut scratch, red)
+        } else {
+            match kind {
+                PlanKind::ReduceScatter => self.run_trivial_reduce_scatter(&lay, send, recv, red),
+                PlanKind::Allreduce => self.run_trivial_allreduce(&lay, send, recv, red),
+                PlanKind::Alltoall | PlanKind::Allgather => {
+                    unreachable!("run_reduce only dispatches reduction kinds")
+                }
+            }
+        }
+    }
+
+    /// Trivial t-round reduce-scatter: one blocking sendrecv per neighbor
+    /// (Listing 4 shape), block `i` of the send buffer delivered directly
+    /// to target `self + N[i]` and each arrival folded into the single
+    /// receive block (first arrival assigns). Works on meshes: neighbors
+    /// cut off by a boundary are skipped.
+    pub(crate) fn run_trivial_reduce_scatter(
+        &self,
+        lay: &ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+        red: Reducer,
+    ) -> CartResult<()> {
+        let obs = self.comm().obs();
+        let metrics = obs.metrics();
+        let traced = obs.enabled();
+        let rank = self.comm().rank();
+        let dst_block = lay.recv.first().map(|l| (l.disp as usize, l.size()));
+        let mut assigned = false;
+        let mut batch = ExchangeBatch::with_capacity(1);
+        for (i, off) in self.neighborhood().offsets().iter().enumerate() {
+            let tag = REDUCE_TAG_BASE + i as Tag;
+            if off.iter().all(|&c| c == 0) {
+                // Self block: fold the own contribution locally through a
+                // pooled scratch (no round on the wire).
+                let mut bytes = self.comm().wire_buf(lay.send[i].size());
+                gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut bytes)?;
+                fold_or_assign(recv, dst_block, &bytes, red, &mut assigned);
+                continue;
+            }
+            let (source, target) = self.relative_shift(off)?;
+            if let Some(dst) = target {
+                let mut wire = self.comm().wire_buf(lay.send[i].size());
+                gather_append(send, lay.send[i].disp, &lay.send[i].ty, &mut wire)?;
+                metrics.round_started();
+                metrics.pack(1, wire.len());
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundStart {
+                            phase: 0,
+                            round: i,
+                            to: dst,
+                            from: source.unwrap_or(usize::MAX),
+                            wire_bytes: wire.len(),
+                            attempt: 0,
+                        },
+                    );
+                }
+                batch.send(dst, tag, wire);
+            }
+            let mut specs = Vec::with_capacity(1);
+            if let Some(src) = source {
+                specs.push(RecvSpec::from_rank(src, tag));
+            }
+            self.comm()
+                .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+            if let Some((wire, status)) = batch.take_result(0) {
+                fold_or_assign(recv, dst_block, &wire, red, &mut assigned);
+                metrics.round_completed();
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundEnd {
+                            phase: 0,
+                            round: i,
+                            to: rank,
+                            from: status.src,
+                            wire_bytes: wire.len(),
+                            attempt: 0,
+                        },
+                    );
+                    obs.emit(
+                        rank,
+                        TraceEvent::AccumSpan {
+                            round: i,
+                            spans: 1,
+                            bytes: wire.len(),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Trivial t-round allreduce: seed the receive block with the own
+    /// contribution, then one sendrecv per *non-zero* neighbor offset,
+    /// folding each arriving block in. Zero offsets are the caller itself
+    /// and add nothing (the seed already counted the own block once).
+    pub(crate) fn run_trivial_allreduce(
+        &self,
+        lay: &ExecLayouts,
+        send: &[u8],
+        recv: &mut [u8],
+        red: Reducer,
+    ) -> CartResult<()> {
+        let obs = self.comm().obs();
+        let metrics = obs.metrics();
+        let traced = obs.enabled();
+        let rank = self.comm().rank();
+        let dst_block = lay.recv.first().map(|l| (l.disp as usize, l.size()));
+        // Seed: recv := own contribution (gathered through the layout so
+        // non-zero displacements work).
+        let mut contribution = self
+            .comm()
+            .wire_buf(lay.send.first().map_or(0, |l| l.size()));
+        if let Some(l) = lay.send.first() {
+            gather_append(send, l.disp, &l.ty, &mut contribution)?;
+        }
+        let mut assigned = false;
+        fold_or_assign(recv, dst_block, &contribution, red, &mut assigned);
+        let mut batch = ExchangeBatch::with_capacity(1);
+        for (i, off) in self.neighborhood().offsets().iter().enumerate() {
+            if off.iter().all(|&c| c == 0) {
+                continue;
+            }
+            let tag = REDUCE_TAG_BASE + i as Tag;
+            let (source, target) = self.relative_shift(off)?;
+            if let Some(dst) = target {
+                let mut wire = self.comm().wire_buf(contribution.len());
+                wire.extend_from_slice(&contribution);
+                metrics.round_started();
+                metrics.pack(1, wire.len());
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundStart {
+                            phase: 0,
+                            round: i,
+                            to: dst,
+                            from: source.unwrap_or(usize::MAX),
+                            wire_bytes: wire.len(),
+                            attempt: 0,
+                        },
+                    );
+                }
+                batch.send(dst, tag, wire);
+            }
+            let mut specs = Vec::with_capacity(1);
+            if let Some(src) = source {
+                specs.push(RecvSpec::from_rank(src, tag));
+            }
+            self.comm()
+                .exchange(&mut batch, &specs, ExchangeOpts::pooled())?;
+            if let Some((wire, status)) = batch.take_result(0) {
+                fold_or_assign(recv, dst_block, &wire, red, &mut assigned);
+                metrics.round_completed();
+                if traced {
+                    obs.emit(
+                        rank,
+                        TraceEvent::RoundEnd {
+                            phase: 0,
+                            round: i,
+                            to: rank,
+                            from: status.src,
+                            wire_bytes: wire.len(),
+                            attempt: 0,
+                        },
+                    );
+                    obs.emit(
+                        rank,
+                        TraceEvent::AccumSpan {
+                            round: i,
+                            spans: 1,
+                            bytes: wire.len(),
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Trivial neighborhood reduction: element-wise reduce the blocks of
     /// all `t` source neighbors (`self − N[i]`) into `acc`, which starts
     /// from the caller's own contribution. `op` must be associative and
@@ -49,8 +347,10 @@ impl CartComm {
         for (i, off) in self.neighborhood().offsets().iter().enumerate() {
             let tag = REDUCE_TAG_BASE + i as Tag;
             if off.iter().all(|&c| c == 0) {
-                // self neighbor: reduce own contribution once more
-                reduce_wire_into::<T, F>(&contribution, acc, &op)?;
+                // Self neighbor: the own contribution is already in `acc`
+                // (it seeds the accumulator), so a zero offset adds
+                // nothing further. Folding it again here double-counted
+                // with non-idempotent operators like Sum.
                 continue;
             }
             let (source, target) = self.relative_shift(off)?;
@@ -127,11 +427,16 @@ impl CartComm {
         // an injection point of the own contribution (one per neighbor
         // index, preserving multiplicities of repeated offsets), and the
         // root (the forward send buffer) injects the own contribution as
-        // the result's starting value. Temp slots are pure join points and
-        // start empty.
+        // the result's starting value. Zero-offset neighbors are the caller
+        // itself — their contribution is exactly the root injection, so
+        // their leaves stay empty (injecting there double-counted the own
+        // block with non-idempotent operators). Temp slots are pure join
+        // points and start empty.
         slots[0] = Some(own.clone());
-        for j in 0..t {
-            slots[1 + j] = Some(own.clone());
+        for (j, off) in self.neighborhood().offsets().iter().enumerate() {
+            if off.iter().any(|&c| c != 0) {
+                slots[1 + j] = Some(own.clone());
+            }
         }
 
         // Execute reversed: phases backwards; within a phase, rounds are
@@ -210,9 +515,11 @@ impl CartComm {
                 // forward copy from -> to becomes reversed reduce to -> from
                 let from_idx = slot_index(copy.to.loc, copy.to.slot);
                 let to_idx = slot_index(copy.from.loc, copy.from.slot);
-                let piece = slots[from_idx]
-                    .clone()
-                    .expect("reversed copy of an incomplete slot");
+                // Empty slots (un-injected zero-offset leaves) contribute
+                // nothing; skip their reversed copies.
+                let Some(piece) = slots[from_idx].clone() else {
+                    continue;
+                };
                 match slots[to_idx].take() {
                     None => slots[to_idx] = Some(piece),
                     Some(mut current) => {
@@ -227,6 +534,29 @@ impl CartComm {
         let out = slots[0].take().expect("root accumulator present");
         reduce_assign::<T>(acc, &out)?;
         Ok(())
+    }
+}
+
+/// Fold `bytes` into the single destination block of a reduction layout,
+/// assigning on the first contribution (so the result is exactly the
+/// combination of the contributions, with no identity element needed).
+/// `dst_block` is the `(disp, size)` of the receive block; `None` (empty
+/// neighborhood) leaves the buffer untouched.
+fn fold_or_assign(
+    recv: &mut [u8],
+    dst_block: Option<(usize, usize)>,
+    bytes: &[u8],
+    red: Reducer,
+    assigned: &mut bool,
+) {
+    let Some((d, n)) = dst_block else { return };
+    debug_assert_eq!(bytes.len(), n, "reduction contribution matches the block");
+    let dst = &mut recv[d..d + n];
+    if *assigned {
+        red.fold(dst, bytes);
+    } else {
+        dst.copy_from_slice(bytes);
+        *assigned = true;
     }
 }
 

@@ -13,6 +13,8 @@
 pub mod allgather;
 pub mod alltoall;
 pub(crate) mod arena;
+pub mod reduce;
 
 pub use allgather::{allgather_plan, allgather_plan_with_order, DimOrder};
 pub use alltoall::alltoall_plan;
+pub use reduce::{allreduce_plan, reduce_scatter_plan};

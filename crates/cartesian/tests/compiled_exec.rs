@@ -92,6 +92,77 @@ fn persistent_steady_state_is_allocation_free() {
     }
 }
 
+/// The same acceptance property for the persistent reductions: after one
+/// warm-up execute, repeated `reduce_scatter_init`/`allreduce_init`
+/// executes take every wire from the pool — zero misses, zero drops —
+/// so the steady-state accumulate path allocates nothing.
+#[test]
+fn persistent_reductions_steady_state_is_allocation_free() {
+    use cartcomm_types::RedOp;
+    const ITERS: u64 = 50;
+    let dims = [4usize, 4];
+    let nb = RelNeighborhood::moore(2, 1).unwrap();
+    let t = nb.len();
+    let m = 8usize;
+    let stats = Universe::builder(16).run(|comm| {
+        let cart = CartComm::create(comm, &dims, &[true, true], nb.clone()).unwrap();
+        let mut rs = cart
+            .reduce_scatter_init::<i32>(RedOp::Sum, m, Algo::Combining)
+            .unwrap();
+        let mut ar = cart
+            .allreduce_init::<i32>(RedOp::Sum, m, Algo::Combining)
+            .unwrap();
+        let rounds =
+            rs.compiled().unwrap().rounds() as u64 + ar.compiled().unwrap().rounds() as u64;
+        let rank = cart.rank();
+        let rs_send: Vec<i32> = (0..t * m).map(|x| (rank * 100 + x) as i32).collect();
+        let ar_send: Vec<i32> = (0..m).map(|e| (rank * 10 + e) as i32).collect();
+        let mut rs_recv = vec![0i32; m];
+        let mut ar_recv = vec![0i32; m];
+        // One warm-up execute per handle, then scope the telemetry to the
+        // steady state as a metrics delta.
+        rs.execute_typed(&cart, &rs_send, &mut rs_recv).unwrap();
+        ar.execute_typed(&cart, &ar_send, &mut ar_recv).unwrap();
+        let warm = cart.comm().obs().snapshot();
+        let warm_dropped = cart.comm().pool_telemetry().dropped;
+        for _ in 0..ITERS {
+            rs.execute_typed(&cart, &rs_send, &mut rs_recv).unwrap();
+            ar.execute_typed(&cart, &ar_send, &mut ar_recv).unwrap();
+        }
+        // The last iteration still reduced correctly: the allreduce sum is
+        // the own block plus every neighbor's own block.
+        for (e, got) in ar_recv.iter().enumerate() {
+            let mut want = (rank * 10 + e) as i32;
+            for off in nb.offsets() {
+                let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
+                if let (Some(src), _) = cart.relative_shift(&neg).unwrap() {
+                    want += (src * 10 + e) as i32;
+                }
+            }
+            assert_eq!(*got, want, "rank {rank} elem {e}");
+        }
+        let d = cart.comm().obs().metrics().delta_since(&warm);
+        let dropped = cart.comm().pool_telemetry().dropped - warm_dropped;
+        (d.pool_hits, d.pool_misses, dropped, rounds)
+    });
+    for (rank, (hits, misses, dropped, rounds)) in stats.into_iter().enumerate() {
+        assert_eq!(rounds, 8, "two moore(2,1) reduce plans, C = 4 each");
+        assert_eq!(
+            misses, 0,
+            "rank {rank}: steady-state reductions must not allocate wires"
+        );
+        assert_eq!(
+            dropped, 0,
+            "rank {rank}: every recycled wire must be retained"
+        );
+        assert_eq!(
+            hits,
+            ITERS * rounds,
+            "rank {rank}: exactly one pool take per round per execute"
+        );
+    }
+}
+
 /// The communicator-level plan cache: identical layouts compile once and
 /// are shared by persistent handles and one-shot collectives alike;
 /// different block sizes or collective kinds get their own programs.

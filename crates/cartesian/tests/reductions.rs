@@ -6,7 +6,12 @@ use cartcomm::CartComm;
 use cartcomm_comm::Universe;
 use cartcomm_topo::{CartTopology, RelNeighborhood};
 
-/// Reference: acc_r = own(r) + Σ_i own(r − N[i]).
+/// Reference: acc_r = own(r) + Σ_{i: N[i]≠0} own(r − N[i]).
+///
+/// The caller's own contribution counts exactly once, even when the
+/// neighborhood contains the zero offset — the in-place reduction seeds
+/// the accumulator with `own`, and a zero-offset "neighbor" is the caller
+/// itself, not a second copy of its data.
 fn expected_sum(
     topo: &CartTopology,
     nb: &RelNeighborhood,
@@ -16,6 +21,9 @@ fn expected_sum(
 ) -> Vec<i64> {
     let mut acc: Vec<i64> = (0..m).map(|e| own(rank, e)).collect();
     for off in nb.offsets() {
+        if off.iter().all(|&c| c == 0) {
+            continue;
+        }
         let neg: Vec<i64> = off.iter().map(|&c| -c).collect();
         if let Some(src) = topo.rank_of_offset(rank, &neg).unwrap() {
             for (e, a) in acc.iter_mut().enumerate() {
@@ -78,6 +86,31 @@ fn with_self_neighbor() {
         RelNeighborhood::stencil_family_with_self(2, 3, -1, true).unwrap(),
         2,
     );
+}
+
+/// Regression: a neighborhood containing the zero offset must not fold
+/// the caller's own contribution in twice. The trivial executor used to
+/// reduce `acc` with a copy of itself at the self-offset branch, which
+/// double-counts with non-idempotent operators like Sum.
+#[test]
+fn zero_offset_is_not_double_counted() {
+    let nb = RelNeighborhood::new(1, vec![vec![0], vec![1]]).unwrap();
+    Universe::builder(4).run(|comm| {
+        let cart = CartComm::create(comm, &[4], &[true], nb.clone()).unwrap();
+        let rank = cart.rank();
+        let own = (rank as i64 + 1) * 1000;
+        // Sum over {self, left neighbor}: own exactly once + own(rank-1).
+        let want = own + ((rank + 3) % 4 + 1) as i64 * 1000;
+
+        let mut trivial = [own];
+        cart.neighbor_reduce_trivial(&mut trivial, |a, b| a + b)
+            .unwrap();
+        assert_eq!(trivial[0], want, "trivial reduce, rank {rank}");
+
+        let mut tree = [own];
+        cart.neighbor_reduce(&mut tree, |a, b| a + b).unwrap();
+        assert_eq!(tree[0], want, "tree reduce, rank {rank}");
+    });
 }
 
 #[test]

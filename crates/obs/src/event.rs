@@ -64,6 +64,18 @@ pub enum TraceEvent {
         /// Total bytes packed.
         bytes: usize,
     },
+    /// A reduction round's incoming wire message was unpacked through the
+    /// accumulate kernels: `spans` destination ranges combined (or
+    /// first-touch assigned) from `bytes` wire bytes. The reduce-side
+    /// mirror of [`TraceEvent::PackSpan`].
+    AccumSpan {
+        /// Round index the accumulation belongs to.
+        round: usize,
+        /// Number of contiguous destination spans touched.
+        spans: usize,
+        /// Total wire bytes folded in.
+        bytes: usize,
+    },
     /// A wire-buffer acquisition was served from the pool's free list.
     PoolHit {
         /// Requested capacity in bytes.
@@ -178,6 +190,7 @@ impl TraceEvent {
             TraceEvent::RoundStart { .. } => "round_start",
             TraceEvent::RoundEnd { .. } => "round_end",
             TraceEvent::PackSpan { .. } => "pack_span",
+            TraceEvent::AccumSpan { .. } => "accum_span",
             TraceEvent::PoolHit { .. } => "pool_hit",
             TraceEvent::PoolMiss { .. } => "pool_miss",
             TraceEvent::PlanCacheHit { .. } => "plan_cache_hit",
@@ -217,6 +230,11 @@ impl TraceEvent {
                 ("attempt", attempt as u64),
             ],
             TraceEvent::PackSpan {
+                round,
+                spans,
+                bytes,
+            }
+            | TraceEvent::AccumSpan {
                 round,
                 spans,
                 bytes,
@@ -313,6 +331,13 @@ mod tests {
             TraceEvent::PoolHit { bytes: 64 }.fields(),
             vec![("bytes", 64)]
         );
+        let a = TraceEvent::AccumSpan {
+            round: 2,
+            spans: 4,
+            bytes: 96,
+        };
+        assert_eq!(a.kind(), "accum_span");
+        assert_eq!(a.fields(), vec![("round", 2), ("spans", 4), ("bytes", 96)]);
         assert_eq!(
             TraceEvent::PlanCacheMiss { fingerprint: 9 }.kind(),
             "plan_cache_miss"

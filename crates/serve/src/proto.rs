@@ -39,6 +39,7 @@
 use cartcomm::ops::Algo;
 use cartcomm_comm::envelope::Envelope;
 use cartcomm_comm::transport::wire;
+use cartcomm_types::Reducer;
 
 /// Protocol version sent in `HELLO_OK`.
 pub const PROTO_VERSION: u32 = 1;
@@ -124,6 +125,13 @@ pub enum OpSpec {
         send_block: (i64, usize),
         recv_blocks: Vec<(i64, usize)>,
     },
+    /// `Cart_reduce_scatter`: each rank contributes `t` blocks of `count`
+    /// elements of the reducer's primitive and receives one combined
+    /// block of `count` elements.
+    ReduceScatter { red: Reducer, count: usize },
+    /// `Cart_allreduce`: one block of `count` elements in, the reduced
+    /// block of `count` elements out.
+    Allreduce { red: Reducer, count: usize },
 }
 
 /// A complete job: topology, neighborhood, operation, algorithm. The
@@ -173,6 +181,8 @@ impl JobSpec {
             } => sendcount * elem_size,
             OpSpec::Alltoallw { send_blocks, .. } => w_span(send_blocks),
             OpSpec::Allgatherw { send_block, .. } => w_span(std::slice::from_ref(send_block)),
+            OpSpec::ReduceScatter { red, count } => self.neighbor_count() * count * red.width(),
+            OpSpec::Allreduce { red, count } => count * red.width(),
         }
     }
 
@@ -192,6 +202,9 @@ impl JobSpec {
             } => span_bytes(&vec![*sendcount; recvdispls.len()], recvdispls, *elem_size),
             OpSpec::Alltoallw { recv_blocks, .. } | OpSpec::Allgatherw { recv_blocks, .. } => {
                 w_span(recv_blocks)
+            }
+            OpSpec::ReduceScatter { red, count } | OpSpec::Allreduce { red, count } => {
+                count * red.width()
             }
         }
     }
@@ -213,6 +226,9 @@ impl JobSpec {
             } => vec![sendcount * elem_size; recvdispls.len()],
             OpSpec::Alltoallw { recv_blocks, .. } | OpSpec::Allgatherw { recv_blocks, .. } => {
                 recv_blocks.iter().map(|&(_, count)| count).collect()
+            }
+            OpSpec::ReduceScatter { red, count } | OpSpec::Allreduce { red, count } => {
+                vec![count * red.width(); self.neighbor_count()]
             }
         }
     }
@@ -279,6 +295,10 @@ impl JobSpec {
             }
             OpSpec::Allgatherw { recv_blocks, .. } => {
                 check("recv_blocks", recv_blocks.len(), t)?;
+            }
+            OpSpec::ReduceScatter { .. } | OpSpec::Allreduce { .. } => {
+                // The reducer is validated structurally at decode time and
+                // the buffer sizes follow from `count` alone.
             }
         }
         Ok(())
@@ -357,6 +377,16 @@ impl JobSpec {
                 put_u64(&mut out, send_block.1 as u64);
                 put_block_vec(&mut out, recv_blocks);
             }
+            OpSpec::ReduceScatter { red, count } => {
+                out.push(4);
+                out.extend_from_slice(&red.encode());
+                put_u64(&mut out, *count as u64);
+            }
+            OpSpec::Allreduce { red, count } => {
+                out.push(5);
+                out.extend_from_slice(&red.encode());
+                put_u64(&mut out, *count as u64);
+            }
         }
         out
     }
@@ -407,6 +437,14 @@ impl JobSpec {
             3 => OpSpec::Allgatherw {
                 send_block: (c.i64()?, c.u64()? as usize),
                 recv_blocks: c.block_vec()?,
+            },
+            4 => OpSpec::ReduceScatter {
+                red: c.reducer()?,
+                count: c.u64()? as usize,
+            },
+            5 => OpSpec::Allreduce {
+                red: c.reducer()?,
+                count: c.u64()? as usize,
             },
             k => return Err(format!("unknown op kind {k}")),
         };
@@ -679,6 +717,11 @@ impl<'a> Cursor<'a> {
         (0..n).map(|_| self.u64().map(|x| x as usize)).collect()
     }
 
+    fn reducer(&mut self) -> Result<Reducer, String> {
+        let bytes = [self.u8()?, self.u8()?];
+        Reducer::decode(bytes).ok_or_else(|| format!("bad reducer encoding {bytes:?}"))
+    }
+
     fn block_vec(&mut self) -> Result<Vec<(i64, usize)>, String> {
         let n = self.u32()? as usize;
         if n > MAX_NEIGHBORS {
@@ -745,6 +788,38 @@ mod tests {
         assert_eq!(spec.recv_bytes_per_rank(), 8 * 2 * 4);
         assert_eq!(spec.recv_block_bytes(), vec![8; 8]);
         spec.validate().expect("valid");
+    }
+
+    #[test]
+    fn reduce_specs_roundtrip_and_size() {
+        use cartcomm_types::{Primitive, RedOp};
+        let mut s = moore_spec(AlgoSpec::Combining);
+        s.op = OpSpec::Allreduce {
+            red: Reducer::new(RedOp::Sum, Primitive::F64),
+            count: 5,
+        };
+        assert_eq!(JobSpec::decode(&s.encode()).unwrap(), s);
+        assert_eq!(s.send_bytes_per_rank(), 5 * 8);
+        assert_eq!(s.recv_bytes_per_rank(), 5 * 8);
+        assert_eq!(s.recv_block_bytes(), vec![40; 8]);
+        s.validate().expect("valid allreduce spec");
+
+        let mut s2 = moore_spec(AlgoSpec::Trivial);
+        s2.op = OpSpec::ReduceScatter {
+            red: Reducer::new(RedOp::Max, Primitive::I16),
+            count: 3,
+        };
+        assert_eq!(JobSpec::decode(&s2.encode()).unwrap(), s2);
+        assert_eq!(s2.send_bytes_per_rank(), 8 * 3 * 2);
+        assert_eq!(s2.recv_bytes_per_rank(), 3 * 2);
+        s2.validate().expect("valid reduce_scatter spec");
+        assert_ne!(s.coalesce_key(), s2.coalesce_key());
+
+        // A bad reducer byte must fail decode, not panic downstream.
+        let mut bytes = s.encode();
+        let n = bytes.len();
+        bytes[n - 9] = 0xFF; // primitive code byte of the reducer
+        assert!(JobSpec::decode(&bytes).is_err());
     }
 
     #[test]

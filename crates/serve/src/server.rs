@@ -934,7 +934,23 @@ fn run_one(
 /// trivial algorithm predicts `t` rounds carrying every block directly.
 fn predict(cart: &CartComm, spec: &JobSpec) -> (u64, u64) {
     let block_bytes = spec.recv_block_bytes();
+    let reduction = matches!(
+        spec.op,
+        OpSpec::ReduceScatter { .. } | OpSpec::Allreduce { .. }
+    );
     match spec.algo {
+        crate::proto::AlgoSpec::Trivial if reduction => {
+            // Trivial reductions exchange nothing for a zero offset (the
+            // own contribution folds in locally), so only non-zero
+            // neighbors count towards rounds and volume.
+            let live = spec
+                .offsets
+                .iter()
+                .filter(|o| o.iter().any(|&c| c != 0))
+                .count();
+            let m = block_bytes.first().copied().unwrap_or(0);
+            (live as u64, (live * m) as u64)
+        }
         crate::proto::AlgoSpec::Trivial => (
             spec.neighbor_count() as u64,
             block_bytes.iter().sum::<usize>() as u64,
@@ -943,6 +959,8 @@ fn predict(cart: &CartComm, spec: &JobSpec) -> (u64, u64) {
             let kind = match spec.op {
                 OpSpec::Alltoallv { .. } | OpSpec::Alltoallw { .. } => PlanKind::Alltoall,
                 OpSpec::Allgatherv { .. } | OpSpec::Allgatherw { .. } => PlanKind::Allgather,
+                OpSpec::ReduceScatter { .. } => PlanKind::ReduceScatter,
+                OpSpec::Allreduce { .. } => PlanKind::Allreduce,
             };
             let plan = cart.plans().schedule(kind);
             let v: usize = plan.round_bytes(&|b| block_bytes[b]).iter().sum();
@@ -1015,6 +1033,10 @@ pub(crate) fn run_op(
                 .collect::<Vec<_>>();
             cart.allgatherw(send, &sb, recv, &rb, algo)
         }
+        OpSpec::ReduceScatter { red, .. } => {
+            cart.neighbor_reduce_scatter_bytes(*red, send, recv, algo)
+        }
+        OpSpec::Allreduce { red, .. } => cart.neighbor_allreduce_bytes(*red, send, recv, algo),
     };
     res.map_err(|e| format!("{e:?}"))
 }

@@ -278,6 +278,63 @@ fn full_queue_answers_busy_with_retry_hint() {
 }
 
 #[test]
+fn reduction_jobs_serve_and_match_direct_exchange() {
+    use cartcomm_types::{Primitive, RedOp, Reducer};
+
+    let sock = sock_path("reduce");
+    let server = Server::bind_uds(&sock, ServeConfig::default()).expect("bind");
+
+    // Unique shape: 3x2 torus, von Neumann plus the zero offset (the own
+    // contribution must fold in exactly once), combining allreduce of u32
+    // sums — exact in integers, so the daemon's combining result must be
+    // byte-identical to the reference's trivial exchange.
+    let allreduce = JobSpec {
+        dims: vec![3, 2],
+        periods: vec![true, true],
+        offsets: vec![vec![0, 0], vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]],
+        op: OpSpec::Allreduce {
+            red: Reducer::new(RedOp::Sum, Primitive::U32),
+            count: 6,
+        },
+        algo: AlgoSpec::Combining,
+    };
+    let payload = payload_for(&allreduce, 13);
+    let golden = reference::execute(&allreduce, &payload).expect("golden allreduce");
+
+    let mut c = Client::connect_uds(&sock, "reduce-tenant").expect("connect");
+    let out = c
+        .submit_retrying(&allreduce, &payload, 100)
+        .expect("allreduce job");
+    assert_eq!(out, golden, "combining allreduce matches direct exchange");
+    let s = server.tenants().stats("reduce-tenant").expect("stats");
+    assert!(
+        s.matches_prediction(),
+        "fault-free combining reduction matches the analytical C/V: {s:?}"
+    );
+
+    // Reduce-scatter on the same topology but its own coalesce shape.
+    let reduce_scatter = JobSpec {
+        op: OpSpec::ReduceScatter {
+            red: Reducer::new(RedOp::Min, Primitive::U32),
+            count: 4,
+        },
+        ..allreduce.clone()
+    };
+    let payload = payload_for(&reduce_scatter, 17);
+    let golden = reference::execute(&reduce_scatter, &payload).expect("golden reduce_scatter");
+    let out = c
+        .submit_retrying(&reduce_scatter, &payload, 100)
+        .expect("reduce_scatter job");
+    assert_eq!(
+        out, golden,
+        "combining reduce_scatter matches direct exchange"
+    );
+
+    c.shutdown().expect("wire shutdown");
+    server.wait();
+}
+
+#[test]
 fn tcp_endpoint_serves_and_reports_stats() {
     let server = Server::bind_tcp("127.0.0.1:0", ServeConfig::default()).expect("bind tcp");
     let addr = match server.endpoint() {

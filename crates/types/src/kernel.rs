@@ -29,6 +29,8 @@
 //! Everything here is safe-Rust at the API boundary: span lists are
 //! bounds-checked against the buffers before any unsafe copy runs.
 
+use crate::redop::Reducer;
+
 /// Spans at or below this length copy with overlapping word windows (two for
 /// `len <= 32`, four for `len <= 64`)
 /// instead of a memcpy call.
@@ -252,6 +254,60 @@ pub fn scatter_spans(dst: &mut [u8], spans: &[PackSpan], wire: &[u8]) -> usize {
     }
 }
 
+/// Fold the front of `wire` into the spans of `dst` elementwise with
+/// `red`, consuming `spans_len(spans)` bytes of `wire` in span order —
+/// the accumulate twin of [`scatter_spans`], used by reduction rounds
+/// where an arriving wire message combines into already-held partial
+/// results instead of overwriting them. One reducer dispatch serves a
+/// whole span; the inner loops are the unrolled lane kernels of
+/// [`crate::redop`]. Returns the bytes consumed.
+///
+/// # Panics
+///
+/// Panics when a span reaches past `dst.len()`, `wire` is shorter than
+/// the span list, or a span length is not a multiple of the reducer's
+/// element width.
+#[inline]
+pub fn accumulate_spans(dst: &mut [u8], spans: &[PackSpan], wire: &[u8], red: Reducer) -> usize {
+    #[cfg(feature = "scalar-pack")]
+    return accumulate_spans_scalar(dst, spans, wire, red);
+    #[cfg(not(feature = "scalar-pack"))]
+    {
+        let mut pos = 0usize;
+        for &(off, len) in spans {
+            red.fold(&mut dst[off..off + len], &wire[pos..pos + len]);
+            pos += len;
+        }
+        pos
+    }
+}
+
+/// Scalar reference accumulate: one reducer dispatch per *element*
+/// instead of per span. Kept unconditionally so equality tests can diff
+/// the batched path against it.
+pub fn accumulate_spans_scalar(
+    dst: &mut [u8],
+    spans: &[PackSpan],
+    wire: &[u8],
+    red: Reducer,
+) -> usize {
+    let w = red.width();
+    let mut pos = 0usize;
+    for &(off, len) in spans {
+        assert!(
+            len % w == 0,
+            "accumulate span of {len} bytes is not a multiple of element width {w}"
+        );
+        let mut i = 0usize;
+        while i < len {
+            red.fold(&mut dst[off + i..off + i + w], &wire[pos + i..pos + i + w]);
+            i += w;
+        }
+        pos += len;
+    }
+    pos
+}
+
 /// Scalar reference gather: one `extend_from_slice` per span. Kept
 /// unconditionally so equality tests can diff the wide path against it.
 pub fn gather_spans_scalar(src: &[u8], spans: &[PackSpan], out: &mut Vec<u8>) -> usize {
@@ -360,6 +416,45 @@ mod tests {
         let b = scatter_spans_scalar(&mut scalar, &spans, &wire);
         assert_eq!(a, b);
         assert_eq!(wide, scalar);
+    }
+
+    #[test]
+    fn accumulate_matches_scalar_reference() {
+        use crate::redop::{RedOp, Reducer};
+        // i32-width spans only; both paths must agree byte-for-byte.
+        let spans: Vec<PackSpan> = vec![(4, 8), (16, 4), (32, 48), (100, 400)];
+        let wire: Vec<u8> = pattern(spans_len(&spans), 5);
+        for op in RedOp::ALL {
+            let red = Reducer::for_elem::<i32>(op);
+            let mut batched = pattern(512, 11);
+            let mut scalar = batched.clone();
+            let a = accumulate_spans(&mut batched, &spans, &wire, red);
+            let b = accumulate_spans_scalar(&mut scalar, &spans, &wire, red);
+            assert_eq!(a, b);
+            assert_eq!(a, spans_len(&spans));
+            assert_eq!(batched, scalar, "{op:?}");
+        }
+        // Spot-check one value against direct arithmetic.
+        let red = Reducer::for_elem::<i32>(RedOp::Sum);
+        let mut dst = pattern(64, 11);
+        let before = i32::from_ne_bytes(dst[4..8].try_into().unwrap());
+        let add = i32::from_ne_bytes(wire[0..4].try_into().unwrap());
+        accumulate_spans(&mut dst, &[(4, 4)], &wire[..4], red);
+        let after = i32::from_ne_bytes(dst[4..8].try_into().unwrap());
+        assert_eq!(after, before.wrapping_add(add));
+    }
+
+    #[test]
+    #[should_panic]
+    fn accumulate_out_of_bounds_panics() {
+        use crate::redop::{RedOp, Reducer};
+        let mut dst = [0u8; 8];
+        accumulate_spans(
+            &mut dst,
+            &[(4, 8)],
+            &[0u8; 8],
+            Reducer::for_elem::<i32>(RedOp::Sum),
+        );
     }
 
     #[test]

@@ -30,13 +30,15 @@ pub mod flat;
 pub mod kernel;
 pub mod pack;
 pub mod primitive;
+pub mod redop;
 pub mod signature;
 
 pub use builder::TypeBuilder;
 pub use datatype::Datatype;
 pub use error::{TypeError, TypeResult};
 pub use flat::{FlatType, Span};
-pub use kernel::{copy_wide, gather_spans, scatter_spans, PackSpan};
+pub use kernel::{accumulate_spans, copy_wide, gather_spans, scatter_spans, PackSpan};
 pub use pack::{gather, gather_append, gather_into, scatter, scatter_prefix, PackBuf};
 pub use primitive::{cast_slice, cast_slice_mut, Pod, Primitive};
+pub use redop::{RedOp, Reducer};
 pub use signature::Signature;
