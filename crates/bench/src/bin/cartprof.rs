@@ -31,6 +31,17 @@
 //!   `BENCH_profile.json`).
 //! * `--json`           — also print the profile JSON to stdout.
 //!
+//! **Attach mode** profiles a *running* `cartserve` daemon instead of a
+//! private universe: `--attach ENDPOINT --tenant NAME` sends the wire
+//! `PROFILE` command (next `--attach-jobs N` jobs of that tenant, default
+//! 3), blocks for the deferred `PROFILE_OK`, validates the live C/V
+//! checks (Props 3.2/3.3) the daemon ran over the captured streams, and
+//! writes the embedded Perfetto trace. `ENDPOINT` is a UDS path (contains
+//! `/`) or a TCP address. `--drive` additionally submits the N jobs
+//! itself over a second connection and byte-checks every result against
+//! the daemon-free reference executor, so one command demonstrates the
+//! whole attach loop.
+//!
 //! Exit status is non-zero when observed rounds/volumes diverge from the
 //! schedule analysis or the α-β fit is degenerate, so CI can gate on it.
 
@@ -130,17 +141,27 @@ struct MRun {
     volume_ok: bool,
 }
 
+/// Attach-mode configuration (`--attach`).
+struct AttachCfg {
+    endpoint: String,
+    tenant: String,
+    jobs: u32,
+    drive: bool,
+}
+
 fn usage() -> ! {
     eprintln!(
         "usage: cartprof [--smoke] [--dims AxBxC] [--nb moore|vonneumann] [--radius N]\n\
          \x20              [--op alltoall|allgather|reduce_scatter|allreduce] [--m LIST] [--iters N]\n\
          \x20              [--faults SEED:RATE] [--transport inproc|shm|uds|tcp]\n\
-         \x20              [--reduce-sweep] [--perfetto PATH] [--out PATH] [--json]"
+         \x20              [--reduce-sweep] [--perfetto PATH] [--out PATH] [--json]\n\
+         \x20      cartprof --attach ENDPOINT --tenant NAME [--attach-jobs N] [--drive]\n\
+         \x20              [--perfetto PATH] [--json]"
     );
     std::process::exit(2);
 }
 
-fn parse_args() -> (Workload, String, String, bool) {
+fn parse_args() -> (Workload, String, String, bool, Option<AttachCfg>) {
     let mut w = Workload {
         dims: vec![3, 3, 3],
         family: "moore".to_string(),
@@ -155,6 +176,10 @@ fn parse_args() -> (Workload, String, String, bool) {
     let mut perfetto = "cartprof_trace.json".to_string();
     let mut out = "BENCH_profile.json".to_string();
     let mut print_json = false;
+    let mut attach: Option<String> = None;
+    let mut tenant: Option<String> = None;
+    let mut attach_jobs: u32 = 3;
+    let mut drive = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -223,11 +248,26 @@ fn parse_args() -> (Workload, String, String, bool) {
             "--perfetto" => perfetto = value(&mut i),
             "--out" => out = value(&mut i),
             "--json" => print_json = true,
+            "--attach" => attach = Some(value(&mut i)),
+            "--tenant" => tenant = Some(value(&mut i)),
+            "--attach-jobs" => {
+                attach_jobs = value(&mut i).parse().unwrap_or_else(|_| usage());
+                if attach_jobs == 0 {
+                    usage();
+                }
+            }
+            "--drive" => drive = true,
             _ => usage(),
         }
         i += 1;
     }
-    (w, perfetto, out, print_json)
+    let attach = attach.map(|endpoint| AttachCfg {
+        endpoint,
+        tenant: tenant.unwrap_or_else(|| usage()),
+        jobs: attach_jobs,
+        drive,
+    });
+    (w, perfetto, out, print_json, attach)
 }
 
 fn neighborhood(w: &Workload) -> RelNeighborhood {
@@ -322,12 +362,11 @@ fn profile_once(
 
     let (phase_rounds, volume_blocks, _) = run.results[0].clone();
     let hists: Vec<Histogram> = run.results.into_iter().map(|(_, _, h)| h).collect();
-    (
-        TraceCollector::from_ranks(run.traces),
-        hists,
-        phase_rounds,
-        volume_blocks,
-    )
+    // Ring-overflow losses flow into the DAG (`dropped_records`) so the
+    // profile JSON reports honest capture completeness.
+    let mut collector = TraceCollector::from_ranks(run.traces);
+    collector.note_dropped(run.dropped.iter().sum());
+    (collector, hists, phase_rounds, volume_blocks)
 }
 
 /// One-iteration sweep of a reduction op over the primary workload's
@@ -409,8 +448,142 @@ fn json_usize_list(xs: &[usize]) -> String {
     format!("[{}]", body.join(","))
 }
 
+/// Connect a cartserve client to `endpoint` (UDS when the string looks
+/// like a path, TCP otherwise) as `tenant`.
+fn serve_connect(endpoint: &str, tenant: &str) -> Result<cartcomm_serve::Client, String> {
+    if endpoint.contains('/') {
+        cartcomm_serve::Client::connect_uds(endpoint, tenant)
+    } else {
+        cartcomm_serve::Client::connect_tcp(endpoint, tenant)
+    }
+    .map_err(|e| format!("connect {endpoint}: {e}"))
+}
+
+/// The fixed job the `--drive` thread submits: a 2×2 periodic torus,
+/// von Neumann neighborhood, 8-byte blocks, combining algorithm — small
+/// enough to run anywhere, non-trivial enough that C and V·m differ from
+/// the trivial algorithm's.
+fn drive_spec() -> cartcomm_serve::JobSpec {
+    let offsets: Vec<Vec<i64>> = vec![vec![-1, 0], vec![1, 0], vec![0, -1], vec![0, 1]];
+    let t = offsets.len();
+    cartcomm_serve::JobSpec {
+        dims: vec![2, 2],
+        periods: vec![true, true],
+        offsets,
+        op: cartcomm_serve::OpSpec::Alltoallv {
+            elem_size: 1,
+            sendcounts: vec![8; t],
+            senddispls: (0..t).map(|i| i * 8).collect(),
+            recvcounts: vec![8; t],
+            recvdispls: (0..t).map(|i| i * 8).collect(),
+        },
+        algo: cartcomm_serve::AlgoSpec::Combining,
+    }
+}
+
+/// Attach mode: profile a running daemon and validate the live C/V report.
+fn attach_mode(cfg: &AttachCfg, perfetto_path: &str, print_json: bool) -> Result<(), String> {
+    use cartcomm_serve::proto::ProfileSpec;
+
+    println!(
+        "cartprof: attaching to {} (tenant {}, next {} jobs{})",
+        cfg.endpoint,
+        cfg.tenant,
+        cfg.jobs,
+        if cfg.drive { ", driving" } else { "" },
+    );
+    let mut prof_client = serve_connect(&cfg.endpoint, "cartprof-attach")?;
+
+    // The driver submits the budgeted jobs on a second connection while
+    // the profile roundtrip blocks on the deferred PROFILE_OK. A short
+    // head start lets the PROFILE registration land first.
+    let driver = if cfg.drive {
+        let endpoint = cfg.endpoint.clone();
+        let tenant = cfg.tenant.clone();
+        let jobs = cfg.jobs;
+        Some(std::thread::spawn(move || -> Result<(), String> {
+            std::thread::sleep(Duration::from_millis(300));
+            let spec = drive_spec();
+            let p = spec.ranks();
+            let payload: Vec<u8> = (0..p * spec.send_bytes_per_rank())
+                .map(|i| (i % 251) as u8)
+                .collect();
+            let expect = cartcomm_serve::reference::execute(&spec, &payload)?;
+            let mut client = serve_connect(&endpoint, &tenant)?;
+            for j in 0..jobs {
+                let out = client
+                    .submit_retrying(&spec, &payload, 50)
+                    .map_err(|e| format!("drive job {j}: {e}"))?;
+                if out != expect {
+                    return Err(format!(
+                        "drive job {j}: profiled result diverged from the reference executor"
+                    ));
+                }
+            }
+            Ok(())
+        }))
+    } else {
+        None
+    };
+
+    let spec = ProfileSpec {
+        tenant: cfg.tenant.clone(),
+        jobs: cfg.jobs,
+        duration_ms: 30_000,
+        ring_capacity: 0,
+        include_trace: true,
+    };
+    let (json, trace) = prof_client
+        .profile(&spec)
+        .map_err(|e| format!("profile: {e}"))?;
+
+    if let Some(d) = driver {
+        d.join()
+            .map_err(|_| "drive thread panicked".to_string())??;
+    }
+
+    if !trace.is_empty() {
+        std::fs::write(perfetto_path, &trace)
+            .map_err(|e| format!("cannot write {perfetto_path}: {e}"))?;
+        println!("wrote {perfetto_path} (load in ui.perfetto.dev)");
+    }
+    if print_json {
+        println!("{json}");
+    }
+
+    let grab = |k: &str| -> String {
+        json.split(&format!("\"{k}\":"))
+            .nth(1)
+            .and_then(|rest| rest.split([',', '}']).next())
+            .unwrap_or("?")
+            .to_string()
+    };
+    println!(
+        "live capture: {} jobs, rounds_ok {}, volume_ok {}, clean_pairing {}, dropped {}",
+        grab("jobs_captured"),
+        grab("rounds_ok"),
+        grab("volume_ok"),
+        grab("clean_pairing"),
+        grab("dropped_records"),
+    );
+    if !json.contains("\"all_checks_passed\":true") {
+        return Err("live C/V validation failed (see JSON report)".into());
+    }
+    println!("cartprof: live accounting matches Props 3.2/3.3");
+    Ok(())
+}
+
 fn main() {
-    let (w, perfetto_path, out_path, print_json) = parse_args();
+    let (w, perfetto_path, out_path, print_json, attach) = parse_args();
+    if let Some(cfg) = attach {
+        match attach_mode(&cfg, &perfetto_path, print_json) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("cartprof: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let nb = neighborhood(&w);
     let cost = CostSummary::of(&nb);
     let p: usize = w.dims.iter().product();
@@ -562,14 +735,15 @@ fn main() {
         .map(|r| {
             format!(
                 "{{\"m_elems\":{},\"m_bytes\":{},\"rounds_ok\":{},\"phase_rounds_ok\":{},\
-                 \"volume_ok\":{},\"nodes\":{},\"makespan_ns\":{},\"overlay_attempts\":{},\
-                 \"retransmits\":{}}}",
+                 \"volume_ok\":{},\"nodes\":{},\"dropped\":{},\"makespan_ns\":{},\
+                 \"overlay_attempts\":{},\"retransmits\":{}}}",
                 r.m_elems,
                 r.m_bytes,
                 r.rounds_ok,
                 r.phase_rounds_ok,
                 r.volume_ok,
                 r.dag.nodes().len(),
+                r.dag.dropped_records,
                 r.dag.makespan_ns(),
                 r.dag
                     .nodes()

@@ -37,6 +37,10 @@ pub struct ProfiledRun<R> {
     pub results: Vec<R>,
     /// Drained trace records, in rank order.
     pub traces: Vec<Vec<TraceRecord>>,
+    /// Records each rank's ring sink dropped on overflow, in rank order —
+    /// non-zero entries mean `traces` is an honest truncation (feed them
+    /// to `TraceCollector::note_dropped`).
+    pub dropped: Vec<u64>,
 }
 
 /// Which side of a [`Universe::spawn_processes`] call this process is.
@@ -229,8 +233,9 @@ impl ProfiledRunConfig {
         let (fabric, sinks) = self.inner.bring_up(Some(self.capacity))?;
         let results = launch(self.inner.p, fabric, self.inner.stack_bytes, f);
         Ok(ProfiledRun {
-            results,
             traces: sinks.iter().map(|s| s.take()).collect(),
+            dropped: sinks.iter().map(|s| s.dropped()).collect(),
+            results,
         })
     }
 }
@@ -637,6 +642,26 @@ mod tests {
                 "rank {rank} marker missing"
             );
         }
+    }
+
+    #[test]
+    fn profiled_run_reports_ring_overflow_honestly() {
+        // Capacity 2 with 5 events per rank: each rank keeps the newest 2
+        // and reports 3 dropped, so truncated captures are detectable.
+        let run = Universe::builder(2).profiled(2).run(|comm| {
+            for i in 0..5 {
+                comm.obs()
+                    .emit(comm.rank(), TraceEvent::PoolHit { bytes: i });
+            }
+        });
+        assert_eq!(run.dropped, vec![3, 3]);
+        assert!(run.traces.iter().all(|t| t.len() == 2));
+
+        let roomy = Universe::builder(2).profiled(64).run(|comm| {
+            comm.obs()
+                .emit(comm.rank(), TraceEvent::PoolHit { bytes: 0 });
+        });
+        assert_eq!(roomy.dropped, vec![0, 0]);
     }
 
     #[test]

@@ -144,6 +144,61 @@ pub enum TraceEvent {
         /// Stream sequence number that had already been delivered.
         seq: u64,
     },
+    /// A serving-layer job crossed a lifecycle stage. Emitted by the
+    /// daemon's own `Obs` (rank 0 by convention — the daemon is a single
+    /// control plane, not a rank), so request-lifecycle traces share the
+    /// sink/exporter machinery with executor traces.
+    ServeStage {
+        /// Daemon-assigned job id, monotonically increasing per process.
+        job: u64,
+        /// Which stage boundary was crossed.
+        stage: ServeStageKind,
+        /// Stage-specific detail: queue depth at accept, batch size at
+        /// coalesce/dispatch, result bytes at execute/reply.
+        detail: u64,
+    },
+}
+
+/// A serving-layer job-lifecycle stage — the `stage` payload of
+/// [`TraceEvent::ServeStage`]. The daemon stamps each job at every
+/// boundary on its own clock, so per-stage durations (queue wait,
+/// coalesce delay, execute, reply) are differences of consecutive stamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeStageKind {
+    /// The job passed admission and entered the bounded queue.
+    Accepted,
+    /// The dispatcher drained the job from the queue into a batch.
+    Coalesced,
+    /// The batch (including this job) was handed to a resident universe.
+    Dispatched,
+    /// All ranks finished executing the job's collective.
+    Executed,
+    /// The result frame was written back to the client.
+    Replied,
+}
+
+impl ServeStageKind {
+    /// Stable numeric code (drives the exporters' `u64` field encoding).
+    pub fn code(self) -> u64 {
+        match self {
+            ServeStageKind::Accepted => 0,
+            ServeStageKind::Coalesced => 1,
+            ServeStageKind::Dispatched => 2,
+            ServeStageKind::Executed => 3,
+            ServeStageKind::Replied => 4,
+        }
+    }
+
+    /// Short name for human-readable exporters and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            ServeStageKind::Accepted => "accepted",
+            ServeStageKind::Coalesced => "coalesced",
+            ServeStageKind::Dispatched => "dispatched",
+            ServeStageKind::Executed => "executed",
+            ServeStageKind::Replied => "replied",
+        }
+    }
 }
 
 /// The kind of tampering a fault plane applied to an envelope — the
@@ -199,6 +254,7 @@ impl TraceEvent {
             TraceEvent::FaultInjected { .. } => "fault_injected",
             TraceEvent::Retransmit { .. } => "retransmit",
             TraceEvent::DupDropped { .. } => "dup_dropped",
+            TraceEvent::ServeStage { .. } => "serve_stage",
         }
     }
 
@@ -286,6 +342,9 @@ impl TraceEvent {
             TraceEvent::DupDropped { src, tag, seq } => {
                 vec![("src", src as u64), ("tag", tag as u64), ("seq", seq)]
             }
+            TraceEvent::ServeStage { job, stage, detail } => {
+                vec![("job", job), ("stage", stage.code()), ("detail", detail)]
+            }
         }
     }
 }
@@ -342,5 +401,14 @@ mod tests {
             TraceEvent::PlanCacheMiss { fingerprint: 9 }.kind(),
             "plan_cache_miss"
         );
+        let s = TraceEvent::ServeStage {
+            job: 11,
+            stage: ServeStageKind::Coalesced,
+            detail: 3,
+        };
+        assert_eq!(s.kind(), "serve_stage");
+        assert_eq!(s.fields(), vec![("job", 11), ("stage", 1), ("detail", 3)]);
+        assert_eq!(ServeStageKind::Replied.code(), 4);
+        assert_eq!(ServeStageKind::Accepted.name(), "accepted");
     }
 }

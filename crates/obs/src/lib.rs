@@ -47,16 +47,18 @@ mod clock;
 mod event;
 mod metrics;
 mod obs;
+pub mod openmetrics;
 pub mod profile;
 mod sink;
 pub mod tenant;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
-pub use event::{FaultActionKind, TraceEvent, TraceRecord};
+pub use event::{FaultActionKind, ServeStageKind, TraceEvent, TraceRecord};
 pub use metrics::{MetricsDelta, MetricsRegistry, MetricsSnapshot};
 pub use obs::Obs;
+pub use openmetrics::OpenMetricsWriter;
 pub use profile::{
     AlphaBetaFit, CriticalPath, MsgNode, PerfettoExport, PhaseSkew, RoundDag, TraceCollector,
 };
 pub use sink::{RingBufferSink, TraceSink};
-pub use tenant::{TenantRegistry, TenantStats};
+pub use tenant::{StageDist, TenantRegistry, TenantStats};

@@ -1,0 +1,184 @@
+//! OpenMetrics / Prometheus text-exposition primitives.
+//!
+//! The serving layer exports its counters, gauges, and per-tenant stage
+//! histograms in the [OpenMetrics text format] so standard scrapers can
+//! consume a live `cartserve` without bespoke tooling. This module is the
+//! format layer only — metric *names* and *composition* live with the
+//! exporter in `cartcomm-serve`; here we guarantee the syntactic
+//! invariants the golden-file tests pin: stable `# TYPE` headers, label
+//! escaping, deterministic number formatting, cumulative histogram
+//! buckets ending in `+Inf`, and a trailing `# EOF`.
+//!
+//! [OpenMetrics text format]: https://prometheus.io/docs/instrumenting/exposition_formats/
+
+use std::fmt::Write as _;
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline are backslash-escaped.
+pub fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Deterministic number rendering: integers print without a fraction,
+/// `+Inf` prints as the exposition format spells it, everything else
+/// prints in fixed-precision scientific notation so output never depends
+/// on platform float-formatting quirks.
+pub fn fmt_value(v: f64) -> String {
+    if v.is_infinite() {
+        return if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        };
+    }
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    format!("{v:.9e}")
+}
+
+/// An append-only OpenMetrics text document.
+///
+/// The caller emits metric families in a fixed order; `finish()` seals
+/// the document with `# EOF`. Every family helper writes its own
+/// `# HELP`/`# TYPE` header, so a family appears exactly once.
+#[derive(Debug, Default)]
+pub struct OpenMetricsWriter {
+    out: String,
+}
+
+impl OpenMetricsWriter {
+    /// An empty document.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn header(&mut self, name: &str, kind: &str, help: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                let _ = write!(self.out, "{k}=\"{}\"", escape_label(v));
+            }
+            self.out.push('}');
+        }
+        let _ = writeln!(self.out, " {}", fmt_value(value));
+    }
+
+    /// A counter family with one sample per `(labels, value)` row. Rows
+    /// render in the given order; the `_total` suffix is the caller's
+    /// responsibility (it is part of the stable name).
+    pub fn counter(&mut self, name: &str, help: &str, rows: &[(&[(&str, &str)], f64)]) {
+        self.header(name, "counter", help);
+        for (labels, value) in rows {
+            self.sample(name, labels, *value);
+        }
+    }
+
+    /// A gauge family with one sample per `(labels, value)` row.
+    pub fn gauge(&mut self, name: &str, help: &str, rows: &[(&[(&str, &str)], f64)]) {
+        self.header(name, "gauge", help);
+        for (labels, value) in rows {
+            self.sample(name, labels, *value);
+        }
+    }
+
+    /// One histogram series under an already-written `histogram` header:
+    /// cumulative `_bucket` samples from `(le, cumulative_count)` pairs
+    /// (ascending `le`), a closing `+Inf` bucket at `count`, then `_sum`
+    /// and `_count`. Call [`OpenMetricsWriter::histogram_header`] once per
+    /// family, then this once per label set.
+    pub fn histogram_series(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        buckets: &[(f64, u64)],
+        sum: f64,
+        count: u64,
+    ) {
+        let bucket_name = format!("{name}_bucket");
+        let les: Vec<String> = buckets.iter().map(|(le, _)| fmt_value(*le)).collect();
+        for ((_, cum), le_s) in buckets.iter().zip(&les) {
+            let mut with_le = labels.to_vec();
+            with_le.push(("le", le_s.as_str()));
+            self.sample(&bucket_name, &with_le, *cum as f64);
+        }
+        let mut with_inf = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_inf, count as f64);
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.sample(&format!("{name}_count"), labels, count as f64);
+    }
+
+    /// The `# HELP`/`# TYPE histogram` header of a histogram family.
+    pub fn histogram_header(&mut self, name: &str, help: &str) {
+        self.header(name, "histogram", help);
+    }
+
+    /// Seal and return the document (`# EOF` terminated).
+    pub fn finish(mut self) -> String {
+        self.out.push_str("# EOF\n");
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_escape_and_values_format() {
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(fmt_value(42.0), "42");
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(f64::INFINITY), "+Inf");
+        assert_eq!(fmt_value(3.5e-7), "3.500000000e-7");
+    }
+
+    #[test]
+    fn families_render_in_exposition_format() {
+        let mut w = OpenMetricsWriter::new();
+        w.counter(
+            "jobs_total",
+            "Jobs seen.",
+            &[(&[("tenant", "a")], 3.0), (&[("tenant", "b")], 5.0)],
+        );
+        w.gauge("queue_depth", "Queued jobs.", &[(&[], 2.0)]);
+        w.histogram_header("stage_seconds", "Per-stage latency.");
+        w.histogram_series(
+            "stage_seconds",
+            &[("stage", "queue")],
+            &[(0.001, 1), (0.01, 4)],
+            0.025,
+            5,
+        );
+        let text = w.finish();
+
+        assert!(text.contains("# TYPE jobs_total counter\n"));
+        assert!(text.contains("jobs_total{tenant=\"a\"} 3\n"));
+        assert!(text.contains("queue_depth 2\n"));
+        assert!(text.contains("# TYPE stage_seconds histogram\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"queue\",le=\"1.000000000e-3\"} 1\n"));
+        assert!(text.contains("stage_seconds_bucket{stage=\"queue\",le=\"+Inf\"} 5\n"));
+        assert!(text.contains("stage_seconds_sum{stage=\"queue\"} 2.500000000e-2\n"));
+        assert!(text.contains("stage_seconds_count{stage=\"queue\"} 5\n"));
+        assert!(text.ends_with("# EOF\n"));
+    }
+}

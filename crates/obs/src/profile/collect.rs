@@ -59,6 +59,11 @@ pub struct RoundDag {
     pub unpaired_ends: usize,
     /// `attempt > 0` overlay events whose base round was never seen.
     pub orphan_overlays: usize,
+    /// Records the capture sinks dropped before the collector ever saw
+    /// them (ring-buffer overflow, [`crate::RingBufferSink::dropped`]).
+    /// A non-zero value means the DAG is an honest *truncation* of the
+    /// run, not its entirety.
+    pub dropped_records: u64,
 }
 
 impl RoundDag {
@@ -152,6 +157,7 @@ impl RoundDag {
 #[derive(Debug, Default)]
 pub struct TraceCollector {
     per_rank: Vec<Vec<TraceRecord>>,
+    dropped: u64,
 }
 
 impl TraceCollector {
@@ -163,7 +169,10 @@ impl TraceCollector {
     /// A collector over already-drained per-rank record vectors (index =
     /// rank).
     pub fn from_ranks(per_rank: Vec<Vec<TraceRecord>>) -> Self {
-        TraceCollector { per_rank }
+        TraceCollector {
+            per_rank,
+            dropped: 0,
+        }
     }
 
     /// A collector over one interleaved record stream (e.g. a
@@ -189,6 +198,19 @@ impl TraceCollector {
     /// tracks in [`crate::PerfettoExport`].
     pub fn records(&self) -> &[Vec<TraceRecord>] {
         &self.per_rank
+    }
+
+    /// Note `n` records lost before collection (drained from a capture
+    /// sink's [`crate::RingBufferSink::dropped`] counter). Accumulates
+    /// across calls and is surfaced as [`RoundDag::dropped_records`], so
+    /// overflowed live captures report honest truncation.
+    pub fn note_dropped(&mut self, n: u64) {
+        self.dropped += n;
+    }
+
+    /// Total records noted as dropped before collection.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
     }
 
     /// Pair the collected streams into the global round DAG.
@@ -292,6 +314,7 @@ impl TraceCollector {
             unpaired_starts,
             unpaired_ends,
             orphan_overlays,
+            dropped_records: self.dropped,
         }
     }
 }
@@ -429,6 +452,20 @@ mod tests {
         let dag = TraceCollector::from_ranks(vec![vec![retx]]).build();
         assert_eq!(dag.nodes().len(), 0);
         assert_eq!(dag.orphan_overlays, 1);
+    }
+
+    #[test]
+    fn dropped_records_flow_into_the_dag() {
+        let mut c = TraceCollector::from_ranks(vec![
+            vec![start(10, 0, 0, 0, 1, 64)],
+            vec![end(80, 1, 0, 0, 0, 64)],
+        ]);
+        assert_eq!(c.dropped(), 0);
+        c.note_dropped(3);
+        c.note_dropped(4);
+        let dag = c.build();
+        assert_eq!(dag.dropped_records, 7);
+        assert_eq!(dag.nodes().len(), 1, "truncation does not affect pairing");
     }
 
     #[test]

@@ -15,9 +15,59 @@
 //! plane, so it is internally synchronized; tenants are kept in first-seen
 //! order for stable rendering.
 
+use cartcomm_stats::Histogram;
 use parking_lot::Mutex;
 
 use crate::metrics::{MetricsDelta, MetricsSnapshot};
+
+/// Number of serving-layer lifecycle stages with per-tenant latency
+/// distributions: queue wait, coalesce delay, execute, reply.
+pub const STAGE_COUNT: usize = 4;
+
+/// Stable stage names, in stamp order — drives exporter labels.
+pub const STAGE_NAMES: [&str; STAGE_COUNT] = ["queue", "coalesce", "execute", "reply"];
+
+/// Bins of each stage histogram (log10 of nanoseconds over `[0, 10)`,
+/// i.e. 1 ns .. 10 s in half-decade steps).
+pub const STAGE_HIST_BINS: usize = 20;
+
+/// One lifecycle stage's latency distribution for one tenant: a log10-ns
+/// histogram (shared binning, so registries merge losslessly) plus the
+/// exact nanosecond sum for mean/rate math.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDist {
+    /// `log10(duration_ns)` histogram over `[0, 10)` with
+    /// [`STAGE_HIST_BINS`] bins.
+    pub hist: Histogram,
+    /// Exact sum of recorded durations, ns.
+    pub sum_ns: u64,
+}
+
+impl StageDist {
+    fn new() -> Self {
+        StageDist {
+            hist: Histogram::new(0.0, 10.0, STAGE_HIST_BINS),
+            sum_ns: 0,
+        }
+    }
+
+    fn record(&mut self, ns: u64) {
+        self.hist.add((ns.max(1) as f64).log10());
+        self.sum_ns += ns;
+    }
+}
+
+impl Default for StageDist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[derive(Debug, Default)]
+struct TenantEntry {
+    stats: TenantStats,
+    stages: [StageDist; STAGE_COUNT],
+}
 
 /// Accumulated traffic and predictions for one tenant.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -55,13 +105,25 @@ impl TenantStats {
 #[derive(Debug, Default)]
 pub struct TenantRegistry {
     /// First-seen-ordered, so reports are stable across runs.
-    tenants: Mutex<Vec<(String, TenantStats)>>,
+    tenants: Mutex<Vec<(String, TenantEntry)>>,
 }
 
 impl TenantRegistry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    fn with_entry<R>(&self, tenant: &str, f: impl FnOnce(&mut TenantEntry) -> R) -> R {
+        let mut tenants = self.tenants.lock();
+        let entry = match tenants.iter_mut().find(|(name, _)| name == tenant) {
+            Some((_, entry)) => entry,
+            None => {
+                tenants.push((tenant.to_string(), TenantEntry::default()));
+                &mut tenants.last_mut().expect("just pushed").1
+            }
+        };
+        f(entry)
     }
 
     /// Fold one job execution into `tenant`'s stats: the job's scoped
@@ -75,18 +137,23 @@ impl TenantRegistry {
         predicted_wire_bytes: u64,
         delta: &MetricsDelta,
     ) {
-        let mut tenants = self.tenants.lock();
-        let stats = match tenants.iter_mut().find(|(name, _)| name == tenant) {
-            Some((_, stats)) => stats,
-            None => {
-                tenants.push((tenant.to_string(), TenantStats::default()));
-                &mut tenants.last_mut().expect("just pushed").1
+        self.with_entry(tenant, |entry| {
+            entry.stats.jobs += 1;
+            entry.stats.predicted_rounds += predicted_rounds;
+            entry.stats.predicted_wire_bytes += predicted_wire_bytes;
+            entry.stats.totals += **delta;
+        });
+    }
+
+    /// Fold one job's lifecycle-stage durations (queue wait, coalesce
+    /// delay, execute, reply — [`STAGE_NAMES`] order, ns) into `tenant`'s
+    /// stage distributions. Creates the tenant on first use.
+    pub fn record_stages(&self, tenant: &str, stage_ns: [u64; STAGE_COUNT]) {
+        self.with_entry(tenant, |entry| {
+            for (dist, ns) in entry.stages.iter_mut().zip(stage_ns) {
+                dist.record(ns);
             }
-        };
-        stats.jobs += 1;
-        stats.predicted_rounds += predicted_rounds;
-        stats.predicted_wire_bytes += predicted_wire_bytes;
-        stats.totals += **delta;
+        });
     }
 
     /// The stats for one tenant, if it has recorded any job.
@@ -95,12 +162,36 @@ impl TenantRegistry {
             .lock()
             .iter()
             .find(|(name, _)| name == tenant)
-            .map(|(_, stats)| *stats)
+            .map(|(_, entry)| entry.stats)
+    }
+
+    /// One tenant's per-stage latency distributions ([`STAGE_NAMES`]
+    /// order), if the tenant exists.
+    pub fn stages(&self, tenant: &str) -> Option<[StageDist; STAGE_COUNT]> {
+        self.tenants
+            .lock()
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, entry)| entry.stages.clone())
     }
 
     /// All tenants with their stats, in first-seen order.
     pub fn all(&self) -> Vec<(String, TenantStats)> {
-        self.tenants.lock().clone()
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.stats))
+            .collect()
+    }
+
+    /// All tenants with their per-stage latency distributions, in
+    /// first-seen order — the exporter's histogram source.
+    pub fn all_stages(&self) -> Vec<(String, [StageDist; STAGE_COUNT])> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.stages.clone()))
+            .collect()
     }
 
     /// Number of tenants seen.
@@ -212,6 +303,31 @@ mod tests {
         let b = reg.stats("b").unwrap();
         assert!(!b.matches_prediction(), "b observed more than predicted");
         assert!(reg.stats("c").is_none());
+    }
+
+    #[test]
+    fn stage_durations_accumulate_per_tenant() {
+        let reg = TenantRegistry::new();
+        reg.record_stages("a", [1_000, 10, 2_000_000, 500]);
+        reg.record_stages("a", [3_000, 20, 4_000_000, 700]);
+        reg.record_stages("b", [1, 1, 1, 1]);
+
+        let a = reg.stages("a").unwrap();
+        assert_eq!(a[0].hist.total(), 2);
+        assert_eq!(a[0].sum_ns, 4_000);
+        assert_eq!(a[2].sum_ns, 6_000_000);
+        let b = reg.stages("b").unwrap();
+        assert_eq!(b[3].hist.total(), 1);
+        assert!(reg.stages("c").is_none());
+
+        // Stage-only tenants exist in the registry with zero job stats.
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats("b").unwrap().jobs, 0);
+
+        let all = reg.all_stages();
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, "a");
+        assert_eq!(STAGE_NAMES.len(), STAGE_COUNT);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::Duration;
 use cartcomm_comm::transport::wire;
 use cartcomm_comm::WirePool;
 
-use crate::proto::{JobSpec, Reply, Request, PROTO_VERSION};
+use crate::proto::{JobSpec, ProfileSpec, Reply, Request, PROTO_VERSION};
 
 enum Stream {
     Uds(UnixStream),
@@ -144,11 +144,41 @@ impl Client {
 
     /// Liveness probe: the daemon echoes `payload`.
     pub fn ping(&mut self, payload: &[u8]) -> io::Result<Vec<u8>> {
+        self.ping_info(payload).map(|(payload, _, _)| payload)
+    }
+
+    /// Liveness probe with daemon identity: the echoed payload plus the
+    /// daemon's uptime in milliseconds and its build version.
+    pub fn ping_info(&mut self, payload: &[u8]) -> io::Result<(Vec<u8>, u64, String)> {
         match self.roundtrip(&Request::Ping {
             payload: payload.to_vec(),
         })? {
-            Reply::Pong { payload } => Ok(payload),
+            Reply::Pong {
+                payload,
+                uptime_ms,
+                version,
+            } => Ok((payload, uptime_ms, version)),
             r => Err(other(format!("unexpected ping reply: {r:?}"))),
+        }
+    }
+
+    /// Start an attach-profiling session and block until the daemon sends
+    /// the deferred `PROFILE_OK` — after `spec.jobs` jobs of the target
+    /// tenant ran, or the duration budget expired. Returns the JSON
+    /// summary and the (possibly empty) embedded Perfetto trace.
+    pub fn profile(&mut self, spec: &ProfileSpec) -> io::Result<(String, Vec<u8>)> {
+        match self.roundtrip(&Request::Profile { spec: spec.clone() })? {
+            Reply::ProfileOk { json, trace } => Ok((json, trace)),
+            Reply::Err { message } => Err(other(message)),
+            r => Err(other(format!("unexpected profile reply: {r:?}"))),
+        }
+    }
+
+    /// Fetch the daemon's OpenMetrics text document.
+    pub fn metrics_text(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Reply::MetricsOk { text } => Ok(text),
+            r => Err(other(format!("unexpected metrics reply: {r:?}"))),
         }
     }
 

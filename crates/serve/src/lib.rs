@@ -27,10 +27,12 @@
 //!   against.
 
 pub mod client;
+pub mod exporter;
 pub mod proto;
 pub mod reference;
 pub mod server;
 
 pub use client::{Client, Submission};
-pub use proto::{AlgoSpec, JobSpec, OpSpec, Reply, Request, PROTO_VERSION};
+pub use exporter::MetricsInputs;
+pub use proto::{AlgoSpec, JobSpec, OpSpec, ProfileSpec, Reply, Request, PROTO_VERSION};
 pub use server::{Endpoint, ServeConfig, Server, ServerCounters};

@@ -16,6 +16,8 @@
 //! | `0x03` | `STATS` | empty |
 //! | `0x04` | `SHUTDOWN` | empty |
 //! | `0x05` | `PING` | opaque bytes, echoed |
+//! | `0x06` | `PROFILE` | tenant + job/duration budget + capture knobs |
+//! | `0x07` | `METRICS` | empty |
 //!
 //! Reply tags (daemon → client):
 //!
@@ -27,7 +29,9 @@
 //! | `0x84` | `ERR` | UTF-8 error message |
 //! | `0x85` | `STATS_OK` | UTF-8 JSON report |
 //! | `0x86` | `SHUTDOWN_OK` | empty |
-//! | `0x87` | `PONG` | the `PING` bytes |
+//! | `0x87` | `PONG` | the `PING` bytes + uptime (`u64` ms) + version |
+//! | `0x88` | `PROFILE_OK` | UTF-8 JSON report + optional Perfetto trace |
+//! | `0x89` | `METRICS_OK` | UTF-8 OpenMetrics text |
 //!
 //! A [`JobSpec`] names a complete collective: the Cartesian topology
 //! (dims and periodicity), the isomorphic relative neighborhood, the
@@ -41,8 +45,10 @@ use cartcomm_comm::envelope::Envelope;
 use cartcomm_comm::transport::wire;
 use cartcomm_types::Reducer;
 
-/// Protocol version sent in `HELLO_OK`.
-pub const PROTO_VERSION: u32 = 1;
+/// Protocol version sent in `HELLO_OK`. Version 2 added the
+/// `PROFILE`/`METRICS` requests and extended `PONG` with daemon uptime
+/// and build version.
+pub const PROTO_VERSION: u32 = 2;
 
 /// Request tags.
 pub const TAG_HELLO: u32 = 0x01;
@@ -50,6 +56,8 @@ pub const TAG_SUBMIT: u32 = 0x02;
 pub const TAG_STATS: u32 = 0x03;
 pub const TAG_SHUTDOWN: u32 = 0x04;
 pub const TAG_PING: u32 = 0x05;
+pub const TAG_PROFILE: u32 = 0x06;
+pub const TAG_METRICS: u32 = 0x07;
 
 /// Reply tags.
 pub const TAG_HELLO_OK: u32 = 0x81;
@@ -59,6 +67,8 @@ pub const TAG_ERR: u32 = 0x84;
 pub const TAG_STATS_OK: u32 = 0x85;
 pub const TAG_SHUTDOWN_OK: u32 = 0x86;
 pub const TAG_PONG: u32 = 0x87;
+pub const TAG_PROFILE_OK: u32 = 0x88;
+pub const TAG_METRICS_OK: u32 = 0x89;
 
 /// Which algorithm the daemon should run the collective with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -462,6 +472,65 @@ impl JobSpec {
 /// allocate unbounded memory).
 const MAX_NEIGHBORS: usize = 1 << 20;
 
+/// An attach-on-demand profiling request: capture the next `jobs` jobs of
+/// `tenant` (or until `duration_ms` elapses, whichever comes first) with
+/// per-rank ring sinks, and reply with the analyzed report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileSpec {
+    /// Tenant whose jobs get captured; other tenants run unperturbed.
+    pub tenant: String,
+    /// Number of jobs to capture. `0` means "until the deadline".
+    pub jobs: u32,
+    /// Wall-clock budget in ms. `0` means the daemon default (30 s).
+    pub duration_ms: u32,
+    /// Per-rank ring-sink capacity in records. `0` means the daemon
+    /// default.
+    pub ring_capacity: u32,
+    /// Embed a Perfetto trace of the last captured job in the reply.
+    pub include_trace: bool,
+}
+
+impl ProfileSpec {
+    /// Structural validation mirroring [`JobSpec::validate`].
+    pub fn validate(&self) -> Result<(), String> {
+        if self.tenant.is_empty() {
+            return Err("profile request names no tenant".into());
+        }
+        if self.jobs == 0 && self.duration_ms == 0 {
+            return Err("profile request has neither a job nor a duration budget".into());
+        }
+        Ok(())
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(17 + self.tenant.len());
+        put_u32(&mut out, self.tenant.len() as u32);
+        out.extend_from_slice(self.tenant.as_bytes());
+        put_u32(&mut out, self.jobs);
+        put_u32(&mut out, self.duration_ms);
+        put_u32(&mut out, self.ring_capacity);
+        out.push(self.include_trace as u8);
+        out
+    }
+
+    fn decode(body: &[u8]) -> Result<Self, String> {
+        let mut c = Cursor::new(body);
+        let tlen = c.u32()? as usize;
+        let tenant = utf8(c.take(tlen)?)?;
+        let spec = ProfileSpec {
+            tenant,
+            jobs: c.u32()?,
+            duration_ms: c.u32()?,
+            ring_capacity: c.u32()?,
+            include_trace: c.u8()? != 0,
+        };
+        if !c.at_end() {
+            return Err("trailing bytes after profile spec".into());
+        }
+        Ok(spec)
+    }
+}
+
 /// A decoded client→daemon request.
 ///
 /// `Submit` dwarfs the other variants by design — a request either is a
@@ -483,6 +552,10 @@ pub enum Request {
     Ping {
         payload: Vec<u8>,
     },
+    Profile {
+        spec: ProfileSpec,
+    },
+    Metrics,
 }
 
 impl Request {
@@ -508,6 +581,8 @@ impl Request {
             Request::Stats => (TAG_STATS, Vec::new()),
             Request::Shutdown => (TAG_SHUTDOWN, Vec::new()),
             Request::Ping { payload } => (TAG_PING, payload.clone()),
+            Request::Profile { spec } => (TAG_PROFILE, spec.encode()),
+            Request::Metrics => (TAG_METRICS, Vec::new()),
         };
         frame(ctx, tag, body)
     }
@@ -537,6 +612,10 @@ impl Request {
             TAG_PING => Ok(Request::Ping {
                 payload: body.to_vec(),
             }),
+            TAG_PROFILE => Ok(Request::Profile {
+                spec: ProfileSpec::decode(body)?,
+            }),
+            TAG_METRICS => Ok(Request::Metrics),
             t => Err(format!("unknown request tag {t:#x}")),
         }
     }
@@ -545,13 +624,40 @@ impl Request {
 /// A decoded daemon→client reply.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
-    HelloOk { version: u32 },
-    Result { payload: Vec<u8> },
-    Busy { retry_after_ms: u32 },
-    Err { message: String },
-    StatsOk { json: String },
+    HelloOk {
+        version: u32,
+    },
+    Result {
+        payload: Vec<u8>,
+    },
+    Busy {
+        retry_after_ms: u32,
+    },
+    Err {
+        message: String,
+    },
+    StatsOk {
+        json: String,
+    },
     ShutdownOk,
-    Pong { payload: Vec<u8> },
+    /// Echo of the `PING` bytes plus liveness identity: how long this
+    /// daemon process has been up and which build it is — enough for a
+    /// health check to tell a restarted daemon from a stale one.
+    Pong {
+        payload: Vec<u8>,
+        uptime_ms: u64,
+        version: String,
+    },
+    /// The analyzed attach-profiling report: a JSON summary plus, when
+    /// requested, an embedded Perfetto trace of the last captured job.
+    ProfileOk {
+        json: String,
+        trace: Vec<u8>,
+    },
+    /// The OpenMetrics text exposition of the daemon's live metrics.
+    MetricsOk {
+        text: String,
+    },
 }
 
 impl Reply {
@@ -572,7 +678,26 @@ impl Reply {
             Reply::Err { message } => (TAG_ERR, message.as_bytes().to_vec()),
             Reply::StatsOk { json } => (TAG_STATS_OK, json.as_bytes().to_vec()),
             Reply::ShutdownOk => (TAG_SHUTDOWN_OK, Vec::new()),
-            Reply::Pong { payload } => (TAG_PONG, payload.clone()),
+            Reply::Pong {
+                payload,
+                uptime_ms,
+                version,
+            } => {
+                let mut b = Vec::with_capacity(12 + payload.len() + version.len());
+                put_u32(&mut b, payload.len() as u32);
+                b.extend_from_slice(payload);
+                put_u64(&mut b, *uptime_ms);
+                b.extend_from_slice(version.as_bytes());
+                (TAG_PONG, b)
+            }
+            Reply::ProfileOk { json, trace } => {
+                let mut b = Vec::with_capacity(4 + json.len() + trace.len());
+                put_u32(&mut b, json.len() as u32);
+                b.extend_from_slice(json.as_bytes());
+                b.extend_from_slice(trace);
+                (TAG_PROFILE_OK, b)
+            }
+            Reply::MetricsOk { text } => (TAG_METRICS_OK, text.as_bytes().to_vec()),
         };
         frame(ctx, tag, body)
     }
@@ -599,9 +724,26 @@ impl Reply {
             }),
             TAG_STATS_OK => Ok(Reply::StatsOk { json: utf8(body)? }),
             TAG_SHUTDOWN_OK => Ok(Reply::ShutdownOk),
-            TAG_PONG => Ok(Reply::Pong {
-                payload: body.to_vec(),
-            }),
+            TAG_PONG => {
+                let mut c = Cursor::new(body);
+                let plen = c.u32()? as usize;
+                let payload = c.take(plen)?.to_vec();
+                let uptime_ms = c.u64()?;
+                let version = utf8(c.rest())?;
+                Ok(Reply::Pong {
+                    payload,
+                    uptime_ms,
+                    version,
+                })
+            }
+            TAG_PROFILE_OK => {
+                let mut c = Cursor::new(body);
+                let jlen = c.u32()? as usize;
+                let json = utf8(c.take(jlen)?)?;
+                let trace = c.rest().to_vec();
+                Ok(Reply::ProfileOk { json, trace })
+            }
+            TAG_METRICS_OK => Ok(Reply::MetricsOk { text: utf8(body)? }),
             t => Err(format!("unknown reply tag {t:#x}")),
         }
     }
@@ -860,6 +1002,16 @@ mod tests {
             Request::Ping {
                 payload: vec![1, 2, 3],
             },
+            Request::Profile {
+                spec: ProfileSpec {
+                    tenant: "t1".into(),
+                    jobs: 4,
+                    duration_ms: 0,
+                    ring_capacity: 1 << 14,
+                    include_trace: true,
+                },
+            },
+            Request::Metrics,
         ] {
             assert_eq!(roundtrip_req(&req), req);
         }
@@ -878,10 +1030,48 @@ mod tests {
             Reply::ShutdownOk,
             Reply::Pong {
                 payload: vec![9; 4],
+                uptime_ms: 123_456,
+                version: "0.1.0".into(),
+            },
+            Reply::ProfileOk {
+                json: "{\"schema\":\"cartserve-profile-v1\"}".into(),
+                trace: vec![0x7B, 0x7D],
+            },
+            Reply::MetricsOk {
+                text: "# EOF\n".into(),
             },
         ] {
             assert_eq!(roundtrip_reply(&rep), rep);
         }
+    }
+
+    #[test]
+    fn profile_spec_validates_budgets() {
+        let ok = ProfileSpec {
+            tenant: "t".into(),
+            jobs: 1,
+            duration_ms: 0,
+            ring_capacity: 0,
+            include_trace: false,
+        };
+        ok.validate().expect("job budget suffices");
+        let by_time = ProfileSpec {
+            jobs: 0,
+            duration_ms: 250,
+            ..ok.clone()
+        };
+        by_time.validate().expect("duration budget suffices");
+        let no_budget = ProfileSpec {
+            jobs: 0,
+            duration_ms: 0,
+            ..ok.clone()
+        };
+        assert!(no_budget.validate().is_err());
+        let no_tenant = ProfileSpec {
+            tenant: String::new(),
+            ..ok
+        };
+        assert!(no_tenant.validate().is_err());
     }
 
     #[test]

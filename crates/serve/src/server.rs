@@ -48,11 +48,28 @@ use cartcomm::plan::PlanKind;
 use cartcomm::{CartComm, PlanStore, PlanStoreStats};
 use cartcomm_comm::transport::wire;
 use cartcomm_comm::{Comm, RankJob, ResidentUniverse, WirePool};
-use cartcomm_obs::TenantRegistry;
+use cartcomm_obs::tenant::STAGE_COUNT;
+use cartcomm_obs::{
+    AlphaBetaFit, Clock, CriticalPath, MonotonicClock, Obs, PerfettoExport, RingBufferSink,
+    ServeStageKind, TenantRegistry, TraceCollector, TraceEvent, TraceRecord, TraceSink,
+};
 use cartcomm_topo::RelNeighborhood;
 use cartcomm_types::Datatype;
 
-use crate::proto::{JobSpec, OpSpec, Reply, Request, PROTO_VERSION};
+use crate::exporter::{self, MetricsInputs};
+use crate::proto::{JobSpec, OpSpec, ProfileSpec, Reply, Request, PROTO_VERSION};
+
+/// Default per-rank ring-sink capacity for attach profiling, when the
+/// `PROFILE` request leaves `ring_capacity` at 0.
+const DEFAULT_PROFILE_CAPACITY: usize = 1 << 15;
+
+/// Default wall-clock budget for attach profiling, when the `PROFILE`
+/// request leaves `duration_ms` at 0.
+const DEFAULT_PROFILE_DURATION_MS: u32 = 30_000;
+
+/// How many of the slowest jobs the daemon retains with per-stage
+/// breakdowns (the `slowest` section of the stats JSON).
+const SLOW_RING_CAP: usize = 8;
 
 /// Daemon tuning knobs.
 #[derive(Debug, Clone)]
@@ -68,6 +85,10 @@ pub struct ServeConfig {
     pub max_universes: usize,
     /// The retry-after hint (ms) sent with `BUSY`.
     pub busy_retry_ms: u32,
+    /// Optional plain-HTTP listener address (e.g. `127.0.0.1:0`) serving
+    /// `GET /metrics` in OpenMetrics text, so standard scrapers work
+    /// without speaking the wire protocol.
+    pub metrics_http: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +98,7 @@ impl Default for ServeConfig {
             window: Duration::from_millis(2),
             max_universes: 4,
             busy_retry_ms: 5,
+            metrics_http: None,
         }
     }
 }
@@ -148,6 +170,72 @@ struct PendingJob {
     key: u64,
     ctx: u32,
     reply: ReplyHandle,
+    /// Daemon-wide job sequence number (stable across the lifecycle).
+    job_id: u64,
+    /// Daemon-clock stamp taken at admission.
+    accepted_ns: u64,
+    /// Daemon-clock stamp taken when the dispatcher pulled the job off
+    /// the queue (head pop or coalescing fold).
+    drained_ns: u64,
+}
+
+/// One live attach-profiling session (at most one at a time).
+///
+/// Registered by the connection thread handling `PROFILE`; the dispatcher
+/// claims matching jobs at batch-build time, rank threads deposit their
+/// captured streams, and [`maybe_finalize_profile`] sends the deferred
+/// `PROFILE_OK` once the budget is spent (or the deadline passes).
+struct ProfileSession {
+    tenant: String,
+    /// Remaining job budget; `None` means "until the deadline".
+    jobs_left: Option<u32>,
+    /// Daemon-clock deadline in ns.
+    deadline_ns: u64,
+    /// Per-rank ring-sink capacity.
+    capacity: usize,
+    /// Embed a Perfetto trace of the last captured job in the reply.
+    want_trace: bool,
+    captures: Vec<JobCapture>,
+    /// Where (and under which request id) the deferred reply goes.
+    reply: ReplyHandle,
+    ctx: u32,
+}
+
+/// The captured record streams of one profiled job.
+struct JobCapture {
+    ranks: usize,
+    per_rank: Vec<Vec<TraceRecord>>,
+    /// Ring-overflow losses summed over ranks.
+    dropped: u64,
+    /// How many ranks have deposited; the capture is complete at `ranks`.
+    deposits: usize,
+    /// Analytical predictions (Props. 3.2/3.3), reported by rank 0.
+    c_pred: u64,
+    v_pred: u64,
+}
+
+impl JobCapture {
+    fn new(ranks: usize) -> JobCapture {
+        JobCapture {
+            ranks,
+            per_rank: vec![Vec::new(); ranks],
+            dropped: 0,
+            deposits: 0,
+            c_pred: 0,
+            v_pred: 0,
+        }
+    }
+}
+
+/// One entry of the slowest-jobs ring: stage breakdown of a completed job.
+#[derive(Clone)]
+struct SlowJob {
+    job_id: u64,
+    tenant: String,
+    total_ns: u64,
+    /// `[queue, coalesce, execute, reply]` durations, matching
+    /// [`cartcomm_obs::tenant::STAGE_NAMES`].
+    stage_ns: [u64; STAGE_COUNT],
 }
 
 struct Shared {
@@ -166,13 +254,98 @@ struct Shared {
     tenants: Arc<TenantRegistry>,
     counters: Counters,
     store: Arc<PlanStore>,
+    /// The daemon clock: every lifecycle stamp and every profiled rank
+    /// sink shares this origin, so cross-rank timestamps line up.
+    clock: Arc<MonotonicClock>,
+    /// Process start, for uptime reporting.
+    started: Instant,
+    /// Monotonic job ids.
+    job_seq: AtomicU64,
+    /// Daemon-side observability handle: request-lifecycle
+    /// [`TraceEvent::ServeStage`] events are emitted here (rank 0), so a
+    /// host-attached sink sees the full accepted→replied stream.
+    obs: Arc<Obs>,
+    /// The live attach-profiling session, if any.
+    profile: Mutex<Option<ProfileSession>>,
+    /// Gauge: ring sinks currently attached to rank `Obs` handles.
+    profile_sinks: AtomicU64,
+    /// Ring of the slowest completed jobs, descending by total latency.
+    slowest: Mutex<Vec<SlowJob>>,
 }
 
 impl Shared {
+    fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    fn emit_stage(&self, job_id: u64, stage: ServeStageKind, detail: u64) {
+        self.obs.emit(
+            0,
+            TraceEvent::ServeStage {
+                job: job_id,
+                stage,
+                detail,
+            },
+        );
+    }
+
+    fn uptime_seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// The OpenMetrics document served on `METRICS` and `GET /metrics`.
+    fn openmetrics(&self) -> String {
+        let depth = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let profile_active = self
+            .profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some();
+        exporter::render(&MetricsInputs {
+            version: env!("CARGO_PKG_VERSION"),
+            uptime_seconds: self.uptime_seconds(),
+            counters: self.counters.snapshot(),
+            queue_depth: depth,
+            draining: self.draining.load(Ordering::Acquire),
+            plan_store: self.store.stats(),
+            profile_active,
+            profile_sinks_installed: self.profile_sinks.load(Ordering::Relaxed),
+            tenants: &self.tenants,
+        })
+    }
+
     fn stats_json(&self) -> String {
         let c = self.counters.snapshot();
         let s: PlanStoreStats = self.store.stats();
         let depth = self.queue.lock().unwrap_or_else(|e| e.into_inner()).len();
+        let profile_active = self
+            .profile
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .is_some();
+        let slowest = {
+            let ring = self.slowest.lock().unwrap_or_else(|e| e.into_inner());
+            let rows: Vec<String> = ring
+                .iter()
+                .map(|j| {
+                    format!(
+                        concat!(
+                            "{{\"job\":{},\"tenant\":\"{}\",\"total_ns\":{},",
+                            "\"queue_ns\":{},\"coalesce_ns\":{},",
+                            "\"execute_ns\":{},\"reply_ns\":{}}}"
+                        ),
+                        j.job_id,
+                        j.tenant.replace('\\', "\\\\").replace('"', "\\\""),
+                        j.total_ns,
+                        j.stage_ns[0],
+                        j.stage_ns[1],
+                        j.stage_ns[2],
+                        j.stage_ns[3],
+                    )
+                })
+                .collect();
+            format!("[{}]", rows.join(","))
+        };
         let table = self
             .tenants
             .render_table()
@@ -181,12 +354,14 @@ impl Shared {
             .replace('\n', "\\n");
         format!(
             concat!(
-                "{{\"server\":{{",
+                "{{\"schema\":\"cartserve-stats-v2\",\"server\":{{",
                 "\"jobs_submitted\":{},\"jobs_rejected\":{},\"jobs_drained\":{},",
                 "\"jobs_completed\":{},\"batches_executed\":{},\"jobs_coalesced\":{},",
-                "\"queue_depth\":{},\"draining\":{},",
+                "\"queue_depth\":{},\"draining\":{},\"uptime_ms\":{},",
                 "\"plan_store\":{{\"hits\":{},\"misses\":{},\"evictions\":{},",
                 "\"schedule_hits\":{},\"schedule_misses\":{}}}}},",
+                "\"profile\":{{\"active\":{},\"sinks_installed\":{}}},",
+                "\"slowest\":{},",
                 "\"tenants\":{},\"table\":\"{}\"}}"
             ),
             c.jobs_submitted,
@@ -197,11 +372,15 @@ impl Shared {
             c.jobs_coalesced,
             depth,
             self.draining.load(Ordering::Acquire),
+            self.started.elapsed().as_millis(),
             s.hits,
             s.misses,
             s.evictions,
             s.schedule_hits,
             s.schedule_misses,
+            profile_active,
+            self.profile_sinks.load(Ordering::Relaxed),
+            slowest,
             self.tenants.to_json(),
             table,
         )
@@ -219,6 +398,9 @@ pub struct Server {
     conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
     /// Unlink the socket path on shutdown.
     uds_path: Option<PathBuf>,
+    /// The plain-HTTP metrics listener, when configured.
+    metrics_thread: Option<thread::JoinHandle<()>>,
+    metrics_addr: Option<SocketAddr>,
 }
 
 enum AnyListener {
@@ -257,6 +439,7 @@ impl Server {
         uds_path: Option<PathBuf>,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
+        let metrics_http = cfg.metrics_http.clone();
         let shared = Arc::new(Shared {
             cfg,
             queue: Mutex::new(VecDeque::new()),
@@ -268,8 +451,31 @@ impl Server {
             tenants: Arc::new(TenantRegistry::new()),
             counters: Counters::default(),
             store: PlanStore::global(),
+            clock: Arc::new(MonotonicClock::new()),
+            started: Instant::now(),
+            job_seq: AtomicU64::new(0),
+            obs: Arc::new(Obs::new()),
+            profile: Mutex::new(None),
+            profile_sinks: AtomicU64::new(0),
+            slowest: Mutex::new(Vec::new()),
         });
         let conns: Arc<Mutex<Vec<thread::JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        // Bind the optional /metrics HTTP listener up front so a bad
+        // address fails server startup rather than a background thread.
+        let mut metrics_thread = None;
+        let mut metrics_addr = None;
+        if let Some(addr) = metrics_http {
+            let http = TcpListener::bind(&addr)?;
+            http.set_nonblocking(true)?;
+            metrics_addr = Some(http.local_addr()?);
+            let shared = Arc::clone(&shared);
+            metrics_thread = Some(
+                thread::Builder::new()
+                    .name("cartserve-metrics".into())
+                    .spawn(move || metrics_http_loop(http, &shared))?,
+            );
+        }
 
         let dispatcher = {
             let shared = Arc::clone(&shared);
@@ -292,6 +498,8 @@ impl Server {
             dispatcher: Some(dispatcher),
             conns,
             uds_path,
+            metrics_thread,
+            metrics_addr,
         })
     }
 
@@ -327,6 +535,25 @@ impl Server {
     /// The stats JSON the wire `STATS` command returns.
     pub fn stats_json(&self) -> String {
         self.shared.stats_json()
+    }
+
+    /// The OpenMetrics text the wire `METRICS` command (and the HTTP
+    /// listener, when configured) returns.
+    pub fn metrics_text(&self) -> String {
+        self.shared.openmetrics()
+    }
+
+    /// Where `GET /metrics` is served, when [`ServeConfig::metrics_http`]
+    /// was set (useful with port 0).
+    pub fn metrics_endpoint(&self) -> Option<SocketAddr> {
+        self.metrics_addr
+    }
+
+    /// The daemon-side observability handle carrying request-lifecycle
+    /// [`TraceEvent::ServeStage`] events (a test/host hook: attach a sink
+    /// to watch the accepted→replied stream).
+    pub fn obs(&self) -> &Arc<Obs> {
+        &self.shared.obs
     }
 
     /// Test hook: hold the dispatcher before its next pop so a burst of
@@ -371,6 +598,9 @@ impl Server {
         self.shared.stop_io.store(true, Ordering::Release);
         if let Some(l) = self.listener.take() {
             let _ = l.join();
+        }
+        if let Some(m) = self.metrics_thread.take() {
+            let _ = m.join();
         }
         let handles = std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()));
         for h in handles {
@@ -493,7 +723,27 @@ fn handle_request(
             );
         }
         Request::Ping { payload } => {
-            send_reply(reply, ctx, &Reply::Pong { payload });
+            send_reply(
+                reply,
+                ctx,
+                &Reply::Pong {
+                    payload,
+                    uptime_ms: shared.started.elapsed().as_millis() as u64,
+                    version: env!("CARGO_PKG_VERSION").to_string(),
+                },
+            );
+        }
+        Request::Metrics => {
+            send_reply(
+                reply,
+                ctx,
+                &Reply::MetricsOk {
+                    text: shared.openmetrics(),
+                },
+            );
+        }
+        Request::Profile { spec } => {
+            register_profile(spec, ctx, reply, shared);
         }
         Request::Stats => {
             send_reply(
@@ -528,6 +778,60 @@ fn handle_request(
         }
     }
     false
+}
+
+/// Register an attach-profiling session. The reply is **deferred**: the
+/// connection thread stores its write half, the dispatcher captures jobs,
+/// and [`maybe_finalize_profile`] sends `PROFILE_OK` once the budget is
+/// spent or the deadline passes. Other tenants are never paused.
+fn register_profile(spec: ProfileSpec, ctx: u32, reply: &ReplyHandle, shared: &Arc<Shared>) {
+    if let Err(msg) = spec.validate() {
+        send_reply(reply, ctx, &Reply::Err { message: msg });
+        return;
+    }
+    if shared.draining.load(Ordering::Acquire) {
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: "daemon is draining".into(),
+            },
+        );
+        return;
+    }
+    let duration_ms = if spec.duration_ms > 0 {
+        spec.duration_ms
+    } else {
+        DEFAULT_PROFILE_DURATION_MS
+    };
+    let capacity = if spec.ring_capacity > 0 {
+        spec.ring_capacity as usize
+    } else {
+        DEFAULT_PROFILE_CAPACITY
+    };
+    let session = ProfileSession {
+        tenant: spec.tenant,
+        jobs_left: if spec.jobs > 0 { Some(spec.jobs) } else { None },
+        deadline_ns: shared.now_ns() + duration_ms as u64 * 1_000_000,
+        capacity,
+        want_trace: spec.include_trace,
+        captures: Vec::new(),
+        reply: Arc::clone(reply),
+        ctx,
+    };
+    let mut prof = shared.profile.lock().unwrap_or_else(|e| e.into_inner());
+    if prof.is_some() {
+        drop(prof);
+        send_reply(
+            reply,
+            ctx,
+            &Reply::Err {
+                message: "a profile session is already active".into(),
+            },
+        );
+        return;
+    }
+    *prof = Some(session);
 }
 
 /// Admission control: structural validation, then the bounded queue.
@@ -590,6 +894,7 @@ fn admit(
     }
 
     let key = spec.coalesce_key();
+    let job_id = shared.job_seq.fetch_add(1, Ordering::Relaxed);
     let job = PendingJob {
         tenant,
         spec: Arc::new(spec),
@@ -597,8 +902,11 @@ fn admit(
         key,
         ctx,
         reply: Arc::clone(reply),
+        job_id,
+        accepted_ns: shared.now_ns(),
+        drained_ns: 0,
     };
-    {
+    let depth = {
         let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
         if q.len() >= shared.cfg.queue_cap {
             drop(q);
@@ -616,11 +924,13 @@ fn admit(
             return;
         }
         q.push_back(job);
-    }
+        q.len()
+    };
     shared
         .counters
         .jobs_submitted
         .fetch_add(1, Ordering::Relaxed);
+    shared.emit_stage(job_id, ServeStageKind::Accepted, depth as u64);
     shared.queue_cv.notify_all();
 }
 
@@ -642,28 +952,50 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
     let mut pool: HashMap<usize, PooledUniverse> = HashMap::new();
     let mut tick: u64 = 0;
 
+    /// One bounded pass at the queue head, so the outer loop regains
+    /// control (for profile-deadline checks) between waits.
+    enum Popped {
+        Job(Box<PendingJob>),
+        Drained,
+        Retry,
+    }
+
     loop {
-        // Pop a head job, or exit once draining has emptied the queue.
-        let head = {
+        // A duration-budget profile session can expire while the daemon
+        // is idle; check between queue waits, never while holding the
+        // queue lock (the deferred reply writes to a socket).
+        maybe_finalize_profile(shared, false);
+
+        let popped = {
             let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
-            loop {
-                let paused = shared.paused.load(Ordering::Acquire);
-                if !paused {
-                    if let Some(job) = q.pop_front() {
-                        break Some(job);
-                    }
-                    if shared.draining.load(Ordering::Acquire) {
-                        break None;
-                    }
+            let paused = shared.paused.load(Ordering::Acquire);
+            if !paused {
+                if let Some(mut job) = q.pop_front() {
+                    job.drained_ns = shared.now_ns();
+                    Popped::Job(Box::new(job))
+                } else if shared.draining.load(Ordering::Acquire) {
+                    Popped::Drained
+                } else {
+                    let _ = shared
+                        .queue_cv
+                        .wait_timeout(q, Duration::from_millis(10))
+                        .unwrap_or_else(|e| e.into_inner());
+                    Popped::Retry
                 }
-                let (guard, _) = shared
+            } else {
+                let _ = shared
                     .queue_cv
                     .wait_timeout(q, Duration::from_millis(10))
                     .unwrap_or_else(|e| e.into_inner());
-                q = guard;
+                Popped::Retry
             }
         };
-        let Some(head) = head else { break };
+        let head = match popped {
+            Popped::Job(job) => *job,
+            Popped::Drained => break,
+            Popped::Retry => continue,
+        };
+        shared.emit_stage(head.job_id, ServeStageKind::Coalesced, 1);
 
         // Coalescing window: fold queued same-shape jobs into the batch.
         let key = head.key;
@@ -673,8 +1005,14 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
             {
                 let mut q = shared.queue.lock().unwrap_or_else(|e| e.into_inner());
                 let mut rest = VecDeque::with_capacity(q.len());
-                for job in q.drain(..) {
+                for mut job in q.drain(..) {
                     if job.key == key {
+                        job.drained_ns = shared.now_ns();
+                        shared.emit_stage(
+                            job.job_id,
+                            ServeStageKind::Coalesced,
+                            batch.len() as u64 + 1,
+                        );
                         batch.push(job);
                     } else {
                         rest.push_back(job);
@@ -690,9 +1028,13 @@ fn dispatcher_loop(shared: &Arc<Shared>) {
         }
 
         execute_batch(&mut pool, &mut tick, shared, batch);
+        maybe_finalize_profile(shared, false);
     }
 
-    // Drained: shut the universes down before declaring the daemon done.
+    // Drained: settle any live profile session (all batches are done, so
+    // every claimed capture has deposited), then shut the universes down
+    // before declaring the daemon done.
+    maybe_finalize_profile(shared, true);
     for (_, entry) in pool.drain() {
         let _ = entry.uni.shutdown();
     }
@@ -754,30 +1096,93 @@ fn execute_batch(
             .collect(),
     );
 
+    // Claim profile captures for this batch: a live session matching a
+    // job's tenant (with budget and deadline headroom) reserves a capture
+    // slot per job. Claiming happens dispatcher-side so every rank agrees
+    // on which jobs are profiled without further coordination.
+    let (claims, prof_capacity): (Arc<Vec<Option<usize>>>, usize) = {
+        let mut prof = shared.profile.lock().unwrap_or_else(|e| e.into_inner());
+        match prof.as_mut() {
+            Some(sess) => {
+                let now = shared.now_ns();
+                let claims = items
+                    .iter()
+                    .map(|item| {
+                        let budget_ok = sess.jobs_left.is_none_or(|n| n > 0);
+                        if item.tenant == sess.tenant && budget_ok && now < sess.deadline_ns {
+                            if let Some(n) = sess.jobs_left.as_mut() {
+                                *n -= 1;
+                            }
+                            sess.captures.push(JobCapture::new(p));
+                            Some(sess.captures.len() - 1)
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                (Arc::new(claims), sess.capacity)
+            }
+            None => (Arc::new(vec![None; items.len()]), 0),
+        }
+    };
+
     let (tx, rx) = mpsc::channel::<RankOutcome>();
     let jobs: Vec<RankJob> = (0..p)
         .map(|rank| {
             let tx = tx.clone();
             let items = Arc::clone(&items);
-            let tenants = Arc::clone(&shared.tenants);
-            let store = Arc::clone(&shared.store);
+            let claims = Arc::clone(&claims);
+            let shared = Arc::clone(shared);
             Box::new(move |comm: &mut Comm| {
                 for (idx, item) in items.iter().enumerate() {
+                    // A claimed job runs with a ring sink attached to this
+                    // rank's Obs, on the daemon clock so cross-rank stamps
+                    // line up. Attach/detach brackets exactly this job, so
+                    // concurrent tenants in the same batch are untouched.
+                    let sink = claims[idx].map(|_| {
+                        let sink = Arc::new(RingBufferSink::new(prof_capacity));
+                        let obs = comm.obs();
+                        obs.set_clock(Arc::clone(&shared.clock) as Arc<dyn Clock>);
+                        obs.attach_sink(Arc::clone(&sink) as Arc<dyn TraceSink>);
+                        shared.profile_sinks.fetch_add(1, Ordering::Relaxed);
+                        sink
+                    });
                     let out = run_one(
                         comm,
-                        &store,
-                        &tenants,
+                        &shared.store,
+                        &shared.tenants,
                         &item.tenant,
                         &item.spec,
                         &item.payload,
                         rank,
                     );
-                    let _ = tx.send((idx, rank, out));
+                    if let (Some(ci), Some(sink)) = (claims[idx], sink) {
+                        comm.obs().detach_sink();
+                        shared.profile_sinks.fetch_sub(1, Ordering::Relaxed);
+                        let records = sink.take();
+                        let dropped = sink.dropped();
+                        let mut prof = shared.profile.lock().unwrap_or_else(|e| e.into_inner());
+                        if let Some(cap) = prof.as_mut().and_then(|sess| sess.captures.get_mut(ci))
+                        {
+                            cap.per_rank[rank] = records;
+                            cap.dropped += dropped;
+                            cap.deposits += 1;
+                            if let Ok((_, c_pred, v_pred)) = &out {
+                                cap.c_pred = *c_pred;
+                                cap.v_pred = *v_pred;
+                            }
+                        }
+                    }
+                    let _ = tx.send((idx, rank, out.map(|(recv, _, _)| recv)));
                 }
             }) as RankJob
         })
         .collect();
     drop(tx);
+    let dispatched_ns = shared.now_ns();
+    for job in &batch {
+        shared.emit_stage(job.job_id, ServeStageKind::Dispatched, batch.len() as u64);
+    }
     entry.uni.submit(jobs);
 
     // Gather p results per job; a rank that dies shows up as a timeout.
@@ -786,6 +1191,8 @@ fn execute_batch(
         .map(|_| (0..p).map(|_| None).collect())
         .collect();
     let mut errors: Vec<Option<String>> = vec![None; batch.len()];
+    let mut per_job_got: Vec<usize> = vec![0; batch.len()];
+    let mut executed_ns: Vec<u64> = vec![0; batch.len()];
     let want = batch.len() * p;
     let mut got = 0;
     let deadline = Instant::now() + Duration::from_secs(60);
@@ -801,16 +1208,24 @@ fn execute_batch(
             Ok((idx, rank, Ok(buf))) => {
                 results[idx][rank] = Some(buf);
                 got += 1;
+                per_job_got[idx] += 1;
             }
             Ok((idx, _rank, Err(msg))) => {
                 errors[idx].get_or_insert(msg);
                 got += 1;
+                per_job_got[idx] += 1;
             }
             Err(_) => {
                 for e in errors.iter_mut() {
                     e.get_or_insert_with(|| "rank threads vanished mid-batch".to_string());
                 }
                 break;
+            }
+        }
+        for (idx, &n) in per_job_got.iter().enumerate() {
+            if n == p && executed_ns[idx] == 0 {
+                executed_ns[idx] = shared.now_ns();
+                shared.emit_stage(batch[idx].job_id, ServeStageKind::Executed, p as u64);
             }
         }
     }
@@ -830,7 +1245,9 @@ fn execute_batch(
         .jobs_completed
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
 
-    // Assemble and reply per job.
+    // Assemble and reply per job. Stage durations are recorded *before*
+    // the reply goes out, so a client holding its result observes settled
+    // histograms (the reply stage clocks reply assembly, not the write).
     for (idx, job) in batch.iter().enumerate() {
         let reply = match &errors[idx] {
             Some(msg) => Reply::Err {
@@ -847,7 +1264,240 @@ fn execute_batch(
                 message: "incomplete rank results".into(),
             },
         };
+
+        let replied_ns = shared.now_ns();
+        let done_ns = if executed_ns[idx] > 0 {
+            executed_ns[idx]
+        } else {
+            replied_ns
+        };
+        let stage_ns: [u64; STAGE_COUNT] = [
+            job.drained_ns.saturating_sub(job.accepted_ns),
+            dispatched_ns.saturating_sub(job.drained_ns),
+            done_ns.saturating_sub(dispatched_ns),
+            replied_ns.saturating_sub(done_ns),
+        ];
+        let total_ns = replied_ns.saturating_sub(job.accepted_ns);
+        shared.tenants.record_stages(&job.tenant, stage_ns);
+        {
+            let mut ring = shared.slowest.lock().unwrap_or_else(|e| e.into_inner());
+            ring.push(SlowJob {
+                job_id: job.job_id,
+                tenant: job.tenant.clone(),
+                total_ns,
+                stage_ns,
+            });
+            ring.sort_by_key(|s| std::cmp::Reverse(s.total_ns));
+            ring.truncate(SLOW_RING_CAP);
+        }
+        shared.emit_stage(job.job_id, ServeStageKind::Replied, total_ns);
+
         send_reply(&job.reply, job.ctx, &reply);
+    }
+}
+
+// ----- attach profiling ---------------------------------------------------------
+
+/// Send the deferred `PROFILE_OK` if the live session is finished: the
+/// job budget is spent (or the deadline passed) *and* every claimed
+/// capture has all its rank deposits. `force` (drain) settles the session
+/// unconditionally — by then all batches have completed.
+fn maybe_finalize_profile(shared: &Arc<Shared>, force: bool) {
+    let session = {
+        let mut prof = shared.profile.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(sess) = prof.as_ref() else { return };
+        let now = shared.now_ns();
+        let budget_spent = sess.jobs_left == Some(0);
+        let deadline_hit = now >= sess.deadline_ns;
+        let all_deposited = sess.captures.iter().all(|c| c.deposits == c.ranks);
+        if !(force || ((budget_spent || deadline_hit) && all_deposited)) {
+            return;
+        }
+        prof.take().expect("checked above")
+    };
+
+    let (json, trace) = profile_report(&session);
+    send_reply(
+        &session.reply,
+        session.ctx,
+        &Reply::ProfileOk { json, trace },
+    );
+}
+
+/// Render a finished session into the `PROFILE_OK` JSON summary (schema
+/// `cartserve-profile-v1`) plus an optional Perfetto trace of the last
+/// captured job. Each capture is paired into its own [`RoundDag`] and
+/// validated against the analytical round count `C` (Prop. 3.2) and wire
+/// volume `V·m` (Prop. 3.3) rank 0 reported at execution time.
+fn profile_report(session: &ProfileSession) -> (String, Vec<u8>) {
+    fn fmt_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.6}")
+        } else {
+            "null".into()
+        }
+    }
+
+    let mut rounds_ok = true;
+    let mut volume_ok = true;
+    let mut clean_pairing = true;
+    let mut dropped_total: u64 = 0;
+    let mut job_rows: Vec<String> = Vec::new();
+    let mut samples: Vec<(u64, u64)> = Vec::new();
+    let mut last: Option<(TraceCollector, cartcomm_obs::RoundDag)> = None;
+
+    for cap in &session.captures {
+        let mut collector = TraceCollector::from_ranks(cap.per_rank.clone());
+        collector.note_dropped(cap.dropped);
+        let dag = collector.build();
+
+        let sends = dag.sends_per_rank();
+        let bytes = dag.sent_bytes_per_rank();
+        let job_rounds_ok =
+            cap.deposits == cap.ranks && sends.iter().all(|&s| s as u64 == cap.c_pred);
+        let job_volume_ok = cap.deposits == cap.ranks && bytes.iter().all(|&b| b == cap.v_pred);
+        let job_clean = dag.unpaired_starts == 0 && dag.unpaired_ends == 0;
+        rounds_ok &= job_rounds_ok;
+        volume_ok &= job_volume_ok;
+        clean_pairing &= job_clean;
+        dropped_total += cap.dropped;
+        samples.extend(dag.latency_samples());
+
+        job_rows.push(format!(
+            concat!(
+                "{{\"c_pred\":{},\"v_pred_bytes\":{},",
+                "\"sends_per_rank\":[{}],\"sent_bytes_per_rank\":[{}],",
+                "\"unpaired_starts\":{},\"unpaired_ends\":{},",
+                "\"dropped\":{},\"makespan_ns\":{}}}"
+            ),
+            cap.c_pred,
+            cap.v_pred,
+            sends
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            bytes
+                .iter()
+                .map(|b| b.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            dag.unpaired_starts,
+            dag.unpaired_ends,
+            cap.dropped,
+            dag.makespan_ns(),
+        ));
+        last = Some((collector, dag));
+    }
+
+    // A live service sees same-size jobs, so the α-β fit over a capture
+    // set is often rank-deficient; `degenerate` is reported but does NOT
+    // gate the pass verdict — only the paper invariants do.
+    let fit = AlphaBetaFit::fit(&samples);
+    let fit_json = format!(
+        concat!(
+            "{{\"alpha_ns\":{},\"beta_ns_per_byte\":{},",
+            "\"samples\":{},\"distinct_sizes\":{},\"degenerate\":{}}}"
+        ),
+        fmt_f64(fit.alpha_ns),
+        fmt_f64(fit.beta_ns_per_byte),
+        fit.samples,
+        fit.distinct_sizes,
+        fit.degenerate,
+    );
+
+    let (cp_json, trace) = match &last {
+        Some((collector, dag)) => {
+            let cp = CriticalPath::of(dag);
+            let cp_json = format!(
+                "{{\"steps\":{},\"makespan_ns\":{}}}",
+                cp.steps.len(),
+                cp.makespan_ns
+            );
+            let trace = if session.want_trace {
+                PerfettoExport::new(dag)
+                    .with_counters(collector.records())
+                    .with_process_name("cartserve-live")
+                    .to_json()
+                    .into_bytes()
+            } else {
+                Vec::new()
+            };
+            (cp_json, trace)
+        }
+        None => ("null".into(), Vec::new()),
+    };
+
+    let captured = session.captures.len();
+    let all_ok = captured > 0 && rounds_ok && volume_ok && clean_pairing;
+    let json = format!(
+        concat!(
+            "{{\"schema\":\"cartserve-profile-v1\",\"tenant\":\"{}\",",
+            "\"jobs_captured\":{},\"dropped_records\":{},",
+            "\"rounds_ok\":{},\"volume_ok\":{},\"clean_pairing\":{},",
+            "\"all_checks_passed\":{},",
+            "\"jobs\":[{}],\"fit\":{},\"critical_path\":{}}}"
+        ),
+        session.tenant.replace('\\', "\\\\").replace('"', "\\\""),
+        captured,
+        dropped_total,
+        rounds_ok,
+        volume_ok,
+        clean_pairing,
+        all_ok,
+        job_rows.join(","),
+        fit_json,
+        cp_json,
+    );
+    (json, trace)
+}
+
+// ----- /metrics HTTP listener ---------------------------------------------------
+
+/// Minimal HTTP/1.1 loop for `GET /metrics`: enough for Prometheus-style
+/// scrapers and `curl`, with no framework dependency. Anything but
+/// `GET /metrics` is a 404; the loop exits with the daemon's I/O stop.
+fn metrics_http_loop(listener: TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.stop_io.load(Ordering::Acquire) {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                let mut req = Vec::new();
+                let mut chunk = [0u8; 1024];
+                while !req.windows(4).any(|w| w == b"\r\n\r\n") && req.len() < 16 * 1024 {
+                    match stream.read(&mut chunk) {
+                        Ok(0) | Err(_) => break,
+                        Ok(n) => req.extend_from_slice(&chunk[..n]),
+                    }
+                }
+                let line = req
+                    .split(|&b| b == b'\r' || b == b'\n')
+                    .next()
+                    .map(|l| String::from_utf8_lossy(l).into_owned())
+                    .unwrap_or_default();
+                let (status, body) = if line.starts_with("GET /metrics") {
+                    ("200 OK", shared.openmetrics())
+                } else {
+                    ("404 Not Found", String::new())
+                };
+                let response = format!(
+                    concat!(
+                        "HTTP/1.1 {}\r\n",
+                        "Content-Type: application/openmetrics-text; ",
+                        "version=1.0.0; charset=utf-8\r\n",
+                        "Content-Length: {}\r\nConnection: close\r\n\r\n{}"
+                    ),
+                    status,
+                    body.len(),
+                    body
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+            Err(_) => thread::sleep(Duration::from_millis(10)),
+        }
     }
 }
 
@@ -890,7 +1540,9 @@ fn topo_key(spec: &JobSpec) -> u64 {
 
 /// Execute one job on one rank: create/reuse the communicator, run the
 /// collective over the rank's slice of the payload, attribute the metrics
-/// delta plus the analytical `C`/`V·m` prediction to the tenant.
+/// delta plus the analytical `C`/`V·m` prediction to the tenant. Returns
+/// the received bytes together with the predictions, so a profiling
+/// capture can validate the observed stream against Props. 3.2/3.3.
 fn run_one(
     comm: &mut Comm,
     store: &Arc<PlanStore>,
@@ -899,13 +1551,13 @@ fn run_one(
     spec: &JobSpec,
     payload: &Arc<Vec<u8>>,
     rank: usize,
-) -> Result<Vec<u8>, String> {
+) -> Result<(Vec<u8>, u64, u64), String> {
     let sb = spec.send_bytes_per_rank();
     let send = &payload[rank * sb..(rank + 1) * sb];
     let mut recv = vec![0u8; spec.recv_bytes_per_rank()];
 
     let key = topo_key(spec);
-    COMM_CACHE.with(|cache| {
+    let (c_pred, v_pred) = COMM_CACHE.with(|cache| {
         let mut cache = cache.borrow_mut();
         let cart = match cache.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
@@ -923,9 +1575,9 @@ fn run_one(
         let delta = comm.obs().metrics().delta_since(&before);
         let (c_pred, v_pred) = predict(cart, spec);
         tenants.record_job(tenant, c_pred, v_pred, &delta);
-        run
+        run.map(|_| (c_pred, v_pred))
     })?;
-    Ok(recv)
+    Ok((recv, c_pred, v_pred))
 }
 
 /// The analytical per-rank prediction for one execution: round count `C`
